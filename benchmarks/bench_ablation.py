@@ -1,0 +1,39 @@
+"""Ablation bench — stride distributions and the label method."""
+
+from repro.core.config import ArchitectureConfig
+from repro.experiments.common import build_partition_tries
+from repro.experiments.registry import run_experiment
+
+
+def test_ablation_regeneration(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation", write_csv=False), rounds=1, iterations=1
+    )
+    print(result.render())
+    assert result.headline["mean_label_saving_percent"] > 30.0
+
+
+def test_stride_sweep_build_cost(benchmark, mac_gozb):
+    """Deep stride distributions trade build/update cost for memory; the
+    bench quantifies construction under the single-level (flat) layout,
+    the paper's 3-level choice and a unibit-like distribution."""
+
+    def build_three_level():
+        return build_partition_tries(
+            mac_gozb, "eth_dst", ArchitectureConfig(strides=(5, 5, 6))
+        )
+
+    tries = benchmark.pedantic(build_three_level, rounds=2, iterations=1)
+    assert len(tries) == 3
+
+
+def test_flat_lut_strides_build_cost(benchmark, mac_bbra):
+    def build_flat():
+        return build_partition_tries(
+            mac_bbra, "eth_dst", ArchitectureConfig(strides=(16,))
+        )
+
+    tries = benchmark.pedantic(build_flat, rounds=2, iterations=1)
+    # A flat 2^16 layout has exactly one record per unique value (L1 only).
+    for trie in tries.values():
+        assert trie.level_stats()[0].records == len(trie)

@@ -1,0 +1,31 @@
+"""Baseline comparison bench — TCAM vs the decomposition architecture."""
+
+from repro.algorithms.tcam import Tcam
+from repro.core.builder import build_lookup_table
+from repro.experiments.registry import run_experiment
+from repro.memory.report import table_memory_report
+
+
+def test_baseline_tcam_regeneration(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("baseline-tcam", write_csv=False),
+        rounds=1,
+        iterations=1,
+    )
+    print(result.render())
+    # Every sampled packet agreed between TCAM and the architecture.
+    for row in result.tables[0].rows:
+        agree, total = str(row[5]).split("/")
+        assert agree == total
+
+
+def test_tcam_memory_accounting(benchmark, routing_bbra):
+    tcam = Tcam.from_rule_set(routing_bbra)
+    size = benchmark(tcam.size)
+    assert size.bits > 0
+
+
+def test_decomposition_memory_accounting(benchmark, routing_bbra):
+    table = build_lookup_table(routing_bbra)
+    report = benchmark(table_memory_report, table)
+    assert report.total_bits > 0

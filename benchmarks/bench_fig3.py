@@ -1,0 +1,29 @@
+"""Fig. 3 bench — per-level memory of the Ethernet lower trie."""
+
+from repro.experiments.common import mac_eth_tries
+from repro.experiments.registry import run_experiment
+from repro.memory.cost_model import MemoryModel, trie_group_cost
+
+
+def test_fig3_regeneration(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig3", write_csv=False), rounds=1, iterations=1
+    )
+    print(result.render())
+    assert result.headline["max_is_gozb"] == 1.0
+    assert result.headline["max_l1_records"] <= 32
+    assert result.headline["max_l1_bits"] <= 1024
+    # Paper: 983.7 Kbits for gozb; full-array model must land in regime.
+    assert 500 <= result.headline["max_total_kbits_full_array"] <= 2000
+
+
+def test_cost_model_throughput(benchmark):
+    tries = mac_eth_tries("gozb")
+
+    def cost_both_models():
+        sparse, _ = trie_group_cost(tries, MemoryModel.SPARSE)
+        full, _ = trie_group_cost(tries, MemoryModel.FULL_ARRAY)
+        return sparse, full
+
+    sparse, full = benchmark(cost_both_models)
+    assert full["eth_dst/lo"].total_bits > sparse["eth_dst/lo"].total_bits

@@ -1,0 +1,28 @@
+"""Fig. 4 bench — per-level memory of the IP tries (regular + outliers)."""
+
+from repro.experiments.common import routing_ip_tries
+from repro.experiments.registry import run_experiment
+from repro.memory.cost_model import trie_group_cost
+
+
+def test_fig4_regeneration(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig4", write_csv=False), rounds=1, iterations=1
+    )
+    print(result.render())
+    assert result.headline["outlier_higher_dominates"] == 1.0
+    assert (
+        result.headline["max_outlier_higher_kbits_sparse"]
+        > result.headline["max_regular_lower_kbits_sparse"]
+    )
+
+
+def test_outlier_cost_model(benchmark):
+    tries = routing_ip_tries("coza")
+
+    def cost():
+        costs, _ = trie_group_cost(tries)
+        return costs
+
+    costs = benchmark(cost)
+    assert costs["ipv4_dst/hi"].total_bits > costs["ipv4_dst/lo"].total_bits

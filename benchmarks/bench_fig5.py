@@ -1,0 +1,44 @@
+"""Fig. 5 bench — update-file generation and the label-method saving.
+
+Benchmarks the software-controller characterisation with and without the
+label method (the two flavours Fig. 5 compares) and regenerates the
+full figure, asserting the saving lands in the paper's regime
+(paper average: 56.92 %).
+"""
+
+from repro.experiments.registry import run_experiment
+from repro.update.controller_sim import SoftwareController
+from repro.update.generator import generate_algorithm_updates
+
+
+def test_fig5_regeneration(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig5", write_csv=False), rounds=1, iterations=1
+    )
+    print(result.render())
+    assert result.headline["all_filters_save"] == 1.0
+    assert 45.0 <= result.headline["average_saving_percent"] <= 75.0
+
+
+def test_generate_label_file_gozb(benchmark, mac_gozb):
+    file = benchmark(
+        generate_algorithm_updates, mac_gozb, True, materialize=False
+    )
+    assert len(file) > 0
+
+
+def test_generate_initial_file_gozb(benchmark, mac_gozb):
+    file = benchmark(
+        generate_algorithm_updates, mac_gozb, False, materialize=False
+    )
+    label_file = generate_algorithm_updates(mac_gozb, True, materialize=False)
+    assert len(file) > len(label_file)
+
+
+def test_update_comparison_single_filter(benchmark, routing_yoza):
+    controller = SoftwareController()
+    comparison = benchmark.pedantic(
+        controller.compare, args=(routing_yoza,), rounds=2, iterations=1
+    )
+    assert comparison.optimised.cycles < comparison.initial.cycles
+    assert comparison.initial.cycles == comparison.initial.records * 2

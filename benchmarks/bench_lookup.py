@@ -1,0 +1,80 @@
+"""Lookup-throughput bench — the architecture against every baseline.
+
+Not a paper figure, but the property the paper's memory analysis is in
+service of: classification throughput.  One trace, four classifiers —
+the decomposition architecture, the linear flow table, TSS and TCAM.
+"""
+
+import pytest
+
+from repro.algorithms.tcam import Tcam
+from repro.algorithms.tss import TupleSpaceSearch
+from repro.core.builder import build_lookup_table
+from repro.openflow.table import FlowTable
+
+TRACE_LEN = 400
+
+
+@pytest.fixture(scope="module")
+def routing_trace(routing_bbra, trace_generator):
+    matches = [r.to_match() for r in routing_bbra.rules[:100]]
+    return trace_generator.field_trace(
+        matches, TRACE_LEN, hit_rate=0.8, fill_fields=routing_bbra.field_names
+    )
+
+
+def test_lookup_architecture(benchmark, routing_bbra, routing_trace):
+    table = build_lookup_table(routing_bbra)
+
+    def classify_trace():
+        return sum(1 for f in routing_trace if table.lookup(f) is not None)
+
+    hits = benchmark(classify_trace)
+    assert hits > TRACE_LEN // 2
+
+
+def test_lookup_linear_flow_table(benchmark, routing_bbra, routing_trace):
+    table = FlowTable()
+    for entry in routing_bbra.to_flow_entries():
+        table.add(entry)
+
+    def classify_trace():
+        return sum(1 for f in routing_trace if table.lookup(f) is not None)
+
+    hits = benchmark.pedantic(classify_trace, rounds=3, iterations=1)
+    assert hits > TRACE_LEN // 2
+
+
+def test_lookup_tss(benchmark, routing_bbra, routing_trace):
+    tss = TupleSpaceSearch.from_rule_set(routing_bbra)
+
+    def classify_trace():
+        return sum(1 for f in routing_trace if tss.lookup(f) is not None)
+
+    hits = benchmark(classify_trace)
+    assert hits > TRACE_LEN // 2
+
+
+def test_lookup_tcam(benchmark, routing_bbra, routing_trace):
+    tcam = Tcam.from_rule_set(routing_bbra)
+
+    def classify_trace():
+        return sum(1 for f in routing_trace if tcam.lookup(f) is not None)
+
+    hits = benchmark.pedantic(classify_trace, rounds=3, iterations=1)
+    assert hits > TRACE_LEN // 2
+
+
+def test_all_classifiers_agree(routing_bbra, routing_trace):
+    """Sanity: throughput comparisons are only meaningful if every
+    classifier returns the same decisions."""
+    table = build_lookup_table(routing_bbra)
+    tss = TupleSpaceSearch.from_rule_set(routing_bbra)
+    tcam = Tcam.from_rule_set(routing_bbra)
+    for fields in routing_trace:
+        a = table.lookup(fields)
+        b = tss.lookup(fields)
+        c = tcam.lookup(fields)
+        assert (a is None) == (b is None) == (c is None)
+        if a is not None:
+            assert a.priority == b.priority == c.priority

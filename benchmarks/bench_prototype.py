@@ -1,0 +1,39 @@
+"""Prototype bench — the Section V.A totals (5 Mbit / 2 Mbit MBT / 209).
+
+Benchmarks the full prototype build (4 lookup tables over the worst-case
+filters) and the memory-report computation, asserting the paper-scale
+summary.
+"""
+
+from repro.core.builder import build_prototype
+from repro.experiments.registry import run_experiment
+from repro.memory.cost_model import MemoryModel
+from repro.memory.report import architecture_memory_report
+
+
+def test_prototype_regeneration(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("prototype", write_csv=False), rounds=1, iterations=1
+    )
+    print(result.render())
+    assert 2.0 <= result.headline["total_mbits"] <= 10.0  # paper: 5
+    assert 1.0 <= result.headline["mbt_mbits"] <= 4.0  # paper: 2
+    assert result.headline["largest_lut_entries"] == 209
+    assert result.headline["max_l1_records"] <= 32
+    assert result.headline["max_l1_bits"] <= 1024  # paper: 832 bits
+    assert result.headline["fits_device"] == 1.0
+
+
+def test_build_prototype_architecture(benchmark, mac_gozb, routing_yoza):
+    prototype = benchmark.pedantic(
+        build_prototype, args=(mac_gozb, routing_yoza), rounds=1, iterations=1
+    )
+    assert len(prototype.tables) == 4
+
+
+def test_memory_report_throughput(benchmark, mac_gozb, routing_yoza):
+    prototype = build_prototype(mac_gozb, routing_yoza)
+    report = benchmark(
+        architecture_memory_report, prototype, MemoryModel.FULL_ARRAY
+    )
+    assert report.total_bits > 0

@@ -1,0 +1,45 @@
+"""Table I bench — build cost of each lookup-algorithm category.
+
+Regenerates the paper's Table I comparison (quantified on the bbra MAC
+filter) and benchmarks what the table summarises: how expensive each
+category is to construct for the same rule set.
+"""
+
+from repro.algorithms.tcam import Tcam
+from repro.algorithms.tss import TupleSpaceSearch
+from repro.baselines.hypercuts import HyperCutsTree
+from repro.core.builder import build_lookup_table
+from repro.experiments.registry import run_experiment
+
+
+def test_table1_regeneration(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table1", write_csv=False), rounds=1, iterations=1
+    )
+    print(result.render())
+    assert result.headline["hypercuts_replication"] >= 1.0
+    assert result.headline["tcam_kbits"] > 0
+
+
+def test_build_tcam(benchmark, mac_bbra):
+    tcam = benchmark(Tcam.from_rule_set, mac_bbra)
+    assert len(tcam) == len(mac_bbra)
+
+
+def test_build_tss(benchmark, mac_bbra):
+    tss = benchmark(TupleSpaceSearch.from_rule_set, mac_bbra)
+    assert tss.tuple_count == 1
+
+
+def test_build_hypercuts(benchmark, mac_bbra):
+    tree = benchmark.pedantic(
+        HyperCutsTree, args=(mac_bbra,), kwargs={"binth": 8}, rounds=3, iterations=1
+    )
+    assert tree.stats().rules == len(mac_bbra)
+
+
+def test_build_decomposition(benchmark, mac_bbra):
+    table = benchmark.pedantic(
+        build_lookup_table, args=(mac_bbra,), rounds=3, iterations=1
+    )
+    assert len(table) == len(mac_bbra)

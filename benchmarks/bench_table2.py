@@ -1,0 +1,12 @@
+"""Table II bench — the OXM registry regeneration (trivially fast, kept
+so every paper artifact has a bench target)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_table2_regeneration(benchmark):
+    result = benchmark(run_experiment, "table2", write_csv=False)
+    print(result.render())
+    assert result.headline["match_fields_excluding_metadata"] == 39
+    assert result.headline["common_fields"] == 15
+    assert len(result.tables[0].rows) == 15

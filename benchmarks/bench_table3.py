@@ -1,0 +1,32 @@
+"""Table III bench — the unique-value survey over all 16 MAC filters.
+
+Benchmarks the Section III analysis pipeline itself (the generation of
+the calibrated sets is cached session-wide) and asserts the regenerated
+table matches the paper cell for cell.
+"""
+
+from repro.analysis.survey import mac_survey_table
+from repro.experiments.common import all_filter_names, mac_rule_set
+from repro.experiments.registry import run_experiment
+from repro.filters.paper_data import TABLE3_MAC_STATS
+
+
+def test_table3_regeneration(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table3", write_csv=False), rounds=1, iterations=1
+    )
+    print(result.render())
+    assert result.headline["cell_mismatches_vs_paper"] == 0
+
+
+def test_mac_survey_throughput(benchmark):
+    rule_sets = {name: mac_rule_set(name) for name in all_filter_names()}
+
+    def survey():
+        return mac_survey_table(rule_sets)
+
+    table = benchmark(survey)
+    for row in table.rows:
+        stats = TABLE3_MAC_STATS[str(row[0])]
+        assert int(row[1]) == stats.rules
+        assert int(row[2]) == stats.unique_vlan

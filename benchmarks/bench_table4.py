@@ -1,0 +1,29 @@
+"""Table IV bench — the unique-value survey over all 16 Routing filters,
+including the four >180 k-rule sets."""
+
+from repro.analysis.unique_values import partition_unique_entries
+from repro.experiments.common import routing_rule_set
+from repro.experiments.registry import run_experiment
+from repro.filters.paper_data import TABLE4_ROUTING_STATS
+
+
+def test_table4_regeneration(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table4", write_csv=False), rounds=1, iterations=1
+    )
+    print(result.render())
+    assert result.headline["cell_mismatches_vs_paper"] == 0
+    assert result.headline["outliers_match_paper"] == 1.0
+
+
+def test_partition_analysis_largest_filter(benchmark):
+    """Unique-value analysis over the 184 909-rule coza filter."""
+    rules = routing_rule_set("coza")
+
+    def analyse():
+        return partition_unique_entries(rules, "ipv4_dst")
+
+    unique = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    stats = TABLE4_ROUTING_STATS["coza"]
+    assert len(unique["ipv4_dst/hi"]) == stats.unique_ip_high
+    assert len(unique["ipv4_dst/lo"]) == stats.unique_ip_low

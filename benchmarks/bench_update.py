@@ -1,0 +1,47 @@
+"""Update-path bench — incremental rule install/remove on the live
+architecture, and the cycle-model engine itself."""
+
+from repro.core.builder import build_lookup_table
+from repro.openflow.actions import OutputAction
+from repro.openflow.flow import FlowEntry
+from repro.openflow.instructions import WriteActions
+from repro.openflow.match import ExactMatch, Match
+from repro.update.engine import UpdateEngine
+from repro.update.records import UpdateFile
+
+
+def test_incremental_install_remove(benchmark, mac_bbra):
+    """Install + remove a batch of fresh MAC entries on a built table —
+    the operation a controller performs on every learning event."""
+    table = build_lookup_table(mac_bbra)
+    fresh = [
+        FlowEntry.build(
+            match=Match(
+                {
+                    "vlan_vid": ExactMatch(0x1000 | (i % 4094 + 1), 13),
+                    "eth_dst": ExactMatch(0xF00000000000 | i, 48),
+                }
+            ),
+            priority=1,
+            instructions=[WriteActions([OutputAction(i % 48)])],
+        )
+        for i in range(64)
+    ]
+
+    def churn():
+        for entry in fresh:
+            table.add(entry)
+        for entry in fresh:
+            table.remove(entry.match, entry.priority)
+        return len(table)
+
+    remaining = benchmark(churn)
+    assert remaining == len(mac_bbra)
+
+
+def test_update_engine_cost(benchmark):
+    file = UpdateFile(name="bench", materialize=False)
+    file.count("structure", n=100_000)
+    engine = UpdateEngine()
+    cost = benchmark(engine.cost, file)
+    assert cost.cycles == 200_000

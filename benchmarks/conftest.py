@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark suite.
+
+Heavy inputs (the calibrated filter sets, built tries) are session-scoped
+and cached inside :mod:`repro.experiments.common`, so each benchmark
+measures the operation of interest, not set generation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import common
+from repro.filters.rule import RuleSet
+from repro.packet.generator import PacketGenerator, TraceConfig
+
+
+@pytest.fixture(scope="session")
+def mac_bbra() -> RuleSet:
+    return common.mac_rule_set("bbra")
+
+
+@pytest.fixture(scope="session")
+def mac_gozb() -> RuleSet:
+    return common.mac_rule_set("gozb")
+
+
+@pytest.fixture(scope="session")
+def routing_bbra() -> RuleSet:
+    return common.routing_rule_set("bbra")
+
+
+@pytest.fixture(scope="session")
+def routing_yoza() -> RuleSet:
+    return common.routing_rule_set("yoza")
+
+
+@pytest.fixture(scope="session")
+def trace_generator() -> PacketGenerator:
+    return PacketGenerator(TraceConfig(seed=0xBE7C))

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Embedded-memory capacity planning across all 16 backbone filters.
+
+The paper's core question — how much on-chip memory does the multiple
+table lookup need? — asked as a deployment question: for every router's
+filter pair (MAC learning + Routing), what does the 4-table prototype
+cost in bits and Stratix V M20K blocks, under both trie allocation
+models, and does it fit the device?
+
+Run with::
+
+    python examples/memory_planning.py            # three sample filters
+    python examples/memory_planning.py --all      # all 16 (slow: builds
+                                                  # the >180k-rule sets)
+"""
+
+import sys
+
+from repro.core.builder import build_prototype
+from repro.filters.paper_data import FILTER_NAMES
+from repro.filters.synthetic import mac_set, routing_set
+from repro.memory.cost_model import MemoryModel
+from repro.memory.report import architecture_memory_report
+from repro.util.tables import TextTable
+
+
+def plan(names) -> TextTable:
+    table = TextTable(
+        headers=[
+            "filter",
+            "rules (mac+route)",
+            "sparse Mbits",
+            "full-array Mbits",
+            "MBT Mbits",
+            "M20K blocks",
+            "fits 5SGXMB6R3?",
+        ],
+        title="Prototype memory plan per backbone router",
+    )
+    for name in names:
+        mac = mac_set(name)
+        routing = routing_set(name)
+        architecture = build_prototype(mac, routing)
+        sparse = architecture_memory_report(architecture, MemoryModel.SPARSE)
+        full = architecture_memory_report(architecture, MemoryModel.FULL_ARRAY)
+        block_ram = full.block_ram()
+        table.add_row(
+            [
+                name,
+                f"{len(mac)}+{len(routing)}",
+                round(sparse.total_mbits, 2),
+                round(full.total_mbits, 2),
+                round(full.trie_mbits, 2),
+                block_ram.total_blocks,
+                "yes" if block_ram.fits_device() else "NO",
+            ]
+        )
+    return table
+
+
+def main() -> None:
+    if "--all" in sys.argv:
+        names = FILTER_NAMES
+    else:
+        names = ("bbra", "gozb", "yoza")
+    table = plan(names)
+    print(table.to_markdown())
+    print()
+    print(
+        "note: the paper's quoted prototype (gozb MAC + regular routing) "
+        "totals ~5 Mbit under full-array allocation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — Memory Cost Analysis for OpenFlow Multiple Table Lookup.
+
+A complete, from-scratch reproduction of Guerra Perez, Scott-Hayward,
+Yang & Sezer, IEEE SOCC 2015 (DOI 10.1109/SOCC.2015.7406975): the
+decomposition-based multiple-table lookup architecture, every substrate
+it stands on (OpenFlow v1.3 data model, packet codecs, filter sets,
+single-field search algorithms), the embedded-memory cost model, the
+update-process simulation, and the baselines it is compared against.
+
+Quick start::
+
+    from repro import filters, core, memory
+
+    mac = filters.mac_sets()["bbra"]                 # calibrated rule set
+    table = core.build_lookup_table(mac)             # Fig. 1 architecture
+    entry = table.lookup({"vlan_vid": 0x1401, "eth_dst": 0x0A1B2C3D4E5F})
+    report = memory.table_memory_report(table)       # Section V.A costs
+
+The experiment harness regenerating every table and figure of the paper
+lives in :mod:`repro.experiments` (``python -m repro.experiments``).
+"""
+
+from repro import (
+    algorithms,
+    analysis,
+    baselines,
+    core,
+    filters,
+    memory,
+    openflow,
+    packet,
+    update,
+    util,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "algorithms",
+    "analysis",
+    "baselines",
+    "core",
+    "filters",
+    "memory",
+    "openflow",
+    "packet",
+    "update",
+    "util",
+    "__version__",
+]

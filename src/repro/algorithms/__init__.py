@@ -1,0 +1,48 @@
+"""Single-field search algorithms.
+
+The decomposition architecture (paper Section IV) searches every header
+field with an independent one-dimensional algorithm and combines the
+resulting *labels*:
+
+- :mod:`repro.algorithms.labels` — the label method: one small integer
+  per unique field value (label 0 is reserved for "no match/wildcard").
+- :mod:`repro.algorithms.exact_lut` — hash lookup table for EM fields.
+- :mod:`repro.algorithms.multibit_trie` — the 3-level 16-bit multi-bit
+  trie used for LPM partitions, with controlled prefix expansion, sparse
+  record storage and per-level memory enumeration.
+- :mod:`repro.algorithms.binary_trie` — unibit reference trie (baseline
+  and differential-test oracle for the MBT).
+- :mod:`repro.algorithms.range_lookup` — elementary-interval structure
+  for RM (port) fields.
+- :mod:`repro.algorithms.tcam` / :mod:`repro.algorithms.tss` — the
+  hardware and hashing baselines of the paper's Table I.
+"""
+
+from repro.algorithms.base import (
+    NO_LABEL,
+    FieldSearchAlgorithm,
+    StructureSize,
+)
+from repro.algorithms.binary_trie import BinaryTrie
+from repro.algorithms.exact_lut import ExactMatchLut
+from repro.algorithms.labels import LabelAllocator
+from repro.algorithms.multibit_trie import MultibitTrie, TrieLevelStats
+from repro.algorithms.range_lookup import RangeLookup
+from repro.algorithms.tcam import Tcam, TcamEntry, range_to_prefixes
+from repro.algorithms.tss import TupleSpaceSearch
+
+__all__ = [
+    "BinaryTrie",
+    "ExactMatchLut",
+    "FieldSearchAlgorithm",
+    "LabelAllocator",
+    "MultibitTrie",
+    "NO_LABEL",
+    "RangeLookup",
+    "StructureSize",
+    "Tcam",
+    "TcamEntry",
+    "TrieLevelStats",
+    "TupleSpaceSearch",
+    "range_to_prefixes",
+]

@@ -1,0 +1,48 @@
+"""Common interface of single-field search structures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The reserved label meaning "no stored entry matched" — equivalently the
+#: wildcard label a rule gets for a partition it leaves unconstrained.
+NO_LABEL = 0
+
+
+@dataclass(frozen=True)
+class StructureSize:
+    """Storage accounting for one search structure.
+
+    ``entries`` counts stored records/slots; ``bits`` is the raw memory
+    footprint under the active cost model.  The memory package refines
+    this to per-level granularity for tries.
+    """
+
+    entries: int
+    bits: int
+
+
+class FieldSearchAlgorithm:
+    """A one-dimensional search structure mapping field values to labels.
+
+    Implementations store ``(key, label)`` associations where the key kind
+    depends on the structure (exact value, prefix, range) and ``lookup``
+    returns the label of the best match — plus, via
+    :meth:`lookup_all`, every matching label, which the index calculation
+    needs for correct decomposition (see :mod:`repro.core.index`).
+    """
+
+    #: width in bits of the keys this structure searches.
+    key_bits: int
+
+    def lookup(self, value: int) -> int:
+        """Label of the most specific match for ``value`` (NO_LABEL if none)."""
+        raise NotImplementedError
+
+    def lookup_all(self, value: int) -> tuple[int, ...]:
+        """All matching labels, most specific first (empty if none)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        """Number of stored (unique) entries."""
+        raise NotImplementedError

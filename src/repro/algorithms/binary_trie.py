@@ -1,0 +1,105 @@
+"""Unibit (binary) trie.
+
+The one-bit-per-level reference structure for longest-prefix matching.
+It plays two roles in the reproduction:
+
+1. **Oracle** — its lookup semantics are obviously correct, so the
+   multi-bit trie is differential-tested against it;
+2. **Baseline** — node counts per level let the ablation benches show
+   what multi-bit strides buy (fewer memory accesses for more storage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algorithms.base import NO_LABEL, FieldSearchAlgorithm
+from repro.util.bits import mask_of
+
+
+@dataclass
+class _Node:
+    label: int = NO_LABEL
+    prefix_len: int = -1  # length of the prefix whose label is stored here
+    children: list["_Node | None"] = field(default_factory=lambda: [None, None])
+
+
+class BinaryTrie(FieldSearchAlgorithm):
+    """Prefix -> label unibit trie over ``key_bits``-wide keys."""
+
+    def __init__(self, key_bits: int):
+        if key_bits <= 0:
+            raise ValueError("key_bits must be positive")
+        self.key_bits = key_bits
+        self._root = _Node()
+        self._entry_count = 0
+
+    def insert(self, value: int, length: int, label: int) -> None:
+        """Store prefix ``value/length`` with ``label``.
+
+        Re-inserting an existing prefix with the same label is a no-op;
+        with a different label it is an error (labels identify unique
+        values, so one prefix has exactly one label).
+        """
+        if not 0 <= length <= self.key_bits:
+            raise ValueError(f"prefix length {length} outside [0, {self.key_bits}]")
+        if not 0 <= value <= mask_of(self.key_bits):
+            raise ValueError(f"value {value:#x} wider than {self.key_bits} bits")
+        if label == NO_LABEL:
+            raise ValueError("cannot insert the reserved NO_LABEL")
+        node = self._root
+        for depth in range(length):
+            bit = (value >> (self.key_bits - 1 - depth)) & 1
+            if node.children[bit] is None:
+                node.children[bit] = _Node()
+            node = node.children[bit]  # type: ignore[assignment]
+        if node.label != NO_LABEL:
+            if node.label != label:
+                raise ValueError(
+                    f"prefix {value:#x}/{length} already has label {node.label}"
+                )
+            return
+        node.label = label
+        node.prefix_len = length
+        self._entry_count += 1
+
+    def lookup(self, value: int) -> int:
+        return (self.lookup_all(value) or (NO_LABEL,))[0]
+
+    def lookup_all(self, value: int) -> tuple[int, ...]:
+        """Labels of every stored prefix covering ``value``, longest first."""
+        labels: list[int] = []
+        node = self._root
+        if node.label != NO_LABEL:
+            labels.append(node.label)
+        for depth in range(self.key_bits):
+            bit = (value >> (self.key_bits - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            if node.label != NO_LABEL:
+                labels.append(node.label)
+        return tuple(reversed(labels))
+
+    def __len__(self) -> int:
+        return self._entry_count
+
+    def node_count(self) -> int:
+        """Total allocated trie nodes (including pure path nodes)."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(c for c in node.children if c is not None)
+        return count
+
+    def nodes_per_depth(self) -> list[int]:
+        """Node counts indexed by depth (0 = root)."""
+        counts: list[int] = []
+        layer = [self._root]
+        while layer:
+            counts.append(len(layer))
+            layer = [c for n in layer for c in n.children if c is not None]
+        return counts

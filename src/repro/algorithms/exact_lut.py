@@ -1,0 +1,75 @@
+"""Hash-based exact-match lookup table (EM fields).
+
+The paper handles exact-matching fields (VLAN ID, ingress port, ...) with
+"a simple hash-based Lookup table (LUT)" — Section IV.B.  Tables III/IV
+show these fields have very few unique values (at most 209, the gozb VLAN
+IDs), so a LUT storing one ``(value, label)`` slot per unique value is
+tiny.
+
+The memory model mirrors that: ``slot_bits = key_bits + label_bits``, one
+slot per stored value, plus a configurable hash-occupancy factor (real
+hash tables cannot run at 100 % load; the default 0.75 matches a
+conventional open-addressing dimensioning).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.algorithms.base import NO_LABEL, FieldSearchAlgorithm, StructureSize
+from repro.util.bits import bits_needed, mask_of
+
+
+class ExactMatchLut(FieldSearchAlgorithm):
+    """Exact-value -> label lookup table."""
+
+    def __init__(self, key_bits: int, occupancy: float = 0.75):
+        if key_bits <= 0:
+            raise ValueError("key_bits must be positive")
+        if not 0.0 < occupancy <= 1.0:
+            raise ValueError(f"occupancy {occupancy} outside (0, 1]")
+        self.key_bits = key_bits
+        self.occupancy = occupancy
+        self._slots: dict[int, int] = {}
+
+    def insert(self, value: int, label: int) -> None:
+        """Associate ``value`` with ``label`` (idempotent per value)."""
+        if not 0 <= value <= mask_of(self.key_bits):
+            raise ValueError(
+                f"value {value:#x} does not fit in {self.key_bits} bits"
+            )
+        if label == NO_LABEL:
+            raise ValueError("cannot insert the reserved NO_LABEL")
+        existing = self._slots.get(value)
+        if existing is not None and existing != label:
+            raise ValueError(
+                f"value {value:#x} already stored with label {existing}"
+            )
+        self._slots[value] = label
+
+    def remove(self, value: int) -> bool:
+        """Delete a stored value; True if it was present."""
+        return self._slots.pop(value, None) is not None
+
+    def lookup(self, value: int) -> int:
+        return self._slots.get(value, NO_LABEL)
+
+    def lookup_all(self, value: int) -> tuple[int, ...]:
+        label = self.lookup(value)
+        return (label,) if label != NO_LABEL else ()
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    @property
+    def label_bits(self) -> int:
+        return bits_needed(len(self._slots) + 1)
+
+    def size(self, label_bits: int | None = None) -> StructureSize:
+        """Memory footprint: provisioned slots x (key + label) bits."""
+        label_width = self.label_bits if label_bits is None else label_bits
+        slots = math.ceil(len(self._slots) / self.occupancy) if self._slots else 0
+        return StructureSize(
+            entries=len(self._slots),
+            bits=slots * (self.key_bits + label_width),
+        )

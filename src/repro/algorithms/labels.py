@@ -1,0 +1,78 @@
+"""The label method (paper Section IV.B, after DCFL).
+
+Filter fields repeat values heavily (Tables III/IV), so each *unique*
+field value is stored once in its search structure and identified by a
+small integer **label**.  Rules are then represented by tuples of labels,
+which is what makes the index calculation (and the action-table
+addressing) compact.
+
+Label 0 (:data:`~repro.algorithms.base.NO_LABEL`) is reserved for "no
+match", which doubles as the wildcard label: a rule that leaves a field
+unconstrained carries label 0 for it, and a packet whose lookup misses
+the structure also produces label 0 — the two meet in the index table.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterator, Mapping, TypeVar
+
+from repro.algorithms.base import NO_LABEL
+from repro.util.bits import bits_needed
+
+K = TypeVar("K", bound=Hashable)
+
+
+class LabelAllocator(Generic[K]):
+    """Assigns consecutive integer labels (from 1) to unique keys.
+
+    >>> alloc = LabelAllocator()
+    >>> alloc.label_for((0x0A00, 8))
+    1
+    >>> alloc.label_for((0x0B00, 8))
+    2
+    >>> alloc.label_for((0x0A00, 8))  # repeated value: same label
+    1
+    """
+
+    def __init__(self) -> None:
+        self._labels: dict[K, int] = {}
+        self._keys: list[K] = []
+
+    def label_for(self, key: K) -> int:
+        """Return the key's label, allocating one on first sight."""
+        existing = self._labels.get(key)
+        if existing is not None:
+            return existing
+        label = len(self._keys) + 1
+        self._labels[key] = label
+        self._keys.append(key)
+        return label
+
+    def get(self, key: K) -> int:
+        """Return the key's label, or NO_LABEL if never allocated."""
+        return self._labels.get(key, NO_LABEL)
+
+    def key_of(self, label: int) -> K:
+        """Inverse mapping (labels are 1-based)."""
+        if not 1 <= label <= len(self._keys):
+            raise KeyError(f"label {label} was never allocated")
+        return self._keys[label - 1]
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._labels
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._keys)
+
+    @property
+    def mapping(self) -> Mapping[K, int]:
+        """Read-only view of key -> label."""
+        return dict(self._labels)
+
+    @property
+    def label_bits(self) -> int:
+        """Bits needed to encode any allocated label plus NO_LABEL."""
+        return bits_needed(len(self._keys) + 1)

@@ -1,0 +1,123 @@
+"""Range-match lookup (RM fields — the transport ports of Table II).
+
+Ranges do not decompose into prefixes without expansion cost, so the
+architecture searches them with an elementary-interval structure: the
+stored ranges' endpoints cut the value axis into disjoint elementary
+intervals, each annotated with the labels of every range covering it.
+A lookup is one binary search — constant memory accesses, as the parallel
+single-field engines require.
+
+The structure is built lazily: inserts/removals invalidate a cached
+interval table which is rebuilt on the next lookup (updates in rule sets
+arrive in batches, so amortised rebuilds model the update process well).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.algorithms.base import NO_LABEL, FieldSearchAlgorithm, StructureSize
+from repro.util.bits import bits_needed, mask_of
+
+
+class RangeLookup(FieldSearchAlgorithm):
+    """Inclusive-range -> label structure with stabbing queries."""
+
+    def __init__(self, key_bits: int):
+        if key_bits <= 0:
+            raise ValueError("key_bits must be positive")
+        self.key_bits = key_bits
+        self._ranges: dict[tuple[int, int], int] = {}
+        self._bounds: list[int] | None = None
+        self._interval_labels: list[tuple[int, ...]] | None = None
+
+    def insert(self, low: int, high: int, label: int) -> None:
+        """Store range ``[low, high]`` with ``label`` (idempotent)."""
+        if not 0 <= low <= high <= mask_of(self.key_bits):
+            raise ValueError(
+                f"range [{low}, {high}] invalid for {self.key_bits} bits"
+            )
+        if label == NO_LABEL:
+            raise ValueError("cannot insert the reserved NO_LABEL")
+        existing = self._ranges.get((low, high))
+        if existing is not None and existing != label:
+            raise ValueError(
+                f"range [{low}, {high}] already has label {existing}"
+            )
+        self._ranges[(low, high)] = label
+        self._invalidate()
+
+    def remove(self, low: int, high: int) -> bool:
+        """Delete a stored range; True if present."""
+        removed = self._ranges.pop((low, high), None) is not None
+        if removed:
+            self._invalidate()
+        return removed
+
+    def lookup(self, value: int) -> int:
+        """Label of the narrowest stored range containing ``value``.
+
+        The paper's RM definition: "the narrowest range is selected from
+        all the ranges of the filter that match" (Section III.A).
+        """
+        labels = self.lookup_all(value)
+        return labels[0] if labels else NO_LABEL
+
+    def lookup_all(self, value: int) -> tuple[int, ...]:
+        """Labels of all containing ranges, narrowest first."""
+        if not 0 <= value <= mask_of(self.key_bits):
+            raise ValueError(f"key {value} wider than {self.key_bits} bits")
+        self._ensure_built()
+        assert self._bounds is not None and self._interval_labels is not None
+        if not self._bounds:
+            return ()
+        index = bisect.bisect_right(self._bounds, value) - 1
+        if index < 0:
+            return ()
+        return self._interval_labels[index]
+
+    def __len__(self) -> int:
+        return len(self._ranges)
+
+    def size(self, label_bits: int | None = None) -> StructureSize:
+        """Memory: one boundary + label list slot per elementary interval."""
+        self._ensure_built()
+        assert self._bounds is not None and self._interval_labels is not None
+        label_width = (
+            bits_needed(len(self._ranges) + 1) if label_bits is None else label_bits
+        )
+        slot_bits = sum(
+            self.key_bits + max(1, len(labels)) * label_width
+            for labels in self._interval_labels
+        )
+        return StructureSize(entries=len(self._ranges), bits=slot_bits)
+
+    def _invalidate(self) -> None:
+        self._bounds = None
+        self._interval_labels = None
+
+    def _ensure_built(self) -> None:
+        if self._bounds is not None:
+            return
+        if not self._ranges:
+            self._bounds, self._interval_labels = [], []
+            return
+        cuts: set[int] = set()
+        for low, high in self._ranges:
+            cuts.add(low)
+            cuts.add(high + 1)
+        bounds = sorted(cuts)
+        if bounds[-1] > mask_of(self.key_bits):
+            bounds.pop()
+        intervals: list[tuple[int, ...]] = []
+        # Sort by width so each elementary interval lists narrowest first.
+        by_width = sorted(
+            self._ranges.items(), key=lambda item: item[0][1] - item[0][0]
+        )
+        for start in bounds:
+            covering = tuple(
+                label for (low, high), label in by_width if low <= start <= high
+            )
+            intervals.append(covering)
+        self._bounds = bounds
+        self._interval_labels = intervals

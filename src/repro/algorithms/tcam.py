@@ -1,0 +1,167 @@
+"""Behavioural TCAM model (the hardware baseline of Table I).
+
+A Ternary CAM stores (value, care-mask) words and returns the first
+matching entry by physical order — very fast lookup, but every ternary
+bit costs roughly twice an SRAM bit, ranges must be expanded into
+prefixes, and rule updates may shift entries.  The model quantifies all
+three so the benchmarks can put numbers on the paper's qualitative
+comparison ("Memory Limitation / Poor Flexibility").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.algorithms.base import StructureSize
+from repro.filters.rule import Rule, RuleSet
+from repro.openflow.fields import REGISTRY
+from repro.openflow.match import (
+    ExactMatch,
+    FieldMatch,
+    MaskedMatch,
+    PrefixMatch,
+    RangeMatch,
+    WildcardMatch,
+)
+from repro.util.bits import mask_of, prefix_mask
+
+#: SRAM-equivalent cost of one ternary bit (a TCAM cell holds value+mask).
+TCAM_CELL_FACTOR = 2
+
+
+def range_to_prefixes(low: int, high: int, bits: int) -> list[tuple[int, int]]:
+    """Minimal prefix cover of the inclusive range ``[low, high]``.
+
+    The classic split used when loading ranges into TCAM; a w-bit range
+    needs at most ``2w - 2`` prefixes.  Returned prefixes are canonical
+    ``(value, length)`` pairs in ascending value order.
+
+    >>> range_to_prefixes(1, 6, 4)
+    [(1, 4), (2, 3), (4, 3), (6, 4)]
+    """
+    if not 0 <= low <= high <= mask_of(bits):
+        raise ValueError(f"range [{low}, {high}] invalid for {bits} bits")
+    prefixes: list[tuple[int, int]] = []
+    cursor = low
+    while cursor <= high:
+        alignment = cursor & -cursor if cursor else 1 << bits
+        remaining = high - cursor + 1
+        largest_fit = 1 << (remaining.bit_length() - 1)
+        size = min(alignment, largest_fit)
+        length = bits - (size.bit_length() - 1)
+        prefixes.append((cursor, length))
+        cursor += size
+    return prefixes
+
+
+@dataclass(frozen=True)
+class TcamEntry:
+    """One ternary word: ``(packet & mask) == value`` matches."""
+
+    value: int
+    mask: int
+    rule_index: int
+
+    def matches(self, key: int) -> bool:
+        return (key & self.mask) == self.value
+
+
+def _ternary_forms(predicate: FieldMatch, bits: int) -> list[tuple[int, int]]:
+    """All (value, mask) ternary encodings of one field predicate."""
+    if isinstance(predicate, WildcardMatch):
+        return [(0, 0)]
+    if isinstance(predicate, ExactMatch):
+        return [(predicate.value, mask_of(bits))]
+    if isinstance(predicate, PrefixMatch):
+        mask = prefix_mask(predicate.length, bits)
+        return [(predicate.value & mask, mask)]
+    if isinstance(predicate, MaskedMatch):
+        return [(predicate.value, predicate.mask)]
+    if isinstance(predicate, RangeMatch):
+        return [
+            (value, prefix_mask(length, bits))
+            for value, length in range_to_prefixes(predicate.low, predicate.high, bits)
+        ]
+    raise TypeError(f"unsupported predicate {type(predicate).__name__}")
+
+
+class Tcam:
+    """A priority-ordered TCAM over the concatenation of a field schema."""
+
+    def __init__(self, field_names: Iterable[str]):
+        self.field_names = tuple(field_names)
+        self.field_bits = {name: REGISTRY[name].bits for name in self.field_names}
+        self.word_bits = sum(self.field_bits.values())
+        self._entries: list[TcamEntry] = []
+        self._rules: list[Rule] = []
+
+    @classmethod
+    def from_rule_set(cls, rule_set: RuleSet) -> "Tcam":
+        """Load a rule set, highest priority first (= physical order)."""
+        tcam = cls(rule_set.field_names)
+        for rule in sorted(rule_set, key=lambda r: -r.priority):
+            tcam.add_rule(rule)
+        return tcam
+
+    def add_rule(self, rule: Rule) -> int:
+        """Append a rule after any already-stored (higher-priority) rules.
+
+        Returns the number of TCAM words the rule occupies — the
+        cross-product of its per-field range-to-prefix expansions.
+        """
+        rule_index = len(self._rules)
+        self._rules.append(rule)
+        words: list[tuple[int, int]] = [(0, 0)]
+        for name in self.field_names:
+            bits = self.field_bits[name]
+            forms = _ternary_forms(rule.predicate(name, bits), bits)
+            words = [
+                ((value << bits) | form_value, (mask << bits) | form_mask)
+                for value, mask in words
+                for form_value, form_mask in forms
+            ]
+        for value, mask in words:
+            self._entries.append(
+                TcamEntry(value=value, mask=mask, rule_index=rule_index)
+            )
+        return len(words)
+
+    def _concat_key(self, packet_fields: Mapping[str, int]) -> int | None:
+        key = 0
+        for name in self.field_names:
+            value = packet_fields.get(name)
+            if value is None:
+                return None
+            key = (key << self.field_bits[name]) | value
+        return key
+
+    def lookup(self, packet_fields: Mapping[str, int]) -> Rule | None:
+        """First-matching-entry semantics (physical order = priority)."""
+        key = self._concat_key(packet_fields)
+        if key is None:
+            return None
+        for entry in self._entries:
+            if entry.matches(key):
+                return self._rules[entry.rule_index]
+        return None
+
+    def __len__(self) -> int:
+        """Number of occupied TCAM words (after range expansion)."""
+        return len(self._entries)
+
+    @property
+    def rule_count(self) -> int:
+        return len(self._rules)
+
+    @property
+    def expansion_factor(self) -> float:
+        """TCAM words per rule (1.0 when no range expansion occurred)."""
+        return len(self._entries) / len(self._rules) if self._rules else 0.0
+
+    def size(self) -> StructureSize:
+        """SRAM-equivalent bits: words x word width x the TCAM cell factor."""
+        return StructureSize(
+            entries=len(self._entries),
+            bits=len(self._entries) * self.word_bits * TCAM_CELL_FACTOR,
+        )

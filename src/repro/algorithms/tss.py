@@ -1,0 +1,132 @@
+"""Tuple Space Search (the hashing-based baseline of Table I).
+
+TSS (Srinivasan et al., SIGCOMM'99 — the paper's reference [12]) groups
+rules by their *tuple*: the vector of prefix lengths they use per field.
+All rules of one tuple can live in a single hash table keyed by the
+masked field concatenation, so lookup probes one hash table per occupied
+tuple.  Fast when few tuples exist; memory and probe count explode as
+tuple diversity grows — the trade-off Table I summarises as "Fast Lookup
+/ Collision issue, Memory explosion".
+
+Range predicates are loaded via range-to-prefix expansion, the standard
+trick (each expanded prefix becomes a separate tuple member).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.algorithms.base import StructureSize
+from repro.algorithms.tcam import range_to_prefixes
+from repro.filters.rule import Rule, RuleSet
+from repro.openflow.fields import REGISTRY
+from repro.openflow.match import (
+    ExactMatch,
+    FieldMatch,
+    PrefixMatch,
+    RangeMatch,
+    WildcardMatch,
+)
+from repro.util.bits import prefix_mask
+
+
+def _prefix_forms(predicate: FieldMatch, bits: int) -> list[tuple[int, int]]:
+    """Express one predicate as canonical prefixes (range-expanded)."""
+    if isinstance(predicate, WildcardMatch):
+        return [(0, 0)]
+    if isinstance(predicate, ExactMatch):
+        return [(predicate.value, bits)]
+    if isinstance(predicate, PrefixMatch):
+        return [(predicate.value, predicate.length)]
+    if isinstance(predicate, RangeMatch):
+        # range_to_prefixes yields canonical (aligned) prefix values.
+        return range_to_prefixes(predicate.low, predicate.high, bits)
+    raise TypeError(f"unsupported predicate {type(predicate).__name__}")
+
+
+class TupleSpaceSearch:
+    """Tuple Space Search classifier over a fixed field schema."""
+
+    def __init__(self, field_names: tuple[str, ...]):
+        self.field_names = field_names
+        self.field_bits = tuple(REGISTRY[name].bits for name in field_names)
+        #: tuple (lengths vector) -> hash table: masked key -> best rule
+        self._tables: dict[tuple[int, ...], dict[tuple[int, ...], Rule]] = {}
+        self._rule_count = 0
+        self._entry_count = 0
+
+    @classmethod
+    def from_rule_set(cls, rule_set: RuleSet) -> "TupleSpaceSearch":
+        tss = cls(tuple(rule_set.field_names))
+        for rule in rule_set:
+            tss.add_rule(rule)
+        return tss
+
+    def add_rule(self, rule: Rule) -> int:
+        """Insert a rule; returns the number of hash entries created."""
+        self._rule_count += 1
+        created = 0
+        # Cross-product of per-field prefix forms (ranges may expand).
+        combos: list[tuple[tuple[int, ...], tuple[int, ...]]] = [((), ())]
+        for name, bits in zip(self.field_names, self.field_bits):
+            forms = _prefix_forms(rule.predicate(name, bits), bits)
+            combos = [
+                (lengths + (length,), values + (value,))
+                for lengths, values in combos
+                for value, length in forms
+            ]
+        for lengths, values in combos:
+            table = self._tables.setdefault(lengths, {})
+            existing = table.get(values)
+            # Keep only the best rule per masked key: the higher priority
+            # wins, which preserves lookup semantics with fewer entries.
+            if existing is None or rule.priority > existing.priority:
+                if existing is None:
+                    created += 1
+                    self._entry_count += 1
+                table[values] = rule
+        return created
+
+    def lookup(self, packet_fields: Mapping[str, int]) -> Rule | None:
+        """Probe every occupied tuple; return the best-priority hit."""
+        best: Rule | None = None
+        for lengths, table in self._tables.items():
+            key = []
+            for name, bits, length in zip(
+                self.field_names, self.field_bits, lengths
+            ):
+                value = packet_fields.get(name)
+                if value is None:
+                    break
+                key.append(value & prefix_mask(length, bits))
+            else:
+                rule = table.get(tuple(key))
+                if rule is not None and (best is None or rule.priority > best.priority):
+                    best = rule
+        return best
+
+    @property
+    def tuple_count(self) -> int:
+        """Occupied tuples = hash probes per lookup."""
+        return len(self._tables)
+
+    @property
+    def entry_count(self) -> int:
+        return self._entry_count
+
+    def __len__(self) -> int:
+        return self._rule_count
+
+    def size(self, occupancy: float = 0.75) -> StructureSize:
+        """Memory: provisioned hash slots x (masked key + pointer) bits."""
+        import math
+
+        key_bits = sum(self.field_bits)
+        pointer_bits = 32
+        slots = sum(
+            math.ceil(len(table) / occupancy) for table in self._tables.values()
+        )
+        return StructureSize(
+            entries=self._entry_count,
+            bits=slots * (key_bits + pointer_bits),
+        )

@@ -1,0 +1,42 @@
+"""Filter analysis (paper Section III).
+
+The analysis pipeline recovers the paper's Tables III and IV from rule
+sets: for every field it counts the *unique values* stored by the lookup
+structure responsible for that field — whole values for exact-match (EM)
+fields, distinct ``(value, prefix length)`` entries per 16-bit partition
+for prefix (LPM) fields.  The repetition statistics derived from the same
+counts quantify what the label method saves (Section IV.B).
+"""
+
+from repro.analysis.unique_values import (
+    FieldUniqueValues,
+    exact_values,
+    partition_unique_entries,
+    unique_value_survey,
+)
+from repro.analysis.prefixes import (
+    PartitionLengthProfile,
+    expansion_summary,
+    prefix_length_profile,
+)
+from repro.analysis.replication import (
+    FieldRepetition,
+    repetition_survey,
+    total_repetition,
+)
+from repro.analysis.survey import mac_survey_table, routing_survey_table
+
+__all__ = [
+    "FieldRepetition",
+    "PartitionLengthProfile",
+    "expansion_summary",
+    "prefix_length_profile",
+    "FieldUniqueValues",
+    "exact_values",
+    "mac_survey_table",
+    "partition_unique_entries",
+    "repetition_survey",
+    "routing_survey_table",
+    "total_repetition",
+    "unique_value_survey",
+]

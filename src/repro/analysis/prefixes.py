@@ -1,0 +1,93 @@
+"""Prefix-length distribution analysis.
+
+The cost of controlled prefix expansion — and therefore the per-level
+trie sizes in Figs. 2-4 — is governed by where prefix lengths fall
+relative to the stride boundaries: a length just past a boundary expands
+into nearly a full stride's worth of records.  This module summarises a
+rule set's per-partition length distribution and the implied expansion
+cost, used by the ablation discussion and available to library users for
+capacity estimation without building tries.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.analysis.unique_values import partition_unique_entries
+from repro.filters.rule import RuleSet
+from repro.openflow.fields import REGISTRY
+
+
+@dataclass(frozen=True)
+class PartitionLengthProfile:
+    """Unique-entry length histogram of one partition."""
+
+    partition: str
+    length_counts: dict[int, int]  # prefix length -> unique entries
+
+    @property
+    def total_entries(self) -> int:
+        return sum(self.length_counts.values())
+
+    def expansion_records(self, strides: tuple[int, ...]) -> int:
+        """Expanded records these entries occupy at their levels.
+
+        For each unique entry of length L, controlled prefix expansion
+        writes ``2^(boundary - L)`` records where *boundary* is the first
+        cumulative stride >= L.  Path records at upper levels are shared
+        and therefore not attributable per entry; this is the expansion
+        floor, exact for the level the entry lands on.
+        """
+        boundaries = [sum(strides[: i + 1]) for i in range(len(strides))]
+        total = 0
+        for length, count in self.length_counts.items():
+            if length == 0:
+                continue
+            boundary = next(b for b in boundaries if length <= b)
+            total += count * (1 << (boundary - length))
+        return total
+
+    def mean_length(self) -> float:
+        if not self.total_entries:
+            return 0.0
+        return (
+            sum(length * count for length, count in self.length_counts.items())
+            / self.total_entries
+        )
+
+
+def prefix_length_profile(
+    rule_set: RuleSet, field_name: str, part_bits: int = 16
+) -> dict[str, PartitionLengthProfile]:
+    """Per-partition length histograms for one LPM field of a rule set."""
+    if REGISTRY[field_name].method.value != "LPM":
+        raise ValueError(f"{field_name} is not a prefix-match field")
+    profiles: dict[str, PartitionLengthProfile] = {}
+    for partition, entries in partition_unique_entries(
+        rule_set, field_name, part_bits
+    ).items():
+        counts: Counter[int] = Counter(length for _, length in entries)
+        profiles[partition] = PartitionLengthProfile(
+            partition=partition, length_counts=dict(counts)
+        )
+    return profiles
+
+
+def expansion_summary(
+    rule_set: RuleSet,
+    field_name: str,
+    strides: tuple[int, ...],
+    part_bits: int = 16,
+) -> dict[str, tuple[int, int]]:
+    """Per-partition ``(unique entries, expanded records)`` summary.
+
+    The ratio of the two is the average expansion factor the stride
+    distribution imposes on this rule set's value population.
+    """
+    return {
+        partition: (profile.total_entries, profile.expansion_records(strides))
+        for partition, profile in prefix_length_profile(
+            rule_set, field_name, part_bits
+        ).items()
+    }

@@ -1,0 +1,115 @@
+"""Field-repetition analysis (what the label method exploits).
+
+The paper's Section IV.B observation: filter sets repeat field values
+heavily, so storing each *unique* value once (labelled) instead of once
+per rule avoids rule replication.  This module quantifies that repetition
+— entries with and without de-duplication — which feeds both the label
+ablation experiment and the update-cost model (Fig. 5 compares update
+streams with and without the label method).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.unique_values import (
+    exact_values,
+    partition_unique_entries,
+)
+from repro.filters.partitions import partition_entries, partition_scheme
+from repro.filters.rule import RuleSet
+from repro.openflow.fields import REGISTRY, MatchMethod
+from repro.openflow.match import RangeMatch, WildcardMatch
+
+
+@dataclass(frozen=True)
+class FieldRepetition:
+    """Repetition statistics for one stored structure (field or partition).
+
+    ``total_entries`` counts one entry per rule whose predicate constrains
+    this structure (the storage an unlabelled implementation writes);
+    ``unique_entries`` counts distinct values (what the label method
+    writes).
+    """
+
+    structure: str
+    total_entries: int
+    unique_entries: int
+
+    @property
+    def repetition_factor(self) -> float:
+        """Average copies per unique value (>= 1 whenever non-empty)."""
+        if self.unique_entries == 0:
+            return 0.0
+        return self.total_entries / self.unique_entries
+
+    @property
+    def saving_fraction(self) -> float:
+        """Fraction of stored entries the label method eliminates."""
+        if self.total_entries == 0:
+            return 0.0
+        return 1.0 - self.unique_entries / self.total_entries
+
+
+def repetition_survey(rule_set: RuleSet, part_bits: int = 16) -> list[FieldRepetition]:
+    """Per-structure repetition statistics for a rule set."""
+    results: list[FieldRepetition] = []
+    for field_name in rule_set.field_names:
+        method = REGISTRY[field_name].method
+        if method is MatchMethod.PREFIX:
+            scheme = partition_scheme(field_name, REGISTRY[field_name].bits, part_bits)
+            totals = {p.name: 0 for p in scheme}
+            for rule in rule_set:
+                predicate = rule.fields.get(field_name)
+                if predicate is None or isinstance(predicate, WildcardMatch):
+                    continue
+                for part, entry in zip(scheme, partition_entries(predicate, scheme)):
+                    if entry is not None:
+                        totals[part.name] += 1
+            uniques = partition_unique_entries(rule_set, field_name, part_bits)
+            for part in scheme:
+                results.append(
+                    FieldRepetition(
+                        structure=part.name,
+                        total_entries=totals[part.name],
+                        unique_entries=len(uniques[part.name]),
+                    )
+                )
+        elif method is MatchMethod.EXACT:
+            constrained = [
+                rule
+                for rule in rule_set
+                if rule.fields.get(field_name) is not None
+                and not isinstance(rule.fields[field_name], WildcardMatch)
+            ]
+            results.append(
+                FieldRepetition(
+                    structure=field_name,
+                    total_entries=len(constrained),
+                    unique_entries=len(exact_values(rule_set, field_name)),
+                )
+            )
+        else:
+            ranges = [
+                p
+                for p in rule_set.field_predicates(field_name)
+                if isinstance(p, RangeMatch) and not p.is_full
+            ]
+            results.append(
+                FieldRepetition(
+                    structure=field_name,
+                    total_entries=len(ranges),
+                    unique_entries=len({(p.low, p.high) for p in ranges}),
+                )
+            )
+    return results
+
+
+def total_repetition(rule_set: RuleSet, part_bits: int = 16) -> FieldRepetition:
+    """Aggregate repetition over every structure of a rule set."""
+    parts = repetition_survey(rule_set, part_bits)
+    return FieldRepetition(
+        structure=rule_set.name,
+        total_entries=sum(p.total_entries for p in parts),
+        unique_entries=sum(p.unique_entries for p in parts),
+    )

@@ -1,0 +1,122 @@
+"""Unique-field-value analysis (the survey behind Tables III and IV).
+
+For each rule-set field the analysis asks: *how many distinct entries must
+the lookup structure for this field store?*
+
+- **EM fields** (VLAN ID, ingress port, ...) are served by a hash LUT, so
+  the answer is the number of distinct exact values.
+- **LPM fields** (Ethernet/IP addresses) are split into 16-bit partitions,
+  each served by a multi-bit trie; the answer per partition is the number
+  of distinct ``(value, prefix length)`` entries, because that is what the
+  label method stores once each.
+
+Wildcarded components contribute nothing — they are represented by the
+implicit "no match" label, not by a stored entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.filters.partitions import (
+    FieldPartition,
+    partition_entries,
+    partition_scheme,
+)
+from repro.filters.rule import RuleSet
+from repro.openflow.fields import REGISTRY, MatchMethod
+from repro.openflow.match import ExactMatch, PrefixMatch, WildcardMatch
+
+
+@dataclass(frozen=True)
+class FieldUniqueValues:
+    """Unique-entry counts for one field of a rule set.
+
+    ``per_partition`` maps partition name (e.g. ``eth_dst/mid``) to the
+    number of distinct stored entries; EM fields have a single pseudo
+    partition named after the field itself.
+    """
+
+    field_name: str
+    method: MatchMethod
+    per_partition: dict[str, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.per_partition.values())
+
+
+def exact_values(rule_set: RuleSet, field_name: str) -> set[int]:
+    """Distinct exact values a rule set uses for an EM field."""
+    values: set[int] = set()
+    for rule in rule_set:
+        predicate = rule.fields.get(field_name)
+        if predicate is None or isinstance(predicate, WildcardMatch):
+            continue
+        if isinstance(predicate, ExactMatch):
+            values.add(predicate.value)
+        elif isinstance(predicate, PrefixMatch) and predicate.length == predicate.bits:
+            values.add(predicate.value)
+        else:
+            raise TypeError(
+                f"field {field_name!r} is exact-match but rule carries "
+                f"{type(predicate).__name__}"
+            )
+    return values
+
+
+def partition_unique_entries(
+    rule_set: RuleSet,
+    field_name: str,
+    part_bits: int = 16,
+) -> dict[str, set[tuple[int, int]]]:
+    """Distinct stored entries per 16-bit partition of an LPM field.
+
+    Returns a mapping from partition name to the set of distinct
+    ``(value, prefix length)`` entries that partition's trie stores.
+    """
+    bits = REGISTRY[field_name].bits
+    scheme: tuple[FieldPartition, ...] = partition_scheme(field_name, bits, part_bits)
+    unique: dict[str, set[tuple[int, int]]] = {p.name: set() for p in scheme}
+    for rule in rule_set:
+        predicate = rule.fields.get(field_name)
+        if predicate is None or isinstance(predicate, WildcardMatch):
+            continue
+        for part, entry in zip(scheme, partition_entries(predicate, scheme)):
+            if entry is not None:
+                unique[part.name].add(entry)
+    return unique
+
+
+def unique_value_survey(
+    rule_set: RuleSet, part_bits: int = 16
+) -> list[FieldUniqueValues]:
+    """Run the full Section III survey over every field of a rule set."""
+    results: list[FieldUniqueValues] = []
+    for field_name in rule_set.field_names:
+        method = REGISTRY[field_name].method
+        if method is MatchMethod.PREFIX:
+            per_partition = {
+                name: len(entries)
+                for name, entries in partition_unique_entries(
+                    rule_set, field_name, part_bits
+                ).items()
+            }
+        elif method is MatchMethod.EXACT:
+            per_partition = {field_name: len(exact_values(rule_set, field_name))}
+        else:
+            # Range fields are served by a range engine; its stored-entry
+            # count is the number of distinct ranges.
+            ranges = {
+                (p.low, p.high)  # type: ignore[union-attr]
+                for p in rule_set.field_predicates(field_name)
+                if not isinstance(p, WildcardMatch)
+                and not getattr(p, "is_full", False)
+            }
+            per_partition = {field_name: len(ranges)}
+        results.append(
+            FieldUniqueValues(
+                field_name=field_name, method=method, per_partition=per_partition
+            )
+        )
+    return results

@@ -1,0 +1,24 @@
+"""Baselines the paper positions itself against.
+
+- :mod:`repro.baselines.single_table` — the OpenFlow v1.0 single-table
+  model, whose flow-entry explosion motivated multiple tables;
+- :mod:`repro.baselines.hypercuts` — a HiCuts/HyperCuts-style decision
+  tree that concretely exhibits the *rule replication* the label method
+  avoids (paper Section III.B).
+
+The TCAM and Tuple Space Search baselines live with the other search
+algorithms in :mod:`repro.algorithms`.
+"""
+
+from repro.baselines.hypercuts import HyperCutsTree, HyperCutsStats
+from repro.baselines.single_table import (
+    SingleTableSwitch,
+    cross_product_entries,
+)
+
+__all__ = [
+    "HyperCutsStats",
+    "HyperCutsTree",
+    "SingleTableSwitch",
+    "cross_product_entries",
+]

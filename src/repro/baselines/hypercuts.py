@@ -1,0 +1,206 @@
+"""A HiCuts/HyperCuts-style decision tree (the trie-geometric baseline).
+
+Paper Section III.B: "Rule replication is an issue for multi-dimensional
+lookup algorithms ... For example, HyperCuts requires that the same rule
+be stored in several trie nodes, which leads to inefficient memory use."
+
+This implementation builds a geometric cutting tree over the rules'
+per-field ranges and *measures* that replication: the ratio of leaf rule
+references to distinct rules.  It is deliberately a faithful baseline,
+not an optimised classifier — its purpose is the comparison in Table I
+and the label-method ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.filters.rule import Rule, RuleSet
+from repro.openflow.fields import REGISTRY
+from repro.openflow.match import (
+    ExactMatch,
+    FieldMatch,
+    PrefixMatch,
+    RangeMatch,
+    WildcardMatch,
+)
+from repro.util.bits import mask_of, prefix_range
+
+
+def _predicate_range(predicate: FieldMatch, bits: int) -> tuple[int, int]:
+    if isinstance(predicate, WildcardMatch):
+        return (0, mask_of(bits))
+    if isinstance(predicate, ExactMatch):
+        return (predicate.value, predicate.value)
+    if isinstance(predicate, PrefixMatch):
+        return prefix_range(predicate.value, predicate.length, predicate.bits)
+    if isinstance(predicate, RangeMatch):
+        return (predicate.low, predicate.high)
+    raise TypeError(f"unsupported predicate {type(predicate).__name__}")
+
+
+@dataclass
+class _Node:
+    region: tuple[tuple[int, int], ...]
+    rules: list[int]  # indices into the rule list
+    children: list["_Node"] | None = None
+    cut_dim: int = -1
+    cut_shift: int = 0  # children = 2^cuts slices along cut_dim
+
+
+@dataclass(frozen=True)
+class HyperCutsStats:
+    """Replication and size statistics of a built tree."""
+
+    rules: int
+    nodes: int
+    leaves: int
+    leaf_rule_refs: int
+    max_depth: int
+
+    @property
+    def replication_factor(self) -> float:
+        """Average stored copies per rule (1.0 = no replication)."""
+        return self.leaf_rule_refs / self.rules if self.rules else 0.0
+
+
+class HyperCutsTree:
+    """Geometric cutting tree with measurable rule replication."""
+
+    def __init__(
+        self,
+        rule_set: RuleSet,
+        binth: int = 8,
+        max_depth: int = 24,
+        cuts_per_node: int = 2,
+    ):
+        """Build the tree.
+
+        Args:
+            rule_set: rules to index.
+            binth: leaf threshold — nodes with at most this many rules
+                stop cutting (HiCuts' ``binth`` parameter).
+            max_depth: hard recursion cap.
+            cuts_per_node: log2 of the child count per cut (2 -> 4-way).
+        """
+        if binth < 1:
+            raise ValueError("binth must be >= 1")
+        self.rule_set = rule_set
+        self.binth = binth
+        self.max_depth = max_depth
+        self.cuts_per_node = cuts_per_node
+        self.field_names = tuple(rule_set.field_names)
+        self._bits = tuple(REGISTRY[name].bits for name in self.field_names)
+        self._rules: list[Rule] = list(rule_set)
+        self._ranges = [
+            tuple(
+                _predicate_range(rule.predicate(name, bits), bits)
+                for name, bits in zip(self.field_names, self._bits)
+            )
+            for rule in self._rules
+        ]
+        root_region = tuple((0, mask_of(bits)) for bits in self._bits)
+        self._root = _Node(region=root_region, rules=list(range(len(self._rules))))
+        self._build(self._root, depth=0)
+
+    def _build(self, node: _Node, depth: int) -> None:
+        if len(node.rules) <= self.binth or depth >= self.max_depth:
+            return
+        dim = self._pick_dimension(node)
+        if dim is None:
+            return
+        low, high = node.region[dim]
+        span = high - low + 1
+        cuts = min(self.cuts_per_node, max(1, span.bit_length() - 1))
+        child_count = 1 << cuts
+        slice_size = span // child_count
+        if slice_size == 0:
+            return
+        children: list[_Node] = []
+        for i in range(child_count):
+            child_low = low + i * slice_size
+            child_high = high if i == child_count - 1 else child_low + slice_size - 1
+            region = tuple(
+                (child_low, child_high) if d == dim else node.region[d]
+                for d in range(len(node.region))
+            )
+            rules = [
+                index
+                for index in node.rules
+                if self._ranges[index][dim][0] <= child_high
+                and self._ranges[index][dim][1] >= child_low
+            ]
+            children.append(_Node(region=region, rules=rules))
+        # Reject useless cuts (every child inherited every rule).
+        if all(len(c.rules) == len(node.rules) for c in children):
+            return
+        node.children = children
+        node.cut_dim = dim
+        node.rules = []
+        for child in children:
+            self._build(child, depth + 1)
+
+    def _pick_dimension(self, node: _Node) -> int | None:
+        """HyperCuts heuristic: cut the dimension with the most distinct
+        rule projections inside the node's region."""
+        best_dim, best_score = None, 1
+        for dim in range(len(node.region)):
+            low, high = node.region[dim]
+            if low == high:
+                continue
+            projections = {
+                (max(self._ranges[i][dim][0], low), min(self._ranges[i][dim][1], high))
+                for i in node.rules
+            }
+            if len(projections) > best_score:
+                best_dim, best_score = dim, len(projections)
+        return best_dim
+
+    def lookup(self, packet_fields: Mapping[str, int]) -> Rule | None:
+        """Best-priority rule whose region contains the packet point."""
+        point = []
+        for name in self.field_names:
+            value = packet_fields.get(name)
+            if value is None:
+                return None
+            point.append(value)
+        node = self._root
+        while node.children is not None:
+            low, high = node.region[node.cut_dim]
+            span = high - low + 1
+            child_count = len(node.children)
+            slice_size = span // child_count
+            offset = min(
+                (point[node.cut_dim] - low) // slice_size, child_count - 1
+            )
+            node = node.children[offset]
+        best: Rule | None = None
+        for index in node.rules:
+            rule = self._rules[index]
+            if rule.matches(packet_fields) and (
+                best is None or rule.priority > best.priority
+            ):
+                best = rule
+        return best
+
+    def stats(self) -> HyperCutsStats:
+        nodes = leaves = refs = 0
+        max_depth = 0
+        stack: list[tuple[_Node, int]] = [(self._root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            nodes += 1
+            max_depth = max(max_depth, depth)
+            if node.children is None:
+                leaves += 1
+                refs += len(node.rules)
+            else:
+                stack.extend((child, depth + 1) for child in node.children)
+        return HyperCutsStats(
+            rules=len(self._rules),
+            nodes=nodes,
+            leaves=leaves,
+            leaf_rule_refs=refs,
+            max_depth=max_depth,
+        )

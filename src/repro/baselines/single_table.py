@@ -1,0 +1,115 @@
+"""The OpenFlow v1.0 single-table baseline.
+
+"The first version of the OpenFlow protocol specified a single table
+lookup model with the associated constraints in flow entry numbers and
+search capabilities." — paper Section I.
+
+Two artefacts matter for the reproduction:
+
+1. a behavioural single-table switch (one linear-scanned flow table over
+   the union of all fields), used as the semantic oracle in differential
+   tests; and
+2. the *flow-entry explosion* argument: expressing several independent
+   applications in one table requires the cross-product of their rule
+   sets, which :func:`cross_product_entries` quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.filters.rule import Rule, RuleSet
+from repro.openflow.actions import OutputAction
+from repro.openflow.flow import FlowEntry
+from repro.openflow.instructions import WriteActions
+from repro.openflow.match import Match
+from repro.openflow.table import FlowTable
+
+
+class SingleTableSwitch:
+    """A one-table switch holding every application's rules together."""
+
+    def __init__(self, rule_sets: Sequence[RuleSet]):
+        self.table = FlowTable(table_id=0)
+        self._sources = list(rule_sets)
+        for offset, rule_set in enumerate(rule_sets):
+            # Stack applications by priority band so earlier sets win, the
+            # closest single-table approximation of pipeline precedence.
+            band = (len(rule_sets) - offset) << 20
+            for rule in rule_set:
+                self.table.add(
+                    FlowEntry.build(
+                        match=rule.to_match(),
+                        priority=band + rule.priority,
+                        instructions=[WriteActions([OutputAction(rule.action_port)])],
+                    )
+                )
+
+    def lookup(self, packet_fields: Mapping[str, int]) -> FlowEntry | None:
+        return self.table.lookup(packet_fields)
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+
+def cross_product_entries(rule_sets: Sequence[RuleSet]) -> int:
+    """Entries a single table needs to emulate *conjunctive* applications.
+
+    When a packet must satisfy one rule from **each** application (the
+    multi-table pipeline's semantics), a single table needs one entry per
+    member of the cross product of the rule sets — the combinatorial
+    blow-up that motivated OpenFlow v1.1 multiple tables.
+
+    >>> cross_product_entries([])
+    0
+    """
+    if not rule_sets:
+        return 0
+    total = 1
+    for rule_set in rule_sets:
+        total *= max(len(rule_set), 1)
+    return total
+
+
+def materialise_cross_product(
+    first: RuleSet, second: RuleSet, limit: int = 100_000
+) -> list[Rule]:
+    """Actually build (a bounded portion of) the cross-product rules.
+
+    Used by tests and the single-table example to demonstrate the
+    explosion concretely; refuses to materialise more than ``limit``
+    composite rules.
+    """
+    size = len(first) * len(second)
+    if size > limit:
+        raise ValueError(
+            f"cross product of {len(first)} x {len(second)} rules "
+            f"({size}) exceeds limit {limit}"
+        )
+    shared = set(first.field_names) & set(second.field_names)
+    if shared:
+        raise ValueError(
+            f"applications share fields {sorted(shared)}; their conjunction "
+            "is not a plain cross product"
+        )
+    combined: list[Rule] = []
+    for a in first:
+        for b in second:
+            fields = dict(a.fields)
+            fields.update(b.fields)
+            combined.append(
+                Rule(
+                    fields=fields,
+                    priority=(a.priority << 10) + b.priority,
+                    action_port=b.action_port,
+                )
+            )
+    return combined
+
+
+def single_table_matches(
+    switch: SingleTableSwitch, packet_fields: Mapping[str, int]
+) -> Match | None:
+    """Convenience for tests: the matched entry's match, if any."""
+    entry = switch.lookup(packet_fields)
+    return entry.match if entry is not None else None

@@ -1,0 +1,93 @@
+"""Action tables (Fig. 1, final stage).
+
+The index produced by the index calculation addresses an action table
+whose entries carry the matched flow entry's OpenFlow instructions — in
+the paper's prototype, a Write-Actions (e.g. output port) and optionally
+a Goto-Table; a miss yields "send to controller" at the architecture
+level instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.openflow.flow import FlowEntry
+from repro.openflow.instructions import GotoTable
+from repro.util.bits import bits_needed
+
+#: Encoded width of one action-table entry, following the prototype's
+#: instruction repertoire: a 32-bit output port, an 8-bit next-table id,
+#: and 2 flag bits (goto-valid, output-valid).
+OUTPUT_PORT_BITS = 32
+NEXT_TABLE_BITS = 8
+FLAG_BITS = 2
+
+
+@dataclass(frozen=True)
+class ActionTableEntry:
+    """One addressable action entry.
+
+    Wraps the source :class:`FlowEntry` so executing the entry reuses the
+    OpenFlow instruction machinery unchanged.
+    """
+
+    index: int
+    flow_entry: FlowEntry
+
+    @property
+    def priority(self) -> int:
+        return self.flow_entry.priority
+
+    @property
+    def goto_table(self) -> int | None:
+        goto = self.flow_entry.instructions.goto_table
+        return goto.table_id if goto is not None else None
+
+    def describe(self) -> str:
+        return f"[{self.index}] {self.flow_entry.instructions.describe()}"
+
+
+class ActionTable:
+    """An append-only array of action entries addressed by index."""
+
+    def __init__(self) -> None:
+        self._entries: list[ActionTableEntry] = []
+
+    def append(self, flow_entry: FlowEntry) -> ActionTableEntry:
+        entry = ActionTableEntry(index=len(self._entries), flow_entry=flow_entry)
+        self._entries.append(entry)
+        return entry
+
+    def __getitem__(self, index: int) -> ActionTableEntry:
+        return self._entries[index]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ActionTableEntry]:
+        return iter(self._entries)
+
+    @property
+    def index_bits(self) -> int:
+        """Bits needed to address any entry."""
+        return bits_needed(len(self._entries))
+
+    @property
+    def entry_bits(self) -> int:
+        """Encoded width of one entry under the prototype's repertoire."""
+        return OUTPUT_PORT_BITS + NEXT_TABLE_BITS + FLAG_BITS
+
+    @property
+    def total_bits(self) -> int:
+        return len(self._entries) * self.entry_bits
+
+    def goto_targets(self) -> set[int]:
+        """All next-table ids referenced by entries (pipeline validation)."""
+        targets = set()
+        for entry in self._entries:
+            goto = entry.flow_entry.instructions.get(GotoTable)
+            if goto is not None:
+                assert isinstance(goto, GotoTable)
+                targets.add(goto.table_id)
+        return targets

@@ -1,0 +1,70 @@
+"""The multiple-table lookup architecture (Fig. 1 as a whole).
+
+The architecture is an OpenFlow pipeline whose tables are decomposition
+lookup tables.  Because :class:`~repro.core.lookup_table.OpenFlowLookupTable`
+is interface-compatible with the behavioural
+:class:`~repro.openflow.table.FlowTable`, the pipeline semantics
+(action-set accumulation, metadata, forward-only Goto-Table, miss to
+controller) are *inherited* from :class:`repro.openflow.pipeline.OpenFlowPipeline`
+rather than re-implemented — the two execution paths differ only in how
+a table finds its matching entry, which is exactly the property the
+differential tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.config import ArchitectureConfig, DEFAULT_CONFIG
+from repro.core.lookup_table import OpenFlowLookupTable
+from repro.openflow.pipeline import MissPolicy, OpenFlowPipeline, PipelineResult
+
+#: The architecture's result type is the pipeline's — one packet's fate.
+ArchitectureResult = PipelineResult
+
+
+class MultiTableLookupArchitecture(OpenFlowPipeline):
+    """An OpenFlow pipeline over decomposition lookup tables."""
+
+    def __init__(
+        self,
+        tables: Sequence[OpenFlowLookupTable],
+        config: ArchitectureConfig = DEFAULT_CONFIG,
+    ):
+        if not tables:
+            raise ValueError("architecture needs at least one lookup table")
+        miss_policy = (
+            MissPolicy.SEND_TO_CONTROLLER
+            if config.send_miss_to_controller
+            else MissPolicy.DROP
+        )
+        super().__init__(tables=list(tables), miss_policy=miss_policy)
+        self.config = config
+
+    @property
+    def lookup_tables(self) -> list[OpenFlowLookupTable]:
+        tables = self.tables
+        assert all(isinstance(t, OpenFlowLookupTable) for t in tables)
+        return tables  # type: ignore[return-value]
+
+    def classify(self, packet_fields: Mapping[str, int]) -> ArchitectureResult:
+        """Alias of :meth:`process` with the paper's terminology."""
+        return self.process(packet_fields)
+
+    def total_entries(self) -> int:
+        """Installed flow entries across all tables."""
+        return sum(len(table) for table in self.lookup_tables)
+
+    def describe(self) -> str:
+        lines = [f"MultiTableLookupArchitecture ({len(self.tables)} tables)"]
+        for table in self.lookup_tables:
+            engines = ", ".join(
+                f"{e.name}:{e.kind}" for e in table.partition_engines()
+            )
+            lines.append(
+                f"  table {table.table_id}: {len(table)} entries; "
+                f"engines [{engines}]; "
+                f"index {len(table.index)} tuples; "
+                f"actions {len(table.actions)}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Assemble lookup tables and architectures from rule sets.
+
+Two composition styles, both from the paper:
+
+- :func:`build_lookup_table` / :func:`build_architecture` — one
+  *multi-field* lookup table per application, optionally chained with
+  Goto-Table (the general Fig. 1 shape);
+- :func:`build_per_field_pipeline` / :func:`build_prototype` — the
+  evaluated prototype's shape (Section V.A): each two-field application
+  is split into **two** OpenFlow lookup tables, the first matching field
+  one and writing its label into the pipeline metadata, the second
+  matching (metadata, field two).  The full prototype is then "4 OpenFlow
+  Lookup Tables ... two independent multibit trie structures and two
+  exact matching LUTs".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.architecture import MultiTableLookupArchitecture
+from repro.core.config import ArchitectureConfig, DEFAULT_CONFIG
+from repro.core.lookup_table import OpenFlowLookupTable
+from repro.filters.rule import RuleSet
+from repro.openflow.actions import OutputAction
+from repro.openflow.flow import FlowEntry
+from repro.openflow.instructions import (
+    GotoTable,
+    Instruction,
+    WriteActions,
+    WriteMetadata,
+)
+from repro.openflow.match import ExactMatch, Match, WildcardMatch
+
+
+def build_lookup_table(
+    rule_set: RuleSet,
+    table_id: int = 0,
+    goto_table: int | None = None,
+    config: ArchitectureConfig = DEFAULT_CONFIG,
+) -> OpenFlowLookupTable:
+    """Build one multi-field decomposition table from a rule set."""
+    table = OpenFlowLookupTable(
+        field_names=tuple(rule_set.field_names), table_id=table_id, config=config
+    )
+    for entry in rule_set.to_flow_entries(goto_table=goto_table):
+        table.add(entry)
+    return table
+
+
+def build_architecture(
+    rule_sets: Sequence[RuleSet],
+    config: ArchitectureConfig = DEFAULT_CONFIG,
+    chain: bool = True,
+) -> MultiTableLookupArchitecture:
+    """One multi-field table per rule set, chained in order when ``chain``.
+
+    With chaining, every entry of table *i* carries ``Goto-Table i+1``,
+    so a packet traverses all applications; the last table's entries
+    terminate the pipeline and its action set executes.
+    """
+    if not rule_sets:
+        raise ValueError("need at least one rule set")
+    tables = []
+    last = len(rule_sets) - 1
+    for i, rule_set in enumerate(rule_sets):
+        goto = i + 1 if chain and i < last else None
+        tables.append(build_lookup_table(rule_set, table_id=i, goto_table=goto, config=config))
+    return MultiTableLookupArchitecture(tables, config=config)
+
+
+def build_per_field_pipeline(
+    rule_set: RuleSet,
+    first_table_id: int = 0,
+    final_goto: int | None = None,
+    config: ArchitectureConfig = DEFAULT_CONFIG,
+) -> list[OpenFlowLookupTable]:
+    """Split a two-field rule set into the prototype's table pair.
+
+    Table A matches the first field and writes the matched value's label
+    into metadata before Goto-Table; table B matches (metadata, second
+    field) and carries the original rule's action (plus ``final_goto`` if
+    the application chains onwards).  A table-miss entry in A forwards
+    unmatched packets to B with metadata 0, preserving the semantics of
+    rules that wildcard the first field.
+    """
+    if len(rule_set.field_names) != 2:
+        raise ValueError(
+            "per-field split needs exactly two fields, got "
+            f"{rule_set.field_names}"
+        )
+    field_a, field_b = rule_set.field_names
+    a_id, b_id = first_table_id, first_table_id + 1
+
+    table_a = OpenFlowLookupTable((field_a,), table_id=a_id, config=config)
+    table_b = OpenFlowLookupTable(("metadata", field_b), table_id=b_id, config=config)
+
+    # Label the unique first-field predicates (the label method applied at
+    # table granularity): one table-A entry per unique value.
+    labels: dict[object, int] = {}
+    for rule in rule_set:
+        predicate = rule.fields.get(field_a)
+        if predicate is None or isinstance(predicate, WildcardMatch):
+            continue
+        if predicate not in labels:
+            label = len(labels) + 1
+            labels[predicate] = label
+            table_a.add(
+                FlowEntry.build(
+                    match=Match({field_a: predicate}),
+                    priority=1,
+                    instructions=[WriteMetadata(value=label), GotoTable(b_id)],
+                )
+            )
+    # Table-miss: continue with metadata 0 so wildcard-first-field rules
+    # (and clean misses) still consult table B.
+    table_a.add(
+        FlowEntry.build(
+            match=Match({}), priority=0, instructions=[GotoTable(b_id)]
+        )
+    )
+
+    for rule in rule_set:
+        match_fields = {}
+        predicate_a = rule.fields.get(field_a)
+        if predicate_a is not None and not isinstance(predicate_a, WildcardMatch):
+            match_fields["metadata"] = ExactMatch(value=labels[predicate_a], bits=64)
+        predicate_b = rule.fields.get(field_b)
+        if predicate_b is not None and not isinstance(predicate_b, WildcardMatch):
+            match_fields[field_b] = predicate_b
+        instructions: list[Instruction] = [
+            WriteActions([OutputAction(rule.action_port)])
+        ]
+        if final_goto is not None:
+            instructions.append(GotoTable(final_goto))
+        table_b.add(
+            FlowEntry.build(
+                match=Match(match_fields),
+                priority=rule.priority,
+                instructions=instructions,
+            )
+        )
+    return [table_a, table_b]
+
+
+def build_prototype(
+    mac_set: RuleSet,
+    routing_set: RuleSet,
+    config: ArchitectureConfig = DEFAULT_CONFIG,
+    chain_applications: bool = True,
+) -> MultiTableLookupArchitecture:
+    """The evaluated prototype: MAC learning + Routing, four tables.
+
+    Tables 0/1 implement MAC learning (VLAN LUT, then Ethernet MBT);
+    tables 2/3 implement Routing (ingress-port LUT, then IPv4 MBT).  With
+    ``chain_applications`` the MAC application's final entries Goto-Table
+    into the Routing pair, modelling an L2+L3 switch; otherwise the MAC
+    action set terminates processing.
+    """
+    mac_tables = build_per_field_pipeline(
+        mac_set,
+        first_table_id=0,
+        final_goto=2 if chain_applications else None,
+        config=config,
+    )
+    routing_tables = build_per_field_pipeline(
+        routing_set, first_table_id=2, final_goto=None, config=config
+    )
+    return MultiTableLookupArchitecture(mac_tables + routing_tables, config=config)

@@ -1,0 +1,39 @@
+"""Architecture configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.multibit_trie import DEFAULT_STRIDES
+
+
+@dataclass(frozen=True)
+class ArchitectureConfig:
+    """Build-time knobs of the multiple-table lookup architecture.
+
+    Attributes:
+        part_bits: partition width for LPM fields (the paper fixes 16).
+        strides: multi-bit trie stride distribution; must sum to
+            ``part_bits``.  The default 3-level (5, 5, 6) reproduces the
+            paper's pipeline depth and its L1 worst case of 32 records.
+        lut_occupancy: hash-LUT load factor used for slot provisioning.
+        send_miss_to_controller: table-miss behaviour (paper: "Send to
+            controller").
+    """
+
+    part_bits: int = 16
+    strides: tuple[int, ...] = DEFAULT_STRIDES
+    lut_occupancy: float = 0.75
+    send_miss_to_controller: bool = True
+
+    def __post_init__(self) -> None:
+        if sum(self.strides) != self.part_bits:
+            raise ValueError(
+                f"strides {self.strides} must sum to part_bits={self.part_bits}"
+            )
+        if not 0.0 < self.lut_occupancy <= 1.0:
+            raise ValueError(f"lut_occupancy {self.lut_occupancy} outside (0, 1]")
+
+
+#: Default configuration used across experiments.
+DEFAULT_CONFIG = ArchitectureConfig()

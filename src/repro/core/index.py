@@ -1,0 +1,204 @@
+"""Index calculation (Fig. 1, "Index Calculation" stage).
+
+"The result from each algorithm search is a label, which is used to
+obtain the final index to address the action tables." — Section IV.C.
+
+Rules are reduced to tuples of per-partition labels (label 0 = the
+partition is wildcarded).  A packet's search produces per-partition label
+*sets* (every matching entry, e.g. all covering prefixes).  The index
+calculation finds the best-priority rule tuple inside the product of
+those sets — without materialising the product, using DCFL-style
+progressive aggregation: prefix-of-tuple tables prune impossible
+combinations partition by partition, so the candidate set stays no larger
+than the number of rules that could actually match.
+
+All tables maintain reference counts, so rule removal is exact — the
+incremental-update capability the paper's update evaluation relies on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.algorithms.base import NO_LABEL
+from repro.util.bits import bits_needed
+
+LabelTuple = tuple[int, ...]
+
+
+@dataclass
+class _IndexEntry:
+    priority: int
+    specificity: int  # constrained bits; breaks priority ties
+    sequence: int  # insertion order; breaks remaining ties
+    action_index: int
+    refcount: int = 1
+
+    def beats(self, other: "_IndexEntry | None") -> bool:
+        if other is None:
+            return True
+        return (self.priority, self.specificity, -self.sequence) > (
+            other.priority,
+            other.specificity,
+            -other.sequence,
+        )
+
+
+class IndexCalculator:
+    """Label-tuple -> action-index aggregation network."""
+
+    def __init__(self, partition_names: tuple[str, ...]):
+        if not partition_names:
+            raise ValueError("index calculation needs at least one partition")
+        self.partition_names = partition_names
+        self._depth = len(partition_names)
+        #: aggregation tables: counts of truncated label tuples, one per
+        #: prefix length 1..depth (the last doubles as the key domain).
+        self._prefix_counts: list[Counter[LabelTuple]] = [
+            Counter() for _ in range(self._depth)
+        ]
+        self._entries: dict[LabelTuple, _IndexEntry] = {}
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    # build / update
+    # ------------------------------------------------------------------
+
+    def add_rule(
+        self,
+        labels: LabelTuple,
+        action_index: int,
+        priority: int,
+        specificity: int = 0,
+    ) -> None:
+        """Register a rule's label tuple.
+
+        Identical label tuples denote identical match regions, so only the
+        best-priority rule of a tuple is addressable; shadowed duplicates
+        still hold a reference for correct removal.  ``specificity``
+        (constrained bits of the source match) breaks priority ties the
+        same way the behavioural flow table does.
+        """
+        self._check_tuple(labels)
+        for k in range(self._depth):
+            self._prefix_counts[k][labels[: k + 1]] += 1
+        existing = self._entries.get(labels)
+        self._sequence += 1
+        if existing is None:
+            self._entries[labels] = _IndexEntry(
+                priority=priority,
+                specificity=specificity,
+                sequence=self._sequence,
+                action_index=action_index,
+            )
+        else:
+            existing.refcount += 1
+            if priority > existing.priority:
+                existing.priority = priority
+                existing.specificity = specificity
+                existing.action_index = action_index
+                existing.sequence = self._sequence
+
+    def remove_rule(self, labels: LabelTuple) -> bool:
+        """Drop one reference to a rule tuple; True if it existed."""
+        entry = self._entries.get(labels)
+        if entry is None:
+            return False
+        for k in range(self._depth):
+            key = labels[: k + 1]
+            self._prefix_counts[k][key] -= 1
+            if self._prefix_counts[k][key] == 0:
+                del self._prefix_counts[k][key]
+        entry.refcount -= 1
+        if entry.refcount == 0:
+            del self._entries[labels]
+        return True
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def lookup(self, label_sets: tuple[tuple[int, ...], ...]) -> int | None:
+        """Best action index over the product of per-partition label sets.
+
+        Each partition's candidates are its matched labels plus the
+        wildcard label 0; aggregation tables prune the product early.
+        """
+        if len(label_sets) != self._depth:
+            raise ValueError(
+                f"expected {self._depth} label sets, got {len(label_sets)}"
+            )
+        candidates: list[LabelTuple] = [()]
+        for k, labels in enumerate(label_sets):
+            options = tuple(labels) + (NO_LABEL,)
+            table = self._prefix_counts[k]
+            candidates = [
+                extended
+                for stem in candidates
+                for label in options
+                if (extended := stem + (label,)) in table
+            ]
+            if not candidates:
+                return None
+        best: _IndexEntry | None = None
+        for key in candidates:
+            entry = self._entries[key]
+            if entry.beats(best):
+                best = entry
+        assert best is not None
+        return best.action_index
+
+    def lookup_naive(self, label_sets: tuple[tuple[int, ...], ...]) -> int | None:
+        """Reference implementation: full cartesian product, no pruning.
+
+        Exists for differential testing of the aggregation network.
+        """
+        import itertools
+
+        options = [tuple(labels) + (NO_LABEL,) for labels in label_sets]
+        best: _IndexEntry | None = None
+        for key in itertools.product(*options):
+            entry = self._entries.get(key)
+            if entry is not None and entry.beats(best):
+                best = entry
+        return best.action_index if best else None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of distinct addressable label tuples."""
+        return len(self._entries)
+
+    def aggregation_sizes(self) -> list[int]:
+        """Entry counts of each aggregation stage (1..depth partitions)."""
+        return [len(counter) for counter in self._prefix_counts]
+
+    def key_bits(self, label_bits: tuple[int, ...] | None = None) -> int:
+        """Width of a full label tuple key.
+
+        Defaults to sizing each partition's label field from the largest
+        label observed in the stored tuples.
+        """
+        if label_bits is None:
+            label_bits = self.observed_label_bits()
+        return sum(label_bits)
+
+    def observed_label_bits(self) -> tuple[int, ...]:
+        """Per-partition label widths implied by the stored tuples."""
+        maxima = [0] * self._depth
+        for key in self._entries:
+            for i, label in enumerate(key):
+                maxima[i] = max(maxima[i], label)
+        return tuple(bits_needed(m + 1) for m in maxima)
+
+    def _check_tuple(self, labels: LabelTuple) -> None:
+        if len(labels) != self._depth:
+            raise ValueError(
+                f"label tuple {labels} has {len(labels)} parts, "
+                f"table has {self._depth} partitions"
+            )
+        if any(label < 0 for label in labels):
+            raise ValueError(f"negative label in {labels}")

@@ -1,0 +1,237 @@
+"""One OpenFlow lookup table implemented by decomposition.
+
+:class:`OpenFlowLookupTable` is a drop-in replacement for the behavioural
+:class:`repro.openflow.table.FlowTable`: same ``add`` / ``remove`` /
+``lookup`` interface, same highest-priority-match semantics — but backed
+by the paper's architecture (parallel per-partition engines, label
+aggregation, action table) instead of a linear scan.  Because it is
+interface-compatible, the unmodified OpenFlow pipeline runs on top of it,
+and every behavioural test of the pipeline doubles as a differential test
+of the decomposition.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+from repro.algorithms.base import NO_LABEL
+from repro.core.config import ArchitectureConfig, DEFAULT_CONFIG
+from repro.core.action_table import ActionTable, ActionTableEntry
+from repro.core.field_engine import (
+    FieldEngine,
+    LutPartitionEngine,
+    RangePartitionEngine,
+    TriePartitionEngine,
+    build_field_engine,
+)
+from repro.core.index import IndexCalculator
+from repro.core.partition import HeaderPartitioner
+from repro.openflow.flow import FlowEntry
+from repro.openflow.match import Match
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of one table lookup, with the labels that produced it."""
+
+    entry: ActionTableEntry | None
+    label_sets: tuple[tuple[int, ...], ...]
+
+    @property
+    def matched(self) -> bool:
+        return self.entry is not None
+
+
+@dataclass
+class _InstalledEntry:
+    """Bookkeeping for one installed flow entry (for exact removal)."""
+
+    flow_entry: FlowEntry
+    labels: tuple[int, ...]
+
+
+class OpenFlowLookupTable:
+    """Decomposition-backed OpenFlow flow table (Fig. 1, one table)."""
+
+    def __init__(
+        self,
+        field_names: tuple[str, ...],
+        table_id: int = 0,
+        config: ArchitectureConfig = DEFAULT_CONFIG,
+    ):
+        self.table_id = table_id
+        self.config = config
+        self.field_names = field_names
+        self.partitioner = HeaderPartitioner(field_names, config.part_bits)
+        self.engines: dict[str, FieldEngine] = {
+            name: build_field_engine(name, config) for name in field_names
+        }
+        self.index = IndexCalculator(self.partitioner.partition_names)
+        self.actions = ActionTable()
+        self._installed: list[_InstalledEntry] = []
+        self._by_key: dict[tuple[Match, int], _InstalledEntry] = {}
+        self._label_refs: Counter[tuple[str, int]] = Counter()
+        self.lookup_count = 0
+        self.matched_count = 0
+
+    # ------------------------------------------------------------------
+    # FlowTable-compatible interface
+    # ------------------------------------------------------------------
+
+    def add(self, entry: FlowEntry) -> None:
+        """Install a flow entry (replacing any same-match same-priority one)."""
+        stray = set(entry.match) - set(self.field_names)
+        if stray:
+            raise ValueError(
+                f"table {self.table_id} cannot match fields {sorted(stray)}; "
+                f"schema is {self.field_names}"
+            )
+        existing = self._find(entry.match, entry.priority)
+        if existing is not None:
+            self._remove_installed(existing)
+        labels: list[int] = []
+        for name in self.field_names:
+            engine = self.engines[name]
+            predicate = entry.match.get(name)
+            if predicate is None:
+                labels.extend(NO_LABEL for _ in engine.partition_names)
+            else:
+                labels.extend(engine.insert_rule(predicate))
+        action_entry = self.actions.append(entry)
+        key = tuple(labels)
+        self.index.add_rule(
+            key,
+            action_entry.index,
+            entry.priority,
+            specificity=entry.match.specificity(),
+        )
+        installed = _InstalledEntry(flow_entry=entry, labels=key)
+        self._installed.append(installed)
+        self._by_key[(entry.match, entry.priority)] = installed
+        for part_name, label in zip(self.partitioner.partition_names, key):
+            if label != NO_LABEL:
+                self._label_refs[(part_name, label)] += 1
+
+    def remove(self, match: Match, priority: int) -> bool:
+        """Delete the entry with the exact match and priority."""
+        existing = self._find(match, priority)
+        if existing is None:
+            return False
+        self._remove_installed(existing)
+        return True
+
+    def remove_where(self, predicate: Callable[[FlowEntry], bool]) -> int:
+        doomed = [e for e in self._installed if predicate(e.flow_entry)]
+        for installed in doomed:
+            self._remove_installed(installed)
+        return len(doomed)
+
+    def lookup(self, packet_fields: Mapping[str, int]) -> FlowEntry | None:
+        """Highest-priority matching entry, via the decomposition path."""
+        result = self.search(packet_fields)
+        if result.entry is None:
+            return None
+        result.entry.flow_entry.stats.record()
+        return result.entry.flow_entry
+
+    def __len__(self) -> int:
+        return len(self._installed)
+
+    def __iter__(self) -> Iterator[FlowEntry]:
+        return iter(e.flow_entry for e in self._installed)
+
+    @property
+    def table_miss_entry(self) -> FlowEntry | None:
+        for installed in self._installed:
+            if installed.flow_entry.is_table_miss:
+                return installed.flow_entry
+        return None
+
+    # ------------------------------------------------------------------
+    # architecture-level interface
+    # ------------------------------------------------------------------
+
+    def search(self, packet_fields: Mapping[str, int]) -> LookupResult:
+        """Full decomposition lookup, exposing the per-partition labels."""
+        self.lookup_count += 1
+        keys = self.partitioner.extract(packet_fields)
+        label_sets: list[tuple[int, ...]] = []
+        for name in self.field_names:
+            label_sets.extend(self.engines[name].search(keys))
+        index = self.index.lookup(tuple(label_sets))
+        if index is None:
+            return LookupResult(entry=None, label_sets=tuple(label_sets))
+        self.matched_count += 1
+        return LookupResult(entry=self.actions[index], label_sets=tuple(label_sets))
+
+    def partition_engines(self):
+        """Iterate every partition engine (for memory accounting)."""
+        for name in self.field_names:
+            yield from self.engines[name].structures()
+
+    def tries(self) -> dict[str, TriePartitionEngine]:
+        """All trie partition engines, keyed by partition name."""
+        return {
+            engine.name: engine
+            for engine in self.partition_engines()
+            if isinstance(engine, TriePartitionEngine)
+        }
+
+    def luts(self) -> dict[str, LutPartitionEngine]:
+        return {
+            engine.name: engine
+            for engine in self.partition_engines()
+            if isinstance(engine, LutPartitionEngine)
+        }
+
+    def range_engines(self) -> dict[str, RangePartitionEngine]:
+        return {
+            engine.name: engine
+            for engine in self.partition_engines()
+            if isinstance(engine, RangePartitionEngine)
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _find(self, match: Match, priority: int) -> _InstalledEntry | None:
+        return self._by_key.get((match, priority))
+
+    def _remove_installed(self, installed: _InstalledEntry) -> None:
+        self.index.remove_rule(installed.labels)
+        self._release_engine_entries(installed)
+        self._installed.remove(installed)
+        del self._by_key[(installed.flow_entry.match, installed.flow_entry.priority)]
+        # Action-table slots are append-only (hardware tables are not
+        # compacted on delete); the index no longer references the slot.
+
+    def _release_engine_entries(self, installed: _InstalledEntry) -> None:
+        """Drop label references; evict entries no other rule shares."""
+        label_cursor = 0
+        for name in self.field_names:
+            engine = self.engines[name]
+            for part_engine in engine.engines:
+                label = installed.labels[label_cursor]
+                label_cursor += 1
+                if label == NO_LABEL:
+                    continue
+                ref_key = (part_engine.name, label)
+                self._label_refs[ref_key] -= 1
+                if self._label_refs[ref_key] == 0:
+                    del self._label_refs[ref_key]
+                    self._evict(part_engine, label)
+
+    @staticmethod
+    def _evict(part_engine, label: int) -> None:
+        if isinstance(part_engine, TriePartitionEngine):
+            value, length = part_engine.allocator.key_of(label)
+            part_engine.trie.remove(value, length)
+        elif isinstance(part_engine, LutPartitionEngine):
+            part_engine.lut.remove(part_engine.allocator.key_of(label))
+        elif isinstance(part_engine, RangePartitionEngine):
+            low, high = part_engine.allocator.key_of(label)
+            part_engine.ranges.remove(low, high)
+        # MetadataEngine has no storage to evict.

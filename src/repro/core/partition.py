@@ -1,0 +1,64 @@
+"""Packet-header partitioner/selector (Fig. 1, first stage).
+
+"For the lookup process, the packet header is split into the selected
+fields used for the first table lookup.  Each field partition is sent to
+the corresponding single-field algorithm." — paper Section IV.A.
+
+Given a table's field schema, the partitioner extracts each field from a
+packet's field dictionary and slices LPM fields into their 16-bit
+partition values, producing the per-partition keys the engines search.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.filters.partitions import FieldPartition, partition_scheme
+from repro.openflow.fields import REGISTRY, MatchMethod
+
+
+class HeaderPartitioner:
+    """Extracts per-partition key values for a fixed field schema."""
+
+    def __init__(self, field_names: tuple[str, ...], part_bits: int = 16):
+        self.field_names = field_names
+        self.part_bits = part_bits
+        self._schemes: dict[str, tuple[FieldPartition, ...]] = {}
+        for name in field_names:
+            definition = REGISTRY[name]
+            if definition.method is MatchMethod.PREFIX:
+                self._schemes[name] = partition_scheme(
+                    name, definition.bits, part_bits
+                )
+            else:
+                self._schemes[name] = partition_scheme(name, definition.bits, definition.bits)
+
+    @property
+    def partition_names(self) -> tuple[str, ...]:
+        """All partition names, in schema order."""
+        return tuple(
+            part.name for name in self.field_names for part in self._schemes[name]
+        )
+
+    def scheme(self, field_name: str) -> tuple[FieldPartition, ...]:
+        return self._schemes[field_name]
+
+    def extract(self, packet_fields: Mapping[str, int]) -> dict[str, int | None]:
+        """Slice a packet's fields into partition keys.
+
+        Returns a mapping from partition name to the partition's key
+        value, or ``None`` when the packet lacks the field entirely (e.g.
+        ``ipv4_dst`` on a non-IP packet) — engines treat that as "no
+        match".
+        """
+        keys: dict[str, int | None] = {}
+        for name in self.field_names:
+            value = packet_fields.get(name)
+            for part in self._schemes[name]:
+                if value is None:
+                    keys[part.name] = None
+                else:
+                    field_bits = REGISTRY[name].bits
+                    shift = field_bits - part.offset - part.bits
+                    keys[part.name] = (value >> shift) & ((1 << part.bits) - 1)
+        return keys

@@ -1,0 +1,42 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment is registered under its paper artifact id and can be run
+individually or in bulk::
+
+    python -m repro.experiments            # run everything
+    python -m repro.experiments table3 fig5
+
+Each run prints the regenerated table (markdown) or figure (ASCII chart)
+and writes machine-readable CSV into ``results/`` (override with the
+``REPRO_RESULTS_DIR`` environment variable).  EXPERIMENTS.md records the
+paper-vs-measured comparison for each artifact.
+"""
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    all_experiments,
+    get_experiment,
+    run_experiment,
+)
+
+# Importing the experiment modules registers them.
+from repro.experiments import (  # noqa: E402,F401  (registration imports)
+    ablation,
+    baseline_compare,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    prototype,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "all_experiments",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,130 @@
+"""Fig. 2 — total stored multi-bit-trie nodes per flow filter.
+
+(a) Ethernet address fields: three 16-bit tries (higher/middle/lower)
+    built from each MAC-learning filter;
+(b) IPv4 address fields: two 16-bit tries (higher/lower) built from each
+    Routing filter.
+
+Node counts are reported under both allocation models:
+
+- **sparse** — only existing records (lower bound; insensitive to value
+  clustering);
+- **full-array** — every allocated node is a complete ``2^stride`` record
+  array.  This is the model whose magnitudes line up with the paper's
+  quoted counts (54 010 nodes for MAC gozb; < 40 000 for Routing): the
+  paper's Kbit figures divide by its record widths to full-array record
+  counts.  Our synthetic values are drawn uniformly, which *maximises*
+  distinct path prefixes, so full-array counts here are a conservative
+  upper bound on the paper's.
+
+Shape claims checked: gozb is (within noise) the largest MAC filter; the
+Routing lower trie dominates except for coza/cozb/soza/sozb, whose
+higher tries outgrow their lower tries (the Table IV anomaly propagated
+into memory).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    all_filter_names,
+    mac_eth_tries,
+    routing_ip_tries,
+)
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.filters.paper_data import OUTLIER_ROUTING_FILTERS
+from repro.util.charts import GroupedBarChart
+from repro.util.tables import TextTable
+
+
+def ethernet_node_table() -> TextTable:
+    table = TextTable(
+        headers=[
+            "Flow Filter",
+            "Higher trie",
+            "Middle trie",
+            "Lower trie",
+            "Total (sparse)",
+            "Total (full-array)",
+        ],
+        title="Fig. 2(a) — stored MBT nodes, Ethernet address fields",
+    )
+    for name in all_filter_names():
+        tries = mac_eth_tries(name)
+        higher = tries["eth_dst/hi"].stored_nodes()
+        middle = tries["eth_dst/mid"].stored_nodes()
+        lower = tries["eth_dst/lo"].stored_nodes()
+        full = sum(sum(t.full_array_records()) for t in tries.values())
+        table.add_row([name, higher, middle, lower, higher + middle + lower, full])
+    return table
+
+
+def ip_node_table() -> TextTable:
+    table = TextTable(
+        headers=[
+            "Flow Filter",
+            "Higher trie",
+            "Lower trie",
+            "Total (sparse)",
+            "Total (full-array)",
+        ],
+        title="Fig. 2(b) — stored MBT nodes, IPv4 address fields",
+    )
+    for name in all_filter_names():
+        tries = routing_ip_tries(name)
+        higher = tries["ipv4_dst/hi"].stored_nodes()
+        lower = tries["ipv4_dst/lo"].stored_nodes()
+        full = sum(sum(t.full_array_records()) for t in tries.values())
+        table.add_row([name, higher, lower, higher + lower, full])
+    return table
+
+
+@experiment("fig2")
+def run() -> ExperimentResult:
+    eth_table = ethernet_node_table()
+    ip_table = ip_node_table()
+
+    eth_chart = GroupedBarChart(
+        series_names=["higher", "middle", "lower"],
+        title="Fig. 2(a): stored nodes per Ethernet trie (sparse)",
+        unit="nodes",
+    )
+    for row in eth_table.rows:
+        eth_chart.add_group(str(row[0]), [float(row[1]), float(row[2]), float(row[3])])
+    ip_chart = GroupedBarChart(
+        series_names=["higher", "lower"],
+        title="Fig. 2(b): stored nodes per IPv4 trie (sparse)",
+        unit="nodes",
+    )
+    for row in ip_table.rows:
+        ip_chart.add_group(str(row[0]), [float(row[1]), float(row[2])])
+
+    eth_sparse = {str(r[0]): int(r[4]) for r in eth_table.rows}
+    eth_full = {str(r[0]): int(r[5]) for r in eth_table.rows}
+    ip_high = {str(r[0]): int(r[1]) for r in ip_table.rows}
+    ip_low = {str(r[0]): int(r[2]) for r in ip_table.rows}
+    measured_outliers = tuple(
+        name for name in all_filter_names() if ip_high[name] > ip_low[name]
+    )
+    max_sparse = max(eth_sparse.values())
+    gozb_gap_percent = 100.0 * (max_sparse - eth_sparse["gozb"]) / max_sparse
+
+    result = ExperimentResult(
+        experiment_id="fig2",
+        tables=[eth_table, ip_table],
+        charts=[eth_chart.render(), ip_chart.render()],
+    )
+    result.headline["max_eth_nodes_sparse"] = float(max_sparse)
+    result.headline["max_eth_nodes_full_array"] = float(max(eth_full.values()))
+    result.headline["gozb_gap_vs_max_percent"] = round(gozb_gap_percent, 2)
+    result.headline["max_ip_nodes_sparse"] = float(
+        max(h + l for h, l in zip(ip_high.values(), ip_low.values()))
+    )
+    result.headline["ip_outliers_match_paper"] = float(
+        measured_outliers == OUTLIER_ROUTING_FILTERS
+    )
+    result.notes.append(
+        "paper: max 54 010 stored nodes (MAC gozb, full-array scale); "
+        "routing < 40 000 nodes; gozb vs goza is within synthetic-identity "
+        "noise (<1 % of total)"
+    )
+    return result

@@ -1,0 +1,139 @@
+"""Fig. 4 — memory per level of the IP-address tries.
+
+(a) the *lower* trie of the twelve regular Routing filters;
+(b) both *higher and lower* tries of the outliers coza/cozb/soza/sozb,
+    shown separately in the paper because of their size.
+
+Both allocation models are reported (the paper's magnitudes follow the
+full-array model; our uniform synthetic prefixes make full-array counts a
+conservative upper bound).  Shape claims checked: for the outliers the
+higher trie needs at least as much memory as the lower (paper: 706.06 vs
+572.57 Kbits); regular filters' lower tries stay far smaller (paper:
+<= 321.3 Kbits).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import all_filter_names, routing_ip_tries
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.filters.paper_data import OUTLIER_ROUTING_FILTERS
+from repro.memory.cost_model import MemoryModel, trie_group_cost
+from repro.util.charts import GroupedBarChart
+from repro.util.tables import TextTable
+
+
+def regular_lower_table(model: MemoryModel) -> TextTable:
+    table = TextTable(
+        headers=["Flow Filter", "L1 Kbits", "L2 Kbits", "L3 Kbits", "Total Kbits"],
+        title=(
+            "Fig. 4(a) — memory per level, IP lower trie, regular filters "
+            f"({model.value} allocation)"
+        ),
+    )
+    for name in all_filter_names():
+        if name in OUTLIER_ROUTING_FILTERS:
+            continue
+        costs, _ = trie_group_cost(routing_ip_tries(name), model)
+        lower = costs["ipv4_dst/lo"]
+        l1, l2, l3 = lower.levels
+        table.add_row(
+            [
+                name,
+                round(l1.total_kbits, 3),
+                round(l2.total_kbits, 2),
+                round(l3.total_kbits, 2),
+                round(lower.total_kbits, 2),
+            ]
+        )
+    return table
+
+
+def outlier_table(model: MemoryModel) -> TextTable:
+    table = TextTable(
+        headers=[
+            "Flow Filter",
+            "Trie",
+            "L1 Kbits",
+            "L2 Kbits",
+            "L3 Kbits",
+            "Total Kbits",
+        ],
+        title=(
+            "Fig. 4(b) — IP higher and lower tries, coza/cozb/soza/sozb "
+            f"({model.value} allocation)"
+        ),
+    )
+    for name in OUTLIER_ROUTING_FILTERS:
+        costs, _ = trie_group_cost(routing_ip_tries(name), model)
+        for trie_name, label in (("ipv4_dst/hi", "higher"), ("ipv4_dst/lo", "lower")):
+            cost = costs[trie_name]
+            l1, l2, l3 = cost.levels
+            table.add_row(
+                [
+                    name,
+                    label,
+                    round(l1.total_kbits, 3),
+                    round(l2.total_kbits, 2),
+                    round(l3.total_kbits, 2),
+                    round(cost.total_kbits, 2),
+                ]
+            )
+    return table
+
+
+@experiment("fig4")
+def run() -> ExperimentResult:
+    regular_sparse = regular_lower_table(MemoryModel.SPARSE)
+    outliers_sparse = outlier_table(MemoryModel.SPARSE)
+    regular_full = regular_lower_table(MemoryModel.FULL_ARRAY)
+    outliers_full = outlier_table(MemoryModel.FULL_ARRAY)
+
+    chart_a = GroupedBarChart(
+        series_names=["L1", "L2", "L3"],
+        title="Fig. 4(a): Kbits per level, IP lower trie (sparse)",
+        unit="Kbits",
+    )
+    for row in regular_sparse.rows:
+        chart_a.add_group(str(row[0]), [float(row[1]), float(row[2]), float(row[3])])
+    chart_b = GroupedBarChart(
+        series_names=["L1", "L2", "L3"],
+        title="Fig. 4(b): Kbits per level, outlier IP tries (sparse)",
+        unit="Kbits",
+    )
+    for row in outliers_sparse.rows:
+        chart_b.add_group(
+            f"{row[0]}/{row[1]}", [float(row[2]), float(row[3]), float(row[4])]
+        )
+
+    def by_trie(table) -> dict[tuple[str, str], float]:
+        return {(str(r[0]), str(r[1])): float(r[5]) for r in table.rows}
+
+    sparse_by_trie = by_trie(outliers_sparse)
+    full_by_trie = by_trie(outliers_full)
+    higher_dominates = all(
+        sparse_by_trie[(name, "higher")] > sparse_by_trie[(name, "lower")]
+        for name in OUTLIER_ROUTING_FILTERS
+    )
+    regular_max_sparse = max(float(r[4]) for r in regular_sparse.rows)
+
+    result = ExperimentResult(
+        experiment_id="fig4",
+        tables=[regular_sparse, outliers_sparse, regular_full, outliers_full],
+        charts=[chart_a.render(), chart_b.render()],
+    )
+    result.headline["max_regular_lower_kbits_sparse"] = round(regular_max_sparse, 1)
+    result.headline["max_regular_lower_kbits_full"] = round(
+        max(float(r[4]) for r in regular_full.rows), 1
+    )
+    result.headline["max_outlier_higher_kbits_sparse"] = round(
+        max(sparse_by_trie[(n, "higher")] for n in OUTLIER_ROUTING_FILTERS), 1
+    )
+    result.headline["max_outlier_higher_kbits_full"] = round(
+        max(full_by_trie[(n, "higher")] for n in OUTLIER_ROUTING_FILTERS), 1
+    )
+    result.headline["outlier_higher_dominates"] = float(higher_dominates)
+    result.notes.append(
+        "paper: outlier higher tries 706.06 Kbits vs lower 572.57 Kbits; "
+        "regular lower tries <= 321.3 Kbits"
+    )
+    return result

@@ -1,0 +1,147 @@
+"""Section V.A prototype totals — "5 Mb of total memory".
+
+Builds the evaluated prototype: 4 OpenFlow lookup tables (VLAN LUT +
+Ethernet MBT for MAC learning; ingress-port LUT + IPv4 MBT for Routing).
+The primary sizing uses the paper's quoted worst cases — gozb for MAC
+(209 unique VLAN IDs, the largest Ethernet tries) and the largest
+*regular* Routing filter, yoza — under the **full-array** trie
+allocation whose magnitudes track the paper's Kbit figures.  A secondary
+table reports the coza (184 909-rule) worst case.
+
+Compared against the paper: ~5 Mbit total, ~2 Mbit for the two MBT
+structures, LUTs dimensioned for 209 entries, L1 of any trie at most 32
+records / 832 bits, plus the Stratix V M20K block plan.
+"""
+
+from __future__ import annotations
+
+from repro.core.builder import build_prototype
+from repro.core.architecture import MultiTableLookupArchitecture
+from repro.experiments.common import (
+    PROTOTYPE_MAC_FILTER,
+    PROTOTYPE_ROUTING_FILTER,
+    PROTOTYPE_ROUTING_WORST_CASE,
+    mac_rule_set,
+    routing_rule_set,
+)
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.memory.cost_model import MemoryModel
+from repro.memory.report import (
+    ArchitectureMemoryReport,
+    architecture_memory_report,
+)
+from repro.util.tables import TextTable
+
+
+def _prototype_report(
+    routing_filter: str, model: MemoryModel
+) -> tuple[MultiTableLookupArchitecture, ArchitectureMemoryReport]:
+    architecture = build_prototype(
+        mac_rule_set(PROTOTYPE_MAC_FILTER), routing_rule_set(routing_filter)
+    )
+    return architecture, architecture_memory_report(architecture, model)
+
+
+def _summarise(
+    name: str,
+    architecture: MultiTableLookupArchitecture,
+    report: ArchitectureMemoryReport,
+) -> TextTable:
+    lut_entries = [
+        len(engine.lut)
+        for table in architecture.lookup_tables
+        for engine in table.luts().values()
+    ]
+    l1_stats = [
+        (cost.levels[0].records, cost.levels[0].total_bits)
+        for table_report in report.tables
+        for cost in table_report.trie_costs.values()
+    ]
+    block_ram = report.block_ram()
+
+    summary = TextTable(
+        headers=["quantity", "measured", "paper"],
+        title=name,
+    )
+    summary.add_row(["total memory (Mbits)", round(report.total_mbits, 2), 5.0])
+    summary.add_row(["MBT memory (Mbits)", round(report.trie_mbits, 2), 2.0])
+    summary.add_row(["largest LUT entries", max(lut_entries), 209])
+    summary.add_row(["max L1 records", max(r for r, _ in l1_stats), 32])
+    summary.add_row(["max L1 bits", max(b for _, b in l1_stats), 832])
+    summary.add_row(["lookup tables", len(architecture.tables), 4])
+    summary.add_row(["M20K blocks", block_ram.total_blocks, "-"])
+    summary.add_row(
+        ["device fraction", round(block_ram.device_fraction, 3), "-"]
+    )
+    return summary
+
+
+@experiment("prototype")
+def run() -> ExperimentResult:
+    architecture, report = _prototype_report(
+        PROTOTYPE_ROUTING_FILTER, MemoryModel.FULL_ARRAY
+    )
+    primary = _summarise(
+        f"Prototype summary — {PROTOTYPE_MAC_FILTER} + "
+        f"{PROTOTYPE_ROUTING_FILTER}, full-array allocation",
+        architecture,
+        report,
+    )
+    breakdown = report.to_table()
+
+    worst_architecture, worst_report = _prototype_report(
+        PROTOTYPE_ROUTING_WORST_CASE, MemoryModel.FULL_ARRAY
+    )
+    worst = _summarise(
+        f"Secondary worst case — {PROTOTYPE_MAC_FILTER} + "
+        f"{PROTOTYPE_ROUTING_WORST_CASE} (184 909 rules)",
+        worst_architecture,
+        worst_report,
+    )
+
+    sparse_report = architecture_memory_report(architecture, MemoryModel.SPARSE)
+
+    lut_entries = [
+        len(engine.lut)
+        for table in architecture.lookup_tables
+        for engine in table.luts().values()
+    ]
+    l1_bits = [
+        cost.levels[0].total_bits
+        for table_report in report.tables
+        for cost in table_report.trie_costs.values()
+    ]
+    l1_records = [
+        cost.levels[0].records
+        for table_report in report.tables
+        for cost in table_report.trie_costs.values()
+    ]
+    block_ram = report.block_ram()
+
+    result = ExperimentResult(
+        experiment_id="prototype", tables=[primary, breakdown, worst]
+    )
+    result.headline["total_mbits"] = round(report.total_mbits, 3)
+    result.headline["total_mbits_sparse"] = round(sparse_report.total_mbits, 3)
+    result.headline["mbt_mbits"] = round(report.trie_mbits, 3)
+    result.headline["mbt_majority_of_algorithms"] = float(
+        report.trie_bits
+        > (report.total_bits - report.trie_bits)
+        - sum(  # exclude action tables: they scale with rules, not algorithms
+            s.bits
+            for t in report.tables
+            for s in t.structures
+            if s.kind == "actions"
+        )
+    )
+    result.headline["largest_lut_entries"] = float(max(lut_entries))
+    result.headline["max_l1_records"] = float(max(l1_records))
+    result.headline["max_l1_bits"] = float(max(l1_bits))
+    result.headline["m20k_blocks"] = float(block_ram.total_blocks)
+    result.headline["fits_device"] = float(block_ram.fits_device())
+    result.headline["worst_case_total_mbits"] = round(worst_report.total_mbits, 3)
+    result.notes.append(
+        "4 lookup tables; two MBT structures (Ethernet: 3 tries, IPv4: 2 "
+        "tries) and two EM LUTs (VLAN ID, ingress port), as in Section V.A"
+    )
+    return result

@@ -1,0 +1,96 @@
+"""Experiment registration and execution plumbing."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.util.tables import TextTable
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced.
+
+    Attributes:
+        experiment_id: the paper artifact id (``table3``, ``fig2a`` ...).
+        tables: regenerated tables, written to CSV by the runner.
+        charts: rendered ASCII charts (figures).
+        headline: scalar take-aways for EXPERIMENTS.md (e.g. measured
+            total Mbits, average saving percent).
+        notes: free-form commentary (substitutions, caveats).
+    """
+
+    experiment_id: str
+    tables: list[TextTable] = field(default_factory=list)
+    charts: list[str] = field(default_factory=list)
+    headline: dict[str, float] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts: list[str] = [f"== Experiment {self.experiment_id} =="]
+        for table in self.tables:
+            parts.append(table.to_markdown())
+        parts.extend(self.charts)
+        if self.headline:
+            parts.append(
+                "headline: "
+                + ", ".join(f"{k}={v:g}" for k, v in sorted(self.headline.items()))
+            )
+        parts.extend(f"note: {note}" for note in self.notes)
+        return "\n\n".join(parts)
+
+    def write_csvs(self, directory: Path) -> list[Path]:
+        written = []
+        for i, table in enumerate(self.tables):
+            suffix = "" if len(self.tables) == 1 else f"-{i}"
+            path = directory / f"{self.experiment_id}{suffix}.csv"
+            table.write_csv(path)
+            written.append(path)
+        return written
+
+
+ExperimentFn = Callable[[], ExperimentResult]
+
+_REGISTRY: dict[str, ExperimentFn] = {}
+
+
+def experiment(experiment_id: str) -> Callable[[ExperimentFn], ExperimentFn]:
+    """Decorator registering an experiment under its artifact id."""
+
+    def register(fn: ExperimentFn) -> ExperimentFn:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = fn
+        return fn
+
+    return register
+
+
+def all_experiments() -> dict[str, ExperimentFn]:
+    return dict(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> ExperimentFn:
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def results_dir() -> Path:
+    """Where CSV outputs land (``REPRO_RESULTS_DIR`` or ``./results``)."""
+    return Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+
+
+def run_experiment(experiment_id: str, write_csv: bool = True) -> ExperimentResult:
+    """Execute one experiment, optionally persisting its CSVs."""
+    result = get_experiment(experiment_id)()
+    if write_csv:
+        result.write_csvs(results_dir())
+    return result

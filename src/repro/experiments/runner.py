@@ -1,0 +1,69 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments               # every experiment
+    python -m repro.experiments table3 fig5   # a selection
+    python -m repro.experiments --list
+    repro-experiments fig2                    # console-script alias
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import (
+    all_experiments,
+    results_dir,
+    run_experiment,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--no-csv", action="store_true", help="skip writing CSVs to results/"
+    )
+    args = parser.parse_args(argv)
+
+    registry = all_experiments()
+    if args.list:
+        for experiment_id in sorted(registry):
+            print(experiment_id)
+        return 0
+
+    selected = args.experiments or sorted(registry)
+    unknown = [e for e in selected if e not in registry]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(registry))}"
+        )
+
+    for experiment_id in selected:
+        started = time.perf_counter()
+        result = run_experiment(experiment_id, write_csv=not args.no_csv)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"[{experiment_id} completed in {elapsed:.1f}s]")
+        print()
+    if not args.no_csv:
+        print(f"CSV outputs in {results_dir().resolve()}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Table I — evaluation of multi-dimensional lookup algorithm categories.
+
+The paper's Table I is qualitative; this experiment reproduces it and
+backs each row with a *measured* quantity on the same rule set (the bbra
+MAC filter, small enough for every baseline):
+
+- Hardware (TCAM): very fast lookup (1 probe) but the largest bit count;
+- Hashing (TSS): few probes, hash-slot memory, range-expansion risk;
+- Decomposition (this paper): small memory via the label method, more
+  combination work at the index stage;
+- Trie-geometric (HyperCuts): moderate lookup, rule replication > 1.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.tcam import Tcam
+from repro.algorithms.tss import TupleSpaceSearch
+from repro.baselines.hypercuts import HyperCutsTree
+from repro.core.builder import build_lookup_table
+from repro.experiments.common import mac_rule_set
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.filters.synthetic import SyntheticAclConfig, generate_acl_set
+from repro.memory.report import table_memory_report
+from repro.util.tables import TextTable
+from repro.util.units import kbits
+
+#: The paper's qualitative rows, reproduced verbatim.
+QUALITATIVE_ROWS = (
+    ("Trie-Geometric", "Efficient Memory, Moderate lookup", "Very Complex update"),
+    ("Decomposition", "Fast Lookup", "Memory explosion, Complex update"),
+    ("Hashing-based", "Fast Lookup", "Collision issue, Memory explosion"),
+    ("Hardware-based", "Very Fast Lookup", "Memory Limitation, Poor Flexibility"),
+)
+
+#: Match-stage comparisons use the largest MAC filter; the rule-replication
+#: demonstration needs wildcard-heavy rules, so HyperCuts gets an ACL set.
+BENCH_FILTER = "gozb"
+ACL_RULES = 600
+
+
+@experiment("table1")
+def run() -> ExperimentResult:
+    qualitative = TextTable(
+        headers=["Category", "Advantages", "Disadvantages"],
+        title="Table I — evaluation of multi-dimensional lookup algorithms",
+    )
+    for row in QUALITATIVE_ROWS:
+        qualitative.add_row(list(row))
+
+    rule_set = mac_rule_set(BENCH_FILTER)
+    acl_set = generate_acl_set(SyntheticAclConfig(rules=ACL_RULES, seed=0x7AB1))
+
+    tcam = Tcam.from_rule_set(rule_set)
+    tss = TupleSpaceSearch.from_rule_set(rule_set)
+    hypercuts = HyperCutsTree(acl_set, binth=8)
+    decomposition = build_lookup_table(rule_set)
+    decomposition_report = table_memory_report(decomposition)
+    # Apples to apples: the decomposition *replaces the TCAM's match
+    # stage*; action tables exist in either design, so compare without them.
+    match_stage_bits = decomposition_report.total_bits - sum(
+        s.bits for s in decomposition_report.structures if s.kind == "actions"
+    )
+
+    measured = TextTable(
+        headers=["Category", "Structure", "Memory Kbits", "Probes/Depth", "Note"],
+        title=f"Table I quantified on the {BENCH_FILTER} MAC filter "
+        f"({len(rule_set)} rules; HyperCuts on a {ACL_RULES}-rule ACL)",
+    )
+    measured.add_row(
+        [
+            "Hardware-based",
+            "TCAM",
+            round(kbits(tcam.size().bits), 2),
+            1,
+            f"{len(tcam)} ternary words, expansion x{tcam.expansion_factor:.2f}",
+        ]
+    )
+    measured.add_row(
+        [
+            "Hashing-based",
+            "TSS",
+            round(kbits(tss.size().bits), 2),
+            tss.tuple_count,
+            f"{tss.entry_count} hash entries in {tss.tuple_count} tuples",
+        ]
+    )
+    stats = hypercuts.stats()
+    measured.add_row(
+        [
+            "Trie-Geometric",
+            "HyperCuts",
+            "-",
+            stats.max_depth,
+            f"rule replication x{stats.replication_factor:.2f} "
+            f"({stats.leaf_rule_refs} refs / {stats.rules} rules)",
+        ]
+    )
+    measured.add_row(
+        [
+            "Decomposition",
+            "this paper (match stage)",
+            round(kbits(match_stage_bits), 2),
+            4,  # 3 trie levels + 1 LUT stage, all parallel/pipelined
+            f"{len(decomposition.index)} label tuples",
+        ]
+    )
+
+    result = ExperimentResult(
+        experiment_id="table1", tables=[qualitative, measured]
+    )
+    result.headline["tcam_kbits"] = round(kbits(tcam.size().bits), 2)
+    result.headline["decomposition_match_stage_kbits"] = round(
+        kbits(match_stage_bits), 2
+    )
+    result.headline["hypercuts_replication"] = round(stats.replication_factor, 2)
+    result.headline["decomposition_beats_tcam"] = float(
+        match_stage_bits < tcam.size().bits
+    )
+    result.notes.append(
+        "the paper's Table I is qualitative; the measured companion "
+        "quantifies each category, comparing match-stage memory (action "
+        "tables are common to all designs)"
+    )
+    return result

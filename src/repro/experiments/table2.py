@@ -1,0 +1,39 @@
+"""Table II — OpenFlow match field, field length and matching method.
+
+Regenerated straight from the library's OXM field registry, plus the
+paper's surrounding claims: 39 match fields excluding the 64-bit
+metadata register, of which 15 are the common fields analysed.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.openflow.fields import REGISTRY, paper_table2_fields
+from repro.util.tables import TextTable
+
+
+@experiment("table2")
+def run() -> ExperimentResult:
+    table = TextTable(
+        headers=["Matching Field", "Number of Bits", "Matching Method Required"],
+        title="Table II — OpenFlow match fields (common fields)",
+    )
+    for definition in paper_table2_fields():
+        method = {
+            "EM": "Exact Matching (EM)",
+            "LPM": "Wildcard matching (LPM)",
+            "RM": "Wildcard matching (RM)",
+        }[definition.method.value]
+        table.add_row([definition.paper_name, definition.bits, method])
+
+    result = ExperimentResult(experiment_id="table2", tables=[table])
+    result.headline["match_fields_excluding_metadata"] = float(
+        REGISTRY.match_field_count(exclude_metadata=True)
+    )
+    result.headline["common_fields"] = float(len(REGISTRY.common_fields()))
+    result.headline["metadata_bits"] = float(REGISTRY["metadata"].bits)
+    result.notes.append(
+        "paper: 39 match fields excluding metadata; 15 common fields; "
+        "64-bit metadata register"
+    )
+    return result

@@ -1,0 +1,46 @@
+"""Table III — number of unique field values of the flow-based MAC filter.
+
+Runs the Section III survey over the calibrated synthetic MAC sets and
+checks every cell against the published numbers (they must match exactly
+— the generator is calibrated to them, and the survey recovers them
+independently through the partition-entry analysis).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.survey import mac_survey_table
+from repro.experiments.common import all_filter_names, mac_rule_set
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.filters.paper_data import TABLE3_MAC_STATS
+
+
+@experiment("table3")
+def run() -> ExperimentResult:
+    rule_sets = {name: mac_rule_set(name) for name in all_filter_names()}
+    table = mac_survey_table(rule_sets)
+
+    mismatches = 0
+    for row in table.rows:
+        name = str(row[0])
+        expected = TABLE3_MAC_STATS[name]
+        got = tuple(int(c) for c in row[1:])
+        want = (
+            expected.rules,
+            expected.unique_vlan,
+            expected.unique_eth_high,
+            expected.unique_eth_mid,
+            expected.unique_eth_low,
+        )
+        if got != want:
+            mismatches += 1
+
+    result = ExperimentResult(experiment_id="table3", tables=[table])
+    result.headline["cell_mismatches_vs_paper"] = float(mismatches)
+    result.headline["max_unique_vlan"] = float(
+        max(s.unique_vlan for s in TABLE3_MAC_STATS.values())
+    )
+    result.notes.append(
+        "synthetic sets are calibrated to the published counts; the survey "
+        "must reproduce every cell exactly"
+    )
+    return result

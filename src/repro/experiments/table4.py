@@ -1,0 +1,52 @@
+"""Table IV — number of unique field values of the flow-based Routing filter.
+
+Also verifies the paper's highlighted anomaly: exactly coza, cozb, soza
+and sozb have more unique higher-partition than lower-partition values.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.survey import routing_survey_table
+from repro.experiments.common import all_filter_names, routing_rule_set
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.filters.paper_data import (
+    OUTLIER_ROUTING_FILTERS,
+    TABLE4_ROUTING_STATS,
+)
+
+
+@experiment("table4")
+def run() -> ExperimentResult:
+    rule_sets = {name: routing_rule_set(name) for name in all_filter_names()}
+    table = routing_survey_table(rule_sets)
+
+    mismatches = 0
+    outliers: list[str] = []
+    for row in table.rows:
+        name = str(row[0])
+        expected = TABLE4_ROUTING_STATS[name]
+        got = tuple(int(c) for c in row[1:])
+        want = (
+            expected.rules,
+            expected.unique_port,
+            expected.unique_ip_high,
+            expected.unique_ip_low,
+        )
+        if got != want:
+            mismatches += 1
+        if got[2] > got[3]:
+            outliers.append(name)
+
+    result = ExperimentResult(experiment_id="table4", tables=[table])
+    result.headline["cell_mismatches_vs_paper"] = float(mismatches)
+    result.headline["outliers_match_paper"] = float(
+        tuple(outliers) == OUTLIER_ROUTING_FILTERS
+    )
+    result.headline["max_unique_ip_high"] = float(
+        max(s.unique_ip_high for s in TABLE4_ROUTING_STATS.values())
+    )
+    result.notes.append(
+        f"higher>lower outliers: {outliers} (paper: "
+        f"{list(OUTLIER_ROUTING_FILTERS)})"
+    )
+    return result

@@ -1,0 +1,73 @@
+"""Filter-set substrate: rule model, file formats, calibrated synthesis.
+
+The paper analyses the Stanford backbone filter sets (16 routers named
+``bbra .. yozb``) for three applications: MAC learning, Routing and ACL.
+Those files are not redistributable/available offline, so this package
+provides, side by side:
+
+- :mod:`repro.filters.rule` — the rule/ruleset data model shared by every
+  consumer (analysis, architecture builder, baselines, benchmarks);
+- :mod:`repro.filters.paper_data` — the *published statistics* of the
+  paper's Tables III and IV, embedded as data;
+- :mod:`repro.filters.synthetic` — generators that synthesise rule sets
+  whose rule counts and unique-partition-value counts match the published
+  statistics exactly (the calibration targets);
+- :mod:`repro.filters.stanford` / :mod:`repro.filters.classbench` —
+  parsers/writers for the on-disk formats, so the real files can be
+  dropped in when available;
+- :mod:`repro.filters.partitions` — the 16-bit field partitioning used
+  throughout the paper's analysis.
+"""
+
+from repro.filters.classbench import (
+    load_classbench,
+    parse_classbench_line,
+    write_classbench,
+)
+from repro.filters.partitions import (
+    FieldPartition,
+    partition_entries,
+    partition_scheme,
+)
+from repro.filters.paper_data import (
+    FILTER_NAMES,
+    MacFilterStats,
+    RoutingFilterStats,
+    TABLE3_MAC_STATS,
+    TABLE4_ROUTING_STATS,
+)
+from repro.filters.rule import Application, Rule, RuleSet
+from repro.filters.stanford import load_stanford, write_stanford
+from repro.filters.synthetic import (
+    SyntheticAclConfig,
+    generate_acl_set,
+    generate_mac_set,
+    generate_routing_set,
+    mac_sets,
+    routing_sets,
+)
+
+__all__ = [
+    "Application",
+    "FieldPartition",
+    "FILTER_NAMES",
+    "MacFilterStats",
+    "Rule",
+    "RuleSet",
+    "RoutingFilterStats",
+    "SyntheticAclConfig",
+    "TABLE3_MAC_STATS",
+    "TABLE4_ROUTING_STATS",
+    "generate_acl_set",
+    "generate_mac_set",
+    "generate_routing_set",
+    "load_classbench",
+    "load_stanford",
+    "mac_sets",
+    "parse_classbench_line",
+    "partition_entries",
+    "partition_scheme",
+    "routing_sets",
+    "write_classbench",
+    "write_stanford",
+]

@@ -1,0 +1,151 @@
+"""ClassBench 5-tuple filter format.
+
+ClassBench is the de-facto interchange format for packet-classification
+rule sets (used by the multi-dimensional lookup literature the paper
+cites: HyperCuts, HyperSplit, RFC, DCFL...).  One rule per line::
+
+    @<srcIP>/<len> <dstIP>/<len> <lo> : <hi> <lo> : <hi> <proto>/<mask>
+
+e.g.::
+
+    @192.168.0.0/16 10.0.0.0/8 0 : 65535 1024 : 65535 0x06/0xFF
+
+Rules are priority-ordered first-match-wins in the file; we translate
+that to descending priorities so our highest-priority-wins model agrees.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable
+
+from repro.filters.rule import Application, Rule, RuleSet
+from repro.openflow.match import (
+    ExactMatch,
+    FieldMatch,
+    PrefixMatch,
+    RangeMatch,
+    WildcardMatch,
+)
+from repro.util.bits import canonical_prefix
+
+_LINE_RE = re.compile(
+    r"^@(?P<src>\d+\.\d+\.\d+\.\d+)/(?P<srclen>\d+)\s+"
+    r"(?P<dst>\d+\.\d+\.\d+\.\d+)/(?P<dstlen>\d+)\s+"
+    r"(?P<splo>\d+)\s*:\s*(?P<sphi>\d+)\s+"
+    r"(?P<dplo>\d+)\s*:\s*(?P<dphi>\d+)\s+"
+    r"(?P<proto>0x[0-9a-fA-F]+|\d+)/(?P<pmask>0x[0-9a-fA-F]+|\d+)"
+)
+
+FIELD_NAMES = ("ipv4_src", "ipv4_dst", "tcp_src", "tcp_dst", "ip_proto")
+
+
+def _parse_ip(dotted: str) -> int:
+    parts = [int(p) for p in dotted.split(".")]
+    if len(parts) != 4 or any(not 0 <= p <= 255 for p in parts):
+        raise ValueError(f"invalid IPv4 address {dotted!r}")
+    return (parts[0] << 24) | (parts[1] << 16) | (parts[2] << 8) | parts[3]
+
+
+def _format_ip(value: int) -> str:
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def _int(token: str) -> int:
+    return int(token, 16) if token.lower().startswith("0x") else int(token)
+
+
+def parse_classbench_line(line: str, priority: int = 0) -> Rule:
+    """Parse one ClassBench rule line into a :class:`Rule`."""
+    match = _LINE_RE.match(line.strip())
+    if match is None:
+        raise ValueError(f"not a ClassBench rule line: {line!r}")
+    fields: dict[str, FieldMatch] = {}
+
+    for ip_field, ip_key, len_key in (
+        ("ipv4_src", "src", "srclen"),
+        ("ipv4_dst", "dst", "dstlen"),
+    ):
+        length = int(match[len_key])
+        if length > 0:
+            value, length = canonical_prefix(_parse_ip(match[ip_key]), length, 32)
+            fields[ip_field] = PrefixMatch(value=value, length=length, bits=32)
+
+    for port_field, lo_key, hi_key in (
+        ("tcp_src", "splo", "sphi"),
+        ("tcp_dst", "dplo", "dphi"),
+    ):
+        low, high = int(match[lo_key]), int(match[hi_key])
+        if (low, high) != (0, 65535):
+            fields[port_field] = RangeMatch(low=low, high=high, bits=16)
+
+    proto, proto_mask = _int(match["proto"]), _int(match["pmask"])
+    if proto_mask == 0xFF:
+        fields["ip_proto"] = ExactMatch(value=proto, bits=8)
+    elif proto_mask != 0:
+        raise ValueError(f"unsupported protocol mask {proto_mask:#x}")
+
+    return Rule(fields=fields, priority=priority)
+
+
+def load_classbench(path: str | Path, name: str | None = None) -> RuleSet:
+    """Load a ClassBench filter file into an ACL rule set.
+
+    File order is first-match-wins; rule ``i`` of ``n`` receives priority
+    ``n - i`` so the highest-priority-match model preserves semantics.
+    """
+    path = Path(path)
+    lines = [
+        line
+        for line in path.read_text().splitlines()
+        if line.strip() and not line.lstrip().startswith("#")
+    ]
+    rule_set = RuleSet(
+        name=name or path.stem,
+        application=Application.ACL,
+        field_names=FIELD_NAMES,
+    )
+    for i, line in enumerate(lines):
+        rule_set.add(parse_classbench_line(line, priority=len(lines) - i))
+    return rule_set
+
+
+def _render_rule(rule: Rule) -> str:
+    def prefix_of(field: str) -> tuple[int, int]:
+        predicate = rule.fields.get(field)
+        if predicate is None or isinstance(predicate, WildcardMatch):
+            return (0, 0)
+        assert isinstance(predicate, PrefixMatch)
+        return (predicate.value, predicate.length)
+
+    def range_of(field: str) -> tuple[int, int]:
+        predicate = rule.fields.get(field)
+        if predicate is None or isinstance(predicate, WildcardMatch):
+            return (0, 65535)
+        assert isinstance(predicate, RangeMatch)
+        return (predicate.low, predicate.high)
+
+    src, srclen = prefix_of("ipv4_src")
+    dst, dstlen = prefix_of("ipv4_dst")
+    splo, sphi = range_of("tcp_src")
+    dplo, dphi = range_of("tcp_dst")
+    proto = rule.fields.get("ip_proto")
+    if proto is None or isinstance(proto, WildcardMatch):
+        proto_text = "0x00/0x00"
+    else:
+        assert isinstance(proto, ExactMatch)
+        proto_text = f"0x{proto.value:02X}/0xFF"
+    return (
+        f"@{_format_ip(src)}/{srclen}\t{_format_ip(dst)}/{dstlen}\t"
+        f"{splo} : {sphi}\t{dplo} : {dphi}\t{proto_text}"
+    )
+
+
+def write_classbench(rule_set: RuleSet, path: str | Path) -> Path:
+    """Write an ACL rule set as a ClassBench file (priority order)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    ordered = sorted(rule_set, key=lambda r: -r.priority)
+    target.write_text("".join(_render_rule(rule) + "\n" for rule in ordered))
+    return target

@@ -1,0 +1,162 @@
+"""The paper's published filter statistics, embedded as data.
+
+These are the exact numbers of Tables III and IV of the paper — the rule
+count and the number of unique field values per 16-bit partition for each
+of the 16 Stanford-backbone routers (``bbra .. yozb``).  They serve two
+purposes:
+
+1. **Calibration targets** for :mod:`repro.filters.synthetic`, which
+   generates rule sets reproducing these counts exactly; and
+2. **Expected values** for the Table III / Table IV experiments, which
+   verify the analysis pipeline recovers them from the generated sets.
+
+Additional headline numbers quoted in the paper's Section V (prototype
+memory, update saving) live in :data:`PAPER_HEADLINE_RESULTS` for use by
+EXPERIMENTS.md generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MacFilterStats:
+    """One row of the paper's Table III (MAC learning application)."""
+
+    name: str
+    rules: int
+    unique_vlan: int
+    unique_eth_high: int
+    unique_eth_mid: int
+    unique_eth_low: int
+
+    @property
+    def unique_eth_partitions(self) -> tuple[int, int, int]:
+        return (self.unique_eth_high, self.unique_eth_mid, self.unique_eth_low)
+
+    @property
+    def total_unique_entries(self) -> int:
+        """Unique values summed over all labelled structures."""
+        return (
+            self.unique_vlan
+            + self.unique_eth_high
+            + self.unique_eth_mid
+            + self.unique_eth_low
+        )
+
+
+@dataclass(frozen=True)
+class RoutingFilterStats:
+    """One row of the paper's Table IV (Routing application)."""
+
+    name: str
+    rules: int
+    unique_port: int
+    unique_ip_high: int
+    unique_ip_low: int
+
+    @property
+    def unique_ip_partitions(self) -> tuple[int, int]:
+        return (self.unique_ip_high, self.unique_ip_low)
+
+    @property
+    def total_unique_entries(self) -> int:
+        return self.unique_port + self.unique_ip_high + self.unique_ip_low
+
+    @property
+    def high_exceeds_low(self) -> bool:
+        """The paper's highlighted anomaly: coza/cozb/soza/sozb have more
+        unique higher-partition than lower-partition values."""
+        return self.unique_ip_high > self.unique_ip_low
+
+
+#: Router names in publication order (shared by Tables III and IV).
+FILTER_NAMES: tuple[str, ...] = (
+    "bbra",
+    "bbrb",
+    "boza",
+    "bozb",
+    "coza",
+    "cozb",
+    "goza",
+    "gozb",
+    "poza",
+    "pozb",
+    "roza",
+    "rozb",
+    "soza",
+    "sozb",
+    "yoza",
+    "yozb",
+)
+
+#: Table III — number of unique field values of flow-based MAC filter.
+TABLE3_MAC_STATS: dict[str, MacFilterStats] = {
+    s.name: s
+    for s in (
+        MacFilterStats("bbra", 507, 48, 46, 133, 261),
+        MacFilterStats("bbrb", 151, 16, 26, 38, 55),
+        MacFilterStats("boza", 3664, 139, 136, 3276, 2664),
+        MacFilterStats("bozb", 4454, 139, 137, 1338, 3440),
+        MacFilterStats("coza", 3295, 32, 225, 1578, 2824),
+        MacFilterStats("cozb", 2129, 32, 194, 1101, 1861),
+        MacFilterStats("goza", 6687, 208, 172, 2579, 5480),
+        MacFilterStats("gozb", 7370, 209, 159, 1946, 6177),
+        MacFilterStats("poza", 4533, 153, 195, 2165, 3786),
+        MacFilterStats("pozb", 4999, 155, 169, 1759, 4170),
+        MacFilterStats("roza", 3851, 114, 136, 2389, 3264),
+        MacFilterStats("rozb", 3711, 113, 140, 1920, 3175),
+        MacFilterStats("soza", 3153, 41, 187, 1115, 2682),
+        MacFilterStats("sozb", 2399, 39, 161, 821, 2132),
+        MacFilterStats("yoza", 3944, 112, 178, 1655, 3180),
+        MacFilterStats("yozb", 2944, 101, 162, 1298, 2351),
+    )
+}
+
+#: Table IV — number of unique field values of flow-based Routing filter.
+TABLE4_ROUTING_STATS: dict[str, RoutingFilterStats] = {
+    s.name: s
+    for s in (
+        RoutingFilterStats("bbra", 1835, 40, 82, 1190),
+        RoutingFilterStats("bbrb", 1678, 20, 82, 1015),
+        RoutingFilterStats("boza", 1614, 26, 53, 1084),
+        RoutingFilterStats("bozb", 1455, 26, 53, 952),
+        RoutingFilterStats("coza", 184909, 43, 20214, 7062),
+        RoutingFilterStats("cozb", 183376, 39, 20212, 5575),
+        RoutingFilterStats("goza", 1767, 21, 57, 1216),
+        RoutingFilterStats("gozb", 1669, 22, 57, 1138),
+        RoutingFilterStats("poza", 1489, 18, 54, 976),
+        RoutingFilterStats("pozb", 1434, 20, 54, 932),
+        RoutingFilterStats("roza", 1567, 17, 52, 1053),
+        RoutingFilterStats("rozb", 1483, 16, 52, 988),
+        RoutingFilterStats("soza", 184682, 48, 20212, 6723),
+        RoutingFilterStats("sozb", 180944, 36, 20212, 3168),
+        RoutingFilterStats("yoza", 4746, 77, 58, 3610),
+        RoutingFilterStats("yozb", 2592, 48, 55, 1955),
+    )
+}
+
+#: The four Routing filters the paper singles out (Fig. 4(b)) because their
+#: higher 16-bit partition has more unique values than the lower one.
+OUTLIER_ROUTING_FILTERS: tuple[str, ...] = ("coza", "cozb", "soza", "sozb")
+
+#: Headline quantities quoted in the paper's Section V, for
+#: paper-vs-measured reporting.
+PAPER_HEADLINE_RESULTS: dict[str, float] = {
+    # Section V.A prose
+    "prototype_total_mbits": 5.0,
+    "prototype_mbt_mbits": 2.0,
+    "max_lut_entries": 209,  # worst-case unique VLAN IDs (gozb, Table III)
+    "max_stored_nodes": 54010,  # MAC gozb, Fig. 2(a)
+    "l1_max_nodes": 32,
+    "l1_max_bits": 832,
+    "eth_lower_trie_max_kbits": 983.7,  # gozb, Fig. 3 (sum of 3 levels)
+    "ip_lower_trie_max_kbits": 572.57,  # coza/b, soza/b, Fig. 4
+    "ip_higher_trie_outlier_kbits": 706.06,  # coza/b, soza/b higher trie
+    "ip_lower_trie_regular_kbits": 321.3,  # non-outlier routing filters
+    "routing_max_stored_nodes": 40000,  # "less than 40000" even for >180K rules
+    # Section V.B prose
+    "update_cycles_per_record": 2,
+    "label_update_saving_percent": 56.92,
+}

@@ -1,0 +1,159 @@
+"""16-bit field partitioning.
+
+The paper's analysis (Section III, after its reference [22]) splits long
+address fields into 16-bit partitions, each searched by its own trie: a
+48-bit Ethernet address becomes (higher, middle, lower) and a 32-bit IPv4
+address (higher, lower).  This module defines the partition descriptors
+and converts a rule's field predicate into per-partition *entries* — the
+prefixes each partition's trie must store, which is also exactly what the
+unique-value analysis of Tables III/IV counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.openflow.match import (
+    ExactMatch,
+    FieldMatch,
+    MaskedMatch,
+    PrefixMatch,
+    RangeMatch,
+    WildcardMatch,
+)
+from repro.util.bits import bit_slice, prefix_mask
+
+#: Conventional partition labels, following the paper's terminology.
+_LABELS: dict[int, tuple[str, ...]] = {
+    1: ("",),
+    2: ("hi", "lo"),
+    3: ("hi", "mid", "lo"),
+}
+
+
+@dataclass(frozen=True)
+class FieldPartition:
+    """One k-bit partition of a (possibly wider) match field.
+
+    Attributes:
+        field_name: the OpenFlow field being partitioned.
+        index: partition index, 0 = most significant.
+        offset: bit offset of the partition from the field's MSB.
+        bits: partition width.
+        label: human label ("hi"/"mid"/"lo" or "p<i>"; empty when the
+            field fits a single partition).
+    """
+
+    field_name: str
+    index: int
+    offset: int
+    bits: int
+    label: str
+
+    @property
+    def name(self) -> str:
+        """Qualified name, e.g. ``eth_dst/hi`` or ``vlan_vid``."""
+        return f"{self.field_name}/{self.label}" if self.label else self.field_name
+
+
+#: A partition entry: the prefix a partition's structure must store for one
+#: rule — ``None`` when the rule leaves this partition fully wild, else a
+#: ``(value, prefix_length)`` pair over the partition's width.
+PartitionEntry = tuple[int, int] | None
+
+
+def partition_scheme(
+    field_name: str, bits: int, part_bits: int = 16
+) -> tuple[FieldPartition, ...]:
+    """Split a field into MSB-first partitions of at most ``part_bits`` bits.
+
+    Fields no wider than ``part_bits`` map to a single partition covering
+    the whole field.
+
+    >>> [p.name for p in partition_scheme("eth_dst", 48)]
+    ['eth_dst/hi', 'eth_dst/mid', 'eth_dst/lo']
+    >>> [p.name for p in partition_scheme("vlan_vid", 13)]
+    ['vlan_vid']
+    """
+    if bits <= 0 or part_bits <= 0:
+        raise ValueError("field and partition widths must be positive")
+    if bits <= part_bits:
+        return (
+            FieldPartition(field_name=field_name, index=0, offset=0, bits=bits, label=""),
+        )
+    if bits % part_bits != 0:
+        raise ValueError(
+            f"field width {bits} is not a multiple of partition width {part_bits}"
+        )
+    count = bits // part_bits
+    labels = _LABELS.get(count) or tuple(f"p{i}" for i in range(count))
+    return tuple(
+        FieldPartition(
+            field_name=field_name,
+            index=i,
+            offset=i * part_bits,
+            bits=part_bits,
+            label=labels[i],
+        )
+        for i in range(count)
+    )
+
+
+def partition_entries(
+    predicate: FieldMatch, scheme: tuple[FieldPartition, ...]
+) -> tuple[PartitionEntry, ...]:
+    """Convert one field predicate into its per-partition prefix entries.
+
+    Exact values produce a full-width entry in every partition; a prefix of
+    length L produces exact entries in partitions entirely above bit L, a
+    shortened prefix entry in the partition L falls inside, and ``None``
+    (wildcard) below.  Range and masked predicates do not decompose into
+    per-partition prefixes and are rejected — the architecture routes such
+    fields to range engines instead (see :mod:`repro.core.field_engine`).
+
+    Partition entries keep the canonical left-aligned form: the /8 prefix
+    10.0.0.0 becomes the 16-bit entry ``0x0A00`` with length 8.
+
+    >>> from repro.openflow.match import PrefixMatch
+    >>> scheme = partition_scheme("ipv4_dst", 32)
+    >>> partition_entries(PrefixMatch(0x0A000000, 8, 32), scheme)
+    ((2560, 8), None)
+    """
+    field_bits = sum(p.bits for p in scheme)
+    if isinstance(predicate, WildcardMatch):
+        return tuple(None for _ in scheme)
+    if isinstance(predicate, ExactMatch):
+        return tuple(
+            (bit_slice(predicate.value, field_bits, p.offset, p.bits), p.bits)
+            for p in scheme
+        )
+    if isinstance(predicate, PrefixMatch):
+        entries: list[PartitionEntry] = []
+        for part in scheme:
+            covered = min(max(predicate.length - part.offset, 0), part.bits)
+            if covered == 0:
+                entries.append(None)
+                continue
+            value = bit_slice(predicate.value, field_bits, part.offset, part.bits)
+            entries.append((value & prefix_mask(covered, part.bits), covered))
+        return tuple(entries)
+    if isinstance(predicate, (RangeMatch, MaskedMatch)):
+        raise TypeError(
+            f"{type(predicate).__name__} does not decompose into prefix "
+            "partitions; use a range engine for this field"
+        )
+    raise TypeError(f"unsupported predicate type {type(predicate).__name__}")
+
+
+def entry_to_predicate(entry: PartitionEntry, bits: int) -> FieldMatch:
+    """Convert a partition entry back into a predicate over the partition.
+
+    Useful for building per-partition tries and for property tests that
+    check the round-trip against the original field predicate.
+    """
+    if entry is None:
+        return WildcardMatch(bits=bits)
+    value, length = entry
+    if length == bits:
+        return ExactMatch(value=value, bits=bits)
+    return PrefixMatch(value=value, length=length, bits=bits)

@@ -1,0 +1,248 @@
+"""Rule and rule-set data model.
+
+A *rule* (the paper uses rule and filter interchangeably) constrains a set
+of header fields and carries an action; a *rule set* is a named, typed
+collection of rules belonging to one application (MAC learning, Routing,
+ACL).  Field constraints reuse the OpenFlow predicate vocabulary from
+:mod:`repro.openflow.match`, so converting a rule set into flow entries is
+loss-free.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.openflow.actions import OutputAction
+from repro.openflow.fields import REGISTRY, FieldRegistry
+from repro.openflow.flow import FlowEntry
+from repro.openflow.instructions import GotoTable, Instruction, WriteActions
+from repro.openflow.match import (
+    ExactMatch,
+    FieldMatch,
+    Match,
+    PrefixMatch,
+    RangeMatch,
+    WildcardMatch,
+)
+
+
+def _is_unconstrained(predicate: FieldMatch) -> bool:
+    """Predicates that exclude nothing (and are dropped by the OXM form)."""
+    if isinstance(predicate, WildcardMatch):
+        return True
+    if isinstance(predicate, RangeMatch) and predicate.is_full:
+        return True
+    if isinstance(predicate, PrefixMatch) and predicate.length == 0:
+        return True
+    return False
+
+
+class Application(enum.Enum):
+    """The flow-set applications studied by the paper (Section III.C)."""
+
+    MAC_LEARNING = "mac"
+    ROUTING = "route"
+    ACL = "acl"
+    ARP = "arp"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One filter rule: field predicates, a priority and an action.
+
+    Attributes:
+        fields: mapping of field name -> predicate.  Absent fields are
+            wildcards.
+        priority: matching precedence, higher wins (for routing rules this
+            is the prefix length, giving longest-prefix-match semantics).
+        action_port: the output port of the rule's forwarding action.
+    """
+
+    fields: Mapping[str, FieldMatch]
+    priority: int = 0
+    action_port: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fields", dict(self.fields))
+
+    def predicate(self, field_name: str, default_bits: int | None = None) -> FieldMatch:
+        """Return this rule's predicate for a field (wildcard if absent).
+
+        Args:
+            field_name: the field to look up.
+            default_bits: width for the implicit wildcard; defaults to the
+                registry width of the field.
+        """
+        existing = self.fields.get(field_name)
+        if existing is not None:
+            return existing
+        bits = default_bits if default_bits is not None else REGISTRY[field_name].bits
+        return WildcardMatch(bits=bits)
+
+    def matches(self, packet_fields: Mapping[str, int]) -> bool:
+        """True when the packet satisfies every *constraining* predicate.
+
+        Non-constraining predicates (wildcards, length-0 prefixes, full
+        ranges) match even when the packet lacks the field — mirroring
+        OpenFlow, where such constraints simply are not expressed
+        (see :meth:`to_match`).
+        """
+        for name, predicate in self.fields.items():
+            if _is_unconstrained(predicate):
+                continue
+            value = packet_fields.get(name)
+            if value is None or not predicate.matches(value):
+                return False
+        return True
+
+    def to_match(self, registry: FieldRegistry = REGISTRY) -> Match:
+        """Convert to an OpenFlow match (dropping full wildcards)."""
+        kept = {
+            name: predicate
+            for name, predicate in self.fields.items()
+            if not _is_unconstrained(predicate)
+        }
+        return Match(kept, registry)
+
+    def __hash__(self) -> int:
+        return hash(
+            (frozenset(self.fields.items()), self.priority, self.action_port)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rule):
+            return NotImplemented
+        return (
+            dict(self.fields) == dict(other.fields)
+            and self.priority == other.priority
+            and self.action_port == other.action_port
+        )
+
+
+@dataclass
+class RuleSet:
+    """A named, application-typed collection of rules.
+
+    ``field_names`` fixes the field schema of the set (e.g. the MAC
+    learning sets constrain ``vlan_vid`` and ``eth_dst``); rules may only
+    constrain schema fields, which the constructor verifies.
+    """
+
+    name: str
+    application: Application
+    field_names: tuple[str, ...]
+    rules: list[Rule] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        schema = set(self.field_names)
+        for rule in self.rules:
+            stray = set(rule.fields) - schema
+            if stray:
+                raise ValueError(
+                    f"rule constrains fields {sorted(stray)} outside the "
+                    f"schema {self.field_names} of rule set {self.name!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def add(self, rule: Rule) -> None:
+        stray = set(rule.fields) - set(self.field_names)
+        if stray:
+            raise ValueError(
+                f"rule constrains fields {sorted(stray)} outside the schema"
+            )
+        self.rules.append(rule)
+
+    def field_predicates(self, field_name: str) -> list[FieldMatch]:
+        """All predicates (including implicit wildcards) for one field."""
+        return [rule.predicate(field_name) for rule in self.rules]
+
+    def linear_lookup(self, packet_fields: Mapping[str, int]) -> Rule | None:
+        """Reference semantics: highest priority matching rule.
+
+        Ties break on declaration order (first installed wins), matching
+        :class:`repro.openflow.table.FlowTable`.
+        """
+        best: Rule | None = None
+        for rule in self.rules:
+            if rule.matches(packet_fields):
+                if best is None or rule.priority > best.priority:
+                    best = rule
+        return best
+
+    def to_flow_entries(
+        self,
+        goto_table: int | None = None,
+        extra_instructions: Sequence[Instruction] = (),
+    ) -> list[FlowEntry]:
+        """Render the rule set as OpenFlow flow entries.
+
+        Each rule becomes a flow entry whose instruction set contains a
+        Write-Actions with the rule's output action, plus an optional
+        Goto-Table — exactly the two instructions the paper's Section IV.C
+        attaches to matched packets.
+        """
+        entries: list[FlowEntry] = []
+        for rule in self.rules:
+            instructions: list[Instruction] = [
+                WriteActions([OutputAction(rule.action_port)])
+            ]
+            if goto_table is not None:
+                instructions.append(GotoTable(goto_table))
+            instructions.extend(extra_instructions)
+            entries.append(
+                FlowEntry.build(
+                    match=rule.to_match(),
+                    priority=rule.priority,
+                    instructions=instructions,
+                )
+            )
+        return entries
+
+    def summary(self) -> str:
+        return (
+            f"RuleSet({self.name!r}, {self.application.value}, "
+            f"{len(self.rules)} rules, fields={list(self.field_names)})"
+        )
+
+
+def exact_rule(
+    priority: int = 0, action_port: int = 0, **field_values: int
+) -> Rule:
+    """Convenience: build an all-exact-match rule from keyword values."""
+    fields = {
+        name: ExactMatch(value=value, bits=REGISTRY[name].bits)
+        for name, value in field_values.items()
+    }
+    return Rule(fields=fields, priority=priority, action_port=action_port)
+
+
+def merge_rule_sets(name: str, sets: Iterable[RuleSet]) -> RuleSet:
+    """Concatenate rule sets that share an application and schema."""
+    sets = list(sets)
+    if not sets:
+        raise ValueError("cannot merge zero rule sets")
+    first = sets[0]
+    for other in sets[1:]:
+        if other.application != first.application:
+            raise ValueError("cannot merge rule sets of different applications")
+        if other.field_names != first.field_names:
+            raise ValueError("cannot merge rule sets with different schemas")
+    merged = RuleSet(
+        name=name,
+        application=first.application,
+        field_names=first.field_names,
+    )
+    for rule_set in sets:
+        for rule in rule_set:
+            merged.add(rule)
+    return merged

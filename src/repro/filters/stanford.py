@@ -1,0 +1,153 @@
+"""Stanford-backbone-style MAC and Routing table files.
+
+The paper's filter sets come from the Stanford backbone configuration
+dump (its reference [21]).  Those files are not redistributable with this
+reproduction, so we define a plain-text equivalent able to carry the same
+information; real data can be converted into it with a few lines of awk.
+
+MAC table file — one rule per line::
+
+    <vlan-id> <mac-address> <out-port>        # e.g.  42 00:1b:21:3a:91:04 7
+
+Routing table file — one rule per line::
+
+    <in-port> <a.b.c.d>/<len> <out-port>      # e.g.  3 171.64.0.0/14 12
+
+Comment lines start with ``#``.  Loading produces the same
+:class:`~repro.filters.rule.RuleSet` shapes as the calibrated synthetic
+generators, so everything downstream (analysis, architecture, benchmarks)
+works identically on real data.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.filters.rule import Application, Rule, RuleSet
+from repro.filters.synthetic import VLAN_PRESENT
+from repro.openflow.match import ExactMatch, PrefixMatch, WildcardMatch
+from repro.util.bits import canonical_prefix
+
+
+def _parse_mac(text: str) -> int:
+    parts = text.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"invalid MAC address {text!r}")
+    value = 0
+    for part in parts:
+        byte = int(part, 16)
+        if not 0 <= byte <= 255:
+            raise ValueError(f"invalid MAC address {text!r}")
+        value = (value << 8) | byte
+    return value
+
+
+def _format_mac(value: int) -> str:
+    return ":".join(f"{(value >> shift) & 0xFF:02x}" for shift in range(40, -8, -8))
+
+
+def _parse_ip(text: str) -> int:
+    parts = [int(p) for p in text.split(".")]
+    if len(parts) != 4 or any(not 0 <= p <= 255 for p in parts):
+        raise ValueError(f"invalid IPv4 address {text!r}")
+    return (parts[0] << 24) | (parts[1] << 16) | (parts[2] << 8) | parts[3]
+
+
+def _format_ip(value: int) -> str:
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def _data_lines(path: Path) -> list[str]:
+    return [
+        line.strip()
+        for line in path.read_text().splitlines()
+        if line.strip() and not line.lstrip().startswith("#")
+    ]
+
+
+def load_stanford(
+    path: str | Path, application: Application, name: str | None = None
+) -> RuleSet:
+    """Load a Stanford-style table file for the given application."""
+    path = Path(path)
+    set_name = name or path.stem
+    if application is Application.MAC_LEARNING:
+        rule_set = RuleSet(
+            name=set_name,
+            application=application,
+            field_names=("vlan_vid", "eth_dst"),
+        )
+        for line in _data_lines(path):
+            vlan_text, mac_text, port_text = line.split()
+            rule_set.add(
+                Rule(
+                    fields={
+                        "vlan_vid": ExactMatch(
+                            value=int(vlan_text) | VLAN_PRESENT, bits=13
+                        ),
+                        "eth_dst": ExactMatch(value=_parse_mac(mac_text), bits=48),
+                    },
+                    priority=1,
+                    action_port=int(port_text),
+                )
+            )
+        return rule_set
+    if application is Application.ROUTING:
+        rule_set = RuleSet(
+            name=set_name,
+            application=application,
+            field_names=("in_port", "ipv4_dst"),
+        )
+        for line in _data_lines(path):
+            port_text, prefix_text, out_text = line.split()
+            address_text, length_text = prefix_text.split("/")
+            value, length = canonical_prefix(
+                _parse_ip(address_text), int(length_text), 32
+            )
+            rule_set.add(
+                Rule(
+                    fields={
+                        "in_port": ExactMatch(value=int(port_text), bits=32),
+                        "ipv4_dst": PrefixMatch(value=value, length=length, bits=32),
+                    },
+                    priority=length,
+                    action_port=int(out_text),
+                )
+            )
+        return rule_set
+    raise ValueError(f"no Stanford file format for application {application}")
+
+
+def write_stanford(rule_set: RuleSet, path: str | Path) -> Path:
+    """Write a MAC or Routing rule set in the Stanford-style format."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    lines = [f"# {rule_set.summary()}"]
+    if rule_set.application is Application.MAC_LEARNING:
+        for rule in rule_set:
+            vlan = rule.fields["vlan_vid"]
+            mac = rule.fields["eth_dst"]
+            assert isinstance(vlan, ExactMatch) and isinstance(mac, ExactMatch)
+            lines.append(
+                f"{vlan.value & ~VLAN_PRESENT} {_format_mac(mac.value)} "
+                f"{rule.action_port}"
+            )
+    elif rule_set.application is Application.ROUTING:
+        for rule in rule_set:
+            port = rule.fields["in_port"]
+            prefix = rule.fields["ipv4_dst"]
+            assert isinstance(port, ExactMatch)
+            if isinstance(prefix, WildcardMatch):
+                value, length = 0, 0
+            else:
+                assert isinstance(prefix, PrefixMatch)
+                value, length = prefix.value, prefix.length
+            lines.append(
+                f"{port.value} {_format_ip(value)}/{length} {rule.action_port}"
+            )
+    else:
+        raise ValueError(
+            f"no Stanford file format for application {rule_set.application}"
+        )
+    target.write_text("\n".join(lines) + "\n")
+    return target

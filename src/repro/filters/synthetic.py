@@ -1,0 +1,397 @@
+"""Calibrated synthetic filter-set generation.
+
+The Stanford backbone filter files the paper analyses are not available
+offline, so this module synthesises replacement rule sets that are
+**calibrated to the paper's published statistics**: for every router the
+generated set has exactly the rule count and the per-partition
+unique-value counts of Tables III/IV (embedded in
+:mod:`repro.filters.paper_data`).  Those counts are precisely the
+quantities the paper's memory and update analysis depends on; only the
+concrete value identities (which MAC address, which prefix) are synthetic.
+
+Generation strategy (identical for every constrained component):
+
+1. draw a pool of exactly ``k`` distinct values for a component that must
+   show ``k`` unique values;
+2. assign pool values to rules *coverage-first* (the first ``k`` rules
+   take each pool value once, guaranteeing every value appears) and
+   uniformly at random afterwards;
+3. repair duplicate rule keys by resampling only the components of rows
+   past their coverage region, so coverage is never lost.
+
+All randomness flows from :func:`numpy.random.default_rng` seeded by the
+filter name, so every set regenerates byte-identically.
+"""
+
+from __future__ import annotations
+
+import functools
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.filters.paper_data import (
+    FILTER_NAMES,
+    MacFilterStats,
+    RoutingFilterStats,
+    TABLE3_MAC_STATS,
+    TABLE4_ROUTING_STATS,
+)
+from repro.filters.rule import Application, Rule, RuleSet
+from repro.openflow.match import ExactMatch, PrefixMatch, RangeMatch
+
+#: OXM vlan_vid "present" bit (OFPVID_PRESENT).
+VLAN_PRESENT = 0x1000
+
+#: Width of one partition, fixed at 16 bits throughout the paper.
+PART_BITS = 16
+
+#: Action ports are drawn from this many egress ports.
+_EGRESS_PORTS = 64
+
+
+def _seed_for(kind: str, name: str) -> int:
+    """Stable cross-platform seed derived from the filter identity."""
+    return zlib.crc32(f"{kind}:{name}".encode())
+
+
+def _coverage_first(rng: np.random.Generator, pool_size: int, rows: int) -> np.ndarray:
+    """Pool-index assignment: each index once, then uniform random."""
+    if pool_size > rows:
+        raise ValueError(
+            f"cannot place {pool_size} unique values into {rows} rows"
+        )
+    indices = np.empty(rows, dtype=np.int64)
+    indices[:pool_size] = np.arange(pool_size)
+    if rows > pool_size:
+        indices[pool_size:] = rng.integers(0, pool_size, size=rows - pool_size)
+    return indices
+
+
+def _repair_duplicates(
+    rng: np.random.Generator,
+    columns: list[np.ndarray],
+    pool_sizes: list[int],
+) -> None:
+    """Make row tuples unique without disturbing coverage.
+
+    ``columns[c][i]`` is the pool index of component ``c`` in row ``i``.
+    Rows ``i < pool_sizes[c]`` are *pinned* for component ``c`` (they carry
+    the coverage guarantee); the repair only resamples unpinned components.
+    Rows pinned in every component are mutually distinct by construction,
+    so each colliding row has at least one free component.
+    """
+    seen: set[tuple[int, ...]] = set()
+    rows = len(columns[0])
+    for i in range(rows):
+        key = tuple(int(col[i]) for col in columns)
+        attempts = 0
+        while key in seen:
+            free = [c for c, size in enumerate(pool_sizes) if i >= size]
+            if not free:
+                raise RuntimeError(
+                    "fully pinned row collided; calibration targets are "
+                    "mutually inconsistent"
+                )
+            attempts += 1
+            if attempts > 10_000:
+                raise RuntimeError(
+                    "could not de-duplicate rule keys; combination space "
+                    "too small for the requested rule count"
+                )
+            for c in free:
+                columns[c][i] = rng.integers(0, pool_sizes[c])
+            key = tuple(int(col[i]) for col in columns)
+        seen.add(key)
+
+
+def generate_mac_set(stats: MacFilterStats, seed: int | None = None) -> RuleSet:
+    """Synthesise one MAC-learning rule set calibrated to a Table III row.
+
+    Every rule matches an exact (VLAN ID, destination Ethernet) pair; the
+    generated set has exactly ``stats.rules`` rules with distinct Ethernet
+    addresses, ``stats.unique_vlan`` distinct VLAN IDs and the published
+    number of distinct values in each 16-bit Ethernet partition.
+    """
+    rng = np.random.default_rng(
+        _seed_for("mac", stats.name) if seed is None else seed
+    )
+    rows = stats.rules
+    high, mid, low = stats.unique_eth_partitions
+
+    pool_vlan = rng.choice(np.arange(1, 4095), size=stats.unique_vlan, replace=False)
+    pool_high = rng.choice(1 << PART_BITS, size=high, replace=False)
+    pool_mid = rng.choice(1 << PART_BITS, size=mid, replace=False)
+    pool_low = rng.choice(1 << PART_BITS, size=low, replace=False)
+
+    vlan_idx = _coverage_first(rng, stats.unique_vlan, rows)
+    columns = [
+        _coverage_first(rng, high, rows),
+        _coverage_first(rng, mid, rows),
+        _coverage_first(rng, low, rows),
+    ]
+    _repair_duplicates(rng, columns, [high, mid, low])
+
+    action_ports = rng.integers(0, _EGRESS_PORTS, size=rows)
+    rule_set = RuleSet(
+        name=stats.name,
+        application=Application.MAC_LEARNING,
+        field_names=("vlan_vid", "eth_dst"),
+    )
+    for i in range(rows):
+        mac = (
+            (int(pool_high[columns[0][i]]) << 32)
+            | (int(pool_mid[columns[1][i]]) << 16)
+            | int(pool_low[columns[2][i]])
+        )
+        rule_set.add(
+            Rule(
+                fields={
+                    "vlan_vid": ExactMatch(
+                        value=int(pool_vlan[vlan_idx[i]]) | VLAN_PRESENT, bits=13
+                    ),
+                    "eth_dst": ExactMatch(value=mac, bits=48),
+                },
+                priority=1,
+                action_port=int(action_ports[i]),
+            )
+        )
+    return rule_set
+
+
+#: Prefix-length mixes.  Short routes (/1../15) skew long-ish; the low
+#: 16 bits of long routes skew towards /8 within the partition (i.e. /24
+#: total), matching the shape of real routing tables.
+_SHORT_LENGTH_WEIGHTS = {
+    8: 4.0, 10: 2.0, 11: 2.0, 12: 4.0, 13: 4.0, 14: 6.0, 15: 8.0,
+}
+_LOW_LENGTH_WEIGHTS = {
+    1: 1.0, 2: 1.0, 3: 2.0, 4: 4.0, 5: 6.0, 6: 8.0, 7: 12.0, 8: 30.0,
+    9: 6.0, 10: 6.0, 11: 4.0, 12: 4.0, 13: 2.0, 14: 2.0, 15: 2.0, 16: 10.0,
+}
+
+
+def _allocate_per_length(total: int, weights: dict[int, float]) -> dict[int, int]:
+    """Split ``total`` distinct prefixes across lengths, capped at 2^len.
+
+    Weighted proportional allocation with per-length capacity caps; any
+    remainder spills into the longest lengths, which always have room for
+    the calibration targets in Tables III/IV.
+    """
+    lengths = sorted(weights)
+    weight_sum = sum(weights.values())
+    allocation = {
+        length: min(int(total * weights[length] / weight_sum), 1 << length)
+        for length in lengths
+    }
+    remainder = total - sum(allocation.values())
+    for length in sorted(lengths, key=lambda l: -l):
+        if remainder <= 0:
+            break
+        room = (1 << length) - allocation[length]
+        take = min(room, remainder)
+        allocation[length] += take
+        remainder -= take
+    if remainder > 0:
+        raise ValueError(
+            f"cannot allocate {total} distinct prefixes across lengths "
+            f"{lengths}: capacity exhausted"
+        )
+    return {length: count for length, count in allocation.items() if count > 0}
+
+
+def _distinct_prefix_pool(
+    rng: np.random.Generator, total: int, weights: dict[int, float]
+) -> list[tuple[int, int]]:
+    """Draw ``total`` distinct (value, length) prefixes over PART_BITS bits.
+
+    Values are left-aligned within the partition (host bits zero), which is
+    the canonical prefix form used across the project.
+    """
+    pool: list[tuple[int, int]] = []
+    for length, count in _allocate_per_length(total, weights).items():
+        values = rng.choice(1 << length, size=count, replace=False)
+        shift = PART_BITS - length
+        pool.extend((int(v) << shift, length) for v in values)
+    order = rng.permutation(len(pool))
+    return [pool[i] for i in order]
+
+
+def generate_routing_set(
+    stats: RoutingFilterStats, seed: int | None = None
+) -> RuleSet:
+    """Synthesise one Routing rule set calibrated to a Table IV row.
+
+    Rules match an exact ingress port plus an IPv4 destination prefix and
+    carry priority = prefix length (longest-prefix-match semantics).  The
+    generated set contains exactly ``stats.rules`` rules with distinct
+    prefixes, including one default route (0.0.0.0/0); the number of
+    distinct (value, length) entries stored by the higher and lower 16-bit
+    partitions equals the published counts exactly.
+
+    Construction: *short* routes (/1../15) each contribute one distinct
+    higher-partition entry and leave the lower partition wild; *long*
+    routes (/17../32) share a pool of exact 16-bit higher values and a
+    pool of distinct lower-partition prefixes.  /16 routes are not
+    generated — their higher entry (value, 16) could silently coincide
+    with a long route's and break the exact calibration.
+    """
+    rng = np.random.default_rng(
+        _seed_for("route", stats.name) if seed is None else seed
+    )
+    rows = stats.rules
+
+    # -- decide the short/long split ------------------------------------
+    # Roughly 5 % of the unique higher-partition entries come from short
+    # routes, bounded so every pool keeps at least one element and the
+    # long-rule combination space stays large enough.
+    short_target = max(1, round(0.05 * stats.unique_ip_high))
+    max_short = min(
+        stats.unique_ip_high - 1,
+        rows - 1 - stats.unique_ip_low,  # long rows must cover the low pool
+    )
+    n_short = max(1, min(short_target, max_short))
+    n_high_long = stats.unique_ip_high - n_short
+    n_long = rows - n_short - 1  # one row reserved for the default route
+    if n_long < max(n_high_long, stats.unique_ip_low):
+        raise ValueError(
+            f"calibration infeasible for {stats.name}: {n_long} long rows "
+            f"cannot cover pools of {n_high_long} and {stats.unique_ip_low}"
+        )
+
+    short_pool = _distinct_prefix_pool(rng, n_short, _SHORT_LENGTH_WEIGHTS)
+    high_pool = rng.choice(1 << PART_BITS, size=n_high_long, replace=False)
+    low_pool = _distinct_prefix_pool(rng, stats.unique_ip_low, _LOW_LENGTH_WEIGHTS)
+    port_pool = rng.choice(4096, size=stats.unique_port, replace=False)
+
+    port_idx = _coverage_first(rng, stats.unique_port, rows)
+    columns = [
+        _coverage_first(rng, n_high_long, n_long),
+        _coverage_first(rng, stats.unique_ip_low, n_long),
+    ]
+    _repair_duplicates(rng, columns, [n_high_long, stats.unique_ip_low])
+
+    action_ports = rng.integers(0, _EGRESS_PORTS, size=rows)
+    rule_set = RuleSet(
+        name=stats.name,
+        application=Application.ROUTING,
+        field_names=("in_port", "ipv4_dst"),
+    )
+
+    def add_rule(row: int, value32: int, length: int) -> None:
+        rule_set.add(
+            Rule(
+                fields={
+                    "in_port": ExactMatch(
+                        value=int(port_pool[port_idx[row]]), bits=32
+                    ),
+                    "ipv4_dst": PrefixMatch(value=value32, length=length, bits=32),
+                },
+                priority=length,
+                action_port=int(action_ports[row]),
+            )
+        )
+
+    row = 0
+    add_rule(row, 0, 0)  # the default route the paper calls out
+    row += 1
+    for value16, length in short_pool:
+        add_rule(row, value16 << PART_BITS, length)
+        row += 1
+    for i in range(n_long):
+        high_value = int(high_pool[columns[0][i]])
+        low_value, low_length = low_pool[columns[1][i]]
+        add_rule(row, (high_value << PART_BITS) | low_value, PART_BITS + low_length)
+        row += 1
+    assert row == rows
+    return rule_set
+
+
+@dataclass(frozen=True)
+class SyntheticAclConfig:
+    """Parameters for the uncalibrated ACL (5-tuple) generator."""
+
+    rules: int = 1000
+    seed: int = 0xAC1
+    #: probability that a rule pins the protocol to TCP/UDP.
+    proto_probability: float = 0.8
+    #: probability that a constrained port is a range rather than exact.
+    range_probability: float = 0.35
+    #: probability that each IP prefix is non-wildcard.
+    prefix_probability: float = 0.9
+
+
+#: Well-known port ranges ACLs commonly use.
+_ACL_RANGES: tuple[tuple[int, int], ...] = (
+    (0, 1023),
+    (1024, 65535),
+    (1024, 5000),
+    (6000, 6063),
+    (49152, 65535),
+)
+
+
+def generate_acl_set(config: SyntheticAclConfig = SyntheticAclConfig()) -> RuleSet:
+    """Generate a ClassBench-style 5-tuple ACL rule set.
+
+    Unlike the MAC/Routing generators this one is not calibrated to a
+    published table — the paper's ACL analysis is qualitative — but it
+    exercises every predicate kind (prefix, exact, range, wildcard), which
+    the correctness property tests rely on.
+    """
+    rng = np.random.default_rng(config.seed)
+    rule_set = RuleSet(
+        name=f"acl-{config.rules}",
+        application=Application.ACL,
+        field_names=("ipv4_src", "ipv4_dst", "tcp_src", "tcp_dst", "ip_proto"),
+    )
+    for i in range(config.rules):
+        fields = {}
+        for ip_field in ("ipv4_src", "ipv4_dst"):
+            if rng.random() < config.prefix_probability:
+                length = int(rng.choice([8, 16, 24, 28, 32], p=[0.1, 0.2, 0.4, 0.15, 0.15]))
+                value = int(rng.integers(0, 1 << length)) << (32 - length)
+                fields[ip_field] = PrefixMatch(value=value, length=length, bits=32)
+        for port_field in ("tcp_src", "tcp_dst"):
+            draw = rng.random()
+            if draw < config.range_probability:
+                low, high = _ACL_RANGES[int(rng.integers(0, len(_ACL_RANGES)))]
+                fields[port_field] = RangeMatch(low=low, high=high, bits=16)
+            elif draw < 0.75:
+                port = int(rng.integers(0, 1 << 16))
+                fields[port_field] = RangeMatch(low=port, high=port, bits=16)
+        if rng.random() < config.proto_probability:
+            fields["ip_proto"] = ExactMatch(
+                value=int(rng.choice([6, 17])), bits=8
+            )
+        rule_set.add(
+            Rule(
+                fields=fields,
+                priority=config.rules - i,
+                action_port=int(rng.integers(0, _EGRESS_PORTS)),
+            )
+        )
+    return rule_set
+
+
+@functools.lru_cache(maxsize=None)
+def mac_set(name: str) -> RuleSet:
+    """The calibrated MAC-learning set for one router (cached)."""
+    return generate_mac_set(TABLE3_MAC_STATS[name])
+
+
+@functools.lru_cache(maxsize=None)
+def routing_set(name: str) -> RuleSet:
+    """The calibrated Routing set for one router (cached)."""
+    return generate_routing_set(TABLE4_ROUTING_STATS[name])
+
+
+def mac_sets(names: tuple[str, ...] = FILTER_NAMES) -> dict[str, RuleSet]:
+    """All calibrated MAC-learning sets, keyed by router name."""
+    return {name: mac_set(name) for name in names}
+
+
+def routing_sets(names: tuple[str, ...] = FILTER_NAMES) -> dict[str, RuleSet]:
+    """All calibrated Routing sets, keyed by router name."""
+    return {name: routing_set(name) for name in names}

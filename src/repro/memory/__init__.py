@@ -1,0 +1,63 @@
+"""The embedded-memory cost model (paper Section V.A).
+
+Turns built search structures into bit-accurate memory requirements:
+
+- :mod:`repro.memory.node_format` — sizes the trie record word ("child
+  pointer, the label and a flag bit"), with per-level pointer widths
+  "determined by the worst case (lower trie)";
+- :mod:`repro.memory.cost_model` — per-level, per-structure and
+  per-table Kbit accounting under sparse or full-array allocation;
+- :mod:`repro.memory.fpga` — Stratix V M20K block-RAM rounding, since
+  "each lookup algorithm is implemented in a separate memory block";
+- :mod:`repro.memory.report` — whole-architecture reports (the
+  prototype's "5 Mb of total memory" breakdown).
+"""
+
+from repro.memory.cost_model import (
+    MemoryModel,
+    TrieCost,
+    TrieLevelCost,
+    index_cost,
+    lut_cost,
+    range_cost,
+    trie_group_cost,
+)
+from repro.memory.fpga import M20K_BITS, BlockRamPlan, StratixVModel
+from repro.memory.node_format import TrieNodeFormat, size_node_format
+from repro.memory.provisioning import (
+    ProvisionedStructure,
+    ProvisioningPlan,
+    provision_filters,
+    provision_prototype,
+)
+from repro.memory.report import (
+    ArchitectureMemoryReport,
+    StructureCost,
+    TableMemoryReport,
+    architecture_memory_report,
+    table_memory_report,
+)
+
+__all__ = [
+    "ArchitectureMemoryReport",
+    "BlockRamPlan",
+    "M20K_BITS",
+    "MemoryModel",
+    "ProvisionedStructure",
+    "ProvisioningPlan",
+    "provision_filters",
+    "provision_prototype",
+    "StratixVModel",
+    "StructureCost",
+    "TableMemoryReport",
+    "TrieCost",
+    "TrieLevelCost",
+    "TrieNodeFormat",
+    "architecture_memory_report",
+    "index_cost",
+    "lut_cost",
+    "range_cost",
+    "size_node_format",
+    "table_memory_report",
+    "trie_group_cost",
+]

@@ -1,0 +1,139 @@
+"""Per-structure memory costs.
+
+The unit of account is the raw bit; presentation layers convert to
+Kbits/Mbits.  Two allocation models are supported for tries:
+
+- ``SPARSE`` (default): only stored records occupy memory — the layout
+  implied by the paper's "number of stored nodes" figures;
+- ``FULL_ARRAY``: every allocated node is a complete ``2^stride`` record
+  array (the classic multi-bit-trie layout); kept as an ablation to show
+  what sparse storage saves.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.algorithms.base import StructureSize
+from repro.algorithms.exact_lut import ExactMatchLut
+from repro.algorithms.multibit_trie import MultibitTrie
+from repro.algorithms.range_lookup import RangeLookup
+from repro.core.action_table import ActionTable
+from repro.core.index import IndexCalculator
+from repro.memory.node_format import TrieNodeFormat, size_node_format
+from repro.util.bits import bits_needed
+from repro.util.units import kbits
+
+
+class MemoryModel(enum.Enum):
+    """Trie record allocation model."""
+
+    SPARSE = "sparse"
+    FULL_ARRAY = "full-array"
+
+
+@dataclass(frozen=True)
+class TrieLevelCost:
+    """Memory of one trie level (one pipeline stage / memory block)."""
+
+    level: int  # 1-based (paper's L1/L2/L3)
+    records: int
+    record_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.records * self.record_bits
+
+    @property
+    def total_kbits(self) -> float:
+        return kbits(self.total_bits)
+
+
+@dataclass(frozen=True)
+class TrieCost:
+    """Memory of one partition trie."""
+
+    name: str
+    levels: tuple[TrieLevelCost, ...]
+    stored_nodes: int
+
+    @property
+    def total_bits(self) -> int:
+        return sum(level.total_bits for level in self.levels)
+
+    @property
+    def total_kbits(self) -> float:
+        return kbits(self.total_bits)
+
+
+def trie_group_cost(
+    tries: Mapping[str, MultibitTrie],
+    model: MemoryModel = MemoryModel.SPARSE,
+) -> tuple[dict[str, TrieCost], TrieNodeFormat]:
+    """Cost every trie of one group under a shared worst-case record format.
+
+    Returns per-trie costs plus the shared :class:`TrieNodeFormat`, so
+    callers can report the record widths alongside the totals.
+    """
+    if not tries:
+        raise ValueError("cannot cost an empty trie group")
+    node_format = size_node_format(tries.values())
+    costs: dict[str, TrieCost] = {}
+    for name, trie in tries.items():
+        if model is MemoryModel.SPARSE:
+            record_counts = [stats.records for stats in trie.level_stats()]
+        else:
+            record_counts = trie.full_array_records()
+        levels = tuple(
+            TrieLevelCost(
+                level=i + 1,
+                records=count,
+                record_bits=node_format.record_bits(i + 1),
+            )
+            for i, count in enumerate(record_counts)
+        )
+        costs[name] = TrieCost(
+            name=name, levels=levels, stored_nodes=trie.stored_nodes()
+        )
+    return costs, node_format
+
+
+def lut_cost(lut: ExactMatchLut, label_bits: int | None = None) -> StructureSize:
+    """Hash-LUT memory (provisioned slots x key+label width)."""
+    return lut.size(label_bits)
+
+
+def range_cost(ranges: RangeLookup, label_bits: int | None = None) -> StructureSize:
+    """Elementary-interval structure memory."""
+    return ranges.size(label_bits)
+
+
+def index_cost(index: IndexCalculator, action_index_bits: int) -> StructureSize:
+    """Aggregation network + final index table memory.
+
+    Stage *k* stores truncated label tuples of width ``sum(label bits of
+    partitions 0..k)``; the final stage adds the action-table index.
+    Single-partition tables need no aggregation beyond the final stage.
+    """
+    label_bits = index.observed_label_bits()
+    sizes = index.aggregation_sizes()
+    total_bits = 0
+    entries = 0
+    for k, stage_entries in enumerate(sizes):
+        key_bits = sum(label_bits[: k + 1])
+        payload = action_index_bits if k == len(sizes) - 1 else 1
+        total_bits += stage_entries * (key_bits + payload)
+        entries += stage_entries
+    return StructureSize(entries=entries, bits=total_bits)
+
+
+def action_table_cost(actions: ActionTable) -> StructureSize:
+    """Action-table memory (entries x fixed instruction encoding)."""
+    return StructureSize(entries=len(actions), bits=actions.total_bits)
+
+
+def metadata_label_bits(index: IndexCalculator) -> int:
+    """Width of a metadata label produced by a per-field split table."""
+    return bits_needed(len(index) + 1)

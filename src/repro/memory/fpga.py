@@ -1,0 +1,102 @@
+"""Stratix V embedded-memory model.
+
+The paper's prototype is synthesised on a Stratix V
+(5SGXMB6R3F43C4), whose embedded memory is organised as **M20K** blocks:
+20 480 bits each, configurable from 512 x 40 down to 16K x 1.  "Each
+lookup algorithm is implemented in a separate memory block, and each node
+level of the multi-bit trie is searched in a different pipeline stage"
+(Section V.A) — so every level/structure rounds up to whole blocks of its
+own.
+
+This module turns (depth, width) memory requirements into block counts
+and utilisation, which the prototype experiment reports next to the raw
+bit totals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: One M20K block.
+M20K_BITS = 20 * 1024
+#: Widest M20K port configuration is 40 bits x 512 words.
+M20K_MAX_WIDTH = 40
+M20K_MIN_DEPTH = 512
+
+#: Total M20K blocks on the 5SGXMB6R3F43C4 device (Stratix V GX B6).
+DEVICE_M20K_BLOCKS = 2640
+
+
+@dataclass(frozen=True)
+class BlockRamPlan:
+    """Block allocation for one logical memory."""
+
+    name: str
+    depth: int  # records
+    width: int  # bits per record
+    blocks: int
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.blocks * M20K_BITS
+
+    @property
+    def used_bits(self) -> int:
+        return self.depth * self.width
+
+    @property
+    def utilisation(self) -> float:
+        return self.used_bits / self.capacity_bits if self.blocks else 0.0
+
+
+def plan_memory(name: str, depth: int, width: int) -> BlockRamPlan:
+    """Allocate M20K blocks for a ``depth x width`` memory.
+
+    Wide records are striped across ``ceil(width / 40)`` block columns;
+    each column then needs ``ceil(depth / depth_per_block)`` blocks where
+    the depth per block follows the configured column width (an M20K
+    yields 512 words at 40 bits, 1024 at 20, ... 16K at 1 — i.e. depth
+    scales as ``20K / power-of-two width``).
+    """
+    if depth <= 0 or width <= 0:
+        return BlockRamPlan(name=name, depth=depth, width=width, blocks=0)
+    columns = math.ceil(width / M20K_MAX_WIDTH)
+    column_width = math.ceil(width / columns)
+    # Effective configured width is the next power-of-two-ish port width
+    # (40, 20, 10, 5 ... for M20K); model it as 40 / 2^k >= column_width.
+    configured_width = M20K_MAX_WIDTH
+    while configured_width / 2 >= column_width:
+        configured_width /= 2
+    depth_per_block = int(M20K_BITS / configured_width)
+    blocks_per_column = math.ceil(depth / depth_per_block)
+    return BlockRamPlan(
+        name=name, depth=depth, width=width, blocks=columns * blocks_per_column
+    )
+
+
+@dataclass
+class StratixVModel:
+    """Device-level accounting across many planned memories."""
+
+    plans: list[BlockRamPlan]
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(plan.blocks for plan in self.plans)
+
+    @property
+    def total_capacity_bits(self) -> int:
+        return self.total_blocks * M20K_BITS
+
+    @property
+    def total_used_bits(self) -> int:
+        return sum(plan.used_bits for plan in self.plans)
+
+    @property
+    def device_fraction(self) -> float:
+        """Fraction of the 5SGXMB6R3F43C4's M20K blocks consumed."""
+        return self.total_blocks / DEVICE_M20K_BLOCKS
+
+    def fits_device(self) -> bool:
+        return self.total_blocks <= DEVICE_M20K_BLOCKS

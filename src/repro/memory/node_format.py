@@ -1,0 +1,77 @@
+"""Trie record (node) format sizing.
+
+Paper, Section V.A: "The trie node data is composed of the child pointer,
+the label and a flag bit.  However, each level node requires different
+child pointer sizes.  This size is determined by the worst case (lower
+trie)."
+
+A record word at level *j* is::
+
+    | flag (1) | label (label_bits) | child pointer (pointer_bits[j]) |
+
+- ``label_bits`` is shared by the whole trie *group* (the 2-3 partition
+  tries of one field), sized for the largest label any of them stores;
+- ``pointer_bits[j]`` addresses records of level *j+1*, sized for the
+  worst-case (largest) level *j+1* across the group; the deepest level
+  has no pointer.
+
+With the default (5, 5, 6) strides and the paper's worst-case MAC filter,
+L1 holds at most 2^5 = 32 records — the paper's "maximum stored nodes in
+L1 are 32 and the memory consumption is less than 1 Kbit (832 bits)"
+corresponds to a 26-bit record at L1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.algorithms.multibit_trie import MultibitTrie
+from repro.util.bits import bits_needed
+
+FLAG_BITS = 1
+
+
+@dataclass(frozen=True)
+class TrieNodeFormat:
+    """Record widths for one trie group."""
+
+    label_bits: int
+    pointer_bits: tuple[int, ...]  # one per level; deepest is 0
+
+    def record_bits(self, level: int) -> int:
+        """Width of a record word at 1-based level ``level``."""
+        if not 1 <= level <= len(self.pointer_bits):
+            raise ValueError(
+                f"level {level} outside 1..{len(self.pointer_bits)}"
+            )
+        return FLAG_BITS + self.label_bits + self.pointer_bits[level - 1]
+
+    @property
+    def level_count(self) -> int:
+        return len(self.pointer_bits)
+
+
+def size_node_format(tries: Iterable[MultibitTrie]) -> TrieNodeFormat:
+    """Size the shared record format of a trie group from its worst case.
+
+    All tries must share a stride distribution (they do by construction:
+    one field's partitions use one configuration).
+    """
+    tries = list(tries)
+    if not tries:
+        raise ValueError("cannot size a format for zero tries")
+    level_count = tries[0].level_count
+    for trie in tries:
+        if trie.level_count != level_count:
+            raise ValueError("tries of one group must share their strides")
+
+    label_bits = max(1, bits_needed(max(t.max_label() for t in tries) + 1))
+    pointer_bits = []
+    for level in range(level_count):
+        if level == level_count - 1:
+            pointer_bits.append(0)
+            continue
+        worst_next = max(t.level_stats()[level + 1].records for t in tries)
+        pointer_bits.append(max(1, bits_needed(max(worst_next, 1))))
+    return TrieNodeFormat(label_bits=label_bits, pointer_bits=tuple(pointer_bits))

@@ -1,0 +1,114 @@
+"""Worst-case memory provisioning across many filter sets.
+
+An FPGA bitstream fixes its memory sizes at synthesis time, so a real
+deployment must provision each structure for the *worst case across every
+filter set it may serve* — exactly how the paper dimensions its LUTs
+("209 values must be addressed ... based on the worst case of unique
+fields").  This module computes that envelope: for each structure
+(per trie level, LUT, index stage, action table) the maximum occupancy
+over a collection of rule sets, and the resulting provisioned bits and
+M20K blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.builder import build_prototype
+from repro.filters.rule import RuleSet
+from repro.memory.cost_model import MemoryModel
+from repro.memory.fpga import BlockRamPlan, StratixVModel, plan_memory
+from repro.memory.report import architecture_memory_report
+from repro.util.units import mbits
+
+
+@dataclass(frozen=True)
+class ProvisionedStructure:
+    """Worst-case envelope of one structure across filter sets."""
+
+    name: str
+    kind: str
+    max_entries: int
+    max_bits: int
+    sizing_filter: str  # which filter set forced the maximum
+
+
+@dataclass
+class ProvisioningPlan:
+    """The provisioned prototype: every structure at its envelope."""
+
+    structures: list[ProvisionedStructure]
+
+    @property
+    def total_bits(self) -> int:
+        return sum(s.max_bits for s in self.structures)
+
+    @property
+    def total_mbits(self) -> float:
+        return mbits(self.total_bits)
+
+    def block_ram(self) -> StratixVModel:
+        plans: list[BlockRamPlan] = []
+        for structure in self.structures:
+            if structure.max_entries and structure.max_bits:
+                width = max(1, structure.max_bits // structure.max_entries)
+                plans.append(
+                    plan_memory(structure.name, structure.max_entries, width)
+                )
+        return StratixVModel(plans=plans)
+
+    def sizing_filters(self) -> dict[str, int]:
+        """How often each filter set sets a structure's worst case."""
+        counts: dict[str, int] = {}
+        for structure in self.structures:
+            counts[structure.sizing_filter] = (
+                counts.get(structure.sizing_filter, 0) + 1
+            )
+        return counts
+
+
+def provision_prototype(
+    filter_pairs: Mapping[str, tuple[RuleSet, RuleSet]],
+    model: MemoryModel = MemoryModel.FULL_ARRAY,
+) -> ProvisioningPlan:
+    """Provision the 4-table prototype for a set of (MAC, Routing) pairs.
+
+    Args:
+        filter_pairs: filter name -> (MAC rule set, Routing rule set).
+        model: trie allocation model used for sizing.
+
+    Returns a plan whose per-structure sizes are the maxima over all
+    pairs — the memory a single synthesised prototype needs to be able to
+    load any of them.
+    """
+    if not filter_pairs:
+        raise ValueError("cannot provision for zero filter sets")
+    envelope: dict[str, ProvisionedStructure] = {}
+    for filter_name, (mac, routing) in filter_pairs.items():
+        architecture = build_prototype(mac, routing)
+        report = architecture_memory_report(architecture, model)
+        for table_report in report.tables:
+            for structure in table_report.structures:
+                key = f"t{table_report.table_id}/{structure.name}"
+                current = envelope.get(key)
+                if current is None or structure.bits > current.max_bits:
+                    envelope[key] = ProvisionedStructure(
+                        name=key,
+                        kind=structure.kind,
+                        max_entries=structure.entries,
+                        max_bits=structure.bits,
+                        sizing_filter=filter_name,
+                    )
+    return ProvisioningPlan(structures=sorted(envelope.values(), key=lambda s: s.name))
+
+
+def provision_filters(
+    names: Iterable[str],
+    model: MemoryModel = MemoryModel.FULL_ARRAY,
+) -> ProvisioningPlan:
+    """Provision across named backbone filters (MAC+Routing per router)."""
+    from repro.filters.synthetic import mac_set, routing_set
+
+    pairs = {name: (mac_set(name), routing_set(name)) for name in names}
+    return provision_prototype(pairs, model)

@@ -1,0 +1,195 @@
+"""Whole-table and whole-architecture memory reports.
+
+The prototype experiment needs the paper's Section V.A inventory: per
+lookup table, the memory of every engine structure (LUTs, trie levels),
+the index-calculation tables and the action tables; per architecture,
+the grand total ("5 Mb of total memory", of which ~2 Mb is the MBTs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.architecture import MultiTableLookupArchitecture
+from repro.core.lookup_table import OpenFlowLookupTable
+from repro.memory.cost_model import (
+    MemoryModel,
+    TrieCost,
+    action_table_cost,
+    index_cost,
+    lut_cost,
+    range_cost,
+    trie_group_cost,
+)
+from repro.memory.fpga import BlockRamPlan, StratixVModel, plan_memory
+from repro.memory.node_format import TrieNodeFormat
+from repro.util.tables import TextTable
+from repro.util.units import format_bits, kbits, mbits
+
+
+@dataclass(frozen=True)
+class StructureCost:
+    """One structure's contribution to a table's memory."""
+
+    name: str
+    kind: str  # "lut" | "trie" | "range" | "index" | "actions"
+    entries: int
+    bits: int
+
+    @property
+    def kbits(self) -> float:
+        return kbits(self.bits)
+
+
+@dataclass
+class TableMemoryReport:
+    """Memory breakdown of one lookup table."""
+
+    table_id: int
+    structures: list[StructureCost] = field(default_factory=list)
+    trie_costs: dict[str, TrieCost] = field(default_factory=dict)
+    node_format: TrieNodeFormat | None = None
+
+    @property
+    def total_bits(self) -> int:
+        return sum(s.bits for s in self.structures)
+
+    @property
+    def trie_bits(self) -> int:
+        return sum(s.bits for s in self.structures if s.kind == "trie")
+
+    def block_ram_plans(self) -> list[BlockRamPlan]:
+        """One memory block per structure / trie level, as in the paper."""
+        plans: list[BlockRamPlan] = []
+        for cost in self.trie_costs.values():
+            for level in cost.levels:
+                plans.append(
+                    plan_memory(
+                        f"t{self.table_id}/{cost.name}/L{level.level}",
+                        depth=level.records,
+                        width=level.record_bits,
+                    )
+                )
+        for structure in self.structures:
+            if structure.kind == "trie":
+                continue  # already planned per level above
+            if structure.entries and structure.bits:
+                width = max(1, structure.bits // max(structure.entries, 1))
+                plans.append(
+                    plan_memory(
+                        f"t{self.table_id}/{structure.name}",
+                        depth=structure.entries,
+                        width=width,
+                    )
+                )
+        return plans
+
+
+def table_memory_report(
+    table: OpenFlowLookupTable,
+    model: MemoryModel = MemoryModel.SPARSE,
+) -> TableMemoryReport:
+    """Compute the full memory breakdown of one lookup table."""
+    report = TableMemoryReport(table_id=table.table_id)
+
+    tries = {name: engine.trie for name, engine in table.tries().items()}
+    if tries:
+        trie_costs, node_format = trie_group_cost(tries, model)
+        report.trie_costs = trie_costs
+        report.node_format = node_format
+        for name, cost in trie_costs.items():
+            report.structures.append(
+                StructureCost(
+                    name=name,
+                    kind="trie",
+                    entries=sum(level.records for level in cost.levels),
+                    bits=cost.total_bits,
+                )
+            )
+    for name, engine in table.luts().items():
+        size = lut_cost(engine.lut)
+        report.structures.append(
+            StructureCost(name=name, kind="lut", entries=size.entries, bits=size.bits)
+        )
+    for name, engine in table.range_engines().items():
+        size = range_cost(engine.ranges)
+        report.structures.append(
+            StructureCost(name=name, kind="range", entries=size.entries, bits=size.bits)
+        )
+    index_size = index_cost(table.index, table.actions.index_bits)
+    report.structures.append(
+        StructureCost(
+            name="index", kind="index", entries=index_size.entries, bits=index_size.bits
+        )
+    )
+    actions_size = action_table_cost(table.actions)
+    report.structures.append(
+        StructureCost(
+            name="actions",
+            kind="actions",
+            entries=actions_size.entries,
+            bits=actions_size.bits,
+        )
+    )
+    return report
+
+
+@dataclass
+class ArchitectureMemoryReport:
+    """Memory breakdown of a whole architecture."""
+
+    tables: list[TableMemoryReport]
+
+    @property
+    def total_bits(self) -> int:
+        return sum(t.total_bits for t in self.tables)
+
+    @property
+    def total_mbits(self) -> float:
+        return mbits(self.total_bits)
+
+    @property
+    def trie_bits(self) -> int:
+        return sum(t.trie_bits for t in self.tables)
+
+    @property
+    def trie_mbits(self) -> float:
+        return mbits(self.trie_bits)
+
+    def block_ram(self) -> StratixVModel:
+        plans: list[BlockRamPlan] = []
+        for table in self.tables:
+            plans.extend(table.block_ram_plans())
+        return StratixVModel(plans=plans)
+
+    def to_table(self) -> TextTable:
+        text = TextTable(
+            headers=["table", "structure", "kind", "entries", "memory"],
+            title="Architecture memory breakdown",
+        )
+        for table in self.tables:
+            for structure in table.structures:
+                text.add_row(
+                    [
+                        table.table_id,
+                        structure.name,
+                        structure.kind,
+                        structure.entries,
+                        format_bits(structure.bits),
+                    ]
+                )
+        text.add_row(["-", "TOTAL", "-", "-", format_bits(self.total_bits)])
+        return text
+
+
+def architecture_memory_report(
+    architecture: MultiTableLookupArchitecture,
+    model: MemoryModel = MemoryModel.SPARSE,
+) -> ArchitectureMemoryReport:
+    """Memory report over every table of an architecture."""
+    return ArchitectureMemoryReport(
+        tables=[
+            table_memory_report(table, model)
+            for table in architecture.lookup_tables
+        ]
+    )

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the OpenFlow model."""
+
+from __future__ import annotations
+
+
+class OpenFlowError(Exception):
+    """Base class for every error raised by :mod:`repro.openflow`."""
+
+
+class UnknownFieldError(OpenFlowError, KeyError):
+    """A match or packet referenced a field name absent from the registry."""
+
+    def __init__(self, field_name: str):
+        super().__init__(f"unknown OpenFlow match field: {field_name!r}")
+        self.field_name = field_name
+
+
+class TableFullError(OpenFlowError):
+    """A flow table reached its configured capacity."""
+
+
+class PipelineError(OpenFlowError):
+    """The pipeline configuration or a flow entry violates OpenFlow rules.
+
+    Examples: a Goto-Table instruction pointing backwards, or a flow entry
+    installed into a table id the pipeline does not have.
+    """

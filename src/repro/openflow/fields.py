@@ -1,0 +1,199 @@
+"""OpenFlow v1.3 OXM match-field registry.
+
+OpenFlow v1.3 defines 39 basic OXM match fields plus the 64-bit metadata
+register used to pass state between tables of the pipeline (paper,
+Section III.A).  Fifteen of those fields are the "common matching fields"
+the paper analyses in Table II; each carries the matching method its
+semantics require:
+
+- **EM** (exact match) — every bit compared, e.g. ingress port, VLAN ID;
+- **LPM** (longest prefix match) — the wildcard-capable address fields;
+- **RM** (range match) — the transport port fields.
+
+The registry is the single source of truth for field names, widths and
+matching methods used by the packet model, the rule model, the analysis
+code and the lookup architecture.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.openflow.errors import UnknownFieldError
+
+
+class MatchMethod(enum.Enum):
+    """Matching method a field requires (paper Table II, column 3)."""
+
+    EXACT = "EM"
+    PREFIX = "LPM"
+    RANGE = "RM"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class FieldDef:
+    """Definition of one OXM match field.
+
+    Attributes:
+        name: canonical snake_case field name (e.g. ``"ipv4_src"``).
+        oxm_id: the OFPXMT_OFB_* numeric identifier from the OF 1.3 spec.
+        bits: field width in bits.
+        method: matching method the field requires.
+        common: True for the 15 common fields the paper analyses.
+        paper_name: the row label used in the paper's Table II (common
+            fields only, empty otherwise).
+        maskable: whether OF 1.3 allows a bitmask on this field.
+    """
+
+    name: str
+    oxm_id: int
+    bits: int
+    method: MatchMethod
+    common: bool = False
+    paper_name: str = ""
+    maskable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise ValueError(f"field {self.name!r} must have positive width")
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable value of the field."""
+        return (1 << self.bits) - 1
+
+
+def _f(
+    name: str,
+    oxm_id: int,
+    bits: int,
+    method: MatchMethod,
+    paper_name: str = "",
+    maskable: bool = False,
+) -> FieldDef:
+    return FieldDef(
+        name=name,
+        oxm_id=oxm_id,
+        bits=bits,
+        method=method,
+        common=bool(paper_name),
+        paper_name=paper_name,
+        maskable=maskable,
+    )
+
+
+#: All OpenFlow v1.3 basic OXM fields (OFPXMT_OFB_*), plus metadata.  The
+#: ``paper_name`` column marks the 15 common fields of the paper's Table II.
+OXM_FIELDS: tuple[FieldDef, ...] = (
+    _f("in_port", 0, 32, MatchMethod.EXACT, "Ingress Port"),
+    _f("in_phy_port", 1, 32, MatchMethod.EXACT),
+    _f("metadata", 2, 64, MatchMethod.EXACT, maskable=True),
+    _f("eth_dst", 3, 48, MatchMethod.PREFIX, "Destination Ethernet", maskable=True),
+    _f("eth_src", 4, 48, MatchMethod.PREFIX, "Source Ethernet", maskable=True),
+    _f("eth_type", 5, 16, MatchMethod.EXACT, "Ethernet Type"),
+    _f("vlan_vid", 6, 13, MatchMethod.EXACT, "VLAN ID", maskable=True),
+    _f("vlan_pcp", 7, 3, MatchMethod.EXACT, "VLAN Priority"),
+    _f("ip_dscp", 8, 6, MatchMethod.EXACT, "IPv4 ToS"),
+    _f("ip_ecn", 9, 2, MatchMethod.EXACT),
+    _f("ip_proto", 10, 8, MatchMethod.EXACT, "IPv4 Protocol"),
+    _f("ipv4_src", 11, 32, MatchMethod.PREFIX, "Source IPv4", maskable=True),
+    _f("ipv4_dst", 12, 32, MatchMethod.PREFIX, "Destination IPv4", maskable=True),
+    _f("tcp_src", 13, 16, MatchMethod.RANGE, "Source Port"),
+    _f("tcp_dst", 14, 16, MatchMethod.RANGE, "Destination Port"),
+    _f("udp_src", 15, 16, MatchMethod.RANGE),
+    _f("udp_dst", 16, 16, MatchMethod.RANGE),
+    _f("sctp_src", 17, 16, MatchMethod.RANGE),
+    _f("sctp_dst", 18, 16, MatchMethod.RANGE),
+    _f("icmpv4_type", 19, 8, MatchMethod.EXACT),
+    _f("icmpv4_code", 20, 8, MatchMethod.EXACT),
+    _f("arp_op", 21, 16, MatchMethod.EXACT),
+    _f("arp_spa", 22, 32, MatchMethod.PREFIX, maskable=True),
+    _f("arp_tpa", 23, 32, MatchMethod.PREFIX, maskable=True),
+    _f("arp_sha", 24, 48, MatchMethod.PREFIX, maskable=True),
+    _f("arp_tha", 25, 48, MatchMethod.PREFIX, maskable=True),
+    _f("ipv6_src", 26, 128, MatchMethod.PREFIX, "Source IPv6", maskable=True),
+    _f("ipv6_dst", 27, 128, MatchMethod.PREFIX, "Destination IPv6", maskable=True),
+    _f("ipv6_flabel", 28, 20, MatchMethod.EXACT, maskable=True),
+    _f("icmpv6_type", 29, 8, MatchMethod.EXACT),
+    _f("icmpv6_code", 30, 8, MatchMethod.EXACT),
+    _f("ipv6_nd_target", 31, 128, MatchMethod.EXACT),
+    _f("ipv6_nd_sll", 32, 48, MatchMethod.EXACT),
+    _f("ipv6_nd_tll", 33, 48, MatchMethod.EXACT),
+    _f("mpls_label", 34, 20, MatchMethod.EXACT, "MPLS Label"),
+    _f("mpls_tc", 35, 3, MatchMethod.EXACT),
+    _f("mpls_bos", 36, 1, MatchMethod.EXACT),
+    _f("pbb_isid", 37, 24, MatchMethod.EXACT, maskable=True),
+    _f("tunnel_id", 38, 64, MatchMethod.EXACT, maskable=True),
+    _f("ipv6_exthdr", 39, 9, MatchMethod.EXACT, maskable=True),
+)
+
+
+class FieldRegistry(Mapping[str, FieldDef]):
+    """Immutable name-indexed view over a set of field definitions."""
+
+    def __init__(self, fields: tuple[FieldDef, ...] = OXM_FIELDS):
+        self._by_name = {f.name: f for f in fields}
+        if len(self._by_name) != len(fields):
+            raise ValueError("duplicate field names in registry")
+
+    def __getitem__(self, name: str) -> FieldDef:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownFieldError(name) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._by_name)
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def width(self, name: str) -> int:
+        """Width in bits of the named field."""
+        return self[name].bits
+
+    def method(self, name: str) -> MatchMethod:
+        """Matching method of the named field."""
+        return self[name].method
+
+    def common_fields(self) -> tuple[FieldDef, ...]:
+        """The 15 common matching fields of the paper's Table II."""
+        return tuple(f for f in self._by_name.values() if f.common)
+
+    def match_field_count(self, exclude_metadata: bool = True) -> int:
+        """Number of match fields (paper: "39 excluding metadata")."""
+        count = len(self._by_name)
+        if exclude_metadata and "metadata" in self._by_name:
+            count -= 1
+        return count
+
+
+#: The process-wide default registry.
+REGISTRY = FieldRegistry()
+
+
+def paper_table2_fields() -> tuple[FieldDef, ...]:
+    """The rows of the paper's Table II, in publication order."""
+    order = (
+        "in_port",
+        "eth_src",
+        "eth_dst",
+        "eth_type",
+        "vlan_vid",
+        "vlan_pcp",
+        "mpls_label",
+        "ipv4_src",
+        "ipv4_dst",
+        "ipv6_src",
+        "ipv6_dst",
+        "ip_proto",
+        "ip_dscp",
+        "tcp_src",
+        "tcp_dst",
+    )
+    return tuple(REGISTRY[name] for name in order)

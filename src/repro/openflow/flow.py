@@ -1,0 +1,83 @@
+"""Flow entries.
+
+A flow entry binds a match to an instruction set at a priority, with the
+bookkeeping OpenFlow switches keep per entry (cookie, timeouts, counters).
+Entries are ordered by (priority desc, specificity desc, insertion order)
+— priority decides, the rest make lookup deterministic for equal-priority
+overlapping entries, which the OpenFlow spec leaves undefined.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.openflow.instructions import Instruction, InstructionSet
+from repro.openflow.match import Match
+
+_sequence = itertools.count()
+
+
+@dataclass
+class FlowStats:
+    """Per-entry counters maintained by the switch."""
+
+    packet_count: int = 0
+    byte_count: int = 0
+
+    def record(self, byte_count: int = 0) -> None:
+        self.packet_count += 1
+        self.byte_count += byte_count
+
+
+@dataclass(frozen=True)
+class FlowEntry:
+    """One OpenFlow flow entry.
+
+    Attributes:
+        match: the multi-field match.
+        priority: matching precedence (higher wins).
+        instructions: the validated instruction set.
+        cookie: opaque controller-chosen identifier.
+        idle_timeout / hard_timeout: seconds, 0 = permanent.
+        stats: mutable counters (excluded from equality).
+    """
+
+    match: Match
+    priority: int = 0
+    instructions: InstructionSet = field(default_factory=InstructionSet)
+    cookie: int = 0
+    idle_timeout: int = 0
+    hard_timeout: int = 0
+    stats: FlowStats = field(default_factory=FlowStats, compare=False, repr=False)
+    _seq: int = field(default_factory=lambda: next(_sequence), compare=False, repr=False)
+
+    @classmethod
+    def build(
+        cls,
+        match: Match,
+        priority: int = 0,
+        instructions: Iterable[Instruction] = (),
+        cookie: int = 0,
+    ) -> "FlowEntry":
+        """Convenience constructor accepting a plain instruction iterable."""
+        return cls(
+            match=match,
+            priority=priority,
+            instructions=InstructionSet(instructions),
+            cookie=cookie,
+        )
+
+    def matches(self, packet_fields: Mapping[str, int]) -> bool:
+        return self.match.matches(packet_fields)
+
+    @property
+    def sort_key(self) -> tuple[int, int, int]:
+        """Descending-priority sort key with deterministic tiebreaks."""
+        return (-self.priority, -self.match.specificity(), self._seq)
+
+    @property
+    def is_table_miss(self) -> bool:
+        """OpenFlow table-miss = priority-0 entry with the empty match."""
+        return self.priority == 0 and self.match.is_table_miss

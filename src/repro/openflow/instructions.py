@@ -1,0 +1,169 @@
+"""OpenFlow instructions.
+
+Instructions are attached to flow entries and direct pipeline processing.
+They were introduced together with multiple tables in OpenFlow v1.1; the
+two the paper relies on (Section IV.C) are **Goto-Table** (forward the
+packet to a later table) and **Write-Actions** (merge actions into the
+accumulated action set).  The remaining v1.3 instructions are implemented
+for completeness: Apply-Actions, Clear-Actions, Write-Metadata and Meter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.openflow.actions import Action
+from repro.openflow.errors import PipelineError
+from repro.util.bits import mask_of
+
+METADATA_BITS = 64
+
+
+class Instruction:
+    """Base class for all instructions.  Immutable value objects."""
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class GotoTable(Instruction):
+    """Continue processing at a later table of the pipeline."""
+
+    table_id: int
+
+    def __post_init__(self) -> None:
+        if self.table_id < 0:
+            raise PipelineError(f"invalid table id {self.table_id}")
+
+    def describe(self) -> str:
+        return f"goto_table:{self.table_id}"
+
+
+@dataclass(frozen=True)
+class WriteActions(Instruction):
+    """Merge actions into the packet's accumulated action set."""
+
+    actions: tuple[Action, ...]
+
+    def __init__(self, actions: Iterable[Action]):
+        object.__setattr__(self, "actions", tuple(actions))
+
+    def describe(self) -> str:
+        inner = ",".join(a.describe() for a in self.actions)
+        return f"write_actions({inner})"
+
+
+@dataclass(frozen=True)
+class ApplyActions(Instruction):
+    """Execute actions immediately, in order, while pipeline continues."""
+
+    actions: tuple[Action, ...]
+
+    def __init__(self, actions: Iterable[Action]):
+        object.__setattr__(self, "actions", tuple(actions))
+
+    def describe(self) -> str:
+        inner = ",".join(a.describe() for a in self.actions)
+        return f"apply_actions({inner})"
+
+
+@dataclass(frozen=True)
+class ClearActions(Instruction):
+    """Empty the accumulated action set."""
+
+    def describe(self) -> str:
+        return "clear_actions"
+
+
+@dataclass(frozen=True)
+class WriteMetadata(Instruction):
+    """Update the 64-bit metadata register: ``meta = meta & ~mask | value``."""
+
+    value: int
+    mask: int = mask_of(METADATA_BITS)
+
+    def __post_init__(self) -> None:
+        if self.value & ~mask_of(METADATA_BITS) or self.mask & ~mask_of(METADATA_BITS):
+            raise PipelineError("metadata value/mask exceed 64 bits")
+        if self.value & ~self.mask:
+            raise PipelineError("metadata value has bits outside the mask")
+
+    def apply(self, metadata: int) -> int:
+        return (metadata & ~self.mask) | self.value
+
+    def describe(self) -> str:
+        return f"write_metadata:{self.value:#x}/{self.mask:#x}"
+
+
+@dataclass(frozen=True)
+class Meter(Instruction):
+    """Direct the packet to a meter (rate limiting); modelled as a tag."""
+
+    meter_id: int
+
+    def describe(self) -> str:
+        return f"meter:{self.meter_id}"
+
+
+class InstructionSet:
+    """The validated, ordered instruction list of one flow entry.
+
+    OpenFlow allows at most one instruction of each type per entry and
+    defines a fixed execution order: Meter, Apply-Actions, Clear-Actions,
+    Write-Actions, Write-Metadata, Goto-Table.  This class enforces both.
+    """
+
+    _ORDER: tuple[type, ...] = (
+        Meter,
+        ApplyActions,
+        ClearActions,
+        WriteActions,
+        WriteMetadata,
+        GotoTable,
+    )
+
+    __slots__ = ("_by_type",)
+
+    def __init__(self, instructions: Iterable[Instruction] = ()):
+        self._by_type: dict[type, Instruction] = {}
+        for instruction in instructions:
+            kind = type(instruction)
+            if kind not in self._ORDER:
+                raise PipelineError(f"unknown instruction type {kind.__name__}")
+            if kind in self._by_type:
+                raise PipelineError(
+                    f"duplicate instruction of type {kind.__name__}"
+                )
+            self._by_type[kind] = instruction
+
+    def __iter__(self) -> Iterator[Instruction]:
+        """Iterate in OpenFlow execution order."""
+        for kind in self._ORDER:
+            if kind in self._by_type:
+                yield self._by_type[kind]
+
+    def __len__(self) -> int:
+        return len(self._by_type)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InstructionSet):
+            return NotImplemented
+        return self._by_type == other._by_type
+
+    def __repr__(self) -> str:
+        return f"InstructionSet([{', '.join(i.describe() for i in self)}])"
+
+    def get(self, kind: type) -> Instruction | None:
+        """Return the instruction of the given type, if present."""
+        return self._by_type.get(kind)
+
+    @property
+    def goto_table(self) -> GotoTable | None:
+        instruction = self._by_type.get(GotoTable)
+        assert instruction is None or isinstance(instruction, GotoTable)
+        return instruction
+
+    def describe(self) -> str:
+        return "; ".join(i.describe() for i in self)

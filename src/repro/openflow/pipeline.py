@@ -1,0 +1,199 @@
+"""The OpenFlow multiple-table pipeline (v1.1+ processing model).
+
+A packet enters at table 0 with an empty action set and zero metadata.
+Each table lookup either matches an entry — whose instructions may apply
+actions immediately, merge actions into the action set, update metadata
+and/or send the packet onwards with Goto-Table — or misses.  On a miss the
+table-miss entry (if present) decides; otherwise the configured
+:class:`MissPolicy` applies.  The paper's architecture assumes misses go to
+the controller ("Send to controller", Section IV.C), so that is the
+default policy here.
+
+Processing stops when a matched entry has no Goto-Table instruction; the
+accumulated action set is then executed in the OpenFlow-specified order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.openflow.actions import (
+    Action,
+    CONTROLLER_PORT,
+    OutputAction,
+    SetFieldAction,
+    action_set_order,
+)
+from repro.openflow.errors import PipelineError
+from repro.openflow.flow import FlowEntry
+from repro.openflow.instructions import (
+    ApplyActions,
+    ClearActions,
+    GotoTable,
+    Meter,
+    WriteActions,
+    WriteMetadata,
+)
+from repro.openflow.table import FlowTable
+
+
+class MissPolicy(enum.Enum):
+    """What to do when a table has no matching entry and no miss entry."""
+
+    SEND_TO_CONTROLLER = "controller"
+    DROP = "drop"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of processing one packet through the pipeline.
+
+    Attributes:
+        matched_entries: the entry matched in each visited table (in
+            visit order); empty on a first-table miss.
+        applied_actions: actions executed in order (Apply-Actions
+            immediately, then the final action set).
+        output_ports: ports the packet was forwarded to.
+        sent_to_controller: True if any executed action (or the miss
+            policy) sent the packet to the controller.
+        dropped: True when processing finished with no output action.
+        metadata: final value of the 64-bit metadata register.
+        tables_visited: ids of the tables consulted.
+        final_fields: the packet fields after any set-field rewrites.
+    """
+
+    matched_entries: list[FlowEntry] = field(default_factory=list)
+    applied_actions: list[Action] = field(default_factory=list)
+    output_ports: list[int] = field(default_factory=list)
+    sent_to_controller: bool = False
+    dropped: bool = False
+    metadata: int = 0
+    tables_visited: list[int] = field(default_factory=list)
+    final_fields: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def matched(self) -> bool:
+        return bool(self.matched_entries)
+
+
+class OpenFlowPipeline:
+    """An ordered sequence of flow tables with OpenFlow v1.3 semantics."""
+
+    def __init__(
+        self,
+        tables: Sequence[FlowTable] | int = 2,
+        miss_policy: MissPolicy = MissPolicy.SEND_TO_CONTROLLER,
+    ):
+        if isinstance(tables, int):
+            if tables < 1:
+                raise PipelineError("pipeline needs at least one table")
+            tables = [FlowTable(table_id=i) for i in range(tables)]
+        ids = [t.table_id for t in tables]
+        if ids != sorted(set(ids)):
+            raise PipelineError(f"table ids must be unique and ascending: {ids}")
+        self._tables: dict[int, FlowTable] = {t.table_id: t for t in tables}
+        self._order: list[int] = ids
+        self.miss_policy = miss_policy
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    @property
+    def tables(self) -> list[FlowTable]:
+        return [self._tables[i] for i in self._order]
+
+    def table(self, table_id: int) -> FlowTable:
+        try:
+            return self._tables[table_id]
+        except KeyError:
+            raise PipelineError(f"pipeline has no table {table_id}") from None
+
+    def install(self, table_id: int, entry: FlowEntry) -> None:
+        """Install a flow entry, validating any Goto-Table is forward-only."""
+        goto = entry.instructions.goto_table
+        if goto is not None:
+            if goto.table_id not in self._tables:
+                raise PipelineError(
+                    f"goto_table:{goto.table_id} targets a missing table"
+                )
+            if goto.table_id <= table_id:
+                raise PipelineError(
+                    f"goto_table:{goto.table_id} from table {table_id} "
+                    "must point to a later table"
+                )
+        self.table(table_id).add(entry)
+
+    def process(self, packet_fields: Mapping[str, int]) -> PipelineResult:
+        """Run one packet through the pipeline and execute its actions."""
+        result = PipelineResult(final_fields=dict(packet_fields))
+        action_set: list[Action] = []
+        table_id: int | None = self._order[0]
+
+        while table_id is not None:
+            table = self.table(table_id)
+            result.tables_visited.append(table_id)
+            entry = table.lookup(result.final_fields)
+            if entry is None:
+                self._handle_miss(result)
+                return result
+            result.matched_entries.append(entry)
+            table_id = self._execute_instructions(entry, action_set, result)
+
+        self._execute_action_set(action_set, result)
+        if not result.output_ports and not result.sent_to_controller:
+            result.dropped = True
+        return result
+
+    def _execute_instructions(
+        self,
+        entry: FlowEntry,
+        action_set: list[Action],
+        result: PipelineResult,
+    ) -> int | None:
+        """Run one entry's instructions; returns the next table id, if any."""
+        next_table: int | None = None
+        for instruction in entry.instructions:
+            if isinstance(instruction, Meter):
+                continue  # metering is modelled as a no-op tag
+            if isinstance(instruction, ApplyActions):
+                for action in instruction.actions:
+                    self._execute_action(action, result)
+            elif isinstance(instruction, ClearActions):
+                action_set.clear()
+            elif isinstance(instruction, WriteActions):
+                action_set.extend(instruction.actions)
+            elif isinstance(instruction, WriteMetadata):
+                result.metadata = instruction.apply(result.metadata)
+                result.final_fields["metadata"] = result.metadata
+            elif isinstance(instruction, GotoTable):
+                next_table = instruction.table_id
+        return next_table
+
+    def _execute_action_set(
+        self, action_set: list[Action], result: PipelineResult
+    ) -> None:
+        for action in action_set_order(tuple(action_set)):
+            self._execute_action(action, result)
+
+    def _execute_action(self, action: Action, result: PipelineResult) -> None:
+        result.applied_actions.append(action)
+        if isinstance(action, OutputAction):
+            result.output_ports.append(action.port)
+            if action.to_controller:
+                result.sent_to_controller = True
+        elif isinstance(action, SetFieldAction):
+            action.apply(result.final_fields)
+
+    def _handle_miss(self, result: PipelineResult) -> None:
+        if self.miss_policy is MissPolicy.SEND_TO_CONTROLLER:
+            action = OutputAction(CONTROLLER_PORT)
+            result.applied_actions.append(action)
+            result.output_ports.append(CONTROLLER_PORT)
+            result.sent_to_controller = True
+        else:
+            result.dropped = True

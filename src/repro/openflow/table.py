@@ -1,0 +1,110 @@
+"""A single OpenFlow flow table with highest-priority-match semantics.
+
+This is the behavioural reference model: a sorted list searched linearly.
+It is deliberately simple — the paper's contribution (the decomposition
+architecture in :mod:`repro.core`) is differential-tested against this
+table, so its correctness anchors everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping
+
+from repro.openflow.errors import TableFullError
+from repro.openflow.flow import FlowEntry
+from repro.openflow.match import Match
+
+
+class FlowTable:
+    """An ordered set of flow entries.
+
+    Entries are kept sorted by :attr:`FlowEntry.sort_key`, so
+    :meth:`lookup` is a linear scan returning the first hit — exactly the
+    OpenFlow "highest priority matching entry" semantics.
+    """
+
+    def __init__(self, table_id: int = 0, max_entries: int | None = None):
+        if table_id < 0:
+            raise ValueError(f"invalid table id {table_id}")
+        self.table_id = table_id
+        self.max_entries = max_entries
+        self._entries: list[FlowEntry] = []
+        self._by_key: dict[tuple[Match, int], FlowEntry] = {}
+        self._dirty = False  # entries appended but not yet re-sorted
+        self.lookup_count = 0
+        self.matched_count = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[FlowEntry]:
+        self._ensure_sorted()
+        return iter(self._entries)
+
+    def _ensure_sorted(self) -> None:
+        # Adds mark the table dirty and sorting is deferred to the next
+        # read, so bulk installation stays O(n log n) overall.
+        if self._dirty:
+            self._entries.sort(key=lambda e: e.sort_key)
+            self._dirty = False
+
+    def add(self, entry: FlowEntry) -> None:
+        """Insert an entry, replacing an identical-match same-priority one.
+
+        OpenFlow flow-mod ADD semantics: an entry with the same match and
+        priority overwrites the existing entry.
+        """
+        if (
+            self.max_entries is not None
+            and len(self._entries) >= self.max_entries
+            and self._find(entry.match, entry.priority) is None
+        ):
+            raise TableFullError(
+                f"table {self.table_id} full ({self.max_entries} entries)"
+            )
+        existing = self._find(entry.match, entry.priority)
+        if existing is not None:
+            self._entries.remove(existing)
+        self._entries.append(entry)
+        self._by_key[(entry.match, entry.priority)] = entry
+        self._dirty = True
+
+    def remove(self, match: Match, priority: int) -> bool:
+        """Delete the entry with the exact match and priority; True if found."""
+        existing = self._find(match, priority)
+        if existing is None:
+            return False
+        self._entries.remove(existing)
+        del self._by_key[(match, priority)]
+        return True
+
+    def remove_where(self, predicate: Callable[[FlowEntry], bool]) -> int:
+        """Delete all entries satisfying ``predicate``; returns count."""
+        before = len(self._entries)
+        self._entries = [e for e in self._entries if not predicate(e)]
+        self._by_key = {
+            (e.match, e.priority): e for e in self._entries
+        }
+        return before - len(self._entries)
+
+    def lookup(self, packet_fields: Mapping[str, int]) -> FlowEntry | None:
+        """Return the highest-priority entry matching the packet, if any."""
+        self._ensure_sorted()
+        self.lookup_count += 1
+        for entry in self._entries:
+            if entry.matches(packet_fields):
+                self.matched_count += 1
+                entry.stats.record()
+                return entry
+        return None
+
+    def _find(self, match: Match, priority: int) -> FlowEntry | None:
+        return self._by_key.get((match, priority))
+
+    @property
+    def table_miss_entry(self) -> FlowEntry | None:
+        """The table-miss entry (priority 0, empty match), if installed."""
+        for entry in self._entries:
+            if entry.is_table_miss:
+                return entry
+        return None

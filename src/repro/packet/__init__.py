@@ -1,0 +1,50 @@
+"""Packet substrate: typed headers, wire codecs and trace generation.
+
+The lookup architecture classifies packets by their extracted header
+fields.  This package provides:
+
+- :mod:`repro.packet.headers` — immutable header dataclasses (Ethernet,
+  802.1Q, MPLS, IPv4, IPv6, TCP, UDP, ICMP) that each know how to
+  contribute OpenFlow match fields;
+- :mod:`repro.packet.packet` — :class:`Packet`, a header stack plus switch
+  context (ingress port) with :meth:`Packet.match_fields`;
+- :mod:`repro.packet.parser` / :mod:`repro.packet.builder` — real
+  byte-level wire-format codecs (parse/serialise round-trip);
+- :mod:`repro.packet.generator` — deterministic packet-trace generation,
+  including traces derived from rule sets so benchmarks can control hit
+  rates.
+"""
+
+from repro.packet.headers import (
+    Ethernet,
+    Header,
+    Icmp,
+    IPv4,
+    IPv6,
+    Mpls,
+    Tcp,
+    Udp,
+    Vlan,
+)
+from repro.packet.packet import Packet
+from repro.packet.parser import ParseError, parse_packet
+from repro.packet.builder import build_packet
+from repro.packet.generator import PacketGenerator, TraceConfig
+
+__all__ = [
+    "Ethernet",
+    "Header",
+    "Icmp",
+    "IPv4",
+    "IPv6",
+    "Mpls",
+    "Packet",
+    "PacketGenerator",
+    "ParseError",
+    "Tcp",
+    "TraceConfig",
+    "Udp",
+    "Vlan",
+    "build_packet",
+    "parse_packet",
+]

@@ -1,0 +1,189 @@
+"""Wire-format serialisation: :class:`Packet` -> bytes.
+
+Implements real Ethernet II / 802.1Q / MPLS / IPv4 / IPv6 / TCP / UDP /
+ICMP encodings, including the IPv4 header checksum, so traces produced
+here can be consumed by external tools and so the parser has a genuine
+round-trip partner to test against.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.packet.headers import (
+    ETHERTYPE_MPLS,
+    ETHERTYPE_QINQ,
+    ETHERTYPE_VLAN,
+    Ethernet,
+    Header,
+    Icmp,
+    IPv4,
+    IPv6,
+    Mpls,
+    Tcp,
+    Udp,
+    Vlan,
+)
+from repro.packet.packet import Packet
+
+
+def ipv4_checksum(header: bytes) -> int:
+    """Compute the RFC 791 ones-complement header checksum."""
+    if len(header) % 2:
+        header += b"\x00"
+    total = sum(struct.unpack(f"!{len(header) // 2}H", header))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def _encode_ethernet(header: Ethernet) -> bytes:
+    return (
+        header.dst.to_bytes(6, "big")
+        + header.src.to_bytes(6, "big")
+        + struct.pack("!H", header.ethertype)
+    )
+
+
+def _encode_vlan(header: Vlan) -> bytes:
+    tci = (header.pcp << 13) | (header.dei << 12) | header.vid
+    return struct.pack("!HH", tci, header.ethertype)
+
+
+def _encode_mpls(header: Mpls) -> bytes:
+    word = (header.label << 12) | (header.tc << 9) | (header.bos << 8) | header.ttl
+    return struct.pack("!I", word)
+
+
+def _encode_ipv4(header: IPv4, payload_length: int) -> bytes:
+    version_ihl = (4 << 4) | 5
+    dscp_ecn = (header.dscp << 2) | header.ecn
+    total_length = 20 + payload_length
+    without_checksum = struct.pack(
+        "!BBHHHBBH4s4s",
+        version_ihl,
+        dscp_ecn,
+        total_length,
+        header.identification,
+        0,  # flags/fragment offset
+        header.ttl,
+        header.proto,
+        0,  # checksum placeholder
+        header.src.to_bytes(4, "big"),
+        header.dst.to_bytes(4, "big"),
+    )
+    checksum = ipv4_checksum(without_checksum)
+    return without_checksum[:10] + struct.pack("!H", checksum) + without_checksum[12:]
+
+
+def _encode_ipv6(header: IPv6, payload_length: int) -> bytes:
+    first_word = (
+        (6 << 28) | (header.traffic_class << 20) | header.flow_label
+    )
+    return (
+        struct.pack(
+            "!IHBB", first_word, payload_length, header.next_header, header.hop_limit
+        )
+        + header.src.to_bytes(16, "big")
+        + header.dst.to_bytes(16, "big")
+    )
+
+
+def _encode_tcp(header: Tcp) -> bytes:
+    data_offset_flags = (5 << 12) | header.flags
+    return struct.pack(
+        "!HHIIHHHH",
+        header.src_port,
+        header.dst_port,
+        header.seq,
+        header.ack,
+        data_offset_flags,
+        header.window,
+        0,  # checksum not modelled (needs pseudo-header)
+        0,  # urgent pointer
+    )
+
+
+def _encode_udp(header: Udp, payload_length: int) -> bytes:
+    return struct.pack(
+        "!HHHH", header.src_port, header.dst_port, 8 + payload_length, 0
+    )
+
+
+def _encode_icmp(header: Icmp) -> bytes:
+    return struct.pack("!BBH", header.icmp_type, header.code, 0)
+
+
+def build_packet(packet: Packet) -> bytes:
+    """Serialise a packet's header stack and payload to wire bytes.
+
+    Raises:
+        ValueError: if a header's declared next-protocol disagrees with the
+            header that actually follows (e.g. an Ethernet ethertype of
+            0x8100 not followed by a VLAN tag) — such stacks would not
+            round-trip through the parser.
+    """
+    _validate_stack(packet.headers)
+    encoded_tail = packet.payload
+    # Encode from the innermost header outwards so length/checksum fields
+    # that depend on payload size are correct.
+    for header in reversed(packet.headers):
+        if isinstance(header, Ethernet):
+            encoded_tail = _encode_ethernet(header) + encoded_tail
+        elif isinstance(header, Vlan):
+            encoded_tail = _encode_vlan(header) + encoded_tail
+        elif isinstance(header, Mpls):
+            encoded_tail = _encode_mpls(header) + encoded_tail
+        elif isinstance(header, IPv4):
+            encoded_tail = _encode_ipv4(header, len(encoded_tail)) + encoded_tail
+        elif isinstance(header, IPv6):
+            encoded_tail = _encode_ipv6(header, len(encoded_tail)) + encoded_tail
+        elif isinstance(header, Tcp):
+            encoded_tail = _encode_tcp(header) + encoded_tail
+        elif isinstance(header, Udp):
+            encoded_tail = _encode_udp(header, len(encoded_tail)) + encoded_tail
+        elif isinstance(header, Icmp):
+            encoded_tail = _encode_icmp(header) + encoded_tail
+        else:
+            raise ValueError(f"cannot encode header type {type(header).__name__}")
+    return encoded_tail
+
+
+def _validate_stack(headers: tuple[Header, ...]) -> None:
+    for current, following in zip(headers, headers[1:]):
+        declared = _declared_next(current)
+        if declared is None:
+            continue
+        if not isinstance(following, declared):
+            raise ValueError(
+                f"{type(current).__name__} declares next protocol "
+                f"{declared.__name__ if isinstance(declared, type) else declared}, "
+                f"but {type(following).__name__} follows"
+            )
+
+
+def _declared_next(header: Header):
+    from repro.packet.headers import (
+        ETHERTYPE_IPV4,
+        ETHERTYPE_IPV6,
+        IP_PROTO_ICMP,
+        IP_PROTO_TCP,
+        IP_PROTO_UDP,
+    )
+
+    mapping = {
+        ETHERTYPE_VLAN: Vlan,
+        ETHERTYPE_QINQ: Vlan,
+        ETHERTYPE_MPLS: Mpls,
+        ETHERTYPE_IPV4: IPv4,
+        ETHERTYPE_IPV6: IPv6,
+    }
+    if isinstance(header, (Ethernet, Vlan)):
+        return mapping.get(header.ethertype)
+    if isinstance(header, IPv4):
+        return {IP_PROTO_TCP: Tcp, IP_PROTO_UDP: Udp, IP_PROTO_ICMP: Icmp}.get(
+            header.proto
+        )
+    if isinstance(header, IPv6):
+        return {IP_PROTO_TCP: Tcp, IP_PROTO_UDP: Udp}.get(header.next_header)
+    return None

@@ -1,0 +1,183 @@
+"""Deterministic packet-trace generation.
+
+Benchmarks need traces with controlled properties: fully random traffic
+(mostly table misses) and traffic drawn *from* a rule set (controlled hit
+rate).  The generator is seeded, so every benchmark run sees an identical
+trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.openflow.match import (
+    ExactMatch,
+    FieldMatch,
+    MaskedMatch,
+    Match,
+    PrefixMatch,
+    RangeMatch,
+    WildcardMatch,
+)
+from repro.packet.headers import (
+    ETHERTYPE_IPV4,
+    IP_PROTO_TCP,
+    IP_PROTO_UDP,
+    Ethernet,
+    Header,
+    IPv4,
+    Tcp,
+    Udp,
+    Vlan,
+)
+from repro.packet.packet import Packet
+from repro.util.bits import mask_of, prefix_range
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Knobs for random trace generation."""
+
+    vlan_probability: float = 0.3
+    udp_probability: float = 0.4
+    port_count: int = 48
+    seed: int = 0x0F10
+
+
+class PacketGenerator:
+    """Seeded random generator of packets and extracted-field dicts."""
+
+    def __init__(self, config: TraceConfig = TraceConfig()):
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+
+    def _random_value(self, bits: int) -> int:
+        # numpy integers cap at 64 bits; compose wider values from chunks.
+        value = 0
+        remaining = bits
+        while remaining > 0:
+            chunk = min(remaining, 32)
+            value = (value << chunk) | int(self._rng.integers(0, 1 << chunk))
+            remaining -= chunk
+        return value
+
+    def random_packet(self) -> Packet:
+        """Generate one random Ethernet/[VLAN]/IPv4/{TCP,UDP} packet."""
+        config = self.config
+        use_vlan = self._rng.random() < config.vlan_probability
+        use_udp = self._rng.random() < config.udp_probability
+        headers: list[Header] = []
+        eth_kwargs = {
+            "dst": self._random_value(48),
+            "src": self._random_value(48),
+        }
+        if use_vlan:
+            headers.append(Ethernet(ethertype=0x8100, **eth_kwargs))
+            headers.append(
+                Vlan(vid=int(self._rng.integers(1, 4095)), ethertype=ETHERTYPE_IPV4)
+            )
+        else:
+            headers.append(Ethernet(ethertype=ETHERTYPE_IPV4, **eth_kwargs))
+        proto = IP_PROTO_UDP if use_udp else IP_PROTO_TCP
+        headers.append(
+            IPv4(src=self._random_value(32), dst=self._random_value(32), proto=proto)
+        )
+        ports = (
+            int(self._rng.integers(0, 1 << 16)),
+            int(self._rng.integers(0, 1 << 16)),
+        )
+        if use_udp:
+            headers.append(Udp(src_port=ports[0], dst_port=ports[1]))
+        else:
+            headers.append(Tcp(src_port=ports[0], dst_port=ports[1]))
+        in_port = int(self._rng.integers(0, self.config.port_count))
+        return Packet(headers=tuple(headers), in_port=in_port)
+
+    def trace(self, count: int) -> Iterator[Packet]:
+        """Yield ``count`` random packets."""
+        for _ in range(count):
+            yield self.random_packet()
+
+    def fields_matching(
+        self,
+        match: Match | Mapping[str, FieldMatch],
+        fill_fields: Sequence[str] = (),
+    ) -> dict[str, int]:
+        """Generate an extracted-field dict guaranteed to satisfy ``match``.
+
+        ``fill_fields`` names schema fields that must be present even when
+        the match leaves them free (they get random in-width values), so
+        classifiers that key on a full field concatenation — e.g. the TCAM
+        baseline — see a complete key.
+        """
+        from repro.openflow.fields import REGISTRY
+
+        fields: dict[str, int] = {}
+        for name, predicate in match.items():
+            fields[name] = self._value_satisfying(predicate)
+        for name in fill_fields:
+            if name not in fields:
+                fields[name] = self._random_value(REGISTRY[name].bits)
+        # Fill in common context fields if the match left them free.
+        fields.setdefault("in_port", int(self._rng.integers(0, self.config.port_count)))
+        fields.setdefault("eth_type", ETHERTYPE_IPV4)
+        return fields
+
+    def field_trace(
+        self,
+        matches: Sequence[Match],
+        count: int,
+        hit_rate: float = 1.0,
+        fill_fields: Sequence[str] = (),
+    ) -> list[dict[str, int]]:
+        """Build a trace of field dicts with approximately ``hit_rate``
+        drawn from the given matches and the rest fully random."""
+        if not 0.0 <= hit_rate <= 1.0:
+            raise ValueError(f"hit_rate {hit_rate} outside [0, 1]")
+        trace: list[dict[str, int]] = []
+        for _ in range(count):
+            if matches and self._rng.random() < hit_rate:
+                index = int(self._rng.integers(0, len(matches)))
+                trace.append(self.fields_matching(matches[index], fill_fields))
+            else:
+                fields = self.random_packet().match_fields()
+                trace.append(
+                    self.fields_matching(Match({}), fill_fields) | fields
+                    if fill_fields
+                    else fields
+                )
+        return trace
+
+    def _value_satisfying(self, predicate: FieldMatch) -> int:
+        if isinstance(predicate, ExactMatch):
+            return predicate.value
+        if isinstance(predicate, PrefixMatch):
+            low, high = prefix_range(predicate.value, predicate.length, predicate.bits)
+            return self._random_in(low, high)
+        if isinstance(predicate, RangeMatch):
+            return self._random_in(predicate.low, predicate.high)
+        if isinstance(predicate, MaskedMatch):
+            random_bits = self._random_value(predicate.bits)
+            return (random_bits & ~predicate.mask & mask_of(predicate.bits)) | (
+                predicate.value
+            )
+        if isinstance(predicate, WildcardMatch):
+            return self._random_value(predicate.bits)
+        raise TypeError(f"unsupported predicate type {type(predicate).__name__}")
+
+    def _random_in(self, low: int, high: int) -> int:
+        span = high - low
+        if span == 0:
+            return low
+        if span < (1 << 63):
+            return low + int(self._rng.integers(0, span + 1))
+        # Spans wider than 63 bits (IPv6): rejection-sample the offset
+        # from span.bit_length() random bits (uniform, < 2 expected draws).
+        bits = span.bit_length()
+        while True:
+            offset = self._random_value(bits)
+            if offset <= span:
+                return low + offset

@@ -1,0 +1,97 @@
+"""The :class:`Packet` abstraction: a header stack plus switch context."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Sequence
+
+from repro.packet.headers import (
+    Ethernet,
+    Header,
+    IPv4,
+    IPv6,
+    Tcp,
+    Udp,
+    Vlan,
+)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """An ordered stack of protocol headers with switch-local context.
+
+    ``in_port`` is not carried on the wire; it is supplied by the ingress
+    pipeline, which is why it lives on the packet object rather than in a
+    header.  ``payload`` is the opaque bytes after the last parsed header.
+    """
+
+    headers: tuple[Header, ...]
+    in_port: int = 0
+    payload: bytes = b""
+    metadata: int = 0
+
+    def __post_init__(self) -> None:
+        if self.in_port < 0:
+            raise ValueError(f"invalid in_port {self.in_port}")
+        if self.headers and not isinstance(self.headers[0], Ethernet):
+            raise ValueError("packet must start with an Ethernet header")
+
+    def __iter__(self) -> Iterator[Header]:
+        return iter(self.headers)
+
+    def match_fields(self) -> dict[str, int]:
+        """Extract the OpenFlow match-field dictionary for this packet.
+
+        Header fields are collected outermost-first, so an inner header
+        never overrides an outer one for the same field name (relevant for
+        QinQ stacks, where the outer VLAN tag is the matchable one).
+        """
+        fields: dict[str, int] = {"in_port": self.in_port, "metadata": self.metadata}
+        for header in self.headers:
+            for name, value in header.match_fields().items():
+                fields.setdefault(name, value)
+        return fields
+
+    def find(self, header_type: type) -> Header | None:
+        """Return the outermost header of the given type, if present."""
+        for header in self.headers:
+            if isinstance(header, header_type):
+                return header
+        return None
+
+    def with_in_port(self, in_port: int) -> "Packet":
+        return replace(self, in_port=in_port)
+
+    @property
+    def summary(self) -> str:
+        """Compact one-line description, e.g. for logs and test failures."""
+        parts = [type(h).__name__ for h in self.headers]
+        return f"Packet(port={self.in_port}, {'/'.join(parts)})"
+
+
+def ethernet_ipv4_tcp(
+    eth_src: int,
+    eth_dst: int,
+    ipv4_src: int,
+    ipv4_dst: int,
+    src_port: int,
+    dst_port: int,
+    in_port: int = 0,
+    vlan: int | None = None,
+) -> Packet:
+    """Build the common Ethernet/[VLAN]/IPv4/TCP packet in one call."""
+    from repro.packet.headers import (
+        ETHERTYPE_IPV4,
+        ETHERTYPE_VLAN,
+        IP_PROTO_TCP,
+    )
+
+    headers: list[Header] = []
+    if vlan is not None:
+        headers.append(Ethernet(dst=eth_dst, src=eth_src, ethertype=ETHERTYPE_VLAN))
+        headers.append(Vlan(vid=vlan, ethertype=ETHERTYPE_IPV4))
+    else:
+        headers.append(Ethernet(dst=eth_dst, src=eth_src, ethertype=ETHERTYPE_IPV4))
+    headers.append(IPv4(src=ipv4_src, dst=ipv4_dst, proto=IP_PROTO_TCP))
+    headers.append(Tcp(src_port=src_port, dst_port=dst_port))
+    return Packet(headers=tuple(headers), in_port=in_port)

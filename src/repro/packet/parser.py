@@ -1,0 +1,177 @@
+"""Wire-format parsing: bytes -> :class:`Packet`.
+
+The inverse of :mod:`repro.packet.builder`.  Parsing is strict about
+structural validity (truncated headers raise :class:`ParseError`) but
+tolerant of unknown payloads: an unrecognised ethertype or IP protocol
+simply terminates header parsing and the rest becomes the payload, which
+is how a real switch parser behaves.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.packet.headers import (
+    ETHERTYPE_IPV4,
+    ETHERTYPE_IPV6,
+    ETHERTYPE_MPLS,
+    ETHERTYPE_QINQ,
+    ETHERTYPE_VLAN,
+    IP_PROTO_ICMP,
+    IP_PROTO_TCP,
+    IP_PROTO_UDP,
+    Ethernet,
+    Header,
+    Icmp,
+    IPv4,
+    IPv6,
+    Mpls,
+    Tcp,
+    Udp,
+    Vlan,
+)
+from repro.packet.packet import Packet
+
+
+class ParseError(ValueError):
+    """Raised when the byte stream is too short for a declared header."""
+
+
+def _need(data: bytes, offset: int, count: int, what: str) -> None:
+    if len(data) - offset < count:
+        raise ParseError(
+            f"truncated {what}: need {count} bytes at offset {offset}, "
+            f"have {len(data) - offset}"
+        )
+
+
+def parse_packet(data: bytes, in_port: int = 0) -> Packet:
+    """Parse wire bytes into a :class:`Packet`.
+
+    Args:
+        data: the raw frame, starting at the Ethernet destination address.
+        in_port: switch ingress port to attach to the packet.
+    """
+    headers: list[Header] = []
+    offset = 0
+
+    _need(data, offset, 14, "Ethernet header")
+    dst = int.from_bytes(data[offset : offset + 6], "big")
+    src = int.from_bytes(data[offset + 6 : offset + 12], "big")
+    (ethertype,) = struct.unpack_from("!H", data, offset + 12)
+    headers.append(Ethernet(dst=dst, src=src, ethertype=ethertype))
+    offset += 14
+
+    while ethertype in (ETHERTYPE_VLAN, ETHERTYPE_QINQ):
+        _need(data, offset, 4, "802.1Q tag")
+        tci, inner_type = struct.unpack_from("!HH", data, offset)
+        headers.append(
+            Vlan(
+                vid=tci & 0x0FFF,
+                pcp=tci >> 13,
+                dei=(tci >> 12) & 1,
+                ethertype=inner_type,
+            )
+        )
+        ethertype = inner_type
+        offset += 4
+
+    while ethertype == ETHERTYPE_MPLS:
+        _need(data, offset, 4, "MPLS shim")
+        (word,) = struct.unpack_from("!I", data, offset)
+        shim = Mpls(
+            label=word >> 12, tc=(word >> 9) & 0x7, bos=(word >> 8) & 1, ttl=word & 0xFF
+        )
+        headers.append(shim)
+        offset += 4
+        if shim.bos:
+            # After bottom-of-stack we cannot know the payload type without
+            # inspection; stop header parsing here.
+            ethertype = 0
+
+    ip_proto: int | None = None
+    if ethertype == ETHERTYPE_IPV4:
+        _need(data, offset, 20, "IPv4 header")
+        (
+            version_ihl,
+            dscp_ecn,
+            total_length,
+            identification,
+            _flags_frag,
+            ttl,
+            proto,
+            _checksum,
+        ) = struct.unpack_from("!BBHHHBBH", data, offset)[:8]
+        if version_ihl >> 4 != 4:
+            raise ParseError(f"IPv4 version field is {version_ihl >> 4}")
+        ihl_bytes = (version_ihl & 0xF) * 4
+        _need(data, offset, ihl_bytes, "IPv4 header with options")
+        ip_src = int.from_bytes(data[offset + 12 : offset + 16], "big")
+        ip_dst = int.from_bytes(data[offset + 16 : offset + 20], "big")
+        headers.append(
+            IPv4(
+                src=ip_src,
+                dst=ip_dst,
+                proto=proto,
+                dscp=dscp_ecn >> 2,
+                ecn=dscp_ecn & 0x3,
+                ttl=ttl,
+                identification=identification,
+                total_length=total_length,
+            )
+        )
+        offset += ihl_bytes
+        ip_proto = proto
+    elif ethertype == ETHERTYPE_IPV6:
+        _need(data, offset, 40, "IPv6 header")
+        (first_word, payload_length, next_header, hop_limit) = struct.unpack_from(
+            "!IHBB", data, offset
+        )
+        if first_word >> 28 != 6:
+            raise ParseError(f"IPv6 version field is {first_word >> 28}")
+        ip6_src = int.from_bytes(data[offset + 8 : offset + 24], "big")
+        ip6_dst = int.from_bytes(data[offset + 24 : offset + 40], "big")
+        headers.append(
+            IPv6(
+                src=ip6_src,
+                dst=ip6_dst,
+                next_header=next_header,
+                traffic_class=(first_word >> 20) & 0xFF,
+                flow_label=first_word & 0xFFFFF,
+                hop_limit=hop_limit,
+                payload_length=payload_length,
+            )
+        )
+        offset += 40
+        ip_proto = next_header
+
+    if ip_proto == IP_PROTO_TCP:
+        _need(data, offset, 20, "TCP header")
+        (sport, dport, seq, ack, off_flags, window, _ck, _urg) = struct.unpack_from(
+            "!HHIIHHHH", data, offset
+        )
+        data_offset_bytes = (off_flags >> 12) * 4
+        _need(data, offset, data_offset_bytes, "TCP header with options")
+        headers.append(
+            Tcp(
+                src_port=sport,
+                dst_port=dport,
+                seq=seq,
+                ack=ack,
+                flags=off_flags & 0x1FF,
+                window=window,
+            )
+        )
+        offset += data_offset_bytes
+    elif ip_proto == IP_PROTO_UDP:
+        _need(data, offset, 8, "UDP header")
+        (sport, dport, length, _ck) = struct.unpack_from("!HHHH", data, offset)
+        headers.append(Udp(src_port=sport, dst_port=dport, length=length))
+        offset += 8
+    elif ip_proto == IP_PROTO_ICMP:
+        _need(data, offset, 4, "ICMP header")
+        (icmp_type, code, _ck) = struct.unpack_from("!BBH", data, offset)
+        headers.append(Icmp(icmp_type=icmp_type, code=code))
+        offset += 4
+
+    return Packet(headers=tuple(headers), in_port=in_port, payload=data[offset:])

@@ -1,0 +1,38 @@
+"""Update-process simulation (paper Section V.B).
+
+"In order to simulate the Software Controller platform, two files are
+generated with the information to characterize each algorithm and table
+block. ... On average, two clock cycles are required for each update.
+The update data is composed of the label and the information for each
+lookup algorithm structure or table.  The index used to address the
+algorithm data is calculated in the first clock cycle and stored in the
+second clock cycle."
+
+- :mod:`repro.update.records` — update records and files;
+- :mod:`repro.update.generator` — derive algorithm/action update files
+  from a rule set, with (optimised) or without (initial) the label
+  method;
+- :mod:`repro.update.engine` — the 2-cycles-per-record cost engine;
+- :mod:`repro.update.controller_sim` — the software-controller facade
+  used by the Fig. 5 experiment.
+"""
+
+from repro.update.engine import UpdateCost, UpdateEngine, CYCLES_PER_UPDATE
+from repro.update.generator import (
+    generate_action_updates,
+    generate_algorithm_updates,
+)
+from repro.update.records import UpdateFile, UpdateRecord
+from repro.update.controller_sim import SoftwareController, UpdateComparison
+
+__all__ = [
+    "CYCLES_PER_UPDATE",
+    "SoftwareController",
+    "UpdateComparison",
+    "UpdateCost",
+    "UpdateEngine",
+    "UpdateFile",
+    "UpdateRecord",
+    "generate_action_updates",
+    "generate_algorithm_updates",
+]

@@ -1,0 +1,56 @@
+"""The update cost engine.
+
+Paper Section V.B fixes the cost model: each update record takes two
+clock cycles — "the index used to address the algorithm data is
+calculated in the first clock cycle and stored in the second clock
+cycle.  The same process is performed for both algorithm and lookup
+table update."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.update.records import UpdateFile
+
+#: Clock cycles per update record (address calculation + store).
+CYCLES_PER_UPDATE = 2
+
+
+@dataclass(frozen=True)
+class UpdateCost:
+    """Cycle cost of applying one update file."""
+
+    file_name: str
+    records: int
+    cycles: int
+
+    def duration_us(self, clock_mhz: float) -> float:
+        """Wall time at a given update clock (microseconds)."""
+        if clock_mhz <= 0:
+            raise ValueError("clock frequency must be positive")
+        return self.cycles / clock_mhz
+
+
+class UpdateEngine:
+    """Charges the fixed per-record cycle cost to update files."""
+
+    def __init__(self, cycles_per_update: int = CYCLES_PER_UPDATE):
+        if cycles_per_update <= 0:
+            raise ValueError("cycles_per_update must be positive")
+        self.cycles_per_update = cycles_per_update
+
+    def cost(self, file: UpdateFile) -> UpdateCost:
+        return UpdateCost(
+            file_name=file.name,
+            records=len(file),
+            cycles=len(file) * self.cycles_per_update,
+        )
+
+    def cost_of_batch(self, files: list[UpdateFile]) -> UpdateCost:
+        records = sum(len(f) for f in files)
+        return UpdateCost(
+            file_name="+".join(f.name for f in files),
+            records=records,
+            cycles=records * self.cycles_per_update,
+        )

@@ -1,0 +1,171 @@
+"""Derive update files from rule sets.
+
+For every search structure the generator walks the rule set in order and
+emits the memory writes its characterisation requires:
+
+- **trie partitions**: writing a prefix touches its controlled-expansion
+  records at its level (``2^(boundary - length)`` words) plus any path
+  records that do not exist yet at upper levels;
+- **LUTs / range structures**: one record per stored value;
+- **action tables**: one record per rule (every rule owns an action
+  entry, labelled or not).
+
+With the label method (*optimised* files) a repeated field value
+contributes nothing — its label already exists.  Without it (*initial*
+files) every rule re-emits its values' records, which is precisely the
+overhead Fig. 5 quantifies.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ArchitectureConfig, DEFAULT_CONFIG
+from repro.filters.partitions import partition_entries, partition_scheme
+from repro.filters.rule import RuleSet
+from repro.openflow.fields import REGISTRY, MatchMethod
+from repro.openflow.match import (
+    ExactMatch,
+    PrefixMatch,
+    RangeMatch,
+    WildcardMatch,
+)
+from repro.update.records import UpdateFile, UpdateRecord
+
+
+class _TrieShadow:
+    """Tracks which trie records exist while generating updates."""
+
+    def __init__(self, strides: tuple[int, ...], key_bits: int):
+        self.key_bits = key_bits
+        self.boundaries = tuple(sum(strides[: i + 1]) for i in range(len(strides)))
+        self.levels: list[set[int]] = [set() for _ in strides]
+
+    def writes_for(self, value: int, length: int) -> list[tuple[str, int]]:
+        """(level-name, path) pairs the insert writes, creating new paths."""
+        if length == 0:
+            return [("default", 0)]
+        level = next(
+            i for i, boundary in enumerate(self.boundaries) if length <= boundary
+        )
+        writes: list[tuple[str, int]] = []
+        for upper in range(level):
+            path = value >> (self.key_bits - self.boundaries[upper])
+            if path not in self.levels[upper]:
+                self.levels[upper].add(path)
+                writes.append((f"L{upper + 1}", path))
+        boundary = self.boundaries[level]
+        expand_bits = boundary - length
+        base = (value >> (self.key_bits - length)) << expand_bits
+        for suffix in range(1 << expand_bits):
+            path = base | suffix
+            self.levels[level].add(path)
+            writes.append((f"L{level + 1}", path))
+        return writes
+
+
+def generate_algorithm_updates(
+    rule_set: RuleSet,
+    use_labels: bool = True,
+    config: ArchitectureConfig = DEFAULT_CONFIG,
+    materialize: bool = True,
+) -> UpdateFile:
+    """Build the algorithm update file for a rule set.
+
+    Args:
+        rule_set: the rules to characterise.
+        use_labels: True for the optimised file (unique values only),
+            False for the initial file (every rule re-emits its values).
+        config: architecture configuration (partitioning, strides).
+        materialize: False keeps exact record counts but discards record
+            objects (needed for the >180 k-rule Routing filters, whose
+            initial files expand into millions of records).
+    """
+    flavour = "label" if use_labels else "initial"
+    file = UpdateFile(
+        name=f"{rule_set.name}-{flavour}-algorithms", materialize=materialize
+    )
+    allocators: dict[str, dict] = {}
+    shadows: dict[str, _TrieShadow] = {}
+
+    for field_name in rule_set.field_names:
+        definition = REGISTRY[field_name]
+        if definition.method is MatchMethod.PREFIX:
+            scheme = partition_scheme(field_name, definition.bits, config.part_bits)
+            for rule in rule_set:
+                predicate = rule.fields.get(field_name)
+                if predicate is None or isinstance(predicate, WildcardMatch):
+                    continue
+                entries = partition_entries(predicate, scheme)
+                for part, entry in zip(scheme, entries):
+                    if entry is None:
+                        continue
+                    labels = allocators.setdefault(part.name, {})
+                    known = entry in labels
+                    if known and use_labels:
+                        continue
+                    if not known:
+                        labels[entry] = len(labels) + 1
+                    label = labels[entry]
+                    shadow = shadows.setdefault(
+                        part.name, _TrieShadow(config.strides, part.bits)
+                    )
+                    for level_name, path in shadow.writes_for(*entry):
+                        if materialize:
+                            file.append(
+                                UpdateRecord(
+                                    structure=f"{part.name}/{level_name}",
+                                    key=(path,),
+                                    label=label,
+                                )
+                            )
+                        else:
+                            file.count(f"{part.name}/{level_name}")
+        else:
+            for rule in rule_set:
+                predicate = rule.fields.get(field_name)
+                if predicate is None or isinstance(predicate, WildcardMatch):
+                    continue
+                if isinstance(predicate, ExactMatch):
+                    key = (predicate.value,)
+                elif isinstance(predicate, PrefixMatch):
+                    key = (predicate.value, predicate.length)
+                elif isinstance(predicate, RangeMatch):
+                    if predicate.is_full:
+                        continue
+                    key = (predicate.low, predicate.high)
+                else:
+                    raise TypeError(
+                        f"unsupported predicate {type(predicate).__name__}"
+                    )
+                labels = allocators.setdefault(field_name, {})
+                known = key in labels
+                if known and use_labels:
+                    continue
+                if not known:
+                    labels[key] = len(labels) + 1
+                if materialize:
+                    file.append(
+                        UpdateRecord(structure=field_name, key=key, label=labels[key])
+                    )
+                else:
+                    file.count(field_name)
+    return file
+
+
+def generate_action_updates(rule_set: RuleSet, materialize: bool = True) -> UpdateFile:
+    """Build the action-table update file (one record per rule).
+
+    Action entries are per rule in both flavours — the label method
+    de-duplicates *field values*, not rules — so this file's size is
+    identical with and without labels.
+    """
+    file = UpdateFile(name=f"{rule_set.name}-actions", materialize=materialize)
+    for index, rule in enumerate(rule_set):
+        if materialize:
+            file.append(
+                UpdateRecord(
+                    structure="actions", key=(index,), label=rule.action_port
+                )
+            )
+        else:
+            file.count("actions")
+    return file

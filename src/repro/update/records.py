@@ -1,0 +1,91 @@
+"""Update records and update files.
+
+An *update record* is one memory write the controller instructs: a
+(structure, address-key, label) triple.  An *update file* is the ordered
+batch of records characterising one algorithm structure or table block —
+the paper's "optimized algorithm files" (label method applied) and
+"initial algorithm files" (without it) differ only in how many records
+they contain for the same rule set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """One memory write of the update process."""
+
+    structure: str  # e.g. "eth_dst/lo/L3" or "vlan_vid"
+    key: tuple  # structure-specific address (path bits, value, ...)
+    label: int
+
+    def describe(self) -> str:
+        return f"{self.structure} <- key={self.key} label={self.label}"
+
+
+@dataclass
+class UpdateFile:
+    """An ordered batch of update records with per-structure accounting.
+
+    Large batches (the >180 k-rule Routing filters expand into millions of
+    records) can be generated with ``materialize=False``: counts are kept
+    exactly but the record objects themselves are not retained, so cycle
+    accounting stays O(1) memory.
+    """
+
+    name: str
+    materialize: bool = True
+    records: list[UpdateRecord] = field(default_factory=list)
+    _count: int = 0
+    _structure_counts: dict[str, int] = field(default_factory=dict)
+
+    def append(self, record: UpdateRecord) -> None:
+        self._account(record.structure)
+        if self.materialize:
+            self.records.append(record)
+
+    def count(self, structure: str, n: int = 1) -> None:
+        """Account ``n`` writes to ``structure`` without record objects."""
+        for _ in range(n):
+            self._account(structure)
+
+    def _account(self, structure: str) -> None:
+        self._count += 1
+        self._structure_counts[structure] = (
+            self._structure_counts.get(structure, 0) + 1
+        )
+
+    def extend(self, records: Iterator[UpdateRecord] | list[UpdateRecord]) -> None:
+        for record in records:
+            self.append(record)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[UpdateRecord]:
+        if not self.materialize and self._count:
+            raise ValueError(
+                f"update file {self.name!r} was generated count-only"
+            )
+        return iter(self.records)
+
+    def per_structure(self) -> dict[str, int]:
+        """Record counts grouped by target structure."""
+        return dict(self._structure_counts)
+
+    def merged(self, other: "UpdateFile", name: str | None = None) -> "UpdateFile":
+        combined = UpdateFile(
+            name=name or f"{self.name}+{other.name}",
+            materialize=self.materialize and other.materialize,
+        )
+        if combined.materialize:
+            combined.records = list(self.records) + list(other.records)
+        combined._count = self._count + other._count
+        merged_counts = dict(self._structure_counts)
+        for structure, count in other._structure_counts.items():
+            merged_counts[structure] = merged_counts.get(structure, 0) + count
+        combined._structure_counts = merged_counts
+        return combined

@@ -1,0 +1,34 @@
+"""Shared low-level utilities.
+
+This package holds the small, dependency-free building blocks used across
+the reproduction: bit and prefix arithmetic (:mod:`repro.util.bits`),
+memory-unit helpers (:mod:`repro.util.units`), markdown/CSV table rendering
+(:mod:`repro.util.tables`) and ASCII bar charts (:mod:`repro.util.charts`).
+"""
+
+from repro.util.bits import (
+    bit_slice,
+    bits_needed,
+    mask_of,
+    prefix_contains,
+    prefix_covers_value,
+    prefix_mask,
+    prefix_range,
+    split_value,
+)
+from repro.util.units import BITS_PER_KBIT, BITS_PER_MBIT, kbits, mbits
+
+__all__ = [
+    "BITS_PER_KBIT",
+    "BITS_PER_MBIT",
+    "bit_slice",
+    "bits_needed",
+    "kbits",
+    "mask_of",
+    "mbits",
+    "prefix_contains",
+    "prefix_covers_value",
+    "prefix_mask",
+    "prefix_range",
+    "split_value",
+]

@@ -1,0 +1,125 @@
+"""Bit-level and prefix arithmetic.
+
+All header fields, rule fields and trie keys in this project are plain
+Python integers accompanied by an explicit bit width.  Prefixes are
+``(value, length)`` pairs where ``value`` occupies the *most significant*
+``length`` bits of a ``width``-bit field and the remaining bits are zero —
+the conventional CIDR representation generalised to any field width.
+"""
+
+from __future__ import annotations
+
+
+def mask_of(width: int) -> int:
+    """Return a mask with the low ``width`` bits set (``width >= 0``)."""
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bits_needed(count: int) -> int:
+    """Return the number of bits needed to address ``count`` distinct items.
+
+    ``bits_needed(0)`` and ``bits_needed(1)`` are both 0; otherwise this is
+    ``ceil(log2(count))``.  Used to size child pointers and labels.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if count <= 1:
+        return 0
+    return (count - 1).bit_length()
+
+
+def bit_slice(value: int, width: int, offset: int, length: int) -> int:
+    """Extract ``length`` bits from ``value`` starting ``offset`` bits from the MSB.
+
+    ``value`` is interpreted as a ``width``-bit integer.  ``offset=0``
+    selects the most significant bits, matching how packet headers and
+    prefixes are read left to right.
+
+    >>> bit_slice(0xABCD, 16, 0, 8)
+    171
+    >>> bit_slice(0xABCD, 16, 8, 8)
+    205
+    """
+    if not 0 <= offset and not 0 <= length:
+        raise ValueError("offset and length must be non-negative")
+    if offset + length > width:
+        raise ValueError(
+            f"slice [{offset}, {offset + length}) exceeds field width {width}"
+        )
+    shift = width - offset - length
+    return (value >> shift) & mask_of(length)
+
+
+def split_value(value: int, width: int, part_width: int) -> tuple[int, ...]:
+    """Split a ``width``-bit value into ``part_width``-bit partitions, MSB first.
+
+    This implements the 16-bit field partitioning of the paper's filter
+    analysis (Section III): a 48-bit Ethernet address becomes
+    (higher, middle, lower) 16-bit values and a 32-bit IPv4 address becomes
+    (higher, lower).
+
+    >>> split_value(0x112233445566, 48, 16)
+    (4386, 13124, 21862)
+    """
+    if width % part_width != 0:
+        raise ValueError(f"width {width} is not a multiple of part width {part_width}")
+    count = width // part_width
+    return tuple(
+        bit_slice(value, width, i * part_width, part_width) for i in range(count)
+    )
+
+
+def prefix_mask(length: int, width: int) -> int:
+    """Return the ``width``-bit mask selecting the top ``length`` bits.
+
+    >>> hex(prefix_mask(24, 32))
+    '0xffffff00'
+    """
+    if not 0 <= length <= width:
+        raise ValueError(f"prefix length {length} outside [0, {width}]")
+    return mask_of(width) ^ mask_of(width - length)
+
+
+def prefix_covers_value(prefix: int, length: int, value: int, width: int) -> bool:
+    """Return True if the ``length``-bit prefix matches the ``width``-bit value."""
+    return (value & prefix_mask(length, width)) == (prefix & prefix_mask(length, width))
+
+
+def prefix_contains(
+    outer: tuple[int, int], inner: tuple[int, int], width: int
+) -> bool:
+    """Return True if prefix ``outer`` contains prefix ``inner``.
+
+    Both prefixes are ``(value, length)`` pairs over a ``width``-bit field.
+    A prefix contains another iff it is no longer and the shorter prefix
+    bits agree.
+    """
+    outer_value, outer_len = outer
+    inner_value, inner_len = inner
+    if outer_len > inner_len:
+        return False
+    return prefix_covers_value(outer_value, outer_len, inner_value, width)
+
+
+def prefix_range(prefix: int, length: int, width: int) -> tuple[int, int]:
+    """Return the inclusive ``(low, high)`` value range covered by a prefix.
+
+    >>> prefix_range(0x0A000000, 8, 32)
+    (167772160, 184549375)
+    """
+    mask = prefix_mask(length, width)
+    low = prefix & mask
+    high = low | (mask_of(width) ^ mask)
+    return low, high
+
+
+def canonical_prefix(value: int, length: int, width: int) -> tuple[int, int]:
+    """Normalise a prefix so bits below ``length`` are zero.
+
+    Rule files occasionally carry junk in the host bits of a prefix entry;
+    canonicalising makes prefix identity (and therefore the label method's
+    unique-value counting) well defined.
+    """
+    return value & prefix_mask(length, width), length

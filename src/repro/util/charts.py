@@ -1,0 +1,89 @@
+"""ASCII bar charts.
+
+matplotlib is not available in the offline environment, so the figure
+experiments render horizontal bar charts in plain text (alongside CSV data
+for external plotting).  Grouped charts reproduce the paper's per-filter
+grouped bars (e.g. higher/middle/lower trie series in Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+_BAR_CHAR = "█"
+_DEFAULT_WIDTH = 60
+
+
+def _scaled(value: float, maximum: float, width: int) -> int:
+    if maximum <= 0:
+        return 0
+    return max(0, round(width * value / maximum))
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = _DEFAULT_WIDTH,
+    unit: str = "",
+) -> str:
+    """Render a labelled horizontal bar chart.
+
+    >>> print(bar_chart({"a": 2.0, "b": 1.0}, width=4))
+    a | ████ 2
+    b | ██ 1
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    label_width = max(len(label) for label in values)
+    maximum = max(values.values())
+    for label, value in values.items():
+        bar = _BAR_CHAR * _scaled(value, maximum, width)
+        rendered = f"{value:g}{(' ' + unit) if unit else ''}"
+        lines.append(f"{label.ljust(label_width)} | {bar} {rendered}")
+    return "\n".join(lines)
+
+
+@dataclass
+class GroupedBarChart:
+    """A grouped bar chart: one group per category, one bar per series.
+
+    Mirrors the paper's figures, which plot one group of bars per flow
+    filter (bbra..yozb) with one bar per trie or per trie level.
+    """
+
+    series_names: Sequence[str]
+    title: str = ""
+    unit: str = ""
+    width: int = _DEFAULT_WIDTH
+    groups: list[tuple[str, list[float]]] = field(default_factory=list)
+
+    def add_group(self, label: str, values: Sequence[float]) -> None:
+        values = list(values)
+        if len(values) != len(self.series_names):
+            raise ValueError(
+                f"group has {len(values)} values, chart has "
+                f"{len(self.series_names)} series"
+            )
+        self.groups.append((label, values))
+
+    def render(self) -> str:
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        if not self.groups:
+            return "\n".join(lines + ["(no data)"])
+        maximum = max(
+            (value for _, values in self.groups for value in values), default=0.0
+        )
+        label_width = max(len(name) for name in self.series_names)
+        for group_label, values in self.groups:
+            lines.append(f"{group_label}:")
+            for name, value in zip(self.series_names, values):
+                bar = _BAR_CHAR * _scaled(value, maximum, self.width)
+                rendered = f"{value:g}{(' ' + self.unit) if self.unit else ''}"
+                lines.append(f"  {name.ljust(label_width)} | {bar} {rendered}")
+        return "\n".join(lines)

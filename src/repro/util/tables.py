@@ -1,0 +1,93 @@
+"""Plain-text table rendering and CSV emission.
+
+The experiment harness regenerates every table and figure of the paper as
+(a) a GitHub-flavoured markdown table printed to stdout and (b) a CSV file
+under ``results/``.  This module is the single place that owns both
+renderings so every experiment formats identically.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+
+def _render_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class TextTable:
+    """An ordered collection of rows with a fixed header.
+
+    >>> t = TextTable(["filter", "rules"])
+    >>> t.add_row(["bbra", 507])
+    >>> print(t.to_markdown())
+    | filter | rules |
+    | --- | --- |
+    | bbra | 507 |
+    """
+
+    headers: Sequence[str]
+    title: str = ""
+    rows: list[list[object]] = field(default_factory=list)
+
+    def add_row(self, row: Iterable[object]) -> None:
+        values = list(row)
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[object]:
+        """Return the values of the named column, in row order."""
+        try:
+            index = list(self.headers).index(name)
+        except ValueError:
+            raise KeyError(f"no column named {name!r}") from None
+        return [row[index] for row in self.rows]
+
+    def to_markdown(self) -> str:
+        lines = []
+        if self.title:
+            lines.append(f"### {self.title}")
+            lines.append("")
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("| " + " | ".join("---" for _ in self.headers) + " |")
+        for row in self.rows:
+            lines.append("| " + " | ".join(_render_cell(c) for c in row) + " |")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.headers)
+        for row in self.rows:
+            writer.writerow([_render_cell(c) for c in row])
+        return buffer.getvalue()
+
+    def write_csv(self, path: str | Path) -> Path:
+        """Write the table as CSV, creating parent directories as needed."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_csv())
+        return target
+
+
+def read_csv_table(path: str | Path) -> TextTable:
+    """Load a :class:`TextTable` previously written by :meth:`write_csv`."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        rows = list(reader)
+    if not rows:
+        raise ValueError(f"{path} is empty")
+    table = TextTable(headers=rows[0])
+    for row in rows[1:]:
+        table.add_row(row)
+    return table

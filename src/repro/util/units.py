@@ -1,0 +1,39 @@
+"""Memory-unit helpers.
+
+The paper reports memory in Kbits and Mbits using the binary convention
+(1 Kbit = 1024 bits), e.g. "832 bits ... less than 1 Kbit" and
+"5 Mb of total memory".  All cost-model code stores raw bit counts and
+converts for presentation only.
+"""
+
+from __future__ import annotations
+
+BITS_PER_KBIT = 1024
+BITS_PER_MBIT = 1024 * 1024
+
+
+def kbits(bits: int | float) -> float:
+    """Convert a bit count to Kbits (1 Kbit = 1024 bits)."""
+    return bits / BITS_PER_KBIT
+
+
+def mbits(bits: int | float) -> float:
+    """Convert a bit count to Mbits (1 Mbit = 1024 Kbits)."""
+    return bits / BITS_PER_MBIT
+
+
+def format_bits(bits: int | float) -> str:
+    """Render a bit count with an adaptive unit, matching the paper's style.
+
+    >>> format_bits(832)
+    '832 bits'
+    >>> format_bits(586_311)
+    '572.57 Kbits'
+    >>> format_bits(5 * BITS_PER_MBIT)
+    '5.00 Mbits'
+    """
+    if bits >= BITS_PER_MBIT:
+        return f"{mbits(bits):.2f} Mbits"
+    if bits >= BITS_PER_KBIT:
+        return f"{kbits(bits):.2f} Kbits"
+    return f"{bits:.0f} bits"

@@ -1,0 +1,116 @@
+"""Tests for the label allocator and the exact-match LUT."""
+
+import pytest
+
+from repro.algorithms.base import NO_LABEL
+from repro.algorithms.exact_lut import ExactMatchLut
+from repro.algorithms.labels import LabelAllocator
+
+
+class TestLabelAllocator:
+    def test_consecutive_from_one(self):
+        alloc = LabelAllocator()
+        assert alloc.label_for("a") == 1
+        assert alloc.label_for("b") == 2
+        assert alloc.label_for("a") == 1
+
+    def test_get_without_allocating(self):
+        alloc = LabelAllocator()
+        assert alloc.get("missing") == NO_LABEL
+        alloc.label_for("x")
+        assert alloc.get("x") == 1
+
+    def test_key_of_inverse(self):
+        alloc = LabelAllocator()
+        alloc.label_for(("p", 8))
+        assert alloc.key_of(1) == ("p", 8)
+
+    def test_key_of_invalid(self):
+        with pytest.raises(KeyError):
+            LabelAllocator().key_of(1)
+
+    def test_len_contains_iter(self):
+        alloc = LabelAllocator()
+        alloc.label_for("a")
+        alloc.label_for("b")
+        assert len(alloc) == 2
+        assert "a" in alloc and "c" not in alloc
+        assert list(alloc) == ["a", "b"]
+
+    def test_label_bits(self):
+        alloc = LabelAllocator()
+        assert alloc.label_bits == 0
+        alloc.label_for("a")  # labels {0, 1} -> 1 bit
+        assert alloc.label_bits == 1
+        for i in range(6):
+            alloc.label_for(f"k{i}")  # 7 labels + NO_LABEL -> 3 bits
+        assert alloc.label_bits == 3
+
+    def test_mapping_snapshot(self):
+        alloc = LabelAllocator()
+        alloc.label_for("a")
+        snapshot = alloc.mapping
+        alloc.label_for("b")
+        assert snapshot == {"a": 1}
+
+
+class TestExactMatchLut:
+    def test_insert_lookup(self):
+        lut = ExactMatchLut(key_bits=13)
+        lut.insert(0x123, 1)
+        assert lut.lookup(0x123) == 1
+        assert lut.lookup(0x124) == NO_LABEL
+
+    def test_lookup_all(self):
+        lut = ExactMatchLut(key_bits=13)
+        lut.insert(5, 2)
+        assert lut.lookup_all(5) == (2,)
+        assert lut.lookup_all(6) == ()
+
+    def test_idempotent_insert(self):
+        lut = ExactMatchLut(key_bits=8)
+        lut.insert(1, 1)
+        lut.insert(1, 1)
+        assert len(lut) == 1
+
+    def test_conflicting_label_rejected(self):
+        lut = ExactMatchLut(key_bits=8)
+        lut.insert(1, 1)
+        with pytest.raises(ValueError):
+            lut.insert(1, 2)
+
+    def test_no_label_rejected(self):
+        with pytest.raises(ValueError):
+            ExactMatchLut(key_bits=8).insert(1, NO_LABEL)
+
+    def test_width_enforced(self):
+        with pytest.raises(ValueError):
+            ExactMatchLut(key_bits=8).insert(256, 1)
+
+    def test_remove(self):
+        lut = ExactMatchLut(key_bits=8)
+        lut.insert(1, 1)
+        assert lut.remove(1)
+        assert not lut.remove(1)
+        assert lut.lookup(1) == NO_LABEL
+
+    def test_size_provisioning(self):
+        lut = ExactMatchLut(key_bits=13, occupancy=0.5)
+        for i in range(10):
+            lut.insert(i, i + 1)
+        size = lut.size()
+        assert size.entries == 10
+        # 20 provisioned slots x (13 key bits + 4 label bits).
+        assert size.bits == 20 * (13 + lut.label_bits)
+
+    def test_size_empty(self):
+        assert ExactMatchLut(key_bits=13).size().bits == 0
+
+    def test_invalid_occupancy(self):
+        with pytest.raises(ValueError):
+            ExactMatchLut(key_bits=8, occupancy=0.0)
+
+    def test_explicit_label_bits(self):
+        lut = ExactMatchLut(key_bits=8, occupancy=1.0)
+        lut.insert(1, 1)
+        assert lut.size(label_bits=16).bits == 1 * (8 + 16)

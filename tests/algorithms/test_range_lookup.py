@@ -1,0 +1,118 @@
+"""Tests for the elementary-interval range structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import NO_LABEL
+from repro.algorithms.range_lookup import RangeLookup
+
+ranges = st.tuples(
+    st.integers(min_value=0, max_value=65535),
+    st.integers(min_value=0, max_value=65535),
+).map(lambda t: (min(t), max(t)))
+
+range_lists = st.lists(ranges, min_size=0, max_size=25, unique=True)
+
+
+class TestBasics:
+    def test_insert_lookup(self):
+        lookup = RangeLookup(key_bits=16)
+        lookup.insert(10, 20, 1)
+        assert lookup.lookup(15) == 1
+        assert lookup.lookup(9) == NO_LABEL
+        assert lookup.lookup(21) == NO_LABEL
+
+    def test_inclusive_bounds(self):
+        lookup = RangeLookup(key_bits=16)
+        lookup.insert(10, 20, 1)
+        assert lookup.lookup(10) == 1 and lookup.lookup(20) == 1
+
+    def test_narrowest_wins(self):
+        lookup = RangeLookup(key_bits=16)
+        lookup.insert(0, 1023, 1)
+        lookup.insert(80, 80, 2)
+        assert lookup.lookup(80) == 2
+        assert lookup.lookup(81) == 1
+
+    def test_lookup_all_order(self):
+        lookup = RangeLookup(key_bits=16)
+        lookup.insert(0, 65535, 1)
+        lookup.insert(0, 1023, 2)
+        lookup.insert(80, 80, 3)
+        assert lookup.lookup_all(80) == (3, 2, 1)
+
+    def test_remove(self):
+        lookup = RangeLookup(key_bits=16)
+        lookup.insert(10, 20, 1)
+        assert lookup.remove(10, 20)
+        assert not lookup.remove(10, 20)
+        assert lookup.lookup(15) == NO_LABEL
+
+    def test_idempotent_insert(self):
+        lookup = RangeLookup(key_bits=16)
+        lookup.insert(1, 2, 1)
+        lookup.insert(1, 2, 1)
+        assert len(lookup) == 1
+
+    def test_conflicting_label_rejected(self):
+        lookup = RangeLookup(key_bits=16)
+        lookup.insert(1, 2, 1)
+        with pytest.raises(ValueError):
+            lookup.insert(1, 2, 2)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            RangeLookup(key_bits=16).insert(5, 70000, 1)
+
+    def test_full_width_boundary(self):
+        lookup = RangeLookup(key_bits=16)
+        lookup.insert(65000, 65535, 1)
+        assert lookup.lookup(65535) == 1
+
+    def test_size_accounts_intervals(self):
+        lookup = RangeLookup(key_bits=16)
+        lookup.insert(0, 9, 1)
+        lookup.insert(5, 20, 2)
+        size = lookup.size()
+        assert size.entries == 2
+        assert size.bits > 0
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=120)
+    @given(range_lists, st.integers(min_value=0, max_value=65535))
+    def test_lookup_all_matches_brute_force(self, stored, probe):
+        lookup = RangeLookup(key_bits=16)
+        for label, (low, high) in enumerate(stored, start=1):
+            lookup.insert(low, high, label)
+        expected = {
+            label
+            for label, (low, high) in enumerate(stored, start=1)
+            if low <= probe <= high
+        }
+        got = lookup.lookup_all(probe)
+        assert set(got) == expected
+        # Narrowest-first ordering.
+        widths = [
+            stored[label - 1][1] - stored[label - 1][0] for label in got
+        ]
+        assert widths == sorted(widths)
+
+    @settings(max_examples=60)
+    @given(range_lists, st.data())
+    def test_remove_matches_rebuild(self, stored, data):
+        if not stored:
+            return
+        lookup = RangeLookup(key_bits=16)
+        for label, (low, high) in enumerate(stored, start=1):
+            lookup.insert(low, high, label)
+        doomed = data.draw(st.sampled_from(stored))
+        lookup.remove(*doomed)
+        probe = data.draw(st.integers(min_value=0, max_value=65535))
+        expected = {
+            label
+            for label, (low, high) in enumerate(stored, start=1)
+            if low <= probe <= high and (low, high) != doomed
+        }
+        assert set(lookup.lookup_all(probe)) == expected

@@ -1,0 +1,162 @@
+"""Tests for the TCAM and Tuple Space Search baselines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.tcam import TCAM_CELL_FACTOR, Tcam, range_to_prefixes
+from repro.algorithms.tss import TupleSpaceSearch
+from repro.packet.generator import PacketGenerator, TraceConfig
+from repro.util.bits import mask_of, prefix_range
+
+
+class TestRangeToPrefixes:
+    def test_known_vector(self):
+        assert range_to_prefixes(1, 6, 4) == [(1, 4), (2, 3), (4, 3), (6, 4)]
+
+    def test_full_range_single_prefix(self):
+        assert range_to_prefixes(0, 65535, 16) == [(0, 0)]
+
+    def test_single_value(self):
+        assert range_to_prefixes(80, 80, 16) == [(80, 16)]
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            range_to_prefixes(5, 4, 16)
+
+    @settings(max_examples=200)
+    @given(
+        st.tuples(
+            st.integers(min_value=0, max_value=mask_of(16)),
+            st.integers(min_value=0, max_value=mask_of(16)),
+        ).map(lambda t: (min(t), max(t)))
+    )
+    def test_cover_is_exact_and_disjoint(self, bounds):
+        low, high = bounds
+        prefixes = range_to_prefixes(low, high, 16)
+        covered = []
+        for value, length in prefixes:
+            lo, hi = prefix_range(value, length, 16)
+            covered.append((lo, hi))
+        covered.sort()
+        # Exact, gap-free, non-overlapping cover of [low, high].
+        assert covered[0][0] == low and covered[-1][1] == high
+        for (_, hi_a), (lo_b, _) in zip(covered, covered[1:]):
+            assert lo_b == hi_a + 1
+        # Worst case bound: 2w - 2 prefixes.
+        assert len(prefixes) <= 2 * 16 - 2
+
+
+class TestTcam:
+    def test_lookup_matches_linear(self, tiny_routing_set):
+        tcam = Tcam.from_rule_set(tiny_routing_set)
+        for fields in (
+            {"in_port": 1, "ipv4_dst": 0x0A141E05},
+            {"in_port": 1, "ipv4_dst": 0x0A990000},
+            {"in_port": 2, "ipv4_dst": 0x0A000001},
+            {"in_port": 9, "ipv4_dst": 0},
+        ):
+            expected = tiny_routing_set.linear_lookup(fields)
+            got = tcam.lookup(fields)
+            if expected is None:
+                assert got is None
+            else:
+                assert got is not None and got.action_port == expected.action_port
+
+    def test_acl_with_ranges(self, tiny_acl_set, generator):
+        tcam = Tcam.from_rule_set(tiny_acl_set)
+        matches = [r.to_match() for r in tiny_acl_set]
+        trace = generator.field_trace(
+            matches, 100, hit_rate=0.7, fill_fields=tiny_acl_set.field_names
+        )
+        for fields in trace:
+            expected = tiny_acl_set.linear_lookup(fields)
+            got = tcam.lookup(fields)
+            if expected is None:
+                assert got is None
+            else:
+                assert got is not None and got.priority == expected.priority
+
+    def test_range_expansion_counted(self):
+        from repro.filters.rule import Application, Rule, RuleSet
+        from repro.openflow.match import RangeMatch
+
+        rules = RuleSet("r", Application.ACL, ("tcp_dst",))
+        rules.add(
+            Rule(fields={"tcp_dst": RangeMatch(low=1, high=6, bits=16)})
+        )
+        tcam = Tcam.from_rule_set(rules)
+        # [1, 6] needs 4 prefixes: 1/16, 2/15, 4/15, 6/16.
+        assert len(tcam) == 4
+        assert tcam.rule_count == 1
+        assert tcam.expansion_factor == 4.0
+
+    def test_size_model(self, tiny_routing_set):
+        tcam = Tcam.from_rule_set(tiny_routing_set)
+        size = tcam.size()
+        assert size.entries == len(tcam)
+        assert size.bits == len(tcam) * tcam.word_bits * TCAM_CELL_FACTOR
+
+    def test_missing_field_is_miss(self, tiny_routing_set):
+        tcam = Tcam.from_rule_set(tiny_routing_set)
+        assert tcam.lookup({"in_port": 1}) is None
+
+    def test_empty(self):
+        tcam = Tcam(("in_port",))
+        assert tcam.expansion_factor == 0.0
+        assert tcam.lookup({"in_port": 1}) is None
+
+
+class TestTss:
+    def test_lookup_matches_linear_routing(self, small_routing_set):
+        tss = TupleSpaceSearch.from_rule_set(small_routing_set)
+        generator = PacketGenerator(TraceConfig(seed=77))
+        matches = [r.to_match() for r in small_routing_set.rules[:40]]
+        trace = generator.field_trace(
+            matches, 150, hit_rate=0.7, fill_fields=small_routing_set.field_names
+        )
+        for fields in trace:
+            expected = small_routing_set.linear_lookup(fields)
+            got = tss.lookup(fields)
+            if expected is None:
+                assert got is None
+            else:
+                assert got is not None and got.priority == expected.priority
+
+    def test_lookup_matches_linear_acl(self, tiny_acl_set, generator):
+        tss = TupleSpaceSearch.from_rule_set(tiny_acl_set)
+        matches = [r.to_match() for r in tiny_acl_set]
+        trace = generator.field_trace(
+            matches, 100, hit_rate=0.6, fill_fields=tiny_acl_set.field_names
+        )
+        for fields in trace:
+            expected = tiny_acl_set.linear_lookup(fields)
+            got = tss.lookup(fields)
+            if expected is None:
+                assert got is None
+            else:
+                assert got is not None and got.priority == expected.priority
+
+    def test_tuple_count_reflects_length_diversity(self, small_mac_set):
+        tss = TupleSpaceSearch.from_rule_set(small_mac_set)
+        # MAC rules all share one tuple: (13-bit exact, 48-bit exact).
+        assert tss.tuple_count == 1
+
+    def test_routing_tuples_by_prefix_length(self, small_routing_set):
+        tss = TupleSpaceSearch.from_rule_set(small_routing_set)
+        lengths = {
+            r.fields["ipv4_dst"].length for r in small_routing_set
+        }
+        assert tss.tuple_count == len(lengths)
+
+    def test_size_positive(self, small_mac_set):
+        tss = TupleSpaceSearch.from_rule_set(small_mac_set)
+        assert tss.size().bits > 0
+        assert tss.entry_count == len(small_mac_set)
+
+    def test_shadowed_duplicate_collapses(self, tiny_routing_set):
+        tss = TupleSpaceSearch.from_rule_set(tiny_routing_set)
+        before = tss.entry_count
+        # Re-adding an identical rule creates no new hash entry.
+        tss.add_rule(tiny_routing_set.rules[0])
+        assert tss.entry_count == before

@@ -1,0 +1,125 @@
+"""Tests for the Section III analysis pipeline."""
+
+import pytest
+
+from repro.analysis.replication import repetition_survey, total_repetition
+from repro.analysis.survey import mac_survey_table, routing_survey_table
+from repro.analysis.unique_values import (
+    exact_values,
+    partition_unique_entries,
+    unique_value_survey,
+)
+from repro.filters.rule import Application, Rule, RuleSet
+from repro.openflow.fields import MatchMethod
+from repro.openflow.match import ExactMatch, PrefixMatch, RangeMatch
+
+
+class TestUniqueValues:
+    def test_exact_values_dedupe(self, tiny_routing_set):
+        assert exact_values(tiny_routing_set, "in_port") == {1, 2}
+
+    def test_partition_entries_tiny_set(self, tiny_routing_set):
+        unique = partition_unique_entries(tiny_routing_set, "ipv4_dst")
+        # 10/8 (twice, same entry), 10.20/16, 10.20.30/24 -> hi entries
+        assert unique["ipv4_dst/hi"] == {(0x0A00, 8), (0x0A14, 16)}
+        # only the /24 reaches the lower partition
+        assert unique["ipv4_dst/lo"] == {(0x1E00, 8)}
+
+    def test_default_route_not_stored(self, tiny_routing_set):
+        unique = partition_unique_entries(tiny_routing_set, "ipv4_dst")
+        assert all((0, 0) not in entries for entries in unique.values())
+
+    def test_survey_structure(self, tiny_routing_set):
+        survey = unique_value_survey(tiny_routing_set)
+        by_field = {s.field_name: s for s in survey}
+        assert by_field["in_port"].method is MatchMethod.EXACT
+        assert by_field["in_port"].per_partition == {"in_port": 2}
+        assert by_field["ipv4_dst"].per_partition == {
+            "ipv4_dst/hi": 2,
+            "ipv4_dst/lo": 1,
+        }
+        assert by_field["ipv4_dst"].total == 3
+
+    def test_survey_counts_ranges(self, tiny_acl_set):
+        survey = unique_value_survey(tiny_acl_set)
+        by_field = {s.field_name: s for s in survey}
+        assert by_field["tcp_dst"].per_partition == {"tcp_dst": 2}
+
+    def test_exact_values_rejects_prefix_field_content(self):
+        rules = RuleSet("x", Application.ROUTING, ("in_port", "ipv4_dst"))
+        rules.add(
+            Rule(
+                fields={
+                    "in_port": ExactMatch(1, 32),
+                    "ipv4_dst": PrefixMatch(0x0A000000, 8, 32),
+                }
+            )
+        )
+        with pytest.raises(TypeError):
+            exact_values(rules, "ipv4_dst")
+
+    def test_exact_values_accepts_full_length_prefix(self):
+        rules = RuleSet("x", Application.ROUTING, ("in_port", "ipv4_dst"))
+        rules.add(
+            Rule(fields={"in_port": ExactMatch(1, 32)})
+        )
+        rules.add(
+            Rule(
+                fields={
+                    "in_port": PrefixMatch(value=7, length=32, bits=32),
+                }
+            )
+        )
+        assert exact_values(rules, "in_port") == {1, 7}
+
+
+class TestRepetition:
+    def test_tiny_set_counts(self, tiny_routing_set):
+        by_structure = {
+            r.structure: r for r in repetition_survey(tiny_routing_set)
+        }
+        # 5 rules constrain in_port; 2 unique values.
+        assert by_structure["in_port"].total_entries == 5
+        assert by_structure["in_port"].unique_entries == 2
+        # hi partition: 4 non-wild entries (default route excluded), 2 unique.
+        assert by_structure["ipv4_dst/hi"].total_entries == 4
+        assert by_structure["ipv4_dst/hi"].unique_entries == 2
+
+    def test_total_aggregates(self, tiny_routing_set):
+        total = total_repetition(tiny_routing_set)
+        assert total.total_entries == 5 + 4 + 1
+        assert total.unique_entries == 2 + 2 + 1
+
+    def test_saving_fraction(self, small_mac_set):
+        total = total_repetition(small_mac_set)
+        assert 0.0 < total.saving_fraction < 1.0
+        assert total.repetition_factor > 1.0
+
+    def test_range_repetition(self, tiny_acl_set):
+        by_structure = {r.structure: r for r in repetition_survey(tiny_acl_set)}
+        assert by_structure["tcp_dst"].total_entries == 2
+        assert by_structure["tcp_dst"].unique_entries == 2
+
+    def test_empty_structure_zero_factor(self):
+        rules = RuleSet("x", Application.ROUTING, ("in_port", "ipv4_dst"))
+        survey = {r.structure: r for r in repetition_survey(rules)}
+        assert survey["in_port"].repetition_factor == 0.0
+        assert survey["in_port"].saving_fraction == 0.0
+
+
+class TestSurveyTables:
+    def test_mac_table_matches_calibration(self, small_mac_set):
+        table = mac_survey_table({"testmac": small_mac_set})
+        assert table.rows[0] == ["testmac", 151, 16, 26, 38, 55]
+
+    def test_routing_table_matches_calibration(self, small_routing_set):
+        table = routing_survey_table({"testroute": small_routing_set})
+        assert table.rows[0] == ["testroute", 400, 12, 40, 90]
+
+    def test_wrong_application_rejected(self, small_routing_set):
+        with pytest.raises(ValueError):
+            mac_survey_table({"x": small_routing_set})
+
+    def test_wrong_application_rejected_routing(self, small_mac_set):
+        with pytest.raises(ValueError):
+            routing_survey_table({"x": small_mac_set})

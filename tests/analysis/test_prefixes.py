@@ -1,0 +1,80 @@
+"""Tests for the prefix-length distribution analysis."""
+
+import pytest
+
+from repro.analysis.prefixes import (
+    expansion_summary,
+    prefix_length_profile,
+)
+from repro.filters.rule import Application, Rule, RuleSet
+from repro.openflow.match import ExactMatch, PrefixMatch
+
+
+@pytest.fixture()
+def mixed_lengths() -> RuleSet:
+    rules = RuleSet("p", Application.ROUTING, ("in_port", "ipv4_dst"))
+    for length, value in ((8, 0x0A000000), (8, 0x0B000000), (24, 0x0A141E00), (32, 0x01020304)):
+        rules.add(
+            Rule(
+                fields={
+                    "in_port": ExactMatch(1, 32),
+                    "ipv4_dst": PrefixMatch(value, length, 32),
+                },
+                priority=length,
+            )
+        )
+    return rules
+
+
+def test_length_histogram(mixed_lengths):
+    profiles = prefix_length_profile(mixed_lengths, "ipv4_dst")
+    hi = profiles["ipv4_dst/hi"]
+    # two /8 entries, one 16-bit entry from the /24, one from the /32.
+    assert hi.length_counts == {8: 2, 16: 2}
+    lo = profiles["ipv4_dst/lo"]
+    assert lo.length_counts == {8: 1, 16: 1}
+
+
+def test_total_and_mean(mixed_lengths):
+    hi = prefix_length_profile(mixed_lengths, "ipv4_dst")["ipv4_dst/hi"]
+    assert hi.total_entries == 4
+    assert hi.mean_length() == pytest.approx((8 + 8 + 16 + 16) / 4)
+
+
+def test_expansion_records_match_trie(mixed_lengths):
+    """The analytical expansion count equals the records the built trie
+    holds at entry levels (path records excluded)."""
+    from repro.experiments.common import build_partition_tries
+
+    strides = (5, 5, 6)
+    summary = expansion_summary(mixed_lengths, "ipv4_dst", strides)
+    tries = build_partition_tries(mixed_lengths, "ipv4_dst")
+    for partition, (entries, expanded) in summary.items():
+        trie = tries[partition]
+        assert entries == len(trie)
+        labelled = sum(s.with_label for s in trie.level_stats())
+        # Expansion floor <= labelled records (shared records collapse).
+        assert labelled <= expanded
+
+
+def test_expansion_factor_at_boundary():
+    rules = RuleSet("b", Application.ROUTING, ("in_port", "ipv4_dst"))
+    # length 6 -> boundary 10 -> 2^4 = 16 records per entry.
+    rules.add(
+        Rule(fields={"ipv4_dst": PrefixMatch(0x08000000, 6, 32)}, priority=6)
+    )
+    summary = expansion_summary(rules, "ipv4_dst", (5, 5, 6))
+    assert summary["ipv4_dst/hi"] == (1, 16)
+
+
+def test_non_prefix_field_rejected(mixed_lengths):
+    with pytest.raises(ValueError):
+        prefix_length_profile(mixed_lengths, "in_port")
+
+
+def test_empty_profile():
+    rules = RuleSet("e", Application.ROUTING, ("in_port", "ipv4_dst"))
+    profiles = prefix_length_profile(rules, "ipv4_dst")
+    assert profiles["ipv4_dst/hi"].total_entries == 0
+    assert profiles["ipv4_dst/hi"].mean_length() == 0.0
+    assert profiles["ipv4_dst/hi"].expansion_records((5, 5, 6)) == 0

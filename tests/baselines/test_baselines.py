@@ -1,0 +1,114 @@
+"""Tests for the single-table and HyperCuts baselines."""
+
+import pytest
+
+from repro.baselines.hypercuts import HyperCutsTree
+from repro.baselines.single_table import (
+    SingleTableSwitch,
+    cross_product_entries,
+    materialise_cross_product,
+)
+from repro.filters.rule import Application, RuleSet
+from repro.packet.generator import PacketGenerator, TraceConfig
+
+
+class TestSingleTable:
+    def test_lookup_within_one_application(self, small_routing_set, generator):
+        switch = SingleTableSwitch([small_routing_set])
+        matches = [r.to_match() for r in small_routing_set.rules[:30]]
+        for fields in generator.field_trace(matches, 100, hit_rate=0.8):
+            expected = small_routing_set.linear_lookup(fields)
+            got = switch.lookup(fields)
+            assert (got is None) == (expected is None)
+
+    def test_priority_bands_keep_first_app_ahead(
+        self, small_mac_set, small_routing_set, generator
+    ):
+        switch = SingleTableSwitch([small_mac_set, small_routing_set])
+        mac_rule = small_mac_set.rules[0]
+        route_rule = small_routing_set.rules[1]
+        fields = generator.fields_matching(mac_rule.to_match())
+        fields |= generator.fields_matching(route_rule.to_match())
+        hit = switch.lookup(fields)
+        assert hit is not None
+        assert hit.match == mac_rule.to_match()  # first app wins its band
+
+    def test_entry_count(self, small_mac_set, small_routing_set):
+        switch = SingleTableSwitch([small_mac_set, small_routing_set])
+        assert len(switch) == len(small_mac_set) + len(small_routing_set)
+
+    def test_cross_product_entries(self, small_mac_set, small_routing_set):
+        assert cross_product_entries([]) == 0
+        assert cross_product_entries([small_mac_set]) == len(small_mac_set)
+        assert cross_product_entries(
+            [small_mac_set, small_routing_set]
+        ) == len(small_mac_set) * len(small_routing_set)
+
+    def test_materialise_cross_product(self, small_mac_set, small_routing_set):
+        combined = materialise_cross_product(small_mac_set, small_routing_set)
+        assert len(combined) == len(small_mac_set) * len(small_routing_set)
+        sample = combined[0]
+        assert set(sample.fields) == {
+            "vlan_vid",
+            "eth_dst",
+            "in_port",
+            "ipv4_dst",
+        }
+
+    def test_materialise_limit(self, small_mac_set, small_routing_set):
+        with pytest.raises(ValueError):
+            materialise_cross_product(
+                small_mac_set, small_routing_set, limit=10
+            )
+
+    def test_materialise_rejects_shared_fields(self, small_routing_set):
+        with pytest.raises(ValueError):
+            materialise_cross_product(small_routing_set, small_routing_set)
+
+
+class TestHyperCuts:
+    def test_lookup_matches_linear(self, small_acl_set):
+        tree = HyperCutsTree(small_acl_set, binth=8)
+        generator = PacketGenerator(TraceConfig(seed=31))
+        matches = [r.to_match() for r in small_acl_set.rules[:40]]
+        trace = generator.field_trace(
+            matches, 150, hit_rate=0.7, fill_fields=small_acl_set.field_names
+        )
+        for fields in trace:
+            expected = small_acl_set.linear_lookup(fields)
+            got = tree.lookup(fields)
+            if expected is None:
+                assert got is None
+            else:
+                assert got is not None and got.priority == expected.priority
+
+    def test_routing_lookup(self, tiny_routing_set):
+        tree = HyperCutsTree(tiny_routing_set, binth=2)
+        hit = tree.lookup({"in_port": 1, "ipv4_dst": 0x0A141E05})
+        assert hit is not None and hit.action_port == 12
+
+    def test_replication_observed(self, small_acl_set):
+        """Wildcard-heavy ACL rules replicate across leaves — the effect
+        the paper's Section III.B calls out for HyperCuts."""
+        stats = HyperCutsTree(small_acl_set, binth=4).stats()
+        assert stats.replication_factor > 1.0
+        assert stats.leaf_rule_refs > stats.rules
+
+    def test_binth_controls_leaf_size(self, small_acl_set):
+        shallow = HyperCutsTree(small_acl_set, binth=64).stats()
+        deep = HyperCutsTree(small_acl_set, binth=4).stats()
+        assert deep.nodes >= shallow.nodes
+        assert deep.max_depth >= shallow.max_depth
+
+    def test_stats_consistency(self, small_acl_set):
+        stats = HyperCutsTree(small_acl_set, binth=8).stats()
+        assert stats.leaves <= stats.nodes
+        assert stats.rules == len(small_acl_set)
+
+    def test_invalid_binth(self, small_acl_set):
+        with pytest.raises(ValueError):
+            HyperCutsTree(small_acl_set, binth=0)
+
+    def test_missing_field_is_miss(self, tiny_routing_set):
+        tree = HyperCutsTree(tiny_routing_set)
+        assert tree.lookup({"in_port": 1}) is None

@@ -1,0 +1,176 @@
+"""Architecture-level tests: pipeline semantics over decomposition tables,
+and the per-field split's equivalence to the monolithic table."""
+
+import pytest
+
+from repro.core.builder import (
+    build_architecture,
+    build_lookup_table,
+    build_per_field_pipeline,
+    build_prototype,
+)
+from repro.core.architecture import MultiTableLookupArchitecture
+from repro.filters.rule import Application, Rule, RuleSet
+from repro.openflow.match import PrefixMatch
+from repro.openflow.pipeline import OpenFlowPipeline
+from repro.packet.generator import PacketGenerator, TraceConfig
+
+
+class TestMonolithicArchitecture:
+    def test_single_app(self, small_mac_set, generator):
+        architecture = build_architecture([small_mac_set])
+        rule = small_mac_set.rules[0]
+        fields = generator.fields_matching(rule.to_match())
+        result = architecture.process(fields)
+        assert result.matched
+        assert result.output_ports == [rule.action_port]
+
+    def test_miss_goes_to_controller(self, small_mac_set):
+        architecture = build_architecture([small_mac_set])
+        result = architecture.process({"vlan_vid": 0x1FFF, "eth_dst": 1})
+        assert result.sent_to_controller
+
+    def test_differential_vs_behavioural_pipeline(
+        self, small_mac_set, small_routing_set, generator
+    ):
+        """The same flow entries in an OpenFlowPipeline over plain
+        FlowTables must produce identical packet fates."""
+        architecture = build_architecture([small_mac_set, small_routing_set])
+        reference = OpenFlowPipeline(2)
+        for i, rule_set in enumerate((small_mac_set, small_routing_set)):
+            goto = 1 if i == 0 else None
+            for entry in rule_set.to_flow_entries(goto_table=goto):
+                reference.install(i, entry)
+
+        mac_matches = [r.to_match() for r in small_mac_set.rules[:30]]
+        route_matches = [r.to_match() for r in small_routing_set.rules[:30]]
+        trace = generator.field_trace(mac_matches, 60, hit_rate=0.8)
+        # Packets matching both applications end-to-end:
+        for i, fields in enumerate(
+            generator.field_trace(route_matches, 60, hit_rate=0.8)
+        ):
+            trace[i % len(trace)] |= fields
+        for fields in trace:
+            got = architecture.process(fields)
+            want = reference.process(fields)
+            assert got.output_ports == want.output_ports
+            assert got.sent_to_controller == want.sent_to_controller
+            assert got.tables_visited == want.tables_visited
+
+    def test_chaining_requires_both_tables_to_match(
+        self, small_mac_set, small_routing_set, generator
+    ):
+        architecture = build_architecture([small_mac_set, small_routing_set])
+        mac_rule = small_mac_set.rules[0]
+        fields = generator.fields_matching(mac_rule.to_match())
+        fields["in_port"] = 0xDEAD  # no routing rule can match
+        result = architecture.process(fields)
+        assert result.sent_to_controller  # miss at table 1
+
+    def test_empty_rule_sets_rejected(self):
+        with pytest.raises(ValueError):
+            build_architecture([])
+
+    def test_describe(self, small_mac_set):
+        text = build_architecture([small_mac_set]).describe()
+        assert "table 0" in text and "eth_dst/lo:trie" in text
+
+
+class TestPerFieldSplit:
+    def test_split_equals_monolithic(self, small_mac_set, generator):
+        """The paper's two-table split (field A -> metadata label ->
+        (metadata, field B)) must classify exactly like the one-table
+        decomposition."""
+        monolithic = build_lookup_table(small_mac_set)
+        tables = build_per_field_pipeline(small_mac_set)
+        split = MultiTableLookupArchitecture(tables)
+
+        matches = [r.to_match() for r in small_mac_set]
+        for fields in generator.field_trace(matches, 250, hit_rate=0.7):
+            want = monolithic.lookup(fields)
+            got = split.process(fields)
+            if want is None:
+                assert got.sent_to_controller
+            else:
+                want_port = None
+                for rule in small_mac_set:
+                    if rule.to_match() == want.match:
+                        want_port = rule.action_port
+                assert got.output_ports == [want_port]
+
+    def test_split_routing_lpm(self, tiny_routing_set):
+        tables = build_per_field_pipeline(tiny_routing_set)
+        split = MultiTableLookupArchitecture(tables)
+        result = split.process({"in_port": 1, "ipv4_dst": 0x0A141E05})
+        assert result.output_ports == [12]  # the /24 rule
+        result = split.process({"in_port": 1, "ipv4_dst": 0xC0000000})
+        assert result.output_ports == [99]  # default route via miss entry
+
+    def test_split_table_a_holds_unique_values(self, small_mac_set):
+        tables = build_per_field_pipeline(small_mac_set)
+        # 16 unique VLANs + the table-miss entry.
+        assert len(tables[0]) == 16 + 1
+        assert len(tables[1]) == len(small_mac_set)
+
+    def test_wildcard_first_field_rule(self):
+        rules = RuleSet("w", Application.ROUTING, ("in_port", "ipv4_dst"))
+        rules.add(
+            Rule(
+                fields={"ipv4_dst": PrefixMatch(0x0A000000, 8, 32)},
+                priority=8,
+                action_port=42,
+            )
+        )
+        split = MultiTableLookupArchitecture(build_per_field_pipeline(rules))
+        # No port constraint: any in_port must reach the rule via the
+        # table-miss path with metadata 0.
+        result = split.process({"in_port": 1234, "ipv4_dst": 0x0A000001})
+        assert result.output_ports == [42]
+
+    def test_split_requires_two_fields(self, small_acl_set):
+        with pytest.raises(ValueError):
+            build_per_field_pipeline(small_acl_set)
+
+
+class TestPrototype:
+    def test_four_tables(self, small_mac_set, small_routing_set):
+        prototype = build_prototype(small_mac_set, small_routing_set)
+        assert len(prototype.tables) == 4
+        assert [t.table_id for t in prototype.tables] == [0, 1, 2, 3]
+
+    def test_two_mbt_structures_two_luts(self, small_mac_set, small_routing_set):
+        prototype = build_prototype(small_mac_set, small_routing_set)
+        tries = [n for t in prototype.lookup_tables for n in t.tries()]
+        luts = [n for t in prototype.lookup_tables for n in t.luts()]
+        assert sorted(tries) == [
+            "eth_dst/hi",
+            "eth_dst/lo",
+            "eth_dst/mid",
+            "ipv4_dst/hi",
+            "ipv4_dst/lo",
+        ]
+        assert sorted(luts) == ["in_port", "vlan_vid"]
+
+    def test_chained_l2_l3_processing(
+        self, small_mac_set, small_routing_set, generator
+    ):
+        prototype = build_prototype(small_mac_set, small_routing_set)
+        mac_rule = small_mac_set.rules[3]
+        route_rule = small_routing_set.rules[5]
+        fields = generator.fields_matching(mac_rule.to_match())
+        fields |= generator.fields_matching(route_rule.to_match())
+        result = prototype.process(fields)
+        assert result.tables_visited == [0, 1, 2, 3]
+        # Write-Actions of both applications accumulate; the later output
+        # (routing) wins the action-set merge.
+        assert result.output_ports == [route_rule.action_port]
+
+    def test_unchained_mac_only(self, small_mac_set, small_routing_set, generator):
+        prototype = build_prototype(
+            small_mac_set, small_routing_set, chain_applications=False
+        )
+        mac_rule = small_mac_set.rules[0]
+        fields = generator.fields_matching(mac_rule.to_match())
+        result = prototype.process(fields)
+        assert result.tables_visited == [0, 1]
+        assert result.output_ports == [mac_rule.action_port]

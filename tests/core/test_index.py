@@ -1,0 +1,126 @@
+"""Tests for the index calculation (DCFL-style aggregation)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.index import IndexCalculator
+
+label = st.integers(min_value=0, max_value=6)
+rule_tuples = st.lists(
+    st.tuples(label, label, label), min_size=0, max_size=30
+)
+label_set = st.lists(
+    st.integers(min_value=1, max_value=6), max_size=4, unique=True
+).map(tuple)
+
+
+class TestBasics:
+    def test_exact_hit(self):
+        index = IndexCalculator(("a", "b"))
+        index.add_rule((1, 2), action_index=0, priority=5)
+        assert index.lookup(((1,), (2,))) == 0
+
+    def test_wildcard_partition(self):
+        index = IndexCalculator(("a", "b"))
+        index.add_rule((1, 0), action_index=3, priority=5)
+        assert index.lookup(((1,), (9,))) == 3
+        assert index.lookup(((1,), ())) == 3
+
+    def test_priority_selects_among_combinations(self):
+        index = IndexCalculator(("a", "b"))
+        index.add_rule((1, 0), action_index=0, priority=1)
+        index.add_rule((1, 2), action_index=1, priority=9)
+        assert index.lookup(((1,), (2,))) == 1
+        assert index.lookup(((1,), (7,))) == 0
+
+    def test_miss(self):
+        index = IndexCalculator(("a",))
+        index.add_rule((1,), action_index=0, priority=1)
+        assert index.lookup(((2,),)) is None
+        assert index.lookup(((),)) is None
+
+    def test_duplicate_tuple_best_priority_wins(self):
+        index = IndexCalculator(("a",))
+        index.add_rule((1,), action_index=0, priority=1)
+        index.add_rule((1,), action_index=7, priority=9)
+        assert index.lookup(((1,),)) == 7
+        assert len(index) == 1
+
+    def test_equal_priority_first_wins(self):
+        index = IndexCalculator(("a",))
+        index.add_rule((1,), action_index=0, priority=5)
+        index.add_rule((1,), action_index=9, priority=5)
+        assert index.lookup(((1,),)) == 0
+
+    def test_wrong_arity_rejected(self):
+        index = IndexCalculator(("a", "b"))
+        with pytest.raises(ValueError):
+            index.add_rule((1,), action_index=0, priority=0)
+        with pytest.raises(ValueError):
+            index.lookup(((1,),))
+
+    def test_negative_label_rejected(self):
+        with pytest.raises(ValueError):
+            IndexCalculator(("a",)).add_rule((-1,), action_index=0, priority=0)
+
+    def test_empty_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            IndexCalculator(())
+
+
+class TestRemoval:
+    def test_remove_restores_miss(self):
+        index = IndexCalculator(("a", "b"))
+        index.add_rule((1, 2), action_index=0, priority=5)
+        assert index.remove_rule((1, 2))
+        assert index.lookup(((1,), (2,))) is None
+        assert len(index) == 0
+        assert index.aggregation_sizes() == [0, 0]
+
+    def test_remove_missing_false(self):
+        assert not IndexCalculator(("a",)).remove_rule((1,))
+
+    def test_refcounted_duplicates(self):
+        index = IndexCalculator(("a",))
+        index.add_rule((1,), action_index=0, priority=5)
+        index.add_rule((1,), action_index=1, priority=3)
+        assert index.remove_rule((1,))
+        assert index.lookup(((1,),)) is not None  # one reference left
+        assert index.remove_rule((1,))
+        assert index.lookup(((1,),)) is None
+
+    def test_shared_prefixes_survive_partial_removal(self):
+        index = IndexCalculator(("a", "b"))
+        index.add_rule((1, 2), action_index=0, priority=1)
+        index.add_rule((1, 3), action_index=1, priority=1)
+        index.remove_rule((1, 2))
+        assert index.lookup(((1,), (3,))) == 1
+        assert index.aggregation_sizes() == [1, 1]
+
+
+class TestAggregationEquivalence:
+    @settings(max_examples=150)
+    @given(rule_tuples, label_set, label_set, label_set)
+    def test_pruned_equals_naive(self, rules, set_a, set_b, set_c):
+        index = IndexCalculator(("a", "b", "c"))
+        for i, key in enumerate(rules):
+            index.add_rule(key, action_index=i, priority=i % 7)
+        query = (set_a, set_b, set_c)
+        assert index.lookup(query) == index.lookup_naive(query)
+
+
+class TestIntrospection:
+    def test_aggregation_sizes(self):
+        index = IndexCalculator(("a", "b"))
+        index.add_rule((1, 2), 0, 0)
+        index.add_rule((1, 3), 1, 0)
+        index.add_rule((2, 2), 2, 0)
+        assert index.aggregation_sizes() == [2, 3]
+
+    def test_observed_label_bits(self):
+        index = IndexCalculator(("a", "b"))
+        index.add_rule((1, 300), 0, 0)
+        bits = index.observed_label_bits()
+        assert bits == (1, 9)
+        assert index.key_bits() == 10

@@ -1,0 +1,179 @@
+"""Differential tests: the decomposition table vs the behavioural oracle.
+
+The central correctness claim of the reproduction — the Fig. 1
+architecture computes exactly OpenFlow highest-priority-match — is
+checked here by running the same flow entries and the same packets
+through :class:`OpenFlowLookupTable` and the linear
+:class:`~repro.openflow.table.FlowTable`.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import build_lookup_table
+from repro.core.lookup_table import OpenFlowLookupTable
+from repro.filters.rule import Application, Rule, RuleSet
+from repro.openflow.flow import FlowEntry
+from repro.openflow.match import ExactMatch, Match, PrefixMatch, RangeMatch
+from repro.openflow.table import FlowTable
+from repro.packet.generator import PacketGenerator, TraceConfig
+from repro.util.bits import canonical_prefix, mask_of
+
+
+def assert_tables_agree(rule_set: RuleSet, trace) -> None:
+    decomposition = build_lookup_table(rule_set)
+    oracle = FlowTable()
+    for entry in rule_set.to_flow_entries():
+        oracle.add(entry)
+    for fields in trace:
+        got = decomposition.lookup(fields)
+        want = oracle.lookup(fields)
+        if want is None:
+            assert got is None, f"false positive on {fields}"
+        else:
+            assert got is not None, f"false negative on {fields}"
+            assert got.priority == want.priority
+            assert got.match == want.match
+
+
+class TestAgainstOracle:
+    def test_mac_set(self, small_mac_set, generator):
+        matches = [r.to_match() for r in small_mac_set]
+        trace = generator.field_trace(matches, 300, hit_rate=0.7)
+        assert_tables_agree(small_mac_set, trace)
+
+    def test_routing_set(self, small_routing_set, generator):
+        matches = [r.to_match() for r in small_routing_set]
+        trace = generator.field_trace(matches, 300, hit_rate=0.7)
+        assert_tables_agree(small_routing_set, trace)
+
+    def test_acl_set(self, small_acl_set, generator):
+        matches = [r.to_match() for r in small_acl_set]
+        trace = generator.field_trace(matches, 300, hit_rate=0.7)
+        assert_tables_agree(small_acl_set, trace)
+
+    def test_tiny_routing_exact_cases(self, tiny_routing_set):
+        table = build_lookup_table(tiny_routing_set)
+        cases = {
+            (1, 0x0A141E05): 24,  # /24 wins
+            (1, 0x0A140005): 16,  # /16 wins
+            (1, 0x0A990000): 8,  # /8 wins
+            (1, 0xC0000000): 0,  # default route
+            (2, 0x0A141E05): 8,  # port 2 only has the /8
+        }
+        for (port, address), expected_priority in cases.items():
+            hit = table.lookup({"in_port": port, "ipv4_dst": address})
+            assert hit is not None and hit.priority == expected_priority
+
+    def test_miss_when_port_unknown(self, tiny_routing_set):
+        table = build_lookup_table(tiny_routing_set)
+        assert table.lookup({"in_port": 9, "ipv4_dst": 0x0A141E05}) is None
+
+
+# Random two-field rule generator exercising prefix nesting + wildcards.
+random_rules = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),  # port (small domain -> overlap)
+        st.tuples(
+            st.integers(min_value=0, max_value=mask_of(32)),
+            st.integers(min_value=0, max_value=32),
+        ),
+        st.booleans(),  # wildcard port?
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_rules, st.data())
+def test_random_rule_sets_agree(specs, data):
+    rule_set = RuleSet("h", Application.ROUTING, ("in_port", "ipv4_dst"))
+    for port, (raw, length), wild_port in specs:
+        value, length = canonical_prefix(raw, length, 32)
+        fields = {"ipv4_dst": PrefixMatch(value=value, length=length, bits=32)}
+        if not wild_port:
+            fields["in_port"] = ExactMatch(value=port, bits=32)
+        rule_set.add(Rule(fields=fields, priority=length))
+
+    port = data.draw(st.integers(min_value=0, max_value=3))
+    address = data.draw(st.integers(min_value=0, max_value=mask_of(32)))
+    # Bias probes toward stored prefixes so hits are common.
+    if specs and data.draw(st.booleans()):
+        _, (raw, length), _ = data.draw(st.sampled_from(specs))
+        value, length = canonical_prefix(raw, length, 32)
+        address = value | (address & mask_of(32 - length))
+
+    trace = [{"in_port": port, "ipv4_dst": address}]
+    assert_tables_agree(rule_set, trace)
+
+
+class TestManagement:
+    def test_schema_enforced(self):
+        table = OpenFlowLookupTable(("in_port",))
+        with pytest.raises(ValueError):
+            table.add(FlowEntry.build(match=Match.exact(eth_type=5)))
+
+    def test_add_replaces_same_match_priority(self):
+        table = OpenFlowLookupTable(("in_port",))
+        table.add(FlowEntry.build(match=Match.exact(in_port=1), priority=1))
+        table.add(FlowEntry.build(match=Match.exact(in_port=1), priority=1))
+        assert len(table) == 1
+
+    def test_remove_clears_structures(self, tiny_routing_set):
+        table = build_lookup_table(tiny_routing_set)
+        for rule in tiny_routing_set:
+            assert table.remove(rule.to_match(), rule.priority)
+        assert len(table) == 0
+        assert table.lookup({"in_port": 1, "ipv4_dst": 0x0A141E05}) is None
+        assert all(
+            len(engine.trie) == 0 for engine in table.tries().values()
+        )
+        assert all(len(engine.lut) == 0 for engine in table.luts().values())
+
+    def test_remove_keeps_shared_entries(self, tiny_routing_set):
+        table = build_lookup_table(tiny_routing_set)
+        # Two rules share the 10/8 prefix (ports 1 and 2); removing one
+        # must keep the trie entry alive for the other.
+        rule = tiny_routing_set.rules[0]  # port 1, 10/8
+        assert table.remove(rule.to_match(), rule.priority)
+        hit = table.lookup({"in_port": 2, "ipv4_dst": 0x0A000001})
+        assert hit is not None and hit.priority == 8
+
+    def test_remove_where(self, tiny_routing_set):
+        table = build_lookup_table(tiny_routing_set)
+        removed = table.remove_where(lambda e: e.priority == 8)
+        assert removed == 2
+        assert len(table) == len(tiny_routing_set) - 2
+
+    def test_remove_missing_false(self):
+        table = OpenFlowLookupTable(("in_port",))
+        assert not table.remove(Match.exact(in_port=1), 5)
+
+    def test_iteration_and_miss_entry(self):
+        table = OpenFlowLookupTable(("in_port",))
+        miss = FlowEntry.build(match=Match({}), priority=0)
+        table.add(miss)
+        table.add(FlowEntry.build(match=Match.exact(in_port=1), priority=1))
+        assert table.table_miss_entry is miss
+        assert len(list(iter(table))) == 2
+
+    def test_counters(self, tiny_routing_set):
+        table = build_lookup_table(tiny_routing_set)
+        table.lookup({"in_port": 1, "ipv4_dst": 0x0A141E05})
+        table.lookup({"in_port": 9, "ipv4_dst": 0})
+        assert table.lookup_count == 2 and table.matched_count == 1
+
+    def test_search_exposes_labels(self, tiny_routing_set):
+        table = build_lookup_table(tiny_routing_set)
+        result = table.search({"in_port": 1, "ipv4_dst": 0x0A141E05})
+        assert result.matched
+        assert len(result.label_sets) == 3  # in_port, ip/hi, ip/lo
+        # hi labels: the /8 entry plus (0x0A14, 16) — shared by the /16
+        # and /24 rules, stored (and labelled) once by the label method.
+        assert len(result.label_sets[1]) == 2
+
+    def test_range_engines_accessor(self, small_acl_set):
+        table = build_lookup_table(small_acl_set)
+        assert set(table.range_engines()) == {"tcp_src", "tcp_dst"}

@@ -1,0 +1,99 @@
+"""Round-trip tests for the ClassBench and Stanford file codecs."""
+
+import pytest
+
+from repro.filters.classbench import (
+    load_classbench,
+    parse_classbench_line,
+    write_classbench,
+)
+from repro.filters.rule import Application
+from repro.filters.stanford import load_stanford, write_stanford
+from repro.openflow.match import ExactMatch, PrefixMatch, RangeMatch
+
+
+class TestClassBench:
+    LINE = "@192.168.0.0/16\t10.0.0.0/8\t0 : 65535\t1024 : 65535\t0x06/0xFF"
+
+    def test_parse_line(self):
+        rule = parse_classbench_line(self.LINE, priority=5)
+        assert rule.fields["ipv4_src"] == PrefixMatch(0xC0A80000, 16, 32)
+        assert rule.fields["ipv4_dst"] == PrefixMatch(0x0A000000, 8, 32)
+        assert "tcp_src" not in rule.fields  # full range dropped
+        assert rule.fields["tcp_dst"] == RangeMatch(1024, 65535, 16)
+        assert rule.fields["ip_proto"] == ExactMatch(6, 8)
+        assert rule.priority == 5
+
+    def test_parse_wildcard_proto(self):
+        line = "@0.0.0.0/0\t0.0.0.0/0\t0 : 65535\t0 : 65535\t0x00/0x00"
+        rule = parse_classbench_line(line)
+        assert rule.fields == {}
+
+    def test_parse_noncanonical_prefix_normalised(self):
+        line = "@10.0.0.5/8\t0.0.0.0/0\t0 : 65535\t0 : 65535\t0x00/0x00"
+        rule = parse_classbench_line(line)
+        assert rule.fields["ipv4_src"] == PrefixMatch(0x0A000000, 8, 32)
+
+    def test_parse_bad_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_classbench_line("not a rule")
+
+    def test_partial_proto_mask_rejected(self):
+        line = "@0.0.0.0/0\t0.0.0.0/0\t0 : 65535\t0 : 65535\t0x06/0x0F"
+        with pytest.raises(ValueError):
+            parse_classbench_line(line)
+
+    def test_file_roundtrip(self, tiny_acl_set, tmp_path):
+        path = write_classbench(tiny_acl_set, tmp_path / "acl.rules")
+        loaded = load_classbench(path, name="tiny-acl")
+        assert len(loaded) == len(tiny_acl_set)
+        # First-match order is preserved: priorities descend in file order.
+        original = sorted(tiny_acl_set, key=lambda r: -r.priority)
+        for a, b in zip(original, loaded):
+            assert dict(a.fields) == dict(b.fields)
+
+    def test_load_skips_comments(self, tmp_path):
+        path = tmp_path / "rules.txt"
+        path.write_text(f"# header\n{self.LINE}\n\n{self.LINE}\n")
+        loaded = load_classbench(path)
+        assert len(loaded) == 2
+        assert loaded.rules[0].priority > loaded.rules[1].priority
+
+    def test_application_is_acl(self, tmp_path):
+        path = tmp_path / "r.txt"
+        path.write_text(self.LINE + "\n")
+        assert load_classbench(path).application is Application.ACL
+
+
+class TestStanford:
+    def test_mac_roundtrip(self, small_mac_set, tmp_path):
+        path = write_stanford(small_mac_set, tmp_path / "mac.tbl")
+        loaded = load_stanford(path, Application.MAC_LEARNING)
+        assert len(loaded) == len(small_mac_set)
+        assert list(loaded) == list(small_mac_set)
+
+    def test_routing_roundtrip(self, small_routing_set, tmp_path):
+        path = write_stanford(small_routing_set, tmp_path / "route.tbl")
+        loaded = load_stanford(path, Application.ROUTING)
+        assert len(loaded) == len(small_routing_set)
+        assert list(loaded) == list(small_routing_set)
+
+    def test_mac_line_format(self, small_mac_set, tmp_path):
+        path = write_stanford(small_mac_set, tmp_path / "mac.tbl")
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("#")
+        vlan, mac, port = lines[1].split()
+        assert mac.count(":") == 5
+        assert vlan.isdigit() and port.isdigit()
+
+    def test_unsupported_application_rejected(self, tiny_acl_set, tmp_path):
+        with pytest.raises(ValueError):
+            write_stanford(tiny_acl_set, tmp_path / "x.tbl")
+        with pytest.raises(ValueError):
+            load_stanford(tmp_path / "nope.tbl", Application.ACL)
+
+    def test_bad_mac_rejected(self, tmp_path):
+        path = tmp_path / "bad.tbl"
+        path.write_text("1 00:11:22:33:44 7\n")  # five octets only
+        with pytest.raises(ValueError):
+            load_stanford(path, Application.MAC_LEARNING)

@@ -1,0 +1,66 @@
+"""Sanity checks on the embedded published statistics."""
+
+from repro.filters.paper_data import (
+    FILTER_NAMES,
+    OUTLIER_ROUTING_FILTERS,
+    PAPER_HEADLINE_RESULTS,
+    TABLE3_MAC_STATS,
+    TABLE4_ROUTING_STATS,
+)
+
+
+def test_sixteen_filters_each():
+    assert len(FILTER_NAMES) == 16
+    assert set(TABLE3_MAC_STATS) == set(FILTER_NAMES)
+    assert set(TABLE4_ROUTING_STATS) == set(FILTER_NAMES)
+
+
+def test_spot_checks_against_paper():
+    gozb = TABLE3_MAC_STATS["gozb"]
+    assert (gozb.rules, gozb.unique_vlan) == (7370, 209)
+    assert gozb.unique_eth_partitions == (159, 1946, 6177)
+    coza = TABLE4_ROUTING_STATS["coza"]
+    assert coza.rules == 184909
+    assert coza.unique_ip_partitions == (20214, 7062)
+
+
+def test_outliers_have_high_exceeding_low():
+    for name in FILTER_NAMES:
+        stats = TABLE4_ROUTING_STATS[name]
+        assert stats.high_exceeds_low == (name in OUTLIER_ROUTING_FILTERS)
+
+
+def test_max_unique_vlan_is_209_gozb():
+    best = max(TABLE3_MAC_STATS.values(), key=lambda s: s.unique_vlan)
+    assert best.name == "gozb" and best.unique_vlan == 209
+
+
+def test_max_ingress_port_is_77_yoza():
+    best = max(TABLE4_ROUTING_STATS.values(), key=lambda s: s.unique_port)
+    assert best.name == "yoza" and best.unique_port == 77
+
+
+def test_unique_counts_do_not_exceed_rules():
+    for stats in TABLE3_MAC_STATS.values():
+        assert max(
+            stats.unique_vlan,
+            stats.unique_eth_high,
+            stats.unique_eth_mid,
+            stats.unique_eth_low,
+        ) <= stats.rules
+    for stats in TABLE4_ROUTING_STATS.values():
+        assert max(stats.unique_port, stats.unique_ip_high, stats.unique_ip_low) <= (
+            stats.rules
+        )
+
+
+def test_total_unique_entries_helper():
+    bbra = TABLE3_MAC_STATS["bbra"]
+    assert bbra.total_unique_entries == 48 + 46 + 133 + 261
+
+
+def test_headline_results_present():
+    assert PAPER_HEADLINE_RESULTS["prototype_total_mbits"] == 5.0
+    assert PAPER_HEADLINE_RESULTS["label_update_saving_percent"] == 56.92
+    assert PAPER_HEADLINE_RESULTS["max_stored_nodes"] == 54010
+    assert PAPER_HEADLINE_RESULTS["l1_max_bits"] == 832

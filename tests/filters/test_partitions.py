@@ -1,0 +1,117 @@
+"""Tests for 16-bit field partitioning (the Section III analysis core)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.filters.partitions import (
+    entry_to_predicate,
+    partition_entries,
+    partition_scheme,
+)
+from repro.openflow.match import (
+    ExactMatch,
+    PrefixMatch,
+    RangeMatch,
+    WildcardMatch,
+)
+from repro.util.bits import canonical_prefix, mask_of, split_value
+
+
+class TestScheme:
+    def test_ethernet_three_partitions(self):
+        names = [p.name for p in partition_scheme("eth_dst", 48)]
+        assert names == ["eth_dst/hi", "eth_dst/mid", "eth_dst/lo"]
+
+    def test_ipv4_two_partitions(self):
+        names = [p.name for p in partition_scheme("ipv4_dst", 32)]
+        assert names == ["ipv4_dst/hi", "ipv4_dst/lo"]
+
+    def test_narrow_field_single_partition(self):
+        scheme = partition_scheme("vlan_vid", 13)
+        assert len(scheme) == 1 and scheme[0].name == "vlan_vid"
+        assert scheme[0].bits == 13
+
+    def test_ipv6_eight_partitions(self):
+        scheme = partition_scheme("ipv6_dst", 128)
+        assert len(scheme) == 8
+        assert scheme[0].name == "ipv6_dst/p0"
+        assert scheme[7].offset == 112
+
+    def test_indivisible_width_rejected(self):
+        with pytest.raises(ValueError):
+            partition_scheme("x", 20, 16)
+
+
+class TestEntries:
+    def test_exact_value_full_entries(self):
+        scheme = partition_scheme("eth_dst", 48)
+        entries = partition_entries(ExactMatch(0x112233445566, 48), scheme)
+        assert entries == ((0x1122, 16), (0x3344, 16), (0x5566, 16))
+
+    def test_prefix_inside_first_partition(self):
+        scheme = partition_scheme("ipv4_dst", 32)
+        entries = partition_entries(PrefixMatch(0x0A000000, 8, 32), scheme)
+        assert entries == ((0x0A00, 8), None)
+
+    def test_prefix_at_partition_boundary(self):
+        scheme = partition_scheme("ipv4_dst", 32)
+        entries = partition_entries(PrefixMatch(0x0A140000, 16, 32), scheme)
+        assert entries == ((0x0A14, 16), None)
+
+    def test_prefix_spanning_partitions(self):
+        scheme = partition_scheme("ipv4_dst", 32)
+        entries = partition_entries(PrefixMatch(0x0A141E00, 24, 32), scheme)
+        assert entries == ((0x0A14, 16), (0x1E00, 8))
+
+    def test_default_route_all_wild(self):
+        scheme = partition_scheme("ipv4_dst", 32)
+        entries = partition_entries(PrefixMatch(0, 0, 32), scheme)
+        assert entries == (None, None)
+
+    def test_wildcard_all_none(self):
+        scheme = partition_scheme("eth_dst", 48)
+        assert partition_entries(WildcardMatch(48), scheme) == (None, None, None)
+
+    def test_range_rejected(self):
+        scheme = partition_scheme("tcp_dst", 16)
+        with pytest.raises(TypeError):
+            partition_entries(RangeMatch(1, 5, 16), scheme)
+
+    @given(
+        st.integers(min_value=0, max_value=mask_of(32)),
+        st.integers(min_value=0, max_value=32),
+    )
+    def test_roundtrip_matches_original(self, raw, length):
+        """A value matches the original prefix iff every partition's
+        sliced value matches the partition entry."""
+        value, length = canonical_prefix(raw, length, 32)
+        predicate = PrefixMatch(value=value, length=length, bits=32)
+        scheme = partition_scheme("ipv4_dst", 32)
+        entries = partition_entries(predicate, scheme)
+
+        probe = raw ^ 0x5A5A5A5A  # arbitrary probe value
+        parts = split_value(probe, 32, 16)
+        partwise = all(
+            entry_to_predicate(entry, 16).matches(part)
+            for entry, part in zip(entries, parts)
+        )
+        assert partwise == predicate.matches(probe)
+
+    @given(st.integers(min_value=0, max_value=mask_of(48)))
+    def test_exact_roundtrip_ethernet(self, value):
+        scheme = partition_scheme("eth_dst", 48)
+        entries = partition_entries(ExactMatch(value, 48), scheme)
+        parts = split_value(value, 48, 16)
+        assert all(e == (p, 16) for e, p in zip(entries, parts))
+
+
+class TestEntryToPredicate:
+    def test_none_is_wildcard(self):
+        assert isinstance(entry_to_predicate(None, 16), WildcardMatch)
+
+    def test_full_length_is_exact(self):
+        assert entry_to_predicate((5, 16), 16) == ExactMatch(5, 16)
+
+    def test_partial_is_prefix(self):
+        assert entry_to_predicate((0xAB00, 8), 16) == PrefixMatch(0xAB00, 8, 16)

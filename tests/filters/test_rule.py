@@ -1,0 +1,111 @@
+"""Tests for the rule/rule-set model."""
+
+import pytest
+
+from repro.filters.rule import (
+    Application,
+    Rule,
+    RuleSet,
+    exact_rule,
+    merge_rule_sets,
+)
+from repro.openflow.instructions import GotoTable, WriteActions
+from repro.openflow.match import (
+    ExactMatch,
+    PrefixMatch,
+    RangeMatch,
+    WildcardMatch,
+)
+
+
+class TestRule:
+    def test_predicate_defaults_to_wildcard(self):
+        rule = exact_rule(in_port=1)
+        assert isinstance(rule.predicate("ipv4_dst"), WildcardMatch)
+        assert rule.predicate("ipv4_dst").bits == 32
+
+    def test_matches_requires_field_present(self):
+        rule = exact_rule(ipv4_dst=5)
+        assert not rule.matches({"in_port": 1})
+        assert rule.matches({"ipv4_dst": 5})
+
+    def test_to_match_drops_wildcards(self):
+        rule = Rule(
+            fields={
+                "in_port": ExactMatch(value=1, bits=32),
+                "ipv4_dst": PrefixMatch(value=0, length=0, bits=32),
+                "tcp_dst": RangeMatch(low=0, high=65535, bits=16),
+                "eth_type": WildcardMatch(bits=16),
+            }
+        )
+        match = rule.to_match()
+        assert set(match) == {"in_port"}
+
+    def test_equality_and_hash(self):
+        a = exact_rule(priority=2, action_port=1, in_port=9)
+        b = exact_rule(priority=2, action_port=1, in_port=9)
+        assert a == b and hash(a) == hash(b)
+        assert a != exact_rule(priority=3, action_port=1, in_port=9)
+
+
+class TestRuleSet:
+    def test_schema_enforced_on_add(self):
+        rules = RuleSet("s", Application.ACL, ("ipv4_src",))
+        with pytest.raises(ValueError):
+            rules.add(exact_rule(in_port=1))
+
+    def test_schema_enforced_at_construction(self):
+        with pytest.raises(ValueError):
+            RuleSet("s", Application.ACL, ("ipv4_src",), rules=[exact_rule(in_port=1)])
+
+    def test_linear_lookup_priority(self, tiny_routing_set):
+        fields = {"in_port": 1, "ipv4_dst": 0x0A141E05}
+        hit = tiny_routing_set.linear_lookup(fields)
+        assert hit is not None and hit.action_port == 12  # the /24
+
+    def test_linear_lookup_falls_back(self, tiny_routing_set):
+        fields = {"in_port": 1, "ipv4_dst": 0x0A990000}
+        hit = tiny_routing_set.linear_lookup(fields)
+        assert hit is not None and hit.action_port == 10  # the /8
+
+    def test_linear_lookup_default_route(self, tiny_routing_set):
+        fields = {"in_port": 1, "ipv4_dst": 0xC0000000}
+        hit = tiny_routing_set.linear_lookup(fields)
+        assert hit is not None and hit.action_port == 99
+
+    def test_linear_lookup_miss(self, tiny_routing_set):
+        assert tiny_routing_set.linear_lookup({"in_port": 9, "ipv4_dst": 1}) is None
+
+    def test_field_predicates_include_wildcards(self, tiny_acl_set):
+        predicates = tiny_acl_set.field_predicates("ip_proto")
+        assert len(predicates) == 3
+        assert sum(isinstance(p, WildcardMatch) for p in predicates) == 2
+
+    def test_to_flow_entries_instructions(self, tiny_routing_set):
+        entries = tiny_routing_set.to_flow_entries(goto_table=1)
+        assert len(entries) == len(tiny_routing_set)
+        first = entries[0]
+        assert first.instructions.get(WriteActions) is not None
+        goto = first.instructions.get(GotoTable)
+        assert goto is not None and goto.table_id == 1
+
+    def test_to_flow_entries_without_goto(self, tiny_routing_set):
+        entries = tiny_routing_set.to_flow_entries()
+        assert all(e.instructions.goto_table is None for e in entries)
+
+    def test_merge(self, tiny_routing_set):
+        other = RuleSet("o", Application.ROUTING, ("in_port", "ipv4_dst"))
+        other.add(exact_rule(in_port=7))
+        merged = merge_rule_sets("m", [tiny_routing_set, other])
+        assert len(merged) == len(tiny_routing_set) + 1
+
+    def test_merge_rejects_mixed_schemas(self, tiny_routing_set, tiny_acl_set):
+        with pytest.raises(ValueError):
+            merge_rule_sets("m", [tiny_routing_set, tiny_acl_set])
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_rule_sets("m", [])
+
+    def test_summary_mentions_name(self, tiny_routing_set):
+        assert "tiny-route" in tiny_routing_set.summary()

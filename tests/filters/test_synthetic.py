@@ -1,0 +1,162 @@
+"""Calibration tests: every synthetic set must match Tables III/IV exactly.
+
+These are the load-bearing tests of the substitution argument (DESIGN.md
+Section 2): the generated rule sets reproduce every published statistic
+the paper's evaluation depends on.
+"""
+
+import pytest
+
+from repro.analysis.unique_values import exact_values, partition_unique_entries
+from repro.filters.paper_data import (
+    FILTER_NAMES,
+    TABLE3_MAC_STATS,
+    TABLE4_ROUTING_STATS,
+)
+from repro.filters.rule import Application
+from repro.filters.synthetic import (
+    SyntheticAclConfig,
+    VLAN_PRESENT,
+    generate_acl_set,
+    generate_mac_set,
+    generate_routing_set,
+    mac_set,
+    routing_set,
+)
+from repro.openflow.match import ExactMatch, PrefixMatch
+
+#: Small filters checked exhaustively in the parametrised calibration
+#: tests; the giant ones (coza/cozb/soza/sozb, >180 k rules) are covered
+#: once in the slow test below and continuously by the experiments.
+FAST_FILTERS = tuple(
+    name
+    for name in FILTER_NAMES
+    if TABLE4_ROUTING_STATS[name].rules < 100_000
+)
+
+
+@pytest.mark.parametrize("name", FILTER_NAMES)
+def test_mac_calibration_exact(name):
+    stats = TABLE3_MAC_STATS[name]
+    rules = mac_set(name)
+    eth = partition_unique_entries(rules, "eth_dst")
+    assert len(rules) == stats.rules
+    assert len(exact_values(rules, "vlan_vid")) == stats.unique_vlan
+    assert len(eth["eth_dst/hi"]) == stats.unique_eth_high
+    assert len(eth["eth_dst/mid"]) == stats.unique_eth_mid
+    assert len(eth["eth_dst/lo"]) == stats.unique_eth_low
+
+
+@pytest.mark.parametrize("name", FAST_FILTERS)
+def test_routing_calibration_exact(name):
+    stats = TABLE4_ROUTING_STATS[name]
+    rules = routing_set(name)
+    ip = partition_unique_entries(rules, "ipv4_dst")
+    assert len(rules) == stats.rules
+    assert len(exact_values(rules, "in_port")) == stats.unique_port
+    assert len(ip["ipv4_dst/hi"]) == stats.unique_ip_high
+    assert len(ip["ipv4_dst/lo"]) == stats.unique_ip_low
+
+
+@pytest.mark.slow
+def test_routing_calibration_largest_filter():
+    stats = TABLE4_ROUTING_STATS["coza"]
+    rules = routing_set("coza")
+    ip = partition_unique_entries(rules, "ipv4_dst")
+    assert len(rules) == stats.rules == 184_909
+    assert len(ip["ipv4_dst/hi"]) == stats.unique_ip_high == 20_214
+    assert len(ip["ipv4_dst/lo"]) == stats.unique_ip_low == 7_062
+
+
+class TestMacSetProperties:
+    def test_deterministic(self):
+        a = generate_mac_set(TABLE3_MAC_STATS["bbrb"])
+        b = generate_mac_set(TABLE3_MAC_STATS["bbrb"])
+        assert list(a) == list(b)
+
+    def test_seed_changes_values(self):
+        a = generate_mac_set(TABLE3_MAC_STATS["bbrb"], seed=1)
+        b = generate_mac_set(TABLE3_MAC_STATS["bbrb"], seed=2)
+        assert list(a) != list(b)
+
+    def test_macs_distinct(self, small_mac_set):
+        macs = [r.fields["eth_dst"].value for r in small_mac_set]
+        assert len(set(macs)) == len(macs)
+
+    def test_vlan_present_bit_set(self, small_mac_set):
+        for rule in small_mac_set:
+            vlan = rule.fields["vlan_vid"]
+            assert isinstance(vlan, ExactMatch)
+            assert vlan.value & VLAN_PRESENT
+
+    def test_application_and_schema(self, small_mac_set):
+        assert small_mac_set.application is Application.MAC_LEARNING
+        assert small_mac_set.field_names == ("vlan_vid", "eth_dst")
+
+
+class TestRoutingSetProperties:
+    def test_prefixes_distinct(self, small_routing_set):
+        prefixes = [
+            (r.fields["ipv4_dst"].value, r.fields["ipv4_dst"].length)
+            for r in small_routing_set
+        ]
+        assert len(set(prefixes)) == len(prefixes)
+
+    def test_contains_default_route(self, small_routing_set):
+        assert any(
+            isinstance(r.fields["ipv4_dst"], PrefixMatch)
+            and r.fields["ipv4_dst"].length == 0
+            for r in small_routing_set
+        )
+
+    def test_priority_is_prefix_length(self, small_routing_set):
+        for rule in small_routing_set:
+            assert rule.priority == rule.fields["ipv4_dst"].length
+
+    def test_prefixes_canonical(self, small_routing_set):
+        from repro.util.bits import prefix_mask
+
+        for rule in small_routing_set:
+            prefix = rule.fields["ipv4_dst"]
+            assert prefix.value & ~prefix_mask(prefix.length, 32) == 0
+
+    def test_no_slash16_routes(self, small_routing_set):
+        """/16 routes are excluded by design (see the generator docstring)."""
+        assert all(r.fields["ipv4_dst"].length != 16 for r in small_routing_set)
+
+    def test_deterministic(self):
+        from tests.conftest import SMALL_ROUTING_STATS
+
+        a = generate_routing_set(SMALL_ROUTING_STATS, seed=3)
+        b = generate_routing_set(SMALL_ROUTING_STATS, seed=3)
+        assert list(a) == list(b)
+
+
+class TestAclSet:
+    def test_size_and_schema(self, small_acl_set):
+        assert len(small_acl_set) == 120
+        assert small_acl_set.application is Application.ACL
+
+    def test_priorities_descending_unique(self, small_acl_set):
+        priorities = [r.priority for r in small_acl_set]
+        assert priorities == sorted(priorities, reverse=True)
+        assert len(set(priorities)) == len(priorities)
+
+    def test_contains_ranges_and_prefixes(self, small_acl_set):
+        from repro.openflow.match import RangeMatch
+
+        kinds = {type(p) for r in small_acl_set for p in r.fields.values()}
+        assert RangeMatch in kinds and PrefixMatch in kinds
+
+    def test_deterministic(self):
+        a = generate_acl_set(SyntheticAclConfig(rules=30, seed=4))
+        b = generate_acl_set(SyntheticAclConfig(rules=30, seed=4))
+        assert list(a) == list(b)
+
+
+class TestCaching:
+    def test_mac_set_cached(self):
+        assert mac_set("bbrb") is mac_set("bbrb")
+
+    def test_routing_set_cached(self):
+        assert routing_set("bbrb") is routing_set("bbrb")

@@ -1,0 +1,180 @@
+"""Tests for the embedded-memory cost model."""
+
+import pytest
+
+from repro.algorithms.multibit_trie import MultibitTrie
+from repro.core.builder import build_lookup_table, build_prototype
+from repro.memory.cost_model import (
+    MemoryModel,
+    index_cost,
+    metadata_label_bits,
+    trie_group_cost,
+)
+from repro.memory.fpga import (
+    DEVICE_M20K_BLOCKS,
+    M20K_BITS,
+    StratixVModel,
+    plan_memory,
+)
+from repro.memory.node_format import FLAG_BITS, TrieNodeFormat, size_node_format
+from repro.memory.report import architecture_memory_report, table_memory_report
+
+
+def make_trie(entries) -> MultibitTrie:
+    trie = MultibitTrie()
+    for label, (value, length) in enumerate(entries, start=1):
+        trie.insert(value, length, label)
+    return trie
+
+
+class TestNodeFormat:
+    def test_record_layout(self):
+        fmt = TrieNodeFormat(label_bits=13, pointer_bits=(10, 12, 0))
+        assert fmt.record_bits(1) == FLAG_BITS + 13 + 10
+        assert fmt.record_bits(3) == FLAG_BITS + 13  # no pointer at leaf level
+        assert fmt.level_count == 3
+
+    def test_level_bounds(self):
+        fmt = TrieNodeFormat(label_bits=1, pointer_bits=(1, 0))
+        with pytest.raises(ValueError):
+            fmt.record_bits(0)
+        with pytest.raises(ValueError):
+            fmt.record_bits(3)
+
+    def test_sizing_from_worst_case(self):
+        small = make_trie([(0x0A14, 16)])
+        big = make_trie([(i << 4, 12) for i in range(200)])
+        fmt = size_node_format([small, big])
+        # Label width sized for the big trie's 200 labels (+NO_LABEL).
+        assert fmt.label_bits == 8
+        # L2 pointer sized for the big trie's L3... both tries share it.
+        assert fmt.pointer_bits[-1] == 0
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            size_node_format([])
+
+    def test_mixed_strides_rejected(self):
+        with pytest.raises(ValueError):
+            size_node_format([MultibitTrie(), MultibitTrie(strides=(8, 8))])
+
+
+class TestTrieGroupCost:
+    def test_sparse_counts_records(self):
+        trie = make_trie([(0x0A00, 8)])  # 1 L1 path + 4 expanded L2 records
+        costs, fmt = trie_group_cost({"t": trie})
+        levels = costs["t"].levels
+        assert [l.records for l in levels] == [1, 4, 0]
+        assert costs["t"].total_bits == (
+            1 * fmt.record_bits(1) + 4 * fmt.record_bits(2)
+        )
+        assert costs["t"].stored_nodes == 5
+
+    def test_full_array_counts(self):
+        trie = make_trie([(0x0A14, 16)])
+        costs, _ = trie_group_cost({"t": trie}, MemoryModel.FULL_ARRAY)
+        assert [l.records for l in costs["t"].levels] == [32, 32, 64]
+
+    def test_kbits_property(self):
+        trie = make_trie([(0x0A14, 16)])
+        costs, _ = trie_group_cost({"t": trie})
+        assert costs["t"].total_kbits == costs["t"].total_bits / 1024
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            trie_group_cost({})
+
+
+class TestIndexCost:
+    def test_counts_stages(self):
+        from repro.core.index import IndexCalculator
+
+        index = IndexCalculator(("a", "b"))
+        index.add_rule((1, 2), 0, 0)
+        index.add_rule((1, 3), 1, 0)
+        size = index_cost(index, action_index_bits=8)
+        assert size.entries == 1 + 2  # stage-1 stems + final tuples
+        assert size.bits > 0
+
+    def test_metadata_label_bits(self):
+        from repro.core.index import IndexCalculator
+
+        index = IndexCalculator(("a",))
+        for i in range(5):
+            index.add_rule((i + 1,), i, 0)
+        assert metadata_label_bits(index) == 3  # 5 labels + NO_LABEL
+
+
+class TestFpga:
+    def test_single_block(self):
+        plan = plan_memory("m", depth=100, width=20)
+        assert plan.blocks == 1
+        assert plan.capacity_bits == M20K_BITS
+
+    def test_deep_memory_multiple_blocks(self):
+        plan = plan_memory("m", depth=5000, width=20)
+        assert plan.blocks == 5  # 1024 x 20 per block
+
+    def test_wide_memory_striped(self):
+        plan = plan_memory("m", depth=512, width=80)
+        assert plan.blocks == 2  # two 40-bit columns
+
+    def test_narrow_records_pack_deeper(self):
+        # 10-bit records: 2048 per block.
+        plan = plan_memory("m", depth=2048, width=10)
+        assert plan.blocks == 1
+
+    def test_empty_memory_zero_blocks(self):
+        assert plan_memory("m", depth=0, width=20).blocks == 0
+
+    def test_utilisation(self):
+        plan = plan_memory("m", depth=512, width=40)
+        assert plan.utilisation == 1.0
+
+    def test_device_model(self):
+        model = StratixVModel(plans=[plan_memory("a", 512, 40)] * 3)
+        assert model.total_blocks == 3
+        assert model.fits_device()
+        assert 0 < model.device_fraction < 1
+        huge = StratixVModel(
+            plans=[plan_memory("x", DEVICE_M20K_BLOCKS * 600, 40)]
+        )
+        assert not huge.fits_device()
+
+
+class TestReports:
+    def test_table_report_structure(self, tiny_routing_set):
+        table = build_lookup_table(tiny_routing_set)
+        report = table_memory_report(table)
+        kinds = {s.kind for s in report.structures}
+        assert kinds == {"trie", "lut", "index", "actions"}
+        assert report.total_bits == sum(s.bits for s in report.structures)
+        assert report.trie_bits > 0
+        assert report.node_format is not None
+
+    def test_architecture_report_totals(self, small_mac_set, small_routing_set):
+        prototype = build_prototype(small_mac_set, small_routing_set)
+        report = architecture_memory_report(prototype)
+        assert len(report.tables) == 4
+        assert report.total_bits == sum(t.total_bits for t in report.tables)
+        assert 0 < report.trie_bits < report.total_bits
+
+    def test_full_array_not_smaller_than_sparse(self, small_mac_set):
+        table = build_lookup_table(small_mac_set)
+        sparse = table_memory_report(table, MemoryModel.SPARSE)
+        full = table_memory_report(table, MemoryModel.FULL_ARRAY)
+        assert full.trie_bits >= sparse.trie_bits
+
+    def test_block_ram_plans_cover_structures(self, tiny_routing_set):
+        table = build_lookup_table(tiny_routing_set)
+        report = table_memory_report(table)
+        plans = report.block_ram_plans()
+        names = {p.name for p in plans}
+        assert any("ipv4_dst/hi/L1" in n for n in names)
+        assert any("in_port" in n for n in names)
+
+    def test_report_to_table_renders(self, small_mac_set, small_routing_set):
+        prototype = build_prototype(small_mac_set, small_routing_set)
+        report = architecture_memory_report(prototype)
+        text = report.to_table().to_markdown()
+        assert "TOTAL" in text and "trie" in text

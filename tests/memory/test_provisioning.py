@@ -1,0 +1,70 @@
+"""Tests for worst-case provisioning across filter sets."""
+
+import pytest
+
+from repro.memory.cost_model import MemoryModel
+from repro.memory.provisioning import provision_prototype
+from repro.memory.report import architecture_memory_report
+from repro.core.builder import build_prototype
+
+
+@pytest.fixture(scope="module")
+def two_pairs(request):
+    from repro.filters.paper_data import MacFilterStats, RoutingFilterStats
+    from repro.filters.synthetic import generate_mac_set, generate_routing_set
+
+    small = (
+        generate_mac_set(MacFilterStats("small", 151, 16, 26, 38, 55), seed=1),
+        generate_routing_set(RoutingFilterStats("small", 400, 12, 40, 90), seed=2),
+    )
+    large = (
+        generate_mac_set(MacFilterStats("large", 600, 40, 60, 200, 400), seed=3),
+        generate_routing_set(RoutingFilterStats("large", 900, 20, 60, 300), seed=4),
+    )
+    return {"small": small, "large": large}
+
+
+def test_envelope_at_least_each_individual(two_pairs):
+    plan = provision_prototype(two_pairs)
+    for mac, routing in two_pairs.values():
+        individual = architecture_memory_report(
+            build_prototype(mac, routing), MemoryModel.FULL_ARRAY
+        )
+        assert plan.total_bits >= individual.total_bits
+
+
+def test_single_pair_equals_its_report(two_pairs):
+    pair = {"small": two_pairs["small"]}
+    plan = provision_prototype(pair)
+    report = architecture_memory_report(
+        build_prototype(*two_pairs["small"]), MemoryModel.FULL_ARRAY
+    )
+    assert plan.total_bits == report.total_bits
+
+
+def test_sizing_filters_attribution(two_pairs):
+    plan = provision_prototype(two_pairs)
+    sizing = plan.sizing_filters()
+    # The larger pair must force at least some structure maxima.
+    assert sizing.get("large", 0) > 0
+    assert sum(sizing.values()) == len(plan.structures)
+
+
+def test_block_ram_plan(two_pairs):
+    plan = provision_prototype(two_pairs)
+    block_ram = plan.block_ram()
+    assert block_ram.total_blocks > 0
+    assert block_ram.fits_device()
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        provision_prototype({})
+
+
+def test_structure_names_per_table(two_pairs):
+    plan = provision_prototype(two_pairs)
+    names = {s.name for s in plan.structures}
+    assert "t1/eth_dst/lo" in names
+    assert "t3/ipv4_dst/hi" in names
+    assert "t0/vlan_vid" in names

@@ -1,0 +1,134 @@
+"""Tests for actions, the action-set ordering and instruction sets."""
+
+import pytest
+
+from repro.openflow.actions import (
+    CONTROLLER_PORT,
+    GroupAction,
+    OutputAction,
+    PopVlanAction,
+    PushVlanAction,
+    SetFieldAction,
+    SetQueueAction,
+    action_set_order,
+)
+from repro.openflow.errors import OpenFlowError, PipelineError
+from repro.openflow.instructions import (
+    ApplyActions,
+    ClearActions,
+    GotoTable,
+    InstructionSet,
+    Meter,
+    WriteActions,
+    WriteMetadata,
+)
+
+
+class TestActions:
+    def test_output_describe(self):
+        assert OutputAction(7).describe() == "output:7"
+        assert OutputAction(CONTROLLER_PORT).describe() == "output:CONTROLLER"
+
+    def test_output_to_controller_flag(self):
+        assert OutputAction(CONTROLLER_PORT).to_controller
+        assert not OutputAction(1).to_controller
+
+    def test_negative_port_rejected(self):
+        with pytest.raises(OpenFlowError):
+            OutputAction(-1)
+
+    def test_set_field_validates_width(self):
+        with pytest.raises(OpenFlowError):
+            SetFieldAction(field_name="vlan_pcp", value=8)
+
+    def test_set_field_applies(self):
+        fields = {"vlan_pcp": 0}
+        SetFieldAction(field_name="vlan_pcp", value=5).apply(fields)
+        assert fields["vlan_pcp"] == 5
+
+    def test_push_vlan_ethertype_restricted(self):
+        with pytest.raises(OpenFlowError):
+            PushVlanAction(ethertype=0x0800)
+
+    def test_action_set_order_output_last(self):
+        ordered = action_set_order(
+            (OutputAction(1), PopVlanAction(), SetQueueAction(2))
+        )
+        assert isinstance(ordered[-1], OutputAction)
+        assert isinstance(ordered[0], PopVlanAction)
+
+    def test_action_set_keeps_last_of_type(self):
+        ordered = action_set_order((OutputAction(1), OutputAction(9)))
+        assert len(ordered) == 1
+        assert ordered[0].port == 9
+
+    def test_action_set_one_set_field_per_field(self):
+        ordered = action_set_order(
+            (
+                SetFieldAction("vlan_pcp", 1),
+                SetFieldAction("vlan_pcp", 3),
+                SetFieldAction("ip_dscp", 2),
+            )
+        )
+        set_fields = [a for a in ordered if isinstance(a, SetFieldAction)]
+        assert len(set_fields) == 2
+        pcp = next(a for a in set_fields if a.field_name == "vlan_pcp")
+        assert pcp.value == 3
+
+    def test_group_action(self):
+        assert GroupAction(5).describe() == "group:5"
+
+
+class TestInstructionSet:
+    def test_execution_order(self):
+        instructions = InstructionSet(
+            [
+                GotoTable(2),
+                WriteActions([OutputAction(1)]),
+                Meter(4),
+                ApplyActions([PopVlanAction()]),
+            ]
+        )
+        kinds = [type(i) for i in instructions]
+        assert kinds == [Meter, ApplyActions, WriteActions, GotoTable]
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(PipelineError):
+            InstructionSet([GotoTable(1), GotoTable(2)])
+
+    def test_goto_property(self):
+        instructions = InstructionSet([GotoTable(3)])
+        assert instructions.goto_table is not None
+        assert instructions.goto_table.table_id == 3
+        assert InstructionSet([]).goto_table is None
+
+    def test_negative_table_rejected(self):
+        with pytest.raises(PipelineError):
+            GotoTable(-1)
+
+    def test_write_metadata_apply(self):
+        instruction = WriteMetadata(value=0xAB00, mask=0xFF00)
+        assert instruction.apply(0x1234) == 0xAB34
+
+    def test_write_metadata_value_outside_mask_rejected(self):
+        with pytest.raises(PipelineError):
+            WriteMetadata(value=0xFF, mask=0xF0)
+
+    def test_clear_actions_describe(self):
+        assert ClearActions().describe() == "clear_actions"
+
+    def test_len_and_get(self):
+        instructions = InstructionSet([GotoTable(1), ClearActions()])
+        assert len(instructions) == 2
+        assert instructions.get(ClearActions) == ClearActions()
+        assert instructions.get(Meter) is None
+
+    def test_equality(self):
+        a = InstructionSet([GotoTable(1)])
+        b = InstructionSet([GotoTable(1)])
+        assert a == b
+        assert a != InstructionSet([GotoTable(2)])
+
+    def test_describe_joins(self):
+        text = InstructionSet([GotoTable(1), Meter(2)]).describe()
+        assert "meter:2" in text and "goto_table:1" in text

@@ -1,0 +1,105 @@
+"""Tests for the OXM field registry (paper Table II source of truth)."""
+
+import pytest
+
+from repro.openflow.errors import UnknownFieldError
+from repro.openflow.fields import (
+    REGISTRY,
+    FieldDef,
+    FieldRegistry,
+    MatchMethod,
+    OXM_FIELDS,
+    paper_table2_fields,
+)
+
+#: The paper's Table II, row for row: (name, bits, method).
+PAPER_TABLE2 = [
+    ("Ingress Port", 32, MatchMethod.EXACT),
+    ("Source Ethernet", 48, MatchMethod.PREFIX),
+    ("Destination Ethernet", 48, MatchMethod.PREFIX),
+    ("Ethernet Type", 16, MatchMethod.EXACT),
+    ("VLAN ID", 13, MatchMethod.EXACT),
+    ("VLAN Priority", 3, MatchMethod.EXACT),
+    ("MPLS Label", 20, MatchMethod.EXACT),
+    ("Source IPv4", 32, MatchMethod.PREFIX),
+    ("Destination IPv4", 32, MatchMethod.PREFIX),
+    ("Source IPv6", 128, MatchMethod.PREFIX),
+    ("Destination IPv6", 128, MatchMethod.PREFIX),
+    ("IPv4 Protocol", 8, MatchMethod.EXACT),
+    ("IPv4 ToS", 6, MatchMethod.EXACT),
+    ("Source Port", 16, MatchMethod.RANGE),
+    ("Destination Port", 16, MatchMethod.RANGE),
+]
+
+
+def test_39_match_fields_excluding_metadata():
+    assert REGISTRY.match_field_count(exclude_metadata=True) == 39
+
+
+def test_40_fields_including_metadata():
+    assert REGISTRY.match_field_count(exclude_metadata=False) == 40
+
+
+def test_metadata_is_64_bits():
+    assert REGISTRY["metadata"].bits == 64
+
+
+def test_15_common_fields():
+    assert len(REGISTRY.common_fields()) == 15
+
+
+def test_paper_table2_rows_exact():
+    rows = [(f.paper_name, f.bits, f.method) for f in paper_table2_fields()]
+    assert rows == PAPER_TABLE2
+
+
+def test_unknown_field_raises():
+    with pytest.raises(UnknownFieldError):
+        REGISTRY["bogus_field"]
+
+
+def test_unknown_field_is_keyerror():
+    with pytest.raises(KeyError):
+        REGISTRY["bogus_field"]
+
+
+def test_width_helper():
+    assert REGISTRY.width("eth_dst") == 48
+    assert REGISTRY.width("vlan_vid") == 13
+
+
+def test_method_helper():
+    assert REGISTRY.method("ipv4_dst") is MatchMethod.PREFIX
+    assert REGISTRY.method("tcp_src") is MatchMethod.RANGE
+
+
+def test_oxm_ids_unique_and_dense():
+    ids = sorted(f.oxm_id for f in OXM_FIELDS)
+    assert ids == list(range(40))
+
+
+def test_max_value():
+    assert REGISTRY["vlan_pcp"].max_value == 7
+    assert REGISTRY["ipv6_src"].max_value == (1 << 128) - 1
+
+
+def test_registry_is_mapping():
+    assert len(REGISTRY) == 40
+    assert "in_port" in REGISTRY
+    assert set(iter(REGISTRY)) == {f.name for f in OXM_FIELDS}
+
+
+def test_duplicate_names_rejected():
+    duplicated = (OXM_FIELDS[0], OXM_FIELDS[0])
+    with pytest.raises(ValueError):
+        FieldRegistry(duplicated)
+
+
+def test_zero_width_field_rejected():
+    with pytest.raises(ValueError):
+        FieldDef(name="bad", oxm_id=99, bits=0, method=MatchMethod.EXACT)
+
+
+def test_common_flag_follows_paper_name():
+    for field in OXM_FIELDS:
+        assert field.common == bool(field.paper_name)

@@ -1,0 +1,199 @@
+"""Tests for the multiple-table pipeline semantics (OpenFlow v1.1+)."""
+
+import pytest
+
+from repro.openflow.actions import (
+    CONTROLLER_PORT,
+    OutputAction,
+    SetFieldAction,
+)
+from repro.openflow.errors import PipelineError
+from repro.openflow.flow import FlowEntry
+from repro.openflow.instructions import (
+    ApplyActions,
+    ClearActions,
+    GotoTable,
+    WriteActions,
+    WriteMetadata,
+)
+from repro.openflow.match import ExactMatch, Match
+from repro.openflow.pipeline import MissPolicy, OpenFlowPipeline
+from repro.openflow.table import FlowTable
+
+
+def flow(priority=1, instructions=(), **exact) -> FlowEntry:
+    return FlowEntry.build(
+        match=Match.exact(**exact), priority=priority, instructions=instructions
+    )
+
+
+class TestConstruction:
+    def test_int_constructor(self):
+        pipeline = OpenFlowPipeline(3)
+        assert len(pipeline) == 3
+        assert [t.table_id for t in pipeline.tables] == [0, 1, 2]
+
+    def test_zero_tables_rejected(self):
+        with pytest.raises(PipelineError):
+            OpenFlowPipeline(0)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(PipelineError):
+            OpenFlowPipeline([FlowTable(0), FlowTable(0)])
+
+    def test_unordered_ids_rejected(self):
+        with pytest.raises(PipelineError):
+            OpenFlowPipeline([FlowTable(1), FlowTable(0)])
+
+    def test_unknown_table_access(self):
+        with pytest.raises(PipelineError):
+            OpenFlowPipeline(1).table(7)
+
+
+class TestInstall:
+    def test_goto_backwards_rejected(self):
+        pipeline = OpenFlowPipeline(2)
+        with pytest.raises(PipelineError):
+            pipeline.install(1, flow(instructions=[GotoTable(0)], in_port=1))
+
+    def test_goto_self_rejected(self):
+        pipeline = OpenFlowPipeline(2)
+        with pytest.raises(PipelineError):
+            pipeline.install(0, flow(instructions=[GotoTable(0)], in_port=1))
+
+    def test_goto_missing_table_rejected(self):
+        pipeline = OpenFlowPipeline(2)
+        with pytest.raises(PipelineError):
+            pipeline.install(0, flow(instructions=[GotoTable(9)], in_port=1))
+
+
+class TestProcessing:
+    def test_single_table_write_actions(self):
+        pipeline = OpenFlowPipeline(1)
+        pipeline.install(
+            0, flow(instructions=[WriteActions([OutputAction(7)])], in_port=1)
+        )
+        result = pipeline.process({"in_port": 1})
+        assert result.matched
+        assert result.output_ports == [7]
+        assert not result.dropped
+
+    def test_goto_chains_tables(self):
+        pipeline = OpenFlowPipeline(2)
+        pipeline.install(0, flow(instructions=[GotoTable(1)], in_port=1))
+        pipeline.install(
+            1, flow(instructions=[WriteActions([OutputAction(9)])], in_port=1)
+        )
+        result = pipeline.process({"in_port": 1})
+        assert result.tables_visited == [0, 1]
+        assert result.output_ports == [9]
+        assert len(result.matched_entries) == 2
+
+    def test_miss_sends_to_controller_by_default(self):
+        pipeline = OpenFlowPipeline(1)
+        result = pipeline.process({"in_port": 1})
+        assert result.sent_to_controller
+        assert CONTROLLER_PORT in result.output_ports
+        assert not result.matched
+
+    def test_miss_policy_drop(self):
+        pipeline = OpenFlowPipeline(1, miss_policy=MissPolicy.DROP)
+        result = pipeline.process({"in_port": 1})
+        assert result.dropped and not result.sent_to_controller
+
+    def test_match_without_output_drops(self):
+        pipeline = OpenFlowPipeline(1)
+        pipeline.install(0, flow(in_port=1))
+        result = pipeline.process({"in_port": 1})
+        assert result.matched and result.dropped
+
+    def test_write_metadata_visible_to_next_table(self):
+        pipeline = OpenFlowPipeline(2)
+        pipeline.install(
+            0,
+            flow(instructions=[WriteMetadata(value=5), GotoTable(1)], in_port=1),
+        )
+        pipeline.install(
+            1,
+            FlowEntry.build(
+                match=Match({"metadata": ExactMatch(value=5, bits=64)}),
+                priority=1,
+                instructions=[WriteActions([OutputAction(3)])],
+            ),
+        )
+        result = pipeline.process({"in_port": 1})
+        assert result.output_ports == [3]
+        assert result.metadata == 5
+
+    def test_clear_actions_empties_set(self):
+        pipeline = OpenFlowPipeline(2)
+        pipeline.install(
+            0,
+            flow(
+                instructions=[WriteActions([OutputAction(7)]), GotoTable(1)],
+                in_port=1,
+            ),
+        )
+        pipeline.install(1, flow(instructions=[ClearActions()], in_port=1))
+        result = pipeline.process({"in_port": 1})
+        assert result.output_ports == []
+        assert result.dropped
+
+    def test_apply_actions_execute_immediately(self):
+        pipeline = OpenFlowPipeline(2)
+        pipeline.install(
+            0,
+            flow(
+                instructions=[
+                    ApplyActions([SetFieldAction("ip_dscp", 42)]),
+                    GotoTable(1),
+                ],
+                in_port=1,
+            ),
+        )
+        pipeline.install(
+            1,
+            FlowEntry.build(
+                match=Match({"ip_dscp": ExactMatch(value=42, bits=6)}),
+                priority=1,
+                instructions=[WriteActions([OutputAction(2)])],
+            ),
+        )
+        result = pipeline.process({"in_port": 1, "ip_dscp": 0})
+        assert result.output_ports == [2]
+        assert result.final_fields["ip_dscp"] == 42
+
+    def test_write_actions_overwrite_within_set(self):
+        pipeline = OpenFlowPipeline(2)
+        pipeline.install(
+            0,
+            flow(
+                instructions=[WriteActions([OutputAction(1)]), GotoTable(1)],
+                in_port=1,
+            ),
+        )
+        pipeline.install(
+            1, flow(instructions=[WriteActions([OutputAction(2)])], in_port=1)
+        )
+        result = pipeline.process({"in_port": 1})
+        # One output of each type survives: the later write wins.
+        assert result.output_ports == [2]
+
+    def test_second_table_miss_goes_to_controller(self):
+        pipeline = OpenFlowPipeline(2)
+        pipeline.install(0, flow(instructions=[GotoTable(1)], in_port=1))
+        result = pipeline.process({"in_port": 1})
+        assert result.sent_to_controller
+        assert result.tables_visited == [0, 1]
+
+    def test_table_miss_entry_handles_miss(self):
+        pipeline = OpenFlowPipeline(2)
+        miss = FlowEntry.build(
+            match=Match({}), priority=0, instructions=[GotoTable(1)]
+        )
+        pipeline.install(0, miss)
+        pipeline.install(
+            1, flow(instructions=[WriteActions([OutputAction(5)])], in_port=4)
+        )
+        result = pipeline.process({"in_port": 4})
+        assert result.output_ports == [5]

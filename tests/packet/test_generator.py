@@ -1,0 +1,94 @@
+"""Tests for the deterministic packet generator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.openflow.match import (
+    ExactMatch,
+    MaskedMatch,
+    Match,
+    PrefixMatch,
+    RangeMatch,
+)
+from repro.packet.generator import PacketGenerator, TraceConfig
+
+
+def test_deterministic_traces():
+    a = [p.match_fields() for p in PacketGenerator(TraceConfig(seed=5)).trace(20)]
+    b = [p.match_fields() for p in PacketGenerator(TraceConfig(seed=5)).trace(20)]
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = [p.match_fields() for p in PacketGenerator(TraceConfig(seed=5)).trace(20)]
+    b = [p.match_fields() for p in PacketGenerator(TraceConfig(seed=6)).trace(20)]
+    assert a != b
+
+
+def test_random_packets_are_valid():
+    generator = PacketGenerator(TraceConfig(seed=1, vlan_probability=1.0))
+    packet = generator.random_packet()
+    fields = packet.match_fields()
+    assert "vlan_vid" in fields
+    assert fields["vlan_vid"] & 0x1000
+
+
+def test_fields_matching_exact():
+    generator = PacketGenerator()
+    match = Match.exact(in_port=3, eth_type=0x0800)
+    fields = generator.fields_matching(match)
+    assert match.matches(fields)
+
+
+@settings(max_examples=40)
+@given(
+    st.integers(min_value=0, max_value=32),
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_fields_matching_prefix_and_range(length, raw, seed):
+    from repro.util.bits import canonical_prefix
+
+    value, length = canonical_prefix(raw, length, 32)
+    match = Match(
+        {
+            "ipv4_dst": PrefixMatch(value=value, length=length, bits=32),
+            "tcp_dst": RangeMatch(low=100, high=200, bits=16),
+        }
+    )
+    fields = PacketGenerator(TraceConfig(seed=seed)).fields_matching(match)
+    assert match.matches(fields)
+
+
+def test_fields_matching_masked():
+    match = Match({"metadata": MaskedMatch(value=0x10, mask=0xF0, bits=64)})
+    fields = PacketGenerator().fields_matching(match)
+    assert match.matches(fields)
+
+
+def test_field_trace_hit_rate():
+    generator = PacketGenerator(TraceConfig(seed=9))
+    match = Match({"ipv4_dst": ExactMatch(value=0x01020304, bits=32)})
+    trace = generator.field_trace([match], 300, hit_rate=0.8)
+    hits = sum(1 for fields in trace if match.matches(fields))
+    assert 200 <= hits <= 280  # ~0.8 within generous bounds
+
+
+def test_field_trace_zero_hit_rate():
+    generator = PacketGenerator(TraceConfig(seed=9))
+    match = Match({"ipv4_dst": ExactMatch(value=0x01020304, bits=32)})
+    trace = generator.field_trace([match], 50, hit_rate=0.0)
+    assert sum(1 for f in trace if match.matches(f)) <= 1  # random collisions only
+
+
+def test_field_trace_invalid_hit_rate():
+    import pytest
+
+    with pytest.raises(ValueError):
+        PacketGenerator().field_trace([], 10, hit_rate=1.5)
+
+
+def test_wide_random_values():
+    generator = PacketGenerator(TraceConfig(seed=2))
+    value = generator._random_value(128)
+    assert 0 <= value < (1 << 128)

@@ -1,0 +1,124 @@
+"""Tests for header dataclasses and Packet field extraction."""
+
+import pytest
+
+from repro.packet.headers import (
+    ETHERTYPE_IPV4,
+    ETHERTYPE_VLAN,
+    IP_PROTO_TCP,
+    Ethernet,
+    Icmp,
+    IPv4,
+    IPv6,
+    Mpls,
+    Tcp,
+    Udp,
+    Vlan,
+)
+from repro.packet.packet import Packet, ethernet_ipv4_tcp
+
+
+class TestValidation:
+    def test_ethernet_width(self):
+        with pytest.raises(ValueError):
+            Ethernet(dst=1 << 48, src=0, ethertype=0x0800)
+
+    def test_vlan_vid_12_bits(self):
+        with pytest.raises(ValueError):
+            Vlan(vid=4096)
+
+    def test_mpls_label_20_bits(self):
+        with pytest.raises(ValueError):
+            Mpls(label=1 << 20)
+
+    def test_ipv4_fields(self):
+        with pytest.raises(ValueError):
+            IPv4(src=0, dst=0, proto=256)
+
+    def test_ipv6_flow_label(self):
+        with pytest.raises(ValueError):
+            IPv6(src=0, dst=0, next_header=6, flow_label=1 << 20)
+
+    def test_udp_length_minimum(self):
+        with pytest.raises(ValueError):
+            Udp(src_port=1, dst_port=2, length=7)
+
+
+class TestMatchFields:
+    def test_ethernet_contributes_three_fields(self):
+        header = Ethernet(dst=0xA, src=0xB, ethertype=0x0800)
+        assert header.match_fields() == {
+            "eth_dst": 0xA,
+            "eth_src": 0xB,
+            "eth_type": 0x0800,
+        }
+
+    def test_vlan_sets_present_bit(self):
+        assert Vlan(vid=100).match_fields()["vlan_vid"] == 100 | 0x1000
+
+    def test_vlan_overrides_ethertype(self):
+        fields = Vlan(vid=1, ethertype=0x86DD).match_fields()
+        assert fields["eth_type"] == 0x86DD
+
+    def test_ipv4_dscp_ecn(self):
+        fields = IPv4(src=1, dst=2, proto=6, dscp=10, ecn=2).match_fields()
+        assert fields["ip_dscp"] == 10 and fields["ip_ecn"] == 2
+
+    def test_ipv6_splits_traffic_class(self):
+        fields = IPv6(src=1, dst=2, next_header=17, traffic_class=0b101011).match_fields()
+        assert fields["ip_dscp"] == 0b1010
+        assert fields["ip_ecn"] == 0b11
+
+    def test_udp_exposes_generic_ports(self):
+        fields = Udp(src_port=53, dst_port=9).match_fields()
+        assert fields["tcp_src"] == 53 and fields["udp_src"] == 53
+
+    def test_icmp(self):
+        fields = Icmp(icmp_type=8, code=0).match_fields()
+        assert fields == {"icmpv4_type": 8, "icmpv4_code": 0}
+
+
+class TestPacket:
+    def test_must_start_with_ethernet(self):
+        with pytest.raises(ValueError):
+            Packet(headers=(Tcp(src_port=1, dst_port=2),))
+
+    def test_outer_header_wins(self):
+        packet = Packet(
+            headers=(
+                Ethernet(dst=1, src=2, ethertype=ETHERTYPE_VLAN),
+                Vlan(vid=10, ethertype=ETHERTYPE_VLAN),
+                Vlan(vid=20, ethertype=ETHERTYPE_IPV4),
+            )
+        )
+        assert packet.match_fields()["vlan_vid"] == 10 | 0x1000
+
+    def test_in_port_and_metadata_included(self):
+        packet = Packet(
+            headers=(Ethernet(dst=1, src=2, ethertype=0x0800),),
+            in_port=7,
+            metadata=3,
+        )
+        fields = packet.match_fields()
+        assert fields["in_port"] == 7 and fields["metadata"] == 3
+
+    def test_find(self):
+        packet = ethernet_ipv4_tcp(1, 2, 3, 4, 5, 6)
+        assert isinstance(packet.find(IPv4), IPv4)
+        assert packet.find(Vlan) is None
+
+    def test_with_in_port(self):
+        packet = ethernet_ipv4_tcp(1, 2, 3, 4, 5, 6)
+        assert packet.with_in_port(9).in_port == 9
+
+    def test_convenience_builder_with_vlan(self):
+        packet = ethernet_ipv4_tcp(1, 2, 3, 4, 5, 6, vlan=42)
+        fields = packet.match_fields()
+        assert fields["vlan_vid"] == 42 | 0x1000
+        assert fields["ipv4_src"] == 3
+        assert fields["tcp_dst"] == 6
+        assert fields["ip_proto"] == IP_PROTO_TCP
+
+    def test_summary(self):
+        packet = ethernet_ipv4_tcp(1, 2, 3, 4, 5, 6, in_port=2)
+        assert "Ethernet/IPv4/Tcp" in packet.summary

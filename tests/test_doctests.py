@@ -1,0 +1,30 @@
+"""Run the library's docstring examples as tests."""
+
+import doctest
+
+import pytest
+
+import repro.algorithms.labels
+import repro.algorithms.tcam
+import repro.filters.partitions
+import repro.util.bits
+import repro.util.charts
+import repro.util.tables
+import repro.util.units
+
+MODULES = [
+    repro.util.bits,
+    repro.util.units,
+    repro.util.tables,
+    repro.util.charts,
+    repro.filters.partitions,
+    repro.algorithms.labels,
+    repro.algorithms.tcam,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0
+    assert result.attempted > 0  # every listed module carries examples

@@ -1,0 +1,176 @@
+"""Tests for the update-process simulation (Section V.B / Fig. 5)."""
+
+import pytest
+
+from repro.filters.rule import Application, Rule, RuleSet
+from repro.openflow.match import ExactMatch, PrefixMatch
+from repro.update.controller_sim import (
+    SoftwareController,
+    average_saving_percent,
+)
+from repro.update.engine import CYCLES_PER_UPDATE, UpdateEngine
+from repro.update.generator import (
+    generate_action_updates,
+    generate_algorithm_updates,
+)
+from repro.update.records import UpdateFile, UpdateRecord
+
+
+class TestUpdateFile:
+    def test_append_and_counts(self):
+        file = UpdateFile(name="f")
+        file.append(UpdateRecord(structure="a", key=(1,), label=1))
+        file.append(UpdateRecord(structure="a", key=(2,), label=2))
+        file.append(UpdateRecord(structure="b", key=(3,), label=1))
+        assert len(file) == 3
+        assert file.per_structure() == {"a": 2, "b": 1}
+
+    def test_count_only_mode(self):
+        file = UpdateFile(name="f", materialize=False)
+        file.count("a", n=5)
+        assert len(file) == 5
+        assert file.records == []
+        with pytest.raises(ValueError):
+            list(file)
+
+    def test_merged(self):
+        a = UpdateFile(name="a")
+        a.append(UpdateRecord(structure="s", key=(1,), label=1))
+        b = UpdateFile(name="b")
+        b.append(UpdateRecord(structure="s", key=(2,), label=2))
+        merged = a.merged(b)
+        assert len(merged) == 2
+        assert merged.per_structure() == {"s": 2}
+
+
+class TestGenerator:
+    def test_label_file_counts_unique_only(self, tiny_routing_set):
+        label_file = generate_algorithm_updates(tiny_routing_set, use_labels=True)
+        initial_file = generate_algorithm_updates(
+            tiny_routing_set, use_labels=False
+        )
+        # 2 unique ports vs 5 port-constrained rules.
+        assert label_file.per_structure()["in_port"] == 2
+        assert initial_file.per_structure()["in_port"] == 5
+        assert len(label_file) < len(initial_file)
+
+    def test_trie_records_expansion_counted(self):
+        rules = RuleSet("r", Application.ROUTING, ("in_port", "ipv4_dst"))
+        rules.add(
+            Rule(
+                fields={
+                    "in_port": ExactMatch(1, 32),
+                    "ipv4_dst": PrefixMatch(0x0A000000, 8, 32),
+                },
+                priority=8,
+            )
+        )
+        file = generate_algorithm_updates(rules, use_labels=True)
+        counts = file.per_structure()
+        # hi partition: a /8 entry -> 1 L1 path record + 4 expanded L2.
+        assert counts["ipv4_dst/hi/L1"] == 1
+        assert counts["ipv4_dst/hi/L2"] == 4
+        assert counts["in_port"] == 1
+
+    def test_duplicate_prefix_rewrites_expansion_without_labels(self):
+        rules = RuleSet("r", Application.ROUTING, ("in_port", "ipv4_dst"))
+        for port in (1, 2):
+            rules.add(
+                Rule(
+                    fields={
+                        "in_port": ExactMatch(port, 32),
+                        "ipv4_dst": PrefixMatch(0x0A000000, 8, 32),
+                    },
+                    priority=8,
+                )
+            )
+        initial = generate_algorithm_updates(rules, use_labels=False)
+        label = generate_algorithm_updates(rules, use_labels=True)
+        # Without labels the second rule re-writes the 4 expansion records
+        # (but creates no new path records).
+        assert initial.per_structure()["ipv4_dst/hi/L2"] == 8
+        assert label.per_structure()["ipv4_dst/hi/L2"] == 4
+
+    def test_count_only_matches_materialized(self, small_mac_set):
+        materialized = generate_algorithm_updates(small_mac_set, use_labels=True)
+        counted = generate_algorithm_updates(
+            small_mac_set, use_labels=True, materialize=False
+        )
+        assert len(materialized) == len(counted)
+        assert materialized.per_structure() == counted.per_structure()
+
+    def test_label_trie_records_match_built_trie(self, small_mac_set):
+        """The optimised file writes each stored trie record exactly once,
+        so its per-level counts equal the built trie's record counts."""
+        from repro.experiments.common import build_partition_tries
+
+        file = generate_algorithm_updates(small_mac_set, use_labels=True)
+        counts = file.per_structure()
+        tries = build_partition_tries(small_mac_set, "eth_dst")
+        for name, trie in tries.items():
+            for stats in trie.level_stats():
+                assert counts.get(f"{name}/L{stats.level}", 0) == stats.records
+
+    def test_action_updates_one_per_rule(self, small_mac_set):
+        file = generate_action_updates(small_mac_set)
+        assert len(file) == len(small_mac_set)
+
+
+class TestEngine:
+    def test_two_cycles_per_record(self):
+        file = UpdateFile(name="f", materialize=False)
+        file.count("s", n=10)
+        cost = UpdateEngine().cost(file)
+        assert cost.cycles == 10 * CYCLES_PER_UPDATE == 20
+
+    def test_duration(self):
+        file = UpdateFile(name="f", materialize=False)
+        file.count("s", n=100)
+        cost = UpdateEngine().cost(file)
+        assert cost.duration_us(clock_mhz=100.0) == pytest.approx(2.0)
+
+    def test_batch(self):
+        a = UpdateFile(name="a", materialize=False)
+        a.count("s", 3)
+        b = UpdateFile(name="b", materialize=False)
+        b.count("s", 4)
+        assert UpdateEngine().cost_of_batch([a, b]).cycles == 14
+
+    def test_invalid_engine_params(self):
+        with pytest.raises(ValueError):
+            UpdateEngine(cycles_per_update=0)
+
+
+class TestController:
+    def test_characterize_returns_two_files(self, small_mac_set):
+        controller = SoftwareController()
+        algorithms, actions = controller.characterize(small_mac_set)
+        assert "algorithms" in algorithms.name
+        assert "actions" in actions.name
+
+    def test_label_method_saves_cycles(self, small_mac_set, small_routing_set):
+        controller = SoftwareController()
+        for rule_set in (small_mac_set, small_routing_set):
+            comparison = controller.compare(rule_set)
+            assert comparison.optimised.cycles < comparison.initial.cycles
+            assert 0 < comparison.saving_percent < 100
+
+    def test_full_update_includes_actions(self, small_mac_set):
+        controller = SoftwareController()
+        algorithms_only = controller.algorithm_update_cost(small_mac_set)
+        full = controller.full_update_cost(small_mac_set)
+        assert full.cycles == algorithms_only.cycles + 2 * len(small_mac_set)
+
+    def test_average_saving(self, small_mac_set, small_routing_set):
+        controller = SoftwareController()
+        comparisons = [
+            controller.compare(small_mac_set),
+            controller.compare(small_routing_set),
+        ]
+        average = average_saving_percent(comparisons)
+        low = min(c.saving_percent for c in comparisons)
+        high = max(c.saving_percent for c in comparisons)
+        assert low <= average <= high
+
+    def test_average_saving_empty(self):
+        assert average_saving_percent([]) == 0.0

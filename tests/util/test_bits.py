@@ -1,0 +1,166 @@
+"""Tests for repro.util.bits — the arithmetic everything else leans on."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bits import (
+    bit_slice,
+    bits_needed,
+    canonical_prefix,
+    mask_of,
+    prefix_contains,
+    prefix_covers_value,
+    prefix_mask,
+    prefix_range,
+    split_value,
+)
+
+
+class TestMaskOf:
+    def test_zero(self):
+        assert mask_of(0) == 0
+
+    def test_small(self):
+        assert mask_of(4) == 0xF
+
+    def test_wide(self):
+        assert mask_of(128) == (1 << 128) - 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask_of(-1)
+
+
+class TestBitsNeeded:
+    @pytest.mark.parametrize(
+        "count,expected",
+        [(0, 0), (1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (1024, 10), (1025, 11)],
+    )
+    def test_values(self, count, expected):
+        assert bits_needed(count) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bits_needed(-1)
+
+    @given(st.integers(min_value=2, max_value=10**9))
+    def test_addresses_all_items(self, count):
+        bits = bits_needed(count)
+        assert 2**bits >= count
+        assert 2 ** (bits - 1) < count
+
+
+class TestBitSlice:
+    def test_msb_first(self):
+        assert bit_slice(0xABCD, 16, 0, 8) == 0xAB
+        assert bit_slice(0xABCD, 16, 8, 8) == 0xCD
+
+    def test_middle(self):
+        assert bit_slice(0b1011_0110, 8, 2, 4) == 0b1101
+
+    def test_full_width(self):
+        assert bit_slice(0x1234, 16, 0, 16) == 0x1234
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            bit_slice(0xFF, 8, 4, 8)
+
+    @given(st.integers(min_value=0, max_value=mask_of(48)))
+    def test_slices_reassemble(self, value):
+        parts = [bit_slice(value, 48, offset, 16) for offset in (0, 16, 32)]
+        assert (parts[0] << 32) | (parts[1] << 16) | parts[2] == value
+
+
+class TestSplitValue:
+    def test_ethernet_three_parts(self):
+        assert split_value(0x112233445566, 48, 16) == (0x1122, 0x3344, 0x5566)
+
+    def test_ip_two_parts(self):
+        assert split_value(0x0A141E28, 32, 16) == (0x0A14, 0x1E28)
+
+    def test_single_part(self):
+        assert split_value(0xBEEF, 16, 16) == (0xBEEF,)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            split_value(0, 13, 16)
+
+    @given(st.integers(min_value=0, max_value=mask_of(64)))
+    def test_roundtrip_64(self, value):
+        parts = split_value(value, 64, 16)
+        rebuilt = 0
+        for part in parts:
+            rebuilt = (rebuilt << 16) | part
+        assert rebuilt == value
+
+
+class TestPrefixMask:
+    def test_cidr_24(self):
+        assert prefix_mask(24, 32) == 0xFFFFFF00
+
+    def test_zero_length(self):
+        assert prefix_mask(0, 32) == 0
+
+    def test_full_length(self):
+        assert prefix_mask(16, 16) == 0xFFFF
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            prefix_mask(33, 32)
+
+
+class TestPrefixCovers:
+    def test_covers(self):
+        assert prefix_covers_value(0x0A000000, 8, 0x0A012345, 32)
+
+    def test_does_not_cover(self):
+        assert not prefix_covers_value(0x0A000000, 8, 0x0B012345, 32)
+
+    def test_zero_length_covers_all(self):
+        assert prefix_covers_value(0, 0, 0xFFFFFFFF, 32)
+
+
+class TestPrefixContains:
+    def test_shorter_contains_longer(self):
+        assert prefix_contains((0x0A000000, 8), (0x0A140000, 16), 32)
+
+    def test_longer_never_contains_shorter(self):
+        assert not prefix_contains((0x0A140000, 16), (0x0A000000, 8), 32)
+
+    def test_disjoint(self):
+        assert not prefix_contains((0x0A000000, 8), (0x0B000000, 8), 32)
+
+    def test_self_containment(self):
+        assert prefix_contains((0x0A000000, 8), (0x0A000000, 8), 32)
+
+    @given(
+        st.integers(min_value=0, max_value=mask_of(16)),
+        st.integers(min_value=0, max_value=16),
+        st.integers(min_value=0, max_value=16),
+    )
+    def test_containment_matches_range_inclusion(self, value, len_a, len_b):
+        a = canonical_prefix(value, len_a, 16)
+        b = canonical_prefix(value, len_b, 16)
+        lo_a, hi_a = prefix_range(a[0], a[1], 16)
+        lo_b, hi_b = prefix_range(b[0], b[1], 16)
+        assert prefix_contains(a, b, 16) == (lo_a <= lo_b and hi_b <= hi_a)
+
+
+class TestPrefixRange:
+    def test_slash8(self):
+        assert prefix_range(0x0A000000, 8, 32) == (0x0A000000, 0x0AFFFFFF)
+
+    def test_host_route(self):
+        assert prefix_range(0x01020304, 32, 32) == (0x01020304, 0x01020304)
+
+    def test_default_route(self):
+        assert prefix_range(0, 0, 32) == (0, 0xFFFFFFFF)
+
+
+class TestCanonicalPrefix:
+    def test_strips_host_bits(self):
+        assert canonical_prefix(0x0A0101FF, 16, 32) == (0x0A010000, 16)
+
+    def test_already_canonical(self):
+        assert canonical_prefix(0x0A000000, 8, 32) == (0x0A000000, 8)

@@ -1,0 +1,58 @@
+"""Tests for repro.util.charts."""
+
+import pytest
+
+from repro.util.charts import GroupedBarChart, bar_chart
+
+
+def test_bar_chart_scales_to_max():
+    rendered = bar_chart({"a": 2.0, "b": 1.0}, width=10)
+    lines = rendered.splitlines()
+    assert lines[0].count("█") == 10
+    assert lines[1].count("█") == 5
+
+
+def test_bar_chart_title_and_unit():
+    rendered = bar_chart({"x": 1.0}, title="T", unit="Kbits")
+    assert rendered.splitlines()[0] == "T"
+    assert "1 Kbits" in rendered
+
+
+def test_bar_chart_empty():
+    assert "(no data)" in bar_chart({})
+
+
+def test_bar_chart_zero_values():
+    rendered = bar_chart({"a": 0.0, "b": 0.0})
+    assert "█" not in rendered
+
+
+def test_grouped_chart_renders_groups():
+    chart = GroupedBarChart(series_names=["hi", "lo"], title="G", unit="n")
+    chart.add_group("bbra", [3.0, 1.0])
+    chart.add_group("gozb", [6.0, 2.0])
+    rendered = chart.render()
+    assert "bbra:" in rendered and "gozb:" in rendered
+    assert rendered.splitlines()[0] == "G"
+
+
+def test_grouped_chart_series_length_enforced():
+    chart = GroupedBarChart(series_names=["hi", "lo"])
+    with pytest.raises(ValueError):
+        chart.add_group("x", [1.0])
+
+
+def test_grouped_chart_empty():
+    chart = GroupedBarChart(series_names=["a"])
+    assert "(no data)" in chart.render()
+
+
+def test_grouped_chart_global_scale():
+    chart = GroupedBarChart(series_names=["v"], width=8)
+    chart.add_group("big", [8.0])
+    chart.add_group("small", [1.0])
+    lines = chart.render().splitlines()
+    big_line = next(line for line in lines if "8" in line and "█" in line)
+    small_line = next(line for line in lines if "1" in line and "█" in line)
+    assert big_line.count("█") == 8
+    assert small_line.count("█") == 1

@@ -1,0 +1,59 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import TextTable, read_csv_table
+
+
+@pytest.fixture()
+def table() -> TextTable:
+    t = TextTable(headers=["filter", "rules", "kbits"], title="demo")
+    t.add_row(["bbra", 507, 1.234])
+    t.add_row(["gozb", 7370, 983.7])
+    return t
+
+
+def test_row_length_enforced(table):
+    with pytest.raises(ValueError):
+        table.add_row(["short"])
+
+
+def test_markdown_shape(table):
+    lines = table.to_markdown().splitlines()
+    assert lines[0] == "### demo"
+    assert lines[2].startswith("| filter |")
+    assert lines[3].count("---") == 3
+    assert "| bbra | 507 | 1.23 |" in lines
+
+
+def test_markdown_without_title():
+    t = TextTable(headers=["a"])
+    t.add_row([1])
+    assert t.to_markdown().splitlines()[0] == "| a |"
+
+
+def test_column_access(table):
+    assert table.column("rules") == [507, 7370]
+
+
+def test_column_unknown(table):
+    with pytest.raises(KeyError):
+        table.column("nope")
+
+
+def test_csv_roundtrip(table, tmp_path):
+    path = table.write_csv(tmp_path / "nested" / "demo.csv")
+    loaded = read_csv_table(path)
+    assert list(loaded.headers) == ["filter", "rules", "kbits"]
+    assert loaded.rows[1] == ["gozb", "7370", "983.70"]
+
+
+def test_csv_float_formatting(table):
+    assert "1.23" in table.to_csv()
+
+
+def test_read_empty_csv_rejected(tmp_path):
+    empty = tmp_path / "empty.csv"
+    empty.write_text("")
+    with pytest.raises(ValueError):
+        read_csv_table(empty)

@@ -1,0 +1,38 @@
+"""Tests for repro.util.units."""
+
+from repro.util.units import (
+    BITS_PER_KBIT,
+    BITS_PER_MBIT,
+    format_bits,
+    kbits,
+    mbits,
+)
+
+
+def test_binary_convention():
+    assert BITS_PER_KBIT == 1024
+    assert BITS_PER_MBIT == 1024 * 1024
+
+
+def test_kbits():
+    assert kbits(2048) == 2.0
+
+
+def test_mbits():
+    assert mbits(5 * BITS_PER_MBIT) == 5.0
+
+
+def test_format_small():
+    assert format_bits(832) == "832 bits"
+
+
+def test_format_kbits():
+    assert format_bits(586_311) == "572.57 Kbits"
+
+
+def test_format_mbits():
+    assert format_bits(5 * BITS_PER_MBIT) == "5.00 Mbits"
+
+
+def test_format_boundary():
+    assert format_bits(1024) == "1.00 Kbits"
