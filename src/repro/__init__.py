@@ -17,7 +17,8 @@ Quick start::
     report = memory.table_memory_report(table)       # Section V.A costs
 
 The experiment harness regenerating every table and figure of the paper
-lives in :mod:`repro.experiments` (``python -m repro.experiments``).
+lives in :mod:`repro.experiments` (``python -m repro.experiments``); the
+batched, microflow-cached traffic runtime lives in :mod:`repro.runtime`.
 """
 
 from repro import (
@@ -29,11 +30,12 @@ from repro import (
     memory,
     openflow,
     packet,
+    runtime,
     update,
     util,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "algorithms",
@@ -44,6 +46,7 @@ __all__ = [
     "memory",
     "openflow",
     "packet",
+    "runtime",
     "update",
     "util",
     "__version__",

@@ -49,29 +49,68 @@ class ActionTableEntry:
 
 
 class ActionTable:
-    """An append-only array of action entries addressed by index."""
+    """An array of action entries addressed by index, with slot reuse.
+
+    The array only ever grows when no freed slot is available: releasing
+    an entry (rule removal / flow-mod replacement) pushes its index onto a
+    free list, and the next allocation reuses it.  Without this, every
+    same-match replacement would strand a slot forever and the table would
+    grow without bound under churn, skewing the memory cost model.
+    """
 
     def __init__(self) -> None:
-        self._entries: list[ActionTableEntry] = []
+        self._slots: list[ActionTableEntry | None] = []
+        self._free: list[int] = []
 
-    def append(self, flow_entry: FlowEntry) -> ActionTableEntry:
-        entry = ActionTableEntry(index=len(self._entries), flow_entry=flow_entry)
-        self._entries.append(entry)
+    def allocate(self, flow_entry: FlowEntry) -> ActionTableEntry:
+        """Place an entry in a freed slot, growing the array only if full."""
+        if self._free:
+            index = self._free.pop()
+            entry = ActionTableEntry(index=index, flow_entry=flow_entry)
+            self._slots[index] = entry
+        else:
+            entry = ActionTableEntry(index=len(self._slots), flow_entry=flow_entry)
+            self._slots.append(entry)
         return entry
 
+    def append(self, flow_entry: FlowEntry) -> ActionTableEntry:
+        """Backwards-compatible alias of :meth:`allocate`."""
+        return self.allocate(flow_entry)
+
+    def release(self, index: int) -> None:
+        """Free one slot for reuse by a later allocation."""
+        if self._slots[index] is None:
+            raise IndexError(f"action slot {index} is already free")
+        self._slots[index] = None
+        self._free.append(index)
+
     def __getitem__(self, index: int) -> ActionTableEntry:
-        return self._entries[index]
+        entry = self._slots[index]
+        if entry is None:
+            raise IndexError(f"action slot {index} is free")
+        return entry
 
     def __len__(self) -> int:
-        return len(self._entries)
+        """Number of live entries (allocated slots minus free slots)."""
+        return len(self._slots) - len(self._free)
 
     def __iter__(self) -> Iterator[ActionTableEntry]:
-        return iter(self._entries)
+        return iter(e for e in self._slots if e is not None)
+
+    @property
+    def allocated_slots(self) -> int:
+        """High-water slot count — the memory the hardware array occupies."""
+        return len(self._slots)
+
+    @property
+    def free_slots(self) -> int:
+        """Slots currently on the free list (allocated but unused)."""
+        return len(self._free)
 
     @property
     def index_bits(self) -> int:
-        """Bits needed to address any entry."""
-        return bits_needed(len(self._entries))
+        """Bits needed to address any allocated slot."""
+        return bits_needed(len(self._slots))
 
     @property
     def entry_bits(self) -> int:
@@ -80,12 +119,18 @@ class ActionTable:
 
     @property
     def total_bits(self) -> int:
-        return len(self._entries) * self.entry_bits
+        """Memory of the whole array, free slots included."""
+        return len(self._slots) * self.entry_bits
+
+    @property
+    def live_bits(self) -> int:
+        """Memory attributable to live entries only."""
+        return len(self) * self.entry_bits
 
     def goto_targets(self) -> set[int]:
         """All next-table ids referenced by entries (pipeline validation)."""
         targets = set()
-        for entry in self._entries:
+        for entry in self:
             goto = entry.flow_entry.instructions.get(GotoTable)
             if goto is not None:
                 assert isinstance(goto, GotoTable)

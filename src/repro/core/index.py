@@ -28,21 +28,23 @@ LabelTuple = tuple[int, ...]
 
 
 @dataclass
-class _IndexEntry:
+class _RuleRef:
+    """One rule's claim on a label tuple.
+
+    Every rule that maps to a tuple is kept (not just the best), so
+    removing the currently-visible rule of a shadowed pair restores the
+    survivor instead of leaving a stale action index behind.
+    """
+
     priority: int
     specificity: int  # constrained bits; breaks priority ties
     sequence: int  # insertion order; breaks remaining ties
     action_index: int
-    refcount: int = 1
 
-    def beats(self, other: "_IndexEntry | None") -> bool:
-        if other is None:
-            return True
-        return (self.priority, self.specificity, -self.sequence) > (
-            other.priority,
-            other.specificity,
-            -other.sequence,
-        )
+    @property
+    def rank(self) -> tuple[int, int, int]:
+        """Sort key mirroring :attr:`FlowEntry.sort_key` (higher wins)."""
+        return (self.priority, self.specificity, -self.sequence)
 
 
 class IndexCalculator:
@@ -58,7 +60,7 @@ class IndexCalculator:
         self._prefix_counts: list[Counter[LabelTuple]] = [
             Counter() for _ in range(self._depth)
         ]
-        self._entries: dict[LabelTuple, _IndexEntry] = {}
+        self._entries: dict[LabelTuple, list[_RuleRef]] = {}
         self._sequence = 0
 
     # ------------------------------------------------------------------
@@ -75,44 +77,51 @@ class IndexCalculator:
         """Register a rule's label tuple.
 
         Identical label tuples denote identical match regions, so only the
-        best-priority rule of a tuple is addressable; shadowed duplicates
-        still hold a reference for correct removal.  ``specificity``
-        (constrained bits of the source match) breaks priority ties the
-        same way the behavioural flow table does.
+        best-ranked rule of a tuple is addressable at lookup time; shadowed
+        duplicates are retained so that removing the visible rule restores
+        them.  ``specificity`` (constrained bits of the source match)
+        breaks priority ties the same way the behavioural flow table does.
         """
         self._check_tuple(labels)
         for k in range(self._depth):
             self._prefix_counts[k][labels[: k + 1]] += 1
-        existing = self._entries.get(labels)
         self._sequence += 1
-        if existing is None:
-            self._entries[labels] = _IndexEntry(
+        self._entries.setdefault(labels, []).append(
+            _RuleRef(
                 priority=priority,
                 specificity=specificity,
                 sequence=self._sequence,
                 action_index=action_index,
             )
-        else:
-            existing.refcount += 1
-            if priority > existing.priority:
-                existing.priority = priority
-                existing.specificity = specificity
-                existing.action_index = action_index
-                existing.sequence = self._sequence
+        )
 
-    def remove_rule(self, labels: LabelTuple) -> bool:
-        """Drop one reference to a rule tuple; True if it existed."""
-        entry = self._entries.get(labels)
-        if entry is None:
+    def remove_rule(
+        self, labels: LabelTuple, action_index: int | None = None
+    ) -> bool:
+        """Drop one rule reference from a tuple; True if it existed.
+
+        With ``action_index`` the reference pointing at that action slot
+        is removed (exact removal, the lookup-table path); without it the
+        most recently added reference is dropped.
+        """
+        refs = self._entries.get(labels)
+        if refs is None:
             return False
+        if action_index is None:
+            victim = max(refs, key=lambda ref: ref.sequence)
+        else:
+            matching = [ref for ref in refs if ref.action_index == action_index]
+            if not matching:
+                return False
+            victim = max(matching, key=lambda ref: ref.sequence)
+        refs.remove(victim)
+        if not refs:
+            del self._entries[labels]
         for k in range(self._depth):
             key = labels[: k + 1]
             self._prefix_counts[k][key] -= 1
             if self._prefix_counts[k][key] == 0:
                 del self._prefix_counts[k][key]
-        entry.refcount -= 1
-        if entry.refcount == 0:
-            del self._entries[labels]
         return True
 
     # ------------------------------------------------------------------
@@ -141,11 +150,11 @@ class IndexCalculator:
             ]
             if not candidates:
                 return None
-        best: _IndexEntry | None = None
+        best: _RuleRef | None = None
         for key in candidates:
-            entry = self._entries[key]
-            if entry.beats(best):
-                best = entry
+            for ref in self._entries[key]:
+                if best is None or ref.rank > best.rank:
+                    best = ref
         assert best is not None
         return best.action_index
 
@@ -157,12 +166,12 @@ class IndexCalculator:
         import itertools
 
         options = [tuple(labels) + (NO_LABEL,) for labels in label_sets]
-        best: _IndexEntry | None = None
+        best: _RuleRef | None = None
         for key in itertools.product(*options):
-            entry = self._entries.get(key)
-            if entry is not None and entry.beats(best):
-                best = entry
-        return best.action_index if best else None
+            for ref in self._entries.get(key, ()):
+                if best is None or ref.rank > best.rank:
+                    best = ref
+        return best.action_index if best is not None else None
 
     # ------------------------------------------------------------------
     # introspection

@@ -12,9 +12,10 @@ of the decomposition.
 
 from __future__ import annotations
 
+import itertools
 from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, Iterator, Mapping
+from typing import Callable, Iterator, Mapping, Sequence
 
 from repro.algorithms.base import NO_LABEL
 from repro.core.config import ArchitectureConfig, DEFAULT_CONFIG
@@ -48,8 +49,10 @@ class LookupResult:
 class _InstalledEntry:
     """Bookkeeping for one installed flow entry (for exact removal)."""
 
+    uid: int
     flow_entry: FlowEntry
     labels: tuple[int, ...]
+    action_index: int
 
 
 class OpenFlowLookupTable:
@@ -70,11 +73,31 @@ class OpenFlowLookupTable:
         }
         self.index = IndexCalculator(self.partitioner.partition_names)
         self.actions = ActionTable()
-        self._installed: list[_InstalledEntry] = []
+        #: Installed entries keyed by a monotonic uid; dicts preserve
+        #: insertion order for iteration and give O(1) exact removal
+        #: (a list's ``remove`` made bulk deletion quadratic).
+        self._installed: dict[int, _InstalledEntry] = {}
+        self._uids = itertools.count()
         self._by_key: dict[tuple[Match, int], _InstalledEntry] = {}
         self._label_refs: Counter[tuple[str, int]] = Counter()
+        #: Flattened partition engines, aligned with
+        #: ``partitioner.partition_names`` (the batch path indexes them
+        #: positionally instead of by name).
+        self._flat_engines = tuple(
+            engine
+            for name in field_names
+            for engine in self.engines[name].engines
+        )
+        assert (
+            tuple(e.name for e in self._flat_engines)
+            == self.partitioner.partition_names
+        )
         self.lookup_count = 0
         self.matched_count = 0
+        #: Mutation counter; bumped on every add/remove so lookup caches
+        #: (e.g. :class:`repro.runtime.cache.MicroflowCache`) can detect
+        #: staleness cheaply.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # FlowTable-compatible interface
@@ -99,7 +122,7 @@ class OpenFlowLookupTable:
                 labels.extend(NO_LABEL for _ in engine.partition_names)
             else:
                 labels.extend(engine.insert_rule(predicate))
-        action_entry = self.actions.append(entry)
+        action_entry = self.actions.allocate(entry)
         key = tuple(labels)
         self.index.add_rule(
             key,
@@ -107,12 +130,18 @@ class OpenFlowLookupTable:
             entry.priority,
             specificity=entry.match.specificity(),
         )
-        installed = _InstalledEntry(flow_entry=entry, labels=key)
-        self._installed.append(installed)
+        installed = _InstalledEntry(
+            uid=next(self._uids),
+            flow_entry=entry,
+            labels=key,
+            action_index=action_entry.index,
+        )
+        self._installed[installed.uid] = installed
         self._by_key[(entry.match, entry.priority)] = installed
         for part_name, label in zip(self.partitioner.partition_names, key):
             if label != NO_LABEL:
                 self._label_refs[(part_name, label)] += 1
+        self.version += 1
 
     def remove(self, match: Match, priority: int) -> bool:
         """Delete the entry with the exact match and priority."""
@@ -123,7 +152,9 @@ class OpenFlowLookupTable:
         return True
 
     def remove_where(self, predicate: Callable[[FlowEntry], bool]) -> int:
-        doomed = [e for e in self._installed if predicate(e.flow_entry)]
+        doomed = [
+            e for e in self._installed.values() if predicate(e.flow_entry)
+        ]
         for installed in doomed:
             self._remove_installed(installed)
         return len(doomed)
@@ -140,11 +171,11 @@ class OpenFlowLookupTable:
         return len(self._installed)
 
     def __iter__(self) -> Iterator[FlowEntry]:
-        return iter(e.flow_entry for e in self._installed)
+        return iter(e.flow_entry for e in self._installed.values())
 
     @property
     def table_miss_entry(self) -> FlowEntry | None:
-        for installed in self._installed:
+        for installed in self._installed.values():
             if installed.flow_entry.is_table_miss:
                 return installed.flow_entry
         return None
@@ -165,6 +196,59 @@ class OpenFlowLookupTable:
             return LookupResult(entry=None, label_sets=tuple(label_sets))
         self.matched_count += 1
         return LookupResult(entry=self.actions[index], label_sets=tuple(label_sets))
+
+    def search_batch(
+        self, batch_fields: Sequence[Mapping[str, int]]
+    ) -> list[LookupResult]:
+        """Decomposition lookup for a batch of packets.
+
+        Field/partition extraction is vectorized
+        (:meth:`HeaderPartitioner.extract_batch`) and label searches are
+        memoized per batch at two grains: packets sharing a full
+        partition-key tuple resolve the index calculation once, and
+        packets sharing a single partition key resolve that engine's
+        label search once (the positional-key twin of
+        :meth:`FieldEngine.search_batch`; keep the two in sync).
+        """
+        key_rows = self.partitioner.extract_batch(batch_fields)
+        self.lookup_count += len(key_rows)
+        label_memo: dict[tuple[int, int | None], tuple[int, ...]] = {}
+        row_memo: dict[tuple[int | None, ...], LookupResult] = {}
+        results: list[LookupResult] = []
+        for row in key_rows:
+            cached = row_memo.get(row)
+            if cached is None:
+                label_sets: list[tuple[int, ...]] = []
+                for position, key in enumerate(row):
+                    memo_key = (position, key)
+                    labels = label_memo.get(memo_key)
+                    if labels is None:
+                        labels = self._flat_engines[position].search(key)
+                        label_memo[memo_key] = labels
+                    label_sets.append(labels)
+                index = self.index.lookup(tuple(label_sets))
+                cached = LookupResult(
+                    entry=None if index is None else self.actions[index],
+                    label_sets=tuple(label_sets),
+                )
+                row_memo[row] = cached
+            if cached.entry is not None:
+                self.matched_count += 1
+            results.append(cached)
+        return results
+
+    def lookup_batch(
+        self, batch_fields: Sequence[Mapping[str, int]]
+    ) -> list[FlowEntry | None]:
+        """Batched :meth:`lookup`: one matched entry (or None) per packet."""
+        hits: list[FlowEntry | None] = []
+        for result in self.search_batch(batch_fields):
+            if result.entry is None:
+                hits.append(None)
+            else:
+                result.entry.flow_entry.stats.record()
+                hits.append(result.entry.flow_entry)
+        return hits
 
     def partition_engines(self):
         """Iterate every partition engine (for memory accounting)."""
@@ -201,12 +285,14 @@ class OpenFlowLookupTable:
         return self._by_key.get((match, priority))
 
     def _remove_installed(self, installed: _InstalledEntry) -> None:
-        self.index.remove_rule(installed.labels)
+        self.index.remove_rule(installed.labels, installed.action_index)
         self._release_engine_entries(installed)
-        self._installed.remove(installed)
+        del self._installed[installed.uid]
         del self._by_key[(installed.flow_entry.match, installed.flow_entry.priority)]
-        # Action-table slots are append-only (hardware tables are not
-        # compacted on delete); the index no longer references the slot.
+        # The slot returns to the action table's free list so churn does
+        # not grow the array without bound.
+        self.actions.release(installed.action_index)
+        self.version += 1
 
     def _release_engine_entries(self, installed: _InstalledEntry) -> None:
         """Drop label references; evict entries no other rule shares."""

@@ -11,7 +11,9 @@ partition values, producing the per-partition keys the engines search.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.filters.partitions import FieldPartition, partition_scheme
 from repro.openflow.fields import REGISTRY, MatchMethod
@@ -62,3 +64,51 @@ class HeaderPartitioner:
                     shift = field_bits - part.offset - part.bits
                     keys[part.name] = (value >> shift) & ((1 << part.bits) - 1)
         return keys
+
+    def extract_batch(
+        self, batch: Sequence[Mapping[str, int]]
+    ) -> list[tuple[int | None, ...]]:
+        """Slice a batch of packets into partition-key tuples.
+
+        Returns one tuple per packet, with keys in
+        :attr:`partition_names` order (``None`` where the packet lacks
+        the field).  The per-partition shift/mask arithmetic runs
+        vectorized over the whole batch with numpy for fields up to 64
+        bits; wider fields (IPv6) fall back to Python integers, which
+        have no width limit.
+        """
+        if not batch:
+            return []
+        columns: list[list[int | None]] = []
+        for name in self.field_names:
+            field_bits = REGISTRY[name].bits
+            raw = [fields.get(name) for fields in batch]
+            values: np.ndarray | None = None
+            if field_bits <= 64:
+                try:
+                    values = np.array(
+                        [0 if v is None else v for v in raw], dtype=np.uint64
+                    )
+                except (OverflowError, TypeError):
+                    values = None  # out-of-range value; take the slow path
+            for part in self._schemes[name]:
+                shift = field_bits - part.offset - part.bits
+                mask = (1 << part.bits) - 1
+                if values is not None:
+                    keys = (
+                        (values >> np.uint64(shift)) & np.uint64(mask)
+                    ).tolist()
+                    columns.append(
+                        [
+                            None if v is None else key
+                            for v, key in zip(raw, keys)
+                        ]
+                    )
+                else:
+                    columns.append(
+                        [
+                            None if v is None else (v >> shift) & mask
+                            for v in raw
+                        ]
+                    )
+        return list(zip(*columns))

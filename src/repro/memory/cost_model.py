@@ -130,8 +130,18 @@ def index_cost(index: IndexCalculator, action_index_bits: int) -> StructureSize:
 
 
 def action_table_cost(actions: ActionTable) -> StructureSize:
-    """Action-table memory (entries x fixed instruction encoding)."""
-    return StructureSize(entries=len(actions), bits=actions.total_bits)
+    """Live action-table memory (entries x fixed instruction encoding).
+
+    Free-listed slots (allocated by a past rule, awaiting reuse) are
+    accounted separately via :func:`action_table_free_cost`.
+    """
+    return StructureSize(entries=len(actions), bits=actions.live_bits)
+
+
+def action_table_free_cost(actions: ActionTable) -> StructureSize:
+    """Memory held by freed (reusable) action-table slots."""
+    free = actions.free_slots
+    return StructureSize(entries=free, bits=free * actions.entry_bits)
 
 
 def metadata_label_bits(index: IndexCalculator) -> int:

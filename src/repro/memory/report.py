@@ -16,6 +16,7 @@ from repro.memory.cost_model import (
     MemoryModel,
     TrieCost,
     action_table_cost,
+    action_table_free_cost,
     index_cost,
     lut_cost,
     range_cost,
@@ -131,6 +132,19 @@ def table_memory_report(
             bits=actions_size.bits,
         )
     )
+    # Freed slots (from rule churn, awaiting reuse) still occupy the
+    # hardware array; report them as their own line so churn-induced
+    # overhead is visible rather than folded into the live entries.
+    free_size = action_table_free_cost(table.actions)
+    if free_size.entries:
+        report.structures.append(
+            StructureCost(
+                name="actions (free)",
+                kind="actions",
+                entries=free_size.entries,
+                bits=free_size.bits,
+            )
+        )
     return report
 
 

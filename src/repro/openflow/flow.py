@@ -53,6 +53,15 @@ class FlowEntry:
     stats: FlowStats = field(default_factory=FlowStats, compare=False, repr=False)
     _seq: int = field(default_factory=lambda: next(_sequence), compare=False, repr=False)
 
+    def __post_init__(self) -> None:
+        # Canonicalize raw instruction iterables so every entry carries a
+        # validated InstructionSet and executes in OpenFlow type order
+        # (v1.3 §5.9), regardless of the order the caller listed them in.
+        if not isinstance(self.instructions, InstructionSet):
+            object.__setattr__(
+                self, "instructions", InstructionSet(self.instructions)
+            )
+
     @classmethod
     def build(
         cls,

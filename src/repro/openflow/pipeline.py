@@ -31,8 +31,6 @@ from repro.openflow.flow import FlowEntry
 from repro.openflow.instructions import (
     ApplyActions,
     ClearActions,
-    GotoTable,
-    Meter,
     WriteActions,
     WriteMetadata,
 )
@@ -155,24 +153,36 @@ class OpenFlowPipeline:
         action_set: list[Action],
         result: PipelineResult,
     ) -> int | None:
-        """Run one entry's instructions; returns the next table id, if any."""
-        next_table: int | None = None
-        for instruction in entry.instructions:
-            if isinstance(instruction, Meter):
-                continue  # metering is modelled as a no-op tag
-            if isinstance(instruction, ApplyActions):
-                for action in instruction.actions:
-                    self._execute_action(action, result)
-            elif isinstance(instruction, ClearActions):
-                action_set.clear()
-            elif isinstance(instruction, WriteActions):
-                action_set.extend(instruction.actions)
-            elif isinstance(instruction, WriteMetadata):
-                result.metadata = instruction.apply(result.metadata)
-                result.final_fields["metadata"] = result.metadata
-            elif isinstance(instruction, GotoTable):
-                next_table = instruction.table_id
-        return next_table
+        """Run one entry's instructions; returns the next table id, if any.
+
+        OpenFlow v1.3 §5.9 mandates execution by *type* order — Meter,
+        Apply-Actions, Clear-Actions, Write-Actions, Write-Metadata,
+        Goto-Table — so instructions are fetched by type rather than
+        trusting the order the entry happens to iterate in.  In
+        particular, Clear-Actions always empties the action set *before*
+        this entry's Write-Actions merges into it.
+        """
+        # FlowEntry.__post_init__ guarantees a validated InstructionSet.
+        instructions = entry.instructions
+        # Meter is modelled as a no-op tag.
+        apply = instructions.get(ApplyActions)
+        if apply is not None:
+            assert isinstance(apply, ApplyActions)
+            for action in apply.actions:
+                self._execute_action(action, result)
+        if instructions.get(ClearActions) is not None:
+            action_set.clear()
+        write = instructions.get(WriteActions)
+        if write is not None:
+            assert isinstance(write, WriteActions)
+            action_set.extend(write.actions)
+        metadata = instructions.get(WriteMetadata)
+        if metadata is not None:
+            assert isinstance(metadata, WriteMetadata)
+            result.metadata = metadata.apply(result.metadata)
+            result.final_fields["metadata"] = result.metadata
+        goto = instructions.goto_table
+        return goto.table_id if goto is not None else None
 
     def _execute_action_set(
         self, action_set: list[Action], result: PipelineResult

@@ -33,6 +33,10 @@ class FlowTable:
         self._dirty = False  # entries appended but not yet re-sorted
         self.lookup_count = 0
         self.matched_count = 0
+        #: Mutation counter; bumped on every add/remove so lookup caches
+        #: (e.g. :class:`repro.runtime.cache.MicroflowCache`) can detect
+        #: staleness without wrapping the mutation interface.
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -68,6 +72,7 @@ class FlowTable:
         self._entries.append(entry)
         self._by_key[(entry.match, entry.priority)] = entry
         self._dirty = True
+        self.version += 1
 
     def remove(self, match: Match, priority: int) -> bool:
         """Delete the entry with the exact match and priority; True if found."""
@@ -76,6 +81,7 @@ class FlowTable:
             return False
         self._entries.remove(existing)
         del self._by_key[(match, priority)]
+        self.version += 1
         return True
 
     def remove_where(self, predicate: Callable[[FlowEntry], bool]) -> int:
@@ -85,6 +91,8 @@ class FlowTable:
         self._by_key = {
             (e.match, e.priority): e for e in self._entries
         }
+        if before != len(self._entries):
+            self.version += 1
         return before - len(self._entries)
 
     def lookup(self, packet_fields: Mapping[str, int]) -> FlowEntry | None:

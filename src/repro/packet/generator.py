@@ -151,6 +151,74 @@ class PacketGenerator:
                 )
         return trace
 
+    def flow_pool(
+        self,
+        matches: Sequence[Match],
+        fill_fields: Sequence[str] = (),
+    ) -> list[dict[str, int]]:
+        """One concrete header ("microflow") per match.
+
+        Repeatedly sampling the same pool element yields *identical*
+        field dicts, which is what makes flow-level locality (and
+        microflow-cache hits) representable in a trace.
+        """
+        return [self.fields_matching(match, fill_fields) for match in matches]
+
+    def sample_trace(
+        self,
+        flows: Sequence[dict[str, int]],
+        count: int,
+        weights: Sequence[float] | None = None,
+    ) -> list[dict[str, int]]:
+        """Draw ``count`` packets from a flow pool, i.i.d. per packet.
+
+        ``weights`` (normalized internally) skews the draw — e.g. a zipf
+        distribution concentrates traffic on a few heavy flows; ``None``
+        samples uniformly.
+        """
+        if not flows:
+            raise ValueError("flow pool is empty")
+        p = None
+        if weights is not None:
+            w = np.asarray(weights, dtype=float)
+            if len(w) != len(flows):
+                raise ValueError(
+                    f"{len(w)} weights for {len(flows)} flows"
+                )
+            p = w / w.sum()
+        picks = self._rng.choice(len(flows), size=count, p=p)
+        return [flows[i] for i in picks]
+
+    def bursty_trace(
+        self,
+        flows: Sequence[dict[str, int]],
+        count: int,
+        mean_burst: float = 16.0,
+        weights: Sequence[float] | None = None,
+    ) -> list[dict[str, int]]:
+        """Draw ``count`` packets as back-to-back per-flow bursts.
+
+        Each burst picks one flow (optionally ``weights``-skewed) and
+        repeats it for a geometrically distributed run with the given
+        mean — the packet-train locality real traffic exhibits.
+        """
+        if not flows:
+            raise ValueError("flow pool is empty")
+        if mean_burst < 1.0:
+            raise ValueError(f"mean_burst must be >= 1, got {mean_burst}")
+        p = None
+        if weights is not None:
+            w = np.asarray(weights, dtype=float)
+            p = w / w.sum()
+        trace: list[dict[str, int]] = []
+        while len(trace) < count:
+            flow = flows[int(self._rng.choice(len(flows), p=p))]
+            # geometric(1/mean) already has support {1, 2, ...} and mean
+            # mean_burst.
+            burst = int(self._rng.geometric(1.0 / mean_burst))
+            trace.extend([flow] * min(burst, count - len(trace)))
+        return trace
+
     def _value_satisfying(self, predicate: FieldMatch) -> int:
         if isinstance(predicate, ExactMatch):
             return predicate.value

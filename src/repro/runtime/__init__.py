@@ -1,0 +1,65 @@
+"""Batched, cached high-throughput runtime over the lookup architecture.
+
+The paper's decomposition architecture fixes the *per-lookup* memory
+cost; this package fixes the *per-packet software overhead* so the
+reproduction can serve traffic-scale workloads.  Three layers compose:
+
+**Batching model.**  :class:`~repro.runtime.batch.BatchPipeline` drives
+packet batches through the multi-table pipeline in waves: all packets
+currently at the same table are looked up together via the tables'
+``search_batch`` / ``lookup_batch`` APIs (numpy-vectorized header
+partitioning, per-batch memoization so duplicate partition keys and
+duplicate full header keys are each resolved once), while per-packet
+instruction execution reuses the scalar pipeline's machinery unchanged.
+Goto-Table is forward-only, so a batch visits each table at most once.
+
+**Microflow caching.**  A :class:`~repro.runtime.cache.MicroflowCache`
+(LRU, exact-match on the table's field tuple — the Open vSwitch
+fast-path pattern) sits in front of each table.  Invalidation rule: any
+``add`` / ``remove`` / ``remove_where`` may reclassify arbitrary cached
+microflows, so the cache flushes wholesale on the next lookup after a
+mutation, detected via the table's ``version`` counter.  Misses are
+cached (negatively) under the same rule.
+
+**Scenario catalog.**  :mod:`repro.runtime.scenarios` builds replayable
+:class:`~repro.runtime.batch.Workload` objects from a rule set —
+``uniform`` (cache-adversarial), ``zipf`` (heavy-tailed popularity),
+``bursty`` (packet trains), and ``churn`` (traffic interleaved with rule
+uninstall/reinstall cycles) — replayed by
+:func:`~repro.runtime.batch.run_workload`.  ``benchmarks/bench_throughput.py``
+reports packets/sec for the scan, decomposition, batched, and
+cached-batch paths over these scenarios.
+"""
+
+from repro.runtime.batch import (
+    BatchPipeline,
+    BatchStats,
+    Workload,
+    WorkloadStats,
+    run_workload,
+)
+from repro.runtime.cache import DEFAULT_CAPACITY, MicroflowCache
+from repro.runtime.scenarios import (
+    SCENARIOS,
+    bursty_workload,
+    churn_workload,
+    uniform_workload,
+    zipf_weights,
+    zipf_workload,
+)
+
+__all__ = [
+    "BatchPipeline",
+    "BatchStats",
+    "DEFAULT_CAPACITY",
+    "MicroflowCache",
+    "SCENARIOS",
+    "Workload",
+    "WorkloadStats",
+    "bursty_workload",
+    "churn_workload",
+    "run_workload",
+    "uniform_workload",
+    "zipf_weights",
+    "zipf_workload",
+]

@@ -1,0 +1,161 @@
+"""Exact-match microflow cache (the Open vSwitch fast-path pattern).
+
+A :class:`MicroflowCache` sits in front of one flow table and memoizes
+full lookups keyed on the *exact* tuple of the table's match-field values
+— the definition of a microflow.  Two packets with identical header
+fields necessarily classify identically, so a cache hit skips the whole
+decomposition (or scan) path.
+
+Invalidation follows the Open vSwitch rule: any flow-table mutation may
+change the classification of arbitrary cached keys (a new wildcard rule
+can cover many microflows), so the only sound per-mutation response is a
+full flush.  Rather than wrapping the table's mutation interface, the
+cache watches the table's ``version`` counter — bumped by ``add`` /
+``remove`` / ``remove_where`` on both :class:`~repro.openflow.table.FlowTable`
+and :class:`~repro.core.lookup_table.OpenFlowLookupTable` — and flushes
+lazily on the next lookup after a change.  Mutating the table directly
+(not through any wrapper) therefore stays safe.
+
+Misses are cached too (negative caching): a miss is just another
+classification outcome, and the flush-on-mutation rule keeps it correct.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Mapping, Sequence
+
+from repro.openflow.flow import FlowEntry
+
+#: Sentinel distinguishing a cached miss from an absent key.
+_MISS = object()
+
+DEFAULT_CAPACITY = 4096
+
+
+class MicroflowCache:
+    """LRU exact-match cache in front of one flow table.
+
+    Args:
+        table: the backing table; must expose ``lookup`` and a
+            ``version`` mutation counter.  ``lookup_batch`` is used for
+            miss resolution when available.
+        capacity: maximum cached microflows; least recently used entries
+            are evicted beyond it.
+        field_names: the match schema the cache keys on; defaults to the
+            table's own ``field_names``.
+    """
+
+    def __init__(
+        self,
+        table,
+        capacity: int = DEFAULT_CAPACITY,
+        field_names: tuple[str, ...] | None = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        names = field_names if field_names is not None else getattr(
+            table, "field_names", None
+        )
+        if names is None:
+            raise ValueError(
+                "table has no field_names; pass field_names= explicitly"
+            )
+        if not hasattr(table, "version"):
+            raise ValueError(
+                "table exposes no version counter; the cache cannot "
+                "detect mutations and would serve stale results"
+            )
+        self.table = table
+        self.capacity = capacity
+        self.field_names = tuple(names)
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._seen_version = table.version
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def key(self, packet_fields: Mapping[str, int]) -> tuple:
+        """The microflow key: the exact tuple of schema-field values."""
+        return tuple(packet_fields.get(name) for name in self.field_names)
+
+    def flush(self) -> None:
+        """Drop every cached microflow."""
+        if self._entries:
+            self.flushes += 1
+        self._entries.clear()
+
+    def _check_version(self) -> None:
+        version = self.table.version
+        if version != self._seen_version:
+            self.flush()
+            self._seen_version = version
+
+    def _insert(self, key: tuple, entry: FlowEntry | None) -> None:
+        self._entries[key] = _MISS if entry is None else entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def lookup(self, packet_fields: Mapping[str, int]) -> FlowEntry | None:
+        """Cached highest-priority match for one packet."""
+        self._check_version()
+        key = self.key(packet_fields)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            if cached is _MISS:
+                return None
+            assert isinstance(cached, FlowEntry)
+            cached.stats.record()
+            return cached
+        self.misses += 1
+        entry = self.table.lookup(packet_fields)
+        self._insert(key, entry)
+        return entry
+
+    def lookup_batch(
+        self, batch_fields: Sequence[Mapping[str, int]]
+    ) -> list[FlowEntry | None]:
+        """Cached batch lookup: hits resolve from the cache, the misses go
+        to the table's batch path in one call."""
+        self._check_version()
+        results: list[FlowEntry | None] = [None] * len(batch_fields)
+        miss_positions: list[int] = []
+        miss_fields: list[Mapping[str, int]] = []
+        for i, fields in enumerate(batch_fields):
+            key = self.key(fields)
+            cached = self._entries.get(key)
+            if cached is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                if cached is _MISS:
+                    results[i] = None
+                else:
+                    assert isinstance(cached, FlowEntry)
+                    cached.stats.record()
+                    results[i] = cached
+            else:
+                self.misses += 1
+                miss_positions.append(i)
+                miss_fields.append(fields)
+        if miss_fields:
+            if hasattr(self.table, "lookup_batch"):
+                resolved = self.table.lookup_batch(miss_fields)
+            else:
+                resolved = [self.table.lookup(f) for f in miss_fields]
+            for position, fields, entry in zip(
+                miss_positions, miss_fields, resolved
+            ):
+                results[position] = entry
+                self._insert(self.key(fields), entry)
+        return results

@@ -1,0 +1,167 @@
+"""Traffic-scenario catalog for the throughput runtime.
+
+Each builder turns a rule set into a replayable :class:`Workload` — a
+sequence of packet batches, optionally interleaved with flow-table
+mutations — with a deterministic seed, so throughput comparisons across
+lookup paths see byte-identical traffic.
+
+Catalog (see :data:`SCENARIOS`):
+
+- ``uniform`` — i.i.d. packets over a flow pool, every flow equally
+  likely; the worst case for any cache.
+- ``zipf`` — flow popularity follows a zipf law (heavy-tailed, like real
+  traffic mixes); a small working set dominates, so microflow caches and
+  per-batch memoization shine.
+- ``bursty`` — back-to-back per-flow packet trains (geometric run
+  lengths); locality is temporal rather than global.
+- ``churn`` — zipf traffic interleaved with rule uninstall/reinstall
+  cycles; exercises cache invalidation and incremental-update paths
+  under load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.filters.rule import RuleSet
+from repro.packet.generator import PacketGenerator, TraceConfig
+from repro.runtime.batch import Workload
+
+DEFAULT_SEED = 0x7AFF
+DEFAULT_FLOWS = 128
+
+
+def zipf_weights(n: int, s: float = 1.2) -> np.ndarray:
+    """Unnormalized zipf popularity weights: rank ``k`` gets ``1 / k**s``."""
+    if n < 1:
+        raise ValueError("need at least one flow")
+    ranks = np.arange(1, n + 1, dtype=float)
+    return 1.0 / ranks**s
+
+
+def _flow_pool(
+    rule_set: RuleSet,
+    flow_count: int,
+    seed: int,
+) -> tuple[PacketGenerator, list[dict[str, int]]]:
+    generator = PacketGenerator(TraceConfig(seed=seed))
+    matches = [rule.to_match() for rule in rule_set.rules[:flow_count]]
+    flows = generator.flow_pool(matches, fill_fields=rule_set.field_names)
+    return generator, flows
+
+
+def uniform_workload(
+    rule_set: RuleSet,
+    packet_count: int = 10_000,
+    flow_count: int = DEFAULT_FLOWS,
+    seed: int = DEFAULT_SEED,
+) -> Workload:
+    """Uniform i.i.d. traffic over the flow pool."""
+    generator, flows = _flow_pool(rule_set, flow_count, seed)
+    trace = generator.sample_trace(flows, packet_count)
+    return Workload(
+        name="uniform",
+        description=f"{packet_count} pkts uniform over {len(flows)} flows",
+        events=(("packets", trace),),
+    )
+
+
+def zipf_workload(
+    rule_set: RuleSet,
+    packet_count: int = 10_000,
+    flow_count: int = DEFAULT_FLOWS,
+    s: float = 1.2,
+    seed: int = DEFAULT_SEED,
+) -> Workload:
+    """Zipf-skewed traffic: a few heavy flows dominate the trace."""
+    generator, flows = _flow_pool(rule_set, flow_count, seed)
+    trace = generator.sample_trace(flows, packet_count, zipf_weights(len(flows), s))
+    return Workload(
+        name="zipf",
+        description=(
+            f"{packet_count} pkts zipf(s={s}) over {len(flows)} flows"
+        ),
+        events=(("packets", trace),),
+    )
+
+
+def bursty_workload(
+    rule_set: RuleSet,
+    packet_count: int = 10_000,
+    flow_count: int = DEFAULT_FLOWS,
+    mean_burst: float = 16.0,
+    seed: int = DEFAULT_SEED,
+) -> Workload:
+    """Packet-train traffic: geometric per-flow bursts."""
+    generator, flows = _flow_pool(rule_set, flow_count, seed)
+    trace = generator.bursty_trace(flows, packet_count, mean_burst=mean_burst)
+    return Workload(
+        name="bursty",
+        description=(
+            f"{packet_count} pkts in ~{mean_burst:.0f}-pkt bursts "
+            f"over {len(flows)} flows"
+        ),
+        events=(("packets", trace),),
+    )
+
+
+def churn_workload(
+    rule_set: RuleSet,
+    packet_count: int = 10_000,
+    flow_count: int = DEFAULT_FLOWS,
+    churn_rules: int = 8,
+    rounds: int = 8,
+    table_id: int = 0,
+    seed: int = DEFAULT_SEED,
+) -> Workload:
+    """Zipf traffic interleaved with rule uninstall/reinstall cycles.
+
+    Each round classifies a slice of the trace, then removes and
+    immediately reinstalls ``churn_rules`` random entries of table
+    ``table_id`` — the flow-mod pattern a controller produces — before
+    the next slice.  Caches must flush on every mutation; action tables
+    must not grow.
+
+    The mutation events carry the rule set's own flow entries, so table
+    ``table_id`` must use the rule set's full schema — i.e. a pipeline
+    whose first table comes from
+    :func:`~repro.core.builder.build_lookup_table`, not the per-field
+    split (whose tables each match a different sub-schema).
+    """
+    generator, flows = _flow_pool(rule_set, flow_count, seed)
+    trace = generator.sample_trace(
+        flows, packet_count, zipf_weights(len(flows))
+    )
+    entries = list(rule_set.to_flow_entries())
+    rng = np.random.default_rng(seed ^ 0xC4)
+    events: list[tuple] = []
+    slice_len = max(1, packet_count // rounds)
+    cursor = 0
+    for _ in range(rounds):
+        chunk = trace[cursor : cursor + slice_len]
+        if chunk:
+            events.append(("packets", chunk))
+        cursor += slice_len
+        for pick in rng.choice(len(entries), size=min(churn_rules, len(entries)), replace=False):
+            entry = entries[int(pick)]
+            events.append(("uninstall", table_id, entry.match, entry.priority))
+            events.append(("install", table_id, entry))
+    if cursor < packet_count:
+        events.append(("packets", trace[cursor:]))
+    return Workload(
+        name="churn",
+        description=(
+            f"{packet_count} pkts zipf + {rounds}x{churn_rules} "
+            f"rule uninstall/reinstall on table {table_id}"
+        ),
+        events=tuple(events),
+    )
+
+
+#: The scenario catalog: name -> builder(rule_set, **kwargs) -> Workload.
+SCENARIOS = {
+    "uniform": uniform_workload,
+    "zipf": zipf_workload,
+    "bursty": bursty_workload,
+    "churn": churn_workload,
+}

@@ -1,0 +1,85 @@
+"""Tier-1 smoke of the benchmark entry points.
+
+Runs the throughput bench plus one paper benchmark (the update path,
+whose incremental install/remove claims this repo's churn fixes serve)
+under pytest with ``--smoke`` (tiny synthetic inputs) and
+``--benchmark-disable`` (each benchmark body executes exactly once), so
+regressions in the benchmark harness itself surface in the fast suite
+rather than on the next manual benchmark run.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SMOKE_TARGETS = [
+    "benchmarks/bench_throughput.py",
+    "benchmarks/bench_update.py",
+]
+
+
+def test_benchmarks_smoke_mode():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            *SMOKE_TARGETS,
+            "--smoke",
+            "--benchmark-disable",
+            "-q",
+            "-p",
+            "no:cacheprovider",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, (
+        f"benchmark smoke run failed\n"
+        f"stdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+    )
+    assert " passed" in completed.stdout
+
+
+def test_smoke_env_knob_matches_flag():
+    """REPRO_BENCH_SMOKE=1 must enable smoke mode without the flag."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    env["REPRO_BENCH_SMOKE"] = "1"
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "benchmarks/bench_throughput.py::test_cached_batch_speedup",
+            "--benchmark-disable",
+            "-q",
+            "-p",
+            "no:cacheprovider",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, (
+        f"env-knob smoke run failed\n"
+        f"stdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+    )

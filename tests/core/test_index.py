@@ -124,3 +124,27 @@ class TestIntrospection:
         bits = index.observed_label_bits()
         assert bits == (1, 9)
         assert index.key_bits() == 10
+
+
+class TestExactRemoval:
+    def test_remove_by_action_index(self):
+        index = IndexCalculator(("a",))
+        index.add_rule((1,), action_index=0, priority=5)
+        index.add_rule((1,), action_index=7, priority=9)
+        # Removing the visible (higher-priority) reference must restore
+        # the shadowed survivor, not keep serving a stale action index.
+        assert index.remove_rule((1,), action_index=7)
+        assert index.lookup(((1,),)) == 0
+
+    def test_remove_unknown_action_index_is_noop(self):
+        index = IndexCalculator(("a",))
+        index.add_rule((1,), action_index=0, priority=5)
+        assert not index.remove_rule((1,), action_index=3)
+        assert index.lookup(((1,),)) == 0
+        assert index.aggregation_sizes() == [1]
+
+    def test_specificity_breaks_priority_ties(self):
+        index = IndexCalculator(("a",))
+        index.add_rule((1,), action_index=0, priority=5, specificity=8)
+        index.add_rule((1,), action_index=1, priority=5, specificity=16)
+        assert index.lookup(((1,),)) == 1

@@ -177,3 +177,147 @@ class TestManagement:
     def test_range_engines_accessor(self, small_acl_set):
         table = build_lookup_table(small_acl_set)
         assert set(table.range_engines()) == {"tcp_src", "tcp_dst"}
+
+
+class TestChurn:
+    """Action-table and index behaviour under add/remove churn."""
+
+    def entry(self, port: int, priority: int = 1) -> FlowEntry:
+        return FlowEntry.build(
+            match=Match.exact(in_port=port), priority=priority
+        )
+
+    def test_replacement_reuses_action_slot(self):
+        table = OpenFlowLookupTable(("in_port",))
+        for _ in range(50):
+            table.add(self.entry(1))
+        assert len(table) == 1
+        # Same-match replacement releases the old slot before allocating,
+        # so the array never exceeds the live entry count by more than
+        # the transient slot.
+        assert table.actions.allocated_slots <= 2
+        assert table.actions.free_slots <= 1
+
+    def test_remove_reinstall_bounds_action_table(self):
+        table = OpenFlowLookupTable(("in_port",))
+        entries = [self.entry(port) for port in range(20)]
+        for e in entries:
+            table.add(e)
+        for _ in range(10):
+            for e in entries:
+                assert table.remove(e.match, e.priority)
+            for e in entries:
+                table.add(e)
+        assert len(table) == 20
+        assert table.actions.allocated_slots == 20
+        assert table.actions.free_slots == 0
+
+    def test_free_slots_reported(self):
+        from repro.memory.report import table_memory_report
+
+        table = OpenFlowLookupTable(("in_port",))
+        for port in range(8):
+            table.add(self.entry(port))
+        table.remove_where(lambda e: True)
+        assert table.actions.free_slots == 8
+        report = table_memory_report(table)
+        by_name = {s.name: s for s in report.structures}
+        assert by_name["actions"].entries == 0
+        assert by_name["actions (free)"].entries == 8
+        assert (
+            by_name["actions (free)"].bits
+            == 8 * table.actions.entry_bits
+        )
+
+    def test_shadowed_duplicate_removal_restores_survivor(self):
+        # Two entries with the identical match region map to the same
+        # label tuple; removing the higher-priority one must fall back to
+        # the survivor, not keep serving a stale action index.
+        table = OpenFlowLookupTable(("in_port",))
+        low = self.entry(1, priority=1)
+        high = self.entry(1, priority=2)
+        table.add(low)
+        table.add(high)
+        assert table.lookup({"in_port": 1}) is high
+        assert table.remove(high.match, high.priority)
+        hit = table.lookup({"in_port": 1})
+        assert hit is low
+
+    def test_bulk_remove_where_scales(self):
+        # The dict-backed installed set makes bulk deletion linear; this
+        # is a smoke-scale check that 2k removals complete instantly.
+        table = OpenFlowLookupTable(("in_port",))
+        for port in range(2000):
+            table.add(self.entry(port))
+        assert table.remove_where(lambda e: True) == 2000
+        assert len(table) == 0
+        assert table.actions.free_slots == 2000
+
+
+class TestBatchLookup:
+    def test_search_batch_matches_scalar(self, tiny_routing_set):
+        table = build_lookup_table(tiny_routing_set)
+        trace = [
+            {"in_port": 1, "ipv4_dst": 0x0A141E05},
+            {"in_port": 1, "ipv4_dst": 0x0A141E05},  # duplicate header
+            {"in_port": 2, "ipv4_dst": 0x0A141E05},
+            {"in_port": 9, "ipv4_dst": 0x0A141E05},  # miss
+            {"in_port": 1},  # field absent entirely
+        ]
+        batch = table.lookup_batch(trace)
+        reference = build_lookup_table(tiny_routing_set)
+        scalar = [reference.lookup(f) for f in trace]
+        for got, want in zip(batch, scalar):
+            assert (got is None) == (want is None)
+            if want is not None:
+                assert got.match == want.match
+                assert got.priority == want.priority
+
+    def test_batch_counters_count_every_packet(self, tiny_routing_set):
+        table = build_lookup_table(tiny_routing_set)
+        fields = {"in_port": 1, "ipv4_dst": 0x0A141E05}
+        table.lookup_batch([fields] * 5)
+        assert table.lookup_count == 5
+        assert table.matched_count == 5
+        hit = table.lookup(fields)
+        assert hit.stats.packet_count == 6
+
+    def test_field_engine_search_batch_matches_scalar(self, tiny_routing_set):
+        table = build_lookup_table(tiny_routing_set)
+        engine = table.engines["ipv4_dst"]
+        keys_batch = [
+            table.partitioner.extract(f)
+            for f in (
+                {"in_port": 1, "ipv4_dst": 0x0A141E05},
+                {"in_port": 1, "ipv4_dst": 0x0A141E05},  # duplicate
+                {"in_port": 2, "ipv4_dst": 0xC0000001},
+                {"in_port": 1},
+            )
+        ]
+        memo: dict = {}
+        batched = engine.search_batch(keys_batch, memo)
+        assert batched == [engine.search(keys) for keys in keys_batch]
+        # every unique (partition, key) was memoized exactly once
+        assert len(memo) == len(
+            {
+                (e.name, keys.get(e.name))
+                for keys in keys_batch
+                for e in engine.engines
+            }
+        )
+
+    def test_extract_batch_matches_scalar_extract(self, tiny_routing_set):
+        table = build_lookup_table(tiny_routing_set)
+        partitioner = table.partitioner
+        trace = [
+            {"in_port": 3, "ipv4_dst": 0xDEADBEEF},
+            {"in_port": 0},
+            {},
+        ]
+        rows = partitioner.extract_batch(trace)
+        assert len(rows) == len(trace)
+        for fields, row in zip(trace, rows):
+            scalar = partitioner.extract(fields)
+            assert row == tuple(
+                scalar[name] for name in partitioner.partition_names
+            )

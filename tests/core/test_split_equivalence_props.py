@@ -94,3 +94,122 @@ def test_split_table_a_size_is_unique_port_count(specs):
     # rules collapse under OpenFlow flow-mod replacement semantics.
     distinct = {(rule.to_match(), rule.priority) for rule in rules}
     assert len(tables[1]) == len(distinct)
+
+
+# ---------------------------------------------------------------------------
+# Differential churn fuzzing: interleaved add/remove/lookup over identical
+# rule sequences on the behavioural FlowTable (reference scan), the
+# decomposition OpenFlowLookupTable, and the microflow-cached batch path.
+# The cache must never serve a stale result across mutations.
+# ---------------------------------------------------------------------------
+
+from repro.core.lookup_table import OpenFlowLookupTable
+from repro.openflow.flow import FlowEntry
+from repro.openflow.match import Match, WildcardMatch
+from repro.openflow.table import FlowTable
+from repro.runtime.cache import MicroflowCache
+
+FIELDS = ("in_port", "ipv4_dst")
+
+churn_rule = st.tuples(
+    st.one_of(st.none(), st.integers(min_value=0, max_value=3)),  # port
+    st.tuples(
+        st.integers(min_value=0, max_value=mask_of(32)),
+        st.integers(min_value=0, max_value=32),
+    ),
+    st.integers(min_value=0, max_value=7),  # priority
+)
+
+churn_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove", "purge", "lookup"]),
+        st.integers(min_value=0, max_value=1_000_000),
+    ),
+    min_size=4,
+    max_size=50,
+)
+
+
+def churn_entry(spec) -> FlowEntry:
+    port, (raw, length), priority = spec
+    value, length = canonical_prefix(raw, length, 32)
+    fields = {"ipv4_dst": PrefixMatch(value=value, length=length, bits=32)}
+    if port is not None:
+        fields["in_port"] = ExactMatch(value=port, bits=32)
+    return FlowEntry.build(
+        match=Match(fields),
+        priority=priority,
+        instructions=[WriteActions([OutputAction(priority)])],
+    )
+
+
+def assert_same_hit(fields, want, *results):
+    for got in results:
+        if want is None:
+            assert got is None, f"false positive on {fields}"
+        else:
+            assert got is not None, f"false negative on {fields}"
+            assert got.priority == want.priority
+            assert got.match == want.match
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(churn_rule, min_size=1, max_size=12),
+    churn_ops,
+    st.data(),
+)
+def test_churn_differential_fuzz(universe, ops, data):
+    entries = [churn_entry(spec) for spec in universe]
+    oracle = FlowTable()
+    decomposition = OpenFlowLookupTable(FIELDS)
+    cached_table = OpenFlowLookupTable(FIELDS)
+    cache = MicroflowCache(cached_table, capacity=64)
+
+    def probe_fields():
+        port = data.draw(st.integers(min_value=0, max_value=3))
+        address = data.draw(st.integers(min_value=0, max_value=mask_of(32)))
+        if data.draw(st.booleans()):
+            _, (raw, length), _ = data.draw(st.sampled_from(universe))
+            value, length = canonical_prefix(raw, length, 32)
+            address = value | (address & mask_of(32 - length))
+        return {"in_port": port, "ipv4_dst": address}
+
+    def check(fields):
+        want = oracle.lookup(fields)
+        assert_same_hit(
+            fields,
+            want,
+            decomposition.lookup(fields),
+            cache.lookup(fields),
+            cache.lookup_batch([fields])[0],
+        )
+
+    for op, pick in ops:
+        if op == "add":
+            entry = entries[pick % len(entries)]
+            oracle.add(entry)
+            decomposition.add(entry)
+            cached_table.add(entry)
+        elif op == "remove":
+            entry = entries[pick % len(entries)]
+            removed = oracle.remove(entry.match, entry.priority)
+            assert decomposition.remove(entry.match, entry.priority) == removed
+            assert cached_table.remove(entry.match, entry.priority) == removed
+        elif op == "purge":
+            priority = pick % 8
+            predicate = lambda e: e.priority == priority
+            count = oracle.remove_where(predicate)
+            assert decomposition.remove_where(predicate) == count
+            assert cached_table.remove_where(predicate) == count
+        else:  # lookup
+            check(probe_fields())
+        assert len(oracle) == len(decomposition) == len(cached_table)
+
+    # Final sweep: a probe per universe rule after all the churn.
+    for _ in range(min(len(universe), 4)):
+        check(probe_fields())
+    # Churn must not strand action-table slots beyond the free list,
+    # and the free list itself stays bounded by the table's high water.
+    for table in (decomposition, cached_table):
+        assert table.actions.allocated_slots - table.actions.free_slots == len(table)

@@ -197,3 +197,75 @@ class TestProcessing:
         )
         result = pipeline.process({"in_port": 4})
         assert result.output_ports == [5]
+
+
+class TestInstructionTypeOrder:
+    """OpenFlow v1.3 §5.9: instructions execute by type order (Meter,
+    Apply-Actions, Clear-Actions, Write-Actions, Write-Metadata,
+    Goto-Table), never by the order the entry happens to list them."""
+
+    def test_raw_iterable_is_canonicalized_on_entry(self):
+        entry = FlowEntry(
+            match=Match.exact(in_port=1),
+            priority=1,
+            instructions=(WriteActions([OutputAction(7)]), ClearActions()),
+        )
+        kinds = [type(i) for i in entry.instructions]
+        assert kinds == [ClearActions, WriteActions]
+
+    def test_write_before_clear_still_outputs(self):
+        # Listed Write-Actions *before* Clear-Actions: spec order runs the
+        # clear first, so this entry's own written actions must survive.
+        pipeline = OpenFlowPipeline(1)
+        pipeline.table(0).add(
+            FlowEntry(
+                match=Match.exact(in_port=1),
+                priority=1,
+                instructions=(WriteActions([OutputAction(7)]), ClearActions()),
+            )
+        )
+        result = pipeline.process({"in_port": 1})
+        assert result.output_ports == [7]
+        assert not result.dropped
+
+    def test_clear_only_empties_earlier_tables_actions(self):
+        # Table 0 writes port 5; table 1 lists (Write port 7, Clear) in
+        # the buggy order.  Spec: clear table 0's write, then add port 7.
+        pipeline = OpenFlowPipeline(2)
+        pipeline.install(
+            0,
+            flow(
+                instructions=[WriteActions([OutputAction(5)]), GotoTable(1)],
+                in_port=1,
+            ),
+        )
+        pipeline.table(1).add(
+            FlowEntry(
+                match=Match.exact(in_port=1),
+                priority=1,
+                instructions=(WriteActions([OutputAction(7)]), ClearActions()),
+            )
+        )
+        result = pipeline.process({"in_port": 1})
+        assert result.output_ports == [7]
+
+    def test_goto_listed_first_still_runs_last(self):
+        pipeline = OpenFlowPipeline(2)
+        pipeline.table(0).add(
+            FlowEntry(
+                match=Match.exact(in_port=1),
+                priority=1,
+                instructions=(
+                    GotoTable(1),
+                    WriteMetadata(value=0x5),
+                    WriteActions([OutputAction(3)]),
+                ),
+            )
+        )
+        pipeline.install(1, flow(instructions=[], metadata=0x5))
+        result = pipeline.process({"in_port": 1})
+        # Metadata was written before the goto took effect, so table 1's
+        # metadata match sees it; the action set still executes at the end.
+        assert result.tables_visited == [0, 1]
+        assert result.metadata == 0x5
+        assert result.output_ports == [3]

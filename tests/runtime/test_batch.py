@@ -1,0 +1,205 @@
+"""BatchPipeline differential tests: the batched (and cached) runtime
+must reproduce the scalar pipeline's results packet for packet."""
+
+import pytest
+
+from repro.core.architecture import MultiTableLookupArchitecture
+from repro.core.builder import build_lookup_table, build_per_field_pipeline
+from repro.openflow.flow import FlowEntry
+from repro.openflow.match import Match
+from repro.openflow.pipeline import MissPolicy, OpenFlowPipeline
+from repro.openflow.table import FlowTable
+from repro.runtime import (
+    SCENARIOS,
+    BatchPipeline,
+    Workload,
+    churn_workload,
+    run_workload,
+)
+
+
+def assert_results_equal(batched, scalar):
+    assert len(batched) == len(scalar)
+    for a, b in zip(batched, scalar):
+        assert a.output_ports == b.output_ports
+        assert a.sent_to_controller == b.sent_to_controller
+        assert a.dropped == b.dropped
+        assert a.metadata == b.metadata
+        assert a.tables_visited == b.tables_visited
+        assert len(a.matched_entries) == len(b.matched_entries)
+
+
+@pytest.fixture()
+def split_trace(small_routing_set, generator):
+    matches = [r.to_match() for r in small_routing_set.rules[:64]]
+    flows = generator.flow_pool(
+        matches, fill_fields=small_routing_set.field_names
+    )
+    return generator.sample_trace(flows, 400)
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("cache_capacity", [None, 128])
+    def test_split_pipeline_agrees_with_scalar(
+        self, small_routing_set, split_trace, cache_capacity
+    ):
+        arch = MultiTableLookupArchitecture(
+            build_per_field_pipeline(small_routing_set)
+        )
+        runner = BatchPipeline(arch, cache_capacity=cache_capacity)
+        batched = []
+        for start in range(0, len(split_trace), 100):
+            batched.extend(
+                runner.process_batch(split_trace[start : start + 100])
+            )
+
+        reference = MultiTableLookupArchitecture(
+            build_per_field_pipeline(small_routing_set)
+        )
+        scalar = [reference.process(f) for f in split_trace]
+        assert_results_equal(batched, scalar)
+
+    def test_flow_table_pipeline_supported(self, small_routing_set, split_trace):
+        # Behavioural FlowTables have no batch path or schema; the runner
+        # must fall back to per-packet lookup and still agree.
+        def build():
+            table = FlowTable()
+            for entry in small_routing_set.to_flow_entries():
+                table.add(entry)
+            return OpenFlowPipeline([table], miss_policy=MissPolicy.DROP)
+
+        runner = BatchPipeline(build(), cache_capacity=None)
+        assert runner.caches == {}
+        batched = runner.process_batch(split_trace)
+        scalar = [build().process(f) for f in split_trace]
+        assert_results_equal(batched, scalar)
+
+    def test_single_packet_process(self, small_routing_set, split_trace):
+        arch = MultiTableLookupArchitecture(
+            build_per_field_pipeline(small_routing_set)
+        )
+        runner = BatchPipeline(arch)
+        result = runner.process(split_trace[0])
+        assert result.tables_visited[0] == 0
+
+    def test_stats_snapshot_counts_outcomes(self, small_routing_set, split_trace):
+        arch = MultiTableLookupArchitecture(
+            build_per_field_pipeline(small_routing_set)
+        )
+        runner = BatchPipeline(arch)
+        results = runner.process_batch(split_trace)
+        stats = runner.stats_snapshot()
+        assert stats.packets == len(split_trace)
+        assert stats.matched == sum(bool(r.matched) for r in results) > 0
+        assert stats.sent_to_controller == sum(
+            r.sent_to_controller for r in results
+        )
+        assert stats.dropped == sum(r.dropped for r in results)
+
+    def test_empty_batch(self, small_routing_set):
+        arch = MultiTableLookupArchitecture(
+            build_per_field_pipeline(small_routing_set)
+        )
+        assert BatchPipeline(arch).process_batch([]) == []
+
+
+class TestCacheWiring:
+    def test_caches_attach_to_schema_tables(self, small_routing_set):
+        arch = MultiTableLookupArchitecture(
+            build_per_field_pipeline(small_routing_set)
+        )
+        runner = BatchPipeline(arch, cache_capacity=64)
+        assert set(runner.caches) == {t.table_id for t in arch.tables}
+
+    def test_mid_trace_mutation_not_stale(self, small_routing_set):
+        arch = MultiTableLookupArchitecture(
+            [build_lookup_table(small_routing_set)]
+        )
+        runner = BatchPipeline(arch, cache_capacity=64)
+        fields = {"in_port": 1, "ipv4_dst": 0x0A000001}
+        table = arch.lookup_tables[0]
+        # Prime the cache, then install a wildcard rule shadowing every
+        # entry (priority 99, no instructions -> the packet is dropped).
+        runner.process(fields)
+        table.add(FlowEntry.build(match=Match({}), priority=99))
+        after = runner.process(fields)
+        assert after.matched_entries[-1].priority == 99
+        assert after.dropped and not after.output_ports
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenarios_replay(self, small_routing_set, name):
+        workload = SCENARIOS[name](
+            small_routing_set, packet_count=300, flow_count=24
+        )
+        assert workload.packet_count == 300
+        arch = MultiTableLookupArchitecture(
+            [build_lookup_table(small_routing_set)]
+        )
+        stats = run_workload(
+            BatchPipeline(arch), workload, batch_size=64
+        )
+        assert stats.packets == 300
+        assert stats.matched + stats.sent_to_controller + stats.dropped >= 300
+
+    def test_churn_workload_differential(self, small_routing_set):
+        workload = churn_workload(
+            small_routing_set, packet_count=300, flow_count=24, rounds=4
+        )
+        assert workload.packet_count == 300
+
+        def run(cache_capacity):
+            arch = MultiTableLookupArchitecture(
+                [build_lookup_table(small_routing_set)]
+            )
+            stats = run_workload(
+                BatchPipeline(arch, cache_capacity=cache_capacity),
+                workload,
+                batch_size=64,
+                keep_results=True,
+            )
+            return arch, stats
+
+        arch_cached, cached = run(128)
+        _, plain = run(None)
+        assert_results_equal(cached.results, plain.results)
+        assert cached.installs == cached.uninstalls > 0
+        # churn must not strand action-table slots
+        table = arch_cached.lookup_tables[0]
+        assert (
+            table.actions.allocated_slots - table.actions.free_slots
+            == len(table)
+        )
+
+    def test_reused_runner_stats_are_per_replay(self, small_routing_set):
+        workload = SCENARIOS["zipf"](
+            small_routing_set, packet_count=200, flow_count=16
+        )
+        arch = MultiTableLookupArchitecture(
+            [build_lookup_table(small_routing_set)]
+        )
+        runner = BatchPipeline(arch, cache_capacity=128)
+        first = run_workload(runner, workload, batch_size=50)
+        second = run_workload(runner, workload, batch_size=50)
+        # Counters are per replay, not the runner's lifetime totals.
+        assert first.cache_hits + first.cache_misses == 200
+        assert second.cache_hits + second.cache_misses == 200
+        # The cache is warm on the second replay.
+        assert second.cache_hits >= first.cache_hits
+
+    def test_bad_event_rejected(self, small_routing_set):
+        arch = MultiTableLookupArchitecture(
+            [build_lookup_table(small_routing_set)]
+        )
+        workload = Workload(name="bad", description="", events=(("boom",),))
+        with pytest.raises(ValueError):
+            run_workload(BatchPipeline(arch), workload)
+
+    def test_bad_batch_size_rejected(self, small_routing_set):
+        arch = MultiTableLookupArchitecture(
+            [build_lookup_table(small_routing_set)]
+        )
+        workload = Workload(name="w", description="", events=())
+        with pytest.raises(ValueError):
+            run_workload(BatchPipeline(arch), workload, batch_size=0)

@@ -1,0 +1,115 @@
+"""Microflow-cache behaviour: LRU bounds, invalidation, negative hits."""
+
+import pytest
+
+from repro.core.lookup_table import OpenFlowLookupTable
+from repro.openflow.flow import FlowEntry
+from repro.openflow.match import Match
+from repro.openflow.table import FlowTable
+from repro.runtime.cache import MicroflowCache
+
+
+def entry(port: int, priority: int = 1) -> FlowEntry:
+    return FlowEntry.build(match=Match.exact(in_port=port), priority=priority)
+
+
+@pytest.fixture()
+def table() -> OpenFlowLookupTable:
+    table = OpenFlowLookupTable(("in_port",))
+    for port in range(8):
+        table.add(entry(port))
+    return table
+
+
+class TestBasics:
+    def test_hit_after_miss(self, table):
+        cache = MicroflowCache(table)
+        first = cache.lookup({"in_port": 3})
+        second = cache.lookup({"in_port": 3})
+        assert first is second is not None
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_negative_caching(self, table):
+        cache = MicroflowCache(table)
+        assert cache.lookup({"in_port": 99}) is None
+        assert cache.lookup({"in_port": 99}) is None
+        assert cache.hits == 1
+
+    def test_hit_records_flow_stats(self, table):
+        cache = MicroflowCache(table)
+        hit = cache.lookup({"in_port": 2})
+        cache.lookup({"in_port": 2})
+        assert hit.stats.packet_count == 2
+
+    def test_capacity_bounds_lru(self, table):
+        cache = MicroflowCache(table, capacity=2)
+        for port in range(5):
+            cache.lookup({"in_port": port})
+        assert len(cache) == 2
+        # Least-recently-used keys were evicted; the last two remain.
+        cache.lookup({"in_port": 4})
+        assert cache.hits == 1
+
+    def test_flow_table_backend(self):
+        backing = FlowTable()
+        backing.add(entry(1))
+        cache = MicroflowCache(backing, field_names=("in_port",))
+        assert cache.lookup({"in_port": 1}) is not None
+        assert cache.lookup({"in_port": 1}) is not None
+        assert cache.hits == 1
+
+    def test_schema_required(self):
+        with pytest.raises(ValueError):
+            MicroflowCache(FlowTable())
+
+    def test_version_counter_required(self):
+        class VersionlessTable:
+            field_names = ("in_port",)
+
+            def lookup(self, fields):
+                return None
+
+        with pytest.raises(ValueError, match="version"):
+            MicroflowCache(VersionlessTable())
+
+    def test_positive_capacity_required(self, table):
+        with pytest.raises(ValueError):
+            MicroflowCache(table, capacity=0)
+
+
+class TestInvalidation:
+    def test_add_flushes(self, table):
+        cache = MicroflowCache(table)
+        assert cache.lookup({"in_port": 1}).priority == 1
+        table.add(entry(1, priority=9))
+        assert cache.lookup({"in_port": 1}).priority == 9
+        assert cache.flushes == 1
+
+    def test_remove_flushes(self, table):
+        cache = MicroflowCache(table)
+        assert cache.lookup({"in_port": 1}) is not None
+        table.remove(Match.exact(in_port=1), 1)
+        assert cache.lookup({"in_port": 1}) is None
+
+    def test_remove_where_flushes(self, table):
+        cache = MicroflowCache(table)
+        assert cache.lookup_batch([{"in_port": p} for p in range(4)]) != []
+        table.remove_where(lambda e: True)
+        assert cache.lookup_batch([{"in_port": 1}]) == [None]
+
+    def test_negative_entry_invalidated_by_install(self, table):
+        cache = MicroflowCache(table)
+        assert cache.lookup({"in_port": 50}) is None
+        table.add(entry(50))
+        assert cache.lookup({"in_port": 50}) is not None
+
+
+class TestBatch:
+    def test_batch_mixes_hits_and_misses(self, table):
+        cache = MicroflowCache(table)
+        cache.lookup({"in_port": 0})
+        results = cache.lookup_batch(
+            [{"in_port": 0}, {"in_port": 1}, {"in_port": 0}, {"in_port": 99}]
+        )
+        assert [r is not None for r in results] == [True, True, True, False]
+        assert cache.hits >= 2  # the two {"in_port": 0} repeats
