@@ -1,23 +1,32 @@
 """Throughput bench — packets/sec across the runtime's lookup paths.
 
 The workload axis the paper leaves open: the same rule set and the same
-traffic, classified four ways —
+traffic, classified six ways —
 
 - **scan**: the behavioural ``FlowTable`` linear scan, per packet;
 - **decomposition**: ``OpenFlowLookupTable.lookup``, per packet;
 - **batch**: ``OpenFlowLookupTable.lookup_batch`` (vectorized extraction
   + per-batch memoization), no cache;
-- **cached batch**: a ``MicroflowCache`` in front of the batch path.
+- **cached batch**: a ``MicroflowCache`` in front of the batch path;
+- **megaflow**: the two-tier (microflow + megaflow) ``BatchPipeline`` on
+  the ``uniform-wide`` scenario, where exact-match caching collapses;
+- **sharded**: ``ShardedBatchPipeline`` fanning large batches across
+  worker processes.
 
-Scenarios come from :mod:`repro.runtime.scenarios` (uniform / zipf /
-bursty / churn).  ``test_cached_batch_speedup`` asserts the headline
-claim: on a zipf-skewed trace the cached batch path is >= 5x faster than
-per-packet decomposition lookup.
+Scenarios come from :mod:`repro.runtime.scenarios`.  Two speedup claims
+are asserted (outside smoke mode): cached batch >= 5x per-packet
+decomposition on zipf, and the megaflow path >= 3x the plain batched
+path on uniform-wide.  Every measured pkts/sec lands in
+``BENCH_throughput.json`` at the repo root so the perf trajectory is
+tracked across PRs.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
+from pathlib import Path
 
 import pytest
 
@@ -27,18 +36,59 @@ from repro.openflow.table import FlowTable
 from repro.runtime import (
     BatchPipeline,
     MicroflowCache,
+    ShardedBatchPipeline,
     churn_workload,
     run_workload,
+    uniform_wide_workload,
+    widen_rule_set,
     zipf_weights,
 )
 
 BATCH_SIZE = 256
 FLOW_COUNT = 200
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULTS_PATH = REPO_ROOT / "BENCH_throughput.json"
 
 
 @pytest.fixture(scope="module")
 def trace_len(bench_scale) -> int:
     return max(1000, int(40_000 * bench_scale))
+
+
+@pytest.fixture(scope="module")
+def bench_record(smoke, trace_len):
+    """Machine-readable results, written to ``BENCH_throughput.json`` at
+    module teardown so the perf trajectory survives across PRs.  Smoke
+    runs write a sibling ``.smoke.json`` instead: their timings are
+    entry-point checks, not the committed perf record."""
+    record = {
+        "benchmark": "throughput",
+        "smoke": smoke,
+        "trace_len": trace_len,
+        "batch_size": BATCH_SIZE,
+        "flow_count": FLOW_COUNT,
+        "cpu_count": os.cpu_count(),
+        "pkts_per_sec": {},
+        "speedups": {},
+        "counters": {},
+    }
+    yield record
+    path = (
+        RESULTS_PATH.with_suffix(".smoke.json") if smoke else RESULTS_PATH
+    )
+    # Merge into any existing record so a partial run (-k selection)
+    # refreshes only the modes it measured instead of clobbering the
+    # committed perf trajectory.
+    try:
+        previous = json.loads(path.read_text())
+    except (OSError, ValueError):
+        previous = None
+    if isinstance(previous, dict):
+        for section in ("pkts_per_sec", "speedups", "counters"):
+            merged = dict(previous.get(section) or {})
+            merged.update(record[section])
+            record[section] = merged
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="module")
@@ -56,15 +106,29 @@ def _batches(trace, size=BATCH_SIZE):
     return [trace[i : i + size] for i in range(0, len(trace), size)]
 
 
-def _report_pps(benchmark, packets: int) -> None:
+def _report_pps(benchmark, packets: int, record=None, mode=None) -> None:
     if benchmark.stats is None:  # --benchmark-disable
         return
     mean = benchmark.stats.stats.mean
     if mean > 0:
-        benchmark.extra_info["pkts_per_sec"] = round(packets / mean)
+        pps = round(packets / mean)
+        benchmark.extra_info["pkts_per_sec"] = pps
+        if record is not None and mode is not None:
+            record["pkts_per_sec"][mode] = pps
 
 
-def test_throughput_scan(benchmark, routing_bbra, zipf_trace):
+def _assert_equivalent(got, expected) -> None:
+    assert len(got) == len(expected)
+    for a, b in zip(got, expected):
+        assert a.output_ports == b.output_ports
+        assert a.sent_to_controller == b.sent_to_controller
+        assert a.dropped == b.dropped
+        assert a.metadata == b.metadata
+        assert a.tables_visited == b.tables_visited
+        assert a.final_fields == b.final_fields
+
+
+def test_throughput_scan(benchmark, routing_bbra, zipf_trace, bench_record):
     table = FlowTable()
     for entry in routing_bbra.to_flow_entries():
         table.add(entry)
@@ -75,10 +139,12 @@ def test_throughput_scan(benchmark, routing_bbra, zipf_trace):
         iterations=1,
     )
     assert hits > len(zipf_trace) // 2
-    _report_pps(benchmark, len(zipf_trace))
+    _report_pps(benchmark, len(zipf_trace), bench_record, "scan")
 
 
-def test_throughput_decomposition(benchmark, routing_bbra, zipf_trace):
+def test_throughput_decomposition(
+    benchmark, routing_bbra, zipf_trace, bench_record
+):
     table = build_lookup_table(routing_bbra)
     hits = benchmark.pedantic(
         lambda: sum(1 for f in zipf_trace if table.lookup(f) is not None),
@@ -86,10 +152,10 @@ def test_throughput_decomposition(benchmark, routing_bbra, zipf_trace):
         iterations=1,
     )
     assert hits > len(zipf_trace) // 2
-    _report_pps(benchmark, len(zipf_trace))
+    _report_pps(benchmark, len(zipf_trace), bench_record, "decomposition")
 
 
-def test_throughput_batch(benchmark, routing_bbra, zipf_trace):
+def test_throughput_batch(benchmark, routing_bbra, zipf_trace, bench_record):
     table = build_lookup_table(routing_bbra)
     batches = _batches(zipf_trace)
 
@@ -103,10 +169,12 @@ def test_throughput_batch(benchmark, routing_bbra, zipf_trace):
 
     hits = benchmark.pedantic(classify, rounds=3, iterations=1)
     assert hits > len(zipf_trace) // 2
-    _report_pps(benchmark, len(zipf_trace))
+    _report_pps(benchmark, len(zipf_trace), bench_record, "batch")
 
 
-def test_throughput_cached_batch(benchmark, routing_bbra, zipf_trace):
+def test_throughput_cached_batch(
+    benchmark, routing_bbra, zipf_trace, bench_record
+):
     table = build_lookup_table(routing_bbra)
     cache = MicroflowCache(table)
     batches = _batches(zipf_trace)
@@ -122,12 +190,14 @@ def test_throughput_cached_batch(benchmark, routing_bbra, zipf_trace):
     hits = benchmark(classify)
     assert hits > len(zipf_trace) // 2
     benchmark.extra_info["cache_hit_rate"] = round(cache.hit_rate, 3)
-    _report_pps(benchmark, len(zipf_trace))
+    _report_pps(benchmark, len(zipf_trace), bench_record, "cached_batch")
 
 
-def test_throughput_pipeline_churn(benchmark, routing_bbra, trace_len):
+def test_throughput_pipeline_churn(
+    benchmark, routing_bbra, trace_len, bench_record
+):
     """The full batched pipeline under the churn scenario (mutations
-    interleaved, caches flushing on every flow-mod)."""
+    interleaved, caches revalidating on every flow-mod)."""
     workload = churn_workload(
         routing_bbra, packet_count=trace_len, flow_count=FLOW_COUNT
     )
@@ -142,9 +212,12 @@ def test_throughput_pipeline_churn(benchmark, routing_bbra, trace_len):
     assert stats.packets == trace_len
     assert stats.uninstalls == stats.installs > 0
     benchmark.extra_info["cache_hit_rate"] = round(stats.cache_hit_rate, 3)
+    bench_record["counters"]["churn_cache_hit_rate"] = round(
+        stats.cache_hit_rate, 3
+    )
 
 
-def test_cached_batch_speedup(routing_bbra, zipf_trace, smoke):
+def test_cached_batch_speedup(routing_bbra, zipf_trace, smoke, bench_record):
     """Acceptance claim: cached batch >= 5x per-packet decomposition on a
     zipf-skewed trace.
 
@@ -171,6 +244,9 @@ def test_cached_batch_speedup(routing_bbra, zipf_trace, smoke):
         if a is not None:
             assert a.match == b.match and a.priority == b.priority
     speedup = per_packet_elapsed / max(cached_elapsed, 1e-9)
+    bench_record["speedups"]["cached_batch_vs_decomposition"] = round(
+        speedup, 2
+    )
     print(
         f"\nper-packet {len(zipf_trace) / per_packet_elapsed:,.0f} pkts/s, "
         f"cached batch {len(zipf_trace) / cached_elapsed:,.0f} pkts/s "
@@ -178,3 +254,105 @@ def test_cached_batch_speedup(routing_bbra, zipf_trace, smoke):
     )
     if not smoke:
         assert speedup >= 5.0, f"cached batch only {speedup:.1f}x faster"
+
+
+def test_megaflow_uniform_wide_speedup(
+    routing_bbra, trace_len, smoke, bench_record
+):
+    """Acceptance claim: on ``uniform-wide`` — where every packet is a
+    fresh microflow, so exact-match caching is useless — the two-tier
+    megaflow path is >= 3x the plain batched decomposition path."""
+    wide = widen_rule_set(routing_bbra)
+    workload = uniform_wide_workload(
+        wide, packet_count=trace_len, flow_count=FLOW_COUNT
+    )
+
+    def replay(cache_capacity, megaflow_capacity):
+        arch = MultiTableLookupArchitecture([build_lookup_table(wide)])
+        runner = BatchPipeline(
+            arch,
+            cache_capacity=cache_capacity,
+            megaflow_capacity=megaflow_capacity,
+        )
+        start = time.perf_counter()
+        stats = run_workload(
+            runner, workload, batch_size=BATCH_SIZE, keep_results=True
+        )
+        return stats, time.perf_counter() - start, runner
+
+    plain_stats, plain_elapsed, _ = replay(None, None)
+    mega_stats, mega_elapsed, runner = replay(4096, 8192)
+
+    _assert_equivalent(mega_stats.results, plain_stats.results)
+    assert mega_stats.megaflow_hit_rate > 0.5, "megaflow must absorb the trace"
+
+    plain_pps = trace_len / plain_elapsed
+    mega_pps = trace_len / mega_elapsed
+    speedup = plain_elapsed / max(mega_elapsed, 1e-9)
+    bench_record["pkts_per_sec"]["batch_uniform_wide"] = round(plain_pps)
+    bench_record["pkts_per_sec"]["megaflow_uniform_wide"] = round(mega_pps)
+    bench_record["speedups"]["megaflow_vs_batch_uniform_wide"] = round(
+        speedup, 2
+    )
+    bench_record["counters"]["uniform_wide_megaflow_hit_rate"] = round(
+        mega_stats.megaflow_hit_rate, 3
+    )
+    bench_record["counters"]["uniform_wide_megaflow_entries"] = len(
+        runner.megaflow
+    )
+    print(
+        f"\nplain batch {plain_pps:,.0f} pkts/s, "
+        f"megaflow {mega_pps:,.0f} pkts/s ({speedup:.1f}x, "
+        f"hit rate {mega_stats.megaflow_hit_rate:.2f}, "
+        f"{len(runner.megaflow)} aggregates)"
+    )
+    if not smoke:
+        assert speedup >= 3.0, f"megaflow path only {speedup:.1f}x faster"
+
+
+def test_sharded_large_batches(routing_bbra, zipf_trace, smoke, bench_record):
+    """``ShardedBatchPipeline`` vs the single-process runner on large
+    batches: always bitwise-identical; faster wall-clock whenever the
+    host actually has cores to shard across (assertion skipped on
+    single-core machines, where process fan-out cannot win)."""
+    large_batches = _batches(zipf_trace, size=2048)
+
+    single = BatchPipeline(
+        MultiTableLookupArchitecture([build_lookup_table(routing_bbra)]),
+        cache_capacity=None,
+    )
+    start = time.perf_counter()
+    expected = [
+        r for batch in large_batches for r in single.process_batch(batch)
+    ]
+    single_elapsed = time.perf_counter() - start
+
+    with ShardedBatchPipeline(
+        MultiTableLookupArchitecture([build_lookup_table(routing_bbra)]),
+        workers=4,
+        cache_capacity=None,
+    ) as sharded:
+        sharded.process_batch(large_batches[0])  # warm the workers up
+        start = time.perf_counter()
+        got = [
+            r for batch in large_batches for r in sharded.process_batch(batch)
+        ]
+        sharded_elapsed = time.perf_counter() - start
+
+    _assert_equivalent(got, expected[: len(got)])
+    single_pps = len(zipf_trace) / single_elapsed
+    sharded_pps = len(zipf_trace) / sharded_elapsed
+    bench_record["pkts_per_sec"]["single_large_batch"] = round(single_pps)
+    bench_record["pkts_per_sec"]["sharded_large_batch"] = round(sharded_pps)
+    bench_record["speedups"]["sharded_vs_single"] = round(
+        single_elapsed / max(sharded_elapsed, 1e-9), 2
+    )
+    print(
+        f"\nsingle {single_pps:,.0f} pkts/s, sharded(4) "
+        f"{sharded_pps:,.0f} pkts/s on {os.cpu_count()} cpu(s)"
+    )
+    if not smoke and (os.cpu_count() or 1) >= 4:
+        assert sharded_pps > single_pps, (
+            f"sharded {sharded_pps:,.0f} pkts/s did not beat "
+            f"single-process {single_pps:,.0f} pkts/s"
+        )

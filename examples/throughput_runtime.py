@@ -1,33 +1,47 @@
 #!/usr/bin/env python3
-"""Throughput runtime: batched, cached classification over the scenarios.
+"""Throughput runtime: batched, cached, sharded classification.
 
-Builds one decomposition lookup table from a synthetic routing set, then
-replays every scenario in the catalog (uniform / zipf / bursty / churn)
-through three execution paths — per-packet decomposition lookup, the
-batched path, and the batched path behind a microflow cache — and prints
-packets/sec for each.
+Builds one decomposition lookup table from a synthetic routing set
+(schema widened with an unconstrained ``tcp_src`` so the wide scenario
+bites), then replays every scenario in the catalog (uniform /
+uniform-wide / zipf / bursty / churn) through four execution paths —
+per-packet decomposition lookup, the batched path, the batched path
+behind a microflow cache, and the full two-tier microflow+megaflow
+stack — and prints packets/sec for each.  A final section fans large
+batches across a 4-worker :class:`ShardedBatchPipeline`.
 
 Run with::
 
     PYTHONPATH=src python examples/throughput_runtime.py
 """
 
+import os
 import time
 
 from repro.core.architecture import MultiTableLookupArchitecture
 from repro.core.builder import build_lookup_table
 from repro.filters.paper_data import RoutingFilterStats
 from repro.filters.synthetic import generate_routing_set
-from repro.runtime import SCENARIOS, BatchPipeline, run_workload
+from repro.runtime import (
+    SCENARIOS,
+    BatchPipeline,
+    ShardedBatchPipeline,
+    run_workload,
+    widen_rule_set,
+)
 from repro.util.tables import TextTable
 
 PACKETS = 20_000
 FLOWS = 128
 
 
-def replay(rule_set, workload, cache_capacity, batch_size):
+def replay(rule_set, workload, cache_capacity, batch_size, megaflow_capacity=None):
     arch = MultiTableLookupArchitecture([build_lookup_table(rule_set)])
-    runner = BatchPipeline(arch, cache_capacity=cache_capacity)
+    runner = BatchPipeline(
+        arch,
+        cache_capacity=cache_capacity,
+        megaflow_capacity=megaflow_capacity,
+    )
     start = time.perf_counter()
     stats = run_workload(runner, workload, batch_size=batch_size)
     elapsed = time.perf_counter() - start
@@ -35,8 +49,8 @@ def replay(rule_set, workload, cache_capacity, batch_size):
 
 
 def main() -> None:
-    rules = generate_routing_set(
-        RoutingFilterStats("demo", 2000, 12, 40, 90), seed=7
+    rules = widen_rule_set(
+        generate_routing_set(RoutingFilterStats("demo", 2000, 12, 40, 90), seed=7)
     )
     print(f"rule set: {len(rules.rules)} routing rules, schema {rules.field_names}")
 
@@ -46,7 +60,9 @@ def main() -> None:
             "per-packet pkts/s",
             "batch pkts/s",
             "cached pkts/s",
-            "hit rate",
+            "megaflow pkts/s",
+            "uflow hit",
+            "mflow hit",
         ],
         title=f"Throughput over {PACKETS} packets ({FLOWS} flows)",
     )
@@ -57,16 +73,39 @@ def main() -> None:
         cached_stats, cached_pps = replay(
             rules, workload, cache_capacity=4096, batch_size=256
         )
+        mega_stats, mega_pps = replay(
+            rules,
+            workload,
+            cache_capacity=4096,
+            batch_size=256,
+            megaflow_capacity=8192,
+        )
         table.add_row(
             [
                 name,
                 f"{scalar_pps:,.0f}",
                 f"{batch_pps:,.0f}",
                 f"{cached_pps:,.0f}",
+                f"{mega_pps:,.0f}",
                 f"{cached_stats.cache_hit_rate:.2f}",
+                f"{mega_stats.megaflow_hit_rate:.2f}",
             ]
         )
     print(table.to_markdown())
+
+    workload = SCENARIOS["zipf"](rules, packet_count=PACKETS, flow_count=FLOWS)
+    with ShardedBatchPipeline(
+        MultiTableLookupArchitecture([build_lookup_table(rules)]),
+        workers=4,
+        cache_capacity=None,
+    ) as sharded:
+        start = time.perf_counter()
+        stats = run_workload(sharded, workload, batch_size=2048)
+        sharded_pps = stats.packets / (time.perf_counter() - start)
+    print(
+        f"\nsharded (4 workers, {os.cpu_count()} cpu(s), batch 2048, no "
+        f"caches): {sharded_pps:,.0f} pkts/s"
+    )
 
 
 if __name__ == "__main__":

@@ -188,6 +188,28 @@ class MultibitTrie(FieldSearchAlgorithm):
                 break
         return best
 
+    def consulted_bits(self, value: int) -> int:
+        """Length of the top-bit prefix of ``value`` a lookup consults.
+
+        Any key sharing those top bits probes the same records at every
+        visited level and terminates at the same place, so it yields the
+        same :meth:`lookup` / :meth:`lookup_all` result — the wildcard
+        grain a megaflow-style cache can mask on.  An empty level is
+        never probed (its outcome is key-independent), so a trie holding
+        only the default ``/0`` entry consults zero bits.
+        """
+        if not 0 <= value <= mask_of(self.key_bits):
+            raise ValueError(f"key {value:#x} wider than {self.key_bits} bits")
+        consulted = 0
+        for level, boundary in enumerate(self.boundaries):
+            if not self._levels[level]:
+                break
+            consulted = boundary
+            record = self._levels[level].get(value >> (self.key_bits - boundary))
+            if record is None or not record.has_child:
+                break
+        return consulted
+
     def lookup_all(self, value: int) -> tuple[int, ...]:
         """Labels of every stored prefix covering ``value``, longest first.
 

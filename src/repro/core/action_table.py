@@ -61,6 +61,7 @@ class ActionTable:
     def __init__(self) -> None:
         self._slots: list[ActionTableEntry | None] = []
         self._free: list[int] = []
+        self._free_high_water = 0
 
     def allocate(self, flow_entry: FlowEntry) -> ActionTableEntry:
         """Place an entry in a freed slot, growing the array only if full."""
@@ -83,6 +84,8 @@ class ActionTable:
             raise IndexError(f"action slot {index} is already free")
         self._slots[index] = None
         self._free.append(index)
+        if len(self._free) > self._free_high_water:
+            self._free_high_water = len(self._free)
 
     def __getitem__(self, index: int) -> ActionTableEntry:
         entry = self._slots[index]
@@ -106,6 +109,16 @@ class ActionTable:
     def free_slots(self) -> int:
         """Slots currently on the free list (allocated but unused)."""
         return len(self._free)
+
+    @property
+    def free_high_water(self) -> int:
+        """Peak free-list depth over the table's lifetime.
+
+        Under long churn this is the compaction headroom: the hardware
+        array must have held this many simultaneously-dead slots at some
+        point even if later allocations re-filled them.
+        """
+        return self._free_high_water
 
     @property
     def index_bits(self) -> int:

@@ -38,6 +38,7 @@ from repro.openflow.match import (
     RangeMatch,
     WildcardMatch,
 )
+from repro.util.bits import mask_of, prefix_mask
 
 
 class PartitionEngine:
@@ -60,6 +61,24 @@ class PartitionEngine:
 
     def search(self, key: int | None) -> tuple[int, ...]:
         """All labels matching the partition key (empty on miss/absence)."""
+        raise NotImplementedError
+
+    def consulted_mask(self, key: int | None) -> int:
+        """Bitmask over the partition's bits that :meth:`search` consulted.
+
+        The soundness contract for wildcard (megaflow) caching: two keys
+        agreeing on every masked bit — including both lacking the field,
+        which a ``None`` key encodes — produce identical label sets.  An
+        engine with no stored entries consults nothing; a populated
+        exact/range structure consults the whole partition; tries consult
+        only down to the level their walk terminates at.
+        """
+        if self._storage_empty():
+            return 0
+        return mask_of(self.partition.bits)
+
+    def _storage_empty(self) -> bool:
+        """True when search outcomes cannot depend on the key."""
         raise NotImplementedError
 
     def entry_count(self) -> int:
@@ -96,6 +115,9 @@ class LutPartitionEngine(PartitionEngine):
             return ()
         return self.lut.lookup_all(key)
 
+    def _storage_empty(self) -> bool:
+        return len(self.lut) == 0
+
 
 class TriePartitionEngine(PartitionEngine):
     """LPM partition served by a multi-bit trie."""
@@ -121,6 +143,16 @@ class TriePartitionEngine(PartitionEngine):
         if key is None:
             return ()
         return self.trie.lookup_all(key)
+
+    def _storage_empty(self) -> bool:
+        return len(self.trie) == 0
+
+    def consulted_mask(self, key: int | None) -> int:
+        if self._storage_empty():
+            return 0
+        if key is None:
+            return mask_of(self.partition.bits)
+        return prefix_mask(self.trie.consulted_bits(key), self.partition.bits)
 
 
 class RangePartitionEngine(PartitionEngine):
@@ -155,6 +187,9 @@ class RangePartitionEngine(PartitionEngine):
             return ()
         return self.ranges.lookup_all(key)
 
+    def _storage_empty(self) -> bool:
+        return len(self.ranges) == 0
+
 
 class MetadataEngine(PartitionEngine):
     """Identity engine for the pipeline metadata register.
@@ -182,6 +217,12 @@ class MetadataEngine(PartitionEngine):
         if key is None or key == NO_LABEL:
             return ()
         return (key,)
+
+    def _storage_empty(self) -> bool:
+        # The value *is* the label; whether it matters is decided by the
+        # index calculation, which this engine cannot see — stay
+        # conservative and always claim the whole register.
+        return False
 
 
 class FieldEngine:

@@ -29,8 +29,9 @@ from repro.core.field_engine import (
 )
 from repro.core.index import IndexCalculator
 from repro.core.partition import HeaderPartitioner
+from repro.openflow.fields import REGISTRY
 from repro.openflow.flow import FlowEntry
-from repro.openflow.match import Match
+from repro.openflow.match import FieldMaskSink, Match
 
 
 @dataclass(frozen=True)
@@ -159,9 +160,18 @@ class OpenFlowLookupTable:
             self._remove_installed(installed)
         return len(doomed)
 
-    def lookup(self, packet_fields: Mapping[str, int]) -> FlowEntry | None:
-        """Highest-priority matching entry, via the decomposition path."""
-        result = self.search(packet_fields)
+    def lookup(
+        self, packet_fields: Mapping[str, int], mask=None
+    ) -> FlowEntry | None:
+        """Highest-priority matching entry, via the decomposition path.
+
+        ``mask``, when given, is a consulted-bits sink (an object with a
+        ``consult(field_name, bitmask)`` method, e.g. a
+        :class:`~repro.runtime.megaflow.MegaflowRecorder`): every
+        partition engine reports which bits of its field the search
+        outcome actually depended on, enabling wildcard-cache capture.
+        """
+        result = self.search(packet_fields, mask=mask)
         if result.entry is None:
             return None
         result.entry.flow_entry.stats.record()
@@ -184,10 +194,18 @@ class OpenFlowLookupTable:
     # architecture-level interface
     # ------------------------------------------------------------------
 
-    def search(self, packet_fields: Mapping[str, int]) -> LookupResult:
-        """Full decomposition lookup, exposing the per-partition labels."""
+    def search(
+        self, packet_fields: Mapping[str, int], mask=None
+    ) -> LookupResult:
+        """Full decomposition lookup, exposing the per-partition labels.
+
+        With a ``mask`` sink the per-partition consulted bits are folded
+        into it (see :meth:`lookup`).
+        """
         self.lookup_count += 1
         keys = self.partitioner.extract(packet_fields)
+        if mask is not None:
+            self._accumulate_mask(keys, mask)
         label_sets: list[tuple[int, ...]] = []
         for name in self.field_names:
             label_sets.extend(self.engines[name].search(keys))
@@ -196,6 +214,34 @@ class OpenFlowLookupTable:
             return LookupResult(entry=None, label_sets=tuple(label_sets))
         self.matched_count += 1
         return LookupResult(entry=self.actions[index], label_sets=tuple(label_sets))
+
+    def consulted_mask(self, packet_fields: Mapping[str, int]) -> dict[str, int]:
+        """The consulted-bits masks a :meth:`search` of this packet would
+        report, without running the search (no counters, no flow stats).
+
+        Used by caches to backfill masks for entries resolved before any
+        mask sink was attached.
+        """
+        sink = FieldMaskSink()
+        self._accumulate_mask(self.partitioner.extract(packet_fields), sink)
+        return sink.fields
+
+    def _accumulate_mask(self, keys: Mapping[str, int | None], mask) -> None:
+        """Report each partition's consulted bits, field-aligned.
+
+        Partitions are MSB-first slices of their field, so a partition
+        mask shifts left by the bits to its right — the same arithmetic
+        :meth:`HeaderPartitioner.extract` uses to slice keys out.
+        """
+        for engine in self._flat_engines:
+            part = engine.partition
+            part_mask = engine.consulted_mask(keys.get(part.name))
+            if part_mask:
+                field_bits = REGISTRY[part.field_name].bits
+                mask.consult(
+                    part.field_name,
+                    part_mask << (field_bits - part.offset - part.bits),
+                )
 
     def search_batch(
         self, batch_fields: Sequence[Mapping[str, int]]

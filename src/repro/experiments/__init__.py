@@ -32,6 +32,7 @@ from repro.experiments import (  # noqa: E402,F401  (registration imports)
     table2,
     table3,
     table4,
+    throughput,
 )
 
 __all__ = [

@@ -1,0 +1,99 @@
+"""Throughput experiment: cache/batch counters next to the memory claims.
+
+The paper's tables cost the architecture's *memory*; this experiment
+reports what the runtime layer gets out of it — packets/sec, microflow
+and megaflow hit rates, megaflow occupancy and waves per batch for every
+scenario in the catalog — followed by the post-churn memory breakdown
+(including the action-table free-list high-water mark) so the throughput
+and memory sides of the story land in one report.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.architecture import MultiTableLookupArchitecture
+from repro.core.builder import build_lookup_table
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.filters.paper_data import RoutingFilterStats
+from repro.filters.synthetic import generate_routing_set
+from repro.memory.report import architecture_memory_report
+from repro.runtime import BatchPipeline, SCENARIOS, run_workload, widen_rule_set
+from repro.util.tables import TextTable
+
+#: A bbra-scale synthetic routing row: big enough for real hit-rate
+#: structure, small enough that the full catalog replays in seconds.
+_STATS = RoutingFilterStats("tput", 400, 12, 40, 90)
+_PACKETS = 4000
+_FLOWS = 64
+
+
+@experiment("throughput")
+def run() -> ExperimentResult:
+    result = ExperimentResult(experiment_id="throughput")
+    rule_set = widen_rule_set(
+        generate_routing_set(_STATS, seed=29), noise_field="tcp_src"
+    )
+
+    table = TextTable(
+        headers=[
+            "scenario",
+            "packets",
+            "pkts/sec",
+            "microflow hit%",
+            "megaflow hit%",
+            "megaflow entries",
+            "masks",
+            "waves/batch",
+        ],
+        title="Two-tier cached batch runtime, per scenario",
+    )
+    last_arch = None
+    for name in sorted(SCENARIOS):
+        workload = SCENARIOS[name](
+            rule_set, packet_count=_PACKETS, flow_count=_FLOWS
+        )
+        arch = MultiTableLookupArchitecture([build_lookup_table(rule_set)])
+        runner = BatchPipeline(arch, cache_capacity=4096, megaflow_capacity=4096)
+        started = time.perf_counter()
+        stats = run_workload(runner, workload, batch_size=256)
+        elapsed = time.perf_counter() - started
+        pps = stats.packets / elapsed if elapsed > 0 else 0.0
+        megaflow = runner.megaflow
+        table.add_row(
+            [
+                name,
+                stats.packets,
+                f"{pps:,.0f}",
+                f"{100 * stats.cache_hit_rate:.1f}",
+                f"{100 * stats.megaflow_hit_rate:.1f}",
+                len(megaflow),
+                megaflow.mask_count,
+                f"{stats.waves_per_batch:.2f}",
+            ]
+        )
+        result.headline[f"{name.replace('-', '_')}_pkts_per_sec"] = round(pps)
+        if name == "uniform-wide":
+            result.headline["uniform_wide_megaflow_hit_rate"] = round(
+                stats.megaflow_hit_rate, 3
+            )
+            result.headline["uniform_wide_microflow_hit_rate"] = round(
+                stats.cache_hit_rate, 3
+            )
+        last_arch = arch if name == "churn" else last_arch
+    result.tables.append(table)
+
+    # Memory context: the post-churn breakdown, free-list HWM included.
+    assert last_arch is not None
+    memory = architecture_memory_report(last_arch)
+    result.tables.append(memory.to_table())
+    result.headline["total_mbits"] = round(memory.total_mbits, 3)
+    result.headline["churn_action_free_hwm"] = last_arch.lookup_tables[
+        0
+    ].actions.free_high_water
+    result.notes.append(
+        "throughput measured on the batched two-tier (microflow+megaflow) "
+        "path; 'actions (free hwm)' is the churn compaction headroom "
+        "(excluded from TOTAL)"
+    )
+    return result

@@ -50,6 +50,11 @@ class TableMemoryReport:
     structures: list[StructureCost] = field(default_factory=list)
     trie_costs: dict[str, TrieCost] = field(default_factory=dict)
     node_format: TrieNodeFormat | None = None
+    #: Peak free-list depth of the action table (slots, not bits); a
+    #: churn-headroom line item, *not* part of :attr:`total_bits` —
+    #: current free slots are already costed by "actions (free)".
+    action_free_high_water: int = 0
+    action_free_high_water_bits: int = 0
 
     @property
     def total_bits(self) -> int:
@@ -145,6 +150,14 @@ def table_memory_report(
                 bits=free_size.bits,
             )
         )
+    # Free-list high-water mark (ROADMAP: compaction metrics under long
+    # churn): the worst transient slot waste, reported as its own line
+    # but excluded from the total — those slots are costed above when
+    # still free, and live again when reused.
+    report.action_free_high_water = table.actions.free_high_water
+    report.action_free_high_water_bits = (
+        table.actions.free_high_water * table.actions.entry_bits
+    )
     return report
 
 
@@ -190,6 +203,16 @@ class ArchitectureMemoryReport:
                         structure.kind,
                         structure.entries,
                         format_bits(structure.bits),
+                    ]
+                )
+            if table.action_free_high_water:
+                text.add_row(
+                    [
+                        table.table_id,
+                        "actions (free hwm)",
+                        "peak",
+                        table.action_free_high_water,
+                        format_bits(table.action_free_high_water_bits),
                     ]
                 )
         text.add_row(["-", "TOTAL", "-", "-", format_bits(self.total_bits)])

@@ -40,6 +40,17 @@ class FieldMatch:
         predicates (an exact match is more specific than a /8 prefix)."""
         raise NotImplementedError
 
+    def consulted_mask(self) -> int:
+        """Bitmask of field bits that can influence :meth:`matches`.
+
+        Two values agreeing on every masked bit get identical verdicts
+        from this predicate — the soundness contract megaflow-style
+        wildcard caches build on.  Range predicates cannot express their
+        dependence as a bitmask, so they conservatively claim the whole
+        field.
+        """
+        raise NotImplementedError
+
 
 @dataclass(frozen=True)
 class WildcardMatch(FieldMatch):
@@ -51,6 +62,9 @@ class WildcardMatch(FieldMatch):
         return True
 
     def specificity(self) -> int:
+        return 0
+
+    def consulted_mask(self) -> int:
         return 0
 
 
@@ -72,6 +86,9 @@ class ExactMatch(FieldMatch):
 
     def specificity(self) -> int:
         return self.bits
+
+    def consulted_mask(self) -> int:
+        return mask_of(self.bits)
 
 
 @dataclass(frozen=True)
@@ -103,6 +120,9 @@ class PrefixMatch(FieldMatch):
     def specificity(self) -> int:
         return self.length
 
+    def consulted_mask(self) -> int:
+        return prefix_mask(self.length, self.bits)
+
     @property
     def key(self) -> tuple[int, int]:
         """The ``(value, length)`` pair identifying this prefix."""
@@ -133,6 +153,11 @@ class RangeMatch(FieldMatch):
         span = self.high - self.low + 1
         return self.bits - (span - 1).bit_length() if span > 1 else self.bits
 
+    def consulted_mask(self) -> int:
+        # A range boundary is not bit-aligned; only the full range is
+        # value-independent.
+        return 0 if self.is_full else mask_of(self.bits)
+
     @property
     def is_full(self) -> bool:
         """True when the range covers the whole field (wildcard)."""
@@ -158,6 +183,29 @@ class MaskedMatch(FieldMatch):
 
     def specificity(self) -> int:
         return bin(self.mask).count("1")
+
+    def consulted_mask(self) -> int:
+        return self.mask
+
+
+class FieldMaskSink:
+    """Minimal consulted-bits accumulator (field name -> OR'd bitmask).
+
+    The common sink passed as ``mask=`` to the lookup paths when only
+    the raw per-field masks are wanted — e.g. microflow-cache capture
+    and :meth:`OpenFlowLookupTable.consulted_mask` backfill.  The
+    megaflow recorder layers rewrite filtering and table tagging on top
+    of the same ``consult`` protocol.
+    """
+
+    __slots__ = ("fields",)
+
+    def __init__(self) -> None:
+        self.fields: dict[str, int] = {}
+
+    def consult(self, field_name: str, bitmask: int) -> None:
+        if bitmask:
+            self.fields[field_name] = self.fields.get(field_name, 0) | bitmask
 
 
 class Match(Mapping[str, FieldMatch]):

@@ -37,6 +37,29 @@ from repro.openflow.instructions import (
 from repro.openflow.table import FlowTable
 
 
+def written_fields(entry: FlowEntry) -> list[str]:
+    """Fields an entry's *immediately executed* instructions overwrite.
+
+    Apply-Actions set-fields and Write-Metadata rewrite the packet's
+    working header before the next table's lookup; Write-Actions
+    set-fields do **not** execute until pipeline end and must not be
+    reported here (a premature mark would make megaflow masks unsound by
+    suppressing consults of still-original values).
+    """
+    names: list[str] = []
+    apply = entry.instructions.get(ApplyActions)
+    if apply is not None:
+        assert isinstance(apply, ApplyActions)
+        names.extend(
+            action.field_name
+            for action in apply.actions
+            if isinstance(action, SetFieldAction)
+        )
+    if entry.instructions.get(WriteMetadata) is not None:
+        names.append("metadata")
+    return names
+
+
 class MissPolicy(enum.Enum):
     """What to do when a table has no matching entry and no miss entry."""
 
@@ -126,8 +149,19 @@ class OpenFlowPipeline:
                 )
         self.table(table_id).add(entry)
 
-    def process(self, packet_fields: Mapping[str, int]) -> PipelineResult:
-        """Run one packet through the pipeline and execute its actions."""
+    def process(
+        self, packet_fields: Mapping[str, int], mask=None
+    ) -> PipelineResult:
+        """Run one packet through the pipeline and execute its actions.
+
+        ``mask``, when given, is a traversal recorder (e.g. a
+        :class:`~repro.runtime.megaflow.MegaflowRecorder`) threading
+        megaflow capture through the scalar path: each visited table is
+        tagged with its mutation version, each lookup folds in the bits
+        it consulted, and every header rewrite is marked so later
+        consults of derived values stop widening the mask over the
+        *original* packet.
+        """
         result = PipelineResult(final_fields=dict(packet_fields))
         action_set: list[Action] = []
         table_id: int | None = self._order[0]
@@ -135,14 +169,28 @@ class OpenFlowPipeline:
         while table_id is not None:
             table = self.table(table_id)
             result.tables_visited.append(table_id)
-            entry = table.lookup(result.final_fields)
+            if mask is None:
+                entry = table.lookup(result.final_fields)
+            else:
+                mask.note_table(table_id, table.version)
+                entry = table.lookup(result.final_fields, mask=mask)
             if entry is None:
                 self._handle_miss(result)
                 return result
             result.matched_entries.append(entry)
             table_id = self._execute_instructions(entry, action_set, result)
+            if mask is not None:
+                for name in written_fields(entry):
+                    mask.mark_rewritten(name)
 
         self._execute_action_set(action_set, result)
+        if mask is not None:
+            # Action-set rewrites run after the last lookup; marking them
+            # here (never earlier!) keeps the mask sound while letting
+            # capture code derive the full set of overwritten fields.
+            for action in action_set:
+                if isinstance(action, SetFieldAction):
+                    mask.mark_rewritten(action.field_name)
         if not result.output_ports and not result.sent_to_controller:
             result.dropped = True
         return result

@@ -95,16 +95,46 @@ class FlowTable:
             self.version += 1
         return before - len(self._entries)
 
-    def lookup(self, packet_fields: Mapping[str, int]) -> FlowEntry | None:
-        """Return the highest-priority entry matching the packet, if any."""
+    def lookup(
+        self, packet_fields: Mapping[str, int], mask=None
+    ) -> FlowEntry | None:
+        """Return the highest-priority entry matching the packet, if any.
+
+        ``mask``, when given, is a consulted-bits sink (an object with a
+        ``consult(field_name, bitmask)`` method): every entry the scan
+        evaluates folds its predicates' consulted bits in — a packet
+        agreeing on all of them fails (or matches) exactly the same
+        entries, so the scan outcome is pinned.  Entries below the first
+        hit are never evaluated and contribute nothing.
+        """
         self._ensure_sorted()
         self.lookup_count += 1
         for entry in self._entries:
+            if mask is not None:
+                for name, predicate in entry.match.items():
+                    mask.consult(name, predicate.consulted_mask())
             if entry.matches(packet_fields):
                 self.matched_count += 1
                 entry.stats.record()
                 return entry
         return None
+
+    def consulted_mask(self, packet_fields: Mapping[str, int]) -> dict[str, int]:
+        """The consulted-bits masks a :meth:`lookup` of this packet would
+        report, without the lookup's side effects (no counters, no flow
+        stats).  Used by caches to backfill masks for entries resolved
+        before any mask sink was attached.
+        """
+        self._ensure_sorted()
+        fields: dict[str, int] = {}
+        for entry in self._entries:
+            for name, predicate in entry.match.items():
+                bits = predicate.consulted_mask()
+                if bits:
+                    fields[name] = fields.get(name, 0) | bits
+            if entry.matches(packet_fields):
+                break
+        return fields
 
     def _find(self, match: Match, priority: int) -> FlowEntry | None:
         return self._by_key.get((match, priority))

@@ -1,8 +1,9 @@
-"""Batched, cached high-throughput runtime over the lookup architecture.
+"""Batched, cached, sharded high-throughput runtime over the lookup
+architecture.
 
 The paper's decomposition architecture fixes the *per-lookup* memory
 cost; this package fixes the *per-packet software overhead* so the
-reproduction can serve traffic-scale workloads.  Three layers compose:
+reproduction can serve traffic-scale workloads.  Four layers compose:
 
 **Batching model.**  :class:`~repro.runtime.batch.BatchPipeline` drives
 packet batches through the multi-table pipeline in waves: all packets
@@ -13,22 +14,45 @@ duplicate full header keys are each resolved once), while per-packet
 instruction execution reuses the scalar pipeline's machinery unchanged.
 Goto-Table is forward-only, so a batch visits each table at most once.
 
-**Microflow caching.**  A :class:`~repro.runtime.cache.MicroflowCache`
-(LRU, exact-match on the table's field tuple — the Open vSwitch
-fast-path pattern) sits in front of each table.  Invalidation rule: any
-``add`` / ``remove`` / ``remove_where`` may reclassify arbitrary cached
-microflows, so the cache flushes wholesale on the next lookup after a
-mutation, detected via the table's ``version`` counter.  Misses are
-cached (negatively) under the same rule.
+**Two-tier cache hierarchy (microflow → megaflow).**  Mirroring the
+Open vSwitch fast path:
+
+- *Tier 2 — per-table microflow.*  A
+  :class:`~repro.runtime.cache.MicroflowCache` (LRU, exact-match on the
+  table's field tuple) fronts each table.  Invalidation is per-entry
+  *revalidation*: records carry the table's ``version`` mutation-counter
+  stamp and a stale record re-resolves in place on its next access, so
+  a flow-mod no longer evicts the whole working set.
+- *Tier 1 — pipeline-level megaflow.*  A
+  :class:`~repro.runtime.megaflow.MegaflowCache` keys one entry per
+  *traffic aggregate*: during a full traversal a
+  :class:`~repro.runtime.megaflow.MegaflowRecorder` accumulates exactly
+  the header bits each visited table consulted (trie walk depth,
+  empty-structure elision, predicate masks) minus rewritten/derived
+  fields; a hit replays the complete
+  :class:`~repro.openflow.pipeline.PipelineResult` and skips every
+  table.  Entries are tagged ``(table_id, version)`` per visited table
+  and invalidate *incrementally* — a rule change in one table only
+  kills the aggregates whose traversal consulted that table.
+
+**Sharded parallel execution.**
+:class:`~repro.runtime.shard.ShardedBatchPipeline` partitions batches by
+a stable hash of the megaflow key across ``multiprocessing`` workers,
+each owning a pipeline replica rebuilt from a picklable
+:class:`~repro.runtime.shard.PipelineSpec` snapshot plus its own cache
+stack.  Consistency uses a mutation-log catch-up protocol: flow-mods go
+through the runner's logging ``pipeline`` facade, and each worker
+replays the outstanding log suffix before classifying its sub-batch, so
+results are bitwise-identical to the single-process runner.
 
 **Scenario catalog.**  :mod:`repro.runtime.scenarios` builds replayable
 :class:`~repro.runtime.batch.Workload` objects from a rule set —
-``uniform`` (cache-adversarial), ``zipf`` (heavy-tailed popularity),
-``bursty`` (packet trains), and ``churn`` (traffic interleaved with rule
-uninstall/reinstall cycles) — replayed by
-:func:`~repro.runtime.batch.run_workload`.  ``benchmarks/bench_throughput.py``
-reports packets/sec for the scan, decomposition, batched, and
-cached-batch paths over these scenarios.
+``uniform``, ``uniform-wide`` (per-packet noise in an unconstrained
+schema field: microflow-adversarial, megaflow-friendly), ``zipf``,
+``bursty``, and ``churn`` — replayed by
+:func:`~repro.runtime.batch.run_workload`.
+``benchmarks/bench_throughput.py`` reports packets/sec per lookup path
+over these scenarios and records them in ``BENCH_throughput.json``.
 """
 
 from repro.runtime.batch import (
@@ -39,27 +63,47 @@ from repro.runtime.batch import (
     run_workload,
 )
 from repro.runtime.cache import DEFAULT_CAPACITY, MicroflowCache
+from repro.runtime.megaflow import (
+    DEFAULT_MEGAFLOW_CAPACITY,
+    MegaflowCache,
+    MegaflowRecorder,
+)
 from repro.runtime.scenarios import (
     SCENARIOS,
     bursty_workload,
     churn_workload,
+    uniform_wide_workload,
     uniform_workload,
+    widen_rule_set,
     zipf_weights,
     zipf_workload,
+)
+from repro.runtime.shard import (
+    PipelineSpec,
+    ShardedBatchPipeline,
+    TableSpec,
 )
 
 __all__ = [
     "BatchPipeline",
     "BatchStats",
     "DEFAULT_CAPACITY",
+    "DEFAULT_MEGAFLOW_CAPACITY",
+    "MegaflowCache",
+    "MegaflowRecorder",
     "MicroflowCache",
+    "PipelineSpec",
     "SCENARIOS",
+    "ShardedBatchPipeline",
+    "TableSpec",
     "Workload",
     "WorkloadStats",
     "bursty_workload",
     "churn_workload",
     "run_workload",
+    "uniform_wide_workload",
     "uniform_workload",
+    "widen_rule_set",
     "zipf_weights",
     "zipf_workload",
 ]

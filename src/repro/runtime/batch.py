@@ -3,12 +3,24 @@
 :class:`BatchPipeline` drives packet *batches* through an
 :class:`~repro.openflow.pipeline.OpenFlowPipeline` (or the decomposition
 :class:`~repro.core.architecture.MultiTableLookupArchitecture`) instead of
-one packet at a time.  Packets advance through the pipeline in waves: all
-packets currently at the same table are looked up together — through the
-table's microflow cache when one is attached, then through the table's
-batched search path — and only the cheap per-packet instruction execution
-runs individually.  Because Goto-Table is forward-only, each table is
-visited at most once per batch.
+one packet at a time, behind a two-tier cache hierarchy:
+
+1. a pipeline-level :class:`~repro.runtime.megaflow.MegaflowCache`
+   (opt-in via ``megaflow_capacity``): a wildcard-cache hit replays the
+   complete traversal — every table is skipped;
+2. per-table :class:`~repro.runtime.cache.MicroflowCache` exact-match
+   caches fronting each table's lookup on the megaflow-miss path.
+
+Megaflow misses advance through the pipeline in waves: all packets
+currently at the same table are looked up together — through the table's
+microflow cache when one is attached, then through the table's batched
+search path — and only the cheap per-packet instruction execution runs
+individually.  Because Goto-Table is forward-only, each table is visited
+at most once per batch.  During the waves each packet carries a
+:class:`~repro.runtime.megaflow.MegaflowRecorder` accumulating the
+consulted-bits mask, visited-table version tags and header rewrites;
+the finished traversal installs one megaflow entry covering its whole
+aggregate.
 
 The semantics are exactly those of ``OpenFlowPipeline.process``: the
 per-entry instruction execution, action-set ordering and miss handling
@@ -21,8 +33,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Sequence
 
-from repro.openflow.pipeline import OpenFlowPipeline, PipelineResult
+from repro.openflow.actions import SetFieldAction
+from repro.openflow.pipeline import (
+    OpenFlowPipeline,
+    PipelineResult,
+    written_fields,
+)
 from repro.runtime.cache import DEFAULT_CAPACITY, MicroflowCache
+from repro.runtime.megaflow import MegaflowCache, MegaflowRecorder
 
 
 @dataclass
@@ -36,11 +54,23 @@ class BatchStats:
     dropped: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    megaflow_hits: int = 0
+    megaflow_misses: int = 0
+    waves: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def megaflow_hit_rate(self) -> float:
+        total = self.megaflow_hits + self.megaflow_misses
+        return self.megaflow_hits / total if total else 0.0
+
+    @property
+    def waves_per_batch(self) -> float:
+        return self.waves / self.batches if self.batches else 0.0
 
 
 class BatchPipeline:
@@ -53,12 +83,15 @@ class BatchPipeline:
             disables caching.  Caches are only attached to tables that
             expose a match schema (``field_names``); others fall back to
             their plain (batched, if available) lookup path.
+        megaflow_capacity: pipeline-level wildcard-cache size; ``0`` /
+            ``None`` (the default) disables the megaflow tier.
     """
 
     def __init__(
         self,
         pipeline: OpenFlowPipeline,
         cache_capacity: int | None = DEFAULT_CAPACITY,
+        megaflow_capacity: int | None = None,
     ):
         self.pipeline = pipeline
         self.caches: dict[int, MicroflowCache] = {}
@@ -68,11 +101,17 @@ class BatchPipeline:
                     self.caches[table.table_id] = MicroflowCache(
                         table, capacity=cache_capacity
                     )
+        self.megaflow: MegaflowCache | None = (
+            MegaflowCache(pipeline, capacity=megaflow_capacity)
+            if megaflow_capacity
+            else None
+        )
         self.packets = 0
         self.batches = 0
         self.matched = 0
         self.sent_to_controller = 0
         self.dropped = 0
+        self.waves = 0
 
     def process(self, packet_fields: Mapping[str, int]) -> PipelineResult:
         """Single-packet convenience wrapper over :meth:`process_batch`."""
@@ -89,12 +128,30 @@ class BatchPipeline:
         pipeline = self.pipeline
         self.packets += len(batch)
         self.batches += 1
-        results = [PipelineResult(final_fields=dict(f)) for f in batch]
-        action_sets: list[list] = [[] for _ in batch]
+        results: list[PipelineResult] = [None] * len(batch)  # type: ignore[list-item]
+
+        # Tier 1: megaflow probe — a hit replays the whole traversal.
+        if self.megaflow is not None:
+            missed: list[int] = []
+            for i, replayed in enumerate(self.megaflow.lookup_batch(batch)):
+                if replayed is None:
+                    missed.append(i)
+                else:
+                    results[i] = replayed
+            recorders: dict[int, MegaflowRecorder] | None = {
+                i: MegaflowRecorder() for i in missed
+            }
+        else:
+            missed = list(range(len(batch)))
+            recorders = None
+        for i in missed:
+            results[i] = PipelineResult(final_fields=dict(batch[i]))
+
+        action_sets: dict[int, list] = {i: [] for i in missed}
         #: Packets still in flight, grouped by the table they sit at.
         pending: dict[int, list[int]] = {}
-        if batch:
-            pending[pipeline.tables[0].table_id] = list(range(len(batch)))
+        if missed:
+            pending[pipeline.tables[0].table_id] = list(missed)
         #: Packets whose processing ended with a match (no Goto-Table);
         #: their accumulated action sets execute after the waves finish.
         completed: list[int] = []
@@ -102,11 +159,20 @@ class BatchPipeline:
         while pending:
             # Goto-Table is forward-only, so the smallest pending table id
             # is never re-entered once drained.
+            self.waves += 1
             table_id = min(pending)
             members = pending.pop(table_id)
             table = pipeline.table(table_id)
+            if recorders is not None:
+                for i in members:
+                    recorders[i].note_table(table_id, table.version)
             fields_batch = [results[i].final_fields for i in members]
-            entries = self._lookup_batch(table_id, table, fields_batch)
+            masks = (
+                [recorders[i] for i in members]
+                if recorders is not None
+                else None
+            )
+            entries = self._lookup_batch(table_id, table, fields_batch, masks)
             for i, entry in zip(members, entries):
                 result = results[i]
                 result.tables_visited.append(table_id)
@@ -120,6 +186,9 @@ class BatchPipeline:
                 next_table = pipeline._execute_instructions(
                     entry, action_sets[i], result
                 )
+                if recorders is not None:
+                    for name in written_fields(entry):
+                        recorders[i].mark_rewritten(name)
                 if next_table is None:
                     completed.append(i)
                 else:
@@ -128,18 +197,30 @@ class BatchPipeline:
         for i in completed:
             result = results[i]
             pipeline._execute_action_set(action_sets[i], result)
+            if recorders is not None:
+                for action in action_sets[i]:
+                    if isinstance(action, SetFieldAction):
+                        recorders[i].mark_rewritten(action.field_name)
             if not result.output_ports and not result.sent_to_controller:
                 result.dropped = True
+        if self.megaflow is not None and recorders is not None:
+            for i in missed:
+                self.megaflow.install(batch[i], recorders[i], results[i])
         for result in results:
-            self.matched += bool(result.matched)
+            self.matched += bool(result.matched_entries)
             self.sent_to_controller += result.sent_to_controller
             self.dropped += result.dropped
         return results
 
-    def _lookup_batch(self, table_id: int, table, fields_batch):
+    def _lookup_batch(self, table_id: int, table, fields_batch, masks=None):
         cache = self.caches.get(table_id)
         if cache is not None:
-            return cache.lookup_batch(fields_batch)
+            return cache.lookup_batch(fields_batch, masks=masks)
+        if masks is not None:
+            return [
+                table.lookup(fields, mask=mask)
+                for fields, mask in zip(fields_batch, masks)
+            ]
         if hasattr(table, "lookup_batch"):
             return table.lookup_batch(fields_batch)
         return [table.lookup(fields) for fields in fields_batch]
@@ -155,10 +236,14 @@ class BatchPipeline:
             matched=self.matched,
             sent_to_controller=self.sent_to_controller,
             dropped=self.dropped,
+            waves=self.waves,
         )
         for cache in self.caches.values():
             stats.cache_hits += cache.hits
             stats.cache_misses += cache.misses
+        if self.megaflow is not None:
+            stats.megaflow_hits = self.megaflow.hits
+            stats.megaflow_misses = self.megaflow.misses
         return stats
 
 
@@ -200,35 +285,36 @@ def _chunks(items: Sequence, size: int) -> Iterator[Sequence]:
 
 
 def run_workload(
-    runner: BatchPipeline,
+    runner,
     workload: Workload,
     batch_size: int = 256,
     keep_results: bool = False,
 ) -> WorkloadStats:
-    """Replay a workload through a :class:`BatchPipeline`.
+    """Replay a workload through a :class:`BatchPipeline` (or any runner
+    exposing the same ``process_batch`` / ``pipeline`` /
+    ``stats_snapshot`` surface, e.g.
+    :class:`~repro.runtime.shard.ShardedBatchPipeline`).
 
     Packet events are classified in ``batch_size`` chunks; mutation events
-    apply directly to the underlying tables (the microflow caches notice
-    via the tables' version counters and flush on the next batch).
+    apply through ``runner.pipeline`` so sharded runners can log them for
+    worker catch-up (caches notice via the tables' version counters and
+    revalidate on the next touch).
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
     stats = WorkloadStats()
-    # Snapshot the caches' lifetime counters so the stats report this
-    # replay's delta even on a reused runner.
-    hits_before = sum(c.hits for c in runner.caches.values())
-    misses_before = sum(c.misses for c in runner.caches.values())
+    # All counters come from the runner's stats snapshot as deltas, so a
+    # reused runner reports this replay only — and a sharded runner
+    # (whose cache/wave counters live in its workers' snapshots) reports
+    # truthfully instead of the parent's empty cache dict.
+    before = runner.stats_snapshot()
     for event in workload.events:
         kind = event[0]
         if kind == "packets":
             for chunk in _chunks(event[1], batch_size):
-                for result in runner.process_batch(chunk):
-                    stats.packets += 1
-                    stats.matched += bool(result.matched)
-                    stats.sent_to_controller += result.sent_to_controller
-                    stats.dropped += result.dropped
-                    if keep_results:
-                        stats.results.append(result)
+                chunk_results = runner.process_batch(chunk)
+                if keep_results:
+                    stats.results.extend(chunk_results)
                 stats.batches += 1
         elif kind == "install":
             _, table_id, entry = event
@@ -240,10 +326,16 @@ def run_workload(
             stats.uninstalls += 1
         else:
             raise ValueError(f"unknown workload event kind {kind!r}")
-    stats.cache_hits = (
-        sum(c.hits for c in runner.caches.values()) - hits_before
+    after = runner.stats_snapshot()
+    stats.packets = after.packets - before.packets
+    stats.matched = after.matched - before.matched
+    stats.sent_to_controller = (
+        after.sent_to_controller - before.sent_to_controller
     )
-    stats.cache_misses = (
-        sum(c.misses for c in runner.caches.values()) - misses_before
-    )
+    stats.dropped = after.dropped - before.dropped
+    stats.cache_hits = after.cache_hits - before.cache_hits
+    stats.cache_misses = after.cache_misses - before.cache_misses
+    stats.megaflow_hits = after.megaflow_hits - before.megaflow_hits
+    stats.megaflow_misses = after.megaflow_misses - before.megaflow_misses
+    stats.waves = after.waves - before.waves
     return stats

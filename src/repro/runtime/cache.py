@@ -6,18 +6,25 @@ full lookups keyed on the *exact* tuple of the table's match-field values
 fields necessarily classify identically, so a cache hit skips the whole
 decomposition (or scan) path.
 
-Invalidation follows the Open vSwitch rule: any flow-table mutation may
-change the classification of arbitrary cached keys (a new wildcard rule
-can cover many microflows), so the only sound per-mutation response is a
-full flush.  Rather than wrapping the table's mutation interface, the
-cache watches the table's ``version`` counter — bumped by ``add`` /
-``remove`` / ``remove_where`` on both :class:`~repro.openflow.table.FlowTable`
-and :class:`~repro.core.lookup_table.OpenFlowLookupTable` — and flushes
-lazily on the next lookup after a change.  Mutating the table directly
-(not through any wrapper) therefore stays safe.
+Invalidation is per-entry **revalidation**, not a wholesale flush: every
+cached record is stamped with the table's ``version`` mutation counter —
+bumped by ``add`` / ``remove`` / ``remove_where`` on both
+:class:`~repro.openflow.table.FlowTable` and
+:class:`~repro.core.lookup_table.OpenFlowLookupTable` — at resolution
+time.  A later access finding the stamp stale re-resolves just that key
+against the table and refreshes the record in place, so a flow-mod costs
+one table lookup per *re-touched* key instead of evicting the whole
+working set (the PR-1 behaviour).  Mutating the table directly (not
+through any wrapper) stays safe.
 
 Misses are cached too (negative caching): a miss is just another
-classification outcome, and the flush-on-mutation rule keeps it correct.
+classification outcome, and the stale-stamp rule keeps it correct.
+
+The cache also participates in megaflow capture: pass a consulted-bits
+sink (``mask=``, see :mod:`repro.runtime.megaflow`) and the table's raw
+consulted-bits masks are captured on miss, stored with the record, and
+replayed into the sink on every hit — so a traversal resolved from the
+microflow tier still produces a sound wildcard mask.
 """
 
 from __future__ import annotations
@@ -26,11 +33,23 @@ from collections import OrderedDict
 from typing import Mapping, Sequence
 
 from repro.openflow.flow import FlowEntry
+from repro.openflow.match import FieldMaskSink
 
 #: Sentinel distinguishing a cached miss from an absent key.
 _MISS = object()
 
 DEFAULT_CAPACITY = 4096
+
+
+class _Record:
+    """One cached microflow: outcome, version stamp, consulted bits."""
+
+    __slots__ = ("outcome", "version", "mask")
+
+    def __init__(self, outcome, version: int, mask: dict[str, int] | None):
+        self.outcome = outcome
+        self.version = version
+        self.mask = mask
 
 
 class MicroflowCache:
@@ -69,11 +88,12 @@ class MicroflowCache:
         self.table = table
         self.capacity = capacity
         self.field_names = tuple(names)
-        self._entries: OrderedDict[tuple, object] = OrderedDict()
-        self._seen_version = table.version
+        self._entries: OrderedDict[tuple, _Record] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.flushes = 0
+        #: Stale-stamp accesses that re-resolved an existing key in place.
+        self.revalidations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -88,74 +108,162 @@ class MicroflowCache:
         return tuple(packet_fields.get(name) for name in self.field_names)
 
     def flush(self) -> None:
-        """Drop every cached microflow."""
+        """Drop every cached microflow (explicit only; mutations do not
+        flush — they stale-stamp, and records revalidate on access)."""
         if self._entries:
             self.flushes += 1
         self._entries.clear()
 
-    def _check_version(self) -> None:
+    def lookup(
+        self, packet_fields: Mapping[str, int], mask=None
+    ) -> FlowEntry | None:
+        """Cached highest-priority match for one packet.
+
+        ``mask``, when given, receives the table's consulted bits for
+        this key (captured on miss, replayed from the record on hit).
+        """
         version = self.table.version
-        if version != self._seen_version:
-            self.flush()
-            self._seen_version = version
-
-    def _insert(self, key: tuple, entry: FlowEntry | None) -> None:
-        self._entries[key] = _MISS if entry is None else entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-
-    def lookup(self, packet_fields: Mapping[str, int]) -> FlowEntry | None:
-        """Cached highest-priority match for one packet."""
-        self._check_version()
         key = self.key(packet_fields)
-        cached = self._entries.get(key)
-        if cached is not None:
+        record = self._entries.get(key)
+        if record is not None and record.version == version:
             self.hits += 1
             self._entries.move_to_end(key)
-            if cached is _MISS:
-                return None
-            assert isinstance(cached, FlowEntry)
-            cached.stats.record()
-            return cached
+            if mask is not None:
+                if record.mask is None:
+                    record.mask = self._capture_mask(packet_fields)
+                _replay_mask(record.mask, mask)
+            return self._outcome(record)
+        if record is not None:
+            self.revalidations += 1
         self.misses += 1
-        entry = self.table.lookup(packet_fields)
-        self._insert(key, entry)
-        return entry
+        outcome, captured = self._resolve(packet_fields, mask is not None)
+        if mask is not None:
+            assert captured is not None
+            _replay_mask(captured, mask)
+        self._insert(key, outcome, version, captured)
+        return outcome
 
     def lookup_batch(
-        self, batch_fields: Sequence[Mapping[str, int]]
+        self,
+        batch_fields: Sequence[Mapping[str, int]],
+        masks: Sequence | None = None,
     ) -> list[FlowEntry | None]:
         """Cached batch lookup: hits resolve from the cache, the misses go
-        to the table's batch path in one call."""
-        self._check_version()
+        to the table's batch path in one call.
+
+        ``masks``, when given, is one consulted-bits sink per packet,
+        aligned with ``batch_fields``; miss resolution then runs
+        per-packet through the table's mask-threading scalar path.
+        """
+        version = self.table.version
         results: list[FlowEntry | None] = [None] * len(batch_fields)
         miss_positions: list[int] = []
         miss_fields: list[Mapping[str, int]] = []
         for i, fields in enumerate(batch_fields):
             key = self.key(fields)
-            cached = self._entries.get(key)
-            if cached is not None:
+            record = self._entries.get(key)
+            if record is not None and record.version == version:
                 self.hits += 1
                 self._entries.move_to_end(key)
-                if cached is _MISS:
-                    results[i] = None
-                else:
-                    assert isinstance(cached, FlowEntry)
-                    cached.stats.record()
-                    results[i] = cached
+                if masks is not None:
+                    if record.mask is None:
+                        record.mask = self._capture_mask(fields)
+                    _replay_mask(record.mask, masks[i])
+                results[i] = self._outcome(record)
             else:
+                if record is not None:
+                    self.revalidations += 1
                 self.misses += 1
                 miss_positions.append(i)
                 miss_fields.append(fields)
         if miss_fields:
-            if hasattr(self.table, "lookup_batch"):
+            if masks is not None:
+                # Mask capture forces the scalar resolution path, but
+                # duplicate keys — the common case in skewed traffic —
+                # still resolve once per batch and replay their captured
+                # mask (with a stats record per packet, matching the
+                # scalar path).
+                resolved = []
+                memo: dict[tuple, tuple] = {}
+                for position, fields in zip(miss_positions, miss_fields):
+                    key = self.key(fields)
+                    cached = memo.get(key)
+                    if cached is None:
+                        cached = self._resolve(fields, True)
+                        memo[key] = cached
+                        self._insert(key, cached[0], version, cached[1])
+                    else:
+                        if cached[0] is not None:
+                            cached[0].stats.record()
+                    outcome, captured = cached
+                    assert captured is not None
+                    _replay_mask(captured, masks[position])
+                    resolved.append(outcome)
+            elif hasattr(self.table, "lookup_batch"):
                 resolved = self.table.lookup_batch(miss_fields)
+                for fields, outcome in zip(miss_fields, resolved):
+                    self._insert(self.key(fields), outcome, version, None)
             else:
-                resolved = [self.table.lookup(f) for f in miss_fields]
-            for position, fields, entry in zip(
-                miss_positions, miss_fields, resolved
-            ):
-                results[position] = entry
-                self._insert(self.key(fields), entry)
+                resolved = []
+                for fields in miss_fields:
+                    outcome = self.table.lookup(fields)
+                    self._insert(self.key(fields), outcome, version, None)
+                    resolved.append(outcome)
+            for position, outcome in zip(miss_positions, resolved):
+                results[position] = outcome
         return results
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _outcome(self, record: _Record) -> FlowEntry | None:
+        if record.outcome is _MISS:
+            return None
+        entry = record.outcome
+        assert isinstance(entry, FlowEntry)
+        entry.stats.record()
+        return entry
+
+    def _resolve(
+        self, packet_fields: Mapping[str, int], want_mask: bool
+    ) -> tuple[FlowEntry | None, dict[str, int] | None]:
+        if want_mask:
+            sink = FieldMaskSink()
+            return self.table.lookup(packet_fields, mask=sink), sink.fields
+        return self.table.lookup(packet_fields), None
+
+    def _capture_mask(self, packet_fields: Mapping[str, int]) -> dict[str, int]:
+        """Backfill the consulted-bits mask for a record cached without
+        one (the cache was used mask-less first); the mask is a pure
+        function of the key and the table's current structures.
+
+        Prefers the table's side-effect-free ``consulted_mask`` so a
+        cache *hit* never double-counts lookup counters or flow stats;
+        the lookup fallback covers schema-only table stand-ins.
+        """
+        consulted = getattr(self.table, "consulted_mask", None)
+        if consulted is not None:
+            return consulted(packet_fields)
+        sink = FieldMaskSink()
+        self.table.lookup(packet_fields, mask=sink)
+        return sink.fields
+
+    def _insert(
+        self,
+        key: tuple,
+        entry: FlowEntry | None,
+        version: int,
+        mask: dict[str, int] | None,
+    ) -> None:
+        self._entries[key] = _Record(
+            _MISS if entry is None else entry, version, mask
+        )
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+
+def _replay_mask(captured: dict[str, int], mask) -> None:
+    for name, bits in captured.items():
+        mask.consult(name, bits)

@@ -1,0 +1,342 @@
+"""Pipeline-level megaflow (wildcard) cache — the second OVS cache tier.
+
+The microflow cache (:mod:`repro.runtime.cache`) is exact-match on a
+table's full field tuple, so it only pays off when the *same* header
+recurs.  Open vSwitch's answer to wide traffic is the **megaflow**: one
+cached entry keyed only by the bits the lookup actually consulted, so a
+single entry covers an entire traffic aggregate — every packet that
+agrees with the original on the consulted bits provably classifies
+identically, whole-pipeline.
+
+Capture works by threading a :class:`MegaflowRecorder` through a full
+multi-table traversal:
+
+- every visited table is tagged ``(table_id, version)`` — the table's
+  mutation counter at lookup time;
+- every table lookup folds in a per-field bitmask of the bits the
+  search outcome depended on.  The decomposition path reports per
+  *partition engine* (an empty LUT/range structure consults nothing, a
+  trie consults down to the level its walk terminates at — see
+  ``PartitionEngine.consulted_mask``); the behavioural scan reports each
+  evaluated entry's predicate masks;
+- header rewrites (Apply-Actions set-field, Write-Metadata) are marked
+  as *derived*: consulting a derived value adds nothing to the mask
+  over the original packet, because the rewrite itself is pinned by the
+  bits already in the mask.
+
+A hit replays the captured :class:`PipelineResult` against the new
+packet: original fields, plus the recorded final values of every
+rewritten field.
+
+**Invalidation is incremental.**  Each entry carries its visited-table
+version tags and is revalidated lazily on hit: a flow-mod on table *t*
+bumps only ``t.version``, so entries whose traversal never consulted
+*t* keep hitting — no whole-cache flush, unlike the PR-1 microflow
+rule.  (An entry that never *reached* a mutated table is unaffected by
+it: its aggregate's traversal is fully determined by the tables it did
+visit.)
+
+Lookup is tuple-space search over the distinct masks in the cache
+(typically a handful — one per table-combination a traversal can
+touch); any matching entry is sound, so the first hit wins.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Mapping, Sequence
+
+from repro.openflow.pipeline import OpenFlowPipeline, PipelineResult
+
+#: Mask signature: ``((field_name, bitmask), ...)`` sorted by field.
+MaskSig = tuple[tuple[str, int], ...]
+
+DEFAULT_MEGAFLOW_CAPACITY = 4096
+
+
+class MegaflowRecorder:
+    """Accumulates one traversal's consulted bits, rewrites and tables.
+
+    Duck-typed as the ``mask`` sink accepted by ``FlowTable.lookup``,
+    ``OpenFlowLookupTable.search`` and ``OpenFlowPipeline.process``.
+    """
+
+    __slots__ = ("fields", "rewritten", "tables")
+
+    def __init__(self) -> None:
+        #: Consulted bits per *original* packet field.
+        self.fields: dict[str, int] = {}
+        #: Fields overwritten so far (their values are traversal-derived).
+        self.rewritten: set[str] = set()
+        #: ``(table_id, version)`` per visited table, in visit order.
+        self.tables: list[tuple[int, int]] = []
+
+    def consult(self, field_name: str, bitmask: int) -> None:
+        if bitmask and field_name not in self.rewritten:
+            self.fields[field_name] = self.fields.get(field_name, 0) | bitmask
+
+    def mark_rewritten(self, field_name: str) -> None:
+        self.rewritten.add(field_name)
+
+    def note_table(self, table_id: int, version: int) -> None:
+        self.tables.append((table_id, version))
+
+    def mask_signature(self) -> MaskSig:
+        return tuple(sorted(self.fields.items()))
+
+
+class MegaflowEntry:
+    """One cached aggregate: mask, masked key, and the result template."""
+
+    __slots__ = (
+        "mask",
+        "key",
+        "template",
+        "overrides",
+        "table_versions",
+        "version_checks",
+        "hits",
+    )
+
+    def __init__(
+        self,
+        mask: MaskSig,
+        key: tuple,
+        template: PipelineResult,
+        overrides: dict[str, int],
+        table_versions: tuple[tuple[int, int], ...],
+        version_checks: tuple,
+    ):
+        self.mask = mask
+        self.key = key
+        self.template = template
+        self.overrides = overrides
+        self.table_versions = table_versions
+        #: ``(table_object, version)`` pairs — the hot-path validity
+        #: check dereferences the table directly instead of resolving
+        #: ids through the pipeline on every hit.
+        self.version_checks = version_checks
+        self.hits = 0
+
+
+def masked_key(mask: MaskSig, packet_fields: Mapping[str, int]) -> tuple:
+    """The packet's key under a mask; ``None`` encodes field absence."""
+    key = []
+    for name, bits in mask:
+        value = packet_fields.get(name)
+        key.append(None if value is None else value & bits)
+    return tuple(key)
+
+
+class MegaflowCache:
+    """LRU wildcard cache over whole-pipeline results.
+
+    Args:
+        pipeline: the pipeline whose tables' ``version`` counters drive
+            incremental invalidation.
+        capacity: maximum cached aggregates across all masks.
+    """
+
+    def __init__(
+        self,
+        pipeline: OpenFlowPipeline,
+        capacity: int = DEFAULT_MEGAFLOW_CAPACITY,
+    ):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.pipeline = pipeline
+        self.capacity = capacity
+        self._by_mask: dict[MaskSig, dict[tuple, MegaflowEntry]] = {}
+        #: Probe snapshot of ``_by_mask.items()`` — rebuilt only when the
+        #: mask *set* changes, so the per-packet lookup loop allocates
+        #: nothing.  (Per-mask entry dicts are mutated in place.)
+        self._probe: tuple[tuple[MaskSig, dict[tuple, MegaflowEntry]], ...] = ()
+        self._lru: OrderedDict[tuple[MaskSig, tuple], MegaflowEntry] = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.installs = 0
+        self.invalidated = 0
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def mask_count(self) -> int:
+        """Distinct masks probed per lookup (the tuple-space width)."""
+        return len(self._by_mask)
+
+    def mask_fields(self) -> tuple[str, ...]:
+        """Union of fields any cached mask constrains (sorted).
+
+        This is the sharding hint :class:`~repro.runtime.shard.ShardedBatchPipeline`
+        uses: hashing on exactly these fields sends every packet of an
+        aggregate to the same worker.
+        """
+        fields: set[str] = set()
+        for mask in self._by_mask:
+            fields.update(name for name, _ in mask)
+        return tuple(sorted(fields))
+
+    def lookup(self, packet_fields: Mapping[str, int]) -> PipelineResult | None:
+        """Replayed result for the packet's aggregate, or ``None``.
+
+        Stale entries (a visited table's version moved) are dropped on
+        probe — the incremental-invalidation path.
+        """
+        return self.lookup_batch((packet_fields,))[0]
+
+    def lookup_batch(
+        self, batch: Sequence[Mapping[str, int]]
+    ) -> list[PipelineResult | None]:
+        """Per-packet :meth:`lookup` over a batch, with the probe state
+        hoisted out of the loop (this is the runtime's hot path)."""
+        probe = self._probe
+        lru = self._lru
+        hits = 0
+        misses = 0
+        out: list[PipelineResult | None] = []
+        for packet_fields in batch:
+            get_field = packet_fields.get
+            hit: MegaflowEntry | None = None
+            for mask, entries in probe:
+                key = tuple(
+                    [
+                        None if (value := get_field(name)) is None
+                        else value & bits
+                        for name, bits in mask
+                    ]
+                )
+                entry = entries.get(key)
+                if entry is None:
+                    continue
+                for table, version in entry.version_checks:
+                    if table.version != version:
+                        # Drop immediately: later packets of this batch
+                        # must not resolve (or shadow-install) through a
+                        # stale aggregate.
+                        self._drop(mask, key)
+                        self.invalidated += 1
+                        probe = self._probe
+                        entry = None
+                        break
+                if entry is not None:
+                    hit = entry
+                    break
+            if hit is None:
+                misses += 1
+                out.append(None)
+                continue
+            hits += 1
+            hit.hits += 1
+            lru.move_to_end((hit.mask, hit.key))
+            out.append(self._replay(hit, packet_fields))
+        self.hits += hits
+        self.misses += misses
+        return out
+
+    def install(
+        self,
+        packet_fields: Mapping[str, int],
+        recorder: MegaflowRecorder,
+        result: PipelineResult,
+    ) -> MegaflowEntry:
+        """Cache one captured traversal for its whole aggregate.
+
+        ``packet_fields`` must be the *original* packet (pre-rewrite);
+        ``result`` the finished pipeline outcome for it.
+        """
+        mask = recorder.mask_signature()
+        key = masked_key(mask, packet_fields)
+        # The template is a defensive copy: callers own (and may mutate)
+        # the result object they were handed.
+        template = PipelineResult(
+            matched_entries=list(result.matched_entries),
+            applied_actions=list(result.applied_actions),
+            output_ports=list(result.output_ports),
+            sent_to_controller=result.sent_to_controller,
+            dropped=result.dropped,
+            metadata=result.metadata,
+            tables_visited=list(result.tables_visited),
+            final_fields=dict(result.final_fields),
+        )
+        overrides = {
+            name: result.final_fields[name]
+            for name in recorder.rewritten
+            if name in result.final_fields
+        }
+        table_versions = tuple(recorder.tables)
+        entry = MegaflowEntry(
+            mask=mask,
+            key=key,
+            template=template,
+            overrides=overrides,
+            table_versions=table_versions,
+            version_checks=tuple(
+                (self.pipeline.table(table_id), version)
+                for table_id, version in table_versions
+            ),
+        )
+        entries = self._by_mask.get(mask)
+        if entries is None:
+            entries = self._by_mask[mask] = {}
+            self._probe = tuple(self._by_mask.items())
+        entries[key] = entry
+        self._lru[(mask, key)] = entry
+        self._lru.move_to_end((mask, key))
+        self.installs += 1
+        while len(self._lru) > self.capacity:
+            (old_mask, old_key), _ = self._lru.popitem(last=False)
+            self._drop(old_mask, old_key, lru=False)
+            self.evicted += 1
+        return entry
+
+    def flush(self) -> None:
+        """Drop every cached aggregate (explicit only; never automatic)."""
+        self._by_mask.clear()
+        self._probe = ()
+        self._lru.clear()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _drop(self, mask: MaskSig, key: tuple, lru: bool = True) -> None:
+        entries = self._by_mask.get(mask)
+        if entries is None:
+            return
+        entries.pop(key, None)
+        if not entries:
+            del self._by_mask[mask]
+            self._probe = tuple(self._by_mask.items())
+        if lru:
+            self._lru.pop((mask, key), None)
+
+    def _replay(
+        self, entry: MegaflowEntry, packet_fields: Mapping[str, int]
+    ) -> PipelineResult:
+        template = entry.template
+        final_fields = dict(packet_fields)
+        final_fields.update(entry.overrides)
+        for matched in template.matched_entries:
+            # Inlined FlowStats.record(0): this runs once per hit packet.
+            matched.stats.packet_count += 1
+        # Direct construction (no __init__ dispatch, no default
+        # factories): this is the hottest allocation in the runtime.
+        result = PipelineResult.__new__(PipelineResult)
+        result.matched_entries = list(template.matched_entries)
+        result.applied_actions = list(template.applied_actions)
+        result.output_ports = list(template.output_ports)
+        result.sent_to_controller = template.sent_to_controller
+        result.dropped = template.dropped
+        result.metadata = template.metadata
+        result.tables_visited = list(template.tables_visited)
+        result.final_fields = final_fields
+        return result

@@ -17,6 +17,11 @@ Catalog (see :data:`SCENARIOS`):
 - ``churn`` — zipf traffic interleaved with rule uninstall/reinstall
   cycles; exercises cache invalidation and incremental-update paths
   under load.
+- ``uniform-wide`` — uniform flow draw with per-packet high-entropy
+  noise in a schema field no rule constrains: every header is (nearly)
+  unique, so exact-match microflow caching collapses to ~0 % hits while
+  a megaflow cache — whose masks exclude the unconsulted noise field —
+  still aggregates the trace into one entry per flow.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.filters.rule import RuleSet
+from repro.openflow.fields import REGISTRY
 from repro.packet.generator import PacketGenerator, TraceConfig
 from repro.runtime.batch import Workload
 
@@ -80,6 +86,62 @@ def zipf_workload(
         name="zipf",
         description=(
             f"{packet_count} pkts zipf(s={s}) over {len(flows)} flows"
+        ),
+        events=(("packets", trace),),
+    )
+
+
+def widen_rule_set(rule_set: RuleSet, noise_field: str = "tcp_src") -> RuleSet:
+    """Extend a rule set's schema with a field no rule constrains.
+
+    The widened schema makes lookup tables built from the set carry an
+    (empty) engine for ``noise_field`` — the setting where exact-match
+    microflow caches key on bits the classification never consults, and
+    a wildcard (megaflow) cache wins.  Returns ``rule_set`` unchanged if
+    the field is already in the schema.
+    """
+    if noise_field in rule_set.field_names:
+        return rule_set
+    widened = RuleSet(
+        name=f"{rule_set.name}+{noise_field}",
+        application=rule_set.application,
+        field_names=(*rule_set.field_names, noise_field),
+    )
+    for rule in rule_set:
+        widened.add(rule)
+    return widened
+
+
+def uniform_wide_workload(
+    rule_set: RuleSet,
+    packet_count: int = 10_000,
+    flow_count: int = DEFAULT_FLOWS,
+    noise_field: str = "tcp_src",
+    seed: int = DEFAULT_SEED,
+) -> Workload:
+    """Uniform traffic whose every packet carries fresh noise bits.
+
+    Each packet is a uniform flow-pool draw with ``noise_field``
+    overwritten by a fresh random value, so full-tuple working sets are
+    ~``packet_count`` microflows wide.  Pair with :func:`widen_rule_set`
+    so the noise field sits *inside* the table schema (outside it, the
+    noise never reaches a cache key and the scenario degenerates to
+    plain ``uniform``).
+    """
+    generator, flows = _flow_pool(rule_set, flow_count, seed)
+    trace = generator.sample_trace(flows, packet_count)
+    rng = np.random.default_rng(seed ^ 0x51DE)
+    bits = min(REGISTRY[noise_field].bits, 30)
+    noise = rng.integers(0, 1 << bits, size=packet_count)
+    trace = [
+        dict(fields, **{noise_field: int(value)})
+        for fields, value in zip(trace, noise)
+    ]
+    return Workload(
+        name="uniform-wide",
+        description=(
+            f"{packet_count} pkts uniform over {len(flows)} flows, "
+            f"per-packet random {noise_field}"
         ),
         events=(("packets", trace),),
     )
@@ -161,6 +223,7 @@ def churn_workload(
 #: The scenario catalog: name -> builder(rule_set, **kwargs) -> Workload.
 SCENARIOS = {
     "uniform": uniform_workload,
+    "uniform-wide": uniform_wide_workload,
     "zipf": zipf_workload,
     "bursty": bursty_workload,
     "churn": churn_workload,

@@ -1,0 +1,438 @@
+"""Sharded multi-process batch runtime.
+
+The per-table wave structure of :class:`~repro.runtime.batch.BatchPipeline`
+is embarrassingly parallel across packets, but the CPython interpreter is
+not — so :class:`ShardedBatchPipeline` splits each batch across
+``multiprocessing`` workers, each owning a full pipeline **replica**
+(rebuilt from a picklable :class:`PipelineSpec` snapshot) with its own
+microflow/megaflow cache stack.
+
+**Sharding** hashes each packet onto a worker by its megaflow-relevant
+key: initially the full sorted field tuple, then — as workers report the
+fields their megaflow masks actually constrain — only that consulted
+union, so every packet of one traffic aggregate lands on the worker that
+already caches its megaflow entry.  Sharding choices never affect
+results (any worker classifies any packet identically); they only steer
+cache locality.
+
+**Consistency** uses a mutation log: the parent applies every flow-mod
+to its authoritative pipeline *and* appends it to an ordered log
+(mutations must go through :attr:`ShardedBatchPipeline.pipeline`, a
+logging facade with the ``table(id).add/remove`` surface that
+:func:`~repro.runtime.batch.run_workload` drives).  Each worker tracks a
+log cursor; the parent ships the outstanding log suffix ahead of every
+sub-batch, so a worker replays exactly the mutations that precede the
+batch in program order — replicas are sequentially consistent with the
+single-process runner, and results are bitwise-identical.
+
+Workers are spawned lazily on the first batch (``fork`` start method
+when available) and torn down via :meth:`close` / context-manager exit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.architecture import MultiTableLookupArchitecture
+from repro.core.config import ArchitectureConfig, DEFAULT_CONFIG
+from repro.core.lookup_table import OpenFlowLookupTable
+from repro.openflow.flow import FlowEntry
+from repro.openflow.pipeline import MissPolicy, OpenFlowPipeline, PipelineResult
+from repro.openflow.table import FlowTable
+from repro.runtime.batch import BatchPipeline, BatchStats
+from repro.runtime.cache import DEFAULT_CAPACITY
+
+
+# ----------------------------------------------------------------------
+# picklable pipeline snapshots
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Picklable snapshot of one flow table (schema + entries)."""
+
+    kind: str  # "lookup" | "flow"
+    table_id: int
+    field_names: tuple[str, ...] | None
+    entries: tuple[FlowEntry, ...]
+    max_entries: int | None = None
+
+    @classmethod
+    def snapshot(cls, table) -> "TableSpec":
+        if isinstance(table, OpenFlowLookupTable):
+            return cls(
+                kind="lookup",
+                table_id=table.table_id,
+                field_names=tuple(table.field_names),
+                entries=tuple(table),
+            )
+        return cls(
+            kind="flow",
+            table_id=table.table_id,
+            field_names=None,
+            entries=tuple(table),
+            max_entries=getattr(table, "max_entries", None),
+        )
+
+    def build(self, config: ArchitectureConfig):
+        if self.kind == "lookup":
+            assert self.field_names is not None
+            table = OpenFlowLookupTable(
+                self.field_names, table_id=self.table_id, config=config
+            )
+        else:
+            table = FlowTable(
+                table_id=self.table_id, max_entries=self.max_entries
+            )
+        for entry in self.entries:
+            table.add(entry)
+        return table
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """Picklable snapshot of a whole pipeline, for worker replicas."""
+
+    tables: tuple[TableSpec, ...]
+    config: ArchitectureConfig
+    miss_policy: str
+    architecture: bool
+
+    @classmethod
+    def snapshot(cls, pipeline: OpenFlowPipeline) -> "PipelineSpec":
+        return cls(
+            tables=tuple(TableSpec.snapshot(t) for t in pipeline.tables),
+            config=getattr(pipeline, "config", DEFAULT_CONFIG),
+            miss_policy=pipeline.miss_policy.value,
+            architecture=isinstance(pipeline, MultiTableLookupArchitecture),
+        )
+
+    def build(self) -> OpenFlowPipeline:
+        tables = [spec.build(self.config) for spec in self.tables]
+        if self.architecture:
+            return MultiTableLookupArchitecture(tables, config=self.config)
+        return OpenFlowPipeline(
+            tables=tables, miss_policy=MissPolicy(self.miss_policy)
+        )
+
+
+# ----------------------------------------------------------------------
+# mutation-logging facade
+# ----------------------------------------------------------------------
+
+
+class _LoggedTable:
+    """Forwards mutations to the authoritative table and logs them."""
+
+    def __init__(self, table, log: list[tuple]):
+        self._table = table
+        self._log = log
+
+    def add(self, entry: FlowEntry) -> None:
+        self._table.add(entry)
+        self._log.append(("add", self._table.table_id, entry))
+
+    def remove(self, match, priority: int) -> bool:
+        removed = self._table.remove(match, priority)
+        if removed:
+            self._log.append(("remove", self._table.table_id, match, priority))
+        return removed
+
+    def remove_where(self, predicate) -> int:
+        # Predicates don't pickle; expand to the concrete removals so the
+        # log stays replayable on the workers.
+        doomed = [e for e in self._table if predicate(e)]
+        for entry in doomed:
+            self.remove(entry.match, entry.priority)
+        return len(doomed)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __iter__(self):
+        return iter(self._table)
+
+    def __getattr__(self, name: str):
+        return getattr(self._table, name)
+
+
+class _LoggedPipeline:
+    """``pipeline``-shaped facade whose mutations reach the log."""
+
+    def __init__(self, pipeline: OpenFlowPipeline, log: list[tuple]):
+        self._pipeline = pipeline
+        self._log = log
+
+    def table(self, table_id: int) -> _LoggedTable:
+        return _LoggedTable(self._pipeline.table(table_id), self._log)
+
+    @property
+    def tables(self) -> list[_LoggedTable]:
+        return [self.table(t.table_id) for t in self._pipeline.tables]
+
+    def install(self, table_id: int, entry: FlowEntry) -> None:
+        self._pipeline.install(table_id, entry)
+        self._log.append(("add", table_id, entry))
+
+    def __len__(self) -> int:
+        return len(self._pipeline)
+
+    def __getattr__(self, name: str):
+        return getattr(self._pipeline, name)
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+
+
+def _apply_mutations(pipeline: OpenFlowPipeline, mutations) -> None:
+    for mutation in mutations:
+        kind = mutation[0]
+        if kind == "add":
+            pipeline.table(mutation[1]).add(mutation[2])
+        elif kind == "remove":
+            pipeline.table(mutation[1]).remove(mutation[2], mutation[3])
+        else:  # pragma: no cover - parent only emits the two kinds
+            raise ValueError(f"unknown mutation kind {kind!r}")
+
+
+def _worker_main(conn, spec: PipelineSpec, cache_capacity, megaflow_capacity):
+    """Worker loop: apply log suffix, classify sub-batch, reply."""
+    runner = BatchPipeline(
+        spec.build(),
+        cache_capacity=cache_capacity,
+        megaflow_capacity=megaflow_capacity,
+    )
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == "batch":
+                _, mutations, packets = message
+                _apply_mutations(runner.pipeline, mutations)
+                results = runner.process_batch(packets)
+                mask_fields = (
+                    runner.megaflow.mask_fields()
+                    if runner.megaflow is not None
+                    else ()
+                )
+                conn.send(("ok", results, mask_fields, runner.stats_snapshot()))
+            elif message[0] == "close":
+                conn.send(("bye",))
+                return
+    except (EOFError, KeyboardInterrupt):  # parent went away
+        return
+
+
+def _stable_hash(items: tuple) -> int:
+    """Process-independent FNV-1a over the key's repr (``hash()`` is
+    salted per interpreter; sharding should be reproducible)."""
+    h = 0xCBF29CE484222325
+    for byte in repr(items).encode():
+        h = ((h ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+# ----------------------------------------------------------------------
+# the sharded runner
+# ----------------------------------------------------------------------
+
+
+class ShardedBatchPipeline:
+    """Drop-in ``process_batch`` runner fanning batches across workers.
+
+    Args:
+        pipeline: the authoritative pipeline.  Snapshot once at
+            construction; afterwards mutate **only** through
+            :attr:`pipeline` (the logging facade) so replicas catch up.
+        workers: process count (default: ``os.cpu_count()``).
+        cache_capacity / megaflow_capacity: per-worker cache stack, as
+            in :class:`BatchPipeline`.
+        shard_fields: optional explicit field names to hash on; when
+            omitted, sharding starts on the full field tuple and
+            converges onto the megaflow-consulted union the workers
+            report.
+    """
+
+    def __init__(
+        self,
+        pipeline: OpenFlowPipeline,
+        workers: int | None = None,
+        cache_capacity: int | None = DEFAULT_CAPACITY,
+        megaflow_capacity: int | None = None,
+        shard_fields: Sequence[str] | None = None,
+    ):
+        if workers is not None and workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.workers = workers or max(1, os.cpu_count() or 1)
+        self._authoritative = pipeline
+        self._log: list[tuple] = []
+        self.pipeline = _LoggedPipeline(pipeline, self._log)
+        self._spec = PipelineSpec.snapshot(pipeline)
+        self._cache_capacity = cache_capacity
+        self._megaflow_capacity = megaflow_capacity
+        self._shard_fields = tuple(shard_fields) if shard_fields else None
+        self._learned_fields: set[str] = set()
+        self._cursors = [0] * self.workers
+        self._worker_stats = [BatchStats() for _ in range(self.workers)]
+        self._conns: list = []
+        self._procs: list = []
+        self.packets = 0
+        self.batches = 0
+        self.matched = 0
+        self.sent_to_controller = 0
+        self.dropped = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _ensure_started(self) -> None:
+        if self._procs:
+            return
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = mp.get_context(method)
+        for _ in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    child_conn,
+                    self._spec,
+                    self._cache_capacity,
+                    self._megaflow_capacity,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent).
+
+        The runner stays usable: a later ``process_batch`` respawns
+        workers from the construction-time snapshot, so the log cursors
+        rewind to zero — fresh replicas must replay the *entire*
+        mutation log to catch back up.
+        """
+        for conn, proc in zip(self._conns, self._procs):
+            try:
+                conn.send(("close",))
+                conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            conn.close()
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+        self._conns = []
+        self._procs = []
+        self._cursors = [0] * self.workers
+        self._worker_stats = [BatchStats() for _ in range(self.workers)]
+
+    def __enter__(self) -> "ShardedBatchPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- sharding ------------------------------------------------------
+
+    def shard_of(self, packet_fields: Mapping[str, int]) -> int:
+        """Worker index for a packet, by megaflow-key hash."""
+        names = self._shard_fields
+        if names is None and self._learned_fields:
+            names = tuple(sorted(self._learned_fields))
+        if names:
+            key = tuple((n, packet_fields.get(n)) for n in names)
+        else:
+            key = tuple(sorted(packet_fields.items()))
+        return _stable_hash(key) % self.workers
+
+    # -- classification ------------------------------------------------
+
+    def process(self, packet_fields: Mapping[str, int]) -> PipelineResult:
+        return self.process_batch([packet_fields])[0]
+
+    def process_batch(
+        self, batch: Sequence[Mapping[str, int]]
+    ) -> list[PipelineResult]:
+        """Classify a batch across the workers; results in input order,
+        bitwise-identical to the single-process :class:`BatchPipeline`."""
+        self.packets += len(batch)
+        self.batches += 1
+        if not batch:
+            return []
+        self._ensure_started()
+        groups: dict[int, list[int]] = {}
+        for i, fields in enumerate(batch):
+            groups.setdefault(self.shard_of(fields), []).append(i)
+        for worker, members in groups.items():
+            outstanding = self._log[self._cursors[worker] :]
+            self._cursors[worker] = len(self._log)
+            self._conns[worker].send(
+                ("batch", outstanding, [batch[i] for i in members])
+            )
+        results: list[PipelineResult] = [None] * len(batch)  # type: ignore[list-item]
+        for worker, members in groups.items():
+            tag, worker_results, mask_fields, stats = self._conns[worker].recv()
+            assert tag == "ok"
+            for i, result in zip(members, worker_results):
+                results[i] = result
+            self._learned_fields.update(mask_fields)
+            self._worker_stats[worker] = stats
+        for result in results:
+            self.matched += bool(result.matched_entries)
+            self.sent_to_controller += result.sent_to_controller
+            self.dropped += result.dropped
+        self._maybe_prune_log()
+        return results
+
+    def _maybe_prune_log(self) -> None:
+        """Bound the mutation log under long churn.
+
+        Once every worker has replayed the whole log, fold the current
+        authoritative state into the replica snapshot and drop the log —
+        a later respawn (lazy start or close()/reuse) then builds from
+        the fresh snapshot instead of replaying history.  Pruning waits
+        for full catch-up, so a worker the hash never feeds can delay it;
+        steady traffic reaches every worker and keeps the log short.
+        """
+        if len(self._log) < 1024:
+            return
+        log_len = len(self._log)
+        if any(cursor != log_len for cursor in self._cursors):
+            return
+        self._spec = PipelineSpec.snapshot(self._authoritative)
+        self._log.clear()
+        self._cursors = [0] * self.workers
+
+    # -- stats ---------------------------------------------------------
+
+    def stats_snapshot(self) -> BatchStats:
+        """Parent-side traffic counters merged with the workers' cache,
+        megaflow and wave counters (as of each worker's last reply)."""
+        stats = BatchStats(
+            packets=self.packets,
+            batches=self.batches,
+            matched=self.matched,
+            sent_to_controller=self.sent_to_controller,
+            dropped=self.dropped,
+        )
+        for worker_stats in self._worker_stats:
+            stats.cache_hits += worker_stats.cache_hits
+            stats.cache_misses += worker_stats.cache_misses
+            stats.megaflow_hits += worker_stats.megaflow_hits
+            stats.megaflow_misses += worker_stats.megaflow_misses
+            stats.waves += worker_stats.waves
+        return stats

@@ -107,6 +107,20 @@ class TestFig3:
         assert 500 <= result.headline["max_total_kbits_full_array"] <= 2000
 
 
+class TestThroughput:
+    def test_counters_land_next_to_memory_claims(self):
+        result = run_experiment("throughput", write_csv=False)
+        # The wide scenario's defining contrast: exact-match caching
+        # collapses while the wildcard tier absorbs the trace.
+        assert result.headline["uniform_wide_microflow_hit_rate"] <= 0.05
+        assert result.headline["uniform_wide_megaflow_hit_rate"] >= 0.5
+        assert result.headline["total_mbits"] > 0
+        assert result.headline["churn_action_free_hwm"] >= 1
+        scenario_table, memory_table = result.tables
+        assert len(scenario_table.rows) == 5  # the full catalog
+        assert any("free hwm" in str(row) for row in memory_table.rows)
+
+
 class TestRunnerCli:
     def test_list(self, capsys):
         from repro.experiments.runner import main

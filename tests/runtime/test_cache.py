@@ -78,20 +78,32 @@ class TestBasics:
 
 
 class TestInvalidation:
-    def test_add_flushes(self, table):
+    def test_add_revalidates_stale_entry(self, table):
         cache = MicroflowCache(table)
         assert cache.lookup({"in_port": 1}).priority == 1
         table.add(entry(1, priority=9))
         assert cache.lookup({"in_port": 1}).priority == 9
-        assert cache.flushes == 1
+        # The stale record was refreshed in place, not flushed away.
+        assert cache.flushes == 0
+        assert cache.revalidations == 1
 
-    def test_remove_flushes(self, table):
+    def test_mutation_keeps_working_set(self, table):
+        cache = MicroflowCache(table)
+        for port in range(4):
+            cache.lookup({"in_port": port})
+        table.add(entry(99))
+        # The keys survive the version bump; each revalidates on touch.
+        assert len(cache) == 4
+        assert cache.lookup({"in_port": 2}) is not None
+        assert cache.revalidations == 1
+
+    def test_remove_invalidates(self, table):
         cache = MicroflowCache(table)
         assert cache.lookup({"in_port": 1}) is not None
         table.remove(Match.exact(in_port=1), 1)
         assert cache.lookup({"in_port": 1}) is None
 
-    def test_remove_where_flushes(self, table):
+    def test_remove_where_invalidates(self, table):
         cache = MicroflowCache(table)
         assert cache.lookup_batch([{"in_port": p} for p in range(4)]) != []
         table.remove_where(lambda e: True)

@@ -1,0 +1,318 @@
+"""Megaflow wildcard-cache behaviour: mask capture, aggregate replay,
+incremental invalidation, and stacked-cache differential fuzzing."""
+
+import numpy as np
+import pytest
+
+from repro.core.architecture import MultiTableLookupArchitecture
+from repro.core.builder import build_lookup_table
+from repro.core.lookup_table import OpenFlowLookupTable
+from repro.openflow.actions import OutputAction, SetFieldAction
+from repro.openflow.flow import FlowEntry
+from repro.openflow.instructions import ApplyActions, GotoTable, WriteActions
+from repro.openflow.match import ExactMatch, Match, PrefixMatch
+from repro.openflow.pipeline import OpenFlowPipeline
+from repro.openflow.table import FlowTable
+from repro.runtime import (
+    BatchPipeline,
+    MegaflowCache,
+    MegaflowRecorder,
+    MicroflowCache,
+    uniform_wide_workload,
+    widen_rule_set,
+)
+
+
+def assert_same_result(a, b):
+    assert a.output_ports == b.output_ports
+    assert a.sent_to_controller == b.sent_to_controller
+    assert a.dropped == b.dropped
+    assert a.metadata == b.metadata
+    assert a.tables_visited == b.tables_visited
+    assert a.final_fields == b.final_fields
+    assert [(e.match, e.priority) for e in a.matched_entries] == [
+        (e.match, e.priority) for e in b.matched_entries
+    ]
+
+
+def output_entry(match: Match, priority: int, port: int, goto=None) -> FlowEntry:
+    instructions = [WriteActions([OutputAction(port)])]
+    if goto is not None:
+        instructions = [GotoTable(goto)]
+    return FlowEntry.build(match=match, priority=priority, instructions=instructions)
+
+
+class TestMaskCapture:
+    def test_unconstrained_schema_field_stays_wild(self):
+        """An empty engine (no rule constrains the field) consults
+        nothing, so the noise field never enters the mask."""
+        table = OpenFlowLookupTable(("in_port", "tcp_src"))
+        table.add(output_entry(Match.exact(in_port=7), 1, 10))
+        recorder = MegaflowRecorder()
+        table.lookup({"in_port": 7, "tcp_src": 1234}, mask=recorder)
+        assert "tcp_src" not in recorder.fields
+        assert recorder.fields["in_port"] == (1 << 32) - 1
+
+    def test_trie_mask_stops_at_walk_depth(self):
+        """A /8-only trie never allocates below level 2, so consulted
+        bits stop at the 10-bit boundary — host bits stay wild."""
+        table = OpenFlowLookupTable(("ipv4_dst",))
+        table.add(
+            output_entry(
+                Match({"ipv4_dst": PrefixMatch(0x0A000000, 8, 32)}), 1, 10
+            )
+        )
+        recorder = MegaflowRecorder()
+        assert table.lookup({"ipv4_dst": 0x0A012345}, mask=recorder) is not None
+        mask = recorder.fields["ipv4_dst"]
+        # The high 16-bit partition consulted at most its level-2
+        # boundary (10 bits); the low partition's trie is empty.
+        assert mask & 0xFFFF == 0, "low partition must stay wild"
+        assert mask >> (32 - 8) == 0xFF, "prefix bits must be consulted"
+
+    def test_rewritten_field_not_consulted(self):
+        """A field rewritten by table 0 is traversal-derived; consulting
+        it in table 1 must not widen the mask over the original packet."""
+        t0 = FlowTable(table_id=0)
+        t0.add(
+            FlowEntry.build(
+                match=Match.exact(in_port=1),
+                priority=1,
+                instructions=[
+                    ApplyActions([SetFieldAction("vlan_vid", 42)]),
+                    GotoTable(1),
+                ],
+            )
+        )
+        t1 = FlowTable(table_id=1)
+        t1.add(output_entry(Match.exact(vlan_vid=42), 1, 10))
+        pipeline = OpenFlowPipeline([t0, t1])
+        recorder = MegaflowRecorder()
+        result = pipeline.process({"in_port": 1, "vlan_vid": 7}, mask=recorder)
+        assert result.output_ports == [10]
+        assert "vlan_vid" not in recorder.fields
+        assert "vlan_vid" in recorder.rewritten
+
+    def test_microflow_hit_replays_mask(self):
+        """Masks survive the microflow tier: a cache hit feeds the same
+        consulted bits into the recorder as the original table walk."""
+        table = OpenFlowLookupTable(("in_port", "tcp_src"))
+        table.add(output_entry(Match.exact(in_port=3), 1, 10))
+        cache = MicroflowCache(table)
+        first = MegaflowRecorder()
+        cache.lookup({"in_port": 3, "tcp_src": 5}, mask=first)
+        second = MegaflowRecorder()
+        cache.lookup({"in_port": 3, "tcp_src": 5}, mask=second)
+        assert cache.hits == 1
+        assert first.fields == second.fields
+
+
+class TestReplay:
+    def test_aggregate_replay_matches_scalar(self, small_routing_set):
+        wide = widen_rule_set(small_routing_set)
+        workload = uniform_wide_workload(wide, packet_count=600, flow_count=32)
+        trace = workload.events[0][1]
+        runner = BatchPipeline(
+            MultiTableLookupArchitecture([build_lookup_table(wide)]),
+            cache_capacity=256,
+            megaflow_capacity=512,
+        )
+        reference = MultiTableLookupArchitecture([build_lookup_table(wide)])
+        for start in range(0, len(trace), 128):
+            chunk = trace[start : start + 128]
+            for got, fields in zip(runner.process_batch(chunk), chunk):
+                assert_same_result(got, reference.process(fields))
+        megaflow = runner.megaflow
+        assert megaflow.hits > 0, "wide traffic must hit the megaflow tier"
+        # Exact-match would need ~one entry per packet; aggregates need
+        # roughly one per flow.
+        assert len(megaflow) < len(trace) / 4
+
+    def test_setfield_override_applied_to_new_packet(self):
+        """A replayed rewrite must overwrite the new packet's own value,
+        even when the capture packet already carried the target value."""
+        t0 = FlowTable(table_id=0)
+        t0.add(
+            FlowEntry.build(
+                match=Match.exact(in_port=1),
+                priority=1,
+                instructions=[
+                    ApplyActions(
+                        [SetFieldAction("vlan_vid", 42), OutputAction(10)]
+                    ),
+                ],
+            )
+        )
+        pipeline = OpenFlowPipeline([t0])
+        runner = BatchPipeline(pipeline, cache_capacity=None, megaflow_capacity=64)
+        # Capture packet already has vlan_vid=42: a naive before/after
+        # diff would record no rewrite.
+        runner.process({"in_port": 1, "vlan_vid": 42})
+        replayed = runner.process({"in_port": 1, "vlan_vid": 7})
+        assert runner.megaflow.hits == 1
+        assert replayed.final_fields["vlan_vid"] == 42
+
+    def test_replay_records_flow_stats(self):
+        table = FlowTable(table_id=0)
+        entry = output_entry(Match.exact(in_port=1), 1, 10)
+        table.add(entry)
+        runner = BatchPipeline(
+            OpenFlowPipeline([table]), cache_capacity=None, megaflow_capacity=16
+        )
+        runner.process({"in_port": 1})
+        runner.process({"in_port": 1})
+        assert entry.stats.packet_count == 2
+
+
+class TestIncrementalInvalidation:
+    def build_runner(self):
+        t0 = FlowTable(table_id=0)
+        t0.add(output_entry(Match.exact(in_port=1), 1, 10))
+        t0.add(
+            FlowEntry.build(
+                match=Match.exact(in_port=2),
+                priority=1,
+                instructions=[GotoTable(1)],
+            )
+        )
+        t1 = FlowTable(table_id=1)
+        t1.add(output_entry(Match.exact(eth_type=0x0800), 1, 20))
+        pipeline = OpenFlowPipeline([t0, t1])
+        return BatchPipeline(pipeline, cache_capacity=None, megaflow_capacity=64)
+
+    def test_mutation_invalidates_only_consulting_entries(self):
+        """Acceptance regression: a flow-mod on table 1 must kill only
+        the aggregates whose traversal consulted table 1."""
+        runner = self.build_runner()
+        short = {"in_port": 1, "eth_type": 0x0800}  # visits table 0 only
+        deep = {"in_port": 2, "eth_type": 0x0800}  # visits tables 0 and 1
+        runner.process(short)
+        runner.process(deep)
+        megaflow = runner.megaflow
+        assert len(megaflow) == 2 and megaflow.invalidated == 0
+
+        # Mutate table 1: the short aggregate must survive untouched.
+        runner.pipeline.table(1).add(output_entry(Match.exact(eth_type=0x86DD), 2, 30))
+        assert runner.process(short).output_ports == [10]
+        assert megaflow.hits == 1 and megaflow.invalidated == 0
+
+        # The deep aggregate was invalidated and re-captured.
+        runner.process(deep)
+        assert megaflow.invalidated == 1
+        assert megaflow.hits == 1
+
+    def test_mutating_first_table_invalidates_all(self):
+        runner = self.build_runner()
+        short = {"in_port": 1, "eth_type": 0x0800}
+        deep = {"in_port": 2, "eth_type": 0x0800}
+        runner.process(short)
+        runner.process(deep)
+        runner.pipeline.table(0).add(output_entry(Match.exact(in_port=9), 1, 40))
+        runner.process(short)
+        runner.process(deep)
+        assert runner.megaflow.invalidated == 2
+        assert runner.megaflow.hits == 0
+
+    def test_lru_capacity_bounds_entries(self):
+        table = FlowTable(table_id=0)
+        for port in range(8):
+            table.add(output_entry(Match.exact(in_port=port), 1, port))
+        cache = MegaflowCache(OpenFlowPipeline([table]), capacity=4)
+        runner = BatchPipeline(OpenFlowPipeline([table]), cache_capacity=None)
+        runner.megaflow = cache  # drive the bounded cache directly
+        for port in range(8):
+            runner.process({"in_port": port})
+        assert len(cache) == 4
+        assert cache.evicted == 4
+
+    def test_positive_capacity_required(self):
+        with pytest.raises(ValueError):
+            MegaflowCache(OpenFlowPipeline([FlowTable()]), capacity=0)
+
+
+def _fuzz_rule_pool():
+    """A small overlapping rule pool over (in_port, ipv4_dst)."""
+    pool = []
+    prefixes = [
+        (0x0A000000, 8),
+        (0x0A010000, 16),
+        (0x0A010100, 24),
+        (0x0B000000, 8),
+        (0x00000000, 0),
+    ]
+    port = 1
+    for value, length in prefixes:
+        for in_port in (None, 1, 2):
+            fields = {"ipv4_dst": PrefixMatch(value, length, 32)}
+            if in_port is not None:
+                fields["in_port"] = ExactMatch(in_port, 32)
+            pool.append(
+                FlowEntry.build(
+                    match=Match(fields),
+                    priority=length + (2 if in_port is not None else 0),
+                    instructions=[WriteActions([OutputAction(port)])],
+                )
+            )
+            port += 1
+    return pool
+
+
+def _fuzz_packets(rng, count):
+    bases = [0x0A000000, 0x0A010000, 0x0A010100, 0x0B000000, 0x0C000000]
+    packets = []
+    for _ in range(count):
+        base = bases[int(rng.integers(0, len(bases)))]
+        noise = int(rng.integers(0, 1 << 16))
+        packets.append(
+            {
+                "in_port": int(rng.integers(1, 4)),
+                "ipv4_dst": base | noise,
+                "tcp_src": int(rng.integers(0, 1 << 16)),
+            }
+        )
+    return packets
+
+
+def test_stacked_cache_churn_differential_fuzz():
+    """Differential churn fuzz (ISSUE satellite): megaflow+microflow
+    stacked over the decomposition table must agree with the reference
+    scan table under interleaved add/remove/lookup, packet for packet."""
+    rng = np.random.default_rng(0xF00D)
+    pool = _fuzz_rule_pool()
+    schema = ("in_port", "ipv4_dst", "tcp_src")
+
+    lookup_table = OpenFlowLookupTable(schema, table_id=0)
+    scan_table = FlowTable(table_id=0)
+    cached = BatchPipeline(
+        MultiTableLookupArchitecture([lookup_table]),
+        cache_capacity=64,
+        megaflow_capacity=128,
+    )
+    reference = OpenFlowPipeline([scan_table])
+
+    installed: list[FlowEntry] = []
+    for entry in pool[: len(pool) // 2]:
+        lookup_table.add(entry)
+        scan_table.add(entry)
+        installed.append(entry)
+
+    for _ in range(60):
+        op = rng.random()
+        if op < 0.25 and len(installed) < len(pool):
+            candidates = [e for e in pool if e not in installed]
+            entry = candidates[int(rng.integers(0, len(candidates)))]
+            lookup_table.add(entry)
+            scan_table.add(entry)
+            installed.append(entry)
+        elif op < 0.45 and installed:
+            entry = installed.pop(int(rng.integers(0, len(installed))))
+            assert lookup_table.remove(entry.match, entry.priority)
+            assert scan_table.remove(entry.match, entry.priority)
+        batch = _fuzz_packets(rng, 24)
+        got = cached.process_batch(batch)
+        expected = [reference.process(fields) for fields in batch]
+        for a, b in zip(got, expected):
+            assert_same_result(a, b)
+    stats = cached.stats_snapshot()
+    assert stats.megaflow_hits > 0, "fuzz must exercise the megaflow tier"
+    assert cached.megaflow.invalidated > 0, "fuzz must exercise invalidation"

@@ -1,0 +1,184 @@
+"""ShardedBatchPipeline: replica snapshots, bitwise-identical results
+across the scenario catalog, and the mutation-log catch-up protocol."""
+
+import pickle
+
+import pytest
+
+from repro.core.architecture import MultiTableLookupArchitecture
+from repro.core.builder import build_lookup_table, build_per_field_pipeline
+from repro.openflow.actions import OutputAction
+from repro.openflow.flow import FlowEntry
+from repro.openflow.instructions import WriteActions
+from repro.openflow.match import Match
+from repro.runtime import (
+    SCENARIOS,
+    BatchPipeline,
+    PipelineSpec,
+    ShardedBatchPipeline,
+    run_workload,
+)
+
+from tests.runtime.test_megaflow import assert_same_result
+
+
+def make_arch(rule_set):
+    return MultiTableLookupArchitecture([build_lookup_table(rule_set)])
+
+
+class TestPipelineSpec:
+    def test_snapshot_pickles_and_rebuilds(self, small_routing_set):
+        arch = make_arch(small_routing_set)
+        spec = pickle.loads(pickle.dumps(PipelineSpec.snapshot(arch)))
+        replica = spec.build()
+        assert isinstance(replica, MultiTableLookupArchitecture)
+        assert [len(t) for t in replica.tables] == [
+            len(t) for t in arch.tables
+        ]
+        probe = {"in_port": 1, "ipv4_dst": 0x0A000001}
+        assert_same_result(replica.process(probe), arch.process(probe))
+
+    def test_split_pipeline_snapshot(self, small_routing_set):
+        arch = MultiTableLookupArchitecture(
+            build_per_field_pipeline(small_routing_set)
+        )
+        replica = PipelineSpec.snapshot(arch).build()
+        probe = {"in_port": 2, "ipv4_dst": 0x0B000001}
+        assert_same_result(replica.process(probe), arch.process(probe))
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_sharded_matches_single_process(self, small_routing_set, name):
+        """Acceptance: 4 workers, bitwise-identical results on every
+        scenario in the catalog (churn included: the mutation log must
+        keep replicas sequentially consistent)."""
+        workload = SCENARIOS[name](
+            small_routing_set, packet_count=200, flow_count=12
+        )
+        single = BatchPipeline(
+            make_arch(small_routing_set),
+            cache_capacity=128,
+            megaflow_capacity=256,
+        )
+        expected = run_workload(
+            single, workload, batch_size=50, keep_results=True
+        )
+        with ShardedBatchPipeline(
+            make_arch(small_routing_set),
+            workers=4,
+            cache_capacity=128,
+            megaflow_capacity=256,
+        ) as sharded:
+            got = run_workload(
+                sharded, workload, batch_size=50, keep_results=True
+            )
+            stats = sharded.stats_snapshot()
+        assert got.packets == expected.packets == 200
+        for a, b in zip(got.results, expected.results):
+            assert_same_result(a, b)
+        assert stats.packets == 200
+        assert stats.cache_hits + stats.cache_misses > 0
+        # run_workload must surface the workers' cache counters, not the
+        # parent's (empty) cache dict.
+        assert got.cache_hits + got.cache_misses > 0
+        assert got.megaflow_hits + got.megaflow_misses > 0
+
+    def test_megaflow_key_sharding_learns_fields(self, small_routing_set):
+        """Workers report their megaflow mask fields; the parent's shard
+        key converges onto the consulted union."""
+        workload = SCENARIOS["uniform"](
+            small_routing_set, packet_count=120, flow_count=8
+        )
+        with ShardedBatchPipeline(
+            make_arch(small_routing_set),
+            workers=2,
+            megaflow_capacity=256,
+        ) as sharded:
+            run_workload(sharded, workload, batch_size=40)
+            assert sharded._learned_fields <= set(
+                small_routing_set.field_names
+            )
+            assert sharded._learned_fields, "mask fields must be learned"
+
+
+class TestMutationCatchUp:
+    def entry(self, port: int, priority: int) -> FlowEntry:
+        return FlowEntry.build(
+            match=Match.exact(in_port=port),
+            priority=priority,
+            instructions=[WriteActions([OutputAction(100 + port)])],
+        )
+
+    def test_install_reaches_all_workers(self, small_routing_set):
+        arch = make_arch(small_routing_set)
+        with ShardedBatchPipeline(arch, workers=3) as sharded:
+            probe = [{"in_port": 5, "ipv4_dst": i} for i in range(12)]
+            before = sharded.process_batch(probe)
+            # High-priority shadow rule installed through the facade.
+            sharded.pipeline.table(0).add(self.entry(5, priority=999))
+            after = sharded.process_batch(probe)
+        assert any(r.output_ports != [105] for r in before)
+        assert all(r.output_ports == [105] for r in after)
+
+    def test_remove_where_through_facade(self, small_routing_set):
+        arch = make_arch(small_routing_set)
+        with ShardedBatchPipeline(arch, workers=2) as sharded:
+            sharded.pipeline.table(0).add(self.entry(6, priority=999))
+            removed = sharded.pipeline.table(0).remove_where(
+                lambda e: e.priority == 999
+            )
+            assert removed == 1
+            results = sharded.process_batch(
+                [{"in_port": 6, "ipv4_dst": 1}]
+            )
+        assert results[0].output_ports != [106]
+
+    def test_empty_batch_and_close_idempotent(self, small_routing_set):
+        sharded = ShardedBatchPipeline(make_arch(small_routing_set), workers=2)
+        assert sharded.process_batch([]) == []
+        sharded.close()
+        sharded.close()
+
+    def test_reuse_after_close_replays_full_log(self, small_routing_set):
+        """Respawned replicas rebuild from the construction-time
+        snapshot, so the cursors must rewind and the whole mutation log
+        must replay — otherwise pre-close flow-mods vanish."""
+        sharded = ShardedBatchPipeline(make_arch(small_routing_set), workers=2)
+        try:
+            probe = [{"in_port": 5, "ipv4_dst": 3}]
+            sharded.process_batch(probe)
+            sharded.pipeline.table(0).add(self.entry(5, priority=999))
+            assert sharded.process_batch(probe)[0].output_ports == [105]
+            sharded.close()
+            assert sharded.process_batch(probe)[0].output_ports == [105]
+        finally:
+            sharded.close()
+
+    def test_worker_count_validated(self, small_routing_set):
+        with pytest.raises(ValueError):
+            ShardedBatchPipeline(make_arch(small_routing_set), workers=0)
+
+    def test_mutation_log_pruned_after_catch_up(self, small_routing_set):
+        """Long churn must not grow the log without bound: once every
+        worker has replayed it, the snapshot absorbs it."""
+        with ShardedBatchPipeline(
+            make_arch(small_routing_set), workers=2
+        ) as sharded:
+            probe = [
+                {"in_port": p, "ipv4_dst": d}
+                for p in range(4)
+                for d in (1, 2, 3)
+            ]
+            entry = self.entry(7, priority=999)
+            for _ in range(550):
+                sharded.pipeline.table(0).add(entry)
+                sharded.pipeline.table(0).remove(entry.match, entry.priority)
+            assert len(sharded._log) == 1100
+            sharded.process_batch(probe)  # both workers catch up
+            sharded.process_batch(probe)  # prune runs after catch-up
+            assert len(sharded._log) == 0
+            # Respawn-from-snapshot still classifies correctly.
+            sharded.close()
+            results = sharded.process_batch(probe)
+            assert len(results) == len(probe)
