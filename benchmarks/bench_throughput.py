@@ -11,14 +11,18 @@ traffic, classified six ways —
 - **megaflow**: the two-tier (microflow + megaflow) ``BatchPipeline`` on
   the ``uniform-wide`` scenario, where exact-match caching collapses;
 - **sharded**: ``ShardedBatchPipeline`` fanning large batches across
-  worker processes.
+  worker processes;
+- **sharded-shm**: the shared-memory transport against the pickling
+  transport on *small* batches, where per-batch serialisation overhead
+  dominates the workers' useful work.
 
-Scenarios come from :mod:`repro.runtime.scenarios`.  Two speedup claims
-are asserted (outside smoke mode): cached batch >= 5x per-packet
-decomposition on zipf, and the megaflow path >= 3x the plain batched
-path on uniform-wide.  Every measured pkts/sec lands in
-``BENCH_throughput.json`` at the repo root so the perf trajectory is
-tracked across PRs.
+Scenarios come from :mod:`repro.runtime.scenarios`.  Three speedup
+claims are asserted (outside smoke mode): cached batch >= 5x per-packet
+decomposition on zipf, the megaflow path >= 3x the plain batched path
+on uniform-wide, and — on multi-core hosts — the shm transport at least
+matching the pickle transport on small-batch sharded wall clock.  Every
+measured pkts/sec lands in ``BENCH_throughput.json`` at the repo root
+so the perf trajectory is tracked across PRs.
 """
 
 from __future__ import annotations
@@ -355,4 +359,60 @@ def test_sharded_large_batches(routing_bbra, zipf_trace, smoke, bench_record):
         assert sharded_pps > single_pps, (
             f"sharded {sharded_pps:,.0f} pkts/s did not beat "
             f"single-process {single_pps:,.0f} pkts/s"
+        )
+
+
+def test_sharded_shm_small_batches(routing_bbra, zipf_trace, smoke, bench_record):
+    """The ``sharded-shm`` mode: shared-memory vs pickle transport on
+    small batches (where the PR-2 runner was IPC-bound).  Results must
+    be bitwise-identical across both transports and the single-process
+    runner; on multi-core hosts the shm transport must not lose to
+    pickling (assertion skipped on single-core machines, where worker
+    fan-out measures scheduler noise, not transport cost)."""
+    small_batches = _batches(zipf_trace, size=64)
+    single = BatchPipeline(
+        MultiTableLookupArchitecture([build_lookup_table(routing_bbra)]),
+        cache_capacity=None,
+    )
+    expected = [r for batch in small_batches for r in single.process_batch(batch)]
+
+    elapsed = {}
+    for transport in ("pickle", "shm"):
+        with ShardedBatchPipeline(
+            MultiTableLookupArchitecture([build_lookup_table(routing_bbra)]),
+            workers=4,
+            cache_capacity=None,
+            transport=transport,
+        ) as sharded:
+            sharded.process_batch(small_batches[0])  # warm the workers up
+            warmed_flow_packets = sharded.flow_packets
+            start = time.perf_counter()
+            got = [
+                r
+                for batch in small_batches
+                for r in sharded.process_batch(batch)
+            ]
+            elapsed[transport] = time.perf_counter() - start
+            _assert_equivalent(got, expected[: len(got)])
+            # Worker flow hits must land on the parent's entries.
+            assert sharded.flow_packets - warmed_flow_packets == sum(
+                len(r.matched_entries) for r in got
+            )
+
+    pickle_pps = len(zipf_trace) / elapsed["pickle"]
+    shm_pps = len(zipf_trace) / elapsed["shm"]
+    speedup = elapsed["pickle"] / max(elapsed["shm"], 1e-9)
+    bench_record["pkts_per_sec"]["sharded_pickle_small_batch"] = round(
+        pickle_pps
+    )
+    bench_record["pkts_per_sec"]["sharded_shm_small_batch"] = round(shm_pps)
+    bench_record["speedups"]["shm_vs_pickle_small_batch"] = round(speedup, 2)
+    print(
+        f"\npickle {pickle_pps:,.0f} pkts/s, shm {shm_pps:,.0f} pkts/s "
+        f"({speedup:.2f}x) at batch=64 on {os.cpu_count()} cpu(s)"
+    )
+    if not smoke and (os.cpu_count() or 1) >= 2:
+        assert shm_pps >= pickle_pps, (
+            f"shm transport {shm_pps:,.0f} pkts/s lost to pickle "
+            f"{pickle_pps:,.0f} pkts/s on small batches"
         )

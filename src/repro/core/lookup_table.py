@@ -99,6 +99,8 @@ class OpenFlowLookupTable:
         #: (e.g. :class:`repro.runtime.cache.MicroflowCache`) can detect
         #: staleness cheaply.
         self.version = 0
+        self._snapshot: tuple[FlowEntry, ...] = ()
+        self._snapshot_version = -1
 
     # ------------------------------------------------------------------
     # FlowTable-compatible interface
@@ -182,6 +184,17 @@ class OpenFlowLookupTable:
 
     def __iter__(self) -> Iterator[FlowEntry]:
         return iter(e.flow_entry for e in self._installed.values())
+
+    def entries_snapshot(self) -> tuple[FlowEntry, ...]:
+        """The entries in deterministic (installation) order, cached per
+        :attr:`version` — the ``entry_ref`` coordinate system of the
+        sharded stats-return protocol (see
+        :meth:`repro.openflow.table.FlowTable.entries_snapshot`).
+        """
+        if self._snapshot_version != self.version:
+            self._snapshot = tuple(self)
+            self._snapshot_version = self.version
+        return self._snapshot
 
     @property
     def table_miss_entry(self) -> FlowEntry | None:

@@ -2,10 +2,13 @@
 
 The paper's tables cost the architecture's *memory*; this experiment
 reports what the runtime layer gets out of it — packets/sec, microflow
-and megaflow hit rates, megaflow occupancy and waves per batch for every
-scenario in the catalog — followed by the post-churn memory breakdown
-(including the action-table free-list high-water mark) so the throughput
-and memory sides of the story land in one report.
+and megaflow hit rates, megaflow occupancy, waves per batch and
+per-entry flow-stats totals for every scenario in the catalog — then a
+sharded (shared-memory transport) replay whose parent-side flow stats
+must agree with the single-process counters, and finally the post-churn
+memory breakdown (action-table free-list high-water mark and flow
+counters included) so the throughput, monitoring and memory sides of
+the story land in one report.
 """
 
 from __future__ import annotations
@@ -18,7 +21,13 @@ from repro.experiments.registry import ExperimentResult, experiment
 from repro.filters.paper_data import RoutingFilterStats
 from repro.filters.synthetic import generate_routing_set
 from repro.memory.report import architecture_memory_report
-from repro.runtime import BatchPipeline, SCENARIOS, run_workload, widen_rule_set
+from repro.runtime import (
+    BatchPipeline,
+    SCENARIOS,
+    ShardedBatchPipeline,
+    run_workload,
+    widen_rule_set,
+)
 from repro.util.tables import TextTable
 
 #: A bbra-scale synthetic routing row: big enough for real hit-rate
@@ -45,6 +54,7 @@ def run() -> ExperimentResult:
             "megaflow entries",
             "masks",
             "waves/batch",
+            "flow pkts",
         ],
         title="Two-tier cached batch runtime, per scenario",
     )
@@ -70,6 +80,7 @@ def run() -> ExperimentResult:
                 len(megaflow),
                 megaflow.mask_count,
                 f"{stats.waves_per_batch:.2f}",
+                stats.flow_packets,
             ]
         )
         result.headline[f"{name.replace('-', '_')}_pkts_per_sec"] = round(pps)
@@ -82,6 +93,35 @@ def run() -> ExperimentResult:
             )
         last_arch = arch if name == "churn" else last_arch
     result.tables.append(table)
+
+    # Sharded stats-return check: replay zipf through the shared-memory
+    # transport and compare parent-side flow stats with a single-process
+    # run — the counters the PR-2 runner silently dropped.
+    workload = SCENARIOS["zipf"](
+        rule_set, packet_count=_PACKETS, flow_count=_FLOWS
+    )
+    single = BatchPipeline(
+        MultiTableLookupArchitecture([build_lookup_table(rule_set)]),
+        cache_capacity=4096,
+        megaflow_capacity=4096,
+    )
+    single_stats = run_workload(single, workload, batch_size=256)
+    with ShardedBatchPipeline(
+        MultiTableLookupArchitecture([build_lookup_table(rule_set)]),
+        workers=2,
+        cache_capacity=4096,
+        megaflow_capacity=4096,
+        transport="shm",
+    ) as sharded:
+        sharded_stats = run_workload(sharded, workload, batch_size=256)
+    result.headline["sharded_shm_flow_packets"] = sharded_stats.flow_packets
+    result.headline["single_flow_packets"] = single_stats.flow_packets
+    result.notes.append(
+        "sharded(shm) parent-side flow stats "
+        f"{'match' if sharded_stats.flow_packets == single_stats.flow_packets else 'DIVERGE FROM'} "
+        "the single-process run "
+        f"({sharded_stats.flow_packets} vs {single_stats.flow_packets} pkts)"
+    )
 
     # Memory context: the post-churn breakdown, free-list HWM included.
     assert last_arch is not None

@@ -55,6 +55,13 @@ class TableMemoryReport:
     #: current free slots are already costed by "actions (free)".
     action_free_high_water: int = 0
     action_free_high_water_bits: int = 0
+    #: Aggregate per-entry flow-stats counters over the table's live
+    #: entries (packets/bytes) — the monitoring substrate the sharded
+    #: runtime's stats-return protocol keeps exact.  Reported alongside
+    #: the memory lines, excluded from the totals (counters, not bits).
+    flow_packets: int = 0
+    flow_bytes: int = 0
+    live_entries: int = 0
 
     @property
     def total_bits(self) -> int:
@@ -158,6 +165,10 @@ def table_memory_report(
     report.action_free_high_water_bits = (
         table.actions.free_high_water * table.actions.entry_bits
     )
+    for entry in table:
+        report.live_entries += 1
+        report.flow_packets += entry.stats.packet_count
+        report.flow_bytes += entry.stats.byte_count
     return report
 
 
@@ -213,6 +224,16 @@ class ArchitectureMemoryReport:
                         "peak",
                         table.action_free_high_water,
                         format_bits(table.action_free_high_water_bits),
+                    ]
+                )
+            if table.flow_packets:
+                text.add_row(
+                    [
+                        table.table_id,
+                        "flow counters",
+                        "stats",
+                        table.live_entries,
+                        f"{table.flow_packets} pkts",
                     ]
                 )
         text.add_row(["-", "TOTAL", "-", "-", format_bits(self.total_bits)])

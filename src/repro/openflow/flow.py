@@ -30,6 +30,12 @@ class FlowStats:
         self.packet_count += 1
         self.byte_count += byte_count
 
+    def add(self, packets: int, byte_count: int = 0) -> None:
+        """Fold an aggregated delta in (e.g. a sharded worker's
+        :class:`~repro.runtime.transport.FlowStatsDelta` report)."""
+        self.packet_count += packets
+        self.byte_count += byte_count
+
 
 @dataclass(frozen=True)
 class FlowEntry:

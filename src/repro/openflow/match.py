@@ -214,6 +214,19 @@ class Match(Mapping[str, FieldMatch]):
     Fields not present are wildcards, as in the OXM encoding.  The match
     validates field names and value widths against a registry at
     construction, so downstream code never sees malformed predicates.
+
+    Zero-bit predicates — ``WildcardMatch``, ``PrefixMatch(length=0)``,
+    a full ``RangeMatch``, a zero-mask ``MaskedMatch`` — constrain
+    nothing and have no OXM encoding (an all-wild field is simply
+    omitted from the TLV list), so they are **canonicalised away** here:
+    a match constructed with one equals (and hashes as) the match
+    without it.  This also keeps the scan and decomposition paths
+    observationally identical — the decomposition's engines treat
+    zero-bit predicates as unconstrained (``NO_LABEL``), so the
+    behavioural model must too, *including* for packets lacking the
+    field entirely (found by the differential property harness: a
+    ``/0`` route previously failed the scan path on a field-less packet
+    but matched through the engines).
     """
 
     __slots__ = ("_fields", "_registry")
@@ -232,6 +245,8 @@ class Match(Mapping[str, FieldMatch]):
                     f"predicate for {name!r} is {predicate.bits} bits, "  # type: ignore[attr-defined]
                     f"field is {definition.bits}"
                 )
+            if predicate.consulted_mask() == 0:
+                continue  # zero-bit predicate: OXM would omit the field
             validated[name] = predicate
         self._fields = validated
 

@@ -37,9 +37,26 @@ class FlowTable:
         #: (e.g. :class:`repro.runtime.cache.MicroflowCache`) can detect
         #: staleness without wrapping the mutation interface.
         self.version = 0
+        self._snapshot: tuple[FlowEntry, ...] = ()
+        self._snapshot_version = -1
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def entries_snapshot(self) -> tuple[FlowEntry, ...]:
+        """The entries in deterministic iteration order, cached per
+        :attr:`version`.
+
+        Positions in this tuple are the ``entry_ref`` coordinates the
+        sharded runtime's stats-return protocol uses
+        (:class:`~repro.runtime.transport.EntryIndex`): a parent table
+        and a worker replica at the same mutation-log position agree on
+        it, because entries sort on pickle-preserved keys.
+        """
+        if self._snapshot_version != self.version:
+            self._snapshot = tuple(self)
+            self._snapshot_version = self.version
+        return self._snapshot
 
     def __iter__(self) -> Iterator[FlowEntry]:
         self._ensure_sorted()

@@ -126,6 +126,22 @@ class PacketGenerator:
         fields.setdefault("eth_type", ETHERTYPE_IPV4)
         return fields
 
+    def random_fields(self, field_names: Sequence[str]) -> dict[str, int]:
+        """A fully random extracted-field dict over the given schema.
+
+        Every named field gets an independent uniform in-width value
+        (widths from the OXM registry) — the adversarial complement of
+        :meth:`fields_matching` used by differential property harnesses:
+        random headers mostly miss, and cover engine paths rule-derived
+        traffic never reaches.
+        """
+        from repro.openflow.fields import REGISTRY
+
+        return {
+            name: self._random_value(REGISTRY[name].bits)
+            for name in field_names
+        }
+
     def field_trace(
         self,
         matches: Sequence[Match],

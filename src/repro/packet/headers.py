@@ -227,3 +227,63 @@ class Icmp(Header):
 
     def match_fields(self) -> dict[str, int]:
         return {"icmpv4_type": self.icmp_type, "icmpv4_code": self.code}
+
+
+#: Every header type above, in typical stack order.
+HEADER_TYPES: tuple[type[Header], ...] = (
+    Ethernet,
+    Vlan,
+    Mpls,
+    IPv4,
+    IPv6,
+    Tcp,
+    Udp,
+    Icmp,
+)
+
+#: Match fields each header type contributes (the keys its
+#: :meth:`Header.match_fields` can emit), kept next to the classes so the
+#: schema and the data model cannot drift apart silently —
+#: :func:`transport_schema` is validated against this map in tests.
+HEADER_MATCH_FIELDS: dict[type[Header], tuple[str, ...]] = {
+    Ethernet: ("eth_dst", "eth_src", "eth_type"),
+    Vlan: ("vlan_vid", "vlan_pcp", "eth_type"),
+    Mpls: ("mpls_label", "mpls_tc", "mpls_bos"),
+    IPv4: ("ipv4_src", "ipv4_dst", "ip_proto", "ip_dscp", "ip_ecn"),
+    IPv6: (
+        "ipv6_src",
+        "ipv6_dst",
+        "ip_proto",
+        "ip_dscp",
+        "ip_ecn",
+        "ipv6_flabel",
+    ),
+    Tcp: ("tcp_src", "tcp_dst"),
+    Udp: ("udp_src", "udp_dst", "tcp_src", "tcp_dst"),
+    Icmp: ("icmpv4_type", "icmpv4_code"),
+}
+
+#: Per-packet context carried outside any header.
+CONTEXT_FIELDS: tuple[str, ...] = ("in_port", "metadata")
+
+
+def transport_schema() -> dict[str, int]:
+    """Canonical ``field name -> bit width`` schema for packet transports.
+
+    The union of every match field a header can contribute plus the
+    context fields, in deterministic (stack, then context) order, with
+    widths from the OXM registry.  This is the column order the
+    shared-memory :class:`~repro.runtime.transport.PacketBlockCodec`
+    lays batches out in; fields outside the schema are appended per
+    batch, so the schema is a fast path, not a constraint.
+    """
+    from repro.openflow.fields import REGISTRY
+
+    schema: dict[str, int] = {}
+    for header_type in HEADER_TYPES:
+        for name in HEADER_MATCH_FIELDS[header_type]:
+            if name not in schema:
+                schema[name] = REGISTRY[name].bits
+    for name in CONTEXT_FIELDS:
+        schema[name] = REGISTRY[name].bits
+    return schema

@@ -41,9 +41,27 @@ a stable hash of the megaflow key across ``multiprocessing`` workers,
 each owning a pipeline replica rebuilt from a picklable
 :class:`~repro.runtime.shard.PipelineSpec` snapshot plus its own cache
 stack.  Consistency uses a mutation-log catch-up protocol: flow-mods go
-through the runner's logging ``pipeline`` facade, and each worker
-replays the outstanding log suffix before classifying its sub-batch, so
-results are bitwise-identical to the single-process runner.
+through the runner's logging ``pipeline`` facade; the parent snapshots
+the log length once per batch and every worker replays the suffix up to
+that snapshot before classifying its sub-batch, so the whole batch sees
+one table state and results are bitwise-identical to the single-process
+runner.
+
+**Shared-memory transport and stats return.**  Batches cross to the
+workers through :mod:`repro.runtime.transport` (the default
+``transport="shm"``): the parent encodes each batch *once* into a
+columnar :class:`~repro.runtime.transport.PacketBlockCodec`
+shared-memory block (one ``uint64`` lane per 64 field bits, presence
+bytes, identical packet dicts encoded once), workers read their member
+rows in place and write :class:`~repro.openflow.pipeline.PipelineResult`
+columns into worker-owned blocks; only mutation suffixes, block names
+and layouts cross the pipes.  Replies carry per-entry
+:class:`~repro.runtime.transport.FlowStatsDelta` packet/byte counts
+keyed by ``(table_id, position)`` entry refs
+(:class:`~repro.runtime.transport.EntryIndex`), which the parent folds
+back into its authoritative flow entries — flow stats under sharding
+match the single-process run exactly.  ``transport="pickle"`` keeps the
+whole-payload pickling path for comparison benchmarks.
 
 **Scenario catalog.**  :mod:`repro.runtime.scenarios` builds replayable
 :class:`~repro.runtime.batch.Workload` objects from a rule set —
@@ -83,15 +101,23 @@ from repro.runtime.shard import (
     ShardedBatchPipeline,
     TableSpec,
 )
+from repro.runtime.transport import (
+    EntryIndex,
+    FlowStatsDelta,
+    PacketBlockCodec,
+)
 
 __all__ = [
     "BatchPipeline",
     "BatchStats",
     "DEFAULT_CAPACITY",
     "DEFAULT_MEGAFLOW_CAPACITY",
+    "EntryIndex",
+    "FlowStatsDelta",
     "MegaflowCache",
     "MegaflowRecorder",
     "MicroflowCache",
+    "PacketBlockCodec",
     "PipelineSpec",
     "SCENARIOS",
     "ShardedBatchPipeline",

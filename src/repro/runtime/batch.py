@@ -57,6 +57,12 @@ class BatchStats:
     megaflow_hits: int = 0
     megaflow_misses: int = 0
     waves: int = 0
+    #: Per-entry flow-stats increments attributable to this runner's
+    #: traffic: one per (packet, matched table entry) pair.  For the
+    #: sharded runner these are the worker deltas merged back into the
+    #: parent's :class:`~repro.openflow.flow.FlowStats` counters.
+    flow_packets: int = 0
+    flow_bytes: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -112,6 +118,7 @@ class BatchPipeline:
         self.sent_to_controller = 0
         self.dropped = 0
         self.waves = 0
+        self.flow_packets = 0
 
     def process(self, packet_fields: Mapping[str, int]) -> PipelineResult:
         """Single-packet convenience wrapper over :meth:`process_batch`."""
@@ -208,6 +215,7 @@ class BatchPipeline:
                 self.megaflow.install(batch[i], recorders[i], results[i])
         for result in results:
             self.matched += bool(result.matched_entries)
+            self.flow_packets += len(result.matched_entries)
             self.sent_to_controller += result.sent_to_controller
             self.dropped += result.dropped
         return results
@@ -237,6 +245,7 @@ class BatchPipeline:
             sent_to_controller=self.sent_to_controller,
             dropped=self.dropped,
             waves=self.waves,
+            flow_packets=self.flow_packets,
         )
         for cache in self.caches.values():
             stats.cache_hits += cache.hits
@@ -338,4 +347,6 @@ def run_workload(
     stats.megaflow_hits = after.megaflow_hits - before.megaflow_hits
     stats.megaflow_misses = after.megaflow_misses - before.megaflow_misses
     stats.waves = after.waves - before.waves
+    stats.flow_packets = after.flow_packets - before.flow_packets
+    stats.flow_bytes = after.flow_bytes - before.flow_bytes
     return stats

@@ -175,6 +175,7 @@ def churn_workload(
     rounds: int = 8,
     table_id: int = 0,
     seed: int = DEFAULT_SEED,
+    entries=None,
 ) -> Workload:
     """Zipf traffic interleaved with rule uninstall/reinstall cycles.
 
@@ -189,12 +190,23 @@ def churn_workload(
     whose first table comes from
     :func:`~repro.core.builder.build_lookup_table`, not the per-field
     split (whose tables each match a different sub-schema).
+
+    ``entries``, when given, supplies the exact
+    :class:`~repro.openflow.flow.FlowEntry` objects the mutation events
+    reference (instead of a fresh ``rule_set.to_flow_entries()``
+    materialisation).  Pass the same objects the pipeline under test was
+    built from and per-entry flow-stats counters survive churn — the
+    reinstall puts the *same* object back, so conservation laws over
+    entry counters stay exact.
     """
     generator, flows = _flow_pool(rule_set, flow_count, seed)
     trace = generator.sample_trace(
         flows, packet_count, zipf_weights(len(flows))
     )
-    entries = list(rule_set.to_flow_entries())
+    entries = (
+        list(entries) if entries is not None
+        else list(rule_set.to_flow_entries())
+    )
     rng = np.random.default_rng(seed ^ 0xC4)
     events: list[tuple] = []
     slice_len = max(1, packet_count // rounds)

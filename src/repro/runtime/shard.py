@@ -20,10 +20,25 @@ to its authoritative pipeline *and* appends it to an ordered log
 (mutations must go through :attr:`ShardedBatchPipeline.pipeline`, a
 logging facade with the ``table(id).add/remove`` surface that
 :func:`~repro.runtime.batch.run_workload` drives).  Each worker tracks a
-log cursor; the parent ships the outstanding log suffix ahead of every
-sub-batch, so a worker replays exactly the mutations that precede the
-batch in program order — replicas are sequentially consistent with the
-single-process runner, and results are bitwise-identical.
+log cursor; the parent snapshots the log length **once per batch** and
+ships each worker the suffix up to that snapshot, so every worker
+classifies the batch at the *same* log position — a mutation landing
+mid-batch (e.g. from a controller thread) defers uniformly to the next
+batch instead of splitting one batch across two table states — and
+replicas stay sequentially consistent with the single-process runner,
+results bitwise-identical.
+
+**Transport** is shared-memory by default (``transport="shm"``): the
+parent encodes each batch once into a columnar
+:class:`~repro.runtime.transport.PacketBlockCodec` block, workers read
+their member rows in place and write results into worker-owned blocks,
+and only tiny control messages (mutation suffixes, block names, layouts)
+cross the pipes.  ``transport="pickle"`` keeps the PR-2 whole-payload
+pickling path for comparison benchmarks.  Either way, every reply
+carries a :class:`~repro.runtime.transport.FlowStatsDelta` — per-entry
+packet/byte counts the parent folds back into its authoritative
+:class:`~repro.openflow.flow.FlowEntry` counters — so flow stats match
+the single-process run exactly instead of being stranded in replicas.
 
 Workers are spawned lazily on the first batch (``fork`` start method
 when available) and torn down via :meth:`close` / context-manager exit.
@@ -33,8 +48,11 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import threading
 from dataclasses import dataclass
 from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.core.architecture import MultiTableLookupArchitecture
 from repro.core.config import ArchitectureConfig, DEFAULT_CONFIG
@@ -44,6 +62,20 @@ from repro.openflow.pipeline import MissPolicy, OpenFlowPipeline, PipelineResult
 from repro.openflow.table import FlowTable
 from repro.runtime.batch import BatchPipeline, BatchStats
 from repro.runtime.cache import DEFAULT_CAPACITY
+from repro.runtime.transport import (
+    BlockAttachments,
+    BlockReader,
+    BlockWriter,
+    EntryIndex,
+    FlowStatsDelta,
+    PacketBlockCodec,
+    SharedBlock,
+    decode_results,
+    encode_results,
+    ensure_resource_tracker,
+)
+
+TRANSPORTS = ("shm", "pickle")
 
 
 # ----------------------------------------------------------------------
@@ -126,21 +158,33 @@ class PipelineSpec:
 
 
 class _LoggedTable:
-    """Forwards mutations to the authoritative table and logs them."""
+    """Forwards mutations to the authoritative table and logs them.
 
-    def __init__(self, table, log: list[tuple]):
+    Each mutation holds the runner's lock across the table apply *and*
+    the log append, and the batch prologue takes the same lock around
+    its log-length + entry-order snapshot — so a flow-mod from another
+    thread is either entirely before a batch (in its log prefix and its
+    pinned order) or entirely after it, never half-visible.
+    """
+
+    def __init__(self, table, log: list[tuple], lock: threading.Lock):
         self._table = table
         self._log = log
+        self._lock = lock
 
     def add(self, entry: FlowEntry) -> None:
-        self._table.add(entry)
-        self._log.append(("add", self._table.table_id, entry))
+        with self._lock:
+            self._table.add(entry)
+            self._log.append(("add", self._table.table_id, entry))
 
     def remove(self, match, priority: int) -> bool:
-        removed = self._table.remove(match, priority)
-        if removed:
-            self._log.append(("remove", self._table.table_id, match, priority))
-        return removed
+        with self._lock:
+            removed = self._table.remove(match, priority)
+            if removed:
+                self._log.append(
+                    ("remove", self._table.table_id, match, priority)
+                )
+            return removed
 
     def remove_where(self, predicate) -> int:
         # Predicates don't pickle; expand to the concrete removals so the
@@ -163,20 +207,29 @@ class _LoggedTable:
 class _LoggedPipeline:
     """``pipeline``-shaped facade whose mutations reach the log."""
 
-    def __init__(self, pipeline: OpenFlowPipeline, log: list[tuple]):
+    def __init__(
+        self,
+        pipeline: OpenFlowPipeline,
+        log: list[tuple],
+        lock: threading.Lock,
+    ):
         self._pipeline = pipeline
         self._log = log
+        self._lock = lock
 
     def table(self, table_id: int) -> _LoggedTable:
-        return _LoggedTable(self._pipeline.table(table_id), self._log)
+        return _LoggedTable(
+            self._pipeline.table(table_id), self._log, self._lock
+        )
 
     @property
     def tables(self) -> list[_LoggedTable]:
         return [self.table(t.table_id) for t in self._pipeline.tables]
 
     def install(self, table_id: int, entry: FlowEntry) -> None:
-        self._pipeline.install(table_id, entry)
-        self._log.append(("add", table_id, entry))
+        with self._lock:
+            self._pipeline.install(table_id, entry)
+            self._log.append(("add", table_id, entry))
 
     def __len__(self) -> int:
         return len(self._pipeline)
@@ -201,31 +254,90 @@ def _apply_mutations(pipeline: OpenFlowPipeline, mutations) -> None:
             raise ValueError(f"unknown mutation kind {kind!r}")
 
 
+def _serve_pickle(runner, index, message) -> tuple:
+    _, mutations, packets = message
+    _apply_mutations(runner.pipeline, mutations)
+    results = runner.process_batch(packets)
+    delta = FlowStatsDelta.from_results(results, index)
+    return (
+        "ok",
+        results,
+        _mask_fields(runner),
+        runner.stats_snapshot(),
+        delta,
+    )
+
+
+def _serve_shm(runner, index, codec, request_blocks, response, message) -> tuple:
+    # All numpy views over the shared blocks are confined to this frame:
+    # they must be garbage before close() can unmap the segments.
+    _, mutations, block_name, segments, layout, members_key = message
+    _apply_mutations(runner.pipeline, mutations)
+    reader = BlockReader(request_blocks.buf(block_name), segments)
+    packets = codec.decode(reader, layout, reader.get(members_key))
+    results = runner.process_batch(packets)
+    writer = BlockWriter()
+    result_layout, vocabulary, delta = encode_results(
+        writer, results, index, codec, inputs=packets
+    )
+    response.ensure(writer.nbytes)
+    response_segments = writer.write_to(response.buf)
+    return (
+        "ok",
+        response.name,
+        response_segments,
+        result_layout,
+        vocabulary,
+        _mask_fields(runner),
+        runner.stats_snapshot(),
+        delta,
+    )
+
+
 def _worker_main(conn, spec: PipelineSpec, cache_capacity, megaflow_capacity):
-    """Worker loop: apply log suffix, classify sub-batch, reply."""
+    """Worker loop: apply log suffix, classify sub-batch, reply.
+
+    Speaks both transports (the message tag selects): ``("batch", ...)``
+    is the pickle path, ``("shm", ...)`` the shared-memory path.  Either
+    reply carries the worker's megaflow mask fields, its stats snapshot
+    and the batch's flow-stats delta.
+    """
     runner = BatchPipeline(
         spec.build(),
         cache_capacity=cache_capacity,
         megaflow_capacity=megaflow_capacity,
     )
+    index = EntryIndex(runner.pipeline)
+    codec = PacketBlockCodec()
+    request_blocks = BlockAttachments()
+    response = SharedBlock()
     try:
         while True:
             message = conn.recv()
-            if message[0] == "batch":
-                _, mutations, packets = message
-                _apply_mutations(runner.pipeline, mutations)
-                results = runner.process_batch(packets)
-                mask_fields = (
-                    runner.megaflow.mask_fields()
-                    if runner.megaflow is not None
-                    else ()
+            kind = message[0]
+            if kind == "batch":
+                conn.send(_serve_pickle(runner, index, message))
+            elif kind == "shm":
+                conn.send(
+                    _serve_shm(
+                        runner, index, codec, request_blocks, response, message
+                    )
                 )
-                conn.send(("ok", results, mask_fields, runner.stats_snapshot()))
-            elif message[0] == "close":
+            elif kind == "close":
+                request_blocks.close()
+                response.close()
                 conn.send(("bye",))
                 return
     except (EOFError, KeyboardInterrupt):  # parent went away
+        request_blocks.close()
+        response.close()
         return
+
+
+def _mask_fields(runner: BatchPipeline) -> tuple[str, ...]:
+    return (
+        runner.megaflow.mask_fields() if runner.megaflow is not None else ()
+    )
 
 
 def _stable_hash(items: tuple) -> int:
@@ -256,6 +368,8 @@ class ShardedBatchPipeline:
             omitted, sharding starts on the full field tuple and
             converges onto the megaflow-consulted union the workers
             report.
+        transport: ``"shm"`` (columnar shared-memory blocks, the
+            default) or ``"pickle"`` (whole payloads through the pipe).
     """
 
     def __init__(
@@ -265,13 +379,22 @@ class ShardedBatchPipeline:
         cache_capacity: int | None = DEFAULT_CAPACITY,
         megaflow_capacity: int | None = None,
         shard_fields: Sequence[str] | None = None,
+        transport: str = "shm",
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+            )
         self.workers = workers or max(1, os.cpu_count() or 1)
+        self.transport = transport
         self._authoritative = pipeline
         self._log: list[tuple] = []
-        self.pipeline = _LoggedPipeline(pipeline, self._log)
+        self._mutation_lock = threading.Lock()
+        self.pipeline = _LoggedPipeline(
+            pipeline, self._log, self._mutation_lock
+        )
         self._spec = PipelineSpec.snapshot(pipeline)
         self._cache_capacity = cache_capacity
         self._megaflow_capacity = megaflow_capacity
@@ -281,17 +404,27 @@ class ShardedBatchPipeline:
         self._worker_stats = [BatchStats() for _ in range(self.workers)]
         self._conns: list = []
         self._procs: list = []
+        self._codec = PacketBlockCodec()
+        self._entry_index = EntryIndex(pipeline)
+        self._request = SharedBlock()
+        self._responses = BlockAttachments()
         self.packets = 0
         self.batches = 0
         self.matched = 0
         self.sent_to_controller = 0
         self.dropped = 0
+        #: Flow-stats deltas merged back from the workers.
+        self.flow_packets = 0
+        self.flow_bytes = 0
 
     # -- lifecycle -----------------------------------------------------
 
     def _ensure_started(self) -> None:
         if self._procs:
             return
+        # One resource tracker shared with the forked workers keeps
+        # shared-memory accounting warning-free (see transport module).
+        ensure_resource_tracker()
         method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         ctx = mp.get_context(method)
         for _ in range(self.workers):
@@ -333,6 +466,8 @@ class ShardedBatchPipeline:
         self._procs = []
         self._cursors = [0] * self.workers
         self._worker_stats = [BatchStats() for _ in range(self.workers)]
+        self._responses.close()
+        self._request.close()
 
     def __enter__(self) -> "ShardedBatchPipeline":
         return self
@@ -374,31 +509,103 @@ class ShardedBatchPipeline:
         if not batch:
             return []
         self._ensure_started()
+        # One atomic snapshot per batch, under the mutation lock: the
+        # log length (every worker catches up to the same point) and
+        # the authoritative entry order (worker entry refs resolve
+        # against this, not whatever the tables look like by reply
+        # time).  A mutation landing while sub-batches are in flight
+        # defers uniformly to the next batch; taking both snapshots
+        # inside one critical section keeps them mutually consistent
+        # even against a mutator thread.
+        with self._mutation_lock:
+            log_len = len(self._log)
+            pinned = self._entry_index.pin()
         groups: dict[int, list[int]] = {}
         for i, fields in enumerate(batch):
             groups.setdefault(self.shard_of(fields), []).append(i)
-        for worker, members in groups.items():
-            outstanding = self._log[self._cursors[worker] :]
-            self._cursors[worker] = len(self._log)
-            self._conns[worker].send(
-                ("batch", outstanding, [batch[i] for i in members])
-            )
+        if self.transport == "shm":
+            self._send_shm(batch, groups, log_len)
+        else:
+            self._send_pickle(batch, groups, log_len)
         results: list[PipelineResult] = [None] * len(batch)  # type: ignore[list-item]
         for worker, members in groups.items():
-            tag, worker_results, mask_fields, stats = self._conns[worker].recv()
-            assert tag == "ok"
+            reply = self._conns[worker].recv()
+            assert reply[0] == "ok"
+            if self.transport == "shm":
+                worker_results, mask_fields, stats, delta = (
+                    self._decode_reply(
+                        reply, pinned, [batch[i] for i in members]
+                    )
+                )
+            else:
+                _, worker_results, mask_fields, stats, delta = reply
             for i, result in zip(members, worker_results):
                 results[i] = result
             self._learned_fields.update(mask_fields)
             self._worker_stats[worker] = stats
+            merged_packets, merged_bytes = delta.apply(pinned)
+            self.flow_packets += merged_packets
+            self.flow_bytes += merged_bytes
         for result in results:
             self.matched += bool(result.matched_entries)
             self.sent_to_controller += result.sent_to_controller
             self.dropped += result.dropped
-        self._maybe_prune_log()
+        self._maybe_prune_log(log_len)
         return results
 
-    def _maybe_prune_log(self) -> None:
+    def _send_pickle(self, batch, groups, log_len: int) -> None:
+        for worker, members in groups.items():
+            outstanding = self._log[self._cursors[worker] : log_len]
+            self._cursors[worker] = log_len
+            self._conns[worker].send(
+                ("batch", outstanding, [batch[i] for i in members])
+            )
+
+    def _send_shm(self, batch, groups, log_len: int) -> None:
+        writer = BlockWriter()
+        layout = self._codec.encode(writer, batch, "pkt")
+        for worker, members in groups.items():
+            writer.put(
+                f"members/{worker}", np.asarray(members, dtype=np.int64)
+            )
+        self._request.ensure(writer.nbytes)
+        segments = writer.write_to(self._request.buf)
+        for worker in groups:
+            outstanding = self._log[self._cursors[worker] : log_len]
+            self._cursors[worker] = log_len
+            self._conns[worker].send(
+                (
+                    "shm",
+                    outstanding,
+                    self._request.name,
+                    segments,
+                    layout,
+                    f"members/{worker}",
+                )
+            )
+
+    def _decode_reply(self, reply, pinned, inputs):
+        (
+            _,
+            block_name,
+            segments,
+            result_layout,
+            vocabulary,
+            mask_fields,
+            stats,
+            delta,
+        ) = reply
+        reader = BlockReader(self._responses.buf(block_name), segments)
+        worker_results = decode_results(
+            reader,
+            result_layout,
+            vocabulary,
+            lambda table_id, position: pinned[table_id][position],
+            inputs=inputs,
+        )
+        return worker_results, mask_fields, stats, delta
+
+    def _maybe_prune_log(self, log_len: int) -> None:
         """Bound the mutation log under long churn.
 
         Once every worker has replayed the whole log, fold the current
@@ -408,26 +615,35 @@ class ShardedBatchPipeline:
         for full catch-up, so a worker the hash never feeds can delay it;
         steady traffic reaches every worker and keeps the log short.
         """
-        if len(self._log) < 1024:
+        if log_len < 1024:
             return
-        log_len = len(self._log)
         if any(cursor != log_len for cursor in self._cursors):
             return
-        self._spec = PipelineSpec.snapshot(self._authoritative)
-        self._log.clear()
-        self._cursors = [0] * self.workers
+        with self._mutation_lock:
+            if len(self._log) != log_len:
+                return  # a mutator slipped in; prune on a later batch
+            self._spec = PipelineSpec.snapshot(self._authoritative)
+            self._log.clear()
+            self._cursors = [0] * self.workers
 
     # -- stats ---------------------------------------------------------
 
     def stats_snapshot(self) -> BatchStats:
         """Parent-side traffic counters merged with the workers' cache,
-        megaflow and wave counters (as of each worker's last reply)."""
+        megaflow and wave counters (as of each worker's last reply).
+
+        ``flow_packets`` / ``flow_bytes`` come from the parent's own
+        merged deltas (authoritative), never the worker snapshots — the
+        workers' copies would double-count them.
+        """
         stats = BatchStats(
             packets=self.packets,
             batches=self.batches,
             matched=self.matched,
             sent_to_controller=self.sent_to_controller,
             dropped=self.dropped,
+            flow_packets=self.flow_packets,
+            flow_bytes=self.flow_bytes,
         )
         for worker_stats in self._worker_stats:
             stats.cache_hits += worker_stats.cache_hits

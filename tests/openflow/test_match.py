@@ -131,6 +131,27 @@ class TestMatch:
         with pytest.raises(KeyError):
             Match({"bogus": WildcardMatch(bits=8)})
 
+    def test_zero_bit_predicates_canonicalised_away(self):
+        """OXM omits all-wild fields; the match drops them so the scan
+        and decomposition paths agree on field-less packets (the /0
+        divergence the differential property harness found)."""
+        noisy = Match(
+            {
+                "in_port": ExactMatch(value=3, bits=32),
+                "ipv4_dst": PrefixMatch(value=0, length=0, bits=32),
+                "tcp_dst": RangeMatch(low=0, high=0xFFFF, bits=16),
+                "eth_type": WildcardMatch(bits=16),
+            }
+        )
+        assert set(noisy) == {"in_port"}
+        assert noisy == Match.exact(in_port=3)
+        assert hash(noisy) == hash(Match.exact(in_port=3))
+        # A /0-only match constrains nothing: it matches a packet that
+        # lacks the field entirely, exactly like the empty match.
+        default_route = Match({"ipv4_dst": PrefixMatch(0, 0, 32)})
+        assert default_route.matches({"eth_type": 0x0806})
+        assert default_route.is_table_miss
+
     def test_wrong_width_rejected(self):
         with pytest.raises(OpenFlowError):
             Match({"vlan_vid": ExactMatch(value=1, bits=16)})

@@ -122,3 +122,36 @@ class TestPacket:
     def test_summary(self):
         packet = ethernet_ipv4_tcp(1, 2, 3, 4, 5, 6, in_port=2)
         assert "Ethernet/IPv4/Tcp" in packet.summary
+
+
+class TestTransportSchema:
+    """The declared header->fields map cannot drift from the classes."""
+
+    def test_declared_fields_match_the_classes(self):
+        from repro.packet.headers import HEADER_MATCH_FIELDS
+
+        samples = {
+            Ethernet: Ethernet(dst=1, src=2, ethertype=0x0800),
+            Vlan: Vlan(vid=5),
+            Mpls: Mpls(label=9),
+            IPv4: IPv4(src=1, dst=2, proto=6),
+            IPv6: IPv6(src=1, dst=2, next_header=6),
+            Tcp: Tcp(src_port=1, dst_port=2),
+            Udp: Udp(src_port=1, dst_port=2),
+            Icmp: Icmp(icmp_type=8),
+        }
+        assert set(samples) == set(HEADER_MATCH_FIELDS)
+        for header_type, sample in samples.items():
+            assert (
+                tuple(sample.match_fields()) == HEADER_MATCH_FIELDS[header_type]
+            ), header_type.__name__
+
+    def test_schema_widths_come_from_the_registry(self):
+        from repro.openflow.fields import REGISTRY
+        from repro.packet.headers import transport_schema
+
+        schema = transport_schema()
+        assert schema["ipv6_src"] == 128
+        assert schema["metadata"] == 64
+        for name, bits in schema.items():
+            assert REGISTRY[name].bits == bits

@@ -1,0 +1,324 @@
+"""Differential property harness over every runner path.
+
+Random rule sets, mutation sequences and traffic traces (hypothesis
+strategies, deterministic per example) are replayed through all six
+classification paths —
+
+1. behavioural scan (``FlowTable`` pipeline, scalar),
+2. decomposition (``OpenFlowLookupTable`` pipeline, scalar),
+3. batched (``BatchPipeline``, caches off),
+4. microflow-cached batch,
+5. two-tier megaflow batch,
+6. sharded shared-memory (``ShardedBatchPipeline``, transport="shm") —
+
+and every path must produce identical :class:`PipelineResult`\\ s per
+packet **and** identical post-run per-entry flow-stats counters.  The
+scan path anchors correctness (it is the spec); everything else is an
+optimisation that must be observationally invisible.
+
+CI runs this file explicitly and fails if it was skipped (e.g. a
+missing ``hypothesis``), so the property coverage cannot silently rot
+out of the pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.architecture import MultiTableLookupArchitecture
+from repro.core.lookup_table import OpenFlowLookupTable
+from repro.openflow.actions import OutputAction, SetFieldAction
+from repro.openflow.flow import FlowEntry
+from repro.openflow.instructions import (
+    ApplyActions,
+    GotoTable,
+    WriteActions,
+)
+from repro.openflow.match import ExactMatch, Match, PrefixMatch, RangeMatch
+from repro.openflow.pipeline import OpenFlowPipeline
+from repro.openflow.table import FlowTable
+from repro.packet.generator import PacketGenerator, TraceConfig
+from repro.runtime import BatchPipeline, ShardedBatchPipeline
+
+#: Match schema: one exact, two prefix, one range, one exact field — all
+#: three engine kinds of the decomposition participate in every example.
+SCHEMA = ("in_port", "ipv4_dst", "ipv4_src", "tcp_dst", "eth_type")
+
+BATCH_SIZE = 7  # deliberately odd: chunk boundaries land mid-burst
+
+
+# ----------------------------------------------------------------------
+# strategies (specs are plain tuples: hashable, picklable, shrinkable)
+# ----------------------------------------------------------------------
+
+_ports = st.integers(min_value=0, max_value=7)
+_prefix_len = st.sampled_from((0, 8, 16, 24, 32))
+_port_edges = st.sampled_from((0, 80, 443, 1023, 1024, 65535))
+
+
+def _prefix_spec():
+    return st.tuples(
+        st.just("prefix"), st.integers(0, 3), _prefix_len
+    )
+
+
+_field_spec = {
+    "in_port": st.tuples(st.just("exact"), _ports),
+    "ipv4_dst": _prefix_spec(),
+    "ipv4_src": _prefix_spec(),
+    "tcp_dst": st.tuples(st.just("range"), _port_edges, _port_edges),
+    "eth_type": st.tuples(
+        st.just("exact"), st.sampled_from((0x0800, 0x0806, 0x86DD))
+    ),
+}
+
+_rule_spec = st.tuples(
+    st.integers(0, 1),  # table id
+    st.lists(
+        st.sampled_from(SCHEMA), unique=True, min_size=0, max_size=3
+    ).flatmap(
+        lambda names: st.tuples(
+            *[st.tuples(st.just(name), _field_spec[name]) for name in names]
+        )
+    ),
+    st.integers(0, 3),  # priority (small: forces tiebreak coverage)
+    st.integers(1, 200),  # output port
+    st.booleans(),  # goto table 1 (only meaningful from table 0)
+    st.booleans(),  # rewrite eth_type before the goto
+)
+
+_example = st.fixed_dictionaries(
+    {
+        "rules": st.lists(_rule_spec, min_size=1, max_size=8),
+        "initial": st.lists(st.integers(0, 7), min_size=1, max_size=8),
+        "events": st.lists(
+            st.one_of(
+                st.tuples(st.just("burst"), st.integers(1, 3)),
+                st.tuples(st.just("add"), st.integers(0, 7)),
+                st.tuples(st.just("remove"), st.integers(0, 7)),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        "packets": st.lists(
+            st.tuples(
+                st.sampled_from(("rule", "random")),
+                st.integers(0, 7),  # rule index (mod len) or drop-field pick
+                st.booleans(),  # drop one field from the packet
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        "dup_picks": st.lists(st.integers(0, 11), min_size=4, max_size=30),
+        "seed": st.integers(0, 2**16),
+    }
+)
+
+
+def _build_predicate(spec):
+    kind = spec[0]
+    if kind == "exact":
+        return ExactMatch(value=spec[1], bits=32 if spec[1] <= 7 else 16)
+    if kind == "prefix":
+        base, length = spec[1], spec[2]
+        value = (base << (32 - length)) if length else 0
+        return PrefixMatch(value=value, length=length, bits=32)
+    low, high = sorted(spec[1:])
+    return RangeMatch(low=low, high=high, bits=16)
+
+
+def _build_match(field_specs) -> Match:
+    return Match(
+        {name: _build_predicate(spec) for name, spec in field_specs}
+    )
+
+
+def _build_entry(rule_spec) -> tuple[int, FlowEntry]:
+    table_id, field_specs, priority, port, goto, rewrite = rule_spec
+    instructions = []
+    if rewrite and goto and table_id == 0:
+        instructions.append(ApplyActions([SetFieldAction("eth_type", 0x0800)]))
+    instructions.append(WriteActions([OutputAction(port)]))
+    if goto and table_id == 0:
+        instructions.append(GotoTable(1))
+    return table_id, FlowEntry.build(
+        match=_build_match(field_specs),
+        priority=priority,
+        instructions=instructions,
+    )
+
+
+def _build_trace(example) -> list[dict[str, int]]:
+    """One shared packet pool; duplicate picks alias the same dicts
+    (exactly how the scenario generators build traces)."""
+    generator = PacketGenerator(TraceConfig(seed=example["seed"]))
+    pool: list[dict[str, int]] = []
+    rules = example["rules"]
+    for kind, pick, drop in example["packets"]:
+        if kind == "rule":
+            match = _build_match(rules[pick % len(rules)][1])
+            fields = generator.fields_matching(match, fill_fields=SCHEMA)
+        else:
+            fields = generator.random_fields(SCHEMA)
+        if drop:
+            fields.pop(SCHEMA[pick % len(SCHEMA)], None)
+        pool.append(fields)
+    return [pool[pick % len(pool)] for pick in example["dup_picks"]]
+
+
+class Replayer:
+    """Drives one runner through the example's event script.
+
+    Each replayer owns *fresh* entry objects built from the shared rule
+    specs, so per-entry flow-stats counters are per-runner and directly
+    comparable afterwards.
+    """
+
+    def __init__(self, example, make_tables, runner_factory=None):
+        self.entries = [_build_entry(spec) for spec in example["rules"]]
+        tables = make_tables()
+        self.tables = {t.table_id: t for t in tables}
+        for pick in example["initial"]:
+            table_id, entry = self.entries[pick % len(self.entries)]
+            self.tables[table_id].add(entry)
+        self.pipeline = (
+            MultiTableLookupArchitecture(tables)
+            if isinstance(tables[0], OpenFlowLookupTable)
+            else OpenFlowPipeline(tables)
+        )
+        self.runner = runner_factory(self.pipeline) if runner_factory else None
+        self.results = []
+
+    def mutate(self, kind, pick):
+        table_id, entry = self.entries[pick % len(self.entries)]
+        surface = (
+            self.runner.pipeline if self.runner is not None else self.pipeline
+        )
+        if kind == "add":
+            surface.table(table_id).add(entry)
+        else:
+            surface.table(table_id).remove(entry.match, entry.priority)
+
+    def classify(self, burst):
+        if self.runner is None:
+            self.results.extend(self.pipeline.process(p) for p in burst)
+        else:
+            for start in range(0, len(burst), BATCH_SIZE):
+                self.results.extend(
+                    self.runner.process_batch(burst[start : start + BATCH_SIZE])
+                )
+
+    def replay(self, example, trace):
+        cursor = 0
+        for event in example["events"]:
+            if event[0] == "burst":
+                take = min(event[1] * BATCH_SIZE, len(trace) - cursor)
+                self.classify(trace[cursor : cursor + take])
+                cursor += take
+            else:
+                self.mutate(event[0], event[1])
+        if cursor < len(trace):
+            self.classify(trace[cursor:])
+
+    def flow_counts(self) -> list[tuple[int, int]]:
+        """(packets, bytes) per rule spec, dead or alive — churned-out
+        entries keep their history, so conservation survives removal."""
+        return [
+            (entry.stats.packet_count, entry.stats.byte_count)
+            for _, entry in self.entries
+        ]
+
+    def close(self):
+        if isinstance(self.runner, ShardedBatchPipeline):
+            self.runner.close()
+
+
+def _flow_tables():
+    return [FlowTable(table_id=0), FlowTable(table_id=1)]
+
+
+def _lookup_tables():
+    return [
+        OpenFlowLookupTable(SCHEMA, table_id=0),
+        OpenFlowLookupTable(SCHEMA, table_id=1),
+    ]
+
+
+def assert_same_result(a, b, context):
+    assert a.output_ports == b.output_ports, context
+    assert a.sent_to_controller == b.sent_to_controller, context
+    assert a.dropped == b.dropped, context
+    assert a.metadata == b.metadata, context
+    assert a.tables_visited == b.tables_visited, context
+    assert a.final_fields == b.final_fields, context
+    assert [(e.match, e.priority) for e in a.matched_entries] == [
+        (e.match, e.priority) for e in b.matched_entries
+    ], context
+    assert a.applied_actions == b.applied_actions, context
+
+
+RUNNERS = {
+    "scan": (_flow_tables, None),
+    "decomposed": (_lookup_tables, None),
+    "batched": (
+        _lookup_tables,
+        lambda pipeline: BatchPipeline(pipeline, cache_capacity=None),
+    ),
+    "cached": (
+        _lookup_tables,
+        lambda pipeline: BatchPipeline(pipeline, cache_capacity=16),
+    ),
+    "megaflow": (
+        _lookup_tables,
+        lambda pipeline: BatchPipeline(
+            pipeline, cache_capacity=16, megaflow_capacity=32
+        ),
+    ),
+    "sharded-shm": (
+        _lookup_tables,
+        lambda pipeline: ShardedBatchPipeline(
+            pipeline,
+            workers=2,
+            cache_capacity=16,
+            megaflow_capacity=32,
+            transport="shm",
+        ),
+    ),
+}
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(example=_example)
+def test_all_paths_equivalent(example):
+    trace = _build_trace(example)
+    replayers: dict[str, Replayer] = {}
+    try:
+        for name, (make_tables, factory) in RUNNERS.items():
+            replayer = Replayer(example, make_tables, factory)
+            replayers[name] = replayer
+            replayer.replay(example, trace)
+        reference = replayers["scan"]
+        assert len(reference.results) == len(trace)
+        for name, replayer in replayers.items():
+            if name == "scan":
+                continue
+            assert len(replayer.results) == len(reference.results)
+            for i, (got, expected) in enumerate(
+                zip(replayer.results, reference.results)
+            ):
+                assert_same_result(got, expected, f"{name} packet {i}")
+            assert replayer.flow_counts() == reference.flow_counts(), (
+                f"{name}: per-entry flow stats diverge from the scan path"
+            )
+    finally:
+        for replayer in replayers.values():
+            replayer.close()

@@ -1,0 +1,134 @@
+"""Flow-stats conservation across every runner path.
+
+The conservation law: every processed packet either misses table 0 or
+bumps exactly one table-0 entry's packet counter, so
+
+    sum(per-entry packet counters) == matched == packets - misses
+
+must hold under churn (entries removed and reinstalled mid-trace keep
+their counters — the workload reinstalls the *same* objects) and on
+every runner: single-process batch runners record on their own entries,
+and the sharded runners must merge worker deltas back into the parent's
+entries (the PR-2 gap: worker hits never reached the parent, so
+parent-side stats read zero).
+"""
+
+import pytest
+
+from repro.core.architecture import MultiTableLookupArchitecture
+from repro.core.lookup_table import OpenFlowLookupTable
+from repro.runtime import (
+    BatchPipeline,
+    ShardedBatchPipeline,
+    churn_workload,
+    run_workload,
+)
+
+PACKETS = 300
+
+
+def build_runner(rule_set, entries, kind):
+    table = OpenFlowLookupTable(tuple(rule_set.field_names), table_id=0)
+    for entry in entries:
+        table.add(entry)
+    arch = MultiTableLookupArchitecture([table])
+    if kind == "batch":
+        return BatchPipeline(arch, cache_capacity=None)
+    if kind == "cached":
+        return BatchPipeline(arch, cache_capacity=256)
+    if kind == "megaflow":
+        return BatchPipeline(arch, cache_capacity=256, megaflow_capacity=512)
+    return ShardedBatchPipeline(
+        arch,
+        workers=3,
+        cache_capacity=256,
+        megaflow_capacity=512,
+        transport=kind.removeprefix("sharded-"),
+    )
+
+
+def replay(rule_set, kind):
+    """Fresh entries + a churn workload that mutates those same objects."""
+    entries = list(rule_set.to_flow_entries())
+    workload = churn_workload(
+        rule_set,
+        packet_count=PACKETS,
+        flow_count=24,
+        churn_rules=6,
+        rounds=4,
+        entries=entries,
+    )
+    runner = build_runner(rule_set, entries, kind)
+    try:
+        stats = run_workload(runner, workload, batch_size=64)
+    finally:
+        if isinstance(runner, ShardedBatchPipeline):
+            runner.close()
+    return entries, stats
+
+
+ALL_KINDS = ("batch", "cached", "megaflow", "sharded-shm", "sharded-pickle")
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_packet_conservation_under_churn(small_routing_set, kind):
+    entries, stats = replay(small_routing_set, kind)
+    assert stats.packets == PACKETS
+    assert stats.installs == stats.uninstalls > 0
+    total = sum(entry.stats.packet_count for entry in entries)
+    misses = stats.packets - stats.matched
+    assert total == stats.matched, (
+        f"{kind}: {total} per-entry packets vs {stats.matched} matched"
+    )
+    assert total + misses == stats.packets
+    # The aggregate counter mirrors the per-entry sum (single table:
+    # one matched entry per matched packet).
+    assert stats.flow_packets == total
+
+
+@pytest.mark.parametrize("kind", ("sharded-shm", "sharded-pickle"))
+def test_sharded_flow_stats_match_single_process_exactly(
+    small_routing_set, kind
+):
+    """Acceptance: parent-side per-entry counters after a sharded churn
+    replay equal the single-process runner's, entry for entry."""
+    single_entries, single_stats = replay(small_routing_set, "megaflow")
+    sharded_entries, sharded_stats = replay(small_routing_set, kind)
+    single = {
+        (e.match, e.priority): (e.stats.packet_count, e.stats.byte_count)
+        for e in single_entries
+    }
+    sharded = {
+        (e.match, e.priority): (e.stats.packet_count, e.stats.byte_count)
+        for e in sharded_entries
+    }
+    assert sharded == single
+    assert sharded_stats.flow_packets == single_stats.flow_packets > 0
+
+
+def test_scalar_paths_conserve(small_routing_set):
+    """The law holds on the scalar scan/decomposition references too."""
+    entries = list(small_routing_set.to_flow_entries())
+    table = OpenFlowLookupTable(
+        tuple(small_routing_set.field_names), table_id=0
+    )
+    for entry in entries:
+        table.add(entry)
+    arch = MultiTableLookupArchitecture([table])
+    workload = churn_workload(
+        small_routing_set, packet_count=100, flow_count=12, entries=entries
+    )
+    matched = 0
+    packets = 0
+    for event in workload.events:
+        if event[0] == "packets":
+            for fields in event[1]:
+                packets += 1
+                matched += bool(arch.process(fields).matched_entries)
+        elif event[0] == "install":
+            arch.table(event[1]).add(event[2])
+        else:
+            arch.table(event[1]).remove(event[2], event[3])
+    assert packets == 100
+    total = sum(entry.stats.packet_count for entry in entries)
+    assert total == matched

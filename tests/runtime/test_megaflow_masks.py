@@ -1,0 +1,120 @@
+"""Mask-precision regression pins for the megaflow capture path.
+
+Range engines currently claim the **whole field** on any hit: a
+populated elementary-interval structure reports ``consulted_mask`` over
+every partition bit, so two packets in the same interval still land in
+different megaflow aggregates (ROADMAP open item "Megaflow mask
+precision").  These tests pin today's sound-but-wide behaviour — a
+silent change in either direction should fail loudly — and document the
+target behaviour as ``xfail(strict=True)`` markers: the day someone
+narrows the masks to elementary-interval boundaries, the xfails flip to
+errors and these pins get rewritten as the new contract.
+"""
+
+import pytest
+
+from repro.core.architecture import MultiTableLookupArchitecture
+from repro.core.lookup_table import OpenFlowLookupTable
+from repro.openflow.actions import OutputAction
+from repro.openflow.flow import FlowEntry
+from repro.openflow.instructions import WriteActions
+from repro.openflow.match import Match, RangeMatch
+from repro.runtime import BatchPipeline, MegaflowRecorder
+
+NARROW_REASON = (
+    "range engines claim the whole field; elementary-interval boundaries "
+    "could narrow this (ROADMAP open item) — rewrite these pins when they do"
+)
+
+
+def range_table(low=0, high=1023):
+    table = OpenFlowLookupTable(("in_port", "tcp_dst"), table_id=0)
+    table.add(
+        FlowEntry.build(
+            match=Match(
+                {"tcp_dst": RangeMatch(low=low, high=high, bits=16)}
+            ),
+            priority=1,
+            instructions=[WriteActions([OutputAction(10)])],
+        )
+    )
+    return table
+
+
+class TestCurrentFullFieldMasks:
+    def test_range_hit_consults_whole_field(self):
+        recorder = MegaflowRecorder()
+        table = range_table()
+        assert (
+            table.lookup({"in_port": 1, "tcp_dst": 80}, mask=recorder)
+            is not None
+        )
+        assert recorder.fields["tcp_dst"] == 0xFFFF
+
+    def test_range_miss_consults_whole_field(self):
+        """Misses are pinned too: a populated range structure reports
+        full width whichever side of the boundary the key falls on."""
+        recorder = MegaflowRecorder()
+        table = range_table()
+        assert table.lookup({"in_port": 1, "tcp_dst": 5000}, mask=recorder) is None
+        assert recorder.fields["tcp_dst"] == 0xFFFF
+
+    def test_same_interval_packets_split_into_two_aggregates(self):
+        """Consequence at the cache: tcp_dst=80 and tcp_dst=81 classify
+        identically (same elementary interval) but occupy two megaflow
+        entries under the full-field mask."""
+        runner = BatchPipeline(
+            MultiTableLookupArchitecture([range_table()]),
+            cache_capacity=None,
+            megaflow_capacity=64,
+        )
+        runner.process_batch(
+            [
+                {"in_port": 1, "tcp_dst": 80},
+                {"in_port": 1, "tcp_dst": 81},
+            ]
+        )
+        assert runner.megaflow is not None
+        assert len(runner.megaflow) == 2
+        stats = runner.stats_snapshot()
+        assert stats.megaflow_hits == 0
+
+    def test_empty_range_engine_stays_wild(self):
+        """The flip side (already precise today): an *empty* engine
+        consults nothing, so unconstrained fields never widen masks."""
+        table = OpenFlowLookupTable(("in_port", "tcp_dst"), table_id=0)
+        table.add(
+            FlowEntry.build(
+                match=Match.exact(in_port=3),
+                priority=1,
+                instructions=[WriteActions([OutputAction(10)])],
+            )
+        )
+        recorder = MegaflowRecorder()
+        table.lookup({"in_port": 3, "tcp_dst": 1234}, mask=recorder)
+        assert "tcp_dst" not in recorder.fields
+
+
+class TestElementaryIntervalTargets:
+    """What precise masks would look like — strict xfails until built."""
+
+    @pytest.mark.xfail(strict=True, reason=NARROW_REASON)
+    def test_narrow_mask_for_power_of_two_boundary(self):
+        """[0, 1023] vs [1024, 65535] is decided by the top 6 bits, so
+        0xFC00 is the narrowest sound mask for an in-range key."""
+        recorder = MegaflowRecorder()
+        table = range_table()
+        table.lookup({"in_port": 1, "tcp_dst": 80}, mask=recorder)
+        assert recorder.fields["tcp_dst"] == 0xFC00
+
+    @pytest.mark.xfail(strict=True, reason=NARROW_REASON)
+    def test_same_interval_packets_share_one_aggregate(self):
+        runner = BatchPipeline(
+            MultiTableLookupArchitecture([range_table()]),
+            cache_capacity=None,
+            megaflow_capacity=64,
+        )
+        runner.process_batch([{"in_port": 1, "tcp_dst": 80}])
+        runner.process_batch([{"in_port": 1, "tcp_dst": 81}])
+        assert runner.megaflow is not None
+        assert runner.stats_snapshot().megaflow_hits == 1

@@ -48,11 +48,14 @@ class TestPipelineSpec:
 
 
 class TestDifferential:
+    @pytest.mark.parametrize("transport", ["shm", "pickle"])
     @pytest.mark.parametrize("name", sorted(SCENARIOS))
-    def test_sharded_matches_single_process(self, small_routing_set, name):
+    def test_sharded_matches_single_process(
+        self, small_routing_set, name, transport
+    ):
         """Acceptance: 4 workers, bitwise-identical results on every
         scenario in the catalog (churn included: the mutation log must
-        keep replicas sequentially consistent)."""
+        keep replicas sequentially consistent), on both transports."""
         workload = SCENARIOS[name](
             small_routing_set, packet_count=200, flow_count=12
         )
@@ -69,6 +72,7 @@ class TestDifferential:
             workers=4,
             cache_capacity=128,
             megaflow_capacity=256,
+            transport=transport,
         ) as sharded:
             got = run_workload(
                 sharded, workload, batch_size=50, keep_results=True
@@ -83,6 +87,9 @@ class TestDifferential:
         # parent's (empty) cache dict.
         assert got.cache_hits + got.cache_misses > 0
         assert got.megaflow_hits + got.megaflow_misses > 0
+        # The stats-return protocol: worker flow hits are merged into
+        # the parent's counters, matching the single-process totals.
+        assert got.flow_packets == expected.flow_packets > 0
 
     def test_megaflow_key_sharding_learns_fields(self, small_routing_set):
         """Workers report their megaflow mask fields; the parent's shard
@@ -159,6 +166,12 @@ class TestMutationCatchUp:
         with pytest.raises(ValueError):
             ShardedBatchPipeline(make_arch(small_routing_set), workers=0)
 
+    def test_transport_validated(self, small_routing_set):
+        with pytest.raises(ValueError):
+            ShardedBatchPipeline(
+                make_arch(small_routing_set), workers=1, transport="carrier-pigeon"
+            )
+
     def test_mutation_log_pruned_after_catch_up(self, small_routing_set):
         """Long churn must not grow the log without bound: once every
         worker has replayed it, the snapshot absorbs it."""
@@ -182,3 +195,149 @@ class TestMutationCatchUp:
             sharded.close()
             results = sharded.process_batch(probe)
             assert len(results) == len(probe)
+
+
+class _MutatingConn:
+    """Pipe proxy firing a callback before its first send — the
+    deterministic stand-in for a controller thread whose flow-mod lands
+    while the parent is dispatching sub-batches."""
+
+    def __init__(self, conn, fire):
+        self._conn = conn
+        self._fire = fire
+
+    def send(self, message):
+        self._fire()
+        self._conn.send(message)
+
+    def __getattr__(self, name):
+        return getattr(self._conn, name)
+
+
+class TestMidBatchMutation:
+    """A mutation landing mid-batch must never serve a stale (or mixed)
+    PipelineResult: the batch in flight classifies entirely at the
+    pre-mutation state, the next batch entirely at the post-mutation
+    state — with every worker cache revalidated.
+
+    Guards two mechanisms in ``process_batch``: the single
+    mutation-log-length snapshot (without it, workers dispatched after
+    the flow-mod would replay it for the *same* batch and the batch
+    would mix two table states) and the pinned entry order (without it,
+    worker entry refs would resolve against the re-sorted post-mutation
+    tables, corrupting matched-entry identity and stats attribution).
+    """
+
+    def shadow(self, port: int) -> FlowEntry:
+        return FlowEntry.build(
+            match=Match.exact(in_port=port),
+            priority=999,
+            instructions=[WriteActions([OutputAction(100 + port)])],
+        )
+
+    @pytest.mark.parametrize("transport", ["shm", "pickle"])
+    def test_mid_batch_mutation_defers_uniformly(
+        self, small_routing_set, transport
+    ):
+        probe = [
+            {"in_port": 5, "ipv4_dst": destination}
+            for destination in range(24)
+        ]
+        with ShardedBatchPipeline(
+            make_arch(small_routing_set),
+            workers=2,
+            cache_capacity=64,
+            megaflow_capacity=128,
+            transport=transport,
+        ) as sharded:
+            # The probe must actually straddle both workers for the
+            # mixed-state hazard to exist.
+            assert len({sharded.shard_of(fields) for fields in probe}) == 2
+            before = sharded.process_batch(probe)
+            sharded.process_batch(probe)  # warm worker caches
+
+            shadow = self.shadow(5)
+            fired = []
+
+            def fire():
+                if not fired:
+                    fired.append(True)
+                    sharded.pipeline.table(0).add(shadow)
+
+            sharded._conns = [
+                _MutatingConn(conn, fire) for conn in sharded._conns
+            ]
+            in_flight = sharded.process_batch(probe)
+            assert fired, "mutation must land during dispatch"
+            # Entirely pre-mutation: no packet of the in-flight batch
+            # may observe the shadow rule, on either worker.
+            for got, expected in zip(in_flight, before):
+                assert_same_result(got, expected)
+            assert shadow.stats.packet_count == 0
+
+            after = sharded.process_batch(probe)
+            # Entirely post-mutation: megaflow aggregates and microflow
+            # records for every probe key were captured pre-mutation on
+            # the workers, so any stale replay shows up here.
+            assert all(result.output_ports == [105] for result in after)
+            assert all(
+                (entry.match, entry.priority)
+                == (shadow.match, shadow.priority)
+                for result in after
+                for entry in result.matched_entries[:1]
+            )
+            # Stats attribution survived the in-flight mutation: the
+            # parent's shadow entry counts exactly the post-mutation
+            # batch, via refs pinned to the pre-mutation order.
+            assert shadow.stats.packet_count == len(probe)
+
+    def test_concurrent_mutator_thread_stress(self, small_routing_set):
+        """A real controller thread churning through the facade while
+        batches flow: every mutation must be atomic against the batch
+        prologue's (log length, entry order) snapshot — misalignment
+        shows up as ref resolution errors or mis-attributed flow stats
+        (total per-entry counts must still equal total matches)."""
+        import threading
+
+        probe = [
+            {"in_port": port, "ipv4_dst": destination}
+            for port in range(4)
+            for destination in (1, 2, 3)
+        ]
+        with ShardedBatchPipeline(
+            make_arch(small_routing_set),
+            workers=2,
+            cache_capacity=64,
+            megaflow_capacity=128,
+        ) as sharded:
+            shadow = self.shadow(7)
+            stop = threading.Event()
+
+            def churn():
+                while not stop.is_set():
+                    sharded.pipeline.table(0).add(shadow)
+                    sharded.pipeline.table(0).remove(
+                        shadow.match, shadow.priority
+                    )
+
+            mutator = threading.Thread(target=churn, daemon=True)
+            mutator.start()
+            try:
+                total_matched = 0
+                for _ in range(20):
+                    results = sharded.process_batch(probe)
+                    total_matched += sum(
+                        len(r.matched_entries) for r in results
+                    )
+            finally:
+                stop.set()
+                mutator.join(timeout=10)
+            assert not mutator.is_alive()
+            # Conservation: every match was credited to some parent
+            # entry, exactly once.
+            counted = shadow.stats.packet_count + sum(
+                entry.stats.packet_count
+                for table in sharded._authoritative.tables
+                for entry in table
+            )
+            assert counted == total_matched == sharded.flow_packets
