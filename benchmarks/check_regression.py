@@ -1,0 +1,190 @@
+"""Perf-regression gate over the committed throughput record.
+
+Compares the ``speedups`` section of a freshly measured
+``BENCH_throughput.smoke.json`` (the CI smoke run) against the committed
+``BENCH_throughput.json`` (the full-run perf trajectory) and fails when
+any ratio dropped below its tolerance band.
+
+Smoke runs use tiny traces, so their absolute ratios sit well below the
+full-run ones (fixed per-batch overheads dominate) and CI runners add
+scheduler noise on top; the bands encode both.  A *tolerance* is the
+fraction of the committed baseline the fresh measurement must still
+reach: ``current >= tolerance * baseline``.  The point of the gate is
+not precision — it is catching the change that turns a 22x cache win
+into 2x, or the pipelined transport into a slowdown, before it merges.
+
+Runnable locally exactly as CI runs it::
+
+    PYTHONPATH=src REPRO_BENCH_SMOKE=1 python -m pytest \
+        benchmarks/bench_throughput.py -q --benchmark-disable
+    python benchmarks/check_regression.py
+
+or against a full measurement (``--tolerance 0.8``, say) to compare two
+real runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BASELINE_PATH = REPO_ROOT / "BENCH_throughput.json"
+CURRENT_PATH = REPO_ROOT / "BENCH_throughput.smoke.json"
+
+#: Fraction of the committed baseline a smoke measurement must reach,
+#: per speedup key.  Cache-hierarchy ratios shrink hardest in smoke mode
+#: (tiny traces never amortise the build/warm-up cost), transport-vs-
+#: transport ratios are the steadiest; anything unlisted uses
+#: DEFAULT_TOLERANCE.
+TOLERANCES = {
+    "cached_batch_vs_decomposition": 0.25,
+    "megaflow_vs_batch_uniform_wide": 0.25,
+    "sharded_vs_single": 0.3,
+    "shm_vs_pickle_small_batch": 0.5,
+    "pipelined_vs_serial_shm_small_batch": 0.5,
+}
+DEFAULT_TOLERANCE = 0.3
+
+#: Absolute floors for transport-vs-transport ratios, whose baselines
+#: hover near 1.0 — there a *fraction* of baseline is vacuous (half of
+#: 1.07x would wave a 1.8x slowdown through).  The final floor per key
+#: is max(tolerance * baseline, absolute floor): the absolute side is
+#: what actually catches "the pipelined transport became a slowdown",
+#: set below the observed smoke-mode values with margin for CI-runner
+#: noise.
+ABSOLUTE_FLOORS = {
+    "shm_vs_pickle_small_batch": 0.65,
+    "pipelined_vs_serial_shm_small_batch": 0.8,
+}
+
+
+@dataclass(frozen=True)
+class Check:
+    """Outcome of one speedup-key comparison."""
+
+    key: str
+    baseline: float
+    current: float
+    floor: float
+
+    @property
+    def ok(self) -> bool:
+        return self.current >= self.floor
+
+
+def load_speedups(path: Path) -> dict[str, float]:
+    record = json.loads(path.read_text())
+    speedups = record.get("speedups")
+    if not isinstance(speedups, dict) or not speedups:
+        raise SystemExit(f"{path}: no speedups section to gate on")
+    return {key: float(value) for key, value in speedups.items()}
+
+
+def run_checks(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    tolerances: dict[str, float] | None = None,
+    default_tolerance: float = DEFAULT_TOLERANCE,
+    absolute_floors: dict[str, float] | None = None,
+) -> list[Check]:
+    """Compare every key present in *both* records.
+
+    Keys only in the baseline (a mode the smoke run skipped) or only in
+    the current run (a mode newer than the committed record) are not
+    gated — the gate must not block adding or retiring bench modes; the
+    committed record catches up on the next full run.
+    """
+    tolerances = TOLERANCES if tolerances is None else tolerances
+    absolute_floors = (
+        ABSOLUTE_FLOORS if absolute_floors is None else absolute_floors
+    )
+    checks = []
+    for key in sorted(set(baseline) & set(current)):
+        tolerance = tolerances.get(key, default_tolerance)
+        checks.append(
+            Check(
+                key=key,
+                baseline=baseline[key],
+                current=current[key],
+                floor=max(
+                    tolerance * baseline[key],
+                    absolute_floors.get(key, 0.0),
+                ),
+            )
+        )
+    return checks
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when a committed speedup ratio regressed"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=BASELINE_PATH,
+        help="committed perf record (default: BENCH_throughput.json)",
+    )
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=CURRENT_PATH,
+        help="fresh measurement (default: BENCH_throughput.smoke.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help=(
+            "override every per-key band with one fraction of baseline "
+            "(e.g. 0.8 when comparing two full runs)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    tolerances: dict[str, float] | None = None
+    absolute_floors: dict[str, float] | None = None
+    default_tolerance = DEFAULT_TOLERANCE
+    if args.tolerance is not None:
+        # An explicit override replaces the whole banding scheme,
+        # absolute floors included — one predictable fraction.
+        tolerances = {}
+        absolute_floors = {}
+        default_tolerance = args.tolerance
+
+    checks = run_checks(
+        load_speedups(args.baseline),
+        load_speedups(args.current),
+        tolerances=tolerances,
+        default_tolerance=default_tolerance,
+        absolute_floors=absolute_floors,
+    )
+    if not checks:
+        print("no overlapping speedup keys; nothing to gate", file=sys.stderr)
+        return 1
+
+    failed = False
+    for check in checks:
+        status = "ok  " if check.ok else "FAIL"
+        print(
+            f"{status} {check.key}: current {check.current:.2f}x vs "
+            f"baseline {check.baseline:.2f}x (floor {check.floor:.2f}x)"
+        )
+        failed |= not check.ok
+    if failed:
+        print(
+            "\nperf regression: a speedup ratio fell out of its tolerance "
+            "band (see FAIL lines above)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {len(checks)} speedup ratios within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,7 @@ from repro.core.partition import HeaderPartitioner
 from repro.openflow.fields import REGISTRY
 from repro.openflow.flow import FlowEntry
 from repro.openflow.match import FieldMaskSink, Match
+from repro.packet.headers import frame_length
 
 
 @dataclass(frozen=True)
@@ -176,7 +177,7 @@ class OpenFlowLookupTable:
         result = self.search(packet_fields, mask=mask)
         if result.entry is None:
             return None
-        result.entry.flow_entry.stats.record()
+        result.entry.flow_entry.stats.record(frame_length(packet_fields))
         return result.entry.flow_entry
 
     def __len__(self) -> int:
@@ -301,11 +302,11 @@ class OpenFlowLookupTable:
     ) -> list[FlowEntry | None]:
         """Batched :meth:`lookup`: one matched entry (or None) per packet."""
         hits: list[FlowEntry | None] = []
-        for result in self.search_batch(batch_fields):
+        for fields, result in zip(batch_fields, self.search_batch(batch_fields)):
             if result.entry is None:
                 hits.append(None)
             else:
-                result.entry.flow_entry.stats.record()
+                result.entry.flow_entry.stats.record(frame_length(fields))
                 hits.append(result.entry.flow_entry)
         return hits
 

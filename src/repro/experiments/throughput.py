@@ -49,19 +49,21 @@ def run() -> ExperimentResult:
             "scenario",
             "packets",
             "pkts/sec",
+            "Mbit/s",
             "microflow hit%",
             "megaflow hit%",
             "megaflow entries",
             "masks",
             "waves/batch",
             "flow pkts",
+            "flow MB",
         ],
-        title="Two-tier cached batch runtime, per scenario",
+        title="Two-tier cached batch runtime, per scenario (IMIX frames)",
     )
     last_arch = None
     for name in sorted(SCENARIOS):
         workload = SCENARIOS[name](
-            rule_set, packet_count=_PACKETS, flow_count=_FLOWS
+            rule_set, packet_count=_PACKETS, flow_count=_FLOWS, frame_len="imix"
         )
         arch = MultiTableLookupArchitecture([build_lookup_table(rule_set)])
         runner = BatchPipeline(arch, cache_capacity=4096, megaflow_capacity=4096)
@@ -69,21 +71,27 @@ def run() -> ExperimentResult:
         stats = run_workload(runner, workload, batch_size=256)
         elapsed = time.perf_counter() - started
         pps = stats.packets / elapsed if elapsed > 0 else 0.0
+        mbps = 8 * workload.byte_count / elapsed / 1e6 if elapsed > 0 else 0.0
         megaflow = runner.megaflow
         table.add_row(
             [
                 name,
                 stats.packets,
                 f"{pps:,.0f}",
+                f"{mbps:,.1f}",
                 f"{100 * stats.cache_hit_rate:.1f}",
                 f"{100 * stats.megaflow_hit_rate:.1f}",
                 len(megaflow),
                 megaflow.mask_count,
                 f"{stats.waves_per_batch:.2f}",
                 stats.flow_packets,
+                f"{stats.flow_bytes / 1e6:.2f}",
             ]
         )
         result.headline[f"{name.replace('-', '_')}_pkts_per_sec"] = round(pps)
+        result.headline[f"{name.replace('-', '_')}_mbit_per_sec"] = round(
+            mbps, 1
+        )
         if name == "uniform-wide":
             result.headline["uniform_wide_megaflow_hit_rate"] = round(
                 stats.megaflow_hit_rate, 3
@@ -94,11 +102,13 @@ def run() -> ExperimentResult:
         last_arch = arch if name == "churn" else last_arch
     result.tables.append(table)
 
-    # Sharded stats-return check: replay zipf through the shared-memory
-    # transport and compare parent-side flow stats with a single-process
-    # run — the counters the PR-2 runner silently dropped.
+    # Sharded stats-return check: replay zipf through the *pipelined*
+    # shared-memory transport (depth 4) and compare parent-side flow
+    # stats — packets and bytes — with a single-process run; the
+    # counters the PR-2 runner silently dropped, the byte side zero
+    # until PR 4 gave packets frame lengths.
     workload = SCENARIOS["zipf"](
-        rule_set, packet_count=_PACKETS, flow_count=_FLOWS
+        rule_set, packet_count=_PACKETS, flow_count=_FLOWS, frame_len="imix"
     )
     single = BatchPipeline(
         MultiTableLookupArchitecture([build_lookup_table(rule_set)]),
@@ -112,15 +122,22 @@ def run() -> ExperimentResult:
         cache_capacity=4096,
         megaflow_capacity=4096,
         transport="shm",
+        depth=4,
     ) as sharded:
         sharded_stats = run_workload(sharded, workload, batch_size=256)
     result.headline["sharded_shm_flow_packets"] = sharded_stats.flow_packets
     result.headline["single_flow_packets"] = single_stats.flow_packets
+    result.headline["sharded_shm_flow_bytes"] = sharded_stats.flow_bytes
+    result.headline["single_flow_bytes"] = single_stats.flow_bytes
+    agree = (
+        sharded_stats.flow_packets == single_stats.flow_packets
+        and sharded_stats.flow_bytes == single_stats.flow_bytes
+    )
     result.notes.append(
-        "sharded(shm) parent-side flow stats "
-        f"{'match' if sharded_stats.flow_packets == single_stats.flow_packets else 'DIVERGE FROM'} "
-        "the single-process run "
-        f"({sharded_stats.flow_packets} vs {single_stats.flow_packets} pkts)"
+        "sharded(shm, pipelined depth=4) parent-side flow stats "
+        f"{'match' if agree else 'DIVERGE FROM'} the single-process run "
+        f"({sharded_stats.flow_packets} vs {single_stats.flow_packets} pkts, "
+        f"{sharded_stats.flow_bytes} vs {single_stats.flow_bytes} bytes)"
     )
 
     # Memory context: the post-churn breakdown, free-list HWM included.

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import Iterable
 
 from repro.filters.rule import Application, Rule, RuleSet
 from repro.openflow.match import (

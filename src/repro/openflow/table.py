@@ -13,6 +13,7 @@ from typing import Callable, Iterator, Mapping
 from repro.openflow.errors import TableFullError
 from repro.openflow.flow import FlowEntry
 from repro.openflow.match import Match
+from repro.packet.headers import frame_length
 
 
 class FlowTable:
@@ -132,7 +133,7 @@ class FlowTable:
                     mask.consult(name, predicate.consulted_mask())
             if entry.matches(packet_fields):
                 self.matched_count += 1
-                entry.stats.record()
+                entry.stats.record(frame_length(packet_fields))
                 return entry
         return None
 

@@ -37,6 +37,53 @@ from repro.packet.packet import Packet
 from repro.util.bits import mask_of, prefix_range
 
 
+#: Simple-IMIX mix: 7 small, 4 medium, 1 MTU frame per 12 packets — the
+#: classic Internet mix benchmark profile.
+IMIX_FRAME_LENGTHS = (64, 576, 1500)
+IMIX_FRAME_WEIGHTS = (7, 4, 1)
+
+#: Default length for the ``fixed`` distribution: an MTU-sized frame.
+DEFAULT_FRAME_LEN = 1500
+
+_MIN_FRAME_LEN = 64  # minimum Ethernet frame
+_MAX_FRAME_LEN = 9000  # jumbo-frame ceiling for the heavy-tailed draw
+
+#: Frame-length distribution names accepted by :func:`frame_lengths`.
+FRAME_LEN_DISTRIBUTIONS = ("fixed", "imix", "pareto")
+
+
+def frame_lengths(rng: np.random.Generator, count: int, dist="fixed") -> list[int]:
+    """Sample ``count`` on-wire frame lengths (bytes) from a named
+    distribution:
+
+    - ``"fixed"`` (or any ``int``): every frame the same length —
+      ``DEFAULT_FRAME_LEN`` for the name, the value itself for an int;
+    - ``"imix"``: the simple-IMIX 7:4:1 mix of 64/576/1500-byte frames;
+    - ``"pareto"``: heavy-tailed — most frames near the 64-byte minimum
+      with a power-law tail clipped at the jumbo ceiling, the shape of
+      measured datacenter length distributions.
+    """
+    if isinstance(dist, int):
+        if dist < 1:
+            raise ValueError(f"fixed frame length must be positive, got {dist}")
+        return [dist] * count
+    if dist == "fixed":
+        return [DEFAULT_FRAME_LEN] * count
+    if dist == "imix":
+        weights = np.asarray(IMIX_FRAME_WEIGHTS, dtype=float)
+        picks = rng.choice(
+            len(IMIX_FRAME_LENGTHS), size=count, p=weights / weights.sum()
+        )
+        return [IMIX_FRAME_LENGTHS[i] for i in picks]
+    if dist == "pareto":
+        draw = _MIN_FRAME_LEN * (1.0 + rng.pareto(1.2, size=count))
+        return [int(min(v, _MAX_FRAME_LEN)) for v in draw]
+    raise ValueError(
+        f"unknown frame-length distribution {dist!r}; "
+        f"expected an int or one of {FRAME_LEN_DISTRIBUTIONS}"
+    )
+
+
 @dataclass(frozen=True)
 class TraceConfig:
     """Knobs for random trace generation."""
@@ -100,6 +147,11 @@ class PacketGenerator:
         """Yield ``count`` random packets."""
         for _ in range(count):
             yield self.random_packet()
+
+    def frame_lengths(self, count: int, dist="fixed") -> list[int]:
+        """Sample frame lengths from this generator's seeded stream (see
+        the module-level :func:`frame_lengths`)."""
+        return frame_lengths(self._rng, count, dist)
 
     def fields_matching(
         self,

@@ -266,6 +266,25 @@ HEADER_MATCH_FIELDS: dict[type[Header], tuple[str, ...]] = {
 #: Per-packet context carried outside any header.
 CONTEXT_FIELDS: tuple[str, ...] = ("in_port", "metadata")
 
+#: Extracted-field-dict key carrying the packet's on-wire frame length in
+#: bytes.  It is packet *metadata*, not an OXM match field: no rule
+#: matches on it and no partition engine consults it, so it never enters
+#: a microflow key's schema tuple nor a megaflow mask — but every
+#: ``FlowStats.record`` reads it, which is what makes per-entry byte
+#: counters (and bits/sec throughput) real numbers instead of zeros.
+FRAME_LEN_FIELD = "frame_len"
+
+#: Width of the frame-length transport lane.  32 bits covers any frame a
+#: switch forwards (jumbo frames included) with room to spare.
+FRAME_LEN_BITS = 32
+
+
+def frame_length(packet_fields) -> int:
+    """The frame length (bytes) recorded for a packet's stats, 0 when the
+    trace carries no lengths — the single accessor every lookup path's
+    ``FlowStats.record`` call goes through."""
+    return packet_fields.get(FRAME_LEN_FIELD, 0)
+
 
 def transport_schema() -> dict[str, int]:
     """Canonical ``field name -> bit width`` schema for packet transports.
@@ -276,6 +295,10 @@ def transport_schema() -> dict[str, int]:
     shared-memory :class:`~repro.runtime.transport.PacketBlockCodec`
     lays batches out in; fields outside the schema are appended per
     batch, so the schema is a fast path, not a constraint.
+
+    ``frame_len`` rides along as one more (32-bit, so single-lane)
+    column: it is not a match field, but byte-accurate flow stats need
+    it on the worker side of the sharded runtime.
     """
     from repro.openflow.fields import REGISTRY
 
@@ -286,4 +309,5 @@ def transport_schema() -> dict[str, int]:
                 schema[name] = REGISTRY[name].bits
     for name in CONTEXT_FIELDS:
         schema[name] = REGISTRY[name].bits
+    schema[FRAME_LEN_FIELD] = FRAME_LEN_BITS
     return schema

@@ -2,16 +2,15 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Iterator, Sequence
+from dataclasses import dataclass, replace
+from typing import Iterator
 
 from repro.packet.headers import (
+    FRAME_LEN_FIELD,
     Ethernet,
     Header,
     IPv4,
-    IPv6,
     Tcp,
-    Udp,
     Vlan,
 )
 
@@ -23,16 +22,22 @@ class Packet:
     ``in_port`` is not carried on the wire; it is supplied by the ingress
     pipeline, which is why it lives on the packet object rather than in a
     header.  ``payload`` is the opaque bytes after the last parsed header.
+    ``frame_len`` is the on-wire frame length in bytes (0 = unknown):
+    switch-level metadata like ``in_port``, not a header field — it feeds
+    per-entry byte counters, never a match.
     """
 
     headers: tuple[Header, ...]
     in_port: int = 0
     payload: bytes = b""
     metadata: int = 0
+    frame_len: int = 0
 
     def __post_init__(self) -> None:
         if self.in_port < 0:
             raise ValueError(f"invalid in_port {self.in_port}")
+        if self.frame_len < 0:
+            raise ValueError(f"invalid frame_len {self.frame_len}")
         if self.headers and not isinstance(self.headers[0], Ethernet):
             raise ValueError("packet must start with an Ethernet header")
 
@@ -47,6 +52,8 @@ class Packet:
         QinQ stacks, where the outer VLAN tag is the matchable one).
         """
         fields: dict[str, int] = {"in_port": self.in_port, "metadata": self.metadata}
+        if self.frame_len:
+            fields[FRAME_LEN_FIELD] = self.frame_len
         for header in self.headers:
             for name, value in header.match_fields().items():
                 fields.setdefault(name, value)

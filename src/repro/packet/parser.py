@@ -48,6 +48,10 @@ def _need(data: bytes, offset: int, count: int, what: str) -> None:
 def parse_packet(data: bytes, in_port: int = 0) -> Packet:
     """Parse wire bytes into a :class:`Packet`.
 
+    The frame's on-wire length is recorded as ``Packet.frame_len``, so
+    parsed traffic feeds the per-entry byte counters (and bits/sec
+    reporting) the same way generated traces do.
+
     Args:
         data: the raw frame, starting at the Ethernet destination address.
         in_port: switch ingress port to attach to the packet.
@@ -174,4 +178,9 @@ def parse_packet(data: bytes, in_port: int = 0) -> Packet:
         headers.append(Icmp(icmp_type=icmp_type, code=code))
         offset += 4
 
-    return Packet(headers=tuple(headers), in_port=in_port, payload=data[offset:])
+    return Packet(
+        headers=tuple(headers),
+        in_port=in_port,
+        payload=data[offset:],
+        frame_len=len(data),
+    )

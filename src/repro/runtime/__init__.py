@@ -63,14 +63,35 @@ back into its authoritative flow entries — flow stats under sharding
 match the single-process run exactly.  ``transport="pickle"`` keeps the
 whole-payload pickling path for comparison benchmarks.
 
+**Pipelined dispatch/collect.**  The transport is double-buffered: each
+direction keeps a ring of ``depth`` shared blocks, so
+:meth:`~repro.runtime.shard.ShardedBatchPipeline.process_batches` (and
+:func:`~repro.runtime.batch.run_workload`, which uses it) encodes and
+dispatches batch N+1 while the workers still classify batch N.  Every
+submitted batch snapshots the mutation-log length and pinned entry
+order at submission, so pipelined streams replay the exact serial
+sequence of table states — results and flow stats stay
+bitwise-identical to the lockstep and single-process runners.
+
+**Frame lengths and byte accounting.**  Packets carry an on-wire
+``frame_len`` (:data:`repro.packet.headers.FRAME_LEN_FIELD`): switch
+metadata outside every match, cache key and megaflow mask, threaded
+through every lookup path's ``FlowStats.record`` and the transport's
+stats deltas — per-entry byte counters and
+:attr:`~repro.runtime.batch.BatchStats.flow_bytes` count real traffic
+volume, and the benches report bits/sec.
+
 **Scenario catalog.**  :mod:`repro.runtime.scenarios` builds replayable
 :class:`~repro.runtime.batch.Workload` objects from a rule set —
 ``uniform``, ``uniform-wide`` (per-packet noise in an unconstrained
 schema field: microflow-adversarial, megaflow-friendly), ``zipf``,
-``bursty``, and ``churn`` — replayed by
+``bursty``, and ``churn``, each with a ``frame_len`` distribution knob
+(fixed / IMIX / heavy-tailed / none) — replayed by
 :func:`~repro.runtime.batch.run_workload`.
-``benchmarks/bench_throughput.py`` reports packets/sec per lookup path
-over these scenarios and records them in ``BENCH_throughput.json``.
+``benchmarks/bench_throughput.py`` reports packets/sec and bits/sec per
+lookup path over these scenarios and records them in
+``BENCH_throughput.json``; ``benchmarks/check_regression.py`` gates CI
+on the recorded speedup ratios.
 """
 
 from repro.runtime.batch import (

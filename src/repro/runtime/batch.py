@@ -39,6 +39,7 @@ from repro.openflow.pipeline import (
     PipelineResult,
     written_fields,
 )
+from repro.packet.headers import frame_length
 from repro.runtime.cache import DEFAULT_CAPACITY, MicroflowCache
 from repro.runtime.megaflow import MegaflowCache, MegaflowRecorder
 
@@ -119,6 +120,7 @@ class BatchPipeline:
         self.dropped = 0
         self.waves = 0
         self.flow_packets = 0
+        self.flow_bytes = 0
 
     def process(self, packet_fields: Mapping[str, int]) -> PipelineResult:
         """Single-packet convenience wrapper over :meth:`process_batch`."""
@@ -214,8 +216,15 @@ class BatchPipeline:
             for i in missed:
                 self.megaflow.install(batch[i], recorders[i], results[i])
         for result in results:
-            self.matched += bool(result.matched_entries)
-            self.flow_packets += len(result.matched_entries)
+            matched_entries = len(result.matched_entries)
+            self.matched += bool(matched_entries)
+            self.flow_packets += matched_entries
+            if matched_entries:
+                # frame_len is never rewritten, so final_fields carries
+                # the same length every stats.record() saw mid-pipeline.
+                self.flow_bytes += matched_entries * frame_length(
+                    result.final_fields
+                )
             self.sent_to_controller += result.sent_to_controller
             self.dropped += result.dropped
         return results
@@ -246,6 +255,7 @@ class BatchPipeline:
             dropped=self.dropped,
             waves=self.waves,
             flow_packets=self.flow_packets,
+            flow_bytes=self.flow_bytes,
         )
         for cache in self.caches.values():
             stats.cache_hits += cache.hits
@@ -278,6 +288,17 @@ class Workload:
             len(event[1]) for event in self.events if event[0] == "packets"
         )
 
+    @property
+    def byte_count(self) -> int:
+        """Total on-wire bytes in the trace (0 when built with
+        ``frame_len=None``) — the numerator of bits/sec reporting."""
+        return sum(
+            frame_length(fields)
+            for event in self.events
+            if event[0] == "packets"
+            for fields in event[1]
+        )
+
 
 @dataclass
 class WorkloadStats(BatchStats):
@@ -308,10 +329,18 @@ def run_workload(
     apply through ``runner.pipeline`` so sharded runners can log them for
     worker catch-up (caches notice via the tables' version counters and
     revalidate on the next touch).
+
+    Runners exposing ``process_batches`` (the pipelined
+    :class:`~repro.runtime.shard.ShardedBatchPipeline` dispatch/collect
+    loop) get each packet event's chunks as one pipelined stream, so the
+    double-buffered transport overlap is exercised by workload replay;
+    mutation events still land between streams, preserving the serial
+    event order.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
     stats = WorkloadStats()
+    process_batches = getattr(runner, "process_batches", None)
     # All counters come from the runner's stats snapshot as deltas, so a
     # reused runner reports this replay only — and a sharded runner
     # (whose cache/wave counters live in its workers' snapshots) reports
@@ -320,8 +349,13 @@ def run_workload(
     for event in workload.events:
         kind = event[0]
         if kind == "packets":
-            for chunk in _chunks(event[1], batch_size):
-                chunk_results = runner.process_batch(chunk)
+            chunks = _chunks(event[1], batch_size)
+            chunk_stream = (
+                process_batches(chunks)
+                if process_batches is not None
+                else map(runner.process_batch, chunks)
+            )
+            for chunk_results in chunk_stream:
                 if keep_results:
                     stats.results.extend(chunk_results)
                 stats.batches += 1

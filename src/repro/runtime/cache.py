@@ -34,6 +34,7 @@ from typing import Mapping, Sequence
 
 from repro.openflow.flow import FlowEntry
 from repro.openflow.match import FieldMaskSink
+from repro.packet.headers import frame_length
 
 #: Sentinel distinguishing a cached miss from an absent key.
 _MISS = object()
@@ -132,7 +133,7 @@ class MicroflowCache:
                 if record.mask is None:
                     record.mask = self._capture_mask(packet_fields)
                 _replay_mask(record.mask, mask)
-            return self._outcome(record)
+            return self._outcome(record, packet_fields)
         if record is not None:
             self.revalidations += 1
         self.misses += 1
@@ -169,7 +170,7 @@ class MicroflowCache:
                     if record.mask is None:
                         record.mask = self._capture_mask(fields)
                     _replay_mask(record.mask, masks[i])
-                results[i] = self._outcome(record)
+                results[i] = self._outcome(record, fields)
             else:
                 if record is not None:
                     self.revalidations += 1
@@ -194,7 +195,7 @@ class MicroflowCache:
                         self._insert(key, cached[0], version, cached[1])
                     else:
                         if cached[0] is not None:
-                            cached[0].stats.record()
+                            cached[0].stats.record(frame_length(fields))
                     outcome, captured = cached
                     assert captured is not None
                     _replay_mask(captured, masks[position])
@@ -217,12 +218,17 @@ class MicroflowCache:
     # internals
     # ------------------------------------------------------------------
 
-    def _outcome(self, record: _Record) -> FlowEntry | None:
+    def _outcome(
+        self, record: _Record, packet_fields: Mapping[str, int]
+    ) -> FlowEntry | None:
+        """Resolve a cache hit, recording the *hitting* packet's frame
+        length (records are shared across every packet of the microflow,
+        but byte counters are per packet)."""
         if record.outcome is _MISS:
             return None
         entry = record.outcome
         assert isinstance(entry, FlowEntry)
-        entry.stats.record()
+        entry.stats.record(frame_length(packet_fields))
         return entry
 
     def _resolve(

@@ -47,6 +47,7 @@ from collections import OrderedDict
 from typing import Mapping, Sequence
 
 from repro.openflow.pipeline import OpenFlowPipeline, PipelineResult
+from repro.packet.headers import frame_length
 
 #: Mask signature: ``((field_name, bitmask), ...)`` sorted by field.
 MaskSig = tuple[tuple[str, int], ...]
@@ -325,9 +326,13 @@ class MegaflowCache:
         template = entry.template
         final_fields = dict(packet_fields)
         final_fields.update(entry.overrides)
+        frame_len = frame_length(packet_fields)
         for matched in template.matched_entries:
-            # Inlined FlowStats.record(0): this runs once per hit packet.
+            # Inlined FlowStats.record(frame_len): once per hit packet,
+            # with the *hitting* packet's frame length (aggregates span
+            # packets of many lengths).
             matched.stats.packet_count += 1
+            matched.stats.byte_count += frame_len
         # Direct construction (no __init__ dispatch, no default
         # factories): this is the hottest allocation in the runtime.
         result = PipelineResult.__new__(PipelineResult)

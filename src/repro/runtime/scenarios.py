@@ -22,6 +22,13 @@ Catalog (see :data:`SCENARIOS`):
   unique, so exact-match microflow caching collapses to ~0 % hits while
   a megaflow cache — whose masks exclude the unconsulted noise field —
   still aggregates the trace into one entry per flow.
+
+Every builder takes a ``frame_len`` knob controlling the on-wire frame
+lengths stamped into the trace (``"fixed"``/int, ``"imix"``,
+``"pareto"``, or ``None`` for length-less packets); lengths drive the
+per-entry byte counters and the bits/sec numbers the benchmarks report,
+and never affect classification (no rule matches on
+:data:`~repro.packet.headers.FRAME_LEN_FIELD`).
 """
 
 from __future__ import annotations
@@ -30,11 +37,44 @@ import numpy as np
 
 from repro.filters.rule import RuleSet
 from repro.openflow.fields import REGISTRY
-from repro.packet.generator import PacketGenerator, TraceConfig
+from repro.packet.generator import PacketGenerator, TraceConfig, frame_lengths
+from repro.packet.headers import FRAME_LEN_FIELD
 from repro.runtime.batch import Workload
 
 DEFAULT_SEED = 0x7AFF
 DEFAULT_FLOWS = 128
+
+#: Default frame-length knob: every scenario ships MTU-sized frames
+#: unless told otherwise, so byte counters are nonzero out of the box.
+DEFAULT_FRAME_DIST = "fixed"
+
+
+def _stamp_frame_lengths(trace, frame_len, seed: int):
+    """Attach on-wire frame lengths to a built trace.
+
+    ``None`` leaves the trace length-less (byte counters stay zero).  A
+    fixed length (an ``int`` or ``"fixed"``) stamps each *distinct* dict
+    once, preserving the flow-pool aliasing the codec dedup and caches
+    exploit.  Per-packet distributions (``"imix"`` / ``"pareto"``)
+    rebuild every packet dict with its own length — aliasing is gone by
+    construction, because two packets of one flow genuinely differ on
+    the wire.  Either way the length rides in the field dict under
+    :data:`~repro.packet.headers.FRAME_LEN_FIELD`, which no rule matches
+    and no cache keys on.
+    """
+    if frame_len is None:
+        return trace
+    rng = np.random.default_rng(seed ^ 0xF7A3)
+    if isinstance(frame_len, int) or frame_len == "fixed":
+        value = frame_lengths(rng, 1, frame_len)[0]
+        for fields in {id(f): f for f in trace}.values():
+            fields[FRAME_LEN_FIELD] = value
+        return trace
+    lengths = frame_lengths(rng, len(trace), frame_len)
+    return [
+        dict(fields, **{FRAME_LEN_FIELD: length})
+        for fields, length in zip(trace, lengths)
+    ]
 
 
 def zipf_weights(n: int, s: float = 1.2) -> np.ndarray:
@@ -61,10 +101,13 @@ def uniform_workload(
     packet_count: int = 10_000,
     flow_count: int = DEFAULT_FLOWS,
     seed: int = DEFAULT_SEED,
+    frame_len=DEFAULT_FRAME_DIST,
 ) -> Workload:
     """Uniform i.i.d. traffic over the flow pool."""
     generator, flows = _flow_pool(rule_set, flow_count, seed)
-    trace = generator.sample_trace(flows, packet_count)
+    trace = _stamp_frame_lengths(
+        generator.sample_trace(flows, packet_count), frame_len, seed
+    )
     return Workload(
         name="uniform",
         description=f"{packet_count} pkts uniform over {len(flows)} flows",
@@ -78,10 +121,15 @@ def zipf_workload(
     flow_count: int = DEFAULT_FLOWS,
     s: float = 1.2,
     seed: int = DEFAULT_SEED,
+    frame_len=DEFAULT_FRAME_DIST,
 ) -> Workload:
     """Zipf-skewed traffic: a few heavy flows dominate the trace."""
     generator, flows = _flow_pool(rule_set, flow_count, seed)
-    trace = generator.sample_trace(flows, packet_count, zipf_weights(len(flows), s))
+    trace = _stamp_frame_lengths(
+        generator.sample_trace(flows, packet_count, zipf_weights(len(flows), s)),
+        frame_len,
+        seed,
+    )
     return Workload(
         name="zipf",
         description=(
@@ -118,6 +166,7 @@ def uniform_wide_workload(
     flow_count: int = DEFAULT_FLOWS,
     noise_field: str = "tcp_src",
     seed: int = DEFAULT_SEED,
+    frame_len=DEFAULT_FRAME_DIST,
 ) -> Workload:
     """Uniform traffic whose every packet carries fresh noise bits.
 
@@ -137,6 +186,7 @@ def uniform_wide_workload(
         dict(fields, **{noise_field: int(value)})
         for fields, value in zip(trace, noise)
     ]
+    trace = _stamp_frame_lengths(trace, frame_len, seed)
     return Workload(
         name="uniform-wide",
         description=(
@@ -153,10 +203,15 @@ def bursty_workload(
     flow_count: int = DEFAULT_FLOWS,
     mean_burst: float = 16.0,
     seed: int = DEFAULT_SEED,
+    frame_len=DEFAULT_FRAME_DIST,
 ) -> Workload:
     """Packet-train traffic: geometric per-flow bursts."""
     generator, flows = _flow_pool(rule_set, flow_count, seed)
-    trace = generator.bursty_trace(flows, packet_count, mean_burst=mean_burst)
+    trace = _stamp_frame_lengths(
+        generator.bursty_trace(flows, packet_count, mean_burst=mean_burst),
+        frame_len,
+        seed,
+    )
     return Workload(
         name="bursty",
         description=(
@@ -176,6 +231,7 @@ def churn_workload(
     table_id: int = 0,
     seed: int = DEFAULT_SEED,
     entries=None,
+    frame_len=DEFAULT_FRAME_DIST,
 ) -> Workload:
     """Zipf traffic interleaved with rule uninstall/reinstall cycles.
 
@@ -200,8 +256,10 @@ def churn_workload(
     entry counters stay exact.
     """
     generator, flows = _flow_pool(rule_set, flow_count, seed)
-    trace = generator.sample_trace(
-        flows, packet_count, zipf_weights(len(flows))
+    trace = _stamp_frame_lengths(
+        generator.sample_trace(flows, packet_count, zipf_weights(len(flows))),
+        frame_len,
+        seed,
     )
     entries = (
         list(entries) if entries is not None

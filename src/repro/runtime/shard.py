@@ -40,6 +40,19 @@ packet/byte counts the parent folds back into its authoritative
 :class:`~repro.openflow.flow.FlowEntry` counters — so flow stats match
 the single-process run exactly instead of being stranded in replicas.
 
+**Pipelining** removes the lockstep round-trip: each direction keeps a
+ring of ``depth`` shared blocks (request slot ``seq % depth`` parent-
+side, one response slot per worker per ring index), so the parent
+encodes and dispatches batch N+1 while the workers are still
+classifying batch N.  :meth:`ShardedBatchPipeline.process_batches` (or
+the explicit :meth:`submit_batch` / :meth:`collect_batch` pair) drives
+the overlap; every submitted batch snapshots the mutation-log length
+and the pinned entry order *at submission*, so pipelined batches see
+exactly the serial sequence of table states a lockstep runner would
+have produced.  A slot is reused only after its batch's replies are
+decoded, which bounds worker memory at ``depth`` response blocks and
+keeps in-flight columns immutable.
+
 Workers are spawned lazily on the first batch (``fork`` start method
 when available) and torn down via :meth:`close` / context-manager exit.
 """
@@ -49,8 +62,9 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import threading
+from collections import deque
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -271,7 +285,7 @@ def _serve_pickle(runner, index, message) -> tuple:
 def _serve_shm(runner, index, codec, request_blocks, response, message) -> tuple:
     # All numpy views over the shared blocks are confined to this frame:
     # they must be garbage before close() can unmap the segments.
-    _, mutations, block_name, segments, layout, members_key = message
+    _, _, mutations, block_name, segments, layout, members_key = message
     _apply_mutations(runner.pipeline, mutations)
     reader = BlockReader(request_blocks.buf(block_name), segments)
     packets = codec.decode(reader, layout, reader.get(members_key))
@@ -294,13 +308,21 @@ def _serve_shm(runner, index, codec, request_blocks, response, message) -> tuple
     )
 
 
-def _worker_main(conn, spec: PipelineSpec, cache_capacity, megaflow_capacity):
+def _worker_main(
+    conn, spec: PipelineSpec, cache_capacity, megaflow_capacity, depth: int
+):
     """Worker loop: apply log suffix, classify sub-batch, reply.
 
     Speaks both transports (the message tag selects): ``("batch", ...)``
-    is the pickle path, ``("shm", ...)`` the shared-memory path.  Either
-    reply carries the worker's megaflow mask fields, its stats snapshot
-    and the batch's flow-stats delta.
+    is the pickle path, ``("shm", slot, ...)`` the shared-memory path.
+    Either reply carries the worker's megaflow mask fields, its stats
+    snapshot and the batch's flow-stats delta.
+
+    The worker owns a ring of ``depth`` response blocks, indexed by the
+    ``slot`` each shm message names.  The parent never keeps more than
+    ``depth`` batches in flight and decodes a reply before reusing its
+    slot, so writing response ``slot`` here cannot race a parent-side
+    read of the reply ``depth`` batches ago that last used it.
     """
     runner = BatchPipeline(
         spec.build(),
@@ -310,7 +332,13 @@ def _worker_main(conn, spec: PipelineSpec, cache_capacity, megaflow_capacity):
     index = EntryIndex(runner.pipeline)
     codec = PacketBlockCodec()
     request_blocks = BlockAttachments()
-    response = SharedBlock()
+    responses = [SharedBlock() for _ in range(depth)]
+
+    def shutdown() -> None:
+        request_blocks.close()
+        for response in responses:
+            response.close()
+
     try:
         while True:
             message = conn.recv()
@@ -320,17 +348,20 @@ def _worker_main(conn, spec: PipelineSpec, cache_capacity, megaflow_capacity):
             elif kind == "shm":
                 conn.send(
                     _serve_shm(
-                        runner, index, codec, request_blocks, response, message
+                        runner,
+                        index,
+                        codec,
+                        request_blocks,
+                        responses[message[1]],
+                        message,
                     )
                 )
             elif kind == "close":
-                request_blocks.close()
-                response.close()
+                shutdown()
                 conn.send(("bye",))
                 return
     except (EOFError, KeyboardInterrupt):  # parent went away
-        request_blocks.close()
-        response.close()
+        shutdown()
         return
 
 
@@ -354,6 +385,19 @@ def _stable_hash(items: tuple) -> int:
 # ----------------------------------------------------------------------
 
 
+@dataclass
+class _InFlight:
+    """One submitted-but-not-collected batch: everything :meth:`collect`
+    needs to resolve its replies against the table state it was
+    classified under."""
+
+    seq: int
+    batch: Sequence[Mapping[str, int]]
+    groups: dict[int, list[int]]
+    pinned: Mapping[int, tuple]
+    log_len: int
+
+
 class ShardedBatchPipeline:
     """Drop-in ``process_batch`` runner fanning batches across workers.
 
@@ -370,6 +414,30 @@ class ShardedBatchPipeline:
             report.
         transport: ``"shm"`` (columnar shared-memory blocks, the
             default) or ``"pickle"`` (whole payloads through the pipe).
+        depth: maximum batches in flight (submitted, not yet collected).
+            ``depth >= 2`` double-buffers the transport: the parent
+            encodes and dispatches batch N+1 while the workers are still
+            classifying batch N (each direction keeps a ring of
+            ``depth`` shared blocks, so an in-flight batch's columns are
+            never overwritten).  ``depth=1`` is the lockstep PR-3
+            behaviour.  :meth:`process_batch` is always lockstep;
+            :meth:`process_batches` (and
+            :func:`~repro.runtime.batch.run_workload`, which calls it)
+            exploit the ring.
+
+            Pipelining is an shm-transport feature: with
+            ``transport="pickle"`` the depth is clamped to 1, because
+            whole payloads cross the pipes — a request and a reply each
+            larger than the pipe buffer would leave the parent blocked
+            sending batch N+1 while the worker blocks sending batch N's
+            reply, a deadlock the lockstep recv-before-send round-trip
+            makes impossible.  Shm control messages (block names,
+            layouts, member keys) are small by construction; the one
+            unbounded rider — the mutation-log suffix — is bounded by
+            :data:`MAX_PIPELINED_MUTATION_BACKLOG`: past it, the stream
+            drains in flight before submitting (and
+            :meth:`submit_batch` raises), so a big suffix is only ever
+            written into empty pipes with the workers parked in recv.
     """
 
     def __init__(
@@ -380,6 +448,7 @@ class ShardedBatchPipeline:
         megaflow_capacity: int | None = None,
         shard_fields: Sequence[str] | None = None,
         transport: str = "shm",
+        depth: int = 2,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -387,8 +456,14 @@ class ShardedBatchPipeline:
             raise ValueError(
                 f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
             )
+        if depth < 1:
+            raise ValueError(f"pipeline depth must be positive, got {depth}")
         self.workers = workers or max(1, os.cpu_count() or 1)
         self.transport = transport
+        # See the depth docstring: whole-payload pickling can fill both
+        # pipe directions at once, so the pickle transport stays
+        # lockstep.
+        self.depth = depth if transport == "shm" else 1
         self._authoritative = pipeline
         self._log: list[tuple] = []
         self._mutation_lock = threading.Lock()
@@ -406,8 +481,16 @@ class ShardedBatchPipeline:
         self._procs: list = []
         self._codec = PacketBlockCodec()
         self._entry_index = EntryIndex(pipeline)
-        self._request = SharedBlock()
+        #: Request-block ring: slot ``seq % depth`` carries batch
+        #: ``seq``'s columns, reused only after that batch is collected.
+        self._requests = [SharedBlock() for _ in range(depth)]
         self._responses = BlockAttachments()
+        self._inflight: deque[_InFlight] = deque()
+        self._seq = 0
+        #: True while a process_batches() stream is live; guards against
+        #: a second stream (or lockstep call) interleaving on the shared
+        #: in-flight queue and mislabeling results.
+        self._streaming = False
         self.packets = 0
         self.batches = 0
         self.matched = 0
@@ -436,6 +519,7 @@ class ShardedBatchPipeline:
                     self._spec,
                     self._cache_capacity,
                     self._megaflow_capacity,
+                    self.depth,
                 ),
                 daemon=True,
             )
@@ -452,6 +536,11 @@ class ShardedBatchPipeline:
         rewind to zero — fresh replicas must replay the *entire*
         mutation log to catch back up.
         """
+        while self._inflight:  # drain replies before tearing blocks down
+            try:
+                self._collect()
+            except (EOFError, OSError, AssertionError):
+                self._inflight.clear()
         for conn, proc in zip(self._conns, self._procs):
             try:
                 conn.send(("close",))
@@ -467,7 +556,11 @@ class ShardedBatchPipeline:
         self._cursors = [0] * self.workers
         self._worker_stats = [BatchStats() for _ in range(self.workers)]
         self._responses.close()
-        self._request.close()
+        for request in self._requests:
+            request.close()
+        # Recovery path for a stream that was created but abandoned
+        # before its first iteration (the generator's finally never ran).
+        self._streaming = False
 
     def __enter__(self) -> "ShardedBatchPipeline":
         return self
@@ -503,20 +596,166 @@ class ShardedBatchPipeline:
         self, batch: Sequence[Mapping[str, int]]
     ) -> list[PipelineResult]:
         """Classify a batch across the workers; results in input order,
-        bitwise-identical to the single-process :class:`BatchPipeline`."""
+        bitwise-identical to the single-process :class:`BatchPipeline`.
+
+        Lockstep: submits the batch and collects its replies before
+        returning.  Refuses to run while :meth:`submit_batch` batches
+        are in flight (draining them here would have to throw their
+        results away silently; collect them first) or while a
+        :meth:`process_batches` stream is live."""
+        self._guard_idle("process_batch")
+        if not self._submit(batch):
+            return []
+        return self._collect()
+
+    def _guard_idle(self, caller: str) -> None:
+        if self._streaming:
+            raise RuntimeError(
+                f"a process_batches() stream is live; exhaust or close "
+                f"it before {caller}()"
+            )
+        if self._inflight:
+            raise RuntimeError(
+                f"{len(self._inflight)} submitted batches in flight; "
+                f"collect_batch() their results before {caller}()"
+            )
+
+    def process_batches(
+        self, batches: Iterable[Sequence[Mapping[str, int]]]
+    ) -> Iterator[list[PipelineResult]]:
+        """Pipelined classification of a stream of batches.
+
+        Keeps up to :attr:`depth` batches in flight: batch N+1 is
+        encoded into its own ring slot and dispatched while the workers
+        are still classifying batch N, then replies are collected in
+        submission order — the encode/classify overlap the lockstep
+        :meth:`process_batch` round-trip serialises away.  A generator:
+        yields one result list per input batch, in order, each
+        bitwise-identical to the single-process runner's, as soon as it
+        lands — memory stays O(depth x batch), never O(stream), so
+        million-packet events replay without materialising their
+        results.
+
+        Like :meth:`process_batch`, refuses to start while
+        :meth:`submit_batch` batches are outstanding (their results
+        would otherwise be yielded as — and mislabeled as — the new
+        stream's first entries) or while another stream is live: two
+        streams interleaving on the shared FIFO would silently swap
+        results between them.
+        """
+        self._guard_idle("process_batches")
+        self._streaming = True
+        return self._stream(batches)
+
+    #: Mutation-log suffixes ride inside the "small" control messages,
+    #: but churn can make them arbitrarily large.  Beyond this many
+    #: outstanding mutations for the laggiest worker, the stream drains
+    #: in flight before submitting — with empty pipes the worker is
+    #: parked in recv and consumes the big message as it is written, so
+    #: the send-while-reply-blocked deadlock window never opens.  128
+    #: pickled FlowEntries sit comfortably under a 64 KiB pipe buffer.
+    MAX_PIPELINED_MUTATION_BACKLOG = 128
+
+    def _mutation_backlog(self) -> int:
+        return len(self._log) - min(self._cursors, default=0)
+
+    def _stream(
+        self, batches: Iterable[Sequence[Mapping[str, int]]]
+    ) -> Iterator[list[PipelineResult]]:
+        try:
+            for batch in batches:
+                # The backlog is re-read on every loop pass: the
+                # consumer (or a mutator thread) can grow the log while
+                # the generator is suspended at a drain yield, and a
+                # stale reading would submit a giant suffix into pipes
+                # still carrying in-flight replies.
+                while self._inflight and (
+                    len(self._inflight) >= self.depth
+                    or self._mutation_backlog()
+                    > self.MAX_PIPELINED_MUTATION_BACKLOG
+                ):
+                    yield self._collect()
+                if not self._submit(batch):
+                    # Empty batches produce empty results but occupy no
+                    # ring slot (there is nothing for a worker to do);
+                    # splice the placeholder in once the preceding
+                    # batches land.
+                    while self._inflight:
+                        yield self._collect()
+                    yield []
+            while self._inflight:
+                yield self._collect()
+        finally:
+            self._streaming = False
+
+    def submit_batch(self, batch: Sequence[Mapping[str, int]]) -> None:
+        """Dispatch one non-empty batch without waiting for its results
+        (collect them in FIFO order with :meth:`collect_batch`).  Never
+        blocks or collects internally: submitting beyond :attr:`depth`
+        raises, so callers own the collect cadence explicitly — and an
+        empty batch raises rather than silently occupying no slot and
+        skewing the submit/collect pairing.  Also raises when the
+        mutation backlog has outgrown what can safely share the pipe
+        with in-flight replies (see
+        :data:`MAX_PIPELINED_MUTATION_BACKLOG`): collect first, then
+        resubmit."""
+        if not batch:
+            raise ValueError(
+                "cannot submit an empty batch (it would occupy no ring "
+                "slot and break the submit/collect FIFO pairing)"
+            )
+        if self._streaming:
+            raise RuntimeError(
+                "a process_batches() stream is live; exhaust or close "
+                "it before submit_batch()"
+            )
+        if len(self._inflight) >= self.depth:
+            raise RuntimeError(
+                f"{len(self._inflight)} batches already in flight "
+                f"(depth={self.depth}); collect_batch() first"
+            )
+        if self._inflight and (
+            self._mutation_backlog() > self.MAX_PIPELINED_MUTATION_BACKLOG
+        ):
+            raise RuntimeError(
+                f"mutation backlog ({self._mutation_backlog()}) too large "
+                "to pipeline safely alongside in-flight replies; "
+                "collect_batch() first"
+            )
+        self._submit(batch)
+
+    def collect_batch(self) -> list[PipelineResult]:
+        """Results of the oldest in-flight batch (FIFO); raises when
+        nothing is in flight."""
+        if not self._inflight:
+            raise RuntimeError("no batch in flight")
+        return self._collect()
+
+    @property
+    def in_flight(self) -> int:
+        """Batches submitted but not yet collected."""
+        return len(self._inflight)
+
+    # -- dispatch/collect internals ------------------------------------
+
+    def _submit(self, batch: Sequence[Mapping[str, int]]) -> bool:
+        """Encode, dispatch and register one batch; False when empty."""
+        assert len(self._inflight) < self.depth
         self.packets += len(batch)
         self.batches += 1
         if not batch:
-            return []
+            return False
         self._ensure_started()
-        # One atomic snapshot per batch, under the mutation lock: the
-        # log length (every worker catches up to the same point) and
-        # the authoritative entry order (worker entry refs resolve
-        # against this, not whatever the tables look like by reply
-        # time).  A mutation landing while sub-batches are in flight
-        # defers uniformly to the next batch; taking both snapshots
-        # inside one critical section keeps them mutually consistent
-        # even against a mutator thread.
+        # One atomic snapshot per *submitted* batch, under the mutation
+        # lock: the log length (every worker catches up to the same
+        # point) and the authoritative entry order (worker entry refs
+        # resolve against this, not whatever the tables look like by
+        # reply time).  Each in-flight batch carries its own snapshot
+        # pair, so a mutation landing between two pipelined submissions
+        # is visible to the second batch and not the first — exactly the
+        # serial order a lockstep runner would have produced — and a
+        # mutation landing while sub-batches are in flight defers
+        # uniformly to the next submission.
         with self._mutation_lock:
             log_len = len(self._log)
             pinned = self._entry_index.pin()
@@ -524,9 +763,25 @@ class ShardedBatchPipeline:
         for i, fields in enumerate(batch):
             groups.setdefault(self.shard_of(fields), []).append(i)
         if self.transport == "shm":
-            self._send_shm(batch, groups, log_len)
+            self._send_shm(batch, groups, log_len, self._seq % self.depth)
         else:
             self._send_pickle(batch, groups, log_len)
+        self._inflight.append(
+            _InFlight(
+                seq=self._seq,
+                batch=batch,
+                groups=groups,
+                pinned=pinned,
+                log_len=log_len,
+            )
+        )
+        self._seq += 1
+        return True
+
+    def _collect(self) -> list[PipelineResult]:
+        """Receive, decode and merge the oldest in-flight batch."""
+        inflight = self._inflight.popleft()
+        batch, groups, pinned = inflight.batch, inflight.groups, inflight.pinned
         results: list[PipelineResult] = [None] * len(batch)  # type: ignore[list-item]
         for worker, members in groups.items():
             reply = self._conns[worker].recv()
@@ -550,7 +805,7 @@ class ShardedBatchPipeline:
             self.matched += bool(result.matched_entries)
             self.sent_to_controller += result.sent_to_controller
             self.dropped += result.dropped
-        self._maybe_prune_log(log_len)
+        self._maybe_prune_log(inflight.log_len)
         return results
 
     def _send_pickle(self, batch, groups, log_len: int) -> None:
@@ -561,23 +816,25 @@ class ShardedBatchPipeline:
                 ("batch", outstanding, [batch[i] for i in members])
             )
 
-    def _send_shm(self, batch, groups, log_len: int) -> None:
+    def _send_shm(self, batch, groups, log_len: int, slot: int) -> None:
+        request = self._requests[slot]
         writer = BlockWriter()
         layout = self._codec.encode(writer, batch, "pkt")
         for worker, members in groups.items():
             writer.put(
                 f"members/{worker}", np.asarray(members, dtype=np.int64)
             )
-        self._request.ensure(writer.nbytes)
-        segments = writer.write_to(self._request.buf)
+        request.ensure(writer.nbytes)
+        segments = writer.write_to(request.buf)
         for worker in groups:
             outstanding = self._log[self._cursors[worker] : log_len]
             self._cursors[worker] = log_len
             self._conns[worker].send(
                 (
                     "shm",
+                    slot,
                     outstanding,
-                    self._request.name,
+                    request.name,
                     segments,
                     layout,
                     f"members/{worker}",

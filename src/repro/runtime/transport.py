@@ -49,6 +49,7 @@ of marooned in worker replicas.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
 from typing import Callable, Iterable, Mapping, NamedTuple, Sequence
@@ -57,7 +58,7 @@ import numpy as np
 
 from repro.openflow.flow import FlowEntry
 from repro.openflow.pipeline import PipelineResult
-from repro.packet.headers import transport_schema
+from repro.packet.headers import frame_length, transport_schema
 
 #: Smallest block allocated; growth doubles, so churny batch sizes do
 #: not thrash the kernel with re-creations.
@@ -92,10 +93,19 @@ class SharedBlock:
     segment is unlinked immediately — peers still holding it mapped keep
     a valid view until they attach to the new name from the next control
     message.
+
+    **Lifecycle guard.**  Every created segment registers a
+    ``weakref.finalize`` unlink callback, so a block abandoned without
+    :meth:`close` — an interrupted sharded run, an exception unwinding
+    past the owner, a runner that was never closed — is still unlinked
+    when the owner object is collected or the interpreter exits, instead
+    of lingering in ``/dev/shm`` until reboot.  :meth:`close` remains
+    the explicit (idempotent) path and detaches the finalizer.
     """
 
     def __init__(self) -> None:
         self._shm: shared_memory.SharedMemory | None = None
+        self._finalizer = None
 
     @property
     def name(self) -> str:
@@ -115,25 +125,37 @@ class SharedBlock:
             size *= 2
         self.close()
         self._shm = shared_memory.SharedMemory(create=True, size=size)
+        self._finalizer = weakref.finalize(
+            self, _release_segment, self._shm
+        )
 
     def close(self) -> None:
-        """Unlink and unmap the segment (idempotent).
-
-        Unlink first: even if unmapping is blocked by a still-alive
-        numpy view (``BufferError``), the name is gone and the kernel
-        reclaims the memory once the last view dies.
-        """
+        """Unlink and unmap the segment (idempotent)."""
         if self._shm is None:
             return
-        shm, self._shm = self._shm, None
-        try:
-            shm.unlink()
-        except (FileNotFoundError, OSError):  # pragma: no cover - defensive
-            pass
-        try:
-            shm.close()
-        except (BufferError, OSError):  # pragma: no cover - defensive
-            pass
+        finalizer, self._finalizer = self._finalizer, None
+        self._shm = None
+        if finalizer is not None:
+            # The finalizer owns the actual unlink+unmap; calling it here
+            # runs it exactly once and disarms the at-exit/at-GC copy.
+            finalizer()
+
+
+def _release_segment(shm: shared_memory.SharedMemory) -> None:
+    """Unlink then unmap one segment.
+
+    Unlink first: even if unmapping is blocked by a still-alive numpy
+    view (``BufferError``), the name is gone and the kernel reclaims the
+    memory once the last view dies.
+    """
+    try:
+        shm.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover - defensive
+        pass
+    try:
+        shm.close()
+    except (BufferError, OSError):  # pragma: no cover - defensive
+        pass
 
 
 class BlockAttachments:
@@ -498,18 +520,16 @@ class FlowStatsDelta:
 
     @classmethod
     def from_refs(
-        cls, refs: Iterable[tuple[int, int]]
+        cls, refs: Iterable[tuple[tuple[int, int], int]]
     ) -> "FlowStatsDelta":
-        """Aggregate matched-entry refs (one per packet-match pair) into
-        per-entry counts — the single definition of the delta semantics,
-        shared by both transports.  Byte counts ride along for protocol
-        completeness (the runtime's field dicts carry no frame length,
-        so they are zero today).
+        """Aggregate ``(entry ref, frame bytes)`` pairs (one per
+        packet-match pair) into per-entry counts — the single definition
+        of the delta semantics, shared by both transports.
         """
         counts: dict[tuple[int, int], tuple[int, int]] = {}
-        for key in refs:
+        for key, frame_len in refs:
             packets, byte_count = counts.get(key, (0, 0))
-            counts[key] = (packets + 1, byte_count)
+            counts[key] = (packets + 1, byte_count + frame_len)
         return cls(counts=counts)
 
     @classmethod
@@ -519,13 +539,19 @@ class FlowStatsDelta:
         """Aggregate one batch's matched entries into a delta.
 
         Every runtime lookup path records exactly one
-        ``FlowStats.record()`` per ``(packet, matched entry)`` pair —
-        the scalar scan, the decomposition, batch memoization, microflow
-        hits and megaflow replay all preserve it — so occurrence counts
-        over ``matched_entries`` *are* the per-entry stats delta.
+        ``FlowStats.record(frame_len)`` per ``(packet, matched entry)``
+        pair — the scalar scan, the decomposition, batch memoization,
+        microflow hits and megaflow replay all preserve it — so
+        occurrence counts over ``matched_entries``, weighted by each
+        packet's frame length (``frame_len`` is never rewritten, so
+        ``final_fields`` still carries it), *are* the per-entry stats
+        delta.
         """
         return cls.from_refs(
-            index.ref(table_id, entry)
+            (
+                index.ref(table_id, entry),
+                frame_length(result.final_fields),
+            )
             for result in results
             for table_id, entry in zip(
                 result.tables_visited, result.matched_entries
@@ -614,16 +640,17 @@ def encode_results(
         np.uint64,
     )
 
-    refs: list[tuple[int, int]] = []
+    refs: list[tuple[tuple[int, int], int]] = []
     matched_rows: list[list[int]] = []
     for result in results:
         row: list[int] = []
+        frame_len = frame_length(result.final_fields)
         for table_id, entry in zip(
             result.tables_visited, result.matched_entries
         ):
             ref = index.ref(table_id, entry)
             row.extend(ref)
-            refs.append(ref)
+            refs.append((ref, frame_len))
         matched_rows.append(row)
     _put_ragged(writer, "res/matched", matched_rows, np.int32)
 

@@ -11,7 +11,7 @@ from repro.analysis.unique_values import (
 )
 from repro.filters.rule import Application, Rule, RuleSet
 from repro.openflow.fields import MatchMethod
-from repro.openflow.match import ExactMatch, PrefixMatch, RangeMatch
+from repro.openflow.match import ExactMatch, PrefixMatch
 
 
 class TestUniqueValues:

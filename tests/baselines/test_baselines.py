@@ -8,7 +8,6 @@ from repro.baselines.single_table import (
     cross_product_entries,
     materialise_cross_product,
 )
-from repro.filters.rule import Application, RuleSet
 from repro.packet.generator import PacketGenerator, TraceConfig
 
 

@@ -48,7 +48,7 @@ def test_benchmarks_smoke_mode():
         timeout=600,
     )
     assert completed.returncode == 0, (
-        f"benchmark smoke run failed\n"
+        "benchmark smoke run failed\n"
         f"stdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
     )
     assert " passed" in completed.stdout
@@ -80,6 +80,6 @@ def test_smoke_env_knob_matches_flag():
         timeout=600,
     )
     assert completed.returncode == 0, (
-        f"env-knob smoke run failed\n"
+        "env-knob smoke run failed\n"
         f"stdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
     )

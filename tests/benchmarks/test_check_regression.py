@@ -1,0 +1,153 @@
+"""The CI perf-regression gate must actually gate: a synthetic
+regression in a speedup ratio fails the check, measurements inside the
+tolerance band pass, and bench-mode churn (keys on one side only) never
+blocks."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS = Path(__file__).resolve().parents[2] / "benchmarks"
+sys.path.insert(0, str(BENCHMARKS))
+
+import check_regression  # noqa: E402  (path set up above)
+
+
+def write_record(path: Path, speedups: dict) -> Path:
+    path.write_text(json.dumps({"benchmark": "throughput", "speedups": speedups}))
+    return path
+
+
+BASELINE = {
+    "cached_batch_vs_decomposition": 20.0,
+    "pipelined_vs_serial_shm_small_batch": 1.1,
+}
+
+
+class TestRunChecks:
+    def test_within_band_passes(self):
+        checks = check_regression.run_checks(
+            BASELINE,
+            {
+                # Smoke ratios legitimately sit below full-run ones; the
+                # band absorbs that.
+                "cached_batch_vs_decomposition": 6.0,
+                "pipelined_vs_serial_shm_small_batch": 1.0,
+            },
+        )
+        assert checks and all(check.ok for check in checks)
+
+    def test_synthetic_regression_fails(self):
+        """The demonstration the gate exists for: cached batch collapsing
+        from 20x to 2x must trip the check."""
+        checks = check_regression.run_checks(
+            BASELINE,
+            {
+                "cached_batch_vs_decomposition": 2.0,
+                "pipelined_vs_serial_shm_small_batch": 1.0,
+            },
+        )
+        failed = [check for check in checks if not check.ok]
+        assert [check.key for check in failed] == [
+            "cached_batch_vs_decomposition"
+        ]
+
+    def test_key_churn_is_not_gated(self):
+        """A mode only in the baseline (skipped in smoke) or only in the
+        current run (newer than the committed record) is ignored."""
+        checks = check_regression.run_checks(
+            {"old_mode": 5.0, "shared": 2.0},
+            {"new_mode": 0.01, "shared": 2.0},
+        )
+        assert [check.key for check in checks] == ["shared"]
+        assert all(check.ok for check in checks)
+
+    def test_absolute_floor_guards_near_unity_ratios(self):
+        """Half of a ~1.0x baseline is vacuous; the absolute floor is
+        what actually catches a transport turning into a slowdown."""
+        checks = check_regression.run_checks(
+            {"pipelined_vs_serial_shm_small_batch": 1.07},
+            {"pipelined_vs_serial_shm_small_batch": 0.6},
+        )
+        (check,) = checks
+        assert check.floor == pytest.approx(0.8)  # not 0.5 * 1.07
+        assert not check.ok
+
+    def test_floor_scales_with_tolerance(self):
+        (check,) = check_regression.run_checks(
+            {"k": 10.0}, {"k": 7.9}, tolerances={}, default_tolerance=0.8
+        )
+        assert check.floor == pytest.approx(8.0)
+        assert not check.ok
+
+
+class TestCli:
+    def test_exit_codes_and_output(self, tmp_path, capsys):
+        baseline = write_record(tmp_path / "baseline.json", BASELINE)
+        good = write_record(
+            tmp_path / "good.json",
+            {"cached_batch_vs_decomposition": 8.0},
+        )
+        bad = write_record(
+            tmp_path / "bad.json",
+            {"cached_batch_vs_decomposition": 1.0},
+        )
+        ok = check_regression.main(
+            ["--baseline", str(baseline), "--current", str(good)]
+        )
+        assert ok == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+        failed = check_regression.main(
+            ["--baseline", str(baseline), "--current", str(bad)]
+        )
+        assert failed == 1
+        assert "FAIL cached_batch_vs_decomposition" in capsys.readouterr().out
+
+    def test_tolerance_override(self, tmp_path):
+        baseline = write_record(tmp_path / "baseline.json", {"k": 10.0})
+        current = write_record(tmp_path / "current.json", {"k": 9.0})
+        assert (
+            check_regression.main(
+                [
+                    "--baseline",
+                    str(baseline),
+                    "--current",
+                    str(current),
+                    "--tolerance",
+                    "0.95",
+                ]
+            )
+            == 1
+        )
+        assert (
+            check_regression.main(
+                [
+                    "--baseline",
+                    str(baseline),
+                    "--current",
+                    str(current),
+                    "--tolerance",
+                    "0.8",
+                ]
+            )
+            == 0
+        )
+
+    def test_empty_speedups_rejected(self, tmp_path):
+        empty = write_record(tmp_path / "empty.json", {})
+        with pytest.raises(SystemExit):
+            check_regression.load_speedups(empty)
+
+    def test_gate_passes_on_the_committed_record_itself(self):
+        """Self-check: the committed baseline trivially satisfies its own
+        bands (tolerances are all < 1)."""
+        baseline = check_regression.load_speedups(
+            check_regression.BASELINE_PATH
+        )
+        checks = check_regression.run_checks(baseline, baseline)
+        assert checks and all(check.ok for check in checks)

@@ -13,7 +13,6 @@ from repro.core.architecture import MultiTableLookupArchitecture
 from repro.filters.rule import Application, Rule, RuleSet
 from repro.openflow.match import PrefixMatch
 from repro.openflow.pipeline import OpenFlowPipeline
-from repro.packet.generator import PacketGenerator, TraceConfig
 
 
 class TestMonolithicArchitecture:

@@ -15,9 +15,8 @@ from repro.core.builder import build_lookup_table
 from repro.core.lookup_table import OpenFlowLookupTable
 from repro.filters.rule import Application, Rule, RuleSet
 from repro.openflow.flow import FlowEntry
-from repro.openflow.match import ExactMatch, Match, PrefixMatch, RangeMatch
+from repro.openflow.match import ExactMatch, Match, PrefixMatch
 from repro.openflow.table import FlowTable
-from repro.packet.generator import PacketGenerator, TraceConfig
 from repro.util.bits import canonical_prefix, mask_of
 
 

@@ -105,7 +105,7 @@ def test_split_table_a_size_is_unique_port_count(specs):
 
 from repro.core.lookup_table import OpenFlowLookupTable
 from repro.openflow.flow import FlowEntry
-from repro.openflow.match import Match, WildcardMatch
+from repro.openflow.match import Match
 from repro.openflow.table import FlowTable
 from repro.runtime.cache import MicroflowCache
 

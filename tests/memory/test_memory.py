@@ -64,7 +64,7 @@ class TestTrieGroupCost:
         trie = make_trie([(0x0A00, 8)])  # 1 L1 path + 4 expanded L2 records
         costs, fmt = trie_group_cost({"t": trie})
         levels = costs["t"].levels
-        assert [l.records for l in levels] == [1, 4, 0]
+        assert [level.records for level in levels] == [1, 4, 0]
         assert costs["t"].total_bits == (
             1 * fmt.record_bits(1) + 4 * fmt.record_bits(2)
         )
@@ -73,7 +73,7 @@ class TestTrieGroupCost:
     def test_full_array_counts(self):
         trie = make_trie([(0x0A14, 16)])
         costs, _ = trie_group_cost({"t": trie}, MemoryModel.FULL_ARRAY)
-        assert [l.records for l in costs["t"].levels] == [32, 32, 64]
+        assert [level.records for level in costs["t"].levels] == [32, 32, 64]
 
     def test_kbits_property(self):
         trie = make_trie([(0x0A14, 16)])

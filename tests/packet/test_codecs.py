@@ -32,7 +32,15 @@ port = st.integers(min_value=0, max_value=65535)
 
 
 def roundtrip(packet: Packet) -> Packet:
-    return parse_packet(build_packet(packet), in_port=packet.in_port)
+    """Build then parse; the parsed packet additionally knows its wire
+    length, which is asserted here and blanked for the field-level
+    comparisons (built packets carry frame_len=0 = unknown)."""
+    from dataclasses import replace
+
+    frame = build_packet(packet)
+    parsed = parse_packet(frame, in_port=packet.in_port)
+    assert parsed.frame_len == len(frame)
+    return replace(parsed, frame_len=packet.frame_len)
 
 
 class TestRoundTrip:

@@ -148,10 +148,19 @@ class TestTransportSchema:
 
     def test_schema_widths_come_from_the_registry(self):
         from repro.openflow.fields import REGISTRY
-        from repro.packet.headers import transport_schema
+        from repro.packet.headers import (
+            FRAME_LEN_BITS,
+            FRAME_LEN_FIELD,
+            transport_schema,
+        )
 
         schema = transport_schema()
         assert schema["ipv6_src"] == 128
         assert schema["metadata"] == 64
         for name, bits in schema.items():
+            if name == FRAME_LEN_FIELD:
+                # Packet metadata, not an OXM match field: its width is
+                # declared next to the constant, not in the registry.
+                assert bits == FRAME_LEN_BITS
+                continue
             assert REGISTRY[name].bits == bits

@@ -9,11 +9,15 @@ classification paths —
 3. batched (``BatchPipeline``, caches off),
 4. microflow-cached batch,
 5. two-tier megaflow batch,
-6. sharded shared-memory (``ShardedBatchPipeline``, transport="shm") —
+6. sharded shared-memory, pipelined (``ShardedBatchPipeline``,
+   transport="shm", depth=3 — bursts stream through the
+   double-buffered dispatch/collect loop) —
 
 and every path must produce identical :class:`PipelineResult`\\ s per
-packet **and** identical post-run per-entry flow-stats counters.  The
-scan path anchors correctness (it is the spec); everything else is an
+packet **and** identical post-run per-entry flow-stats counters —
+packets and bytes: every trace packet carries a deterministic frame
+length, so byte accounting is exercised on every example.  The scan
+path anchors correctness (it is the spec); everything else is an
 optimisation that must be observationally invisible.
 
 CI runs this file explicitly and fails if it was skipped (e.g. a
@@ -43,6 +47,7 @@ from repro.openflow.match import ExactMatch, Match, PrefixMatch, RangeMatch
 from repro.openflow.pipeline import OpenFlowPipeline
 from repro.openflow.table import FlowTable
 from repro.packet.generator import PacketGenerator, TraceConfig
+from repro.packet.headers import FRAME_LEN_FIELD
 from repro.runtime import BatchPipeline, ShardedBatchPipeline
 
 #: Match schema: one exact, two prefix, one range, one exact field — all
@@ -155,11 +160,14 @@ def _build_entry(rule_spec) -> tuple[int, FlowEntry]:
 
 def _build_trace(example) -> list[dict[str, int]]:
     """One shared packet pool; duplicate picks alias the same dicts
-    (exactly how the scenario generators build traces)."""
+    (exactly how the scenario generators build traces).  Every pool
+    entry carries a deterministic per-flow frame length, so byte
+    counters accrue distinct (conservation-checkable) values on every
+    example."""
     generator = PacketGenerator(TraceConfig(seed=example["seed"]))
     pool: list[dict[str, int]] = []
     rules = example["rules"]
-    for kind, pick, drop in example["packets"]:
+    for index, (kind, pick, drop) in enumerate(example["packets"]):
         if kind == "rule":
             match = _build_match(rules[pick % len(rules)][1])
             fields = generator.fields_matching(match, fill_fields=SCHEMA)
@@ -167,6 +175,7 @@ def _build_trace(example) -> list[dict[str, int]]:
             fields = generator.random_fields(SCHEMA)
         if drop:
             fields.pop(SCHEMA[pick % len(SCHEMA)], None)
+        fields[FRAME_LEN_FIELD] = 64 + 97 * index  # distinct per flow
         pool.append(fields)
     return [pool[pick % len(pool)] for pick in example["dup_picks"]]
 
@@ -207,11 +216,20 @@ class Replayer:
     def classify(self, burst):
         if self.runner is None:
             self.results.extend(self.pipeline.process(p) for p in burst)
+            return
+        chunks = [
+            burst[start : start + BATCH_SIZE]
+            for start in range(0, len(burst), BATCH_SIZE)
+        ]
+        process_batches = getattr(self.runner, "process_batches", None)
+        if process_batches is not None:
+            # The pipelined dispatch/collect loop: multi-chunk bursts
+            # genuinely overlap in flight.
+            for chunk_results in process_batches(chunks):
+                self.results.extend(chunk_results)
         else:
-            for start in range(0, len(burst), BATCH_SIZE):
-                self.results.extend(
-                    self.runner.process_batch(burst[start : start + BATCH_SIZE])
-                )
+            for chunk in chunks:
+                self.results.extend(self.runner.process_batch(chunk))
 
     def replay(self, example, trace):
         cursor = 0
@@ -279,7 +297,7 @@ RUNNERS = {
             pipeline, cache_capacity=16, megaflow_capacity=32
         ),
     ),
-    "sharded-shm": (
+    "sharded-shm-pipelined": (
         _lookup_tables,
         lambda pipeline: ShardedBatchPipeline(
             pipeline,
@@ -287,6 +305,7 @@ RUNNERS = {
             cache_capacity=16,
             megaflow_capacity=32,
             transport="shm",
+            depth=3,
         ),
     ),
 }

@@ -2,6 +2,7 @@
 across the scenario catalog, and the mutation-log catch-up protocol."""
 
 import pickle
+from pathlib import Path
 
 import pytest
 
@@ -341,3 +342,273 @@ class TestMidBatchMutation:
                 for entry in table
             )
             assert counted == total_matched == sharded.flow_packets
+
+
+class TestPipelined:
+    """The double-buffered dispatch/collect loop: up to ``depth`` batches
+    in flight, each classified at its own submission-time log snapshot —
+    results must stay bitwise-identical to lockstep, in FIFO order, with
+    mutations between submissions landing between batches."""
+
+    def batches(self, rule_set, count=12, size=16):
+        workload = SCENARIOS["zipf"](
+            rule_set, packet_count=count * size, flow_count=10
+        )
+        (event,) = workload.events
+        trace = event[1]
+        return [trace[i : i + size] for i in range(0, len(trace), size)]
+
+    @pytest.mark.parametrize("transport", ["shm", "pickle"])
+    @pytest.mark.parametrize("depth", [2, 4])
+    def test_stream_matches_lockstep(
+        self, small_routing_set, transport, depth
+    ):
+        batches = self.batches(small_routing_set)
+        single = BatchPipeline(
+            make_arch(small_routing_set), cache_capacity=64
+        )
+        expected = [single.process_batch(batch) for batch in batches]
+        with ShardedBatchPipeline(
+            make_arch(small_routing_set),
+            workers=2,
+            cache_capacity=64,
+            transport=transport,
+            depth=depth,
+        ) as sharded:
+            # Pipelining is shm-only: whole-payload pickling can fill
+            # both pipe directions at once (deadlock), so pickle clamps
+            # to lockstep — process_batches still streams correctly.
+            assert sharded.depth == (depth if transport == "shm" else 1)
+            got = list(sharded.process_batches(batches))
+            assert sharded.in_flight == 0
+            flow_packets = sharded.flow_packets
+            flow_bytes = sharded.flow_bytes
+        assert len(got) == len(expected)
+        for got_chunk, expected_chunk in zip(got, expected):
+            assert len(got_chunk) == len(expected_chunk)
+            for a, b in zip(got_chunk, expected_chunk):
+                assert_same_result(a, b)
+        # Byte-exact stats merge across the pipelined stream.
+        assert flow_packets == single.flow_packets > 0
+        assert flow_bytes == single.flow_bytes > 0
+
+    def test_submit_collect_fifo(self, small_routing_set):
+        batches = self.batches(small_routing_set, count=4)
+        single = BatchPipeline(make_arch(small_routing_set), cache_capacity=64)
+        expected = [single.process_batch(batch) for batch in batches]
+        with ShardedBatchPipeline(
+            make_arch(small_routing_set), workers=2, depth=2, cache_capacity=64
+        ) as sharded:
+            sharded.submit_batch(batches[0])
+            sharded.submit_batch(batches[1])
+            assert sharded.in_flight == 2
+            with pytest.raises(RuntimeError):
+                sharded.submit_batch(batches[2])
+            for expected_chunk in expected[:2]:
+                for a, b in zip(sharded.collect_batch(), expected_chunk):
+                    assert_same_result(a, b)
+            with pytest.raises(RuntimeError):
+                sharded.collect_batch()
+            # process_batch drains nothing outstanding and stays usable.
+            for a, b in zip(sharded.process_batch(batches[2]), expected[2]):
+                assert_same_result(a, b)
+
+    def test_empty_submit_rejected(self, small_routing_set):
+        with ShardedBatchPipeline(
+            make_arch(small_routing_set), workers=2, depth=2
+        ) as sharded:
+            with pytest.raises(ValueError, match="empty batch"):
+                sharded.submit_batch([])
+
+    def test_process_batch_refuses_to_drop_in_flight_results(
+        self, small_routing_set
+    ):
+        """Mixing the APIs must never silently lose classified packets:
+        process_batch with submit_batch results outstanding raises
+        instead of draining them into the void."""
+        batches = self.batches(small_routing_set, count=2)
+        with ShardedBatchPipeline(
+            make_arch(small_routing_set), workers=2, depth=2
+        ) as sharded:
+            sharded.submit_batch(batches[0])
+            with pytest.raises(RuntimeError, match="in flight"):
+                sharded.process_batch(batches[1])
+            with pytest.raises(RuntimeError, match="in flight"):
+                sharded.process_batches([batches[1]])
+            sharded.collect_batch()
+            assert len(sharded.process_batch(batches[1])) == len(batches[1])
+
+    def test_concurrent_streams_rejected(self, small_routing_set):
+        """Two live process_batches() generators would interleave on the
+        shared FIFO and swap results between streams; the second must
+        raise, and a finished stream frees the slot."""
+        batches = self.batches(small_routing_set, count=4)
+        with ShardedBatchPipeline(
+            make_arch(small_routing_set), workers=2, depth=2
+        ) as sharded:
+            stream = sharded.process_batches(batches[:2])
+            with pytest.raises(RuntimeError, match="stream is live"):
+                sharded.process_batches(batches[2:])
+            with pytest.raises(RuntimeError, match="stream is live"):
+                sharded.process_batch(batches[2])
+            with pytest.raises(RuntimeError, match="stream is live"):
+                sharded.submit_batch(batches[2])
+            assert len(list(stream)) == 2  # exhausting frees the slot
+            assert len(list(sharded.process_batches(batches[2:]))) == 2
+
+    def test_large_mutation_backlog_is_not_pipelined(self, small_routing_set):
+        """An unbounded mutation suffix inside the 'small' control
+        message could fill the pipe while a worker's reply blocks the
+        other direction; past the backlog bound the stream must drain
+        before submitting and submit_batch must refuse."""
+        limit = ShardedBatchPipeline.MAX_PIPELINED_MUTATION_BACKLOG
+        batches = self.batches(small_routing_set, count=3)
+        single = BatchPipeline(make_arch(small_routing_set), cache_capacity=64)
+        with ShardedBatchPipeline(
+            make_arch(small_routing_set), workers=2, depth=2
+        ) as sharded:
+            sharded.submit_batch(batches[0])
+            entry = FlowEntry.build(
+                match=Match.exact(in_port=6),
+                priority=999,
+                instructions=[WriteActions([OutputAction(106)])],
+            )
+            for _ in range(limit + 1):
+                sharded.pipeline.table(0).add(entry)
+                sharded.pipeline.table(0).remove(entry.match, entry.priority)
+            with pytest.raises(RuntimeError, match="backlog"):
+                sharded.submit_batch(batches[1])
+            sharded.collect_batch()
+            sharded.submit_batch(batches[1])  # empty in-flight: fine
+            sharded.collect_batch()
+            # The stream path handles the same burst by draining, and
+            # stays bitwise-identical.
+            for _ in range(limit + 1):
+                sharded.pipeline.table(0).add(entry)
+                sharded.pipeline.table(0).remove(entry.match, entry.priority)
+            got = list(sharded.process_batches(batches))
+        expected = [single.process_batch(batch) for batch in batches]
+        for got_chunk, expected_chunk in zip(got, expected):
+            for a, b in zip(got_chunk, expected_chunk):
+                assert_same_result(a, b)
+
+    def test_pickle_transport_clamps_depth(self, small_routing_set):
+        sharded = ShardedBatchPipeline(
+            make_arch(small_routing_set),
+            workers=1,
+            transport="pickle",
+            depth=4,
+        )
+        assert sharded.depth == 1
+
+    def test_mutation_between_submissions_lands_between_batches(
+        self, small_routing_set
+    ):
+        """A flow-mod applied after submit(N) but before submit(N+1) must
+        be invisible to batch N and authoritative for batch N+1 — the
+        per-in-flight log-length snapshot, not a per-drain one."""
+        probe = [{"in_port": 5, "ipv4_dst": d} for d in range(16)]
+        shadow = FlowEntry.build(
+            match=Match.exact(in_port=5),
+            priority=999,
+            instructions=[WriteActions([OutputAction(105)])],
+        )
+        with ShardedBatchPipeline(
+            make_arch(small_routing_set), workers=2, depth=2
+        ) as sharded:
+            before = sharded.process_batch(probe)
+            sharded.submit_batch(probe)
+            sharded.pipeline.table(0).add(shadow)
+            sharded.submit_batch(probe)
+            old_state = sharded.collect_batch()
+            new_state = sharded.collect_batch()
+        for a, b in zip(old_state, before):
+            assert_same_result(a, b)
+        assert shadow.stats.packet_count == len(probe)
+        assert all(r.output_ports == [105] for r in new_state)
+
+    def test_empty_batches_in_stream(self, small_routing_set):
+        batches = self.batches(small_routing_set, count=3)
+        stream = [batches[0], [], batches[1], [], [], batches[2]]
+        single = BatchPipeline(make_arch(small_routing_set), cache_capacity=64)
+        expected = [single.process_batch(batch) for batch in stream]
+        with ShardedBatchPipeline(
+            make_arch(small_routing_set), workers=2, depth=3
+        ) as sharded:
+            got = list(sharded.process_batches(stream))
+        assert [len(chunk) for chunk in got] == [
+            len(chunk) for chunk in expected
+        ]
+        for got_chunk, expected_chunk in zip(got, expected):
+            for a, b in zip(got_chunk, expected_chunk):
+                assert_same_result(a, b)
+
+    def test_depth_validated(self, small_routing_set):
+        with pytest.raises(ValueError):
+            ShardedBatchPipeline(
+                make_arch(small_routing_set), workers=1, depth=0
+            )
+
+    def test_close_drains_in_flight(self, small_routing_set):
+        batches = self.batches(small_routing_set, count=2)
+        sharded = ShardedBatchPipeline(
+            make_arch(small_routing_set), workers=2, depth=2
+        )
+        sharded.submit_batch(batches[0])
+        sharded.submit_batch(batches[1])
+        sharded.close()  # must not deadlock or leave replies queued
+        assert sharded.in_flight == 0
+
+
+def _shm_segments() -> set[str]:
+    shm = Path("/dev/shm")
+    if not shm.is_dir():  # pragma: no cover - non-Linux
+        return set()
+    return {p.name for p in shm.iterdir()}
+
+
+@pytest.mark.skipif(
+    not Path("/dev/shm").is_dir(), reason="no /dev/shm on this platform"
+)
+class TestSharedMemoryLifecycle:
+    """Sharded runs must not strand segments in /dev/shm — neither on a
+    clean close nor when the runner is abandoned mid-flight (the
+    ``SharedBlock`` finalizer guard)."""
+
+    def run_batches(self, runner, rule_set):
+        workload = SCENARIOS["zipf"](rule_set, packet_count=96, flow_count=8)
+        run_workload(runner, workload, batch_size=16)
+
+    def test_close_leaves_no_segments(self, small_routing_set):
+        before = _shm_segments()
+        with ShardedBatchPipeline(
+            make_arch(small_routing_set), workers=2, depth=3
+        ) as sharded:
+            self.run_batches(sharded, small_routing_set)
+        leaked = _shm_segments() - before
+        assert not leaked, f"segments left in /dev/shm: {sorted(leaked)}"
+
+    def test_abandoned_runner_leaves_no_segments(self, small_routing_set):
+        """Interrupted-run stand-in: drop the runner without close();
+        the finalizers must unlink every parent-owned segment and the
+        worker teardown (EOF on the pipe) the worker-owned ones."""
+        import gc
+        import time
+
+        before = _shm_segments()
+        sharded = ShardedBatchPipeline(
+            make_arch(small_routing_set), workers=2, depth=2
+        )
+        self.run_batches(sharded, small_routing_set)
+        procs = list(sharded._procs)
+        del sharded
+        gc.collect()
+        for proc in procs:
+            proc.join(timeout=10)
+        # Workers unlink their response rings on EOF; give the kernel a
+        # beat to reap before asserting.
+        deadline = time.monotonic() + 5
+        while _shm_segments() - before and time.monotonic() < deadline:
+            time.sleep(0.05)
+        leaked = _shm_segments() - before
+        assert not leaked, f"segments left in /dev/shm: {sorted(leaked)}"

@@ -8,7 +8,7 @@ import pytest
 from repro.core.lookup_table import OpenFlowLookupTable
 from repro.openflow.actions import OutputAction, SetFieldAction
 from repro.openflow.flow import FlowEntry
-from repro.openflow.instructions import ApplyActions, WriteActions
+from repro.openflow.instructions import WriteActions
 from repro.openflow.match import Match
 from repro.openflow.pipeline import OpenFlowPipeline, PipelineResult
 from repro.openflow.table import FlowTable
@@ -138,6 +138,44 @@ class TestSharedBlock:
         block.ensure(10)
         block.close()
         block.close()
+
+    def test_close_unlinks_the_segment(self):
+        import multiprocessing.shared_memory as shared_memory
+
+        block = SharedBlock()
+        block.ensure(10)
+        name = block.name
+        block.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_abandoned_block_is_unlinked_by_the_finalizer(self):
+        """The interrupted-run guard: dropping a block without close()
+        must still unlink the segment at GC, not strand it in /dev/shm
+        until reboot."""
+        import gc
+        import multiprocessing.shared_memory as shared_memory
+
+        block = SharedBlock()
+        block.ensure(10)
+        name = block.name
+        del block
+        gc.collect()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_growth_unlinks_the_outgrown_segment(self):
+        import multiprocessing.shared_memory as shared_memory
+
+        block = SharedBlock()
+        try:
+            block.ensure(10)
+            first = block.name
+            block.ensure(MIN_BLOCK_BYTES * 3)
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=first)
+        finally:
+            block.close()
 
 
 def _result(entry_tables, entries, ports, fields, actions=()):
