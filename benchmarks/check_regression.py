@@ -46,6 +46,11 @@ TOLERANCES = {
     "sharded_vs_single": 0.3,
     "shm_vs_pickle_small_batch": 0.5,
     "pipelined_vs_serial_shm_small_batch": 0.5,
+    # Columnar-vs-dict ratios collapse hardest in smoke mode: the tiny
+    # traces are cold-cache dominated, and the cold path (table
+    # resolution) is shared by both sides.
+    "columnar_vs_dict_cached_batch": 0.2,
+    "columnar_vs_dict_megaflow_uniform_wide": 0.3,
 }
 DEFAULT_TOLERANCE = 0.3
 
@@ -59,7 +64,25 @@ DEFAULT_TOLERANCE = 0.3
 ABSOLUTE_FLOORS = {
     "shm_vs_pickle_small_batch": 0.65,
     "pipelined_vs_serial_shm_small_batch": 0.8,
+    "columnar_vs_dict_cached_batch": 0.6,
+    "columnar_vs_dict_megaflow_uniform_wide": 0.6,
 }
+
+#: Speedup keys whose ratio depends on how many cores the host has
+#: (process fan-out measures scheduler contention on one core and real
+#: parallelism on many).  Each measured ratio is stamped with the
+#: ``cpu_count`` it was taken on (the bench writes a ``speedup_cpus``
+#: section next to ``speedups``); when the baseline stamp and the
+#: current host disagree, these keys are *skipped* instead of gated —
+#: a multi-core CI runner must not be held to (or excused by) a
+#: single-core baseline like the committed ``sharded_vs_single: 0.24``.
+CPU_SENSITIVE_KEYS = frozenset(
+    {
+        "sharded_vs_single",
+        "shm_vs_pickle_small_batch",
+        "pipelined_vs_serial_shm_small_batch",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -77,11 +100,27 @@ class Check:
 
 
 def load_speedups(path: Path) -> dict[str, float]:
+    speedups, _ = load_record(path)
+    return speedups
+
+
+def load_record(path: Path) -> tuple[dict[str, float], dict[str, int]]:
+    """The ``speedups`` section plus each key's cpu stamp.
+
+    Per-key stamps come from the ``speedup_cpus`` section when present
+    (a merged record can carry ratios measured on different hosts),
+    falling back to the record's top-level ``cpu_count``.
+    """
     record = json.loads(path.read_text())
     speedups = record.get("speedups")
     if not isinstance(speedups, dict) or not speedups:
         raise SystemExit(f"{path}: no speedups section to gate on")
-    return {key: float(value) for key, value in speedups.items()}
+    stamps = record.get("speedup_cpus") or {}
+    default_cpus = record.get("cpu_count")
+    cpus = {
+        key: int(stamps.get(key, default_cpus) or 0) for key in speedups
+    }
+    return {key: float(value) for key, value in speedups.items()}, cpus
 
 
 def run_checks(
@@ -90,13 +129,23 @@ def run_checks(
     tolerances: dict[str, float] | None = None,
     default_tolerance: float = DEFAULT_TOLERANCE,
     absolute_floors: dict[str, float] | None = None,
+    baseline_cpus: dict[str, int] | None = None,
+    current_cpus: dict[str, int] | None = None,
+    skipped: list[str] | None = None,
 ) -> list[Check]:
     """Compare every key present in *both* records.
 
     Keys only in the baseline (a mode the smoke run skipped) or only in
     the current run (a mode newer than the committed record) are not
     gated — the gate must not block adding or retiring bench modes; the
-    committed record catches up on the next full run.
+    committed record catches up on the next full run.  Cpu-sensitive
+    keys (:data:`CPU_SENSITIVE_KEYS`) whose baseline cpu stamp differs
+    from the current host's drop the baseline-relative band — a
+    sharded-vs-single ratio from a 1-cpu host says nothing about a
+    4-cpu runner, in either direction — but keep their *absolute*
+    floor when one exists (it encodes "this transport must not be a
+    slowdown", which holds on any host); keys with no absolute floor
+    are skipped entirely (appended to ``skipped`` when given).
     """
     tolerances = TOLERANCES if tolerances is None else tolerances
     absolute_floors = (
@@ -104,16 +153,27 @@ def run_checks(
     )
     checks = []
     for key in sorted(set(baseline) & set(current)):
-        tolerance = tolerances.get(key, default_tolerance)
+        floor = max(
+            tolerances.get(key, default_tolerance) * baseline[key],
+            absolute_floors.get(key, 0.0),
+        )
+        if (
+            key in CPU_SENSITIVE_KEYS
+            and baseline_cpus is not None
+            and current_cpus is not None
+            and baseline_cpus.get(key) != current_cpus.get(key)
+        ):
+            if key not in absolute_floors:
+                if skipped is not None:
+                    skipped.append(key)
+                continue
+            floor = absolute_floors[key]
         checks.append(
             Check(
                 key=key,
                 baseline=baseline[key],
                 current=current[key],
-                floor=max(
-                    tolerance * baseline[key],
-                    absolute_floors.get(key, 0.0),
-                ),
+                floor=floor,
             )
         )
     return checks
@@ -156,14 +216,32 @@ def main(argv: list[str] | None = None) -> int:
         absolute_floors = {}
         default_tolerance = args.tolerance
 
+    baseline_speedups, baseline_cpus = load_record(args.baseline)
+    current_speedups, current_cpus = load_record(args.current)
+    skipped: list[str] = []
     checks = run_checks(
-        load_speedups(args.baseline),
-        load_speedups(args.current),
+        baseline_speedups,
+        current_speedups,
         tolerances=tolerances,
         default_tolerance=default_tolerance,
         absolute_floors=absolute_floors,
+        baseline_cpus=baseline_cpus,
+        current_cpus=current_cpus,
+        skipped=skipped,
     )
+    for key in skipped:
+        print(
+            f"skip {key}: baseline measured on {baseline_cpus.get(key)} "
+            f"cpu(s), current on {current_cpus.get(key)} — "
+            "cpu-sensitive ratio not comparable"
+        )
     if not checks:
+        if skipped:
+            print(
+                f"all {len(skipped)} overlapping keys were cpu-skipped; "
+                "nothing left to gate on this host"
+            )
+            return 0
         print("no overlapping speedup keys; nothing to gate", file=sys.stderr)
         return 1
 

@@ -12,9 +12,14 @@ fields.  This package provides:
   byte-level wire-format codecs (parse/serialise round-trip);
 - :mod:`repro.packet.generator` — deterministic packet-trace generation,
   including traces derived from rule sets so benchmarks can control hit
-  rates.
+  rates;
+- :mod:`repro.packet.batch` — :class:`PacketBatch`, the columnar batch
+  container (uint64 lanes + presence bytes, shared rows under a ``pick``
+  indirection) the runtime's vectorized cache tiers and decode-free
+  shard workers operate on.
 """
 
+from repro.packet.batch import PacketBatch, packed_masked_key
 from repro.packet.headers import (
     Ethernet,
     Header,
@@ -27,7 +32,7 @@ from repro.packet.headers import (
     Vlan,
 )
 from repro.packet.packet import Packet
-from repro.packet.parser import ParseError, parse_packet
+from repro.packet.parser import ParseError, parse_batch, parse_packet
 from repro.packet.builder import build_packet
 from repro.packet.generator import PacketGenerator, TraceConfig
 
@@ -39,6 +44,7 @@ __all__ = [
     "IPv6",
     "Mpls",
     "Packet",
+    "PacketBatch",
     "PacketGenerator",
     "ParseError",
     "Tcp",
@@ -46,5 +52,7 @@ __all__ = [
     "Udp",
     "Vlan",
     "build_packet",
+    "packed_masked_key",
+    "parse_batch",
     "parse_packet",
 ]

@@ -1,0 +1,469 @@
+"""Columnar packet batches — the runtime's decode-free representation.
+
+A :class:`PacketBatch` holds one batch of extracted-field dicts as dense
+numpy columns: per field, one ``uint64`` lane per 64 bits of value width
+plus an optional presence byte, exactly the layout the shared-memory
+:class:`~repro.runtime.transport.PacketBlockCodec` ships between
+processes.  Identical packet *objects* (traces sample flow pools of
+shared dicts) are stored once as a **row**; a ``pick`` indirection array
+maps batch positions onto rows, so duplicate-heavy traffic keeps its
+aliasing and every vectorized operation runs over distinct rows instead
+of positions.
+
+The point of the container is that the hot lookup tiers never leave it:
+
+- :meth:`key_hashes` folds a field subset's lanes (and presence bytes)
+  into one ``uint64`` hash per row with numpy — the microflow probe and
+  the sharded runtime's worker assignment both key on it;
+- :meth:`packed_keys` / :meth:`masked_packed_keys` produce exact packed
+  byte keys per row (full-tuple for the microflow tier, ``value & mask``
+  under a megaflow wildcard mask), so a hash hit is *verified* against
+  the real key and collisions degrade to cache misses, never to wrong
+  results;
+- :meth:`row_fields` / :meth:`fields_at` materialise plain dicts lazily,
+  one distinct row at a time, only for packets that actually need the
+  dict path (cache misses walking the full pipeline).
+
+Batches slice into cheap views (`batch[a:b]`) that share the underlying
+column store — and therefore share the per-row dict cache *and* the
+per-row key/hash memos, so chunking one workload event into
+pipeline-sized batches vectorises each key computation once for the
+whole event.
+
+``frame_len`` (:data:`~repro.packet.headers.FRAME_LEN_FIELD`) rides
+along as one more column for byte accounting (:meth:`frame_lengths`)
+but is **never** part of a key or mask: :meth:`key_hashes` and friends
+take explicit field-name lists, and no match schema or megaflow mask
+contains it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, NamedTuple, Sequence
+
+import numpy as np
+
+from repro.packet.headers import FRAME_LEN_FIELD, transport_schema
+
+_LANE_MASK = 0xFFFFFFFFFFFFFFFF
+
+#: FNV-1a style constants for the vectorized hash combine (wraparound
+#: uint64 arithmetic; numpy integer ops wrap silently, which is exactly
+#: the semantics a hash mix wants).
+_HASH_SEED = np.uint64(0xCBF29CE484222325)
+_HASH_PRIME = np.uint64(0x100000001B3)
+_HASH_MISSING = np.uint64(0x9E3779B97F4A7C15)
+
+
+class FieldLanes(NamedTuple):
+    """One field's per-row storage: uint64 lanes and presence bytes."""
+
+    lanes: tuple[np.ndarray, ...]
+    present: np.ndarray | None  # uint8 (0/1) per row; None = all present
+
+
+def _lanes_for(bits: int) -> int:
+    return max(1, (bits + 63) // 64)
+
+
+class _ColumnStore:
+    """Shared row storage behind one or more :class:`PacketBatch` views.
+
+    Holds the distinct rows' columns plus every lazy per-row memo (dict
+    materialisation, key hashes, packed keys, masked keys), so sliced
+    views of one batch amortise each computation across all of them.
+    """
+
+    __slots__ = (
+        "rows",
+        "columns",
+        "row_cache",
+        "key_memo",
+        "mask_memo",
+    )
+
+    def __init__(self, rows: int, columns: dict[str, FieldLanes]):
+        self.rows = rows
+        self.columns = columns
+        #: row index -> materialised field dict (aliased across picks).
+        self.row_cache: dict[int, dict[str, int]] = {}
+        #: field-name tuple -> (layout sig, hashes, packed byte keys).
+        self.key_memo: dict[tuple[str, ...], tuple] = {}
+        #: mask signature -> packed masked byte keys per row.
+        self.mask_memo: dict[tuple, list[bytes]] = {}
+
+
+class PacketBatch:
+    """A columnar view over (a slice of) one batch of packets."""
+
+    __slots__ = ("_store", "pick")
+
+    def __init__(self, store: _ColumnStore, pick: np.ndarray):
+        self._store = store
+        self.pick = pick
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_dicts(
+        cls,
+        batch: Sequence[Mapping[str, int]],
+        schema: Mapping[str, int] | None = None,
+    ) -> "PacketBatch":
+        """Build a columnar batch from field dicts.
+
+        Packets that are the *same dict object* become one row (the
+        ``pick`` column rebuilds the aliasing, and :meth:`row_fields`
+        hands the original dicts back), mirroring the transport codec's
+        identity dedup.  ``schema`` defaults to
+        :func:`~repro.packet.headers.transport_schema`; fields outside
+        it are appended in sorted order with a 64-bit default width
+        (widened automatically when a value needs more lanes).
+        """
+        field_bits = dict(schema if schema is not None else transport_schema())
+        row_of: dict[int, int] = {}
+        rows: list[Mapping[str, int]] = []
+        pick = np.empty(len(batch), dtype=np.int64)
+        for position, packet in enumerate(batch):
+            row = row_of.get(id(packet))
+            if row is None:
+                row = row_of[id(packet)] = len(rows)
+                rows.append(packet)
+            pick[position] = row
+
+        present_names: dict[str, None] = {}
+        for row in rows:
+            for name in row:
+                present_names.setdefault(name, None)
+        names = [name for name in field_bits if name in present_names]
+        names += sorted(
+            name for name in present_names if name not in field_bits
+        )
+
+        columns: dict[str, FieldLanes] = {}
+        for name in names:
+            columns[name] = _encode_column(
+                name, [row.get(name) for row in rows], field_bits.get(name, 64)
+            )
+        store = _ColumnStore(len(rows), columns)
+        # The originals *are* the row dicts: the dict fallback hands the
+        # caller's own aliased objects back, byte-for-byte.
+        store.row_cache = dict(enumerate(rows))
+        return cls(store, pick)
+
+    @classmethod
+    def from_columns(
+        cls,
+        rows: int,
+        columns: dict[str, FieldLanes],
+        pick: np.ndarray,
+    ) -> "PacketBatch":
+        """Wrap pre-built columns (the shared-memory attach path)."""
+        return cls(_ColumnStore(rows, columns), np.asarray(pick, dtype=np.int64))
+
+    # -- container protocol --------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.pick)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return PacketBatch(self._store, self.pick[index])
+        return self.fields_at(int(index))
+
+    def __iter__(self) -> Iterator[dict[str, int]]:
+        for row in self.pick.tolist():
+            yield self.row_fields(row)
+
+    def select(self, positions: Sequence[int]) -> "PacketBatch":
+        """A view of the given batch positions (shares the store)."""
+        return PacketBatch(
+            self._store, self.pick[np.asarray(positions, dtype=np.int64)]
+        )
+
+    def compacted(self) -> "PacketBatch":
+        """A batch whose store holds only the rows this view picks.
+
+        Sliced views share their event's (possibly huge) column store;
+        encoding one into a transport block must ship the view's rows,
+        not the whole event.  Returns ``self`` when every store row is
+        already in use; otherwise gathers the needed rows (the write-
+        side twin of the codec's ``attach`` subsetting).  Key memos and
+        the row-dict cache are *not* carried over — compacted batches
+        are transient encode inputs.
+        """
+        store = self._store
+        needed, inverse = np.unique(self.pick, return_inverse=True)
+        if len(needed) == store.rows:
+            return self
+        columns = {
+            name: FieldLanes(
+                tuple(lane[needed] for lane in lanes),
+                None if present is None else present[needed],
+            )
+            for name, (lanes, present) in store.columns.items()
+        }
+        return PacketBatch(
+            _ColumnStore(len(needed), columns), inverse.astype(np.int64)
+        )
+
+    @property
+    def rows(self) -> int:
+        """Distinct rows behind the *whole* store (views included)."""
+        return self._store.rows
+
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(self._store.columns)
+
+    def column(self, name: str) -> FieldLanes | None:
+        return self._store.columns.get(name)
+
+    # -- lazy dict materialisation -------------------------------------
+
+    def row_fields(self, row: int) -> dict[str, int]:
+        """The field dict for one distinct row (materialised once and
+        aliased across every position that picks it)."""
+        cached = self._store.row_cache.get(row)
+        if cached is None:
+            cached = self._store.row_cache[row] = self._materialise(row)
+        return cached
+
+    def fields_at(self, position: int) -> dict[str, int]:
+        return self.row_fields(int(self.pick[position]))
+
+    def dicts(self) -> list[dict[str, int]]:
+        """Every position's dict, aliasing preserved (the full decode)."""
+        return [self.row_fields(row) for row in self.pick.tolist()]
+
+    def _materialise(self, row: int) -> dict[str, int]:
+        fields: dict[str, int] = {}
+        for name, (lanes, present) in self._store.columns.items():
+            if present is not None and not present[row]:
+                continue
+            value = int(lanes[0][row])
+            for lane_index in range(1, len(lanes)):
+                value |= int(lanes[lane_index][row]) << (64 * lane_index)
+            fields[name] = value
+        return fields
+
+    # -- byte accounting ------------------------------------------------
+
+    def frame_lengths(self) -> np.ndarray:
+        """Per-position on-wire frame lengths (0 where absent)."""
+        column = self._store.columns.get(FRAME_LEN_FIELD)
+        if column is None:
+            return np.zeros(len(self.pick), dtype=np.int64)
+        lane = column.lanes[0].astype(np.int64)
+        if column.present is not None:
+            lane = lane * column.present
+        return lane[self.pick]
+
+    @property
+    def byte_total(self) -> int:
+        return int(self.frame_lengths().sum())
+
+    # -- vectorized keys ------------------------------------------------
+
+    def key_hashes(self, field_names: Sequence[str]) -> np.ndarray:
+        """One ``uint64`` hash per *row* over the named fields.
+
+        The combine folds every lane and the presence byte per field, so
+        a field carrying value 0 and a missing field hash differently,
+        and only the named fields participate — hashing a schema that
+        excludes ``frame_len`` provably cannot see it.
+        """
+        return self._keys(tuple(field_names))[0]
+
+    def packed_keys(
+        self, field_names: Sequence[str]
+    ) -> tuple[tuple, list[bytes]]:
+        """Exact packed key per row over the named fields.
+
+        Returns ``(layout signature, keys)``: the signature names the
+        field/lane layout the bytes were packed under, so keys from
+        batches that happened to widen a field differently can never
+        be confused (a mismatch reads as a cache miss).
+        """
+        _, _, sig, packed = self._keys(tuple(field_names))
+        return sig, packed
+
+    def probe_keys(
+        self, field_names: Sequence[str]
+    ) -> tuple[tuple, list[int], list[bytes]]:
+        """``(signature, hashes, packed keys)`` per row as plain Python
+        objects — the microflow probe's working set, memoized on the
+        store so chunked views of one workload event convert exactly
+        once."""
+        _, hashes, sig, packed = self._keys(tuple(field_names))
+        return sig, hashes, packed
+
+    def _keys(self, names: tuple[str, ...]) -> tuple:
+        memo = self._store.key_memo.get(names)
+        if memo is None:
+            memo = self._store.key_memo[names] = self._compute_keys(names)
+        return memo
+
+    def _compute_keys(self, names: tuple[str, ...]) -> tuple:
+        rows = self._store.rows
+        hashes = np.full(rows, _HASH_SEED, dtype=np.uint64)
+        stack: list[np.ndarray] = []
+        sig: list[tuple[str, int]] = []
+        zeros = ones = None
+        for name in names:
+            column = self._store.columns.get(name)
+            if column is None:
+                if zeros is None:
+                    zeros = np.zeros(rows, dtype=np.uint64)
+                lanes: tuple[np.ndarray, ...] = (zeros,)
+                present = zeros
+            else:
+                lanes = column.lanes
+                if column.present is None:
+                    if ones is None:
+                        ones = np.ones(rows, dtype=np.uint64)
+                    present = ones
+                else:
+                    present = column.present.astype(np.uint64)
+            for lane in lanes:
+                hashes = (hashes ^ lane) * _HASH_PRIME
+                stack.append(lane)
+            hashes = (hashes ^ (present + _HASH_MISSING)) * _HASH_PRIME
+            stack.append(present)
+            sig.append((name, len(lanes)))
+        packed = _pack_rows(stack, rows)
+        return hashes, hashes.tolist(), tuple(sig), packed
+
+    def masked_packed_keys(self, mask: Sequence[tuple[str, int]]) -> list[bytes]:
+        """Packed ``value & mask`` key per row under a megaflow mask.
+
+        The layout is a pure function of the mask (lane counts from each
+        field's mask bits, presence bits packed into one trailing
+        column), so :func:`packed_masked_key` produces byte-identical
+        keys for single dicts — the install-time side of the megaflow
+        packed index.
+        """
+        mask = tuple(mask)
+        memo = self._store.mask_memo.get(mask)
+        if memo is None:
+            memo = self._store.mask_memo[mask] = self._compute_masked(mask)
+        return memo
+
+    def _compute_masked(self, mask: tuple[tuple[str, int], ...]) -> list[bytes]:
+        assert len(mask) <= 64, "mask wider than the presence word"
+        rows = self._store.rows
+        stack: list[np.ndarray] = []
+        presence = np.zeros(rows, dtype=np.uint64)
+        zeros = None
+        for bit, (name, bits) in enumerate(mask):
+            column = self._store.columns.get(name)
+            if column is None:
+                if zeros is None:
+                    zeros = np.zeros(rows, dtype=np.uint64)
+                for _ in range(_lanes_for(bits.bit_length())):
+                    stack.append(zeros)
+                continue
+            lanes, present = column
+            if present is None:
+                presence |= np.uint64(1 << bit)
+            else:
+                presence |= present.astype(np.uint64) << np.uint64(bit)
+            for lane_index in range(_lanes_for(bits.bit_length())):
+                lane_mask = np.uint64((bits >> (64 * lane_index)) & _LANE_MASK)
+                if lane_index < len(lanes):
+                    stack.append(lanes[lane_index] & lane_mask)
+                else:
+                    if zeros is None:
+                        zeros = np.zeros(rows, dtype=np.uint64)
+                    stack.append(zeros)
+        stack.append(presence)
+        return _pack_rows(stack, rows)
+
+
+def packed_masked_key(
+    mask: Sequence[tuple[str, int]], fields: Mapping[str, int]
+) -> bytes:
+    """The single-dict twin of :meth:`PacketBatch.masked_packed_keys`.
+
+    Byte-identical to the vectorized packing for the same packet, so a
+    megaflow entry installed from the dict path is found by the columnar
+    probe (property-tested in ``tests/packet/test_batch.py``).
+    """
+    words: list[int] = []
+    presence = 0
+    for bit, (name, bits) in enumerate(mask):
+        value = fields.get(name)
+        if value is not None:
+            presence |= 1 << bit
+            value &= bits
+        else:
+            value = 0
+        for lane_index in range(_lanes_for(bits.bit_length())):
+            words.append((value >> (64 * lane_index)) & _LANE_MASK)
+    words.append(presence)
+    return np.asarray(words, dtype=np.uint64).tobytes()
+
+
+def _pack_rows(stack: Sequence[np.ndarray], rows: int) -> list[bytes]:
+    """Pack per-row uint64 columns into one bytes key per row."""
+    if not stack:
+        return [b""] * rows
+    packed = np.empty((rows, len(stack)), dtype=np.uint64)
+    for i, column in enumerate(stack):
+        packed[:, i] = column
+    return packed.view(np.dtype((np.void, packed.dtype.itemsize * len(stack)))).ravel().tolist()
+
+
+def _encode_column(
+    name: str, values: Sequence[int | None], bits: int
+) -> FieldLanes:
+    """Columnarise one field's per-row values (width-fallback mirroring
+    the transport codec: values wider than advertised get extra lanes)."""
+    has_missing = any(value is None for value in values)
+    present = (
+        np.fromiter(
+            (value is not None for value in values),
+            dtype=np.uint8,
+            count=len(values),
+        )
+        if has_missing
+        else None
+    )
+    lanes = _lanes_for(bits)
+    if lanes == 1:
+        try:
+            lane = np.fromiter(
+                (0 if value is None else value for value in values),
+                dtype=np.uint64,
+                count=len(values),
+            )
+            return FieldLanes((lane,), present)
+        except (OverflowError, ValueError, TypeError):
+            pass  # wider than advertised; fall through to lane split
+    lanes = max(
+        lanes,
+        max((_value_lanes(name, value) for value in values), default=1),
+    )
+    arrays = tuple(
+        np.fromiter(
+            (
+                0
+                if value is None
+                else (value >> (64 * lane_index)) & _LANE_MASK
+                for value in values
+            ),
+            dtype=np.uint64,
+            count=len(values),
+        )
+        for lane_index in range(lanes)
+    )
+    return FieldLanes(arrays, present)
+
+
+def _value_lanes(name: str, value: int | None) -> int:
+    """Lanes one value needs (rejecting negatives early: lane splitting
+    of negative ints would silently corrupt the roundtrip)."""
+    if value is None:
+        return 1
+    if value < 0:
+        raise ValueError(f"field {name!r} has negative value {value}")
+    return max(1, (value.bit_length() + 63) // 64)

@@ -33,6 +33,7 @@ from repro.packet.headers import (
     Udp,
     Vlan,
 )
+from repro.packet.batch import PacketBatch
 from repro.packet.packet import Packet
 from repro.util.bits import mask_of, prefix_range
 
@@ -256,6 +257,17 @@ class PacketGenerator:
             p = w / w.sum()
         picks = self._rng.choice(len(flows), size=count, p=p)
         return [flows[i] for i in picks]
+
+    def sample_batch(
+        self,
+        flows: Sequence[dict[str, int]],
+        count: int,
+        weights: Sequence[float] | None = None,
+    ) -> PacketBatch:
+        """Columnar :meth:`sample_trace`: the drawn trace emitted as one
+        :class:`~repro.packet.batch.PacketBatch` (flow-pool aliasing
+        becomes shared rows), ready for the runtime's vectorized path."""
+        return PacketBatch.from_dicts(self.sample_trace(flows, count, weights))
 
     def bursty_trace(
         self,

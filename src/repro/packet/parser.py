@@ -30,6 +30,7 @@ from repro.packet.headers import (
     Udp,
     Vlan,
 )
+from repro.packet.batch import PacketBatch
 from repro.packet.packet import Packet
 
 
@@ -183,4 +184,17 @@ def parse_packet(data: bytes, in_port: int = 0) -> Packet:
         in_port=in_port,
         payload=data[offset:],
         frame_len=len(data),
+    )
+
+
+def parse_batch(frames, in_port: int = 0) -> PacketBatch:
+    """Parse a sequence of wire frames straight into a columnar
+    :class:`~repro.packet.batch.PacketBatch`.
+
+    Each frame's extracted match fields (frame length included) become
+    one row; the runtime's vectorized lookup tiers consume the batch
+    without ever building a per-packet dict again.
+    """
+    return PacketBatch.from_dicts(
+        [parse_packet(frame, in_port=in_port).match_fields() for frame in frames]
     )

@@ -81,6 +81,58 @@ stats deltas — per-entry byte counters and
 :attr:`~repro.runtime.batch.BatchStats.flow_bytes` count real traffic
 volume, and the benches report bits/sec.
 
+**Columnar fast path.**  The hot tiers above also run end-to-end on the
+transport's columnar representation, without per-packet dicts.  A
+:class:`~repro.packet.batch.PacketBatch` holds a batch as uint64 lanes
+plus presence bytes over distinct *rows* (duplicate packets share one
+row through a ``pick`` indirection); scenario builders emit it directly
+(``columnar=True`` /
+:func:`~repro.runtime.scenarios.columnar_workload`), and
+:func:`~repro.runtime.batch.run_workload` slices events into views that
+share each event's vectorized key memos.  The microflow tier
+(:meth:`~repro.runtime.cache.MicroflowCache.lookup_batch_columnar`)
+hashes all schema lanes per row in one numpy pass and verifies each
+hash hit against exact packed key bytes (collisions degrade to misses,
+never wrong results); the megaflow tier
+(:meth:`~repro.runtime.megaflow.MegaflowCache.probe_rows`) applies each
+cached wildcard mask as vectorized ``lanes & mask`` compares.  Hits
+replay without dict materialisation — matched-entry stats are credited
+in aggregate from the ``frame_len`` lane, and a replaying
+``run_workload`` with ``keep_results=False`` never builds
+``PipelineResult`` objects at all.  **Dict materialisation still
+happens** for: packets that miss both cache tiers (their rows
+materialise lazily, one distinct row at a time, aliased across
+duplicates, and walk the unchanged wave machinery), megaflow-miss
+traversals installing new aggregates, and any caller that asks for
+materialised results (``keep_results=True`` or ``process_batch``'s
+return value — built as packet fields + recorded rewrite overrides,
+bitwise-identical to the dict path, which the differential property
+harness proves across the whole scenario catalog).
+
+**Decode-free worker protocol.**  With a columnar submission
+(``PacketBatch`` through the shm transport) the control message carries
+a ``columnar`` flag; the worker *attaches* to the request block's
+columns in place (:meth:`~repro.runtime.transport.PacketBlockCodec.attach`)
+instead of decoding its member rows, classifies via
+:meth:`~repro.runtime.batch.BatchPipeline.classify_columnar`, and
+encodes its reply straight from the megaflow templates
+(:func:`~repro.runtime.transport.encode_outcomes`): flags, ports,
+matched-entry refs and action vocabularies come from the cached
+aggregate, rewrite overrides from the entry's recorded override dict,
+frame lengths from the ``frame_len`` lane — so the shm decode step
+disappears from the common (cache-hit) case and only miss rows are
+ever materialised worker-side.  The parent's collect path is unchanged
+and resolves replies against its own pinned tables.
+
+**Out-of-order collection.**  The in-flight window is keyed by ``seq``:
+:meth:`~repro.runtime.shard.ShardedBatchPipeline.collect_batch` takes
+``seq=`` to complete any submitted batch (replies from other batches
+park in a buffer; per-worker pipes deliver in submission order), and
+:meth:`~repro.runtime.shard.ShardedBatchPipeline.collect_any` completes
+whichever batch lands first — a stalled shard delays only the batches
+actually assigned to it.  Ring slots still guard reuse: a submission
+whose slot is held by an uncollected batch raises.
+
 **Scenario catalog.**  :mod:`repro.runtime.scenarios` builds replayable
 :class:`~repro.runtime.batch.Workload` objects from a rule set —
 ``uniform``, ``uniform-wide`` (per-packet noise in an unconstrained
@@ -94,9 +146,11 @@ lookup path over these scenarios and records them in
 on the recorded speedup ratios.
 """
 
+from repro.packet.batch import PacketBatch
 from repro.runtime.batch import (
     BatchPipeline,
     BatchStats,
+    ColumnarOutcomes,
     Workload,
     WorkloadStats,
     run_workload,
@@ -111,6 +165,7 @@ from repro.runtime.scenarios import (
     SCENARIOS,
     bursty_workload,
     churn_workload,
+    columnar_workload,
     uniform_wide_workload,
     uniform_workload,
     widen_rule_set,
@@ -131,6 +186,7 @@ from repro.runtime.transport import (
 __all__ = [
     "BatchPipeline",
     "BatchStats",
+    "ColumnarOutcomes",
     "DEFAULT_CAPACITY",
     "DEFAULT_MEGAFLOW_CAPACITY",
     "EntryIndex",
@@ -138,6 +194,7 @@ __all__ = [
     "MegaflowCache",
     "MegaflowRecorder",
     "MicroflowCache",
+    "PacketBatch",
     "PacketBlockCodec",
     "PipelineSpec",
     "SCENARIOS",
@@ -147,6 +204,7 @@ __all__ = [
     "WorkloadStats",
     "bursty_workload",
     "churn_workload",
+    "columnar_workload",
     "run_workload",
     "uniform_wide_workload",
     "uniform_workload",

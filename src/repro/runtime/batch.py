@@ -33,15 +33,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Sequence
 
+import numpy as np
+
 from repro.openflow.actions import SetFieldAction
 from repro.openflow.pipeline import (
     OpenFlowPipeline,
     PipelineResult,
     written_fields,
 )
+from repro.packet.batch import PacketBatch
 from repro.packet.headers import frame_length
 from repro.runtime.cache import DEFAULT_CAPACITY, MicroflowCache
-from repro.runtime.megaflow import MegaflowCache, MegaflowRecorder
+from repro.runtime.megaflow import (
+    MegaflowCache,
+    MegaflowEntry,
+    MegaflowRecorder,
+    replay_template,
+)
 
 
 @dataclass
@@ -126,14 +134,17 @@ class BatchPipeline:
         """Single-packet convenience wrapper over :meth:`process_batch`."""
         return self.process_batch([packet_fields])[0]
 
-    def process_batch(
-        self, batch: Sequence[Mapping[str, int]]
-    ) -> list[PipelineResult]:
+    def process_batch(self, batch) -> list[PipelineResult]:
         """Run a batch of packets through the pipeline.
 
-        Returns one :class:`PipelineResult` per packet, in input order —
-        identical to mapping ``pipeline.process`` over the batch.
+        ``batch`` is a dict sequence or a columnar
+        :class:`~repro.packet.batch.PacketBatch` (routed through
+        :meth:`classify_columnar`).  Returns one :class:`PipelineResult`
+        per packet, in input order — identical to mapping
+        ``pipeline.process`` over the batch either way.
         """
+        if isinstance(batch, PacketBatch):
+            return self.classify_columnar(batch).results()
         pipeline = self.pipeline
         self.packets += len(batch)
         self.batches += 1
@@ -156,6 +167,110 @@ class BatchPipeline:
         for i in missed:
             results[i] = PipelineResult(final_fields=dict(batch[i]))
 
+        self._run_waves(results, missed, recorders)
+        if self.megaflow is not None and recorders is not None:
+            for i in missed:
+                self.megaflow.install(batch[i], recorders[i], results[i])
+        for result in results:
+            # frame_len is never rewritten, so final_fields carries the
+            # same length every stats.record() saw mid-pipeline.
+            self._credit_result(result, frame_length(result.final_fields))
+        return results
+
+    def _credit_result(self, result: PipelineResult, frame_len: int) -> None:
+        """Fold one packet's outcome into the runner counters — the
+        single definition shared by the dict path's tail and the
+        columnar miss loop (the columnar hit side runs the same
+        arithmetic aggregated per megaflow bucket)."""
+        matched_entries = len(result.matched_entries)
+        self.matched += bool(matched_entries)
+        self.flow_packets += matched_entries
+        if matched_entries:
+            self.flow_bytes += matched_entries * frame_len
+        self.sent_to_controller += result.sent_to_controller
+        self.dropped += result.dropped
+
+    def classify_columnar(self, batch: PacketBatch) -> "ColumnarOutcomes":
+        """Classify a columnar batch without leaving the columns.
+
+        The megaflow tier is probed with vectorized masked-key compares
+        (:meth:`~repro.runtime.megaflow.MegaflowCache.probe_batch`);
+        residual misses materialise their row dicts lazily — one row at
+        a time, aliased across duplicates — and walk the existing wave
+        machinery (through the first table's vectorized microflow probe
+        when no mask capture is active).  The returned
+        :class:`ColumnarOutcomes` defers replay materialisation: local
+        callers build :class:`PipelineResult` lists from it
+        (:meth:`ColumnarOutcomes.results`, bitwise-identical to the dict
+        path), the decode-free sharded worker encodes the cached
+        templates directly.
+        """
+        self.packets += len(batch)
+        self.batches += 1
+        frame = batch.frame_lengths()
+        if self.megaflow is not None:
+            entries: list[MegaflowEntry | None]
+            entries, buckets = self.megaflow.probe_credit(batch)
+            # Hit counters aggregated per entry — one pass over the few
+            # distinct aggregates instead of every packet.
+            for entry, count, byte_count in buckets:
+                template = entry.template
+                matched_entries = len(template.matched_entries)
+                if matched_entries:
+                    self.matched += count
+                    self.flow_packets += matched_entries * count
+                    self.flow_bytes += matched_entries * byte_count
+                self.sent_to_controller += template.sent_to_controller * count
+                self.dropped += template.dropped * count
+            missed = [i for i, entry in enumerate(entries) if entry is None]
+            recorders: dict[int, MegaflowRecorder] | None = {
+                i: MegaflowRecorder() for i in missed
+            }
+        else:
+            entries = [None] * len(batch)
+            missed = list(range(len(batch)))
+            recorders = None
+        wave_results: dict[int, PipelineResult] = {
+            i: PipelineResult(final_fields=dict(batch.fields_at(i)))
+            for i in missed
+        }
+        if missed:
+            self._run_waves(
+                wave_results,
+                missed,
+                recorders,
+                columnar_first=batch if recorders is None else None,
+            )
+            if self.megaflow is not None and recorders is not None:
+                for i in missed:
+                    self.megaflow.install(
+                        batch.fields_at(i), recorders[i], wave_results[i]
+                    )
+            frame_list = frame.tolist()
+            for i in missed:
+                self._credit_result(wave_results[i], frame_list[i])
+        return ColumnarOutcomes(
+            batch=batch, entries=entries, wave_results=wave_results, frame=frame
+        )
+
+    def _run_waves(
+        self,
+        results,
+        missed: Sequence[int],
+        recorders: dict[int, MegaflowRecorder] | None,
+        columnar_first: PacketBatch | None = None,
+    ) -> None:
+        """The shared wave machinery: advance the megaflow-missed packets
+        table by table until every one completes.
+
+        ``results`` maps packet position to its in-flight
+        :class:`PipelineResult` (a list on the dict path, a dict on the
+        columnar path).  ``columnar_first``, when given, must cover
+        exactly the first wave's members in position order; the first
+        table's microflow cache is then probed columnar (only valid
+        without mask capture, where miss resolution is batched anyway).
+        """
+        pipeline = self.pipeline
         action_sets: dict[int, list] = {i: [] for i in missed}
         #: Packets still in flight, grouped by the table they sit at.
         pending: dict[int, list[int]] = {}
@@ -175,13 +290,25 @@ class BatchPipeline:
             if recorders is not None:
                 for i in members:
                     recorders[i].note_table(table_id, table.version)
-            fields_batch = [results[i].final_fields for i in members]
-            masks = (
-                [recorders[i] for i in members]
-                if recorders is not None
-                else None
-            )
-            entries = self._lookup_batch(table_id, table, fields_batch, masks)
+            cache = self.caches.get(table_id)
+            if (
+                columnar_first is not None
+                and recorders is None
+                and cache is not None
+                and len(columnar_first) == len(members)
+            ):
+                entries = cache.lookup_batch_columnar(columnar_first)
+            else:
+                fields_batch = [results[i].final_fields for i in members]
+                masks = (
+                    [recorders[i] for i in members]
+                    if recorders is not None
+                    else None
+                )
+                entries = self._lookup_batch(
+                    table_id, table, fields_batch, masks
+                )
+            columnar_first = None  # only ever valid for the first wave
             for i, entry in zip(members, entries):
                 result = results[i]
                 result.tables_visited.append(table_id)
@@ -212,22 +339,6 @@ class BatchPipeline:
                         recorders[i].mark_rewritten(action.field_name)
             if not result.output_ports and not result.sent_to_controller:
                 result.dropped = True
-        if self.megaflow is not None and recorders is not None:
-            for i in missed:
-                self.megaflow.install(batch[i], recorders[i], results[i])
-        for result in results:
-            matched_entries = len(result.matched_entries)
-            self.matched += bool(matched_entries)
-            self.flow_packets += matched_entries
-            if matched_entries:
-                # frame_len is never rewritten, so final_fields carries
-                # the same length every stats.record() saw mid-pipeline.
-                self.flow_bytes += matched_entries * frame_length(
-                    result.final_fields
-                )
-            self.sent_to_controller += result.sent_to_controller
-            self.dropped += result.dropped
-        return results
 
     def _lookup_batch(self, table_id: int, table, fields_batch, masks=None):
         cache = self.caches.get(table_id)
@@ -266,6 +377,45 @@ class BatchPipeline:
         return stats
 
 
+@dataclass
+class ColumnarOutcomes:
+    """One columnar batch's classification, replay not yet materialised.
+
+    ``entries[i]`` is the megaflow aggregate position ``i`` hit (its
+    template already carries everything but ``final_fields``), or
+    ``None`` for positions classified by the wave machinery (whose full
+    :class:`PipelineResult` sits in ``wave_results``).  ``frame`` is the
+    per-position ``frame_len`` lane.  The split is what makes the
+    sharded worker decode-free: :func:`~repro.runtime.transport.encode_outcomes`
+    ships hits straight from the templates, so their rows are never
+    materialised as dicts.
+    """
+
+    batch: PacketBatch
+    entries: list[MegaflowEntry | None]
+    wave_results: dict[int, PipelineResult]
+    frame: np.ndarray
+
+    def results(self) -> list[PipelineResult]:
+        """Materialise the per-packet results, in position order —
+        bitwise-identical to the dict path (megaflow hits rebuild
+        ``final_fields`` as packet fields plus the recorded rewrite
+        overrides, exactly like
+        :meth:`~repro.runtime.megaflow.MegaflowCache` replay; stats were
+        already credited at probe time)."""
+        out: list[PipelineResult] = []
+        batch = self.batch
+        for i, entry in enumerate(self.entries):
+            if entry is None:
+                out.append(self.wave_results[i])
+                continue
+            final_fields = dict(batch.fields_at(i))
+            if entry.overrides:
+                final_fields.update(entry.overrides)
+            out.append(replay_template(entry.template, final_fields))
+        return out
+
+
 @dataclass(frozen=True)
 class Workload:
     """A replayable traffic scenario: packet batches interleaved with
@@ -292,12 +442,15 @@ class Workload:
     def byte_count(self) -> int:
         """Total on-wire bytes in the trace (0 when built with
         ``frame_len=None``) — the numerator of bits/sec reporting."""
-        return sum(
-            frame_length(fields)
-            for event in self.events
-            if event[0] == "packets"
-            for fields in event[1]
-        )
+        total = 0
+        for event in self.events:
+            if event[0] != "packets":
+                continue
+            if isinstance(event[1], PacketBatch):
+                total += event[1].byte_total
+            else:
+                total += sum(frame_length(fields) for fields in event[1])
+        return total
 
 
 @dataclass
@@ -336,11 +489,25 @@ def run_workload(
     double-buffered transport overlap is exercised by workload replay;
     mutation events still land between streams, preserving the serial
     event order.
+
+    Columnar workloads (packet events carrying a
+    :class:`~repro.packet.batch.PacketBatch`, see
+    :func:`~repro.runtime.scenarios.columnar_workload`) replay through
+    the vectorized fast path; with ``keep_results=False`` a local
+    :class:`BatchPipeline` classifies them via
+    :meth:`~BatchPipeline.classify_columnar` and skips materialising
+    per-packet :class:`PipelineResult` objects nobody will read —
+    counters and flow stats are identical either way.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
     stats = WorkloadStats()
     process_batches = getattr(runner, "process_batches", None)
+    classify_columnar = (
+        getattr(runner, "classify_columnar", None)
+        if not keep_results and process_batches is None
+        else None
+    )
     # All counters come from the runner's stats snapshot as deltas, so a
     # reused runner reports this replay only — and a sharded runner
     # (whose cache/wave counters live in its workers' snapshots) reports
@@ -350,6 +517,13 @@ def run_workload(
         kind = event[0]
         if kind == "packets":
             chunks = _chunks(event[1], batch_size)
+            if classify_columnar is not None and isinstance(
+                event[1], PacketBatch
+            ):
+                for chunk in chunks:
+                    classify_columnar(chunk)
+                    stats.batches += 1
+                continue
             chunk_stream = (
                 process_batches(chunks)
                 if process_batches is not None

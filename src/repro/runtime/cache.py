@@ -32,6 +32,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.openflow.flow import FlowEntry
 from repro.openflow.match import FieldMaskSink
 from repro.packet.headers import frame_length
@@ -43,14 +45,25 @@ DEFAULT_CAPACITY = 4096
 
 
 class _Record:
-    """One cached microflow: outcome, version stamp, consulted bits."""
+    """One cached microflow: outcome, version stamp, consulted bits.
 
-    __slots__ = ("outcome", "version", "mask")
+    ``key`` is the canonical tuple key; ``chash`` / ``sig`` / ``packed``
+    are populated when the record entered (or was touched by) the
+    columnar fast path — the vectorized probe keys on the uint64 hash
+    and verifies against the exact packed bytes, so hash collisions
+    degrade to misses instead of wrong hits.
+    """
+
+    __slots__ = ("outcome", "version", "mask", "key", "chash", "sig", "packed")
 
     def __init__(self, outcome, version: int, mask: dict[str, int] | None):
         self.outcome = outcome
         self.version = version
         self.mask = mask
+        self.key: tuple = ()
+        self.chash: int | None = None
+        self.sig = None
+        self.packed: bytes | None = None
 
 
 class MicroflowCache:
@@ -90,6 +103,9 @@ class MicroflowCache:
         self.capacity = capacity
         self.field_names = tuple(names)
         self._entries: OrderedDict[tuple, _Record] = OrderedDict()
+        #: Columnar sidecar index: uint64 key hash -> record (verified
+        #: against the record's packed key bytes on every probe).
+        self._columnar: dict[int, _Record] = {}
         self.hits = 0
         self.misses = 0
         self.flushes = 0
@@ -114,6 +130,7 @@ class MicroflowCache:
         if self._entries:
             self.flushes += 1
         self._entries.clear()
+        self._columnar.clear()
 
     def lookup(
         self, packet_fields: Mapping[str, int], mask=None
@@ -214,6 +231,131 @@ class MicroflowCache:
                 results[position] = outcome
         return results
 
+    def lookup_batch_columnar(self, batch) -> list[FlowEntry | None]:
+        """Vectorized batch lookup over a columnar
+        :class:`~repro.packet.batch.PacketBatch` — the fast path.
+
+        One numpy pass computes a uint64 key hash per distinct *row*
+        (lanes and presence bytes of the schema fields, so ``frame_len``
+        and other non-match metadata never enter the key); each row is
+        then a single hash probe verified against the exact packed key
+        bytes.  Hits replay without materialising a dict anywhere: the
+        matched entries' stats are credited from the ``frame_len`` lane,
+        aggregated per row.  Only rows that miss are materialised (once,
+        aliased across duplicates) and resolved through the table's
+        batch path, exactly like :meth:`lookup_batch` — so results and
+        per-entry flow stats are bitwise-identical to the dict path.
+        """
+        version = self.table.version
+        sig, hashes, packed = batch.probe_keys(self.field_names)
+        pick = batch.pick
+        probe = self._columnar.get
+        move_to_end = self._entries.move_to_end
+
+        # Everything below works in *local* row codes (0..distinct rows
+        # of this view), so chunked views of a large store never touch
+        # arrays sized by the whole event.
+        uniq, inverse = np.unique(pick, return_inverse=True)
+        rows = uniq.tolist()
+        outcome_of: list = [None] * len(rows)
+        hit_records: list[tuple[int, _Record]] = []
+        miss_locals: list[int] = []
+        for local, row in enumerate(rows):
+            record = probe(hashes[row])
+            if (
+                record is not None
+                and record.version == version
+                and record.packed == packed[row]
+                and (record.sig is sig or record.sig == sig)
+            ):
+                hit_records.append((local, record))
+                if record.outcome is not _MISS:
+                    outcome_of[local] = record.outcome
+                move_to_end(record.key)
+            else:
+                miss_locals.append(local)
+
+        if miss_locals:
+            # Rescue rows the *dict* path cached (they have no sidecar
+            # entry): the tuple key is cheap here because a genuine miss
+            # would materialise the row for table resolution anyway.
+            # Found records are promoted into the sidecar, so a cache
+            # warmed by dict batches serves columnar traffic at full
+            # speed after this one touch instead of re-resolving a whole
+            # working-set pass through the table.
+            still_missing: list[int] = []
+            for local in miss_locals:
+                row = rows[local]
+                key = self.key(batch.row_fields(row))
+                record = self._entries.get(key)
+                if record is not None and record.version == version:
+                    # Drop any previous sidecar slot first (a layout
+                    # change re-hashes the same key), so eviction can
+                    # always unindex the record it finds.
+                    self._unindex(record)
+                    record.chash = hashes[row]
+                    record.sig = sig
+                    record.packed = packed[row]
+                    self._columnar[hashes[row]] = record
+                    hit_records.append((local, record))
+                    if record.outcome is not _MISS:
+                        outcome_of[local] = record.outcome
+                    move_to_end(key)
+                else:
+                    if record is not None:
+                        # Same semantics as the dict path: a stale stamp
+                        # on an existing key re-resolves in place.
+                        self.revalidations += 1
+                    still_missing.append(local)
+            miss_locals = still_missing
+
+        if hit_records:
+            # Hit replay without dicts: per-row stats aggregated from the
+            # frame_len lane (bincount sums are exact below 2**53 bytes),
+            # counters credited per position.
+            counts = np.bincount(inverse, minlength=len(rows)).tolist()
+            byte_sums = np.bincount(
+                inverse, weights=batch.frame_lengths(), minlength=len(rows)
+            ).tolist()
+            for local, record in hit_records:
+                count = counts[local]
+                self.hits += count
+                if record.outcome is not _MISS:
+                    record.outcome.stats.add(count, int(byte_sums[local]))
+
+        if miss_locals:
+            local_is_miss = np.zeros(len(rows), dtype=bool)
+            local_is_miss[miss_locals] = True
+            miss_positions = np.nonzero(local_is_miss[inverse])[0].tolist()
+            miss_fields = [batch.fields_at(i) for i in miss_positions]
+            self.misses += len(miss_positions)
+            if hasattr(self.table, "lookup_batch"):
+                resolved = self.table.lookup_batch(miss_fields)
+            else:
+                resolved = [self.table.lookup(fields) for fields in miss_fields]
+            inverse_list = inverse.tolist()
+            inserted: set[int] = set()
+            for position, fields, outcome in zip(
+                miss_positions, miss_fields, resolved
+            ):
+                local = inverse_list[position]
+                if local in inserted:
+                    continue  # duplicates of one row share the outcome
+                inserted.add(local)
+                outcome_of[local] = outcome
+                row = rows[local]
+                self._insert(
+                    self.key(fields),
+                    outcome,
+                    version,
+                    None,
+                    chash=hashes[row],
+                    sig=sig,
+                    packed=packed[row],
+                )
+            return [outcome_of[local] for local in inverse_list]
+        return [outcome_of[local] for local in inverse.tolist()]
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
@@ -261,13 +403,32 @@ class MicroflowCache:
         entry: FlowEntry | None,
         version: int,
         mask: dict[str, int] | None,
+        chash: int | None = None,
+        sig=None,
+        packed: bytes | None = None,
     ) -> None:
-        self._entries[key] = _Record(
-            _MISS if entry is None else entry, version, mask
-        )
+        previous = self._entries.get(key)
+        if previous is not None:
+            self._unindex(previous)
+        record = _Record(_MISS if entry is None else entry, version, mask)
+        record.key = key
+        self._entries[key] = record
         self._entries.move_to_end(key)
+        if chash is not None:
+            record.chash = chash
+            record.sig = sig
+            record.packed = packed
+            self._columnar[chash] = record
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            _, evicted = self._entries.popitem(last=False)
+            self._unindex(evicted)
+
+    def _unindex(self, record: _Record) -> None:
+        if (
+            record.chash is not None
+            and self._columnar.get(record.chash) is record
+        ):
+            del self._columnar[record.chash]
 
 
 def _replay_mask(captured: dict[str, int], mask) -> None:

@@ -46,7 +46,10 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.openflow.pipeline import OpenFlowPipeline, PipelineResult
+from repro.packet.batch import PacketBatch, packed_masked_key
 from repro.packet.headers import frame_length
 
 #: Mask signature: ``((field_name, bitmask), ...)`` sorted by field.
@@ -92,6 +95,7 @@ class MegaflowEntry:
     __slots__ = (
         "mask",
         "key",
+        "packed",
         "template",
         "overrides",
         "table_versions",
@@ -110,6 +114,9 @@ class MegaflowEntry:
     ):
         self.mask = mask
         self.key = key
+        #: The key again, packed as the columnar probe's exact byte
+        #: string (:func:`repro.packet.batch.packed_masked_key`).
+        self.packed = b""
         self.template = template
         self.overrides = overrides
         self.table_versions = table_versions
@@ -127,6 +134,29 @@ def masked_key(mask: MaskSig, packet_fields: Mapping[str, int]) -> tuple:
         value = packet_fields.get(name)
         key.append(None if value is None else value & bits)
     return tuple(key)
+
+
+def replay_template(
+    template: PipelineResult, final_fields: dict[str, int]
+) -> PipelineResult:
+    """Clone a cached traversal template onto one packet's final fields.
+
+    The single definition of replay materialisation, shared by the
+    dict-path hit (:meth:`MegaflowCache._replay`) and the deferred
+    columnar hit (:meth:`repro.runtime.batch.ColumnarOutcomes.results`)
+    — direct construction (no ``__init__`` dispatch, no default
+    factories): this is the hottest allocation in the runtime.
+    """
+    result = PipelineResult.__new__(PipelineResult)
+    result.matched_entries = list(template.matched_entries)
+    result.applied_actions = list(template.applied_actions)
+    result.output_ports = list(template.output_ports)
+    result.sent_to_controller = template.sent_to_controller
+    result.dropped = template.dropped
+    result.metadata = template.metadata
+    result.tables_visited = list(template.tables_visited)
+    result.final_fields = final_fields
+    return result
 
 
 class MegaflowCache:
@@ -148,6 +178,10 @@ class MegaflowCache:
         self.pipeline = pipeline
         self.capacity = capacity
         self._by_mask: dict[MaskSig, dict[tuple, MegaflowEntry]] = {}
+        #: Columnar sidecar: per mask, packed-byte key -> entry (the
+        #: same entry objects; :meth:`probe_batch` probes this index
+        #: with vectorized ``lanes & mask`` keys).
+        self._packed: dict[MaskSig, dict[bytes, MegaflowEntry]] = {}
         #: Probe snapshot of ``_by_mask.items()`` — rebuilt only when the
         #: mask *set* changes, so the per-packet lookup loop allocates
         #: nothing.  (Per-mask entry dicts are mutated in place.)
@@ -243,6 +277,132 @@ class MegaflowCache:
         self.misses += misses
         return out
 
+    def probe_rows(
+        self, batch: PacketBatch, rows: Sequence[int] | None = None
+    ) -> dict[int, MegaflowEntry]:
+        """Vectorized tuple-space probe: valid aggregate per hit *row*.
+
+        For each cached mask, the whole store's masked keys are computed
+        in one numpy pass (``lanes & mask`` per distinct row, packed to
+        exact byte keys, memoized across sliced views) and probed
+        against the packed sidecar index — the columnar twin of
+        :meth:`lookup_batch`'s per-packet loop, first hit per row
+        winning in the same mask order.  Stale entries drop on probe
+        exactly like the dict path.  No bookkeeping happens here; pair
+        with :meth:`credit_rows` (or use :meth:`probe_batch`).
+        ``rows``, when given, is the view's distinct row list (saves the
+        caller's ``np.unique`` from running twice).
+        """
+        rows_in_use = (
+            rows if rows is not None else np.unique(batch.pick).tolist()
+        )
+        row_entry: dict[int, MegaflowEntry] = {}
+        valid: dict[int, bool] = {}
+        for mask, _ in self._probe:
+            if len(row_entry) == len(rows_in_use):
+                break
+            packed_entries = self._packed.get(mask)
+            if not packed_entries:
+                continue
+            keys = batch.masked_packed_keys(mask)
+            get_entry = packed_entries.get
+            for row in rows_in_use:
+                if row in row_entry:
+                    continue
+                entry = get_entry(keys[row])
+                if entry is None:
+                    continue
+                fresh = valid.get(id(entry))
+                if fresh is None:
+                    fresh = all(
+                        table.version == version
+                        for table, version in entry.version_checks
+                    )
+                    valid[id(entry)] = fresh
+                    if not fresh:
+                        self._drop(entry.mask, entry.key)
+                        self.invalidated += 1
+                if fresh:
+                    row_entry[row] = entry
+        return row_entry
+
+    def credit_rows(
+        self,
+        row_entry: Mapping[int, MegaflowEntry],
+        counts: Mapping[int, int],
+        byte_sums: Mapping[int, float],
+        total_positions: int,
+    ) -> list[list]:
+        """Fold one batch's hit bookkeeping in, aggregated per entry.
+
+        ``counts`` / ``byte_sums`` map each distinct row to its position
+        count and frame-byte sum within the view.  Updates
+        hit/miss counters, per-entry hit counts, LRU recency and the
+        matched flow entries' packet/byte stats — identical totals to
+        the dict path's per-packet ``_replay`` bumps.  Returns the
+        ``[entry, positions, bytes]`` buckets so callers can aggregate
+        their own counters without another per-packet pass.
+        """
+        hits = 0
+        agg: dict[int, list] = {}
+        for row, entry in row_entry.items():
+            count = counts[row]
+            if not count:
+                continue  # row exists in the store but not in this view
+            hits += count
+            bucket = agg.get(id(entry))
+            if bucket is None:
+                agg[id(entry)] = [entry, count, int(byte_sums[row])]
+            else:
+                bucket[1] += count
+                bucket[2] += int(byte_sums[row])
+        self.hits += hits
+        self.misses += total_positions - hits
+        lru = self._lru
+        buckets = list(agg.values())
+        for entry, count, byte_count in buckets:
+            entry.hits += count
+            lru.move_to_end((entry.mask, entry.key))
+            for matched in entry.template.matched_entries:
+                matched.stats.add(count, byte_count)
+        return buckets
+
+    def probe_batch(self, batch: PacketBatch) -> list[MegaflowEntry | None]:
+        """Probe + credit in one call: the valid aggregate per batch
+        *position* (``None`` on miss), bookkeeping done.  Replay
+        materialisation is deferred to the caller (see
+        :meth:`repro.runtime.batch.ColumnarOutcomes.results`); the
+        decode-free sharded worker encodes the templates directly.
+        """
+        return self.probe_credit(batch)[0]
+
+    def probe_credit(
+        self, batch: PacketBatch
+    ) -> tuple[list[MegaflowEntry | None], list[list]]:
+        """:meth:`probe_batch` plus the per-entry ``[entry, positions,
+        bytes]`` buckets from :meth:`credit_rows`, so callers (the
+        columnar :class:`~repro.runtime.batch.BatchPipeline`) can fold
+        their own counters without another per-packet pass."""
+        pick = batch.pick
+        uniq, inverse = np.unique(pick, return_inverse=True)
+        rows = uniq.tolist()
+        row_entry = self.probe_rows(batch, rows)
+        if not row_entry:
+            self.misses += len(pick)
+            return [None] * len(pick), []
+        counts = np.bincount(inverse, minlength=len(rows)).tolist()
+        byte_sums = np.bincount(
+            inverse, weights=batch.frame_lengths(), minlength=len(rows)
+        ).tolist()
+        buckets = self.credit_rows(
+            row_entry,
+            dict(zip(rows, counts)),
+            dict(zip(rows, byte_sums)),
+            len(pick),
+        )
+        entry_of = [row_entry.get(row) for row in rows]
+        return [entry_of[local] for local in inverse.tolist()], buckets
+
     def install(
         self,
         packet_fields: Mapping[str, int],
@@ -290,6 +450,8 @@ class MegaflowCache:
             entries = self._by_mask[mask] = {}
             self._probe = tuple(self._by_mask.items())
         entries[key] = entry
+        entry.packed = packed_masked_key(mask, packet_fields)
+        self._packed.setdefault(mask, {})[entry.packed] = entry
         self._lru[(mask, key)] = entry
         self._lru.move_to_end((mask, key))
         self.installs += 1
@@ -302,6 +464,7 @@ class MegaflowCache:
     def flush(self) -> None:
         """Drop every cached aggregate (explicit only; never automatic)."""
         self._by_mask.clear()
+        self._packed.clear()
         self._probe = ()
         self._lru.clear()
 
@@ -313,7 +476,13 @@ class MegaflowCache:
         entries = self._by_mask.get(mask)
         if entries is None:
             return
-        entries.pop(key, None)
+        dropped = entries.pop(key, None)
+        if dropped is not None:
+            packed_entries = self._packed.get(mask)
+            if packed_entries is not None:
+                packed_entries.pop(dropped.packed, None)
+                if not packed_entries:
+                    del self._packed[mask]
         if not entries:
             del self._by_mask[mask]
             self._probe = tuple(self._by_mask.items())
@@ -333,15 +502,4 @@ class MegaflowCache:
             # packets of many lengths).
             matched.stats.packet_count += 1
             matched.stats.byte_count += frame_len
-        # Direct construction (no __init__ dispatch, no default
-        # factories): this is the hottest allocation in the runtime.
-        result = PipelineResult.__new__(PipelineResult)
-        result.matched_entries = list(template.matched_entries)
-        result.applied_actions = list(template.applied_actions)
-        result.output_ports = list(template.output_ports)
-        result.sent_to_controller = template.sent_to_controller
-        result.dropped = template.dropped
-        result.metadata = template.metadata
-        result.tables_visited = list(template.tables_visited)
-        result.final_fields = final_fields
-        return result
+        return replay_template(template, final_fields)

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.filters.rule import RuleSet
 from repro.openflow.fields import REGISTRY
+from repro.packet.batch import PacketBatch
 from repro.packet.generator import PacketGenerator, TraceConfig, frame_lengths
 from repro.packet.headers import FRAME_LEN_FIELD
 from repro.runtime.batch import Workload
@@ -77,6 +78,30 @@ def _stamp_frame_lengths(trace, frame_len, seed: int):
     ]
 
 
+def columnar_workload(workload: Workload) -> Workload:
+    """Re-emit a workload's packet events as columnar
+    :class:`~repro.packet.batch.PacketBatch` containers.
+
+    Each packet event becomes one batch (flow-pool aliasing turns into
+    shared rows); :func:`~repro.runtime.batch.run_workload` then slices
+    it into pipeline-sized views that share the event's column store, so
+    vectorized key work is done once per event, not once per chunk.
+    Mutation events pass through untouched.  Every builder below takes a
+    ``columnar=`` knob that applies this conversion.
+    """
+    events = tuple(
+        ("packets", PacketBatch.from_dicts(event[1]))
+        if event[0] == "packets" and not isinstance(event[1], PacketBatch)
+        else event
+        for event in workload.events
+    )
+    return Workload(
+        name=workload.name,
+        description=f"{workload.description} (columnar)",
+        events=events,
+    )
+
+
 def zipf_weights(n: int, s: float = 1.2) -> np.ndarray:
     """Unnormalized zipf popularity weights: rank ``k`` gets ``1 / k**s``."""
     if n < 1:
@@ -102,17 +127,19 @@ def uniform_workload(
     flow_count: int = DEFAULT_FLOWS,
     seed: int = DEFAULT_SEED,
     frame_len=DEFAULT_FRAME_DIST,
+    columnar: bool = False,
 ) -> Workload:
     """Uniform i.i.d. traffic over the flow pool."""
     generator, flows = _flow_pool(rule_set, flow_count, seed)
     trace = _stamp_frame_lengths(
         generator.sample_trace(flows, packet_count), frame_len, seed
     )
-    return Workload(
+    workload = Workload(
         name="uniform",
         description=f"{packet_count} pkts uniform over {len(flows)} flows",
         events=(("packets", trace),),
     )
+    return columnar_workload(workload) if columnar else workload
 
 
 def zipf_workload(
@@ -122,6 +149,7 @@ def zipf_workload(
     s: float = 1.2,
     seed: int = DEFAULT_SEED,
     frame_len=DEFAULT_FRAME_DIST,
+    columnar: bool = False,
 ) -> Workload:
     """Zipf-skewed traffic: a few heavy flows dominate the trace."""
     generator, flows = _flow_pool(rule_set, flow_count, seed)
@@ -130,13 +158,14 @@ def zipf_workload(
         frame_len,
         seed,
     )
-    return Workload(
+    workload = Workload(
         name="zipf",
         description=(
             f"{packet_count} pkts zipf(s={s}) over {len(flows)} flows"
         ),
         events=(("packets", trace),),
     )
+    return columnar_workload(workload) if columnar else workload
 
 
 def widen_rule_set(rule_set: RuleSet, noise_field: str = "tcp_src") -> RuleSet:
@@ -167,6 +196,7 @@ def uniform_wide_workload(
     noise_field: str = "tcp_src",
     seed: int = DEFAULT_SEED,
     frame_len=DEFAULT_FRAME_DIST,
+    columnar: bool = False,
 ) -> Workload:
     """Uniform traffic whose every packet carries fresh noise bits.
 
@@ -187,7 +217,7 @@ def uniform_wide_workload(
         for fields, value in zip(trace, noise)
     ]
     trace = _stamp_frame_lengths(trace, frame_len, seed)
-    return Workload(
+    workload = Workload(
         name="uniform-wide",
         description=(
             f"{packet_count} pkts uniform over {len(flows)} flows, "
@@ -195,6 +225,7 @@ def uniform_wide_workload(
         ),
         events=(("packets", trace),),
     )
+    return columnar_workload(workload) if columnar else workload
 
 
 def bursty_workload(
@@ -204,6 +235,7 @@ def bursty_workload(
     mean_burst: float = 16.0,
     seed: int = DEFAULT_SEED,
     frame_len=DEFAULT_FRAME_DIST,
+    columnar: bool = False,
 ) -> Workload:
     """Packet-train traffic: geometric per-flow bursts."""
     generator, flows = _flow_pool(rule_set, flow_count, seed)
@@ -212,7 +244,7 @@ def bursty_workload(
         frame_len,
         seed,
     )
-    return Workload(
+    workload = Workload(
         name="bursty",
         description=(
             f"{packet_count} pkts in ~{mean_burst:.0f}-pkt bursts "
@@ -220,6 +252,7 @@ def bursty_workload(
         ),
         events=(("packets", trace),),
     )
+    return columnar_workload(workload) if columnar else workload
 
 
 def churn_workload(
@@ -232,6 +265,7 @@ def churn_workload(
     seed: int = DEFAULT_SEED,
     entries=None,
     frame_len=DEFAULT_FRAME_DIST,
+    columnar: bool = False,
 ) -> Workload:
     """Zipf traffic interleaved with rule uninstall/reinstall cycles.
 
@@ -280,7 +314,7 @@ def churn_workload(
             events.append(("install", table_id, entry))
     if cursor < packet_count:
         events.append(("packets", trace[cursor:]))
-    return Workload(
+    workload = Workload(
         name="churn",
         description=(
             f"{packet_count} pkts zipf + {rounds}x{churn_rules} "
@@ -288,6 +322,7 @@ def churn_workload(
         ),
         events=tuple(events),
     )
+    return columnar_workload(workload) if columnar else workload
 
 
 #: The scenario catalog: name -> builder(rule_set, **kwargs) -> Workload.

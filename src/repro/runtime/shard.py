@@ -53,6 +53,26 @@ have produced.  A slot is reused only after its batch's replies are
 decoded, which bounds worker memory at ``depth`` response blocks and
 keeps in-flight columns immutable.
 
+**Out-of-order collection.**  The in-flight window is keyed by ``seq``:
+:meth:`collect_batch` accepts ``seq=`` and :meth:`collect_any` completes
+whichever batch's replies land first, so a stalled shard delays only
+the batches actually assigned to it.  Per-worker pipes deliver replies
+in submission order; replies for other in-flight batches that arrive
+while waiting are parked in a ``(seq, worker)`` buffer and handed out
+at their own collect.  Ring-slot safety is preserved: submitting onto a
+slot still held by an uncollected batch raises.
+
+**Columnar submissions** (a :class:`~repro.packet.batch.PacketBatch`
+through the shm transport) make the workers *decode-free*: the control
+message carries a ``columnar`` flag, the worker attaches to the request
+block's columns in place and classifies through
+:meth:`~repro.runtime.batch.BatchPipeline.classify_columnar`, encoding
+its reply straight from the megaflow templates
+(:func:`~repro.runtime.transport.encode_outcomes`) — only rows that
+miss both cache tiers are ever materialised as dicts worker-side.
+Worker assignment hashes the shard fields' lanes in one vectorized
+pass per batch.
+
 Workers are spawned lazily on the first batch (``fork`` start method
 when available) and torn down via :meth:`close` / context-manager exit.
 """
@@ -64,6 +84,7 @@ import os
 import threading
 from collections import deque
 from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
 from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -74,6 +95,8 @@ from repro.core.lookup_table import OpenFlowLookupTable
 from repro.openflow.flow import FlowEntry
 from repro.openflow.pipeline import MissPolicy, OpenFlowPipeline, PipelineResult
 from repro.openflow.table import FlowTable
+from repro.packet.batch import PacketBatch
+from repro.packet.headers import FRAME_LEN_FIELD
 from repro.runtime.batch import BatchPipeline, BatchStats
 from repro.runtime.cache import DEFAULT_CAPACITY
 from repro.runtime.transport import (
@@ -85,6 +108,7 @@ from repro.runtime.transport import (
     PacketBlockCodec,
     SharedBlock,
     decode_results,
+    encode_outcomes,
     encode_results,
     ensure_resource_tracker,
 )
@@ -283,17 +307,30 @@ def _serve_pickle(runner, index, message) -> tuple:
 
 
 def _serve_shm(runner, index, codec, request_blocks, response, message) -> tuple:
-    # All numpy views over the shared blocks are confined to this frame:
-    # they must be garbage before close() can unmap the segments.
-    _, _, mutations, block_name, segments, layout, members_key = message
+    # All numpy views over the shared blocks are confined to this frame
+    # (codec.attach gathers copies): they must be garbage before close()
+    # can unmap the segments.
+    _, _, mutations, block_name, segments, layout, members_key, columnar = (
+        message
+    )
     _apply_mutations(runner.pipeline, mutations)
     reader = BlockReader(request_blocks.buf(block_name), segments)
-    packets = codec.decode(reader, layout, reader.get(members_key))
-    results = runner.process_batch(packets)
     writer = BlockWriter()
-    result_layout, vocabulary, delta = encode_results(
-        writer, results, index, codec, inputs=packets
-    )
+    if columnar:
+        # Decode-free: classify straight off the block's columns; only
+        # rows that miss both cache tiers are ever materialised as
+        # dicts, and megaflow hits are encoded from their templates.
+        batch = codec.attach(reader, layout, reader.get(members_key))
+        outcomes = runner.classify_columnar(batch)
+        result_layout, vocabulary, delta = encode_outcomes(
+            writer, outcomes, index
+        )
+    else:
+        packets = codec.decode(reader, layout, reader.get(members_key))
+        results = runner.process_batch(packets)
+        result_layout, vocabulary, delta = encode_results(
+            writer, results, index, codec, inputs=packets
+        )
     response.ensure(writer.nbytes)
     response_segments = writer.write_to(response.buf)
     return (
@@ -485,7 +522,18 @@ class ShardedBatchPipeline:
         #: ``seq``'s columns, reused only after that batch is collected.
         self._requests = [SharedBlock() for _ in range(depth)]
         self._responses = BlockAttachments()
-        self._inflight: deque[_InFlight] = deque()
+        #: In-flight batches by seq, plus their submission order (the
+        #: default FIFO collect cadence) — a dict, not a queue, so
+        #: :meth:`collect_batch` can complete any seq out of order.
+        self._inflight: dict[int, _InFlight] = {}
+        self._order: deque[int] = deque()
+        #: Per worker, the seqs whose replies will arrive on its pipe,
+        #: in arrival order; replies drained while waiting for another
+        #: seq park in ``_reply_buffer`` keyed ``(seq, worker)``.
+        self._worker_pending: list[deque[int]] = [
+            deque() for _ in range(self.workers)
+        ]
+        self._reply_buffer: dict[tuple[int, int], tuple] = {}
         self._seq = 0
         #: True while a process_batches() stream is live; guards against
         #: a second stream (or lockstep call) interleaving on the shared
@@ -541,6 +589,7 @@ class ShardedBatchPipeline:
                 self._collect()
             except (EOFError, OSError, AssertionError):
                 self._inflight.clear()
+                self._order.clear()
         for conn, proc in zip(self._conns, self._procs):
             try:
                 conn.send(("close",))
@@ -555,6 +604,8 @@ class ShardedBatchPipeline:
         self._procs = []
         self._cursors = [0] * self.workers
         self._worker_stats = [BatchStats() for _ in range(self.workers)]
+        self._worker_pending = [deque() for _ in range(self.workers)]
+        self._reply_buffer.clear()
         self._responses.close()
         for request in self._requests:
             request.close()
@@ -584,8 +635,51 @@ class ShardedBatchPipeline:
         if names:
             key = tuple((n, packet_fields.get(n)) for n in names)
         else:
-            key = tuple(sorted(packet_fields.items()))
+            # frame_len is switch metadata: per-packet length
+            # distributions must not scatter a flow across workers.
+            key = tuple(
+                sorted(
+                    item
+                    for item in packet_fields.items()
+                    if item[0] != FRAME_LEN_FIELD
+                )
+            )
         return _stable_hash(key) % self.workers
+
+    def _shard_groups(self, batch) -> dict[int, list[int]]:
+        """Positions per worker for one batch.
+
+        Columnar batches assign workers with one vectorized hash pass
+        over the shard fields' lanes (per distinct row, fanned out by
+        ``pick``); the hash differs from the dict path's — sharding
+        steers only cache locality, never results — but is equally
+        stable per key, so an aggregate's packets still converge on one
+        worker.
+        """
+        groups: dict[int, list[int]] = {}
+        if isinstance(batch, PacketBatch):
+            names = self._shard_fields
+            if names is None and self._learned_fields:
+                names = tuple(sorted(self._learned_fields))
+            if not names:
+                # Cold-start fallback: all columns except frame_len —
+                # per-packet length distributions (imix/pareto) would
+                # otherwise scatter one flow's packets across workers.
+                names = tuple(
+                    sorted(
+                        name
+                        for name in batch.field_names()
+                        if name != FRAME_LEN_FIELD
+                    )
+                )
+            hashes = batch.key_hashes(names)
+            workers = (hashes % np.uint64(self.workers)).astype(np.int64)
+            for i, worker in enumerate(workers[batch.pick].tolist()):
+                groups.setdefault(worker, []).append(i)
+        else:
+            for i, fields in enumerate(batch):
+                groups.setdefault(self.shard_of(fields), []).append(i)
+        return groups
 
     # -- classification ------------------------------------------------
 
@@ -688,21 +782,24 @@ class ShardedBatchPipeline:
         finally:
             self._streaming = False
 
-    def submit_batch(self, batch: Sequence[Mapping[str, int]]) -> None:
-        """Dispatch one non-empty batch without waiting for its results
-        (collect them in FIFO order with :meth:`collect_batch`).  Never
-        blocks or collects internally: submitting beyond :attr:`depth`
-        raises, so callers own the collect cadence explicitly — and an
-        empty batch raises rather than silently occupying no slot and
-        skewing the submit/collect pairing.  Also raises when the
-        mutation backlog has outgrown what can safely share the pipe
-        with in-flight replies (see
-        :data:`MAX_PIPELINED_MUTATION_BACKLOG`): collect first, then
-        resubmit."""
+    def submit_batch(self, batch: Sequence[Mapping[str, int]]) -> int:
+        """Dispatch one non-empty batch without waiting for its results;
+        returns its ``seq`` (collect with :meth:`collect_batch` — FIFO
+        by default, or by ``seq`` in any order — or :meth:`collect_any`).
+        Never blocks or collects internally: submitting beyond
+        :attr:`depth` raises, so callers own the collect cadence
+        explicitly — and an empty batch raises rather than silently
+        occupying no slot and skewing the submit/collect pairing.  Also
+        raises when an out-of-order collect left the new batch's ring
+        slot occupied (slot ``seq % depth`` is reused only after its
+        previous occupant was collected), or when the mutation backlog
+        has outgrown what can safely share the pipe with in-flight
+        replies (see :data:`MAX_PIPELINED_MUTATION_BACKLOG`): collect
+        first, then resubmit."""
         if not batch:
             raise ValueError(
                 "cannot submit an empty batch (it would occupy no ring "
-                "slot and break the submit/collect FIFO pairing)"
+                "slot and break the submit/collect pairing)"
             )
         if self._streaming:
             raise RuntimeError(
@@ -714,6 +811,13 @@ class ShardedBatchPipeline:
                 f"{len(self._inflight)} batches already in flight "
                 f"(depth={self.depth}); collect_batch() first"
             )
+        slot = self._seq % self.depth
+        stuck = [s for s in self._inflight if s % self.depth == slot]
+        if stuck:
+            raise RuntimeError(
+                f"batch seq {stuck[0]} still occupies ring slot {slot}; "
+                "collect it before submitting another batch on that slot"
+            )
         if self._inflight and (
             self._mutation_backlog() > self.MAX_PIPELINED_MUTATION_BACKLOG
         ):
@@ -722,14 +826,57 @@ class ShardedBatchPipeline:
                 "to pipeline safely alongside in-flight replies; "
                 "collect_batch() first"
             )
+        seq = self._seq
         self._submit(batch)
+        return seq
 
-    def collect_batch(self) -> list[PipelineResult]:
-        """Results of the oldest in-flight batch (FIFO); raises when
-        nothing is in flight."""
+    def collect_batch(self, seq: int | None = None) -> list[PipelineResult]:
+        """Results of one in-flight batch — the oldest by default, or
+        the given ``seq`` in any order; raises when it is not in flight.
+
+        Collection by ``seq`` never blocks on workers that batch did not
+        touch: replies from other in-flight batches arriving first are
+        parked (per-worker pipes deliver in submission order) and handed
+        out when their own batch is collected — so a slow shard stalls
+        only the batches actually assigned to it.
+        """
+        if seq is None:
+            if not self._order:
+                raise RuntimeError("no batch in flight")
+            seq = self._order[0]
+        elif seq not in self._inflight:
+            raise RuntimeError(f"batch seq {seq} is not in flight")
+        return self._collect(seq)
+
+    def collect_any(self) -> tuple[int, list[PipelineResult]]:
+        """``(seq, results)`` of the first in-flight batch able to
+        complete, regardless of submission order.
+
+        Polls every worker pipe carrying outstanding replies
+        (``multiprocessing.connection.wait``), parking each arrival
+        until some batch has all of its shards' replies — so a stalled
+        worker delays only its own batches while faster shards' batches
+        keep completing.
+        """
         if not self._inflight:
             raise RuntimeError("no batch in flight")
-        return self._collect()
+        while True:
+            for seq in self._order:
+                groups = self._inflight[seq].groups
+                if all(
+                    (seq, worker) in self._reply_buffer for worker in groups
+                ):
+                    return seq, self._collect(seq)
+            pending = [
+                self._conns[worker]
+                for worker in range(self.workers)
+                if self._worker_pending[worker]
+            ]
+            for conn in mp_connection.wait(pending):
+                worker = self._conns.index(conn)
+                reply = conn.recv()
+                arrived = self._worker_pending[worker].popleft()
+                self._reply_buffer[(arrived, worker)] = reply
 
     @property
     def in_flight(self) -> int:
@@ -741,9 +888,13 @@ class ShardedBatchPipeline:
     def _submit(self, batch: Sequence[Mapping[str, int]]) -> bool:
         """Encode, dispatch and register one batch; False when empty."""
         assert len(self._inflight) < self.depth
+        assert all(
+            seq % self.depth != self._seq % self.depth
+            for seq in self._inflight
+        ), "ring slot still occupied by an uncollected batch"
         self.packets += len(batch)
         self.batches += 1
-        if not batch:
+        if not len(batch):
             return False
         self._ensure_started()
         # One atomic snapshot per *submitted* batch, under the mutation
@@ -759,32 +910,53 @@ class ShardedBatchPipeline:
         with self._mutation_lock:
             log_len = len(self._log)
             pinned = self._entry_index.pin()
-        groups: dict[int, list[int]] = {}
-        for i, fields in enumerate(batch):
-            groups.setdefault(self.shard_of(fields), []).append(i)
+        groups = self._shard_groups(batch)
         if self.transport == "shm":
             self._send_shm(batch, groups, log_len, self._seq % self.depth)
         else:
             self._send_pickle(batch, groups, log_len)
-        self._inflight.append(
-            _InFlight(
-                seq=self._seq,
-                batch=batch,
-                groups=groups,
-                pinned=pinned,
-                log_len=log_len,
-            )
+        for worker in groups:
+            self._worker_pending[worker].append(self._seq)
+        self._inflight[self._seq] = _InFlight(
+            seq=self._seq,
+            batch=batch,
+            groups=groups,
+            pinned=pinned,
+            log_len=log_len,
         )
+        self._order.append(self._seq)
         self._seq += 1
         return True
 
-    def _collect(self) -> list[PipelineResult]:
-        """Receive, decode and merge the oldest in-flight batch."""
-        inflight = self._inflight.popleft()
+    def _take_reply(self, seq: int, worker: int) -> tuple:
+        """The reply ``worker`` sent for batch ``seq``.
+
+        A worker's pipe delivers replies in the order its batches were
+        submitted, so anything received while waiting belongs to an
+        earlier-submitted (still in-flight) batch and is parked in the
+        reply buffer for that batch's own collect.
+        """
+        reply = self._reply_buffer.pop((seq, worker), None)
+        while reply is None:
+            message = self._conns[worker].recv()
+            arrived = self._worker_pending[worker].popleft()
+            if arrived == seq:
+                reply = message
+            else:
+                self._reply_buffer[(arrived, worker)] = message
+        return reply
+
+    def _collect(self, seq: int | None = None) -> list[PipelineResult]:
+        """Receive, decode and merge one in-flight batch (oldest by
+        default)."""
+        if seq is None:
+            seq = self._order[0]
+        inflight = self._inflight.pop(seq)
+        self._order.remove(seq)
         batch, groups, pinned = inflight.batch, inflight.groups, inflight.pinned
         results: list[PipelineResult] = [None] * len(batch)  # type: ignore[list-item]
         for worker, members in groups.items():
-            reply = self._conns[worker].recv()
+            reply = self._take_reply(seq, worker)
             assert reply[0] == "ok"
             if self.transport == "shm":
                 worker_results, mask_fields, stats, delta = (
@@ -826,6 +998,10 @@ class ShardedBatchPipeline:
             )
         request.ensure(writer.nbytes)
         segments = writer.write_to(request.buf)
+        # A batch submitted columnar is classified columnar: the worker
+        # attaches to the block's columns in place (decode-free) instead
+        # of materialising every member row up front.
+        columnar = isinstance(batch, PacketBatch)
         for worker in groups:
             outstanding = self._log[self._cursors[worker] : log_len]
             self._cursors[worker] = log_len
@@ -838,6 +1014,7 @@ class ShardedBatchPipeline:
                     segments,
                     layout,
                     f"members/{worker}",
+                    columnar,
                 )
             )
 

@@ -58,6 +58,7 @@ import numpy as np
 
 from repro.openflow.flow import FlowEntry
 from repro.openflow.pipeline import PipelineResult
+from repro.packet.batch import FieldLanes, PacketBatch
 from repro.packet.headers import frame_length, transport_schema
 
 #: Smallest block allocated; growth doubles, so churny batch sizes do
@@ -288,102 +289,88 @@ class PacketBlockCodec:
     def encode(
         self,
         writer: BlockWriter,
-        batch: Sequence[Mapping[str, int]],
+        batch,
         prefix: str,
     ) -> PacketBlockLayout:
-        """Append a batch's columns to ``writer``; returns the layout.
+        """Append a batch's columns to the writer; returns the layout.
 
         Packets that are the *same dict object* are encoded once; the
         ``pick`` column maps batch positions onto distinct rows, and
         :meth:`decode` rebuilds the aliasing — so duplicate-heavy traces
         stay duplicate-heavy (and downstream per-batch memoization keeps
-        paying off) without re-serialising every repeat.
+        paying off) without re-serialising every repeat.  A
+        :class:`~repro.packet.batch.PacketBatch` is written as-is (its
+        columns already have this exact layout); a dict sequence is
+        columnarised first.
         """
-        row_of: dict[int, int] = {}
-        rows: list[Mapping[str, int]] = []
-        pick = np.empty(len(batch), dtype=np.int32)
-        for position, packet in enumerate(batch):
-            row = row_of.get(id(packet))
-            if row is None:
-                row = row_of[id(packet)] = len(rows)
-                rows.append(packet)
-            pick[position] = row
-        writer.put(f"{prefix}/pick", pick)
+        if not isinstance(batch, PacketBatch):
+            batch = PacketBatch.from_dicts(batch, self.field_bits)
+        return self.encode_batch(writer, batch, prefix)
 
-        present: dict[str, None] = {}
-        for row in rows:
-            for name in row:
-                present.setdefault(name, None)
-        names = [name for name in self.field_bits if name in present]
-        names += sorted(name for name in present if name not in self.field_bits)
+    def encode_batch(
+        self, writer: BlockWriter, batch: PacketBatch, prefix: str
+    ) -> PacketBlockLayout:
+        """Write a columnar batch's pick/lane/presence arrays.
 
+        A sliced view is compacted first, so a chunk of a large event
+        ships only the rows it picks — never the whole backing store.
+        """
+        batch = batch.compacted()
+        writer.put(f"{prefix}/pick", batch.pick.astype(np.int32))
         columns: list[FieldColumn] = []
-        for name in names:
-            columns.append(self._encode_field(writer, prefix, name, rows))
+        for name in batch.field_names():
+            lanes, present = batch.column(name)
+            if present is not None:
+                writer.put(f"{prefix}/{name}/present", present)
+            for lane_index, lane in enumerate(lanes):
+                writer.put(f"{prefix}/{name}/{lane_index}", lane)
+            columns.append(FieldColumn(name, len(lanes), present is not None))
         return PacketBlockLayout(
             prefix=prefix,
             count=len(batch),
-            rows=len(rows),
+            rows=batch.rows,
             fields=tuple(columns),
         )
 
-    def _encode_field(
-        self,
-        writer: BlockWriter,
-        prefix: str,
-        name: str,
-        rows: Sequence[Mapping[str, int]],
-    ) -> FieldColumn:
-        values = [row.get(name) for row in rows]
-        has_missing = any(value is None for value in values)
-        if has_missing:
-            writer.put(
-                f"{prefix}/{name}/present",
-                np.fromiter(
-                    (value is not None for value in values),
-                    dtype=np.uint8,
-                    count=len(values),
-                ),
-            )
-        lanes = max(1, (self.field_bits.get(name, 64) + 63) // 64)
-        if lanes == 1:
-            try:
-                writer.put(
-                    f"{prefix}/{name}/0",
-                    np.fromiter(
-                        (0 if value is None else value for value in values),
-                        dtype=np.uint64,
-                        count=len(values),
-                    ),
-                )
-                return FieldColumn(name, 1, has_missing)
-            except (OverflowError, ValueError, TypeError):
-                pass  # wider than advertised; fall through to lane split
-        lanes = max(
-            lanes,
-            max(
-                (_width_check(name, value) for value in values),
-                default=1,
-            ),
-        )
-        for lane in range(lanes):
-            shift = 64 * lane
-            writer.put(
-                f"{prefix}/{name}/{lane}",
-                np.fromiter(
-                    (
-                        0
-                        if value is None
-                        else (value >> shift) & 0xFFFFFFFFFFFFFFFF
-                        for value in values
-                    ),
-                    dtype=np.uint64,
-                    count=len(values),
-                ),
-            )
-        return FieldColumn(name, lanes, has_missing)
-
     # -- decode --------------------------------------------------------
+
+    def attach(
+        self,
+        reader: BlockReader,
+        layout: PacketBlockLayout,
+        positions: Sequence[int] | None = None,
+    ) -> PacketBatch:
+        """A :class:`PacketBatch` over (a subset of) an encoded block.
+
+        Only the rows the selected positions actually pick are gathered
+        (copied out of the shared segment, so no view outlives the
+        caller's frame); dict materialisation stays lazy — this is the
+        decode-free worker's entry point.
+        """
+        prefix = layout.prefix
+        pick = reader.get(f"{prefix}/pick")
+        if positions is not None:
+            pick = pick[np.asarray(positions, dtype=np.int64)]
+        needed = np.unique(pick)
+        remap = np.zeros(
+            int(needed[-1]) + 1 if len(needed) else 1, dtype=np.int64
+        )
+        remap[needed] = np.arange(len(needed))
+        columns: dict[str, FieldLanes] = {}
+        for spec in layout.fields:
+            lanes = tuple(
+                reader.get(f"{prefix}/{spec.name}/{lane_index}")[needed]
+                for lane_index in range(spec.lanes)
+            )
+            present = (
+                reader.get(f"{prefix}/{spec.name}/present")[needed]
+                if spec.has_missing
+                else None
+            )
+            columns[spec.name] = FieldLanes(lanes, present)
+        return PacketBatch.from_columns(
+            len(needed), columns, remap[pick.astype(np.int64)]
+        )
 
     def decode(
         self,
@@ -397,56 +384,7 @@ class PacketBlockCodec:
         worker's members); every distinct row is still materialised at
         most once and aliased across its duplicates.
         """
-        prefix = layout.prefix
-        pick = reader.get(f"{prefix}/pick")
-        if positions is not None:
-            pick = pick[np.asarray(positions, dtype=np.int64)]
-        needed = np.unique(pick)
-        remap = {int(row): i for i, row in enumerate(needed)}
-
-        columns: list[tuple[str, list[int], list[bool] | None]] = []
-        for spec in layout.fields:
-            if spec.lanes == 1:
-                lane = reader.get(f"{prefix}/{spec.name}/0")[needed]
-                values = lane.tolist()
-            else:
-                values = [0] * len(needed)
-                for lane_index in range(spec.lanes):
-                    lane = reader.get(f"{prefix}/{spec.name}/{lane_index}")[
-                        needed
-                    ]
-                    shift = 64 * lane_index
-                    values = [
-                        accumulated | (int(part) << shift)
-                        for accumulated, part in zip(values, lane)
-                    ]
-            present = None
-            if spec.has_missing:
-                present = (
-                    reader.get(f"{prefix}/{spec.name}/present")[needed]
-                    .astype(bool)
-                    .tolist()
-                )
-            columns.append((spec.name, values, present))
-
-        rows: list[dict[str, int]] = []
-        for i in range(len(needed)):
-            row: dict[str, int] = {}
-            for name, values, present in columns:
-                if present is None or present[i]:
-                    row[name] = values[i]
-            rows.append(row)
-        return [rows[remap[int(row_index)]] for row_index in pick]
-
-
-def _width_check(name: str, value: int | None) -> int:
-    """Lanes needed for one value (rejecting negatives early: lane
-    splitting of negative ints would silently corrupt the roundtrip)."""
-    if value is None:
-        return 1
-    if value < 0:
-        raise ValueError(f"field {name!r} has negative value {value}")
-    return max(1, (value.bit_length() + 63) // 64)
+        return self.attach(reader, layout, positions).dicts()
 
 
 # ----------------------------------------------------------------------
@@ -616,6 +554,73 @@ def encode_results(
     more rewritten/added keys.
     """
     n = len(results)
+    frame_lens = [frame_length(result.final_fields) for result in results]
+    vocabulary, delta = _encode_core(writer, results, frame_lens, index)
+    if inputs is None:
+        layout = ResultBlockLayout(
+            count=n,
+            fields=codec.encode(
+                writer, [result.final_fields for result in results], "res/fields"
+            ),
+        )
+    else:
+        layout = ResultBlockLayout(
+            count=n,
+            fields=None,
+            overrides=tuple(
+                _overrides(result.final_fields, packet)
+                for result, packet in zip(results, inputs)
+            ),
+        )
+    return layout, vocabulary, delta
+
+
+def encode_outcomes(
+    writer: BlockWriter,
+    outcomes,
+    index: EntryIndex,
+) -> tuple[ResultBlockLayout, list, FlowStatsDelta]:
+    """Encode a :class:`~repro.runtime.batch.ColumnarOutcomes` columnar —
+    the decode-free worker's reply path.
+
+    Megaflow-hit positions are encoded straight from the cached
+    template (flags, ports, matched refs, actions) with the entry's
+    recorded rewrite ``overrides``; only wave-classified positions
+    (cache misses, whose rows were materialised anyway) diff their
+    ``final_fields`` against the input dict.  Frame lengths come from
+    the batch's ``frame_len`` lane, so a hit never touches a dict at
+    all.
+    """
+    results: list[PipelineResult] = []
+    overrides: list[dict[str, int] | None] = []
+    batch = outcomes.batch
+    for i, entry in enumerate(outcomes.entries):
+        if entry is None:
+            result = outcomes.wave_results[i]
+            results.append(result)
+            overrides.append(_overrides(result.final_fields, batch[i]))
+        else:
+            results.append(entry.template)
+            overrides.append(entry.overrides if entry.overrides else None)
+    vocabulary, delta = _encode_core(
+        writer, results, outcomes.frame.tolist(), index
+    )
+    layout = ResultBlockLayout(
+        count=len(results), fields=None, overrides=tuple(overrides)
+    )
+    return layout, vocabulary, delta
+
+
+def _encode_core(
+    writer: BlockWriter,
+    results: Sequence[PipelineResult],
+    frame_lens: Sequence[int],
+    index: EntryIndex,
+) -> tuple[list, FlowStatsDelta]:
+    """The final-fields-free part of a result encoding: flags, metadata,
+    visited tables, ports, matched-entry refs (with the per-packet frame
+    lengths feeding the stats delta) and the action vocabulary."""
+    n = len(results)
     flags = np.zeros(n, dtype=np.uint8)
     metadata = np.zeros(n, dtype=np.uint64)
     for i, result in enumerate(results):
@@ -642,9 +647,8 @@ def encode_results(
 
     refs: list[tuple[tuple[int, int], int]] = []
     matched_rows: list[list[int]] = []
-    for result in results:
+    for result, frame_len in zip(results, frame_lens):
         row: list[int] = []
-        frame_len = frame_length(result.final_fields)
         for table_id, entry in zip(
             result.tables_visited, result.matched_entries
         ):
@@ -665,24 +669,7 @@ def encode_results(
             row.append(action_id)
         action_rows.append(row)
     _put_ragged(writer, "res/actions", action_rows, np.int32)
-
-    if inputs is None:
-        layout = ResultBlockLayout(
-            count=n,
-            fields=codec.encode(
-                writer, [result.final_fields for result in results], "res/fields"
-            ),
-        )
-    else:
-        layout = ResultBlockLayout(
-            count=n,
-            fields=None,
-            overrides=tuple(
-                _overrides(result.final_fields, packet)
-                for result, packet in zip(results, inputs)
-            ),
-        )
-    return layout, list(vocabulary), FlowStatsDelta.from_refs(refs)
+    return list(vocabulary), FlowStatsDelta.from_refs(refs)
 
 
 def _overrides(

@@ -151,3 +151,88 @@ class TestCli:
         )
         checks = check_regression.run_checks(baseline, baseline)
         assert checks and all(check.ok for check in checks)
+
+
+class TestCpuStamps:
+    def test_cpu_sensitive_key_skipped_across_hosts(self):
+        """A sharded ratio recorded on 1 cpu must not gate (or excuse) a
+        4-cpu runner — the key is skipped, not compared."""
+        skipped: list[str] = []
+        checks = check_regression.run_checks(
+            {"sharded_vs_single": 0.24, "cached_batch_vs_decomposition": 20.0},
+            {"sharded_vs_single": 0.1, "cached_batch_vs_decomposition": 8.0},
+            baseline_cpus={
+                "sharded_vs_single": 1,
+                "cached_batch_vs_decomposition": 1,
+            },
+            current_cpus={
+                "sharded_vs_single": 4,
+                "cached_batch_vs_decomposition": 4,
+            },
+            skipped=skipped,
+        )
+        assert skipped == ["sharded_vs_single"]
+        # The cpu-insensitive key is still gated across hosts.
+        assert [check.key for check in checks] == [
+            "cached_batch_vs_decomposition"
+        ]
+
+    def test_cpu_sensitive_key_gated_on_same_host(self):
+        checks = check_regression.run_checks(
+            {"sharded_vs_single": 2.0},
+            {"sharded_vs_single": 0.1},
+            baseline_cpus={"sharded_vs_single": 4},
+            current_cpus={"sharded_vs_single": 4},
+        )
+        (check,) = checks
+        assert not check.ok
+
+    def test_load_record_stamps(self, tmp_path):
+        path = tmp_path / "rec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "cpu_count": 2,
+                    "speedups": {"a": 1.0, "sharded_vs_single": 0.5},
+                    "speedup_cpus": {"sharded_vs_single": 8},
+                }
+            )
+        )
+        speedups, cpus = check_regression.load_record(path)
+        assert speedups == {"a": 1.0, "sharded_vs_single": 0.5}
+        # Per-key stamp wins; unstamped keys fall back to cpu_count.
+        assert cpus == {"a": 2, "sharded_vs_single": 8}
+
+    def test_main_passes_when_everything_cpu_skipped(self, tmp_path, capsys):
+        baseline = write_record(
+            tmp_path / "base.json",
+            {"sharded_vs_single": 0.24},
+        )
+        current = tmp_path / "cur.json"
+        current.write_text(
+            json.dumps(
+                {
+                    "cpu_count": 4,
+                    "speedups": {"sharded_vs_single": 0.1},
+                }
+            )
+        )
+        # Baseline has no cpu info at all -> stamp None vs 4 -> skip.
+        assert check_regression.main(
+            ["--baseline", str(baseline), "--current", str(current)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "skip sharded_vs_single" in out
+
+    def test_absolute_floor_survives_cpu_mismatch(self):
+        """Transport-slowdown floors hold on any host: a cpu-mismatched
+        pipelined ratio loses only its baseline-relative band."""
+        checks = check_regression.run_checks(
+            {"pipelined_vs_serial_shm_small_batch": 1.1},
+            {"pipelined_vs_serial_shm_small_batch": 0.5},
+            baseline_cpus={"pipelined_vs_serial_shm_small_batch": 1},
+            current_cpus={"pipelined_vs_serial_shm_small_batch": 4},
+        )
+        (check,) = checks
+        assert check.floor == pytest.approx(0.8)  # the absolute floor
+        assert not check.ok

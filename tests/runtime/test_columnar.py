@@ -1,0 +1,478 @@
+"""The columnar fast path: batch key hashing, vectorized cache tiers.
+
+Covers the satellite guarantees of the columnar PR: hash collisions
+degrade to cache misses (never wrong results), presence bytes are part
+of every key (value 0 != field absent), ``frame_len`` can never enter a
+key or mask, and both vectorized tiers stay bitwise-identical to their
+dict paths — plus a small microbenchmark pinning the vectorized hash
+against the per-packet tuple build.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_lookup_table
+from repro.core.architecture import MultiTableLookupArchitecture
+from repro.packet.batch import PacketBatch
+from repro.packet.headers import FRAME_LEN_FIELD
+from repro.runtime import (
+    BatchPipeline,
+    MicroflowCache,
+    run_workload,
+    uniform_wide_workload,
+    widen_rule_set,
+    zipf_workload,
+)
+from repro.runtime.scenarios import columnar_workload
+
+
+@pytest.fixture(scope="module")
+def rule_set():
+    from repro.filters.paper_data import RoutingFilterStats
+    from repro.filters.synthetic import generate_routing_set
+
+    return generate_routing_set(
+        RoutingFilterStats("columnar", 200, 12, 40, 90), seed=23
+    )
+
+
+# ----------------------------------------------------------------------
+# batch key hashing
+# ----------------------------------------------------------------------
+
+
+class TestKeyHashes:
+    FIELDS = ("ipv4_src", "ipv4_dst", "tcp_dst")
+
+    def test_equal_keys_equal_hashes_distinct_keys_distinct(self):
+        """Collision sanity: equal field tuples hash equal; across a few
+        thousand distinct keys the 64-bit hash shows no collision."""
+        packets = [
+            {"ipv4_src": i, "ipv4_dst": i * 7, "tcp_dst": i % 1024}
+            for i in range(4096)
+        ]
+        batch = PacketBatch.from_dicts(packets + packets[:100])
+        hashes = batch.key_hashes(self.FIELDS)
+        assert len(hashes) == 4096  # rows, not positions
+        assert len(set(hashes.tolist())) == 4096
+
+    def test_presence_byte_sensitivity(self):
+        """A field carrying 0 and a missing field are different keys."""
+        batch = PacketBatch.from_dicts(
+            [
+                {"ipv4_src": 0, "ipv4_dst": 1},
+                {"ipv4_dst": 1},
+            ]
+        )
+        hashes = batch.key_hashes(("ipv4_src", "ipv4_dst"))
+        assert hashes[0] != hashes[1]
+        _, packed = batch.packed_keys(("ipv4_src", "ipv4_dst"))
+        assert packed[0] != packed[1]
+
+    def test_frame_len_excluded_from_keys(self):
+        """Two packets differing only in frame_len share key and hash —
+        the schema never names the metadata field."""
+        batch = PacketBatch.from_dicts(
+            [
+                {"ipv4_src": 9, FRAME_LEN_FIELD: 64},
+                {"ipv4_src": 9, FRAME_LEN_FIELD: 1500},
+            ]
+        )
+        hashes = batch.key_hashes(self.FIELDS)
+        assert hashes[0] == hashes[1]
+        _, packed = batch.packed_keys(self.FIELDS)
+        assert packed[0] == packed[1]
+        # ... but the lengths still flow into byte accounting.
+        assert batch.frame_lengths().tolist() == [64, 1500]
+
+    def test_frame_len_excluded_from_masks(self):
+        """Megaflow masks are recorder-built from match fields only; even
+        a hand-built mask naming frame_len cannot arise from capture —
+        assert the recorder's signature never contains it."""
+        from repro.runtime.megaflow import MegaflowRecorder
+
+        recorder = MegaflowRecorder()
+        recorder.consult("ipv4_src", 0xFF)
+        recorder.consult("tcp_dst", 0x3)
+        assert FRAME_LEN_FIELD not in dict(recorder.mask_signature())
+
+    def test_wide_values_hash_all_lanes(self):
+        low = {"ipv6_src": 5}
+        high = {"ipv6_src": 5 | (1 << 100)}
+        batch = PacketBatch.from_dicts([low, high])
+        hashes = batch.key_hashes(("ipv6_src",))
+        assert hashes[0] != hashes[1]
+
+
+class TestCollisionSafety:
+    def test_forced_hash_collision_still_correct(self, rule_set):
+        """With every hash forced equal, the packed-key verification must
+        turn collisions into misses — outcomes stay correct."""
+        trace = zipf_workload(
+            rule_set, packet_count=512, flow_count=32
+        ).events[0][1]
+        batch = PacketBatch.from_dicts(trace)
+        table = build_lookup_table(rule_set)
+        cache = MicroflowCache(table)
+        schema = cache.field_names
+        sig, hashes, packed = batch.probe_keys(schema)
+        batch._store.key_memo[tuple(schema)] = (
+            np.zeros(batch.rows, dtype=np.uint64),
+            [0] * batch.rows,
+            sig,
+            packed,
+        )
+        got = []
+        for start in range(0, len(batch), 64):
+            got.extend(cache.lookup_batch_columnar(batch[start : start + 64]))
+        reference_table = build_lookup_table(rule_set)
+        expected = [reference_table.lookup(fields) for fields in trace]
+        assert len(got) == len(expected)
+        for a, b in zip(got, expected):
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.match == b.match and a.priority == b.priority
+
+    def test_sig_mismatch_reads_as_miss(self, rule_set):
+        """A record stored under a different lane layout (signature) is
+        never returned for a colliding hash."""
+        table = build_lookup_table(rule_set)
+        cache = MicroflowCache(table)
+        trace = zipf_workload(
+            rule_set, packet_count=64, flow_count=8
+        ).events[0][1]
+        batch = PacketBatch.from_dicts(trace)
+        cache.lookup_batch_columnar(batch)
+        # Corrupt every cached record's signature; next columnar pass
+        # must treat all rows as misses and still classify correctly.
+        for record in cache._entries.values():
+            record.sig = (("bogus", 1),)
+        got = cache.lookup_batch_columnar(batch)
+        expected = [build_lookup_table(rule_set).lookup(f) for f in trace]
+        for a, b in zip(got, expected):
+            assert (a is None) == (b is None)
+
+
+# ----------------------------------------------------------------------
+# vectorized tiers == dict tiers
+# ----------------------------------------------------------------------
+
+
+class TestColumnarMicroflow:
+    def test_matches_dict_path_and_stats(self, rule_set):
+        trace = zipf_workload(
+            rule_set, packet_count=3000, flow_count=64, frame_len="imix"
+        ).events[0][1]
+        table_dict = build_lookup_table(rule_set)
+        table_col = build_lookup_table(rule_set)
+        cache_dict = MicroflowCache(table_dict, capacity=128)
+        cache_col = MicroflowCache(table_col, capacity=128)
+        batch = PacketBatch.from_dicts(trace)
+        got_dict: list = []
+        got_col: list = []
+        for start in range(0, len(trace), 256):
+            got_dict.extend(cache_dict.lookup_batch(trace[start : start + 256]))
+            got_col.extend(
+                cache_col.lookup_batch_columnar(batch[start : start + 256])
+            )
+        assert len(got_dict) == len(got_col)
+        for a, b in zip(got_dict, got_col):
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.match == b.match and a.priority == b.priority
+        stats_dict = sorted(
+            (str(e.match), e.priority, e.stats.packet_count, e.stats.byte_count)
+            for e in table_dict
+        )
+        stats_col = sorted(
+            (str(e.match), e.priority, e.stats.packet_count, e.stats.byte_count)
+            for e in table_col
+        )
+        assert stats_dict == stats_col
+        assert cache_dict.hits == cache_col.hits
+        assert cache_dict.misses == cache_col.misses
+
+    def test_revalidates_after_mutation(self, rule_set):
+        table = build_lookup_table(rule_set)
+        cache = MicroflowCache(table)
+        trace = zipf_workload(
+            rule_set, packet_count=128, flow_count=16
+        ).events[0][1]
+        batch = PacketBatch.from_dicts(trace)
+        first = cache.lookup_batch_columnar(batch)
+        entry = next(e for e in first if e is not None)
+        # Remove + reinstall bumps the version; stale records must
+        # re-resolve instead of serving the old outcome.
+        assert table.remove(entry.match, entry.priority)
+        table.add(entry)
+        again = cache.lookup_batch_columnar(batch)
+        for a, b in zip(first, again):
+            assert (a is None) == (b is None)
+
+    def test_rescue_restamp_drops_stale_sidecar_slot(self):
+        """A layout change re-hashes a cached key; promoting the record
+        under its new hash must drop the old sidecar slot, or eviction
+        could never unindex it (dangling mapping pinning dead records)."""
+
+        class _StubTable:
+            field_names = ("a", "b")
+            version = 0
+
+            def lookup_batch(self, batch):
+                return [None] * len(batch)
+
+        cache = MicroflowCache(_StubTable())
+        narrow = {"a": 1, "b": 2}
+        cache.lookup_batch_columnar(PacketBatch.from_dicts([narrow]))
+        assert len(cache._columnar) == 1
+        # Same logical key in a batch whose "a" column widened to two
+        # lanes: different signature, different hash, rescue path.
+        wide_batch = PacketBatch.from_dicts([narrow, {"a": 2**70, "b": 0}])
+        cache.lookup_batch_columnar(wide_batch)
+        for chash, record in cache._columnar.items():
+            assert record.chash == chash
+            assert cache._entries[record.key] is record
+        assert len(cache._columnar) <= len(cache._entries)
+
+    def test_columnar_counts_revalidations(self, rule_set):
+        table = build_lookup_table(rule_set)
+        cache = MicroflowCache(table)
+        trace = zipf_workload(
+            rule_set, packet_count=64, flow_count=8
+        ).events[0][1]
+        batch = PacketBatch.from_dicts(trace)
+        cache.lookup_batch_columnar(batch)
+        assert cache.revalidations == 0
+        entry = next(e for e in table)
+        assert table.remove(entry.match, entry.priority)
+        table.add(entry)  # version bump; cached stamps now stale
+        cache.lookup_batch_columnar(batch)
+        assert cache.revalidations > 0
+
+    def test_duplicate_miss_rows_insert_once(self):
+        inserts = []
+
+        class _CountingTable:
+            field_names = ("a",)
+            version = 0
+
+            def lookup_batch(self, batch):
+                return [None] * len(batch)
+
+        cache = MicroflowCache(_CountingTable())
+        original = cache._insert
+
+        def counting_insert(key, *args, **kwargs):
+            inserts.append(key)
+            return original(key, *args, **kwargs)
+
+        cache._insert = counting_insert
+        flow = {"a": 7}
+        batch = PacketBatch.from_dicts([flow] * 32 + [{"a": 9}])
+        cache.lookup_batch_columnar(batch)
+        assert cache.misses == 33  # per-position, dict-path parity
+        assert sorted(inserts) == [(7,), (9,)]  # per distinct row
+
+    def test_eviction_keeps_sidecar_consistent(self, rule_set):
+        table = build_lookup_table(rule_set)
+        cache = MicroflowCache(table, capacity=4)
+        trace = [
+            dict(fields)
+            for fields in zipf_workload(
+                rule_set, packet_count=64, flow_count=32
+            ).events[0][1]
+        ]
+        batch = PacketBatch.from_dicts(trace)
+        cache.lookup_batch_columnar(batch)
+        assert len(cache) <= 4
+        assert len(cache._columnar) <= len(cache._entries)
+        for chash, record in cache._columnar.items():
+            assert cache._entries[record.key] is record
+
+
+class TestMixedPaths:
+    def test_dict_warmed_cache_serves_columnar_without_table(self, rule_set):
+        """A cache warmed by dict batches must serve columnar traffic
+        from its records (promoted into the sidecar on first columnar
+        touch), not re-resolve the working set through the table."""
+        table = build_lookup_table(rule_set)
+        cache = MicroflowCache(table)
+        trace = zipf_workload(
+            rule_set, packet_count=256, flow_count=16
+        ).events[0][1]
+        cache.lookup_batch(trace)  # dict-path warm-up
+        lookups_before = table.lookup_count
+        batch = PacketBatch.from_dicts(trace)
+        outcomes = cache.lookup_batch_columnar(batch)
+        assert table.lookup_count == lookups_before, (
+            "columnar probe re-resolved dict-warmed keys through the table"
+        )
+        expected = [build_lookup_table(rule_set).lookup(f) for f in trace]
+        for a, b in zip(outcomes, expected):
+            assert (a is None) == (b is None)
+        # Second columnar pass hits the promoted sidecar entries.
+        misses_before = cache.misses
+        cache.lookup_batch_columnar(batch)
+        assert cache.misses == misses_before
+
+
+class TestColumnarMegaflow:
+    def test_probe_batch_standalone(self, rule_set):
+        """The public probe surface: entries per position, bookkeeping
+        done, no replay materialisation."""
+        wide = widen_rule_set(rule_set)
+        runner = BatchPipeline(
+            MultiTableLookupArchitecture([build_lookup_table(wide)]),
+            cache_capacity=64,
+            megaflow_capacity=128,
+        )
+        trace = uniform_wide_workload(
+            wide, packet_count=200, flow_count=8
+        ).events[0][1]
+        batch = PacketBatch.from_dicts(trace)
+        runner.process_batch(batch)  # populate aggregates
+        megaflow = runner.megaflow
+        hits_before = megaflow.hits
+        entries = megaflow.probe_batch(batch)
+        assert len(entries) == len(batch)
+        hit_count = sum(entry is not None for entry in entries)
+        assert hit_count > 0
+        assert megaflow.hits == hits_before + hit_count
+        for i, entry in enumerate(entries):
+            if entry is not None:
+                assert entry.template.matched_entries
+    def test_uniform_wide_equivalence(self, rule_set):
+        wide = widen_rule_set(rule_set)
+        workload = uniform_wide_workload(wide, packet_count=1500, flow_count=40)
+
+        def runner():
+            return BatchPipeline(
+                MultiTableLookupArchitecture([build_lookup_table(wide)]),
+                cache_capacity=256,
+                megaflow_capacity=512,
+            )
+
+        dict_runner, col_runner = runner(), runner()
+        dict_stats = run_workload(
+            dict_runner, workload, batch_size=128, keep_results=True
+        )
+        col_stats = run_workload(
+            col_runner, columnar_workload(workload), batch_size=128,
+            keep_results=True,
+        )
+        assert len(dict_stats.results) == len(col_stats.results)
+        for a, b in zip(dict_stats.results, col_stats.results):
+            assert a.final_fields == b.final_fields
+            assert a.output_ports == b.output_ports
+            assert a.tables_visited == b.tables_visited
+            assert a.applied_actions == b.applied_actions
+            assert a.dropped == b.dropped
+            assert a.sent_to_controller == b.sent_to_controller
+            assert a.metadata == b.metadata
+        assert dict_stats.megaflow_hits == col_stats.megaflow_hits
+        assert dict_stats.megaflow_misses == col_stats.megaflow_misses
+        assert dict_stats.flow_packets == col_stats.flow_packets
+        assert dict_stats.flow_bytes == col_stats.flow_bytes
+        assert (dict_stats.matched, dict_stats.dropped) == (
+            col_stats.matched,
+            col_stats.dropped,
+        )
+
+    def test_skip_materialisation_counters_identical(self, rule_set):
+        """keep_results=False rides the no-materialisation path; every
+        counter and flow stat still matches the materialising replay."""
+        wide = widen_rule_set(rule_set)
+        workload = columnar_workload(
+            uniform_wide_workload(wide, packet_count=800, flow_count=32)
+        )
+
+        def replay(keep):
+            runner = BatchPipeline(
+                MultiTableLookupArchitecture([build_lookup_table(wide)]),
+                cache_capacity=256,
+                megaflow_capacity=512,
+            )
+            stats = run_workload(
+                runner, workload, batch_size=96, keep_results=keep
+            )
+            entry_stats = sorted(
+                (e.stats.packet_count, e.stats.byte_count)
+                for table in runner.pipeline.tables
+                for e in table
+            )
+            return stats, entry_stats
+
+        kept, kept_entries = replay(True)
+        skipped, skipped_entries = replay(False)
+        assert kept_entries == skipped_entries
+        for field in (
+            "packets",
+            "matched",
+            "dropped",
+            "sent_to_controller",
+            "megaflow_hits",
+            "megaflow_misses",
+            "flow_packets",
+            "flow_bytes",
+        ):
+            assert getattr(kept, field) == getattr(skipped, field), field
+
+    def test_stale_aggregate_dropped_on_columnar_probe(self, rule_set):
+        wide = widen_rule_set(rule_set)
+        runner = BatchPipeline(
+            MultiTableLookupArchitecture([build_lookup_table(wide)]),
+            cache_capacity=64,
+            megaflow_capacity=128,
+        )
+        workload = uniform_wide_workload(wide, packet_count=400, flow_count=16)
+        trace = workload.events[0][1]
+        runner.process_batch(PacketBatch.from_dicts(trace[:200]))
+        assert runner.megaflow is not None and len(runner.megaflow)
+        invalidated_before = runner.megaflow.invalidated
+        # Any mutation bumps the visited table's version.
+        table = runner.pipeline.tables[0]
+        entry = next(iter(table))
+        table.remove(entry.match, entry.priority)
+        table.add(entry)
+        runner.process_batch(PacketBatch.from_dicts(trace[200:]))
+        assert runner.megaflow.invalidated > invalidated_before
+
+
+# ----------------------------------------------------------------------
+# microbenchmark
+# ----------------------------------------------------------------------
+
+
+def test_key_hash_microbench(rule_set):
+    """Vectorized per-row hashing must beat per-packet tuple keying by a
+    wide margin (loose 1.0x floor so CI scheduler noise cannot flake; the
+    typical ratio is >10x)."""
+    trace = zipf_workload(
+        rule_set, packet_count=20_000, flow_count=256
+    ).events[0][1]
+    table = build_lookup_table(rule_set)
+    cache = MicroflowCache(table)
+    batch = PacketBatch.from_dicts(trace)
+    names = cache.field_names
+
+    start = time.perf_counter()
+    tuple_keys = [cache.key(fields) for fields in trace]
+    tuple_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    _, hashes, packed = batch.probe_keys(names)
+    vector_elapsed = time.perf_counter() - start
+
+    assert len(tuple_keys) == len(trace)
+    assert len(hashes) == batch.rows and len(packed) == batch.rows
+    ratio = tuple_elapsed / max(vector_elapsed, 1e-9)
+    print(
+        f"\nkey build: tuples {len(trace) / tuple_elapsed:,.0f}/s, "
+        f"vectorized rows {batch.rows / vector_elapsed:,.0f}/s "
+        f"({ratio:.1f}x per-packet cost)"
+    )
+    assert ratio > 1.0, f"vectorized hashing slower than tuples ({ratio:.2f}x)"

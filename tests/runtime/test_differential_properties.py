@@ -1,7 +1,7 @@
 """Differential property harness over every runner path.
 
 Random rule sets, mutation sequences and traffic traces (hypothesis
-strategies, deterministic per example) are replayed through all six
+strategies, deterministic per example) are replayed through all nine
 classification paths —
 
 1. behavioural scan (``FlowTable`` pipeline, scalar),
@@ -11,7 +11,12 @@ classification paths —
 5. two-tier megaflow batch,
 6. sharded shared-memory, pipelined (``ShardedBatchPipeline``,
    transport="shm", depth=3 — bursts stream through the
-   double-buffered dispatch/collect loop) —
+   double-buffered dispatch/collect loop),
+7. columnar microflow-cached batch (``PacketBatch`` input, vectorized
+   key hashing),
+8. columnar two-tier megaflow batch (vectorized masked-key probes),
+9. columnar sharded shared-memory pipelined (decode-free workers
+   classifying straight off the request block's columns) —
 
 and every path must produce identical :class:`PipelineResult`\\ s per
 packet **and** identical post-run per-entry flow-stats counters —
@@ -46,6 +51,7 @@ from repro.openflow.instructions import (
 from repro.openflow.match import ExactMatch, Match, PrefixMatch, RangeMatch
 from repro.openflow.pipeline import OpenFlowPipeline
 from repro.openflow.table import FlowTable
+from repro.packet.batch import PacketBatch
 from repro.packet.generator import PacketGenerator, TraceConfig
 from repro.packet.headers import FRAME_LEN_FIELD
 from repro.runtime import BatchPipeline, ShardedBatchPipeline
@@ -188,7 +194,8 @@ class Replayer:
     comparable afterwards.
     """
 
-    def __init__(self, example, make_tables, runner_factory=None):
+    def __init__(self, example, make_tables, runner_factory=None, columnar=False):
+        self.columnar = columnar
         self.entries = [_build_entry(spec) for spec in example["rules"]]
         tables = make_tables()
         self.tables = {t.table_id: t for t in tables}
@@ -217,10 +224,19 @@ class Replayer:
         if self.runner is None:
             self.results.extend(self.pipeline.process(p) for p in burst)
             return
-        chunks = [
-            burst[start : start + BATCH_SIZE]
-            for start in range(0, len(burst), BATCH_SIZE)
-        ]
+        if self.columnar:
+            # One columnar batch per burst, sliced into views — the
+            # shape scenario builders emit through columnar_workload.
+            batch = PacketBatch.from_dicts(burst)
+            chunks = [
+                batch[start : start + BATCH_SIZE]
+                for start in range(0, len(burst), BATCH_SIZE)
+            ]
+        else:
+            chunks = [
+                burst[start : start + BATCH_SIZE]
+                for start in range(0, len(burst), BATCH_SIZE)
+            ]
         process_batches = getattr(self.runner, "process_batches", None)
         if process_batches is not None:
             # The pipelined dispatch/collect loop: multi-chunk bursts
@@ -308,6 +324,30 @@ RUNNERS = {
             depth=3,
         ),
     ),
+    "columnar-cached": (
+        _lookup_tables,
+        lambda pipeline: BatchPipeline(pipeline, cache_capacity=16),
+        True,
+    ),
+    "columnar-megaflow": (
+        _lookup_tables,
+        lambda pipeline: BatchPipeline(
+            pipeline, cache_capacity=16, megaflow_capacity=32
+        ),
+        True,
+    ),
+    "columnar-sharded": (
+        _lookup_tables,
+        lambda pipeline: ShardedBatchPipeline(
+            pipeline,
+            workers=2,
+            cache_capacity=16,
+            megaflow_capacity=32,
+            transport="shm",
+            depth=3,
+        ),
+        True,
+    ),
 }
 
 
@@ -321,8 +361,10 @@ def test_all_paths_equivalent(example):
     trace = _build_trace(example)
     replayers: dict[str, Replayer] = {}
     try:
-        for name, (make_tables, factory) in RUNNERS.items():
-            replayer = Replayer(example, make_tables, factory)
+        for name, (make_tables, factory, *flags) in RUNNERS.items():
+            replayer = Replayer(
+                example, make_tables, factory, columnar=bool(flags and flags[0])
+            )
             replayers[name] = replayer
             replayer.replay(example, trace)
         reference = replayers["scan"]

@@ -612,3 +612,208 @@ class TestSharedMemoryLifecycle:
             time.sleep(0.05)
         leaked = _shm_segments() - before
         assert not leaked, f"segments left in /dev/shm: {sorted(leaked)}"
+
+
+class _RoutedSharded(ShardedBatchPipeline):
+    """Deterministic routing for the out-of-order tests: packets go to
+    the worker named by their ``in_port`` (mod workers)."""
+
+    def shard_of(self, packet_fields):
+        return packet_fields.get("in_port", 0) % self.workers
+
+
+class TestOutOfOrderCollect:
+    """collect_batch(seq=...) / collect_any(): a slow shard must only
+    stall the batches actually assigned to it."""
+
+    def routed_batches(self, rule_set, sizes=(6, 4)):
+        """One batch per worker: batch i's packets all carry in_port=i,
+        so _RoutedSharded pins batch 0 to worker 0 and batch 1 to
+        worker 1."""
+        workload = SCENARIOS["zipf"](
+            rule_set, packet_count=max(sizes) * 4, flow_count=8
+        )
+        trace = workload.events[0][1]
+        batches = []
+        cursor = 0
+        for worker, size in enumerate(sizes):
+            chunk = [
+                dict(fields, in_port=worker)
+                for fields in trace[cursor : cursor + size]
+            ]
+            batches.append(chunk)
+            cursor += size
+        return batches
+
+    def test_collect_by_seq_out_of_order(self, small_routing_set):
+        batches = self.routed_batches(small_routing_set)
+        single = BatchPipeline(make_arch(small_routing_set), cache_capacity=64)
+        expected = [single.process_batch(batch) for batch in batches]
+        with _RoutedSharded(
+            make_arch(small_routing_set), workers=2, depth=2, cache_capacity=64
+        ) as sharded:
+            seq0 = sharded.submit_batch(batches[0])
+            seq1 = sharded.submit_batch(batches[1])
+            assert (seq0, seq1) == (0, 1)
+            # Batch 1 lives entirely on worker 1: collecting it touches
+            # only worker 1's pipe, so batch 0's worker being busy (or
+            # stalled forever) cannot block it.
+            got1 = sharded.collect_batch(seq=seq1)
+            assert sharded.in_flight == 1
+            for a, b in zip(got1, expected[1]):
+                assert_same_result(a, b)
+            got0 = sharded.collect_batch(seq=seq0)
+            assert sharded.in_flight == 0
+            for a, b in zip(got0, expected[0]):
+                assert_same_result(a, b)
+
+    def test_collect_unknown_seq_rejected(self, small_routing_set):
+        batches = self.routed_batches(small_routing_set)
+        with _RoutedSharded(
+            make_arch(small_routing_set), workers=2, depth=2
+        ) as sharded:
+            with pytest.raises(RuntimeError, match="no batch in flight"):
+                sharded.collect_batch()
+            sharded.submit_batch(batches[0])
+            with pytest.raises(RuntimeError, match="not in flight"):
+                sharded.collect_batch(seq=7)
+            sharded.collect_batch()
+
+    def test_collect_any_completes_fast_shard_first(self, small_routing_set):
+        """The acceptance scenario: batch N+1 (tiny, fast worker)
+        completes while batch N's worker is still grinding a batch three
+        orders of magnitude larger."""
+        workload = SCENARIOS["zipf"](
+            rule_set=small_routing_set, packet_count=30_000, flow_count=8
+        )
+        heavy = [
+            dict(fields, in_port=0) for fields in workload.events[0][1]
+        ]
+        light = [dict(fields, in_port=1) for fields in workload.events[0][1][:4]]
+        single = BatchPipeline(make_arch(small_routing_set), cache_capacity=None)
+        expected_light = single.process_batch(light)
+        expected_heavy = single.process_batch(heavy)
+        with _RoutedSharded(
+            make_arch(small_routing_set),
+            workers=2,
+            depth=2,
+            cache_capacity=None,
+        ) as sharded:
+            # Warm both workers up so fork/attach cost is out of the race.
+            sharded.process_batch(
+                [dict(heavy[0], in_port=0), dict(heavy[0], in_port=1)]
+            )
+            heavy_seq = sharded.submit_batch(heavy)
+            light_seq = sharded.submit_batch(light)
+            seq, results = sharded.collect_any()
+            assert seq == light_seq, (
+                "collect_any returned the heavy batch first — the fast "
+                "shard was blocked behind the slow one"
+            )
+            for a, b in zip(results, expected_light):
+                assert_same_result(a, b)
+            seq, results = sharded.collect_any()
+            assert seq == heavy_seq
+            for a, b in zip(results, expected_heavy):
+                assert_same_result(a, b)
+            with pytest.raises(RuntimeError, match="no batch in flight"):
+                sharded.collect_any()
+
+    def test_ring_slot_guard_after_out_of_order_collect(
+        self, small_routing_set
+    ):
+        """Slot seq % depth is reused only after its previous occupant
+        was collected: an out-of-order collect can leave the oldest
+        batch holding the next submission's slot."""
+        batches = self.routed_batches(small_routing_set, sizes=(4, 4, 4))
+        with _RoutedSharded(
+            make_arch(small_routing_set), workers=3, depth=2
+        ) as sharded:
+            seq0 = sharded.submit_batch(batches[0])
+            seq1 = sharded.submit_batch(batches[1])
+            sharded.collect_batch(seq=seq1)
+            # seq 2 would reuse slot 0, still held by uncollected seq 0.
+            with pytest.raises(RuntimeError, match="ring slot"):
+                sharded.submit_batch(batches[2])
+            sharded.collect_batch(seq=seq0)
+            seq2 = sharded.submit_batch(batches[2])
+            assert seq2 == 2
+            sharded.collect_batch()
+
+    def test_fifo_default_unchanged(self, small_routing_set):
+        """collect_batch() with no seq keeps the strict FIFO contract."""
+        batches = self.routed_batches(small_routing_set)
+        single = BatchPipeline(make_arch(small_routing_set), cache_capacity=64)
+        expected = [single.process_batch(batch) for batch in batches]
+        with _RoutedSharded(
+            make_arch(small_routing_set), workers=2, depth=2, cache_capacity=64
+        ) as sharded:
+            sharded.submit_batch(batches[0])
+            sharded.submit_batch(batches[1])
+            for expected_chunk in expected:
+                for a, b in zip(sharded.collect_batch(), expected_chunk):
+                    assert_same_result(a, b)
+
+
+class TestColumnarSharded:
+    """Decode-free workers: columnar submissions classify off the block
+    columns and stay bitwise-identical to the dict transport."""
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_columnar_matches_single_process(self, small_routing_set, name):
+        from repro.runtime.scenarios import columnar_workload
+
+        workload = SCENARIOS[name](
+            small_routing_set, packet_count=300, flow_count=12
+        )
+        single = BatchPipeline(
+            make_arch(small_routing_set),
+            cache_capacity=64,
+            megaflow_capacity=128,
+        )
+        expected = run_workload(
+            single, workload, batch_size=48, keep_results=True
+        )
+        with ShardedBatchPipeline(
+            make_arch(small_routing_set),
+            workers=4,
+            depth=2,
+            cache_capacity=64,
+            megaflow_capacity=128,
+        ) as sharded:
+            got = run_workload(
+                sharded,
+                columnar_workload(workload),
+                batch_size=48,
+                keep_results=True,
+            )
+        assert len(got.results) == len(expected.results)
+        for a, b in zip(got.results, expected.results):
+            assert_same_result(a, b)
+        assert got.flow_packets == expected.flow_packets
+        assert got.flow_bytes == expected.flow_bytes
+
+    def test_columnar_worker_message_flag(self, small_routing_set):
+        """Columnar submissions are marked for the worker; dict ones are
+        not (the worker chooses the decode path per message)."""
+        from repro.packet.batch import PacketBatch
+
+        sent = []
+        with ShardedBatchPipeline(
+            make_arch(small_routing_set), workers=1, depth=1
+        ) as sharded:
+            trace = SCENARIOS["zipf"](
+                small_routing_set, packet_count=8, flow_count=4
+            ).events[0][1]
+            sharded.process_batch(trace)  # spawn + dict round
+            original = sharded._conns[0].send
+
+            def spy(message):
+                sent.append(message)
+                original(message)
+
+            sharded._conns[0].send = spy
+            sharded.process_batch(trace)
+            sharded.process_batch(PacketBatch.from_dicts(trace))
+        shm_messages = [m for m in sent if m[0] == "shm"]
+        assert [m[-1] for m in shm_messages] == [False, True]
