@@ -14,7 +14,8 @@ the structure also produces label 0 — the two meet in the index table.
 
 from __future__ import annotations
 
-from typing import Generic, Hashable, Iterator, Mapping, TypeVar
+from collections.abc import Hashable, Iterator, Mapping
+from typing import Generic, TypeVar
 
 from repro.algorithms.base import NO_LABEL
 from repro.util.bits import bits_needed

@@ -25,7 +25,7 @@ bit".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 from repro.algorithms.base import NO_LABEL, FieldSearchAlgorithm
 from repro.util.bits import mask_of, prefix_mask

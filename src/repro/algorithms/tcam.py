@@ -11,7 +11,7 @@ comparison ("Memory Limitation / Poor Flexibility").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.algorithms.base import StructureSize
 from repro.filters.rule import Rule, RuleSet

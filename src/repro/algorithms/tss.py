@@ -14,7 +14,7 @@ trick (each expanded prefix becomes a separate tuple member).
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.algorithms.base import StructureSize
 from repro.algorithms.tcam import range_to_prefixes

@@ -1,0 +1,39 @@
+"""``repro-lint``: project-specific AST invariant checks.
+
+See :mod:`repro.analysis.lint.core` for the framework and
+:mod:`repro.analysis.lint.rules` for the rule set.  Importing this
+package registers every rule.
+"""
+
+from repro.analysis.lint.core import (
+    DEFAULT_CONFIG_NAME,
+    PRAGMA,
+    REGISTRY,
+    Config,
+    Finding,
+    ModuleContext,
+    Rule,
+    check_source,
+    iter_python_files,
+    main,
+    register,
+    rule_names,
+    run_paths,
+)
+from repro.analysis.lint import rules  # noqa: F401  (registers the rule set)
+
+__all__ = [
+    "DEFAULT_CONFIG_NAME",
+    "PRAGMA",
+    "REGISTRY",
+    "Config",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "check_source",
+    "iter_python_files",
+    "main",
+    "register",
+    "rule_names",
+    "run_paths",
+]

@@ -1,0 +1,302 @@
+"""The ``repro-lint`` framework: AST rules over project invariants.
+
+The runtime's correctness rests on invariants that ordinary linters
+cannot see — shared-memory segments must register unlink guards,
+``frame_len`` must never flow into a cache key, the columnar hot tiers
+must stay dict-free, shard submission snapshots the mutation log exactly
+once.  Each invariant is a :class:`Rule`: a small AST check with a
+``file:line`` finding and a fix hint, registered in :data:`REGISTRY` and
+driven by :func:`run_paths` (the ``python -m repro.analysis`` entry
+point and the CI ``repro-lint`` job).
+
+Suppression is explicit and reviewable, never silent:
+
+- inline, on the offending line::
+
+      shm = SharedMemory(create=True, size=n)  # repro-lint: disable=shm-lifecycle
+
+- per-file, from ``repro-lint.toml`` at the repo root::
+
+      [rule.hot-path-purity]
+      exclude = ["examples/*.py"]
+
+Rules are pure functions of one module's AST; the framework owns file
+walking, pragma parsing, config and reporting, so adding a rule is one
+subclass plus a pair of fixtures (``tests/analysis/lint_fixtures/``; a
+meta-test fails any rule registered without them).
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import sys
+import tomllib
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Inline pragma prefix. ``# repro-lint: disable=rule-a,rule-b`` on the
+#: finding's line suppresses those rules; ``disable`` alone suppresses
+#: every rule on the line.
+PRAGMA = "repro-lint:"
+
+DEFAULT_CONFIG_NAME = "repro-lint.toml"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class ModuleContext:
+    """Everything one rule needs to check one parsed module."""
+
+    path: str
+    tree: ast.Module
+    source: str
+    lines: Sequence[str] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = tuple(self.source.splitlines())
+
+    def finding(self, rule: Rule, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule.name,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            hint=rule.hint,
+        )
+
+    def functions(self) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set :attr:`name` (kebab-case, the suppression key),
+    :attr:`description` (one line, shown by ``--list-rules``) and
+    :attr:`hint` (how to fix, appended to every finding), and implement
+    :meth:`check` yielding findings over one module.
+    """
+
+    name: str = ""
+    description: str = ""
+    hint: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+#: The registered rule set, in registration order.
+REGISTRY: list[Rule] = []
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (instance) to :data:`REGISTRY`."""
+    rule = rule_cls()
+    if not rule.name:
+        raise ValueError(f"{rule_cls.__name__} has no name")
+    if any(existing.name == rule.name for existing in REGISTRY):
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    REGISTRY.append(rule)
+    return rule_cls
+
+
+def rule_names() -> tuple[str, ...]:
+    return tuple(rule.name for rule in REGISTRY)
+
+
+@dataclass(frozen=True)
+class Config:
+    """Per-rule path allowlists (fnmatch globs over posix-style paths)."""
+
+    excludes: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> Config:
+        with open(path, "rb") as handle:
+            data = tomllib.load(handle)
+        excludes: dict[str, tuple[str, ...]] = {}
+        for name, section in data.get("rule", {}).items():
+            patterns = tuple(section.get("exclude", ()))
+            if patterns:
+                excludes[name] = patterns
+        return cls(excludes=excludes)
+
+    @classmethod
+    def discover(cls, start: Path) -> Config:
+        """The nearest ``repro-lint.toml`` at or above ``start``."""
+        for directory in [start, *start.parents]:
+            candidate = directory / DEFAULT_CONFIG_NAME
+            if candidate.is_file():
+                return cls.load(candidate)
+        return cls()
+
+    def excluded(self, rule_name: str, path: str) -> bool:
+        posix = Path(path).as_posix()
+        return any(
+            fnmatch.fnmatch(posix, pattern)
+            or fnmatch.fnmatch(Path(posix).name, pattern)
+            or posix.endswith("/" + pattern.lstrip("./"))
+            for pattern in self.excludes.get(rule_name, ())
+        )
+
+
+def _suppressed(ctx: ModuleContext, finding: Finding) -> bool:
+    """True when the finding's line carries a disable pragma for it."""
+    if not 1 <= finding.line <= len(ctx.lines):
+        return False
+    line = ctx.lines[finding.line - 1]
+    marker = line.find(PRAGMA)
+    if marker < 0 or "#" not in line[:marker]:
+        return False
+    directive = line[marker + len(PRAGMA) :].strip()
+    if not directive.startswith("disable"):
+        return False
+    _, _, names = directive.partition("=")
+    if not names.strip():
+        return True  # bare "disable" silences every rule on the line
+    return finding.rule in {name.strip() for name in names.split(",")}
+
+
+def check_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule] | None = None,
+    config: Config | None = None,
+) -> list[Finding]:
+    """Run the rule set over one module's source text."""
+    tree = ast.parse(source, filename=path)
+    ctx = ModuleContext(path=path, tree=tree, source=source)
+    config = config if config is not None else Config()
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else REGISTRY:
+        if config.excluded(rule.name, path):
+            continue
+        for finding in rule.check(ctx):
+            if not _suppressed(ctx, finding):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def run_paths(
+    paths: Sequence[str],
+    rules: Sequence[Rule] | None = None,
+    config: Config | None = None,
+) -> list[Finding]:
+    """Run the rule set over every ``.py`` file under the given paths."""
+    if config is None:
+        config = Config.discover(Path.cwd())
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            findings.extend(
+                check_source(
+                    source, str(file_path), rules=rules, config=config
+                )
+            )
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule="parse-error",
+                    path=str(file_path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    message=f"cannot parse: {exc.msg}",
+                    hint="repro-lint only checks files the compiler accepts",
+                )
+            )
+    return findings
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point (``python -m repro.analysis``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Project-specific AST invariant checks (shm lifecycle, "
+            "frame_len exclusion, hot-path purity, snapshot discipline, "
+            "dtype discipline)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories"
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        help=f"path to {DEFAULT_CONFIG_NAME} (default: discovered upwards)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule set and exit"
+    )
+    args = parser.parse_args(argv)
+
+    # Import for side effect: the rule set registers itself.
+    from repro.analysis.lint import rules as _rules  # noqa: F401
+
+    if args.list_rules:
+        for rule in REGISTRY:
+            print(f"{rule.name}: {rule.description}")
+        return 0
+
+    selected: Sequence[Rule] | None = None
+    if args.select:
+        wanted = {name.strip() for name in args.select.split(",")}
+        unknown = wanted - set(rule_names())
+        if unknown:
+            print(
+                f"unknown rule(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+        selected = [rule for rule in REGISTRY if rule.name in wanted]
+
+    config = Config.load(args.config) if args.config else None
+    findings = run_paths(args.paths, rules=selected, config=config)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"repro-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0

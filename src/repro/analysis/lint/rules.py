@@ -1,0 +1,525 @@
+"""The project's invariant rule set.
+
+Each rule encodes one contract the runtime tests enforce dynamically,
+so a new call site that violates it fails CI *statically* instead of
+compiling clean until the right property test happens to cover it:
+
+- ``shm-lifecycle`` — shared-memory segments register unlink guards;
+- ``finalize-no-self`` — those guards must be able to fire;
+- ``frame-len-exclusion`` — ``frame_len`` never enters a key or mask;
+- ``hot-path-purity`` — the columnar tiers never materialise dicts;
+- ``snapshot-discipline`` — the mutation log is snapshotted once per
+  submitted batch, never re-read on the collect side;
+- ``dtype-discipline`` — numpy constructions carry explicit dtypes.
+
+Rules are deliberately *syntactic*: they key on the project's naming
+contracts (``SharedMemory(create=True)``, the hot-tier method names,
+the ``_log`` attribute) rather than attempting type inference, so a
+finding is always a one-line read for a reviewer.  False positives are
+suppressed inline (``# repro-lint: disable=<rule>``) or per-file in
+``repro-lint.toml`` — both reviewable, neither silent.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.lint.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    register,
+)
+
+_FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _callee_name(node: ast.Call) -> str | None:
+    """The bare name a call targets: ``foo(...)`` and ``x.y.foo(...)``
+    both give ``"foo"``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_numpy_attr(node: ast.expr, name: str) -> bool:
+    """True for ``np.<name>`` / ``numpy.<name>``."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == name
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    )
+
+
+def _walk_scoped(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.AST, tuple[ast.AST, ...], tuple[ast.ClassDef, ...]]]:
+    """Yield every node with its enclosing function and class stacks."""
+
+    def visit(
+        node: ast.AST,
+        funcs: tuple[ast.AST, ...],
+        classes: tuple[ast.ClassDef, ...],
+    ) -> Iterator[
+        tuple[ast.AST, tuple[ast.AST, ...], tuple[ast.ClassDef, ...]]
+    ]:
+        for child in ast.iter_child_nodes(node):
+            yield child, funcs, classes
+            if isinstance(child, _FuncDef):
+                yield from visit(child, funcs + (child,), classes)
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, funcs, classes + (child,))
+            else:
+                yield from visit(child, funcs, classes)
+
+    yield from visit(tree, (), ())
+
+
+def _mentions_frame_len(node: ast.AST) -> bool:
+    """True when the subtree references ``frame_len`` *as data* — the
+    name :data:`~repro.packet.headers.FRAME_LEN_FIELD` or the literal
+    string — outside a comparison (comparisons are the exclusion idiom:
+    ``name != FRAME_LEN_FIELD`` filters it *out* of a key)."""
+
+    def scan(sub: ast.AST, in_compare: bool) -> bool:
+        if isinstance(sub, ast.Compare):
+            in_compare = True
+        if not in_compare:
+            if isinstance(sub, ast.Name) and sub.id == "FRAME_LEN_FIELD":
+                return True
+            if isinstance(sub, ast.Constant) and sub.value == "frame_len":
+                return True
+        return any(
+            scan(child, in_compare) for child in ast.iter_child_nodes(sub)
+        )
+
+    return scan(node, False)
+
+
+@register
+class ShmLifecycleRule(Rule):
+    """Every created shared-memory segment needs an unlink guard."""
+
+    name = "shm-lifecycle"
+    description = (
+        "SharedMemory(create=True) must sit in a scope that registers a "
+        "weakref.finalize unlink guard or in a class owning a close()/"
+        "__exit__ teardown"
+    )
+    hint = (
+        "register weakref.finalize(owner, <unlink fn>, <segment>) next to "
+        "the creation, or create through transport.SharedBlock, whose "
+        "ensure()/close() own the guard"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node, funcs, classes in _walk_scoped(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _callee_name(node) != "SharedMemory":
+                continue
+            if not self._creates(node):
+                continue
+            if funcs and self._scope_guards(funcs[-1]):
+                continue
+            if classes and self._class_tears_down(classes[-1]):
+                continue
+            yield ctx.finding(
+                self,
+                node,
+                "shared-memory segment created without an unlink guard "
+                "(abandoned runs would strand it in /dev/shm)",
+            )
+
+    @staticmethod
+    def _creates(call: ast.Call) -> bool:
+        for keyword in call.keywords:
+            if keyword.arg == "create":
+                value = keyword.value
+                return not (
+                    isinstance(value, ast.Constant) and value.value is False
+                )
+        if len(call.args) >= 2:
+            value = call.args[1]
+            return not (
+                isinstance(value, ast.Constant) and value.value is False
+            )
+        return False  # attach-only (create defaults to False)
+
+    @staticmethod
+    def _scope_guards(func: ast.AST) -> bool:
+        return any(
+            isinstance(sub, ast.Call) and _callee_name(sub) == "finalize"
+            for sub in ast.walk(func)
+        )
+
+    @staticmethod
+    def _class_tears_down(cls: ast.ClassDef) -> bool:
+        return any(
+            isinstance(member, _FuncDef)
+            and member.name in ("close", "__exit__", "__del__")
+            for member in cls.body
+        )
+
+
+@register
+class FinalizeNoSelfRule(Rule):
+    """``weakref.finalize`` guards must be able to fire."""
+
+    name = "finalize-no-self"
+    description = (
+        "weakref.finalize(owner, ...) must not reference the owner from "
+        "its callback or arguments (the finalizer would keep the owner "
+        "alive and never run)"
+    )
+    hint = (
+        "pass a module-level function and the resources it releases "
+        "(e.g. weakref.finalize(self, _release_segment, self._shm)); "
+        "never a bound method of the owner or the owner itself"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _callee_name(node) != "finalize":
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and not (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "weakref"
+            ):
+                continue  # some other object's .finalize()
+            if len(node.args) < 2:
+                continue
+            owner = node.args[0]
+            if not isinstance(owner, ast.Name):
+                continue
+            callback = node.args[1]
+            if self._references_owner(callback, owner.id, as_callback=True):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"finalizer callback holds a reference to its owner "
+                    f"{owner.id!r}; the guard can never fire",
+                )
+                continue
+            for arg in [*node.args[2:], *(kw.value for kw in node.keywords)]:
+                if isinstance(arg, ast.Name) and arg.id == owner.id:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"finalizer argument is the owner {owner.id!r} "
+                        f"itself; the guard can never fire",
+                    )
+                    break
+
+    @staticmethod
+    def _references_owner(
+        callback: ast.expr, owner: str, as_callback: bool
+    ) -> bool:
+        # self.method — the bound method keeps `self` alive.
+        if isinstance(callback, ast.Attribute):
+            return isinstance(callback.value, ast.Name) and (
+                callback.value.id == owner
+            )
+        # lambda: ...self... — the closure keeps `self` alive.
+        if isinstance(callback, ast.Lambda):
+            return any(
+                isinstance(sub, ast.Name) and sub.id == owner
+                for sub in ast.walk(callback.body)
+            )
+        return False
+
+
+#: Callees that build cache keys, megaflow masks or shard hashes.
+#: ``frame_len`` flowing into any of them breaks either correctness
+#: (a per-packet length in an exact-match key splinters every flow)
+#: or cache locality (lengths scattering one aggregate across shards).
+_KEY_CALLEES = frozenset(
+    {
+        "key_hashes",
+        "packed_keys",
+        "probe_keys",
+        "masked_packed_keys",
+        "packed_masked_key",
+        "masked_key",
+        "mask_signature",
+        "consult",
+    }
+)
+
+#: Keyword arguments that define match/shard schemas at construction.
+_SCHEMA_KEYWORDS = frozenset({"field_names", "shard_fields"})
+
+
+@register
+class FrameLenExclusionRule(Rule):
+    """``frame_len`` is switch metadata, never key material."""
+
+    name = "frame-len-exclusion"
+    description = (
+        "FRAME_LEN_FIELD / 'frame_len' must not flow into cache-key, "
+        "megaflow-mask or shard-hash construction"
+    )
+    hint = (
+        "frame lengths feed FlowStats.record and byte accounting only; "
+        "filter the field out (name != FRAME_LEN_FIELD) before building "
+        "keys, masks or shard schemas"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _callee_name(node)
+            if callee in _KEY_CALLEES:
+                for arg in node.args:
+                    if _mentions_frame_len(arg):
+                        yield ctx.finding(
+                            self,
+                            arg,
+                            f"frame_len flows into {callee}() — it must "
+                            f"never be part of a key or mask",
+                        )
+            for keyword in node.keywords:
+                if (
+                    keyword.arg in _SCHEMA_KEYWORDS
+                    and _mentions_frame_len(keyword.value)
+                ):
+                    yield ctx.finding(
+                        self,
+                        keyword.value,
+                        f"frame_len appears in the {keyword.arg}= schema — "
+                        f"match/shard schemas must exclude it",
+                    )
+
+
+#: Hot functions that must never materialise row dicts *or* construct
+#: per-row PipelineResults: the probe/credit tiers, whose whole point is
+#: replaying without touching a dict.
+_DICT_FREE_HOT = frozenset(
+    {
+        "lookup_batch_columnar",
+        "probe_rows",
+        "credit_rows",
+        "probe_batch",
+        "probe_credit",
+    }
+)
+
+#: Hot functions whose *miss* path may materialise individual rows
+#: (lazily, aliased) but must never bulk-decode the batch.
+_DECODE_FREE_HOT = frozenset({"classify_columnar", "encode_outcomes"})
+
+#: Attribute calls that materialise every row of a batch as dicts.
+_BULK_MATERIALISERS = frozenset({"dicts", "decode"})
+
+
+@register
+class HotPathPurityRule(Rule):
+    """The columnar fast path stays on the lanes."""
+
+    name = "hot-path-purity"
+    description = (
+        "columnar hot-tier functions (lookup_batch_columnar, probe_rows, "
+        "classify_columnar, ...) must not bulk-materialise dicts "
+        "(.dicts()/.decode()) nor, in the probe/credit tiers, construct "
+        "per-row PipelineResults"
+    )
+    hint = (
+        "stay on the uint64 lanes: aggregate stats from the frame_len "
+        "lane, replay megaflow templates, and materialise only miss rows "
+        "via fields_at()/row_fields() (lazy, aliased)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node, funcs, _classes in _walk_scoped(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            hot = next(
+                (
+                    f.name
+                    for f in reversed(funcs)
+                    if isinstance(f, _FuncDef)
+                    and f.name in (_DICT_FREE_HOT | _DECODE_FREE_HOT)
+                ),
+                None,
+            )
+            if hot is None:
+                continue
+            callee = _callee_name(node)
+            if callee in _BULK_MATERIALISERS and isinstance(
+                node.func, ast.Attribute
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{hot}() bulk-materialises dicts via .{callee}() — "
+                    f"the columnar fast path must stay on the lanes",
+                )
+            elif (
+                hot in _DICT_FREE_HOT
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "PipelineResult"
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{hot}() constructs a PipelineResult per row — the "
+                    f"probe/credit tiers replay templates instead",
+                )
+
+
+_COLLECT_SIDE = re.compile(r"collect|drain|reply|decode", re.IGNORECASE)
+_DISPATCH_SIDE = re.compile(r"send|submit|dispatch|collect", re.IGNORECASE)
+
+
+@register
+class SnapshotDisciplineRule(Rule):
+    """The mutation log is snapshotted once per submitted batch."""
+
+    name = "snapshot-discipline"
+    description = (
+        "len(..._log) is read at most once per function and never in "
+        "collect/drain paths; log slices in dispatch paths must be "
+        "bounded by the submission snapshot, not open-ended"
+    )
+    hint = (
+        "snapshot the log length once at submission (under the mutation "
+        "lock), carry it with the in-flight batch, and slice/compare "
+        "against that snapshot everywhere downstream"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func in ctx.functions():
+            reads = self._direct_reads(func)
+            collect_side = bool(_COLLECT_SIDE.search(func.name))
+            for i, node in enumerate(reads):
+                if collect_side:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{func.name}() re-reads the mutation-log length "
+                        f"on the collect side — batches must resolve "
+                        f"against the length snapshotted at submission",
+                    )
+                elif i > 0:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{func.name}() reads the mutation-log length "
+                        f"more than once — a mutator can land between "
+                        f"reads, splitting one batch across two table "
+                        f"states",
+                    )
+            if _DISPATCH_SIDE.search(func.name):
+                for node in ast.walk(func):
+                    if self._open_ended_log_slice(node):
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"{func.name}() ships an open-ended mutation-"
+                            f"log slice — bound it by the submission "
+                            f"snapshot so every worker catches up to the "
+                            f"same point",
+                        )
+
+    @staticmethod
+    def _is_log_len(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "len"
+            and len(node.args) == 1
+            and isinstance(node.args[0], ast.Attribute)
+            and node.args[0].attr == "_log"
+        )
+
+    @classmethod
+    def _direct_reads(cls, func: ast.AST) -> list[ast.Call]:
+        """``len(..._log)`` calls in this function, nested defs excluded."""
+        reads: list[ast.Call] = []
+
+        def visit(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, _FuncDef):
+                    continue
+                if cls._is_log_len(child):
+                    reads.append(child)  # type: ignore[arg-type]
+                visit(child)
+
+        visit(func)
+        return reads
+
+    @staticmethod
+    def _open_ended_log_slice(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Attribute)
+            and node.value.attr == "_log"
+            and isinstance(node.slice, ast.Slice)
+            and node.slice.upper is None
+        )
+
+
+#: numpy constructors and the positional index their dtype lives at
+#: (None = keyword-only in practice for this codebase).
+_NP_CONSTRUCTORS: dict[str, int | None] = {
+    "zeros": 1,
+    "ones": 1,
+    "empty": 1,
+    "full": 2,
+    "array": 1,
+    "asarray": 1,
+    "ascontiguousarray": 1,
+    "fromiter": 1,
+    "frombuffer": 1,
+    "arange": 3,
+}
+
+
+@register
+class DtypeDisciplineRule(Rule):
+    """Array constructions say what they mean."""
+
+    name = "dtype-discipline"
+    description = (
+        "numpy array constructions must carry an explicit dtype (the "
+        "uint64 lanes silently promote to float64/object otherwise)"
+    )
+    hint = (
+        "pass dtype= explicitly (np.uint64 for lanes, np.int64 for "
+        "indices/picks, np.uint8 for presence bytes)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = (
+                node.func.attr
+                if isinstance(node.func, ast.Attribute)
+                else None
+            )
+            if name is None or name not in _NP_CONSTRUCTORS:
+                continue
+            if not _is_numpy_attr(node.func, name):
+                continue
+            if any(keyword.arg == "dtype" for keyword in node.keywords):
+                continue
+            position = _NP_CONSTRUCTORS[name]
+            if position is not None and len(node.args) > position:
+                continue
+            yield ctx.finding(
+                self,
+                node,
+                f"np.{name}(...) without an explicit dtype — the result "
+                f"dtype depends on the input and silently promotes",
+            )

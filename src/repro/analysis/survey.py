@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.analysis.unique_values import exact_values, partition_unique_entries
 from repro.filters.rule import Application, RuleSet

@@ -14,7 +14,7 @@ and the label-method ablation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.filters.rule import Rule, RuleSet
 from repro.openflow.fields import REGISTRY

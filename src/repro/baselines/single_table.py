@@ -16,7 +16,7 @@ Two artefacts matter for the reproduction:
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.filters.rule import Rule, RuleSet
 from repro.openflow.actions import OutputAction

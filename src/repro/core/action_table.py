@@ -10,7 +10,7 @@ level instead.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.openflow.flow import FlowEntry
 from repro.openflow.instructions import GotoTable

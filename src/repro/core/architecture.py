@@ -13,7 +13,7 @@ differential tests rely on.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.core.config import ArchitectureConfig, DEFAULT_CONFIG
 from repro.core.lookup_table import OpenFlowLookupTable

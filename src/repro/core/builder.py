@@ -16,7 +16,7 @@ Two composition styles, both from the paper:
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.architecture import MultiTableLookupArchitecture
 from repro.core.config import ArchitectureConfig, DEFAULT_CONFIG

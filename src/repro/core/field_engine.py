@@ -17,7 +17,7 @@ only, and both rules and packets are reduced to per-partition labels.
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping, Sequence
+from collections.abc import Iterator, Mapping, Sequence
 
 from repro.algorithms.base import NO_LABEL
 from repro.algorithms.exact_lut import ExactMatchLut

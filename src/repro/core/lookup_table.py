@@ -15,7 +15,7 @@ from __future__ import annotations
 import itertools
 from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, Iterator, Mapping, Sequence
+from collections.abc import Callable, Iterator, Mapping, Sequence
 
 from repro.algorithms.base import NO_LABEL
 from repro.core.config import ArchitectureConfig, DEFAULT_CONFIG

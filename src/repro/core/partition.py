@@ -11,7 +11,7 @@ partition values, producing the per-partition keys the engines search.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 

@@ -63,7 +63,7 @@ def _coverage_first(rng: np.random.Generator, pool_size: int, rows: int) -> np.n
             f"cannot place {pool_size} unique values into {rows} rows"
         )
     indices = np.empty(rows, dtype=np.int64)
-    indices[:pool_size] = np.arange(pool_size)
+    indices[:pool_size] = np.arange(pool_size, dtype=np.int64)
     if rows > pool_size:
         indices[pool_size:] = rng.integers(0, pool_size, size=rows - pool_size)
     return indices
@@ -120,7 +120,7 @@ def generate_mac_set(stats: MacFilterStats, seed: int | None = None) -> RuleSet:
     rows = stats.rules
     high, mid, low = stats.unique_eth_partitions
 
-    pool_vlan = rng.choice(np.arange(1, 4095), size=stats.unique_vlan, replace=False)
+    pool_vlan = rng.choice(np.arange(1, 4095, dtype=np.int64), size=stats.unique_vlan, replace=False)
     pool_high = rng.choice(1 << PART_BITS, size=high, replace=False)
     pool_mid = rng.choice(1 << PART_BITS, size=mid, replace=False)
     pool_low = rng.choice(1 << PART_BITS, size=low, replace=False)
@@ -332,7 +332,7 @@ _ACL_RANGES: tuple[tuple[int, int], ...] = (
 )
 
 
-def generate_acl_set(config: SyntheticAclConfig = SyntheticAclConfig()) -> RuleSet:
+def generate_acl_set(config: SyntheticAclConfig | None = None) -> RuleSet:
     """Generate a ClassBench-style 5-tuple ACL rule set.
 
     Unlike the MAC/Routing generators this one is not calibrated to a
@@ -340,6 +340,8 @@ def generate_acl_set(config: SyntheticAclConfig = SyntheticAclConfig()) -> RuleS
     exercises every predicate kind (prefix, exact, range, wildcard), which
     the correctness property tests rely on.
     """
+    if config is None:
+        config = SyntheticAclConfig()
     rng = np.random.default_rng(config.seed)
     rule_set = RuleSet(
         name=f"acl-{config.rules}",

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.algorithms.base import StructureSize
 from repro.algorithms.exact_lut import ExactMatchLut

@@ -24,7 +24,7 @@ corresponds to a 26-bit record at L1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.algorithms.multibit_trie import MultibitTrie
 from repro.util.bits import bits_needed

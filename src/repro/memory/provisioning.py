@@ -13,7 +13,7 @@ M20K blocks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.core.builder import build_prototype
 from repro.filters.rule import RuleSet

@@ -10,7 +10,7 @@ class OpenFlowError(Exception):
 class UnknownFieldError(OpenFlowError, KeyError):
     """A match or packet referenced a field name absent from the registry."""
 
-    def __init__(self, field_name: str):
+    def __init__(self, field_name: str) -> None:
         super().__init__(f"unknown OpenFlow match field: {field_name!r}")
         self.field_name = field_name
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterator, Mapping
+from collections.abc import Iterator, Mapping
 
 from repro.openflow.errors import UnknownFieldError
 
@@ -136,7 +136,7 @@ OXM_FIELDS: tuple[FieldDef, ...] = (
 class FieldRegistry(Mapping[str, FieldDef]):
     """Immutable name-indexed view over a set of field definitions."""
 
-    def __init__(self, fields: tuple[FieldDef, ...] = OXM_FIELDS):
+    def __init__(self, fields: tuple[FieldDef, ...] = OXM_FIELDS) -> None:
         self._by_name = {f.name: f for f in fields}
         if len(self._by_name) != len(fields):
             raise ValueError("duplicate field names in registry")

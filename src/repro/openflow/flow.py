@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.openflow.instructions import Instruction, InstructionSet
 from repro.openflow.match import Match
@@ -75,7 +75,7 @@ class FlowEntry:
         priority: int = 0,
         instructions: Iterable[Instruction] = (),
         cookie: int = 0,
-    ) -> "FlowEntry":
+    ) -> FlowEntry:
         """Convenience constructor accepting a plain instruction iterable."""
         return cls(
             match=match,

@@ -11,7 +11,7 @@ for completeness: Apply-Actions, Clear-Actions, Write-Metadata and Meter.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.openflow.actions import Action
 from repro.openflow.errors import PipelineError
@@ -47,7 +47,7 @@ class WriteActions(Instruction):
 
     actions: tuple[Action, ...]
 
-    def __init__(self, actions: Iterable[Action]):
+    def __init__(self, actions: Iterable[Action]) -> None:
         object.__setattr__(self, "actions", tuple(actions))
 
     def describe(self) -> str:
@@ -61,7 +61,7 @@ class ApplyActions(Instruction):
 
     actions: tuple[Action, ...]
 
-    def __init__(self, actions: Iterable[Action]):
+    def __init__(self, actions: Iterable[Action]) -> None:
         object.__setattr__(self, "actions", tuple(actions))
 
     def describe(self) -> str:
@@ -126,7 +126,7 @@ class InstructionSet:
 
     __slots__ = ("_by_type",)
 
-    def __init__(self, instructions: Iterable[Instruction] = ()):
+    def __init__(self, instructions: Iterable[Instruction] = ()) -> None:
         self._by_type: dict[type, Instruction] = {}
         for instruction in instructions:
             kind = type(instruction)

@@ -18,11 +18,23 @@ A :class:`Match` is a mapping from field name to predicate; its
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Mapping
+from collections.abc import Iterator, Mapping
+from typing import Protocol
 
 from repro.openflow.errors import OpenFlowError
 from repro.openflow.fields import REGISTRY, FieldRegistry
 from repro.util.bits import mask_of, prefix_mask
+
+
+class ConsultSink(Protocol):
+    """Anything that records which header bits a lookup consulted.
+
+    :class:`FieldMaskSink` is the plain implementation; the megaflow
+    recorder layers rewrite filtering and table tagging on top of the
+    same structural protocol.
+    """
+
+    def consult(self, field_name: str, bitmask: int) -> None: ...
 
 
 class FieldMatch:
@@ -235,7 +247,7 @@ class Match(Mapping[str, FieldMatch]):
         self,
         fields: Mapping[str, FieldMatch] | None = None,
         registry: FieldRegistry = REGISTRY,
-    ):
+    ) -> None:
         self._registry = registry
         validated: dict[str, FieldMatch] = {}
         for name, predicate in (fields or {}).items():
@@ -253,7 +265,7 @@ class Match(Mapping[str, FieldMatch]):
     @classmethod
     def exact(
         cls, registry: FieldRegistry = REGISTRY, **values: int
-    ) -> "Match":
+    ) -> Match:
         """Build an all-exact match from keyword field values.
 
         >>> m = Match.exact(in_port=3, eth_type=0x0800)

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Protocol
 
 from repro.openflow.actions import (
     Action,
@@ -34,7 +35,19 @@ from repro.openflow.instructions import (
     WriteActions,
     WriteMetadata,
 )
+from repro.openflow.match import ConsultSink
 from repro.openflow.table import FlowTable
+
+
+class MaskSink(ConsultSink, Protocol):
+    """A consulted-bits sink that also tracks pipeline context: which
+    table versions the walk crossed and which fields it rewrote (so
+    later consults of rewritten values don't widen the mask).  The
+    megaflow recorder is the canonical implementation."""
+
+    def note_table(self, table_id: int, version: int) -> None: ...
+
+    def mark_rewritten(self, field_name: str) -> None: ...
 
 
 def written_fields(entry: FlowEntry) -> list[str]:
@@ -109,7 +122,7 @@ class OpenFlowPipeline:
         self,
         tables: Sequence[FlowTable] | int = 2,
         miss_policy: MissPolicy = MissPolicy.SEND_TO_CONTROLLER,
-    ):
+    ) -> None:
         if isinstance(tables, int):
             if tables < 1:
                 raise PipelineError("pipeline needs at least one table")
@@ -150,7 +163,9 @@ class OpenFlowPipeline:
         self.table(table_id).add(entry)
 
     def process(
-        self, packet_fields: Mapping[str, int], mask=None
+        self,
+        packet_fields: Mapping[str, int],
+        mask: MaskSink | None = None,
     ) -> PipelineResult:
         """Run one packet through the pipeline and execute its actions.
 

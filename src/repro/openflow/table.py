@@ -8,11 +8,11 @@ table, so its correctness anchors everything else.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Mapping
+from collections.abc import Callable, Iterator, Mapping
 
 from repro.openflow.errors import TableFullError
 from repro.openflow.flow import FlowEntry
-from repro.openflow.match import Match
+from repro.openflow.match import ConsultSink, Match
 from repro.packet.headers import frame_length
 
 
@@ -24,7 +24,7 @@ class FlowTable:
     OpenFlow "highest priority matching entry" semantics.
     """
 
-    def __init__(self, table_id: int = 0, max_entries: int | None = None):
+    def __init__(self, table_id: int = 0, max_entries: int | None = None) -> None:
         if table_id < 0:
             raise ValueError(f"invalid table id {table_id}")
         self.table_id = table_id
@@ -114,7 +114,9 @@ class FlowTable:
         return before - len(self._entries)
 
     def lookup(
-        self, packet_fields: Mapping[str, int], mask=None
+        self,
+        packet_fields: Mapping[str, int],
+        mask: ConsultSink | None = None,
     ) -> FlowEntry | None:
         """Return the highest-priority entry matching the packet, if any.
 

@@ -39,9 +39,11 @@ contains it.
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping, NamedTuple, Sequence
+from collections.abc import Iterator, Mapping, Sequence
+from typing import NamedTuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.packet.headers import FRAME_LEN_FIELD, transport_schema
 
@@ -55,11 +57,21 @@ _HASH_PRIME = np.uint64(0x100000001B3)
 _HASH_MISSING = np.uint64(0x9E3779B97F4A7C15)
 
 
+#: One 64-bit slice of a field's values, one element per distinct row.
+UIntLane = NDArray[np.uint64]
+
+#: Presence bytes (0/1) per distinct row.
+PresenceLane = NDArray[np.uint8]
+
+#: Row indices — the ``pick`` indirection and all gather/scatter maps.
+IndexArray = NDArray[np.int64]
+
+
 class FieldLanes(NamedTuple):
     """One field's per-row storage: uint64 lanes and presence bytes."""
 
-    lanes: tuple[np.ndarray, ...]
-    present: np.ndarray | None  # uint8 (0/1) per row; None = all present
+    lanes: tuple[UIntLane, ...]
+    present: PresenceLane | None  # 0/1 per row; None = all present
 
 
 def _lanes_for(bits: int) -> int:
@@ -82,7 +94,7 @@ class _ColumnStore:
         "mask_memo",
     )
 
-    def __init__(self, rows: int, columns: dict[str, FieldLanes]):
+    def __init__(self, rows: int, columns: dict[str, FieldLanes]) -> None:
         self.rows = rows
         self.columns = columns
         #: row index -> materialised field dict (aliased across picks).
@@ -98,7 +110,7 @@ class PacketBatch:
 
     __slots__ = ("_store", "pick")
 
-    def __init__(self, store: _ColumnStore, pick: np.ndarray):
+    def __init__(self, store: _ColumnStore, pick: np.ndarray) -> None:
         self._store = store
         self.pick = pick
 
@@ -109,7 +121,7 @@ class PacketBatch:
         cls,
         batch: Sequence[Mapping[str, int]],
         schema: Mapping[str, int] | None = None,
-    ) -> "PacketBatch":
+    ) -> PacketBatch:
         """Build a columnar batch from field dicts.
 
         Packets that are the *same dict object* become one row (the
@@ -157,7 +169,7 @@ class PacketBatch:
         rows: int,
         columns: dict[str, FieldLanes],
         pick: np.ndarray,
-    ) -> "PacketBatch":
+    ) -> PacketBatch:
         """Wrap pre-built columns (the shared-memory attach path)."""
         return cls(_ColumnStore(rows, columns), np.asarray(pick, dtype=np.int64))
 
@@ -166,7 +178,9 @@ class PacketBatch:
     def __len__(self) -> int:
         return len(self.pick)
 
-    def __getitem__(self, index):
+    def __getitem__(
+        self, index: int | slice
+    ) -> PacketBatch | dict[str, int]:
         if isinstance(index, slice):
             return PacketBatch(self._store, self.pick[index])
         return self.fields_at(int(index))
@@ -175,13 +189,13 @@ class PacketBatch:
         for row in self.pick.tolist():
             yield self.row_fields(row)
 
-    def select(self, positions: Sequence[int]) -> "PacketBatch":
+    def select(self, positions: Sequence[int]) -> PacketBatch:
         """A view of the given batch positions (shares the store)."""
         return PacketBatch(
             self._store, self.pick[np.asarray(positions, dtype=np.int64)]
         )
 
-    def compacted(self) -> "PacketBatch":
+    def compacted(self) -> PacketBatch:
         """A batch whose store holds only the rows this view picks.
 
         Sliced views share their event's (possibly huge) column store;

@@ -162,7 +162,7 @@ def _validate_stack(headers: tuple[Header, ...]) -> None:
             )
 
 
-def _declared_next(header: Header):
+def _declared_next(header: Header) -> type[Header] | None:
     from repro.packet.headers import (
         ETHERTYPE_IPV4,
         ETHERTYPE_IPV6,

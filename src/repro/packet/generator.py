@@ -9,7 +9,7 @@ trace.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Mapping, Sequence
+from collections.abc import Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -53,7 +53,9 @@ _MAX_FRAME_LEN = 9000  # jumbo-frame ceiling for the heavy-tailed draw
 FRAME_LEN_DISTRIBUTIONS = ("fixed", "imix", "pareto")
 
 
-def frame_lengths(rng: np.random.Generator, count: int, dist="fixed") -> list[int]:
+def frame_lengths(
+    rng: np.random.Generator, count: int, dist: str | int = "fixed"
+) -> list[int]:
     """Sample ``count`` on-wire frame lengths (bytes) from a named
     distribution:
 
@@ -98,9 +100,9 @@ class TraceConfig:
 class PacketGenerator:
     """Seeded random generator of packets and extracted-field dicts."""
 
-    def __init__(self, config: TraceConfig = TraceConfig()):
-        self.config = config
-        self._rng = np.random.default_rng(config.seed)
+    def __init__(self, config: TraceConfig | None = None) -> None:
+        self.config = config if config is not None else TraceConfig()
+        self._rng = np.random.default_rng(self.config.seed)
 
     def _random_value(self, bits: int) -> int:
         # numpy integers cap at 64 bits; compose wider values from chunks.
@@ -149,7 +151,7 @@ class PacketGenerator:
         for _ in range(count):
             yield self.random_packet()
 
-    def frame_lengths(self, count: int, dist="fixed") -> list[int]:
+    def frame_lengths(self, count: int, dist: str | int = "fixed") -> list[int]:
         """Sample frame lengths from this generator's seeded stream (see
         the module-level :func:`frame_lengths`)."""
         return frame_lengths(self._rng, count, dist)

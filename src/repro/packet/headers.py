@@ -10,6 +10,7 @@ model independent of serialisation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Mapping
 
 from repro.util.bits import mask_of
 
@@ -279,7 +280,7 @@ FRAME_LEN_FIELD = "frame_len"
 FRAME_LEN_BITS = 32
 
 
-def frame_length(packet_fields) -> int:
+def frame_length(packet_fields: Mapping[str, int]) -> int:
     """The frame length (bytes) recorded for a packet's stats, 0 when the
     trace carries no lengths — the single accessor every lookup path's
     ``FlowStats.record`` call goes through."""

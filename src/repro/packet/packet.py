@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.packet.headers import (
     FRAME_LEN_FIELD,
@@ -66,7 +66,7 @@ class Packet:
                 return header
         return None
 
-    def with_in_port(self, in_port: int) -> "Packet":
+    def with_in_port(self, in_port: int) -> Packet:
         return replace(self, in_port=in_port)
 
     @property

@@ -10,6 +10,7 @@ is how a real switch parser behaves.
 from __future__ import annotations
 
 import struct
+from collections.abc import Iterable
 
 from repro.packet.headers import (
     ETHERTYPE_IPV4,
@@ -187,7 +188,7 @@ def parse_packet(data: bytes, in_port: int = 0) -> Packet:
     )
 
 
-def parse_batch(frames, in_port: int = 0) -> PacketBatch:
+def parse_batch(frames: Iterable[bytes], in_port: int = 0) -> PacketBatch:
     """Parse a sequence of wire frames straight into a columnar
     :class:`~repro.packet.batch.PacketBatch`.
 

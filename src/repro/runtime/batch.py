@@ -31,11 +31,13 @@ property of the scalar path carries over to the batched path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping, Sequence
+from collections.abc import Iterator, Mapping, Sequence
+from typing import Any, Protocol
 
 import numpy as np
 
 from repro.openflow.actions import SetFieldAction
+from repro.openflow.flow import FlowEntry
 from repro.openflow.pipeline import (
     OpenFlowPipeline,
     PipelineResult,
@@ -107,7 +109,7 @@ class BatchPipeline:
         pipeline: OpenFlowPipeline,
         cache_capacity: int | None = DEFAULT_CAPACITY,
         megaflow_capacity: int | None = None,
-    ):
+    ) -> None:
         self.pipeline = pipeline
         self.caches: dict[int, MicroflowCache] = {}
         if cache_capacity:
@@ -134,7 +136,9 @@ class BatchPipeline:
         """Single-packet convenience wrapper over :meth:`process_batch`."""
         return self.process_batch([packet_fields])[0]
 
-    def process_batch(self, batch) -> list[PipelineResult]:
+    def process_batch(
+        self, batch: Sequence[Mapping[str, int]] | PacketBatch
+    ) -> list[PipelineResult]:
         """Run a batch of packets through the pipeline.
 
         ``batch`` is a dict sequence or a columnar
@@ -190,7 +194,7 @@ class BatchPipeline:
         self.sent_to_controller += result.sent_to_controller
         self.dropped += result.dropped
 
-    def classify_columnar(self, batch: PacketBatch) -> "ColumnarOutcomes":
+    def classify_columnar(self, batch: PacketBatch) -> ColumnarOutcomes:
         """Classify a columnar batch without leaving the columns.
 
         The megaflow tier is probed with vectorized masked-key compares
@@ -255,7 +259,7 @@ class BatchPipeline:
 
     def _run_waves(
         self,
-        results,
+        results: list[PipelineResult | None],
         missed: Sequence[int],
         recorders: dict[int, MegaflowRecorder] | None,
         columnar_first: PacketBatch | None = None,
@@ -340,7 +344,13 @@ class BatchPipeline:
             if not result.output_ports and not result.sent_to_controller:
                 result.dropped = True
 
-    def _lookup_batch(self, table_id: int, table, fields_batch, masks=None):
+    def _lookup_batch(
+        self,
+        table_id: int,
+        table: Any,
+        fields_batch: Sequence[Mapping[str, int]],
+        masks: Sequence[MegaflowRecorder] | None = None,
+    ) -> list[FlowEntry | None]:
         cache = self.caches.get(table_id)
         if cache is not None:
             return cache.lookup_batch(fields_batch, masks=masks)
@@ -467,8 +477,27 @@ def _chunks(items: Sequence, size: int) -> Iterator[Sequence]:
         yield items[start : start + size]
 
 
+class WorkloadRunner(Protocol):
+    """The runner surface workload replay drives.
+
+    :class:`BatchPipeline` and
+    :class:`~repro.runtime.shard.ShardedBatchPipeline` both satisfy it;
+    optional fast paths (``process_batches``, ``classify_columnar``) are
+    discovered dynamically, so they stay off the required surface.
+    """
+
+    @property
+    def pipeline(self) -> Any: ...
+
+    def process_batch(
+        self, batch: Sequence[Mapping[str, int]] | PacketBatch
+    ) -> list[PipelineResult]: ...
+
+    def stats_snapshot(self) -> BatchStats: ...
+
+
 def run_workload(
-    runner,
+    runner: WorkloadRunner,
     workload: Workload,
     batch_size: int = 256,
     keep_results: bool = False,

@@ -30,12 +30,14 @@ microflow tier still produces a sound wildcard mask.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 import numpy as np
 
 from repro.openflow.flow import FlowEntry
-from repro.openflow.match import FieldMaskSink
+from repro.openflow.match import ConsultSink, FieldMaskSink
+from repro.packet.batch import PacketBatch
 from repro.packet.headers import frame_length
 
 #: Sentinel distinguishing a cached miss from an absent key.
@@ -56,7 +58,12 @@ class _Record:
 
     __slots__ = ("outcome", "version", "mask", "key", "chash", "sig", "packed")
 
-    def __init__(self, outcome, version: int, mask: dict[str, int] | None):
+    def __init__(
+        self,
+        outcome: FlowEntry | object,  # a FlowEntry or the _MISS sentinel
+        version: int,
+        mask: dict[str, int] | None,
+    ) -> None:
         self.outcome = outcome
         self.version = version
         self.mask = mask
@@ -81,10 +88,10 @@ class MicroflowCache:
 
     def __init__(
         self,
-        table,
+        table: Any,
         capacity: int = DEFAULT_CAPACITY,
         field_names: tuple[str, ...] | None = None,
-    ):
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         names = field_names if field_names is not None else getattr(
@@ -133,7 +140,9 @@ class MicroflowCache:
         self._columnar.clear()
 
     def lookup(
-        self, packet_fields: Mapping[str, int], mask=None
+        self,
+        packet_fields: Mapping[str, int],
+        mask: ConsultSink | None = None,
     ) -> FlowEntry | None:
         """Cached highest-priority match for one packet.
 
@@ -164,7 +173,7 @@ class MicroflowCache:
     def lookup_batch(
         self,
         batch_fields: Sequence[Mapping[str, int]],
-        masks: Sequence | None = None,
+        masks: Sequence[ConsultSink] | None = None,
     ) -> list[FlowEntry | None]:
         """Cached batch lookup: hits resolve from the cache, the misses go
         to the table's batch path in one call.
@@ -231,7 +240,9 @@ class MicroflowCache:
                 results[position] = outcome
         return results
 
-    def lookup_batch_columnar(self, batch) -> list[FlowEntry | None]:
+    def lookup_batch_columnar(
+        self, batch: PacketBatch
+    ) -> list[FlowEntry | None]:
         """Vectorized batch lookup over a columnar
         :class:`~repro.packet.batch.PacketBatch` — the fast path.
 
@@ -404,7 +415,7 @@ class MicroflowCache:
         version: int,
         mask: dict[str, int] | None,
         chash: int | None = None,
-        sig=None,
+        sig: object = None,
         packed: bytes | None = None,
     ) -> None:
         previous = self._entries.get(key)
@@ -431,6 +442,6 @@ class MicroflowCache:
             del self._columnar[record.chash]
 
 
-def _replay_mask(captured: dict[str, int], mask) -> None:
+def _replay_mask(captured: dict[str, int], mask: ConsultSink) -> None:
     for name, bits in captured.items():
         mask.consult(name, bits)

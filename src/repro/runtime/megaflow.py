@@ -44,7 +44,7 @@ touch); any matching entry is sound, so the first hit wins.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -111,7 +111,7 @@ class MegaflowEntry:
         overrides: dict[str, int],
         table_versions: tuple[tuple[int, int], ...],
         version_checks: tuple,
-    ):
+    ) -> None:
         self.mask = mask
         self.key = key
         #: The key again, packed as the columnar probe's exact byte
@@ -172,7 +172,7 @@ class MegaflowCache:
         self,
         pipeline: OpenFlowPipeline,
         capacity: int = DEFAULT_MEGAFLOW_CAPACITY,
-    ):
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self.pipeline = pipeline

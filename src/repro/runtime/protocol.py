@@ -1,0 +1,129 @@
+"""The parent ↔ worker wire protocol, as named message types.
+
+Every message crossing a shard pipe is one of the :class:`NamedTuple`
+shapes below, so the protocol is statically checked: a parent-side
+``send`` and the worker-side destructuring compile against the same
+schema, and adding a field is a one-place change mypy traces to every
+construction and unpacking site.
+
+``NamedTuple`` (rather than ``TypedDict``/dataclass) is deliberate:
+messages stay *tuples* on the wire — same pickle cost, same positional
+indexing (``message[0]`` tag dispatch, ``message[1:]`` unpacking) the
+transport has always used — so typed and historical call sites
+interoperate and the pickled frames are byte-compatible with plain
+tuples of the same shape.
+
+Tag conventions:
+
+- requests (parent → worker): ``"batch"`` (pickle transport), ``"shm"``
+  (shared-memory transport), ``"close"`` (orderly shutdown);
+- replies (worker → parent): ``"ok"`` with transport-specific payload,
+  ``"bye"`` acknowledging close.
+
+Mutation-log entries ride inside requests as :data:`Mutation` tuples —
+``("add", table_id, entry)`` / ``("remove", table_id, match, priority)``
+— the exact shapes :class:`~repro.runtime.shard.ShardedPipeline`'s log
+records.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, NamedTuple
+
+from repro.openflow.actions import Action
+from repro.openflow.flow import FlowEntry
+from repro.openflow.match import Match
+from repro.openflow.pipeline import PipelineResult
+from repro.runtime.batch import BatchStats
+from repro.runtime.transport import (
+    FlowStatsDelta,
+    PacketBlockLayout,
+    ResultBlockLayout,
+    Segment,
+)
+
+
+class AddMutation(NamedTuple):
+    """One ``add_flow`` recorded in the mutation log."""
+
+    kind: Literal["add"]
+    table_id: int
+    entry: FlowEntry
+
+
+class RemoveMutation(NamedTuple):
+    """One ``remove_flow`` recorded in the mutation log."""
+
+    kind: Literal["remove"]
+    table_id: int
+    match: Match
+    priority: int
+
+
+Mutation = AddMutation | RemoveMutation
+
+
+class BatchRequest(NamedTuple):
+    """Pickle-transport work item: log suffix + this worker's packets."""
+
+    kind: Literal["batch"]
+    mutations: tuple[Mutation, ...]
+    packets: list[dict[str, int]]
+
+
+class ShmRequest(NamedTuple):
+    """Shared-memory work item: the batch travels as a block the worker
+    attaches to; ``members_key`` names this worker's position array
+    inside it, ``slot`` the response-ring slot to reply through."""
+
+    kind: Literal["shm"]
+    slot: int
+    mutations: tuple[Mutation, ...]
+    block_name: str
+    segments: tuple[Segment, ...]
+    layout: PacketBlockLayout
+    members_key: str
+    columnar: bool
+
+
+class CloseRequest(NamedTuple):
+    """Orderly shutdown; the worker unmaps its blocks and replies
+    :class:`ByeReply`."""
+
+    kind: Literal["close"]
+
+
+class PickleReply(NamedTuple):
+    """Pickle-transport reply: materialised results plus the worker's
+    learned mask fields, stats snapshot and flow-stats delta."""
+
+    kind: Literal["ok"]
+    results: list[PipelineResult]
+    mask_fields: tuple[str, ...]
+    stats: BatchStats
+    delta: FlowStatsDelta
+
+
+class ShmReply(NamedTuple):
+    """Shared-memory reply: results stay columnar in the worker's
+    response block; the parent decodes them against its own pinned
+    tables via the layout + action vocabulary."""
+
+    kind: Literal["ok"]
+    block_name: str
+    segments: tuple[Segment, ...]
+    result_layout: ResultBlockLayout
+    vocabulary: list[Action]
+    mask_fields: tuple[str, ...]
+    stats: BatchStats
+    delta: FlowStatsDelta
+
+
+class ByeReply(NamedTuple):
+    """Shutdown acknowledgement; the pipe closes after it."""
+
+    kind: Literal["bye"]
+
+
+Request = BatchRequest | ShmRequest | CloseRequest
+Reply = PickleReply | ShmReply | ByeReply

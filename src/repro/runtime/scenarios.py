@@ -33,10 +33,13 @@ and never affect classification (no rule matches on
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.filters.rule import RuleSet
 from repro.openflow.fields import REGISTRY
+from repro.openflow.flow import FlowEntry
 from repro.packet.batch import PacketBatch
 from repro.packet.generator import PacketGenerator, TraceConfig, frame_lengths
 from repro.packet.headers import FRAME_LEN_FIELD
@@ -50,7 +53,11 @@ DEFAULT_FLOWS = 128
 DEFAULT_FRAME_DIST = "fixed"
 
 
-def _stamp_frame_lengths(trace, frame_len, seed: int):
+def _stamp_frame_lengths(
+    trace: list[dict[str, int]],
+    frame_len: str | int | None,
+    seed: int,
+) -> list[dict[str, int]]:
     """Attach on-wire frame lengths to a built trace.
 
     ``None`` leaves the trace length-less (byte counters stay zero).  A
@@ -126,7 +133,7 @@ def uniform_workload(
     packet_count: int = 10_000,
     flow_count: int = DEFAULT_FLOWS,
     seed: int = DEFAULT_SEED,
-    frame_len=DEFAULT_FRAME_DIST,
+    frame_len: str | int | None = DEFAULT_FRAME_DIST,
     columnar: bool = False,
 ) -> Workload:
     """Uniform i.i.d. traffic over the flow pool."""
@@ -148,7 +155,7 @@ def zipf_workload(
     flow_count: int = DEFAULT_FLOWS,
     s: float = 1.2,
     seed: int = DEFAULT_SEED,
-    frame_len=DEFAULT_FRAME_DIST,
+    frame_len: str | int | None = DEFAULT_FRAME_DIST,
     columnar: bool = False,
 ) -> Workload:
     """Zipf-skewed traffic: a few heavy flows dominate the trace."""
@@ -195,7 +202,7 @@ def uniform_wide_workload(
     flow_count: int = DEFAULT_FLOWS,
     noise_field: str = "tcp_src",
     seed: int = DEFAULT_SEED,
-    frame_len=DEFAULT_FRAME_DIST,
+    frame_len: str | int | None = DEFAULT_FRAME_DIST,
     columnar: bool = False,
 ) -> Workload:
     """Uniform traffic whose every packet carries fresh noise bits.
@@ -234,7 +241,7 @@ def bursty_workload(
     flow_count: int = DEFAULT_FLOWS,
     mean_burst: float = 16.0,
     seed: int = DEFAULT_SEED,
-    frame_len=DEFAULT_FRAME_DIST,
+    frame_len: str | int | None = DEFAULT_FRAME_DIST,
     columnar: bool = False,
 ) -> Workload:
     """Packet-train traffic: geometric per-flow bursts."""
@@ -263,8 +270,8 @@ def churn_workload(
     rounds: int = 8,
     table_id: int = 0,
     seed: int = DEFAULT_SEED,
-    entries=None,
-    frame_len=DEFAULT_FRAME_DIST,
+    entries: Sequence[FlowEntry] | None = None,
+    frame_len: str | int | None = DEFAULT_FRAME_DIST,
     columnar: bool = False,
 ) -> Workload:
     """Zipf traffic interleaved with rule uninstall/reinstall cycles.

@@ -85,7 +85,8 @@ import threading
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing import connection as mp_connection
-from typing import Iterable, Iterator, Mapping, Sequence
+from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -93,12 +94,24 @@ from repro.core.architecture import MultiTableLookupArchitecture
 from repro.core.config import ArchitectureConfig, DEFAULT_CONFIG
 from repro.core.lookup_table import OpenFlowLookupTable
 from repro.openflow.flow import FlowEntry
+from repro.openflow.match import Match
 from repro.openflow.pipeline import MissPolicy, OpenFlowPipeline, PipelineResult
 from repro.openflow.table import FlowTable
 from repro.packet.batch import PacketBatch
 from repro.packet.headers import FRAME_LEN_FIELD
 from repro.runtime.batch import BatchPipeline, BatchStats
 from repro.runtime.cache import DEFAULT_CAPACITY
+from repro.runtime.protocol import (
+    AddMutation,
+    BatchRequest,
+    ByeReply,
+    CloseRequest,
+    Mutation,
+    PickleReply,
+    RemoveMutation,
+    ShmReply,
+    ShmRequest,
+)
 from repro.runtime.transport import (
     BlockAttachments,
     BlockReader,
@@ -132,7 +145,7 @@ class TableSpec:
     max_entries: int | None = None
 
     @classmethod
-    def snapshot(cls, table) -> "TableSpec":
+    def snapshot(cls, table: Any) -> TableSpec:
         if isinstance(table, OpenFlowLookupTable):
             return cls(
                 kind="lookup",
@@ -148,7 +161,7 @@ class TableSpec:
             max_entries=getattr(table, "max_entries", None),
         )
 
-    def build(self, config: ArchitectureConfig):
+    def build(self, config: ArchitectureConfig) -> Any:
         if self.kind == "lookup":
             assert self.field_names is not None
             table = OpenFlowLookupTable(
@@ -173,7 +186,7 @@ class PipelineSpec:
     architecture: bool
 
     @classmethod
-    def snapshot(cls, pipeline: OpenFlowPipeline) -> "PipelineSpec":
+    def snapshot(cls, pipeline: OpenFlowPipeline) -> PipelineSpec:
         return cls(
             tables=tuple(TableSpec.snapshot(t) for t in pipeline.tables),
             config=getattr(pipeline, "config", DEFAULT_CONFIG),
@@ -205,7 +218,9 @@ class _LoggedTable:
     pinned order) or entirely after it, never half-visible.
     """
 
-    def __init__(self, table, log: list[tuple], lock: threading.Lock):
+    def __init__(
+        self, table: Any, log: list[Mutation], lock: threading.Lock
+    ) -> None:
         self._table = table
         self._log = log
         self._lock = lock
@@ -213,18 +228,20 @@ class _LoggedTable:
     def add(self, entry: FlowEntry) -> None:
         with self._lock:
             self._table.add(entry)
-            self._log.append(("add", self._table.table_id, entry))
+            self._log.append(AddMutation("add", self._table.table_id, entry))
 
-    def remove(self, match, priority: int) -> bool:
+    def remove(self, match: Match, priority: int) -> bool:
         with self._lock:
             removed = self._table.remove(match, priority)
             if removed:
                 self._log.append(
-                    ("remove", self._table.table_id, match, priority)
+                    RemoveMutation(
+                        "remove", self._table.table_id, match, priority
+                    )
                 )
             return removed
 
-    def remove_where(self, predicate) -> int:
+    def remove_where(self, predicate: Callable[[FlowEntry], bool]) -> int:
         # Predicates don't pickle; expand to the concrete removals so the
         # log stays replayable on the workers.
         doomed = [e for e in self._table if predicate(e)]
@@ -235,10 +252,10 @@ class _LoggedTable:
     def __len__(self) -> int:
         return len(self._table)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[FlowEntry]:
         return iter(self._table)
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         return getattr(self._table, name)
 
 
@@ -248,9 +265,9 @@ class _LoggedPipeline:
     def __init__(
         self,
         pipeline: OpenFlowPipeline,
-        log: list[tuple],
+        log: list[Mutation],
         lock: threading.Lock,
-    ):
+    ) -> None:
         self._pipeline = pipeline
         self._log = log
         self._lock = lock
@@ -267,12 +284,12 @@ class _LoggedPipeline:
     def install(self, table_id: int, entry: FlowEntry) -> None:
         with self._lock:
             self._pipeline.install(table_id, entry)
-            self._log.append(("add", table_id, entry))
+            self._log.append(AddMutation("add", table_id, entry))
 
     def __len__(self) -> int:
         return len(self._pipeline)
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         return getattr(self._pipeline, name)
 
 
@@ -281,23 +298,28 @@ class _LoggedPipeline:
 # ----------------------------------------------------------------------
 
 
-def _apply_mutations(pipeline: OpenFlowPipeline, mutations) -> None:
+def _apply_mutations(
+    pipeline: OpenFlowPipeline, mutations: Sequence[Mutation]
+) -> None:
     for mutation in mutations:
-        kind = mutation[0]
-        if kind == "add":
-            pipeline.table(mutation[1]).add(mutation[2])
-        elif kind == "remove":
-            pipeline.table(mutation[1]).remove(mutation[2], mutation[3])
+        if isinstance(mutation, AddMutation):
+            pipeline.table(mutation.table_id).add(mutation.entry)
+        elif isinstance(mutation, RemoveMutation):
+            pipeline.table(mutation.table_id).remove(
+                mutation.match, mutation.priority
+            )
         else:  # pragma: no cover - parent only emits the two kinds
-            raise ValueError(f"unknown mutation kind {kind!r}")
+            raise ValueError(f"unknown mutation kind {mutation[0]!r}")
 
 
-def _serve_pickle(runner, index, message) -> tuple:
+def _serve_pickle(
+    runner: BatchPipeline, index: EntryIndex, message: BatchRequest
+) -> PickleReply:
     _, mutations, packets = message
     _apply_mutations(runner.pipeline, mutations)
     results = runner.process_batch(packets)
     delta = FlowStatsDelta.from_results(results, index)
-    return (
+    return PickleReply(
         "ok",
         results,
         _mask_fields(runner),
@@ -306,7 +328,14 @@ def _serve_pickle(runner, index, message) -> tuple:
     )
 
 
-def _serve_shm(runner, index, codec, request_blocks, response, message) -> tuple:
+def _serve_shm(
+    runner: BatchPipeline,
+    index: EntryIndex,
+    codec: PacketBlockCodec,
+    request_blocks: BlockAttachments,
+    response: SharedBlock,
+    message: ShmRequest,
+) -> ShmReply:
     # All numpy views over the shared blocks are confined to this frame
     # (codec.attach gathers copies): they must be garbage before close()
     # can unmap the segments.
@@ -333,7 +362,7 @@ def _serve_shm(runner, index, codec, request_blocks, response, message) -> tuple
         )
     response.ensure(writer.nbytes)
     response_segments = writer.write_to(response.buf)
-    return (
+    return ShmReply(
         "ok",
         response.name,
         response_segments,
@@ -346,8 +375,12 @@ def _serve_shm(runner, index, codec, request_blocks, response, message) -> tuple
 
 
 def _worker_main(
-    conn, spec: PipelineSpec, cache_capacity, megaflow_capacity, depth: int
-):
+    conn: mp_connection.Connection,
+    spec: PipelineSpec,
+    cache_capacity: int | None,
+    megaflow_capacity: int | None,
+    depth: int,
+) -> None:
     """Worker loop: apply log suffix, classify sub-batch, reply.
 
     Speaks both transports (the message tag selects): ``("batch", ...)``
@@ -395,7 +428,7 @@ def _worker_main(
                 )
             elif kind == "close":
                 shutdown()
-                conn.send(("bye",))
+                conn.send(ByeReply("bye"))
                 return
     except (EOFError, KeyboardInterrupt):  # parent went away
         shutdown()
@@ -486,7 +519,7 @@ class ShardedBatchPipeline:
         shard_fields: Sequence[str] | None = None,
         transport: str = "shm",
         depth: int = 2,
-    ):
+    ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
         if transport not in TRANSPORTS:
@@ -502,7 +535,7 @@ class ShardedBatchPipeline:
         # lockstep.
         self.depth = depth if transport == "shm" else 1
         self._authoritative = pipeline
-        self._log: list[tuple] = []
+        self._log: list[Mutation] = []
         self._mutation_lock = threading.Lock()
         self.pipeline = _LoggedPipeline(
             pipeline, self._log, self._mutation_lock
@@ -592,7 +625,7 @@ class ShardedBatchPipeline:
                 self._order.clear()
         for conn, proc in zip(self._conns, self._procs):
             try:
-                conn.send(("close",))
+                conn.send(CloseRequest("close"))
                 conn.recv()
             except (BrokenPipeError, EOFError, OSError):
                 pass
@@ -613,13 +646,13 @@ class ShardedBatchPipeline:
         # before its first iteration (the generator's finally never ran).
         self._streaming = False
 
-    def __enter__(self) -> "ShardedBatchPipeline":
+    def __enter__(self) -> ShardedBatchPipeline:
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def __del__(self):  # pragma: no cover - best effort
+    def __del__(self) -> None:  # pragma: no cover - best effort
         try:
             self.close()
         except Exception:
@@ -646,7 +679,9 @@ class ShardedBatchPipeline:
             )
         return _stable_hash(key) % self.workers
 
-    def _shard_groups(self, batch) -> dict[int, list[int]]:
+    def _shard_groups(
+        self, batch: Sequence[Mapping[str, int]] | PacketBatch
+    ) -> dict[int, list[int]]:
         """Positions per worker for one batch.
 
         Columnar batches assign workers with one vectorized hash pass
@@ -928,7 +963,9 @@ class ShardedBatchPipeline:
         self._seq += 1
         return True
 
-    def _take_reply(self, seq: int, worker: int) -> tuple:
+    def _take_reply(
+        self, seq: int, worker: int
+    ) -> PickleReply | ShmReply:
         """The reply ``worker`` sent for batch ``seq``.
 
         A worker's pipe delivers replies in the order its batches were
@@ -980,15 +1017,28 @@ class ShardedBatchPipeline:
         self._maybe_prune_log(inflight.log_len)
         return results
 
-    def _send_pickle(self, batch, groups, log_len: int) -> None:
+    def _send_pickle(
+        self,
+        batch: Sequence[Mapping[str, int]] | PacketBatch,
+        groups: Mapping[int, list[int]],
+        log_len: int,
+    ) -> None:
         for worker, members in groups.items():
-            outstanding = self._log[self._cursors[worker] : log_len]
+            outstanding = tuple(self._log[self._cursors[worker] : log_len])
             self._cursors[worker] = log_len
             self._conns[worker].send(
-                ("batch", outstanding, [batch[i] for i in members])
+                BatchRequest(
+                    "batch", outstanding, [batch[i] for i in members]
+                )
             )
 
-    def _send_shm(self, batch, groups, log_len: int, slot: int) -> None:
+    def _send_shm(
+        self,
+        batch: Sequence[Mapping[str, int]] | PacketBatch,
+        groups: Mapping[int, list[int]],
+        log_len: int,
+        slot: int,
+    ) -> None:
         request = self._requests[slot]
         writer = BlockWriter()
         layout = self._codec.encode(writer, batch, "pkt")
@@ -1003,10 +1053,10 @@ class ShardedBatchPipeline:
         # of materialising every member row up front.
         columnar = isinstance(batch, PacketBatch)
         for worker in groups:
-            outstanding = self._log[self._cursors[worker] : log_len]
+            outstanding = tuple(self._log[self._cursors[worker] : log_len])
             self._cursors[worker] = log_len
             self._conns[worker].send(
-                (
+                ShmRequest(
                     "shm",
                     slot,
                     outstanding,
@@ -1018,7 +1068,14 @@ class ShardedBatchPipeline:
                 )
             )
 
-    def _decode_reply(self, reply, pinned, inputs):
+    def _decode_reply(
+        self,
+        reply: ShmReply,
+        pinned: Mapping[int, tuple[FlowEntry, ...]],
+        inputs: Sequence[Mapping[str, int]],
+    ) -> tuple[
+        list[PipelineResult], tuple[str, ...], BatchStats, FlowStatsDelta
+    ]:
         (
             _,
             block_name,

@@ -52,7 +52,15 @@ from __future__ import annotations
 import weakref
 from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
-from typing import Callable, Iterable, Mapping, NamedTuple, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    Mapping,
+    NamedTuple,
+    Sequence,
+)
 
 import numpy as np
 
@@ -60,6 +68,10 @@ from repro.openflow.flow import FlowEntry
 from repro.openflow.pipeline import PipelineResult
 from repro.packet.batch import FieldLanes, PacketBatch
 from repro.packet.headers import frame_length, transport_schema
+
+if TYPE_CHECKING:  # runtime.batch imports nothing from here, but the
+    # hint stays lazy so module import order never matters
+    from repro.runtime.batch import ColumnarOutcomes
 
 #: Smallest block allocated; growth doubles, so churny batch sizes do
 #: not thrash the kernel with re-creations.
@@ -229,7 +241,9 @@ class BlockWriter:
 class BlockReader:
     """Zero-copy views over a written block."""
 
-    def __init__(self, buf: memoryview, segments: Iterable[Segment]):
+    def __init__(
+        self, buf: memoryview, segments: Iterable[Segment]
+    ) -> None:
         self._buf = buf
         self._segments = {segment.key: segment for segment in segments}
 
@@ -279,7 +293,7 @@ class PacketBlockCodec:
     canonical column order without negotiation.
     """
 
-    def __init__(self, field_bits: Mapping[str, int] | None = None):
+    def __init__(self, field_bits: Mapping[str, int] | None = None) -> None:
         self.field_bits = dict(
             field_bits if field_bits is not None else transport_schema()
         )
@@ -289,7 +303,7 @@ class PacketBlockCodec:
     def encode(
         self,
         writer: BlockWriter,
-        batch,
+        batch: PacketBatch | Sequence[Mapping[str, int]],
         prefix: str,
     ) -> PacketBlockLayout:
         """Append a batch's columns to the writer; returns the layout.
@@ -355,7 +369,7 @@ class PacketBlockCodec:
         remap = np.zeros(
             int(needed[-1]) + 1 if len(needed) else 1, dtype=np.int64
         )
-        remap[needed] = np.arange(len(needed))
+        remap[needed] = np.arange(len(needed), dtype=np.int64)
         columns: dict[str, FieldLanes] = {}
         for spec in layout.fields:
             lanes = tuple(
@@ -400,7 +414,7 @@ class EntryIndex:
     touch following a mutation.
     """
 
-    def __init__(self, pipeline):
+    def __init__(self, pipeline: Any) -> None:
         self.pipeline = pipeline
         #: table_id -> (version, entries, id(entry) -> position)
         self._cache: dict[int, tuple[int, tuple[FlowEntry, ...], dict[int, int]]] = {}
@@ -440,7 +454,7 @@ class EntryIndex:
         }
 
 
-def _entries_snapshot(table) -> tuple[FlowEntry, ...]:
+def _entries_snapshot(table: Any) -> tuple[FlowEntry, ...]:
     snapshot = getattr(table, "entries_snapshot", None)
     if snapshot is not None:
         return snapshot()
@@ -459,7 +473,7 @@ class FlowStatsDelta:
     @classmethod
     def from_refs(
         cls, refs: Iterable[tuple[tuple[int, int], int]]
-    ) -> "FlowStatsDelta":
+    ) -> FlowStatsDelta:
         """Aggregate ``(entry ref, frame bytes)`` pairs (one per
         packet-match pair) into per-entry counts — the single definition
         of the delta semantics, shared by both transports.
@@ -473,7 +487,7 @@ class FlowStatsDelta:
     @classmethod
     def from_results(
         cls, results: Sequence[PipelineResult], index: EntryIndex
-    ) -> "FlowStatsDelta":
+    ) -> FlowStatsDelta:
         """Aggregate one batch's matched entries into a delta.
 
         Every runtime lookup path records exactly one
@@ -577,7 +591,7 @@ def encode_results(
 
 def encode_outcomes(
     writer: BlockWriter,
-    outcomes,
+    outcomes: ColumnarOutcomes,
     index: EntryIndex,
 ) -> tuple[ResultBlockLayout, list, FlowStatsDelta]:
     """Encode a :class:`~repro.runtime.batch.ColumnarOutcomes` columnar —
@@ -747,7 +761,7 @@ def _put_ragged(
     writer: BlockWriter,
     key: str,
     rows: Sequence[Sequence[int]],
-    dtype,
+    dtype: type[np.signedinteger] | type[np.unsignedinteger],
 ) -> None:
     offsets = np.zeros(len(rows) + 1, dtype=np.int64)
     np.cumsum([len(row) for row in rows], out=offsets[1:])

@@ -11,7 +11,7 @@ they contain for the same rule set.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from collections.abc import Iterator
 
 
 @dataclass(frozen=True)
@@ -76,7 +76,7 @@ class UpdateFile:
         """Record counts grouped by target structure."""
         return dict(self._structure_counts)
 
-    def merged(self, other: "UpdateFile", name: str | None = None) -> "UpdateFile":
+    def merged(self, other: UpdateFile, name: str | None = None) -> UpdateFile:
         combined = UpdateFile(
             name=name or f"{self.name}+{other.name}",
             materialize=self.materialize and other.materialize,

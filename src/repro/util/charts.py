@@ -9,7 +9,7 @@ grouped bars (e.g. higher/middle/lower trie series in Fig. 2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 _BAR_CHAR = "█"
 _DEFAULT_WIDTH = 60

@@ -1,0 +1,29 @@
+# repro-lint fixture: should NOT fire dtype-discipline.
+import numpy as np
+
+
+def explicit_lanes(rows):
+    lanes = np.zeros(rows, dtype=np.uint64)
+    presence = np.ones(rows, dtype=np.uint8)
+    picks = np.arange(rows, dtype=np.int64)
+    return lanes, presence, picks
+
+
+def explicit_positional(rows, values, payload):
+    # Positional dtype counts too.
+    lanes = np.zeros(rows, np.uint64)
+    column = np.asarray(values, np.int64)
+    view = np.frombuffer(payload, np.uint8)
+    return lanes, column, view
+
+
+def not_numpy(array, zeros, rows):
+    # Local callables that happen to share constructor names.
+    return array(rows) + zeros(rows)
+
+
+def dtype_free_apis(lanes, hits):
+    # APIs that *inherit* dtype are fine.
+    out = np.zeros_like(lanes)
+    counts = np.bincount(hits)
+    return out, counts

@@ -1,0 +1,16 @@
+# repro-lint fixture: should FIRE dtype-discipline.
+# Dtype-less constructions promote silently: float64 zeros, platform
+# `long` aranges (int32 on Windows), object arrays from mixed input.
+import numpy as np
+
+
+def implicit_lanes(rows):
+    lanes = np.zeros(rows)  # float64, not a uint64 lane
+    picks = np.arange(rows)  # platform long, not int64
+    return lanes, picks
+
+
+def implicit_from_data(values, payload):
+    column = np.array(values)  # dtype inferred from input
+    view = np.frombuffer(payload)  # float64 (!) by default
+    return column, view

@@ -1,0 +1,20 @@
+# repro-lint fixture: should NOT fire finalize-no-self.
+import weakref
+
+
+def _release_segment(shm):
+    shm.close()
+    shm.unlink()
+
+
+class GuardedBlock:
+    def __init__(self, shm):
+        self._shm = shm
+        # Module-level callback; the *resource* is captured (evaluated
+        # now), not the owner — exactly how transport.SharedBlock does it.
+        weakref.finalize(self, _release_segment, self._shm)
+
+
+def other_finalize(registry, entry):
+    # Not weakref.finalize at all — some object's own .finalize().
+    registry.finalize(entry, entry.close)

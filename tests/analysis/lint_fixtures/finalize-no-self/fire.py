@@ -1,0 +1,27 @@
+# repro-lint fixture: should FIRE finalize-no-self.
+# Each of these finalizers keeps its own owner alive, so the guard
+# can never run.
+import weakref
+
+
+class BoundMethodGuard:
+    def __init__(self, shm):
+        self._shm = shm
+        # Bound method: the finalizer holds `self` forever.
+        weakref.finalize(self, self._cleanup)
+
+    def _cleanup(self):
+        self._shm.unlink()
+
+
+class LambdaGuard:
+    def __init__(self, shm):
+        self._shm = shm
+        # The closure captures `self` — same leak, different spelling.
+        weakref.finalize(self, lambda: self._shm.unlink())
+
+
+class SelfArgGuard:
+    def __init__(self, release):
+        # Passing the owner as a callback argument pins it too.
+        weakref.finalize(self, release, self)

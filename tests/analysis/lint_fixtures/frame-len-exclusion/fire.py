@@ -1,0 +1,17 @@
+# repro-lint fixture: should FIRE frame-len-exclusion.
+# A per-packet length in an exact-match key splinters every flow into
+# per-size microflows; in a shard schema it scatters one aggregate
+# across shards.
+FRAME_LEN_FIELD = "frame_len"
+
+
+def keyed_by_length(batch, fields):
+    return batch.key_hashes((*fields, FRAME_LEN_FIELD))
+
+
+def literal_in_key(batch):
+    return batch.packed_keys(("eth_dst", "frame_len"))
+
+
+def schema_with_length(cache_cls, table):
+    return cache_cls(table, field_names=("eth_src", FRAME_LEN_FIELD))

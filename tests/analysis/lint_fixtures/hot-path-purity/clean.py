@@ -1,0 +1,24 @@
+# repro-lint fixture: should NOT fire hot-path-purity.
+
+
+def lookup_batch_columnar(self, batch, rows):
+    # Lazy, aliased per-row views on the miss path are allowed.
+    return [self.lookup(batch.row_fields(row)) for row in rows]
+
+
+def probe_rows(self, lanes, present, hits):
+    # Pure lane arithmetic: the whole point of the probe tier.
+    return lanes[hits] & present[hits]
+
+
+def classify_columnar(pipeline, batch, misses):
+    # The miss path may materialise *individual* rows...
+    for row in misses:
+        pipeline.resolve(batch.fields_at(row))
+    return misses
+
+
+def cold_path_report(codec, payload, batch):
+    # ...and outside the hot tiers, decode/dicts are fair game.
+    decoded = codec.decode(payload)
+    return decoded, batch.dicts()

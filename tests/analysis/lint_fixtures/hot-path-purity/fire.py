@@ -1,0 +1,25 @@
+# repro-lint fixture: should FIRE hot-path-purity.
+# Hot-tier functions falling off the lanes into per-row dicts.
+
+
+def lookup_batch_columnar(self, batch):
+    rows = batch.dicts()  # bulk-materialises every row
+    return [self.lookup(row) for row in rows]
+
+
+def probe_rows(self, batch, rows, results):
+    for row in rows:
+        results[row] = PipelineResult(  # per-row result construction
+            final_fields=batch.fields_at(row)
+        )
+    return results
+
+
+def classify_columnar(pipeline, codec, payload):
+    batch = codec.decode(payload)  # bulk decode on the fast path
+    return pipeline.run(batch)
+
+
+class PipelineResult:
+    def __init__(self, final_fields):
+        self.final_fields = final_fields

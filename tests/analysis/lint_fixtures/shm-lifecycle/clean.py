@@ -1,0 +1,30 @@
+# repro-lint fixture: should NOT fire shm-lifecycle.
+import weakref
+from multiprocessing import shared_memory
+
+
+def _release_segment(shm):
+    shm.close()
+    shm.unlink()
+
+
+def guarded_segment(owner, size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    weakref.finalize(owner, _release_segment, shm)
+    return shm
+
+
+def attach_only(name):
+    # Attaching never creates; the owner holds the guard.
+    return shared_memory.SharedMemory(name=name)
+
+
+class OwnedBlock:
+    """Creation inside a class that owns teardown is fine."""
+
+    def __init__(self, size):
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
+
+    def close(self):
+        self._shm.close()
+        self._shm.unlink()

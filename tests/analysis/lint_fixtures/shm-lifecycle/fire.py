@@ -1,0 +1,16 @@
+# repro-lint fixture: should FIRE shm-lifecycle.
+# A segment created with no unlink guard in scope and no owning
+# close()/teardown — an abandoned run strands it in /dev/shm.
+from multiprocessing import shared_memory
+
+
+def leak_segment(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    return shm
+
+
+class Holder:
+    """No close(), no __exit__, no finalize — still a leak."""
+
+    def __init__(self, size):
+        self._shm = shared_memory.SharedMemory(create=True, size=size)

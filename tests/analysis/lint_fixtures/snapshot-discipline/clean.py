@@ -1,0 +1,19 @@
+# repro-lint fixture: should NOT fire snapshot-discipline.
+
+
+class SnapshottingSubmitter:
+    def _submit(self, batch):
+        # One read, under the mutation lock, carried with the batch.
+        with self._mutation_lock:
+            log_len = len(self._log)
+        self._inflight.append((batch, log_len))
+        return log_len
+
+    def send_backlog(self, worker, cursor, log_len):
+        # Bounded by the submission snapshot: every worker catches up
+        # to the same point.
+        return self._log[cursor:log_len]
+
+    def collect_replies(self, worker, inflight):
+        # The collect side resolves against the carried snapshot.
+        return self._replies[worker][: inflight.log_len]

@@ -1,0 +1,21 @@
+# repro-lint fixture: should FIRE snapshot-discipline.
+# Re-reading the mutation-log length lets a mutator land between the
+# reads, splitting one batch across two table states.
+
+
+class RacySubmitter:
+    def submit_batch(self, batch):
+        start = len(self._log)
+        self._ship(batch)
+        # Second read: mutations appended by another thread since
+        # `start` now leak into this batch's view.
+        return len(self._log) - start
+
+    def collect_replies(self, worker):
+        # Any read on the collect side ignores the submission snapshot.
+        return self._replies[worker][: len(self._log)]
+
+    def send_backlog(self, worker, cursor):
+        # Open-ended slice: ships whatever has landed by *now*, not
+        # what was snapshotted when the batch was submitted.
+        return self._log[cursor:]

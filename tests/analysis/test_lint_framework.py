@@ -1,0 +1,150 @@
+"""Framework behaviour: pragmas, config allowlists, CLI, registration."""
+
+import pytest
+
+from repro.analysis.lint import (
+    REGISTRY,
+    Config,
+    Rule,
+    check_source,
+    main,
+    register,
+    rule_names,
+    run_paths,
+)
+
+FIRING = "import numpy as np\nlanes = np.zeros(8)\n"
+
+
+class TestPragmas:
+    def test_inline_disable_by_name(self):
+        source = (
+            "import numpy as np\n"
+            "lanes = np.zeros(8)  # repro-lint: disable=dtype-discipline\n"
+        )
+        assert not check_source(source, "x.py")
+
+    def test_bare_disable_silences_the_line(self):
+        source = (
+            "import numpy as np\n"
+            "lanes = np.zeros(8)  # repro-lint: disable\n"
+        )
+        assert not check_source(source, "x.py")
+
+    def test_disable_for_other_rule_does_not_suppress(self):
+        source = (
+            "import numpy as np\n"
+            "lanes = np.zeros(8)  # repro-lint: disable=shm-lifecycle\n"
+        )
+        assert [f.rule for f in check_source(source, "x.py")] == [
+            "dtype-discipline"
+        ]
+
+    def test_pragma_on_other_line_does_not_suppress(self):
+        source = (
+            "import numpy as np  # repro-lint: disable=dtype-discipline\n"
+            "lanes = np.zeros(8)\n"
+        )
+        assert len(check_source(source, "x.py")) == 1
+
+
+class TestConfig:
+    def test_exclude_glob_suppresses_rule_for_path(self, tmp_path):
+        config_file = tmp_path / "repro-lint.toml"
+        config_file.write_text(
+            '[rule.dtype-discipline]\nexclude = ["benchmarks/*.py"]\n'
+        )
+        config = Config.load(config_file)
+        assert not check_source(
+            FIRING, "benchmarks/bench_thing.py", config=config
+        )
+        assert check_source(FIRING, "src/repro/thing.py", config=config)
+
+    def test_discover_walks_upwards(self, tmp_path):
+        (tmp_path / "repro-lint.toml").write_text(
+            '[rule.dtype-discipline]\nexclude = ["*.py"]\n'
+        )
+        nested = tmp_path / "a" / "b"
+        nested.mkdir(parents=True)
+        config = Config.discover(nested)
+        assert config.excluded("dtype-discipline", "anything.py")
+
+    def test_missing_config_is_empty(self, tmp_path):
+        assert Config.discover(tmp_path) == Config()
+
+
+class TestRunPaths:
+    def test_walks_directories_and_reports(self, tmp_path):
+        (tmp_path / "bad.py").write_text(FIRING)
+        (tmp_path / "good.py").write_text(
+            "import numpy as np\nlanes = np.zeros(8, dtype=np.uint64)\n"
+        )
+        findings = run_paths([str(tmp_path)], config=Config())
+        assert [f.rule for f in findings] == ["dtype-discipline"]
+        assert findings[0].path.endswith("bad.py")
+
+    def test_syntax_error_becomes_parse_finding(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        findings = run_paths([str(tmp_path)], config=Config())
+        assert [f.rule for f in findings] == ["parse-error"]
+
+
+class TestRegistration:
+    def test_rule_names_match_registry(self):
+        assert rule_names() == tuple(r.name for r in REGISTRY)
+        assert len(set(rule_names())) == len(REGISTRY)
+
+    def test_register_rejects_anonymous_rules(self):
+        with pytest.raises(ValueError, match="no name"):
+
+            @register
+            class Nameless(Rule):
+                pass
+
+    def test_register_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+
+            @register
+            class Impostor(Rule):
+                name = "dtype-discipline"
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main([str(tmp_path)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_findings_exit_one_with_locations(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(FIRING)
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert f"{bad}:2:" in out
+        assert "[dtype-discipline]" in out
+        assert "hint:" in out
+
+    def test_select_restricts_rules(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(FIRING)
+        assert main([str(bad), "--select", "shm-lifecycle"]) == 0
+        assert main([str(bad), "--select", "dtype-discipline"]) == 1
+
+    def test_unknown_select_exits_two(self, capsys):
+        assert main(["--select", "no-such-rule"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in rule_names():
+            assert f"{name}:" in out
+
+    def test_explicit_config_flag(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(FIRING)
+        config_file = tmp_path / "repro-lint.toml"
+        config_file.write_text(
+            '[rule.dtype-discipline]\nexclude = ["bad.py"]\n'
+        )
+        assert main([str(bad), "--config", str(config_file)]) == 0

@@ -1,0 +1,141 @@
+"""Fixture corpus for the repro-lint rule set.
+
+Every registered rule must have a ``fire.py`` (seeded violation the
+rule flags) and a ``clean.py`` (legitimate code it must not flag) under
+``lint_fixtures/<rule-name>/``.  The meta-test makes that structural:
+registering a rule without fixtures fails the suite.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import REGISTRY, check_source
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+RULE_NAMES = [rule.name for rule in REGISTRY]
+
+
+def _run_rule(rule_name, fixture_path):
+    rule = next(r for r in REGISTRY if r.name == rule_name)
+    source = fixture_path.read_text(encoding="utf-8")
+    return check_source(source, str(fixture_path), rules=[rule])
+
+
+class TestFixtureCorpus:
+    def test_rule_set_is_at_least_the_issue_floor(self):
+        assert len(REGISTRY) >= 5
+
+    @pytest.mark.parametrize("rule_name", RULE_NAMES)
+    def test_every_rule_has_fixtures(self, rule_name):
+        rule_dir = FIXTURES / rule_name
+        assert (rule_dir / "fire.py").is_file(), (
+            f"rule {rule_name!r} has no should-fire fixture"
+        )
+        assert (rule_dir / "clean.py").is_file(), (
+            f"rule {rule_name!r} has no should-not-fire fixture"
+        )
+
+    def test_no_orphan_fixture_directories(self):
+        on_disk = {p.name for p in FIXTURES.iterdir() if p.is_dir()}
+        assert on_disk == set(RULE_NAMES)
+
+    @pytest.mark.parametrize("rule_name", RULE_NAMES)
+    def test_fire_fixture_fires(self, rule_name):
+        findings = _run_rule(rule_name, FIXTURES / rule_name / "fire.py")
+        assert findings, f"{rule_name}: fire.py produced no findings"
+        assert all(f.rule == rule_name for f in findings)
+        assert all(f.line > 0 and f.hint for f in findings)
+
+    @pytest.mark.parametrize("rule_name", RULE_NAMES)
+    def test_clean_fixture_stays_clean(self, rule_name):
+        findings = _run_rule(rule_name, FIXTURES / rule_name / "clean.py")
+        assert not findings, (
+            f"{rule_name}: clean.py flagged: "
+            + "; ".join(f.render() for f in findings)
+        )
+
+    @pytest.mark.parametrize("rule_name", RULE_NAMES)
+    def test_fire_fixture_is_quiet_for_other_rules(self, rule_name):
+        """Fixtures are minimal: each seeds exactly one rule's violation."""
+        source = (FIXTURES / rule_name / "fire.py").read_text(
+            encoding="utf-8"
+        )
+        findings = check_source(
+            source, f"{rule_name}/fire.py", rules=list(REGISTRY)
+        )
+        assert {f.rule for f in findings} == {rule_name}
+
+
+class TestRuleDetails:
+    """Pin the sharp edges each rule was designed around."""
+
+    def test_shm_attach_never_flags(self):
+        findings = check_source(
+            "from multiprocessing import shared_memory\n"
+            "def attach(name):\n"
+            "    return shared_memory.SharedMemory(name=name)\n",
+            "attach.py",
+        )
+        assert not findings
+
+    def test_shm_positional_create_flags(self):
+        findings = check_source(
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "def make(n):\n"
+            "    return SharedMemory(None, True, n)\n",
+            "positional.py",
+        )
+        assert [f.rule for f in findings] == ["shm-lifecycle"]
+
+    def test_frame_len_comparison_is_the_exclusion_idiom(self):
+        findings = check_source(
+            "def keyed(batch, names):\n"
+            "    return batch.key_hashes(\n"
+            "        tuple(n for n in names if n != 'frame_len')\n"
+            "    )\n",
+            "exclusion.py",
+        )
+        assert not findings
+
+    def test_snapshot_single_read_is_fine(self):
+        findings = check_source(
+            "class S:\n"
+            "    def _submit(self):\n"
+            "        with self._lock:\n"
+            "            return len(self._log)\n",
+            "single.py",
+        )
+        assert not findings
+
+    def test_snapshot_nested_defs_counted_separately(self):
+        # One read in the outer function, one in a nested helper: each
+        # scope snapshots once, so neither is a re-read.
+        findings = check_source(
+            "class S:\n"
+            "    def _submit(self):\n"
+            "        n = len(self._log)\n"
+            "        def backlog():\n"
+            "            return len(self._log)\n"
+            "        return n, backlog\n",
+            "nested.py",
+        )
+        assert not findings
+
+    def test_dtype_positional_accepted(self):
+        findings = check_source(
+            "import numpy as np\n"
+            "def f(n):\n"
+            "    return np.zeros(n, np.uint64), np.full(n, 0, np.int64)\n",
+            "positional_dtype.py",
+        )
+        assert not findings
+
+    def test_hot_name_outside_hot_set_is_free(self):
+        findings = check_source(
+            "def report(batch):\n"
+            "    return batch.dicts()\n",
+            "cold.py",
+        )
+        assert not findings

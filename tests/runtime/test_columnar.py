@@ -290,7 +290,7 @@ class TestColumnarMicroflow:
         cache.lookup_batch_columnar(batch)
         assert len(cache) <= 4
         assert len(cache._columnar) <= len(cache._entries)
-        for chash, record in cache._columnar.items():
+        for record in cache._columnar.values():
             assert cache._entries[record.key] is record
 
 
@@ -342,7 +342,7 @@ class TestColumnarMegaflow:
         hit_count = sum(entry is not None for entry in entries)
         assert hit_count > 0
         assert megaflow.hits == hits_before + hit_count
-        for i, entry in enumerate(entries):
+        for entry in entries:
             if entry is not None:
                 assert entry.template.matched_entries
     def test_uniform_wide_equivalence(self, rule_set):

@@ -416,9 +416,8 @@ class TestPipelined:
     def test_empty_submit_rejected(self, small_routing_set):
         with ShardedBatchPipeline(
             make_arch(small_routing_set), workers=2, depth=2
-        ) as sharded:
-            with pytest.raises(ValueError, match="empty batch"):
-                sharded.submit_batch([])
+        ) as sharded, pytest.raises(ValueError, match="empty batch"):
+            sharded.submit_batch([])
 
     def test_process_batch_refuses_to_drop_in_flight_results(
         self, small_routing_set
