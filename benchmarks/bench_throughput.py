@@ -788,6 +788,7 @@ def test_sharded_shm_pipelined_small_batches(
                 (sharded.flow_packets - warmed[mode][0]) / rounds,
                 (sharded.flow_bytes - warmed[mode][1]) / rounds,
             )
+        supervision = pipelined.supervision_snapshot()
 
     # Byte-exact stats merge on both modes, every round.
     per_round_packets = sum(len(r.matched_entries) for r in expected)
@@ -819,6 +820,13 @@ def test_sharded_shm_pipelined_small_batches(
     _record_speedup(
         bench_record, "pipelined_vs_serial_shm_small_batch", speedup
     )
+    # Healthy-path supervision must be pure bookkeeping: any nonzero
+    # recovery counter here means the fault-tolerance layer interfered
+    # with a run where nothing failed.  Recorded under "counters" (not
+    # "speedups"), so the perf-regression bands are untouched.
+    assert all(count == 0 for count in supervision.values()), supervision
+    for key in ("restarts", "replayed_batches", "inline_packets"):
+        bench_record["counters"][f"sharded_pipelined_{key}"] = supervision[key]
     print(
         f"\nserial shm {serial_pps:,.0f} pkts/s, pipelined shm "
         f"{pipelined_pps:,.0f} pkts/s ({speedup:.2f}x) at batch=64, "

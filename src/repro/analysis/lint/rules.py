@@ -10,7 +10,10 @@ compiling clean until the right property test happens to cover it:
 - ``hot-path-purity`` — the columnar tiers never materialise dicts;
 - ``snapshot-discipline`` — the mutation log is snapshotted once per
   submitted batch, never re-read on the collect side;
-- ``dtype-discipline`` — numpy constructions carry explicit dtypes.
+- ``dtype-discipline`` — numpy constructions carry explicit dtypes;
+- ``blocking-recv-timeout`` — pipe receives stay crash/wedge-aware
+  (no bare blocking ``recv()``; readiness waits carry a timeout or a
+  process-sentinel wait set).
 
 Rules are deliberately *syntactic*: they key on the project's naming
 contracts (``SharedMemory(create=True)``, the hot-tier method names,
@@ -523,3 +526,101 @@ class DtypeDisciplineRule(Rule):
                 f"np.{name}(...) without an explicit dtype — the result "
                 f"dtype depends on the input and silently promotes",
             )
+
+
+#: Readiness-guard callees: any call whose name contains one of these
+#: marks the enclosing function as wait-aware.  ``wait`` also matches
+#: wrappers like ``await_readable``; ``poll`` covers the worker-side
+#: ``conn.poll(interval)`` watch loops.
+_READINESS_GUARDS = re.compile(r"wait|poll|select", re.IGNORECASE)
+
+#: Receivers whose ``wait()`` is the multiprocessing readiness wait
+#: (``connection.wait`` / ``mp_connection.wait``); other objects' .wait
+#: methods (events, futures) are out of scope.
+_CONNECTION_MODULES = frozenset({"connection", "mp_connection"})
+
+
+@register
+class BlockingRecvTimeoutRule(Rule):
+    """Parent/worker pipe waits must be able to observe a dead peer."""
+
+    name = "blocking-recv-timeout"
+    description = (
+        "a function calling Connection.recv() must also consult a "
+        "readiness guard (connection.wait / .poll / a wait wrapper), "
+        "and connection.wait() calls must carry a timeout or a "
+        "process-sentinel wait set — a bare blocking recv() parks "
+        "forever on a crashed or wedged peer"
+    )
+    hint = (
+        "wait on [conn, proc.sentinel] with a timeout before recv() "
+        "(see repro.runtime.supervise.await_readable), or guard the "
+        "recv with conn.poll(interval) in a loop that can notice the "
+        "peer dying"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func in ctx.functions():
+            recvs = [
+                node
+                for node in ast.walk(func)
+                if isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "recv"
+            ]
+            if recvs and not self._wait_aware(func):
+                for node in recvs:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{func.name}() blocks in recv() with no "
+                        f"readiness guard in scope — a dead or wedged "
+                        f"peer parks it forever",
+                    )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._is_connection_wait(node):
+                continue
+            has_timeout = len(node.args) >= 2 or any(
+                keyword.arg == "timeout" for keyword in node.keywords
+            )
+            if has_timeout or self._mentions_sentinel(node):
+                continue
+            yield ctx.finding(
+                self,
+                node,
+                "connection.wait() without a timeout or a process "
+                "sentinel in its wait set — it cannot observe a "
+                "crashed or wedged peer",
+            )
+
+    @staticmethod
+    def _wait_aware(func: ast.AST) -> bool:
+        return any(
+            isinstance(node, ast.Call)
+            and (name := _callee_name(node)) is not None
+            and _READINESS_GUARDS.search(name)
+            for node in ast.walk(func)
+        )
+
+    @staticmethod
+    def _is_connection_wait(node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id == "wait"
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr == "wait"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in _CONNECTION_MODULES
+        )
+
+    @staticmethod
+    def _mentions_sentinel(node: ast.Call) -> bool:
+        return any(
+            (isinstance(sub, ast.Attribute) and "sentinel" in sub.attr)
+            or (isinstance(sub, ast.Name) and "sentinel" in sub.id)
+            for arg in node.args
+            for sub in ast.walk(arg)
+        )

@@ -125,10 +125,22 @@ def run() -> ExperimentResult:
         depth=4,
     ) as sharded:
         sharded_stats = run_workload(sharded, workload, batch_size=256)
+        supervision = sharded.supervision_snapshot()
     result.headline["sharded_shm_flow_packets"] = sharded_stats.flow_packets
     result.headline["single_flow_packets"] = single_stats.flow_packets
     result.headline["sharded_shm_flow_bytes"] = sharded_stats.flow_bytes
     result.headline["single_flow_bytes"] = single_stats.flow_bytes
+    # Supervision counters for the same run: a healthy pipeline must
+    # report zero restarts / replayed batches / fallback-inline packets,
+    # so any nonzero value here flags recovery machinery leaking into
+    # the fault-free path.
+    result.headline["sharded_shm_worker_restarts"] = supervision["restarts"]
+    result.headline["sharded_shm_replayed_batches"] = supervision[
+        "replayed_batches"
+    ]
+    result.headline["sharded_shm_inline_packets"] = supervision[
+        "inline_packets"
+    ]
     agree = (
         sharded_stats.flow_packets == single_stats.flow_packets
         and sharded_stats.flow_bytes == single_stats.flow_bytes

@@ -133,6 +133,29 @@ whichever batch lands first — a stalled shard delays only the batches
 actually assigned to it.  Ring slots still guard reuse: a submission
 whose slot is held by an uncollected batch raises.
 
+**Fault tolerance.**  Workers are mortal; results are not.  Every
+parent-side wait is process-sentinel-aware and (optionally)
+deadline-bounded, classifying failures as *crash* (the process died —
+sentinel fired or the pipe broke), *wedge* (alive but silent past the
+:class:`~repro.runtime.supervise.SupervisionConfig` deadline —
+escalated to a kill), or *poison batch* (the same batch killed a
+worker twice — classified in-process instead of replayed a third
+time).  Recovery rides the pipelining invariants: each submitted batch
+pinned its mutation-log prefix and its request block is parent-owned
+and immutable in flight, so a replacement worker rebuilt from the
+current :class:`~repro.runtime.shard.PipelineSpec` *replays* every
+lost seq (a re-send, never a re-encode) and produces bitwise-identical
+results, stats and flow deltas.  Each worker carries a restart budget;
+past it the shard degrades per ``fallback`` — in-process
+classification on a parent-side replica (``"inline"``), rerouting to
+survivors (``"redistribute"``), or
+:class:`~repro.runtime.supervise.WorkerCrashError` (``"raise"``).
+Worker-owned shm blocks are announced to a parent-side registry
+*before* creation, so a corpse's segments are always unlinkable;
+orphaned workers notice the parent's death themselves and exit.
+:mod:`repro.runtime.faults` injects deterministic, seeded
+kill/hang/delay faults at named worker-loop steps for chaos testing.
+
 **Scenario catalog.**  :mod:`repro.runtime.scenarios` builds replayable
 :class:`~repro.runtime.batch.Workload` objects from a rule set —
 ``uniform``, ``uniform-wide`` (per-packet noise in an unconstrained
@@ -172,10 +195,18 @@ from repro.runtime.scenarios import (
     zipf_weights,
     zipf_workload,
 )
+from repro.runtime.faults import FaultPlan, FaultSpec
 from repro.runtime.shard import (
     PipelineSpec,
     ShardedBatchPipeline,
     TableSpec,
+)
+from repro.runtime.supervise import (
+    PoisonBatchError,
+    SupervisionConfig,
+    SupervisionStats,
+    WorkerCrashError,
+    WorkerSupervisor,
 )
 from repro.runtime.transport import (
     EntryIndex,
@@ -190,6 +221,8 @@ __all__ = [
     "DEFAULT_CAPACITY",
     "DEFAULT_MEGAFLOW_CAPACITY",
     "EntryIndex",
+    "FaultPlan",
+    "FaultSpec",
     "FlowStatsDelta",
     "MegaflowCache",
     "MegaflowRecorder",
@@ -197,9 +230,14 @@ __all__ = [
     "PacketBatch",
     "PacketBlockCodec",
     "PipelineSpec",
+    "PoisonBatchError",
     "SCENARIOS",
     "ShardedBatchPipeline",
+    "SupervisionConfig",
+    "SupervisionStats",
     "TableSpec",
+    "WorkerCrashError",
+    "WorkerSupervisor",
     "Workload",
     "WorkloadStats",
     "bursty_workload",

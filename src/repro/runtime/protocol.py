@@ -18,7 +18,17 @@ Tag conventions:
 - requests (parent → worker): ``"batch"`` (pickle transport), ``"shm"``
   (shared-memory transport), ``"close"`` (orderly shutdown);
 - replies (worker → parent): ``"ok"`` with transport-specific payload,
-  ``"bye"`` acknowledging close.
+  ``"block"`` announcing a response-ring segment the worker is about
+  to create (the parent's crash registry), ``"bye"`` acknowledging
+  close;
+- parent-internal: ``"inline"`` — a reply shape for sub-batches the
+  parent classified in-process (degraded mode); it never crosses a
+  pipe but shares the reply buffer with real worker replies.
+
+Work requests carry their batch ``seq`` explicitly: a respawned worker
+replays lost batches from the same request messages (re-sent, not
+re-encoded), and its fault plan matches faults on the seq the parent
+assigned, not on however many messages the replacement has seen.
 
 Mutation-log entries ride inside requests as :data:`Mutation` tuples —
 ``("add", table_id, entry)`` / ``("remove", table_id, match, priority)``
@@ -67,6 +77,7 @@ class BatchRequest(NamedTuple):
     """Pickle-transport work item: log suffix + this worker's packets."""
 
     kind: Literal["batch"]
+    seq: int
     mutations: tuple[Mutation, ...]
     packets: list[dict[str, int]]
 
@@ -77,6 +88,7 @@ class ShmRequest(NamedTuple):
     inside it, ``slot`` the response-ring slot to reply through."""
 
     kind: Literal["shm"]
+    seq: int
     slot: int
     mutations: tuple[Mutation, ...]
     block_name: str
@@ -119,6 +131,35 @@ class ShmReply(NamedTuple):
     delta: FlowStatsDelta
 
 
+class BlockAnnounce(NamedTuple):
+    """Worker → parent: the response ring is about to (re)create a
+    segment under this name.
+
+    Sent *before* the creation, so the parent's crash-recovery block
+    registry covers even a worker that dies mid-create — unlinking a
+    name that was never created is a no-op, while the reverse gap (a
+    segment created but never announced) would strand it."""
+
+    kind: Literal["block"]
+    slot: int
+    name: str
+
+
+class InlineReply(NamedTuple):
+    """Parent-internal reply for a sub-batch classified in-process
+    (degraded mode or a poison-batch replay).
+
+    Never crosses a pipe: the parent parks it straight into its reply
+    buffer so the collect path handles degraded shards through the
+    same ``(seq, worker)`` machinery as live ones.  Results are already
+    materialised, so no mask-fields/columnar payload rides along."""
+
+    kind: Literal["inline"]
+    results: list[PipelineResult]
+    stats: BatchStats
+    delta: FlowStatsDelta
+
+
 class ByeReply(NamedTuple):
     """Shutdown acknowledgement; the pipe closes after it."""
 
@@ -126,4 +167,4 @@ class ByeReply(NamedTuple):
 
 
 Request = BatchRequest | ShmRequest | CloseRequest
-Reply = PickleReply | ShmReply | ByeReply
+Reply = PickleReply | ShmReply | BlockAnnounce | ByeReply

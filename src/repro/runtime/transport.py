@@ -114,11 +114,23 @@ class SharedBlock:
     when the owner object is collected or the interpreter exits, instead
     of lingering in ``/dev/shm`` until reboot.  :meth:`close` remains
     the explicit (idempotent) path and detaches the finalizer.
+
+    **Announced names.**  Finalize guards die with their process: a
+    SIGKILLed worker unlinks nothing.  A block constructed with
+    ``name_prefix`` therefore creates its segments under deterministic
+    names — ``{prefix}g{generation}`` — and exposes the *next* name via
+    :meth:`plan` before any byte exists, so the owner can announce it
+    to a supervising peer first.  The peer's registry then covers every
+    segment the block will ever create, and :func:`unlink_segment`
+    cleans up after an unclean death (a planned-but-never-created name
+    unlinks as a no-op).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, name_prefix: str | None = None) -> None:
         self._shm: shared_memory.SharedMemory | None = None
         self._finalizer = None
+        self._name_prefix = name_prefix
+        self._generation = 0
 
     @property
     def name(self) -> str:
@@ -130,6 +142,16 @@ class SharedBlock:
         assert self._shm is not None, "ensure() before buf"
         return self._shm.buf
 
+    def plan(self, nbytes: int) -> str | None:
+        """The segment name :meth:`ensure` would create for ``nbytes``,
+        or ``None`` when the current segment already fits.  Only blocks
+        constructed with ``name_prefix`` can plan ahead."""
+        if self._name_prefix is None:
+            return None
+        if self._shm is not None and self._shm.size >= nbytes:
+            return None
+        return f"{self._name_prefix}g{self._generation + 1}"
+
     def ensure(self, nbytes: int) -> None:
         if self._shm is not None and self._shm.size >= nbytes:
             return
@@ -137,7 +159,22 @@ class SharedBlock:
         while size < nbytes:
             size *= 2
         self.close()
-        self._shm = shared_memory.SharedMemory(create=True, size=size)
+        if self._name_prefix is None:
+            self._shm = shared_memory.SharedMemory(create=True, size=size)
+        else:
+            self._generation += 1
+            name = f"{self._name_prefix}g{self._generation}"
+            try:
+                self._shm = shared_memory.SharedMemory(
+                    create=True, size=size, name=name
+                )
+            except FileExistsError:
+                # A stale leftover under the same deterministic name
+                # (pid reuse after an unclean death): reclaim it.
+                unlink_segment(name)
+                self._shm = shared_memory.SharedMemory(
+                    create=True, size=size, name=name
+                )
         self._finalizer = weakref.finalize(
             self, _release_segment, self._shm
         )
@@ -169,6 +206,22 @@ def _release_segment(shm: shared_memory.SharedMemory) -> None:
         shm.close()
     except (BufferError, OSError):  # pragma: no cover - defensive
         pass
+
+
+def unlink_segment(name: str) -> None:
+    """Unlink a segment by name on behalf of a dead owner.
+
+    The crash-recovery path: a SIGKILLed worker's finalize guards never
+    ran, so the supervising parent unlinks every name in its block
+    registry.  Attaching first keeps the shared resource tracker's
+    accounting balanced; a name that was announced but never created
+    (or already unlinked) is silently a no-op.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError):
+        return
+    _release_segment(shm)
 
 
 class BlockAttachments:

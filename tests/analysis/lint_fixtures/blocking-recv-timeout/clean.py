@@ -1,0 +1,18 @@
+# Legitimate pipe waits the blocking-recv-timeout rule must not flag:
+# every recv() sits behind a sentinel-aware or bounded readiness guard.
+
+
+class SupervisedCollector:
+    def take_reply(self, worker, sentinel):
+        from multiprocessing import connection
+
+        # Sentinel-aware bounded wait: a dead worker wakes the parent
+        # (sentinel) and a wedged one trips the timeout.
+        ready = connection.wait([self._conns[worker], sentinel], 0.5)
+        if self._conns[worker] in ready:
+            return self._conns[worker].recv()
+        return None
+
+    def drain(self, conn):
+        while conn.poll(0):
+            yield conn.recv()

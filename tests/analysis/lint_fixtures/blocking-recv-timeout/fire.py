@@ -1,0 +1,16 @@
+# Seeded violation for the blocking-recv-timeout rule: pipe receives
+# with no way to notice a dead or wedged peer.
+
+
+class BlockingCollector:
+    def take_reply(self, worker):
+        # Bare blocking receive: a crashed worker never writes, so the
+        # parent parks here forever.
+        return self._conns[worker].recv()
+
+    def gather(self):
+        from multiprocessing import connection
+
+        # Readiness wait with neither a timeout nor a process sentinel
+        # in the wait set: the same indefinite block, one layer up.
+        return connection.wait(self._conns)

@@ -1,0 +1,512 @@
+"""Chaos harness for the fault-tolerant shard runtime.
+
+Seeded :class:`FaultPlan` schedules kill, hang and delay workers at
+named serve-loop steps; every recovery path — respawn + deterministic
+replay, wedge escalation, poison-batch quarantine, budget-exhausted
+degradation — must leave results, per-entry flow stats and /dev/shm
+bitwise-indistinguishable from a run with immortal workers.
+
+The targeted-fault tests route packets to workers by a synthetic
+``shard_key`` field (outside every rule's match, so classification is
+unaffected) — the faulted worker is guaranteed traffic for the faulted
+seq; the seeded differential runs the normal hash sharding.
+
+CI runs this file explicitly (the tier-1 junit guard) so the chaos
+coverage cannot silently rot out of the pipeline.
+"""
+
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import (
+    SCENARIOS,
+    BatchPipeline,
+    FaultPlan,
+    FaultSpec,
+    PoisonBatchError,
+    ShardedBatchPipeline,
+    SupervisionConfig,
+    WorkerCrashError,
+    run_workload,
+)
+from repro.runtime.faults import HANG_SECONDS, STEPS
+
+from tests.runtime.test_megaflow import assert_same_result
+from tests.runtime.test_shard import _shm_segments, make_arch
+
+needs_dev_shm = pytest.mark.skipif(
+    not Path("/dev/shm").is_dir(), reason="no /dev/shm on this platform"
+)
+
+
+class TestFaultPlan:
+    def test_seeded_is_deterministic(self):
+        a = FaultPlan.seeded(7, workers=3, seqs=range(8), faults=3)
+        b = FaultPlan.seeded(7, workers=3, seqs=range(8), faults=3)
+        assert a == b
+        assert len(a.specs) == 3
+        assert a
+
+    def test_seeded_clamps_to_population(self):
+        plan = FaultPlan.seeded(
+            1, workers=1, seqs=[0], steps=("mid-classify",), faults=50
+        )
+        assert len(plan.specs) == 1
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(worker=0, seq=0, step="nope", action="crash")
+        with pytest.raises(ValueError):
+            FaultSpec(worker=0, seq=0, step=STEPS[0], action="explode")
+
+    def test_pruned_drops_fired_keeps_sticky_and_others(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(0, 0, "mid-classify", "crash"),
+                FaultSpec(0, 0, "after-stats", "crash", sticky=True),
+                FaultSpec(0, 5, "mid-classify", "crash"),
+                FaultSpec(1, 0, "mid-classify", "crash"),
+            )
+        )
+        kept = plan.pruned(worker=0, up_to_seq=0).specs
+        assert FaultSpec(0, 0, "mid-classify", "crash") not in kept
+        assert FaultSpec(0, 0, "after-stats", "crash", sticky=True) in kept
+        assert FaultSpec(0, 5, "mid-classify", "crash") in kept
+        assert FaultSpec(1, 0, "mid-classify", "crash") in kept
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+
+
+def _entry_counts(entries):
+    return sorted(
+        (str(e.match), e.priority, e.stats.packet_count, e.stats.byte_count)
+        for e in entries
+    )
+
+
+class _RoutedSharded(ShardedBatchPipeline):
+    """Packets go to the worker named by their ``shard_key`` field."""
+
+    def shard_of(self, packet_fields):
+        return packet_fields.get("shard_key", 0) % self.workers
+
+
+def routed_batches(rule_set, sizes, workers=2):
+    """One batch per size; batch i's packets all carry
+    ``shard_key = i % workers``, pinning it to that worker under
+    :class:`_RoutedSharded` without perturbing any matched field."""
+    workload = SCENARIOS["zipf"](
+        rule_set, packet_count=sum(sizes), flow_count=8
+    )
+    trace = workload.events[0][1]
+    batches = []
+    cursor = 0
+    for index, size in enumerate(sizes):
+        batches.append(
+            [
+                dict(fields, shard_key=index % workers)
+                for fields in trace[cursor : cursor + size]
+            ]
+        )
+        cursor += size
+    return batches
+
+
+class _FaultRun:
+    """Drive the same handcrafted batches through a single-process
+    reference and a routed sharded runner under a fault plan, then
+    compare results and per-entry flow counters bitwise."""
+
+    def __init__(self, rule_set, sizes, plan, workers=2, **kwargs):
+        self.batches = routed_batches(rule_set, sizes, workers=workers)
+        ref_arch = make_arch(rule_set)
+        self.ref_entries = list(ref_arch.tables[0])
+        single = BatchPipeline(
+            ref_arch, cache_capacity=64, megaflow_capacity=128
+        )
+        self.expected = [single.process_batch(b) for b in self.batches]
+        arch = make_arch(rule_set)
+        self.entries = list(arch.tables[0])
+        self.sharded = _RoutedSharded(
+            arch,
+            workers=workers,
+            cache_capacity=64,
+            megaflow_capacity=128,
+            fault_plan=plan,
+            **kwargs,
+        )
+
+    def run_and_compare(self):
+        with self.sharded:
+            for batch, expected in zip(self.batches, self.expected):
+                got = self.sharded.process_batch(batch)
+                for a, b in zip(got, expected):
+                    assert_same_result(a, b)
+            snapshot = self.sharded.supervision_snapshot()
+            # close() resets per-run supervisor state; capture first.
+            self.disabled = set(self.sharded._supervisor.disabled)
+        ref_counts = _entry_counts(self.ref_entries)
+        # Guard against a vacuous comparison: the trace must actually
+        # hit rules, or the per-entry check proves nothing.
+        assert sum(count[2] for count in ref_counts) > 0
+        assert _entry_counts(self.entries) == ref_counts
+        return snapshot
+
+
+@needs_dev_shm
+class TestCrashRecovery:
+    """SIGKILL faults: detection via the process sentinel, respawn,
+    deterministic replay, crash-safe shm cleanup."""
+
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    def test_seeded_chaos_differential(self, small_routing_set, seed):
+        """The acceptance run: a seeded plan SIGKILLs workers at random
+        steps mid-churn; results, stats, per-entry counters and
+        /dev/shm must match the single-process run exactly."""
+        workload = SCENARIOS["churn"](
+            small_routing_set, packet_count=200, flow_count=12
+        )
+        ref_arch = make_arch(small_routing_set)
+        ref_entries = list(ref_arch.tables[0])
+        single = BatchPipeline(
+            ref_arch, cache_capacity=64, megaflow_capacity=128
+        )
+        expected = run_workload(
+            single, workload, batch_size=25, keep_results=True
+        )
+        plan = FaultPlan.seeded(seed, workers=3, seqs=range(8), faults=2)
+        before = _shm_segments()
+        arch = make_arch(small_routing_set)
+        entries = list(arch.tables[0])
+        with ShardedBatchPipeline(
+            arch,
+            workers=3,
+            cache_capacity=64,
+            megaflow_capacity=128,
+            depth=3,
+            fault_plan=plan,
+        ) as sharded:
+            got = run_workload(
+                sharded, workload, batch_size=25, keep_results=True
+            )
+            snapshot = sharded.supervision_snapshot()
+        assert got.packets == expected.packets
+        for a, b in zip(got.results, expected.results):
+            assert_same_result(a, b)
+        assert got.flow_packets == expected.flow_packets
+        assert got.flow_bytes == expected.flow_bytes
+        assert _entry_counts(entries) == _entry_counts(ref_entries)
+        assert snapshot["crashes"] >= 1, "seeded fault never fired"
+        assert snapshot["restarts"] == snapshot["crashes"]
+        assert snapshot["wedges"] == 0
+        leaked = _shm_segments() - before
+        assert not leaked, f"segments left in /dev/shm: {sorted(leaked)}"
+
+    def test_external_sigkill_mid_stream(self, small_routing_set):
+        """Satellite regression: a worker killed from outside (no fault
+        plan at all) is detected, replaced, and strands nothing."""
+        plan = FaultPlan()
+        before = _shm_segments()
+        run = _FaultRun(small_routing_set, (20,) * 6, plan)
+        with run.sharded as sharded:
+            for i, (batch, expected) in enumerate(
+                zip(run.batches, run.expected)
+            ):
+                if i == 2:
+                    os.kill(sharded._procs[0].pid, signal.SIGKILL)
+                got = sharded.process_batch(batch)
+                for a, b in zip(got, expected):
+                    assert_same_result(a, b)
+            snapshot = sharded.supervision_snapshot()
+        assert _entry_counts(run.entries) == _entry_counts(run.ref_entries)
+        assert snapshot["crashes"] == 1
+        assert snapshot["restarts"] == 1
+        leaked = _shm_segments() - before
+        assert not leaked, f"segments left in /dev/shm: {sorted(leaked)}"
+
+    def test_close_after_kill_without_collect(self, small_routing_set):
+        """close() with a corpse holding an uncollected batch must still
+        unlink the dead worker's announced blocks (the terminate
+        defensive path used to strand worker response rings)."""
+        batches = routed_batches(small_routing_set, (16, 16))
+        before = _shm_segments()
+        sharded = _RoutedSharded(
+            make_arch(small_routing_set), workers=2, depth=2, cache_capacity=64
+        )
+        sharded.process_batch(batches[0])  # spin the fleet up
+        sharded.submit_batch(batches[1])
+        os.kill(sharded._procs[0].pid, signal.SIGKILL)
+        os.kill(sharded._procs[1].pid, signal.SIGKILL)
+        sharded.close()
+        deadline = time.monotonic() + 5
+        while _shm_segments() - before and time.monotonic() < deadline:
+            time.sleep(0.05)
+        leaked = _shm_segments() - before
+        assert not leaked, f"segments left in /dev/shm: {sorted(leaked)}"
+
+    def test_healthy_run_counts_nothing(self, small_routing_set):
+        workload = SCENARIOS["uniform"](
+            small_routing_set, packet_count=60, flow_count=6
+        )
+        with ShardedBatchPipeline(
+            make_arch(small_routing_set), workers=2, depth=2
+        ) as sharded:
+            run_workload(sharded, workload, batch_size=20)
+            snapshot = sharded.supervision_snapshot()
+        assert snapshot == {
+            "crashes": 0,
+            "wedges": 0,
+            "restarts": 0,
+            "replayed_batches": 0,
+            "poison_batches": 0,
+            "inline_packets": 0,
+        }
+
+
+@needs_dev_shm
+class TestWedgeDetection:
+    def test_hang_detected_within_deadline(self, small_routing_set):
+        """A wedged worker (alive, silent) is declared dead within the
+        configured deadline, killed, and its batch replayed — the
+        collect must return long before the hang would have."""
+        plan = FaultPlan(specs=(FaultSpec(0, 0, "mid-classify", "hang"),))
+        run = _FaultRun(
+            small_routing_set,
+            (12, 8),
+            plan,
+            supervision=SupervisionConfig(deadline=1.0),
+        )
+        started = time.monotonic()
+        snapshot = run.run_and_compare()
+        elapsed = time.monotonic() - started
+        assert elapsed < HANG_SECONDS / 10, "wedge went undetected"
+        assert snapshot["wedges"] == 1
+        assert snapshot["restarts"] == 1
+
+    def test_transient_delay_is_not_a_failure(self, small_routing_set):
+        """A short stall must ride out the deadline untouched: no kill,
+        no respawn, no recovery counters."""
+        plan = FaultPlan(
+            specs=(FaultSpec(0, 0, "mid-classify", "delay", delay=0.2),)
+        )
+        run = _FaultRun(
+            small_routing_set,
+            (12, 8),
+            plan,
+            supervision=SupervisionConfig(deadline=5.0),
+        )
+        snapshot = run.run_and_compare()
+        assert snapshot["wedges"] == 0
+        assert snapshot["crashes"] == 0
+
+
+@needs_dev_shm
+class TestPoisonAndBudgets:
+    def test_sticky_fault_is_a_poison_batch(self, small_routing_set):
+        """A sticky fault kills the replacement too; the second death
+        classifies the batch poison and it completes in-process —
+        bitwise-identically — instead of looping replays forever."""
+        plan = FaultPlan(
+            specs=(FaultSpec(0, 0, "after-receive", "crash", sticky=True),)
+        )
+        run = _FaultRun(small_routing_set, (12, 8, 10), plan)
+        snapshot = run.run_and_compare()
+        assert snapshot["poison_batches"] == 1
+        assert snapshot["crashes"] == 2
+        assert snapshot["restarts"] == 2
+        assert snapshot["inline_packets"] == 12
+
+    def test_budget_exhaustion_degrades_to_inline(self, small_routing_set):
+        """Past the restart budget the shard is retired and its traffic
+        classified in-process — the lost batches and every later batch
+        routed to it — with identical results."""
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(0, 0, "after-receive", "crash"),
+                FaultSpec(0, 2, "after-receive", "crash"),
+            )
+        )
+        run = _FaultRun(
+            small_routing_set,
+            (6, 4, 5, 3, 7),  # batches 0, 2, 4 pin to worker 0
+            plan,
+            supervision=SupervisionConfig(restart_budget=1),
+        )
+        snapshot = run.run_and_compare()
+        assert 0 in run.disabled
+        assert snapshot["crashes"] == 2
+        assert snapshot["restarts"] == 1
+        # Batch 2 is lost to the second crash, batch 4 routed to the
+        # retired shard afterwards: both classified in-process.
+        assert snapshot["inline_packets"] == 5 + 7
+
+    def test_budget_exhaustion_redistributes(self, small_routing_set):
+        """fallback="redistribute": later batches reroute the retired
+        shard's members onto survivors instead of the parent."""
+        plan = FaultPlan(specs=(FaultSpec(0, 0, "after-receive", "crash"),))
+        run = _FaultRun(
+            small_routing_set,
+            (6, 4, 5),  # batches 0 and 2 pin to worker 0
+            plan,
+            supervision=SupervisionConfig(
+                restart_budget=0, fallback="redistribute"
+            ),
+        )
+        snapshot = run.run_and_compare()
+        assert 0 in run.disabled
+        # Only the batch in flight at the crash runs inline; batch 2
+        # rides the surviving worker.
+        assert snapshot["inline_packets"] == 6
+        assert snapshot["restarts"] == 0
+
+    def test_fallback_raise_propagates(self, small_routing_set):
+        plan = FaultPlan(specs=(FaultSpec(0, 0, "after-receive", "crash"),))
+        batches = routed_batches(small_routing_set, (16,))
+        before = _shm_segments()
+        sharded = _RoutedSharded(
+            make_arch(small_routing_set),
+            workers=2,
+            fault_plan=plan,
+            supervision=SupervisionConfig(restart_budget=0, fallback="raise"),
+        )
+        with pytest.raises(WorkerCrashError):
+            sharded.process_batch(batches[0])
+        sharded.close()
+        leaked = _shm_segments() - before
+        assert not leaked, f"segments left in /dev/shm: {sorted(leaked)}"
+
+    def test_poison_with_raise_fallback(self, small_routing_set):
+        plan = FaultPlan(
+            specs=(FaultSpec(0, 0, "after-receive", "crash", sticky=True),)
+        )
+        batches = routed_batches(small_routing_set, (16,))
+        sharded = _RoutedSharded(
+            make_arch(small_routing_set),
+            workers=2,
+            fault_plan=plan,
+            supervision=SupervisionConfig(fallback="raise"),
+        )
+        with pytest.raises(PoisonBatchError):
+            sharded.process_batch(batches[0])
+        sharded.close()
+
+
+@needs_dev_shm
+class TestOutOfOrderUnderFaults:
+    """A dead or wedged shard must only stall the batches actually
+    assigned to it — collect_any keeps completing survivors' batches."""
+
+    def test_collect_any_returns_survivors_first(self, small_routing_set):
+        batches = routed_batches(small_routing_set, (6, 4))
+        single = BatchPipeline(make_arch(small_routing_set), cache_capacity=64)
+        expected = [single.process_batch(batch) for batch in batches]
+        plan = FaultPlan(specs=(FaultSpec(0, 0, "mid-classify", "hang"),))
+        with _RoutedSharded(
+            make_arch(small_routing_set),
+            workers=2,
+            depth=2,
+            cache_capacity=64,
+            fault_plan=plan,
+            supervision=SupervisionConfig(deadline=1.5),
+        ) as sharded:
+            seq0 = sharded.submit_batch(batches[0])  # pinned to the hung shard
+            seq1 = sharded.submit_batch(batches[1])
+            first_seq, first = sharded.collect_any()
+            second_seq, second = sharded.collect_any()
+            snapshot = sharded.supervision_snapshot()
+        # Batch 1's shard is healthy: it must complete first, long
+        # before the wedge deadline frees batch 0.
+        assert (first_seq, second_seq) == (seq1, seq0)
+        for got, want in zip(first, expected[1]):
+            assert_same_result(got, want)
+        for got, want in zip(second, expected[0]):
+            assert_same_result(got, want)
+        assert snapshot["wedges"] == 1
+        assert snapshot["restarts"] == 1
+
+    def test_fifo_collect_preserved_after_recovery(self, small_routing_set):
+        batches = routed_batches(small_routing_set, (6, 4))
+        single = BatchPipeline(make_arch(small_routing_set), cache_capacity=64)
+        expected = [single.process_batch(batch) for batch in batches]
+        plan = FaultPlan(specs=(FaultSpec(0, 0, "after-stats", "crash"),))
+        with _RoutedSharded(
+            make_arch(small_routing_set),
+            workers=2,
+            depth=2,
+            cache_capacity=64,
+            fault_plan=plan,
+        ) as sharded:
+            sharded.submit_batch(batches[0])
+            sharded.submit_batch(batches[1])
+            first = sharded.collect_batch()  # FIFO: seq 0, via recovery
+            second = sharded.collect_batch()
+            snapshot = sharded.supervision_snapshot()
+        for got, want in zip(first, expected[0]):
+            assert_same_result(got, want)
+        for got, want in zip(second, expected[1]):
+            assert_same_result(got, want)
+        assert snapshot["crashes"] == 1
+        assert snapshot["restarts"] == 1
+        assert snapshot["replayed_batches"] >= 1
+
+
+def _orphan_middle(queue):
+    """Child entry point: build a tiny fleet, report the worker pids,
+    then park — the test SIGKILLs this process and expects the workers
+    to notice the orphaning on their own."""
+    from repro.filters.synthetic import generate_routing_set
+
+    from tests.conftest import SMALL_ROUTING_STATS
+
+    rule_set = generate_routing_set(SMALL_ROUTING_STATS, seed=13)
+    sharded = ShardedBatchPipeline(make_arch(rule_set), workers=2)
+    workload = SCENARIOS["uniform"](rule_set, packet_count=8, flow_count=2)
+    sharded.process_batch(workload.events[0][1])
+    queue.put([proc.pid for proc in sharded._procs])
+    time.sleep(HANG_SECONDS)
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - foreign pid
+        return True
+    return True
+
+
+class TestOrphanedWorkers:
+    def test_workers_exit_when_parent_dies(self):
+        """SIGKILL the parent mid-run: the workers' pipes never see EOF
+        (siblings inherit the socket ends), so they must detect the
+        orphaning via the ppid watch and exit by themselves."""
+        import multiprocessing as mp
+
+        ctx = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        queue = ctx.Queue()
+        middle = ctx.Process(target=_orphan_middle, args=(queue,))
+        middle.start()
+        try:
+            pids = queue.get(timeout=30)
+            os.kill(middle.pid, signal.SIGKILL)
+            middle.join(timeout=10)
+            alive = list(pids)
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                alive = [pid for pid in alive if _pid_alive(pid)]
+                if not alive:
+                    break
+                time.sleep(0.05)
+            assert not alive, f"orphaned workers survived: {alive}"
+        finally:
+            if middle.is_alive():  # pragma: no cover - cleanup
+                middle.kill()
+                middle.join(timeout=5)

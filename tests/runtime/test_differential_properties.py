@@ -54,7 +54,11 @@ from repro.openflow.table import FlowTable
 from repro.packet.batch import PacketBatch
 from repro.packet.generator import PacketGenerator, TraceConfig
 from repro.packet.headers import FRAME_LEN_FIELD
-from repro.runtime import BatchPipeline, ShardedBatchPipeline
+from repro.runtime import (
+    BatchPipeline,
+    FaultPlan,
+    ShardedBatchPipeline,
+)
 
 #: Match schema: one exact, two prefix, one range, one exact field — all
 #: three engine kinds of the decomposition participate in every example.
@@ -349,6 +353,69 @@ RUNNERS = {
         True,
     ),
 }
+
+
+def _batch_count(example, trace_len):
+    """How many batches the replayer will submit — sizes the seeded
+    fault schedule so chaos faults land on seqs that actually run."""
+    cursor = 0
+    count = 0
+    for event in example["events"]:
+        if event[0] == "burst":
+            take = min(event[1] * BATCH_SIZE, trace_len - cursor)
+            count += (take + BATCH_SIZE - 1) // BATCH_SIZE
+            cursor += take
+    if cursor < trace_len:
+        count += (trace_len - cursor + BATCH_SIZE - 1) // BATCH_SIZE
+    return count
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(example=_example)
+def test_sharded_equivalent_under_chaos(example):
+    """Chaos mode: the pipelined sharded path with a seeded fault plan
+    SIGKILLing workers at random serve steps must stay observationally
+    identical to the scan path — results and per-entry flow counters —
+    across random rule sets, churn scripts and traces."""
+    trace = _build_trace(example)
+    reference = Replayer(example, _flow_tables)
+    reference.replay(example, trace)
+    seqs = range(max(1, _batch_count(example, len(trace))))
+    plan = FaultPlan.seeded(example["seed"], workers=2, seqs=seqs, faults=2)
+    chaotic = Replayer(
+        example,
+        _lookup_tables,
+        lambda pipeline: ShardedBatchPipeline(
+            pipeline,
+            workers=2,
+            cache_capacity=16,
+            megaflow_capacity=32,
+            transport="shm",
+            depth=3,
+            fault_plan=plan,
+        ),
+    )
+    try:
+        chaotic.replay(example, trace)
+        snapshot = chaotic.runner.supervision_snapshot()
+        assert len(chaotic.results) == len(reference.results)
+        for i, (got, expected) in enumerate(
+            zip(chaotic.results, reference.results)
+        ):
+            assert_same_result(got, expected, f"chaos packet {i}")
+        assert chaotic.flow_counts() == reference.flow_counts(), (
+            "chaos: per-entry flow stats diverge from the scan path"
+        )
+        # Crashes (if the schedule hit a live (worker, seq) pair) must
+        # all have been absorbed by respawn + replay, never a wedge.
+        assert snapshot["restarts"] == snapshot["crashes"]
+        assert snapshot["wedges"] == 0
+    finally:
+        chaotic.close()
 
 
 @settings(
