@@ -24,7 +24,12 @@ traffic, classified six ways —
   dominates the workers' useful work;
 - **sharded-shm-pipelined**: the double-buffered dispatch/collect loop
   (``process_batches``, ring depth >= 2) against the lockstep shm
-  round-trip on the same small batches.
+  round-trip on the same small batches;
+- **timeout-churn**: the two-tier pipeline replaying the mice/elephant
+  timeout scenario — idle/hard expiries driven by virtual-clock
+  ``advance`` events and vectorized sweeps — against byte-identical
+  traffic with the clock frozen (no sweeps, no expiries), so the
+  ratio prices the whole lifecycle tax on end-to-end throughput.
 
 Traces carry IMIX frame lengths, so every mode also reports bits/sec
 next to pkts/sec (the ``bits_per_sec`` record section).  Scenarios come
@@ -61,6 +66,7 @@ from repro.runtime import (
     churn_workload,
     columnar_workload,
     run_workload,
+    timeout_churn_workload,
     uniform_wide_workload,
     widen_rule_set,
     zipf_weights,
@@ -847,3 +853,84 @@ def test_sharded_shm_pipelined_small_batches(
                 f"pipelined shm regressed to {speedup:.2f}x of lockstep "
                 "on a single core (ring bookkeeping overhead)"
             )
+
+
+def test_throughput_timeout_churn_lifecycle(
+    routing_bbra, trace_len, smoke, bench_record
+):
+    """The ``timeout-churn`` mode: the two-tier pipeline replaying the
+    mice/elephant timeout scenario — expiry sweeps interleaved with the
+    traffic — against the same traffic with the clock frozen
+    (``advance=None``: no sweeps, nothing expires).  The workload is
+    rebuilt per replay because install events carry the mutable twin
+    entries; replaying one workload object twice would leak the first
+    run's flow counters into the second.  Beyond the end-to-end ratio,
+    the vectorized sweep itself is priced in entry lanes per second via
+    dt=0 advances (sweeps that move no time, so nothing expires and no
+    table versions bump)."""
+
+    def build(advance):
+        return timeout_churn_workload(
+            routing_bbra,
+            packet_count=trace_len,
+            flow_count=FLOW_COUNT,
+            advance=advance,
+        )
+
+    def replay(workload):
+        runner = BatchPipeline(
+            MultiTableLookupArchitecture([build_lookup_table(routing_bbra)]),
+            cache_capacity=4096,
+            megaflow_capacity=8192,
+        )
+        start = time.perf_counter()
+        stats = run_workload(runner, workload, batch_size=BATCH_SIZE)
+        return stats, time.perf_counter() - start, runner
+
+    frozen = build(None)
+    frozen_stats, frozen_elapsed, _ = replay(frozen)
+    swept = build(2)
+    swept_stats, swept_elapsed, runner = replay(swept)
+
+    assert frozen_stats.advances == frozen_stats.expired == 0
+    assert swept_stats.packets == frozen_stats.packets > 0
+    assert swept_stats.expired > 0, "timeout churn must expire entries"
+    reasons = {removed.reason for removed in swept_stats.flow_removed}
+    assert reasons == {"idle", "hard"}, reasons
+    assert swept.byte_count == frozen.byte_count
+
+    packets = swept_stats.packets
+    _record_rates(
+        bench_record,
+        "pipeline_timeout_churn",
+        packets,
+        swept_elapsed,
+        swept.byte_count,
+    )
+    speedup = frozen_elapsed / max(swept_elapsed, 1e-9)
+    _record_speedup(bench_record, "timeout_churn_swept_vs_frozen", speedup)
+    bench_record["counters"]["timeout_churn_expired"] = swept_stats.expired
+
+    # Sweep cost in isolation: dt=0 advances over the live table.
+    lanes_before = runner.lifecycle.stats.entries_scanned
+    reps = 10 if smoke else 200
+    start = time.perf_counter()
+    for _ in range(reps):
+        runner.advance_clock(0)
+    sweep_elapsed = time.perf_counter() - start
+    lanes = runner.lifecycle.stats.entries_scanned - lanes_before
+    lanes_per_sec = round(lanes / max(sweep_elapsed, 1e-9))
+    bench_record["counters"]["timeout_churn_sweep_lanes_per_sec"] = (
+        lanes_per_sec
+    )
+    print(
+        f"\nfrozen clock {packets / frozen_elapsed:,.0f} pkts/s, swept "
+        f"{packets / swept_elapsed:,.0f} pkts/s ({speedup:.2f}x, "
+        f"{swept_stats.expired} expired over {swept_stats.advances} "
+        f"sweeps); steady-state sweep {lanes_per_sec:,.0f} lanes/s"
+    )
+    if not smoke:
+        assert speedup >= 0.5, (
+            f"lifecycle sweeps cut timeout-churn throughput to "
+            f"{speedup:.2f}x of the frozen-clock replay"
+        )

@@ -13,7 +13,10 @@ compiling clean until the right property test happens to cover it:
 - ``dtype-discipline`` — numpy constructions carry explicit dtypes;
 - ``blocking-recv-timeout`` — pipe receives stay crash/wedge-aware
   (no bare blocking ``recv()``; readiness waits carry a timeout or a
-  process-sentinel wait set).
+  process-sentinel wait set);
+- ``wall-clock-ban`` — simulation code never reads the wall clock
+  (``time.time()`` / ``time.monotonic()`` / ``datetime.now()``); flow
+  lifecycle runs on the deterministic :class:`~repro.runtime.lifecycle.VirtualClock`.
 
 Rules are deliberately *syntactic*: they key on the project's naming
 contracts (``SharedMemory(create=True)``, the hot-tier method names,
@@ -623,4 +626,77 @@ class BlockingRecvTimeoutRule(Rule):
             or (isinstance(sub, ast.Name) and "sentinel" in sub.id)
             for arg in node.args
             for sub in ast.walk(arg)
+        )
+
+
+#: ``time.<attr>`` calls that read the wall clock.  ``perf_counter`` is
+#: deliberately absent: measuring how long something *took* is fine —
+#: what simulation logic must never do is branch on what time it *is*.
+_WALL_CLOCK_TIME_ATTRS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns"}
+)
+
+#: ``datetime``-style constructors that capture the current moment.
+_WALL_CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+
+@register
+class WallClockBanRule(Rule):
+    """Simulation time comes from the virtual clock, never the host."""
+
+    name = "wall-clock-ban"
+    description = (
+        "time.time()/time.monotonic() (and their _ns variants) and "
+        "datetime.now()/utcnow()/today() are banned — flow lifecycle, "
+        "expiry and replay must run on the deterministic VirtualClock, "
+        "or two runs of the same workload diverge"
+    )
+    hint = (
+        "thread the tick through as a parameter (runners advance a "
+        "repro.runtime.lifecycle.VirtualClock via ('advance', dt) "
+        "events); time.perf_counter() remains available for measuring "
+        "durations, and genuine supervision deadlines (watching for "
+        "dead worker processes) may keep time.monotonic() under an "
+        "inline `# repro-lint: disable=wall-clock-ban` pragma"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not isinstance(
+                node.func, ast.Attribute
+            ):
+                continue
+            attr = node.func.attr
+            receiver = node.func.value
+            if (
+                attr in _WALL_CLOCK_TIME_ATTRS
+                and isinstance(receiver, ast.Name)
+                and receiver.id == "time"
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"time.{attr}() reads the wall clock — simulation "
+                    f"logic must take its time from the VirtualClock",
+                )
+            elif attr in _WALL_CLOCK_DATETIME_ATTRS and self._is_datetime(
+                receiver
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"datetime {attr}() captures the current moment — "
+                    f"deterministic code cannot depend on when it runs",
+                )
+
+    @staticmethod
+    def _is_datetime(receiver: ast.expr) -> bool:
+        """``datetime.now()``, ``datetime.datetime.now()`` and
+        ``date.today()`` shapes; other objects' ``.now()`` are out of
+        scope."""
+        if isinstance(receiver, ast.Name):
+            return receiver.id in ("datetime", "date")
+        return isinstance(receiver, ast.Attribute) and receiver.attr in (
+            "datetime",
+            "date",
         )

@@ -38,7 +38,7 @@ class _RuleRef:
 
     priority: int
     specificity: int  # constrained bits; breaks priority ties
-    sequence: int  # insertion order; breaks remaining ties
+    sequence: int  # caller-supplied tiebreak (lower wins; see add_rule)
     action_index: int
 
     @property
@@ -73,6 +73,7 @@ class IndexCalculator:
         action_index: int,
         priority: int,
         specificity: int = 0,
+        sequence: int | None = None,
     ) -> None:
         """Register a rule's label tuple.
 
@@ -81,6 +82,13 @@ class IndexCalculator:
         duplicates are retained so that removing the visible rule restores
         them.  ``specificity`` (constrained bits of the source match)
         breaks priority ties the same way the behavioural flow table does.
+
+        ``sequence`` is the final tiebreak (lower wins).  Callers holding
+        a :class:`FlowEntry` must pass its creation sequence: the
+        behavioural table breaks full ties by entry *creation* order, and
+        rules can be installed in a different order than they were built,
+        so an index-local insertion counter (the fallback) would resolve
+        those ties differently than the table it must mirror.
         """
         self._check_tuple(labels)
         for k in range(self._depth):
@@ -90,7 +98,7 @@ class IndexCalculator:
             _RuleRef(
                 priority=priority,
                 specificity=specificity,
-                sequence=self._sequence,
+                sequence=self._sequence if sequence is None else sequence,
                 action_index=action_index,
             )
         )

@@ -133,6 +133,10 @@ class OpenFlowLookupTable:
             action_entry.index,
             entry.priority,
             specificity=entry.match.specificity(),
+            # Full ties (priority and specificity) must fall the same way
+            # as FlowEntry.sort_key: entry creation order, not the order
+            # the rules happened to be installed in.
+            sequence=entry._seq,
         )
         installed = _InstalledEntry(
             uid=next(self._uids),

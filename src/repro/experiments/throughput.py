@@ -57,6 +57,8 @@ def run() -> ExperimentResult:
             "waves/batch",
             "flow pkts",
             "flow MB",
+            "expired",
+            "sweep lanes",
         ],
         title="Two-tier cached batch runtime, per scenario (IMIX frames)",
     )
@@ -86,12 +88,37 @@ def run() -> ExperimentResult:
                 f"{stats.waves_per_batch:.2f}",
                 stats.flow_packets,
                 f"{stats.flow_bytes / 1e6:.2f}",
+                stats.expired,
+                runner.lifecycle.stats.entries_scanned,
             ]
         )
         result.headline[f"{name.replace('-', '_')}_pkts_per_sec"] = round(pps)
         result.headline[f"{name.replace('-', '_')}_mbit_per_sec"] = round(
             mbps, 1
         )
+        if name == "timeout-churn":
+            # Lifecycle cost next to the throughput it taxes: entries
+            # removed by the sweeps, entry lanes the sweeps examined,
+            # and the marginal wall cost of one steady-state sweep over
+            # the live table (a dt=0 advance sweeps without moving
+            # time, so nothing expires and no version bumps).
+            result.headline["timeout_churn_expired_entries"] = stats.expired
+            result.headline["timeout_churn_sweep_entry_lanes"] = (
+                runner.lifecycle.stats.entries_scanned
+            )
+            reps = 50
+            started = time.perf_counter()
+            for _ in range(reps):
+                runner.advance_clock(0)
+            sweep_us = (time.perf_counter() - started) / reps * 1e6
+            result.headline["timeout_churn_sweep_us"] = round(sweep_us, 1)
+            result.notes.append(
+                f"timeout-churn: {stats.expired} entries expired over "
+                f"{stats.advances} sweeps "
+                f"({runner.lifecycle.stats.entries_scanned} entry lanes "
+                f"scanned); a steady-state sweep of the live table costs "
+                f"~{sweep_us:.1f} us"
+            )
         if name == "uniform-wide":
             result.headline["uniform_wide_megaflow_hit_rate"] = round(
                 stats.megaflow_hit_rate, 3

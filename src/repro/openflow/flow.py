@@ -18,13 +18,31 @@ from repro.openflow.match import Match
 
 _sequence = itertools.count()
 
+#: Sentinel for lifecycle timestamps that have not been stamped yet.
+#: The lifecycle sweeper stamps them lazily: the virtual clock only
+#: moves at sweep boundaries, so every event between two sweeps happened
+#: at the clock value the previous sweep ended on, and stamping at the
+#: *next* sweep is exact (see :mod:`repro.runtime.lifecycle`).
+UNSTAMPED = -1
+
 
 @dataclass
 class FlowStats:
-    """Per-entry counters maintained by the switch."""
+    """Per-entry counters maintained by the switch.
+
+    Mirrors the POX ``TableEntry.counters`` dict: traffic counters plus
+    the two lifecycle timestamps (``installed_at`` ~ POX ``created``,
+    ``last_touched``).  Timestamps are virtual-clock ticks, never wall
+    time.  ``swept_packets`` is lifecycle-sweeper bookkeeping — the
+    packet count as of the entry's last expiry sweep — kept here so it
+    survives the sweeper's per-table lane rebuilds.
+    """
 
     packet_count: int = 0
     byte_count: int = 0
+    installed_at: int = UNSTAMPED
+    last_touched: int = UNSTAMPED
+    swept_packets: int = 0
 
     def record(self, byte_count: int = 0) -> None:
         self.packet_count += 1
@@ -46,7 +64,7 @@ class FlowEntry:
         priority: matching precedence (higher wins).
         instructions: the validated instruction set.
         cookie: opaque controller-chosen identifier.
-        idle_timeout / hard_timeout: seconds, 0 = permanent.
+        idle_timeout / hard_timeout: virtual-clock ticks, 0 = permanent.
         stats: mutable counters (excluded from equality).
     """
 
@@ -75,6 +93,8 @@ class FlowEntry:
         priority: int = 0,
         instructions: Iterable[Instruction] = (),
         cookie: int = 0,
+        idle_timeout: int = 0,
+        hard_timeout: int = 0,
     ) -> FlowEntry:
         """Convenience constructor accepting a plain instruction iterable."""
         return cls(
@@ -82,10 +102,48 @@ class FlowEntry:
             priority=priority,
             instructions=InstructionSet(instructions),
             cookie=cookie,
+            idle_timeout=idle_timeout,
+            hard_timeout=hard_timeout,
         )
 
     def matches(self, packet_fields: Mapping[str, int]) -> bool:
         return self.match.matches(packet_fields)
+
+    @property
+    def installed_at(self) -> int:
+        """Virtual-clock tick the entry was installed at
+        (:data:`UNSTAMPED` until the first lifecycle sweep sees it)."""
+        return self.stats.installed_at
+
+    @property
+    def last_touched(self) -> int:
+        """Virtual-clock tick of the entry's last credited packet, as of
+        the most recent lifecycle sweep (the sweeper detects touches
+        from packet-count deltas, so this lags live traffic by at most
+        one sweep; :data:`UNSTAMPED` before the first sweep)."""
+        return self.stats.last_touched
+
+    def touch_packet(self, byte_count: int = 0, now: int = 0) -> None:
+        """Credit one packet and refresh the idle timer — the POX
+        ``TableEntry.touch_packet`` semantics (bytes += byte_count,
+        packets += 1, last_touched = now) for scalar callers that manage
+        time themselves.  The batched runners never call this: they
+        credit through :meth:`FlowStats.record` / ``add`` and leave the
+        idle timer to the sweep's count-delta detection."""
+        self.stats.record(byte_count)
+        self.stats.last_touched = now
+
+    def is_expired(self, now: int) -> bool:
+        """POX ``TableEntry.is_expired``: strict ``>`` comparisons, hard
+        deadline measured from install, idle from the last touch; a zero
+        timeout never expires.  Hard is checked first, which is also the
+        removal-reason precedence when both deadlines have passed."""
+        if self.hard_timeout > 0 and now > self.stats.installed_at + self.hard_timeout:
+            return True
+        return (
+            self.idle_timeout > 0
+            and now > self.stats.last_touched + self.idle_timeout
+        )
 
     @property
     def sort_key(self) -> tuple[int, int, int]:

@@ -156,12 +156,34 @@ orphaned workers notice the parent's death themselves and exit.
 :mod:`repro.runtime.faults` injects deterministic, seeded
 kill/hang/delay faults at named worker-loop steps for chaos testing.
 
+**Flow-entry lifecycle on a virtual clock.**  Entries carry OpenFlow
+``idle_timeout`` / ``hard_timeout`` semantics against a
+:class:`~repro.runtime.lifecycle.VirtualClock` that only moves via
+``("advance", dt)`` workload events — never wall time (the
+``wall-clock-ban`` lint rule keeps the whole runtime clock-free), so
+every runner path observes the identical tick sequence and lifecycle
+behaviour replays bit-for-bit.  ``advance_clock`` runs a *vectorized*
+expiry sweep (:class:`~repro.runtime.lifecycle.LifecycleSweeper`):
+per-table numpy deadline lanes, idle touches detected from packet-count
+deltas (no hot-path stamping — credit sites are untouched, which is
+what keeps aggregated and per-packet crediting bitwise-identical), POX
+``flow_table.py`` expiry semantics (strict ``>``, hard-before-idle
+precedence), and a parent-side ledger of
+:class:`~repro.runtime.lifecycle.FlowRemoved` events carrying final
+packet/byte counters.  Expired entries leave through the tables'
+ordinary remove path, so version counters bump and both cache tiers
+revalidate exactly as for explicit uninstalls; in the sharded runtime
+the parent alone decides expiry and logs each one as an
+``ExpireMutation`` — workers never consult a clock, and replay recovery
+applies expiries like any other logged removal.
+
 **Scenario catalog.**  :mod:`repro.runtime.scenarios` builds replayable
 :class:`~repro.runtime.batch.Workload` objects from a rule set —
 ``uniform``, ``uniform-wide`` (per-packet noise in an unconstrained
 schema field: microflow-adversarial, megaflow-friendly), ``zipf``,
-``bursty``, and ``churn``, each with a ``frame_len`` distribution knob
-(fixed / IMIX / heavy-tailed / none) — replayed by
+``bursty``, ``churn``, and ``timeout-churn`` (short-lived mice expiring
+under elephant traffic via clock sweeps), each with ``frame_len``
+distribution and ``advance=`` clock-cadence knobs — replayed by
 :func:`~repro.runtime.batch.run_workload`.
 ``benchmarks/bench_throughput.py`` reports packets/sec and bits/sec per
 lookup path over these scenarios and records them in
@@ -179,6 +201,11 @@ from repro.runtime.batch import (
     run_workload,
 )
 from repro.runtime.cache import DEFAULT_CAPACITY, MicroflowCache
+from repro.runtime.lifecycle import (
+    FlowRemoved,
+    LifecycleSweeper,
+    VirtualClock,
+)
 from repro.runtime.megaflow import (
     DEFAULT_MEGAFLOW_CAPACITY,
     MegaflowCache,
@@ -189,9 +216,11 @@ from repro.runtime.scenarios import (
     bursty_workload,
     churn_workload,
     columnar_workload,
+    timeout_churn_workload,
     uniform_wide_workload,
     uniform_workload,
     widen_rule_set,
+    with_clock_advances,
     zipf_weights,
     zipf_workload,
 )
@@ -223,7 +252,9 @@ __all__ = [
     "EntryIndex",
     "FaultPlan",
     "FaultSpec",
+    "FlowRemoved",
     "FlowStatsDelta",
+    "LifecycleSweeper",
     "MegaflowCache",
     "MegaflowRecorder",
     "MicroflowCache",
@@ -236,6 +267,7 @@ __all__ = [
     "SupervisionConfig",
     "SupervisionStats",
     "TableSpec",
+    "VirtualClock",
     "WorkerCrashError",
     "WorkerSupervisor",
     "Workload",
@@ -244,9 +276,11 @@ __all__ = [
     "churn_workload",
     "columnar_workload",
     "run_workload",
+    "timeout_churn_workload",
     "uniform_wide_workload",
     "uniform_workload",
     "widen_rule_set",
+    "with_clock_advances",
     "zipf_weights",
     "zipf_workload",
 ]

@@ -46,6 +46,11 @@ from repro.openflow.pipeline import (
 from repro.packet.batch import PacketBatch
 from repro.packet.headers import frame_length
 from repro.runtime.cache import DEFAULT_CAPACITY, MicroflowCache
+from repro.runtime.lifecycle import (
+    FlowRemoved,
+    LifecycleSweeper,
+    VirtualClock,
+)
 from repro.runtime.megaflow import (
     MegaflowCache,
     MegaflowEntry,
@@ -74,6 +79,10 @@ class BatchStats:
     #: parent's :class:`~repro.openflow.flow.FlowStats` counters.
     flow_packets: int = 0
     flow_bytes: int = 0
+    #: Lifecycle counters: virtual-clock advances observed and entries
+    #: the expiry sweeps removed (idle + hard).
+    advances: int = 0
+    expired: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -131,6 +140,29 @@ class BatchPipeline:
         self.waves = 0
         self.flow_packets = 0
         self.flow_bytes = 0
+        self.lifecycle = LifecycleSweeper()
+
+    @property
+    def clock(self) -> VirtualClock:
+        """The runner's virtual clock (moves only via
+        :meth:`advance_clock`)."""
+        return self.lifecycle.clock
+
+    @property
+    def flow_removed(self) -> list[FlowRemoved]:
+        """Ledger of every expiry this runner has swept, in order."""
+        return self.lifecycle.ledger
+
+    def advance_clock(self, dt: int) -> list[FlowRemoved]:
+        """Advance virtual time and expire timed-out entries.
+
+        Removals go through the tables' ordinary ``remove`` path, so
+        version counters bump and the microflow/megaflow tiers
+        revalidate exactly as they do for explicit uninstalls.  Returns
+        the flow-removed events this advance caused (also appended to
+        :attr:`flow_removed`).
+        """
+        return self.lifecycle.advance(self.pipeline, dt)
 
     def process(self, packet_fields: Mapping[str, int]) -> PipelineResult:
         """Single-packet convenience wrapper over :meth:`process_batch`."""
@@ -377,6 +409,8 @@ class BatchPipeline:
             waves=self.waves,
             flow_packets=self.flow_packets,
             flow_bytes=self.flow_bytes,
+            advances=self.lifecycle.stats.advances,
+            expired=self.lifecycle.stats.expired,
         )
         for cache in self.caches.values():
             stats.cache_hits += cache.hits
@@ -435,7 +469,10 @@ class Workload:
 
     - ``("packets", [fields, ...])`` — a burst of packets to classify;
     - ``("install", table_id, flow_entry)`` — add a rule mid-trace;
-    - ``("uninstall", table_id, match, priority)`` — remove a rule.
+    - ``("uninstall", table_id, match, priority)`` — remove a rule;
+    - ``("advance", dt)`` — move the runner's virtual clock forward
+      ``dt`` ticks and sweep idle/hard timeouts (the *only* way time
+      passes, so every runner path sees the identical tick sequence).
     """
 
     name: str
@@ -470,6 +507,7 @@ class WorkloadStats(BatchStats):
     installs: int = 0
     uninstalls: int = 0
     results: list[PipelineResult] = field(default_factory=list, repr=False)
+    flow_removed: list[FlowRemoved] = field(default_factory=list, repr=False)
 
 
 def _chunks(items: Sequence, size: int) -> Iterator[Sequence]:
@@ -492,6 +530,8 @@ class WorkloadRunner(Protocol):
     def process_batch(
         self, batch: Sequence[Mapping[str, int]] | PacketBatch
     ) -> list[PipelineResult]: ...
+
+    def advance_clock(self, dt: int) -> list[FlowRemoved]: ...
 
     def stats_snapshot(self) -> BatchStats: ...
 
@@ -570,6 +610,14 @@ def run_workload(
             _, table_id, match, priority = event
             runner.pipeline.table(table_id).remove(match, priority)
             stats.uninstalls += 1
+        elif kind == "advance":
+            # Time only moves here; every packet event before this one
+            # has fully drained (the chunk stream above is exhausted per
+            # event), so even the pipelined sharded runner has merged
+            # all flow-stats deltas before the sweep reads counters —
+            # flow-removed final counts are exact on every path.
+            _, delta = event
+            stats.flow_removed.extend(runner.advance_clock(delta))
         else:
             raise ValueError(f"unknown workload event kind {kind!r}")
     after = runner.stats_snapshot()
@@ -586,4 +634,6 @@ def run_workload(
     stats.waves = after.waves - before.waves
     stats.flow_packets = after.flow_packets - before.flow_packets
     stats.flow_bytes = after.flow_bytes - before.flow_bytes
+    stats.advances = after.advances - before.advances
+    stats.expired = after.expired - before.expired
     return stats

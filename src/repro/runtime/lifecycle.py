@@ -1,0 +1,327 @@
+"""Deterministic flow-entry lifecycle: virtual clock + vectorized expiry.
+
+Real OpenFlow switches expire entries against wall time; replaying the
+same trace twice then removes different entries and every cross-runner
+comparison in this repo (scan == cached == megaflow == columnar ==
+sharded, the whole differential harness) would dissolve.  Time here is
+therefore *virtual*: a :class:`VirtualClock` that only moves when a
+workload says so (``("advance", dt)`` events), so every runner path
+observes the identical tick sequence and lifecycle behaviour is a pure
+function of the trace.
+
+The clock moving only at sweep boundaries buys a second, bigger
+invariant: every packet credited between two sweeps was credited at one
+single virtual time — the tick the previous sweep ended on.  The
+sweeper exploits that to detect idle-timer touches from *packet-count
+deltas* instead of stamping ``last_touched`` on the hot path: no credit
+site (scalar ``stats.record``, columnar ``stats.add``, worker-side
+delta merges) changes at all, which is what keeps aggregated and
+per-packet crediting bitwise-identical.  For the same reason
+``installed_at`` is stamped lazily: an entry installed anywhere between
+two sweeps was installed at the previous sweep's tick, so the sweep
+stamps :data:`~repro.openflow.flow.UNSTAMPED` entries with exactly that
+tick when it first sees them.
+
+The sweep itself is vectorized: per-table numpy lanes (idle/hard
+timeouts, ``installed_at``, ``last_touched``, packets-at-last-sweep)
+are rebuilt only when the table's ``version`` moved, and each sweep is
+one fused packet-count gather plus pure-lane compares — touched mask,
+idle/hard deadline tests — with Python-level work only for the entries
+actually expiring (which leave the table anyway).  Expired entries are
+removed through a caller-supplied callback, so the single-process
+runner removes directly (bumping the table version exactly like an
+explicit uninstall — microflow/megaflow tiers revalidate through the
+machinery they already have) while the sharded runner routes removals
+through its mutation log; workers never consult a clock.
+
+Expiry semantics are POX ``flow_table.py`` parity: strict ``>``
+deadline comparisons, hard timeout measured from install, idle from the
+last touch, zero timeout = permanent, and hard-before-idle precedence
+for the removal reason.  Each removal emits a :class:`FlowRemoved`
+event carrying the entry's *final* packet/byte counters (the
+``ofp_flow_removed`` the POX exemplar's ``process_flow_removed``
+consumes) into the sweeper's ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable, Sequence
+from typing import Any, Protocol
+
+import numpy as np
+
+from repro.openflow.flow import FlowEntry, UNSTAMPED
+from repro.openflow.match import Match
+
+#: int64 stand-in for "no deadline" — ``now`` never exceeds it.
+_NEVER = np.iinfo(np.int64).max
+
+#: ``remove(table_id, match, priority)`` callback expiring one entry.
+RemoveCallback = Callable[[int, Match, int], None]
+
+
+class SweptTable(Protocol):
+    """The table surface a sweep reads — ``FlowTable`` and
+    ``OpenFlowLookupTable`` both satisfy it structurally."""
+
+    table_id: int
+    version: int
+
+    def entries_snapshot(self) -> tuple[FlowEntry, ...]: ...
+
+
+class SweptPipeline(Protocol):
+    """The pipeline surface :meth:`LifecycleSweeper.advance` walks."""
+
+    @property
+    def tables(self) -> Sequence[SweptTable]: ...
+
+    def table(self, table_id: int) -> Any: ...
+
+
+class VirtualClock:
+    """Monotonic integer clock that only moves via :meth:`advance`.
+
+    No wall-clock source anywhere (the ``wall-clock-ban`` lint rule
+    enforces that for the whole runtime layer): ticks are abstract
+    "seconds" whose meaning a workload defines by where it places its
+    ``("advance", dt)`` events.
+    """
+
+    def __init__(self, now: int = 0) -> None:
+        self.now = now
+
+    def advance(self, dt: int) -> tuple[int, int]:
+        """Move time forward by ``dt`` ticks; returns ``(prev, now)``.
+
+        ``dt == 0`` is allowed (sweep without moving time); negative
+        ``dt`` is rejected — virtual time never rewinds, replay depends
+        on it.
+        """
+        if dt < 0:
+            raise ValueError(f"virtual clock cannot rewind (dt={dt})")
+        prev = self.now
+        self.now = prev + dt
+        return prev, self.now
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VirtualClock(now={self.now})"
+
+
+@dataclass(frozen=True)
+class FlowRemoved:
+    """One expiry's ``ofp_flow_removed``: identity, reason and final
+    counters, POX-style.  Frozen and fully value-comparable so the
+    differential harness can assert whole ledgers equal across runner
+    paths."""
+
+    table_id: int
+    match: Match
+    priority: int
+    cookie: int
+    #: ``"hard"`` or ``"idle"`` — hard wins when both deadlines passed.
+    reason: str
+    idle_timeout: int
+    hard_timeout: int
+    installed_at: int
+    removed_at: int
+    #: Final traffic counters at removal time.
+    packet_count: int
+    byte_count: int
+
+    @property
+    def duration(self) -> int:
+        """Ticks the entry lived, install to removal."""
+        return self.removed_at - self.installed_at
+
+
+class _TableLanes:
+    """One table's lifecycle lanes, cached against its ``version``.
+
+    The lanes buffer ``last_touched`` / packets-at-last-sweep between
+    sweeps; they are flushed back to the entries'
+    :class:`~repro.openflow.flow.FlowStats` before every rebuild (and on
+    :meth:`LifecycleSweeper.sync`), so lane rebuilds triggered by
+    unrelated mutations never lose idle-timer state.
+    """
+
+    def __init__(self) -> None:
+        self.version = -1
+        self.entries: tuple[FlowEntry, ...] = ()
+        self.idle = np.zeros(0, dtype=np.int64)
+        self.hard = np.zeros(0, dtype=np.int64)
+        self.installed = np.zeros(0, dtype=np.int64)
+        self.last_touched = np.zeros(0, dtype=np.int64)
+        self.swept = np.zeros(0, dtype=np.int64)
+
+    def flush(self) -> None:
+        """Write buffered lifecycle state back to the entry objects."""
+        last = self.last_touched
+        swept = self.swept
+        for i, entry in enumerate(self.entries):
+            entry.stats.last_touched = int(last[i])
+            entry.stats.swept_packets = int(swept[i])
+
+    def _rebuild(self, table: SweptTable, prev: int) -> None:
+        self.flush()
+        snapshot: tuple[FlowEntry, ...] = table.entries_snapshot()
+        self.version = table.version
+        self.entries = snapshot
+        count = len(snapshot)
+        # Lazy stamping: anything installed since the last sweep was
+        # installed while the clock sat at ``prev``, so that tick is the
+        # exact install time (and initial touch) for unstamped entries.
+        for entry in snapshot:
+            if entry.stats.installed_at == UNSTAMPED:
+                entry.stats.installed_at = prev
+                entry.stats.last_touched = prev
+        self.idle = np.fromiter(
+            (e.idle_timeout for e in snapshot), dtype=np.int64, count=count
+        )
+        self.hard = np.fromiter(
+            (e.hard_timeout for e in snapshot), dtype=np.int64, count=count
+        )
+        self.installed = np.fromiter(
+            (e.stats.installed_at for e in snapshot),
+            dtype=np.int64,
+            count=count,
+        )
+        self.last_touched = np.fromiter(
+            (e.stats.last_touched for e in snapshot),
+            dtype=np.int64,
+            count=count,
+        )
+        self.swept = np.fromiter(
+            (e.stats.swept_packets for e in snapshot),
+            dtype=np.int64,
+            count=count,
+        )
+
+    def sweep(
+        self, table: SweptTable, prev: int, now: int, remove: RemoveCallback
+    ) -> list[FlowRemoved]:
+        if table.version != self.version:
+            self._rebuild(table, prev)
+        entries = self.entries
+        if not entries:
+            return []
+        # Count-delta touch detection: every credit since the last sweep
+        # happened at tick ``prev`` (the clock never moved in between).
+        counts = np.fromiter(
+            (e.stats.packet_count for e in entries),
+            dtype=np.int64,
+            count=len(entries),
+        )
+        touched = counts > self.swept
+        if touched.any():
+            self.last_touched[touched] = prev
+        self.swept = counts
+        idle_deadline = np.where(
+            self.idle > 0, self.last_touched + self.idle, _NEVER
+        )
+        hard_deadline = np.where(
+            self.hard > 0, self.installed + self.hard, _NEVER
+        )
+        hard_hit = now > hard_deadline
+        expired = hard_hit | (now > idle_deadline)
+        if not expired.any():
+            return []
+        events: list[FlowRemoved] = []
+        last = self.last_touched
+        for i in np.nonzero(expired)[0].tolist():
+            entry = entries[i]
+            entry.stats.last_touched = int(last[i])
+            entry.stats.swept_packets = int(counts[i])
+            events.append(
+                FlowRemoved(
+                    table_id=table.table_id,
+                    match=entry.match,
+                    priority=entry.priority,
+                    cookie=entry.cookie,
+                    reason="hard" if hard_hit[i] else "idle",
+                    idle_timeout=entry.idle_timeout,
+                    hard_timeout=entry.hard_timeout,
+                    installed_at=int(self.installed[i]),
+                    removed_at=now,
+                    packet_count=entry.stats.packet_count,
+                    byte_count=entry.stats.byte_count,
+                )
+            )
+            remove(table.table_id, entry.match, entry.priority)
+        return events
+
+
+@dataclass
+class LifecycleStats:
+    """Sweeper-side counters (the runner stats report them)."""
+
+    advances: int = 0
+    sweeps: int = 0
+    #: Total entry lanes examined across all sweeps — the work measure
+    #: the throughput experiment reports as sweep cost.
+    entries_scanned: int = 0
+    expired_idle: int = 0
+    expired_hard: int = 0
+
+    @property
+    def expired(self) -> int:
+        return self.expired_idle + self.expired_hard
+
+
+class LifecycleSweeper:
+    """Drives expiry for one runner: owns the clock, the per-table
+    lanes and the flow-removed ledger.
+
+    ``advance`` walks the pipeline's tables in id order and sweeps each
+    against the new tick; removals go through the supplied callback so
+    the sharded parent can log them as mutations.  The ledger preserves
+    (table order, snapshot order) — deterministic, hence comparable
+    across runner paths.
+    """
+
+    def __init__(self, clock: VirtualClock | None = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self.ledger: list[FlowRemoved] = []
+        self.stats = LifecycleStats()
+        self._lanes: dict[int, _TableLanes] = {}
+
+    def advance(
+        self, pipeline: SweptPipeline, dt: int, remove: RemoveCallback | None = None
+    ) -> list[FlowRemoved]:
+        """Advance the clock by ``dt`` and sweep every table; returns
+        (and appends to the ledger) the expiries this advance caused."""
+        expire: RemoveCallback
+        if remove is not None:
+            expire = remove
+        else:
+            def _remove_from_pipeline(
+                table_id: int, match: Match, priority: int
+            ) -> None:
+                pipeline.table(table_id).remove(match, priority)
+
+            expire = _remove_from_pipeline
+        prev, now = self.clock.advance(dt)
+        self.stats.advances += 1
+        removed: list[FlowRemoved] = []
+        for table in pipeline.tables:
+            lanes = self._lanes.get(table.table_id)
+            if lanes is None:
+                lanes = self._lanes[table.table_id] = _TableLanes()
+            self.stats.sweeps += 1
+            self.stats.entries_scanned += len(table.entries_snapshot())
+            removed.extend(lanes.sweep(table, prev, now, expire))
+        for event in removed:
+            if event.reason == "hard":
+                self.stats.expired_hard += 1
+            else:
+                self.stats.expired_idle += 1
+        self.ledger.extend(removed)
+        return removed
+
+    def sync(self) -> None:
+        """Flush buffered ``last_touched`` / swept counters back to the
+        entry objects (tests read :attr:`FlowEntry.last_touched` through
+        this; the hot path never needs it)."""
+        for lanes in self._lanes.values():
+            lanes.flush()

@@ -32,8 +32,8 @@ assigned, not on however many messages the replacement has seen.
 
 Mutation-log entries ride inside requests as :data:`Mutation` tuples —
 ``("add", table_id, entry)`` / ``("remove", table_id, match, priority)``
-— the exact shapes :class:`~repro.runtime.shard.ShardedPipeline`'s log
-records.
+/ ``("expire", table_id, match, priority)`` — the exact shapes
+:class:`~repro.runtime.shard.ShardedPipeline`'s log records.
 """
 
 from __future__ import annotations
@@ -70,7 +70,21 @@ class RemoveMutation(NamedTuple):
     priority: int
 
 
-Mutation = AddMutation | RemoveMutation
+class ExpireMutation(NamedTuple):
+    """One timeout expiry recorded in the mutation log.
+
+    Decided *only* by the parent's lifecycle sweep — workers never
+    consult a clock, they just apply it as a removal — so replayed
+    batches and respawned workers reconstruct the identical table state
+    without any notion of time crossing the pipe."""
+
+    kind: Literal["expire"]
+    table_id: int
+    match: Match
+    priority: int
+
+
+Mutation = AddMutation | RemoveMutation | ExpireMutation
 
 
 class BatchRequest(NamedTuple):

@@ -22,6 +22,10 @@ Catalog (see :data:`SCENARIOS`):
   unique, so exact-match microflow caching collapses to ~0 % hits while
   a megaflow cache — whose masks exclude the unconsulted noise field —
   still aggregates the trace into one entry per flow.
+- ``timeout-churn`` — short-lived mice flows (idle/hard timeouts) cycled
+  through the table under long-lived elephant traffic, with the virtual
+  clock advanced every round so the expiry sweep — not explicit
+  uninstalls — drives the invalidation pressure.
 
 Every builder takes a ``frame_len`` knob controlling the on-wire frame
 lengths stamped into the trace (``"fixed"``/int, ``"imix"``,
@@ -29,6 +33,13 @@ lengths stamped into the trace (``"fixed"``/int, ``"imix"``,
 per-entry byte counters and the bits/sec numbers the benchmarks report,
 and never affect classification (no rule matches on
 :data:`~repro.packet.headers.FRAME_LEN_FIELD`).
+
+Every builder also takes an ``advance=`` knob: when set, each packet
+event is followed by an ``("advance", dt)`` virtual-clock event
+(:func:`with_clock_advances`), so any scenario can exercise the
+lifecycle sweep without changing its traffic shape.  Time in a workload
+passes *only* through these events — that is what keeps every runner
+path on the identical tick sequence.
 """
 
 from __future__ import annotations
@@ -109,6 +120,39 @@ def columnar_workload(workload: Workload) -> Workload:
     )
 
 
+def with_clock_advances(workload: Workload, dt: int) -> Workload:
+    """Follow every packet event with an ``("advance", dt)`` clock event.
+
+    The uniform cadence ("one sweep per burst") is how the plain
+    scenarios opt into lifecycle pressure; scenarios that need a bespoke
+    advance schedule (``timeout_churn_workload``) emit their own advance
+    events instead.  ``dt`` must be positive — a zero advance would
+    sweep without moving time, which no cadence caller wants.
+    """
+    if dt < 1:
+        raise ValueError(f"advance must be a positive tick count, got {dt}")
+    events: list[tuple] = []
+    for event in workload.events:
+        events.append(event)
+        if event[0] == "packets":
+            events.append(("advance", dt))
+    return Workload(
+        name=workload.name,
+        description=f"{workload.description} (advance {dt}/burst)",
+        events=tuple(events),
+    )
+
+
+def _finish(
+    workload: Workload, columnar: bool, advance: int | None
+) -> Workload:
+    """Shared builder epilogue: optional clock cadence, then columnar
+    conversion (advance events pass through untouched either way)."""
+    if advance is not None:
+        workload = with_clock_advances(workload, advance)
+    return columnar_workload(workload) if columnar else workload
+
+
 def zipf_weights(n: int, s: float = 1.2) -> np.ndarray:
     """Unnormalized zipf popularity weights: rank ``k`` gets ``1 / k**s``."""
     if n < 1:
@@ -135,6 +179,7 @@ def uniform_workload(
     seed: int = DEFAULT_SEED,
     frame_len: str | int | None = DEFAULT_FRAME_DIST,
     columnar: bool = False,
+    advance: int | None = None,
 ) -> Workload:
     """Uniform i.i.d. traffic over the flow pool."""
     generator, flows = _flow_pool(rule_set, flow_count, seed)
@@ -146,7 +191,7 @@ def uniform_workload(
         description=f"{packet_count} pkts uniform over {len(flows)} flows",
         events=(("packets", trace),),
     )
-    return columnar_workload(workload) if columnar else workload
+    return _finish(workload, columnar, advance)
 
 
 def zipf_workload(
@@ -157,6 +202,7 @@ def zipf_workload(
     seed: int = DEFAULT_SEED,
     frame_len: str | int | None = DEFAULT_FRAME_DIST,
     columnar: bool = False,
+    advance: int | None = None,
 ) -> Workload:
     """Zipf-skewed traffic: a few heavy flows dominate the trace."""
     generator, flows = _flow_pool(rule_set, flow_count, seed)
@@ -172,7 +218,7 @@ def zipf_workload(
         ),
         events=(("packets", trace),),
     )
-    return columnar_workload(workload) if columnar else workload
+    return _finish(workload, columnar, advance)
 
 
 def widen_rule_set(rule_set: RuleSet, noise_field: str = "tcp_src") -> RuleSet:
@@ -204,6 +250,7 @@ def uniform_wide_workload(
     seed: int = DEFAULT_SEED,
     frame_len: str | int | None = DEFAULT_FRAME_DIST,
     columnar: bool = False,
+    advance: int | None = None,
 ) -> Workload:
     """Uniform traffic whose every packet carries fresh noise bits.
 
@@ -232,7 +279,7 @@ def uniform_wide_workload(
         ),
         events=(("packets", trace),),
     )
-    return columnar_workload(workload) if columnar else workload
+    return _finish(workload, columnar, advance)
 
 
 def bursty_workload(
@@ -243,6 +290,7 @@ def bursty_workload(
     seed: int = DEFAULT_SEED,
     frame_len: str | int | None = DEFAULT_FRAME_DIST,
     columnar: bool = False,
+    advance: int | None = None,
 ) -> Workload:
     """Packet-train traffic: geometric per-flow bursts."""
     generator, flows = _flow_pool(rule_set, flow_count, seed)
@@ -259,7 +307,7 @@ def bursty_workload(
         ),
         events=(("packets", trace),),
     )
-    return columnar_workload(workload) if columnar else workload
+    return _finish(workload, columnar, advance)
 
 
 def churn_workload(
@@ -273,6 +321,7 @@ def churn_workload(
     entries: Sequence[FlowEntry] | None = None,
     frame_len: str | int | None = DEFAULT_FRAME_DIST,
     columnar: bool = False,
+    advance: int | None = None,
 ) -> Workload:
     """Zipf traffic interleaved with rule uninstall/reinstall cycles.
 
@@ -329,6 +378,105 @@ def churn_workload(
         ),
         events=tuple(events),
     )
+    return _finish(workload, columnar, advance)
+
+
+def timeout_churn_workload(
+    rule_set: RuleSet,
+    packet_count: int = 10_000,
+    flow_count: int = DEFAULT_FLOWS,
+    elephant_count: int = 8,
+    mice_per_round: int = 8,
+    rounds: int = 8,
+    mice_idle: int = 1,
+    advance: int | None = 2,
+    table_id: int = 0,
+    seed: int = DEFAULT_SEED,
+    frame_len: str | int | None = DEFAULT_FRAME_DIST,
+    columnar: bool = False,
+) -> Workload:
+    """Mice/elephant mix where the expiry sweep does the churning.
+
+    The flow pool splits into ``elephant_count`` long-lived elephants
+    (no timeouts, traffic every round) and a rotating cast of mice: each
+    round replaces ``mice_per_round`` pool rules with fresh short-lived
+    twins — alternating ``idle_timeout=mice_idle`` and
+    ``hard_timeout=mice_idle`` so both removal reasons appear — serves
+    them one round of zipf-mixed traffic, then advances the virtual
+    clock past their deadlines.  Every round therefore ends in a mass
+    expiry (flow-removed events, version bumps, cache revalidation) the
+    way real OpenFlow deployments shed their short flows, without a
+    single explicit uninstall carrying the churn.
+
+    Each reincarnation of a mouse rule is a *fresh*
+    :class:`~repro.openflow.flow.FlowEntry` twin (new counters, new
+    lifecycle), never a reused object — a reused twin would keep its
+    original install tick and final counters, double-counting against
+    the flow-removed ledger.  The same rule makes the *workload* object
+    single-use per runner: the twins ride inside the install events, so
+    replaying one built workload through two runners would hand the
+    second runner twins already carrying the first run's counters —
+    rebuild with the same seed instead (traffic is byte-identical
+    either way).  The default ``advance=2`` with
+    ``mice_idle=1`` expires a round's mice at that round's closing
+    sweep; pass a larger ``advance`` ratio to let mice linger across
+    rounds.  ``advance=None`` disables the clock events entirely
+    (degenerates to install-only churn; mice never expire).
+    """
+    if elephant_count < 1 or mice_per_round < 1:
+        raise ValueError("need at least one elephant and one mouse per round")
+    generator, flows = _flow_pool(rule_set, flow_count, seed)
+    if len(flows) <= elephant_count:
+        raise ValueError(
+            f"flow pool ({len(flows)}) must exceed elephant_count "
+            f"({elephant_count}) to leave room for mice"
+        )
+    entries = list(rule_set.to_flow_entries())[: len(flows)]
+    mice_pool = list(range(elephant_count, len(flows)))
+    events: list[tuple] = []
+    slice_len = max(1, packet_count // rounds)
+    sent = 0
+    for round_index in range(rounds):
+        picks = [
+            mice_pool[(round_index * mice_per_round + k) % len(mice_pool)]
+            for k in range(min(mice_per_round, len(mice_pool)))
+        ]
+        round_flows = [flows[i] for i in range(elephant_count)]
+        for slot, pool_index in enumerate(picks):
+            original = entries[pool_index]
+            twin = FlowEntry(
+                match=original.match,
+                priority=original.priority,
+                instructions=original.instructions,
+                cookie=original.cookie,
+                idle_timeout=mice_idle if slot % 2 == 0 else 0,
+                hard_timeout=0 if slot % 2 == 0 else mice_idle,
+            )
+            events.append(("uninstall", table_id, twin.match, twin.priority))
+            events.append(("install", table_id, twin))
+            round_flows.append(flows[pool_index])
+        count = (
+            slice_len if round_index < rounds - 1 else packet_count - sent
+        )
+        if count > 0:
+            trace = generator.sample_trace(
+                round_flows, count, zipf_weights(len(round_flows))
+            )
+            events.append(
+                ("packets", _stamp_frame_lengths(trace, frame_len, seed))
+            )
+            sent += count
+        if advance is not None:
+            events.append(("advance", advance))
+    workload = Workload(
+        name="timeout-churn",
+        description=(
+            f"{packet_count} pkts, {elephant_count} elephants + "
+            f"{rounds}x{mice_per_round} mice expiring via "
+            f"idle/hard={mice_idle} sweeps (advance={advance})"
+        ),
+        events=tuple(events),
+    )
     return columnar_workload(workload) if columnar else workload
 
 
@@ -339,4 +487,5 @@ SCENARIOS = {
     "zipf": zipf_workload,
     "bursty": bursty_workload,
     "churn": churn_workload,
+    "timeout-churn": timeout_churn_workload,
 }

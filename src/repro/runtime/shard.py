@@ -122,12 +122,18 @@ from repro.packet.headers import FRAME_LEN_FIELD
 from repro.runtime.batch import BatchPipeline, BatchStats
 from repro.runtime.cache import DEFAULT_CAPACITY
 from repro.runtime.faults import FaultPlan
+from repro.runtime.lifecycle import (
+    FlowRemoved,
+    LifecycleSweeper,
+    VirtualClock,
+)
 from repro.runtime.protocol import (
     AddMutation,
     BatchRequest,
     BlockAnnounce,
     ByeReply,
     CloseRequest,
+    ExpireMutation,
     InlineReply,
     Mutation,
     PickleReply,
@@ -272,6 +278,21 @@ class _LoggedTable:
                 )
             return removed
 
+    def expire(self, match: Match, priority: int) -> bool:
+        """Remove an entry the lifecycle sweep timed out, logging it as
+        an :class:`~repro.runtime.protocol.ExpireMutation` so workers
+        (and replay recovery) apply the identical removal without ever
+        consulting a clock."""
+        with self._lock:
+            removed = self._table.remove(match, priority)
+            if removed:
+                self._log.append(
+                    ExpireMutation(
+                        "expire", self._table.table_id, match, priority
+                    )
+                )
+            return removed
+
     def remove_where(self, predicate: Callable[[FlowEntry], bool]) -> int:
         # Predicates don't pickle; expand to the concrete removals so the
         # log stays replayable on the workers.
@@ -335,11 +356,13 @@ def _apply_mutations(
     for mutation in mutations:
         if isinstance(mutation, AddMutation):
             pipeline.table(mutation.table_id).add(mutation.entry)
-        elif isinstance(mutation, RemoveMutation):
+        elif isinstance(mutation, (RemoveMutation, ExpireMutation)):
+            # Expiry is just a removal here: the parent's sweep already
+            # decided it, so workers stay clock-free.
             pipeline.table(mutation.table_id).remove(
                 mutation.match, mutation.priority
             )
-        else:  # pragma: no cover - parent only emits the two kinds
+        else:  # pragma: no cover - parent only emits the three kinds
             raise ValueError(f"unknown mutation kind {mutation[0]!r}")
 
 
@@ -717,6 +740,9 @@ class ShardedBatchPipeline:
         #: Flow-stats deltas merged back from the workers.
         self.flow_packets = 0
         self.flow_bytes = 0
+        #: Parent-owned lifecycle: the sweep runs over the authoritative
+        #: tables only; workers learn of expiries via the mutation log.
+        self.lifecycle = LifecycleSweeper()
 
     # -- lifecycle -----------------------------------------------------
 
@@ -771,9 +797,9 @@ class ShardedBatchPipeline:
         conn, proc = self._conns[worker], self._procs[worker]
         try:
             conn.send(CloseRequest("close"))
-            deadline = time.monotonic() + self.CLOSE_TIMEOUT
+            deadline = time.monotonic() + self.CLOSE_TIMEOUT  # repro-lint: disable=wall-clock-ban
             while True:
-                remaining = deadline - time.monotonic()
+                remaining = deadline - time.monotonic()  # repro-lint: disable=wall-clock-ban
                 if remaining <= 0:
                     break
                 ready = mp_connection.wait([conn, proc.sentinel], remaining)
@@ -931,6 +957,38 @@ class ShardedBatchPipeline:
         return rerouted
 
     # -- classification ------------------------------------------------
+
+    @property
+    def clock(self) -> VirtualClock:
+        """The parent's virtual clock; workers never see one."""
+        return self.lifecycle.clock
+
+    @property
+    def flow_removed(self) -> list[FlowRemoved]:
+        """Parent-side ledger of every expiry swept so far, in order."""
+        return self.lifecycle.ledger
+
+    def advance_clock(self, dt: int) -> list[FlowRemoved]:
+        """Advance virtual time and expire timed-out entries.
+
+        The sweep reads the *authoritative* tables (whose flow counters
+        hold every merged worker delta) and routes each removal through
+        the logged facade as an
+        :class:`~repro.runtime.protocol.ExpireMutation`, so workers,
+        replay recovery and the inline fallback all reconstruct the
+        identical post-expiry state from the log.  Refuses to run with
+        batches in flight — their un-merged deltas would make the idle
+        detection (and flow-removed final counters) racy; workload
+        replay always drains each packet event first.
+        """
+        self._guard_idle("advance_clock")
+        return self.lifecycle.advance(
+            self._authoritative,
+            dt,
+            remove=lambda table_id, match, priority: self.pipeline.table(
+                table_id
+            ).expire(match, priority),
+        )
 
     def process(self, packet_fields: Mapping[str, int]) -> PipelineResult:
         return self.process_batch([packet_fields])[0]
@@ -1121,7 +1179,7 @@ class ShardedBatchPipeline:
         if not self._inflight:
             raise RuntimeError("no batch in flight")
         config = self._supervisor.config
-        started = time.monotonic()
+        started = time.monotonic()  # repro-lint: disable=wall-clock-ban
         interval = config.initial_interval
         while True:
             for seq in self._order:
@@ -1138,12 +1196,12 @@ class ShardedBatchPipeline:
             assert waitables, "incomplete batches but no replies pending"
             timeout: float | None = None
             if config.deadline is not None:
-                elapsed = time.monotonic() - started
+                elapsed = time.monotonic() - started  # repro-lint: disable=wall-clock-ban
                 if elapsed >= config.deadline:
                     self._handle_failure(
                         self._oldest_pending_worker(), "wedge"
                     )
-                    started = time.monotonic()
+                    started = time.monotonic()  # repro-lint: disable=wall-clock-ban
                     interval = config.initial_interval
                     continue
                 timeout = min(interval, config.deadline - elapsed)
@@ -1160,7 +1218,7 @@ class ShardedBatchPipeline:
                     self._handle_failure(worker, died.kind)
                     progressed = True
             if progressed:
-                started = time.monotonic()
+                started = time.monotonic()  # repro-lint: disable=wall-clock-ban
                 interval = config.initial_interval
 
     def _oldest_pending_worker(self) -> int:
@@ -1650,6 +1708,8 @@ class ShardedBatchPipeline:
             dropped=self.dropped,
             flow_packets=self.flow_packets,
             flow_bytes=self.flow_bytes,
+            advances=self.lifecycle.stats.advances,
+            expired=self.lifecycle.stats.expired,
         )
         for worker_stats in self._worker_stats:
             stats.cache_hits += worker_stats.cache_hits

@@ -207,12 +207,13 @@ def await_readable(
     before the death is handled.
     """
     deadline = config.deadline
-    started = time.monotonic()
+    started = time.monotonic()  # repro-lint: disable=wall-clock-ban
     interval = config.initial_interval
     while True:
         timeout: float | None = None
         if deadline is not None:
-            remaining = deadline - (time.monotonic() - started)
+            elapsed = time.monotonic() - started  # repro-lint: disable=wall-clock-ban
+            remaining = deadline - elapsed
             if remaining <= 0:
                 return "wedge"
             timeout = min(interval, remaining)

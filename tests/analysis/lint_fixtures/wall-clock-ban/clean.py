@@ -1,0 +1,28 @@
+# repro-lint fixture: should NOT fire wall-clock-ban.
+import time
+
+
+def expire_on_virtual_clock(entries, now):
+    # Time is a parameter: the runner advances a VirtualClock and
+    # passes the tick down, so expiry depends only on the workload.
+    return [e for e in entries if e.is_expired(now)]
+
+
+def measure_sweep(sweep):
+    # Duration measurement is fine — perf_counter never feeds logic
+    # that decides *whether* something happens, only how long it took.
+    started = time.perf_counter()
+    sweep()
+    return time.perf_counter() - started
+
+
+def supervision_deadline(timeout):
+    # Watching for dead worker processes is genuinely about the host,
+    # not the simulation; the pragma keeps the exception reviewable.
+    return time.monotonic() + timeout  # repro-lint: disable=wall-clock-ban
+
+
+def other_receivers(clock, moment):
+    # Other objects' .now()/.today() methods are out of scope: the
+    # rule keys on the time/datetime module receivers by name.
+    return clock.now(), moment.time()

@@ -1,0 +1,17 @@
+# repro-lint fixture: should FIRE wall-clock-ban.
+# Wall-clock reads make two replays of the same workload diverge: an
+# idle timeout measured against time.time() expires entries based on
+# host load, not on the trace.
+import time
+from datetime import datetime
+
+
+def expire_by_host_clock(entries, idle_timeout):
+    now = time.time()  # wall clock decides expiry
+    cutoff = time.monotonic() - idle_timeout  # so does monotonic
+    return [e for e in entries if e.last_touched < min(now, cutoff)]
+
+
+def stamp_install(entry):
+    entry.installed_at = datetime.now()  # capture-the-moment stamp
+    entry.nanos = time.monotonic_ns()

@@ -15,7 +15,7 @@ from repro.core.builder import build_lookup_table
 from repro.core.lookup_table import OpenFlowLookupTable
 from repro.filters.rule import Application, Rule, RuleSet
 from repro.openflow.flow import FlowEntry
-from repro.openflow.match import ExactMatch, Match, PrefixMatch
+from repro.openflow.match import ExactMatch, Match, PrefixMatch, RangeMatch
 from repro.openflow.table import FlowTable
 from repro.util.bits import canonical_prefix, mask_of
 
@@ -68,6 +68,30 @@ class TestAgainstOracle:
     def test_miss_when_port_unknown(self, tiny_routing_set):
         table = build_lookup_table(tiny_routing_set)
         assert table.lookup({"in_port": 9, "ipv4_dst": 0x0A141E05}) is None
+
+    def test_full_tie_resolves_by_creation_order_not_install_order(self):
+        """Two overlapping rules with equal priority *and* equal
+        specificity (a near-full range quantises to 0 constrained bits,
+        same as the empty match): the behavioural table breaks the tie
+        by entry creation order, so the decomposition must too — even
+        when the rules are installed in the opposite order."""
+        first = FlowEntry.build(match=Match({}), priority=0)
+        second = FlowEntry.build(
+            match=Match({"tcp_dst": RangeMatch(low=80, high=65535, bits=16)}),
+            priority=0,
+        )
+        packet = {"tcp_dst": 443}
+        for install_order in ((first, second), (second, first)):
+            oracle = FlowTable()
+            decomposition = OpenFlowLookupTable(("tcp_dst",))
+            for entry in install_order:
+                oracle.add(entry)
+                decomposition.add(entry)
+            want = oracle.lookup(packet)
+            got = decomposition.lookup(packet)
+            assert want is first, "oracle must prefer the earlier-built entry"
+            assert got is not None
+            assert (got.match, got.priority) == (want.match, want.priority)
 
 
 # Random two-field rule generator exercising prefix nesting + wildcards.

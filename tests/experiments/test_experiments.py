@@ -117,8 +117,12 @@ class TestThroughput:
         assert result.headline["total_mbits"] > 0
         assert result.headline["churn_action_free_hwm"] >= 1
         scenario_table, memory_table = result.tables
-        assert len(scenario_table.rows) == 5  # the full catalog
+        assert len(scenario_table.rows) == 6  # the full catalog
         assert any("free hwm" in str(row) for row in memory_table.rows)
+        # Lifecycle columns: timeout-churn must report expiries and the
+        # other scenarios (no advance events) must report none.
+        assert result.headline["timeout_churn_expired_entries"] > 0
+        assert result.headline["timeout_churn_sweep_entry_lanes"] > 0
 
 
 class TestRunnerCli:

@@ -21,9 +21,19 @@ classification paths —
 and every path must produce identical :class:`PipelineResult`\\ s per
 packet **and** identical post-run per-entry flow-stats counters —
 packets and bytes: every trace packet carries a deterministic frame
-length, so byte accounting is exercised on every example.  The scan
-path anchors correctness (it is the spec); everything else is an
-optimisation that must be observationally invisible.
+length, so byte accounting is exercised on every example.  Rules also
+draw idle/hard timeouts and event scripts interleave ``("advance",
+dt)`` virtual-clock ticks, so entries expire mid-replay on every path:
+the scalar paths sweep through their own
+:class:`~repro.runtime.lifecycle.LifecycleSweeper`, the runners
+through ``advance_clock``, and the resulting flow-removed ledgers
+(reason, final counters, install/removal ticks) must agree as
+multisets — the scan table iterates in priority order while the
+decomposed tables iterate in insertion order, so expiries landing on
+the same tick may be *emitted* in a different order, but never differ
+in content.  The scan path anchors correctness (it is the spec);
+everything else is an optimisation that must be observationally
+invisible.
 
 CI runs this file explicitly and fails if it was skipped (e.g. a
 missing ``hypothesis``), so the property coverage cannot silently rot
@@ -57,6 +67,7 @@ from repro.packet.headers import FRAME_LEN_FIELD
 from repro.runtime import (
     BatchPipeline,
     FaultPlan,
+    LifecycleSweeper,
     ShardedBatchPipeline,
 )
 
@@ -105,6 +116,8 @@ _rule_spec = st.tuples(
     st.integers(1, 200),  # output port
     st.booleans(),  # goto table 1 (only meaningful from table 0)
     st.booleans(),  # rewrite eth_type before the goto
+    st.integers(0, 3),  # idle timeout (0 = permanent)
+    st.integers(0, 3),  # hard timeout (0 = permanent)
 )
 
 _example = st.fixed_dictionaries(
@@ -116,6 +129,7 @@ _example = st.fixed_dictionaries(
                 st.tuples(st.just("burst"), st.integers(1, 3)),
                 st.tuples(st.just("add"), st.integers(0, 7)),
                 st.tuples(st.just("remove"), st.integers(0, 7)),
+                st.tuples(st.just("advance"), st.integers(1, 3)),
             ),
             min_size=1,
             max_size=6,
@@ -154,7 +168,9 @@ def _build_match(field_specs) -> Match:
 
 
 def _build_entry(rule_spec) -> tuple[int, FlowEntry]:
-    table_id, field_specs, priority, port, goto, rewrite = rule_spec
+    table_id, field_specs, priority, port, goto, rewrite, idle, hard = (
+        rule_spec
+    )
     instructions = []
     if rewrite and goto and table_id == 0:
         instructions.append(ApplyActions([SetFieldAction("eth_type", 0x0800)]))
@@ -165,6 +181,8 @@ def _build_entry(rule_spec) -> tuple[int, FlowEntry]:
         match=_build_match(field_specs),
         priority=priority,
         instructions=instructions,
+        idle_timeout=idle,
+        hard_timeout=hard,
     )
 
 
@@ -212,7 +230,18 @@ class Replayer:
             else OpenFlowPipeline(tables)
         )
         self.runner = runner_factory(self.pipeline) if runner_factory else None
+        # Scalar paths (no runner) sweep through their own sweeper; the
+        # runners carry one already and expose it via advance_clock.
+        self.sweeper = LifecycleSweeper() if self.runner is None else None
+        self.flow_removed = []
         self.results = []
+
+    def advance(self, dt):
+        """One virtual-clock tick: sweep, collect the expiry events."""
+        if self.runner is not None:
+            self.flow_removed.extend(self.runner.advance_clock(dt))
+        else:
+            self.flow_removed.extend(self.sweeper.advance(self.pipeline, dt))
 
     def mutate(self, kind, pick):
         table_id, entry = self.entries[pick % len(self.entries)]
@@ -258,6 +287,8 @@ class Replayer:
                 take = min(event[1] * BATCH_SIZE, len(trace) - cursor)
                 self.classify(trace[cursor : cursor + take])
                 cursor += take
+            elif event[0] == "advance":
+                self.advance(event[1])
             else:
                 self.mutate(event[0], event[1])
         if cursor < len(trace):
@@ -270,6 +301,16 @@ class Replayer:
             (entry.stats.packet_count, entry.stats.byte_count)
             for _, entry in self.entries
         ]
+
+    def removed_events(self):
+        """The flow-removed ledger as a sorted multiset: expiries
+        landing on the same tick are emitted in snapshot order, which
+        differs between the priority-sorted scan tables and the
+        insertion-ordered decomposed tables; the *events* themselves
+        (identity, reason, final counters, ticks) must still agree
+        exactly.  FlowRemoved is frozen with a value repr, so repr is a
+        total order over equal-content ledgers."""
+        return sorted(self.flow_removed, key=repr)
 
     def close(self):
         if isinstance(self.runner, ShardedBatchPipeline):
@@ -410,6 +451,9 @@ def test_sharded_equivalent_under_chaos(example):
         assert chaotic.flow_counts() == reference.flow_counts(), (
             "chaos: per-entry flow stats diverge from the scan path"
         )
+        assert chaotic.removed_events() == reference.removed_events(), (
+            "chaos: flow-removed ledger diverges from the scan path"
+        )
         # Crashes (if the schedule hit a live (worker, seq) pair) must
         # all have been absorbed by respawn + replay, never a wedge.
         assert snapshot["restarts"] == snapshot["crashes"]
@@ -446,6 +490,9 @@ def test_all_paths_equivalent(example):
                 assert_same_result(got, expected, f"{name} packet {i}")
             assert replayer.flow_counts() == reference.flow_counts(), (
                 f"{name}: per-entry flow stats diverge from the scan path"
+            )
+            assert replayer.removed_events() == reference.removed_events(), (
+                f"{name}: flow-removed ledger diverges from the scan path"
             )
     finally:
         for replayer in replayers.values():
