@@ -29,7 +29,13 @@ traffic, classified six ways —
   timeout scenario — idle/hard expiries driven by virtual-clock
   ``advance`` events and vectorized sweeps — against byte-identical
   traffic with the clock frozen (no sweeps, no expiries), so the
-  ratio prices the whole lifecycle tax on end-to-end throughput.
+  ratio prices the whole lifecycle tax on end-to-end throughput;
+- **shared-state**: the sharded runner on a 10^5-rule table with
+  ``shared_rules=True`` (workers attach to one sealed shm snapshot,
+  :mod:`repro.runtime.rulestate`) against the eager runner whose
+  workers each rebuild a private replica — recording worker spin-up
+  wall clock and per-worker RSS next to pkts/sec, the paper's memory
+  argument measured instead of modelled (see docs/memory-model.md).
 
 Traces carry IMIX frame lengths, so every mode also reports bits/sec
 next to pkts/sec (the ``bits_per_sec`` record section).  Scenarios come
@@ -56,6 +62,7 @@ import pytest
 
 from repro.core.architecture import MultiTableLookupArchitecture
 from repro.core.builder import build_lookup_table
+from repro.filters.synthetic import large_rule_set
 from repro.openflow.table import FlowTable
 from repro.packet.batch import PacketBatch
 from repro.packet.headers import FRAME_LEN_FIELD
@@ -188,6 +195,25 @@ def _report_pps(
         benchmark.extra_info["pkts_per_sec"] = pps
         if record is not None and mode is not None:
             _record_rates(record, mode, packets, mean, trace_bytes)
+
+
+def _mean_worker_rss_kib(pids) -> int:
+    """Mean resident set size (KiB) of the given worker pids, read from
+    ``/proc/<pid>/status``.  Returns 0 where /proc is unavailable (the
+    caller skips the RSS assertions, keeping everything else portable)."""
+    sizes = []
+    for pid in pids:
+        try:
+            status = Path(f"/proc/{pid}/status").read_text()
+        except OSError:
+            return 0
+        for line in status.splitlines():
+            if line.startswith("VmRSS:"):
+                sizes.append(int(line.split()[1]))
+                break
+    if not sizes:
+        return 0
+    return round(sum(sizes) / len(sizes))
 
 
 def _assert_equivalent(got, expected) -> None:
@@ -934,3 +960,111 @@ def test_throughput_timeout_churn_lifecycle(
             f"lifecycle sweeps cut timeout-churn throughput to "
             f"{speedup:.2f}x of the frozen-clock replay"
         )
+
+
+def test_shared_state_large_rules(
+    trace_generator, smoke, bench_scale, bench_record
+):
+    """The ``shared-state`` mode: two sharded workers over a 10^5-rule
+    routing table, shared sealed snapshot vs eager per-worker replicas.
+
+    Three numbers land in the record (``counters`` section, so the
+    perf-regression bands are untouched):
+
+    - worker spin-up wall clock for each mode — the first batch, which
+      triggers the lazy fleet spawn.  Eager workers rebuild the whole
+      table from the spec (O(rules)); shared workers attach numpy views
+      onto the sealed block (O(1) in rules), which is what makes the
+      PR-7 supervisor's respawn path viable at this scale;
+    - mean per-worker RSS *delta* against the parent, sampled at the
+      same instant after classifying the trace — the paper's
+      per-datapath memory cost, measured.  Under ``fork`` a worker's
+      resident set starts as a copy of the parent's page tables, so the
+      delta isolates what the worker itself allocated: a full private
+      replica (eager, O(rules)) vs freshly-touched pages of the shared
+      mapping (shared, O(working set));
+    - shared-mode pkts/sec (``shared_state_sharded``), so throughput on
+      a table 250x the calibrated sets is tracked across PRs.
+
+    Results and parent-side flow stats must be bitwise-identical across
+    the two modes — always, including smoke."""
+    rules = 5_000 if smoke else 100_000
+    rule_set = large_rule_set(rules)
+    matches = [r.to_match() for r in rule_set.rules if r.fields][:FLOW_COUNT]
+    flows = trace_generator.flow_pool(
+        matches, fill_fields=rule_set.field_names
+    )
+    for flow, frame_len in zip(
+        flows, trace_generator.frame_lengths(len(flows), "imix")
+    ):
+        flow[FRAME_LEN_FIELD] = frame_len
+    packets = max(512, int(8192 * bench_scale))
+    trace = trace_generator.sample_trace(
+        flows, packets, zipf_weights(len(flows))
+    )
+    trace_bytes = sum(fields[FRAME_LEN_FIELD] for fields in trace)
+    batches = _batches(trace, size=2048)
+
+    spinup: dict[str, float] = {}
+    rss: dict[str, int] = {}
+    results: dict[str, list] = {}
+    flow_totals: dict[str, tuple[int, int]] = {}
+    for mode, shared in (("eager", False), ("shared", True)):
+        arch = MultiTableLookupArchitecture([build_lookup_table(rule_set)])
+        with ShardedBatchPipeline(
+            arch, workers=2, cache_capacity=None, shared_rules=shared
+        ) as sharded:
+            # First batch triggers the lazy fleet spawn: eager workers
+            # rebuild the table from the spec, shared workers attach.
+            start = time.perf_counter()
+            collected = list(sharded.process_batch(batches[0]))
+            spinup[mode] = time.perf_counter() - start
+            start = time.perf_counter()
+            for batch in batches[1:]:
+                collected.extend(sharded.process_batch(batch))
+            classify_elapsed = time.perf_counter() - start
+            worker_rss = _mean_worker_rss_kib(
+                proc.pid for proc in sharded._procs
+            )
+            parent_rss = _mean_worker_rss_kib([os.getpid()])
+            rss[mode] = worker_rss - parent_rss if worker_rss else 0
+            results[mode] = collected
+            flow_totals[mode] = (sharded.flow_packets, sharded.flow_bytes)
+        if shared:
+            _record_rates(
+                bench_record,
+                "shared_state_sharded",
+                len(trace) - len(batches[0]),
+                classify_elapsed,
+                trace_bytes - sum(
+                    fields[FRAME_LEN_FIELD] for fields in batches[0]
+                ),
+            )
+
+    _assert_equivalent(results["shared"], results["eager"])
+    assert flow_totals["shared"] == flow_totals["eager"]
+
+    bench_record["counters"]["shared_state_rules"] = rules
+    for mode in ("eager", "shared"):
+        bench_record["counters"][f"shared_state_spinup_{mode}_s"] = round(
+            spinup[mode], 4
+        )
+        if rss[mode]:
+            bench_record["counters"][
+                f"shared_state_worker_rss_delta_{mode}_kib"
+            ] = rss[mode]
+    print(
+        f"\nspin-up eager {spinup['eager']:.3f}s vs shared "
+        f"{spinup['shared']:.3f}s at {rules:,} rules; mean worker RSS "
+        f"delta eager {rss['eager']:,} KiB vs shared {rss['shared']:,} KiB"
+    )
+    if not smoke:
+        assert spinup["shared"] < spinup["eager"], (
+            f"shared spin-up {spinup['shared']:.3f}s did not beat eager "
+            f"{spinup['eager']:.3f}s at {rules:,} rules"
+        )
+        if rss["eager"] and rss["shared"]:
+            assert rss["shared"] < rss["eager"], (
+                f"shared worker RSS delta {rss['shared']:,} KiB did not "
+                f"beat eager {rss['eager']:,} KiB at {rules:,} rules"
+            )

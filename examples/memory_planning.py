@@ -7,11 +7,21 @@ filter pair (MAC learning + Routing), what does the 4-table prototype
 cost in bits and Stratix V M20K blocks, under both trie allocation
 models, and does it fit the device?
 
+``--rules N`` leaves the paper's filters behind and scales a synthetic
+BGP-shaped routing table to N rules (10^5-10^6 is the interesting
+range): it prints the per-structure breakdown of the built table next
+to the byte inventory of the *sealed* shared-rule snapshot the sharded
+runtime maps into ``/dev/shm`` (:mod:`repro.runtime.rulestate`), so the
+paper's bit-cost model and the runtime's measured footprint can be read
+side by side.  docs/memory-model.md walks through both outputs line by
+line.
+
 Run with::
 
     python examples/memory_planning.py            # three sample filters
     python examples/memory_planning.py --all      # all 16 (slow: builds
                                                   # the >180k-rule sets)
+    python examples/memory_planning.py --rules 100000   # synthetic scale
 """
 
 import sys
@@ -58,7 +68,43 @@ def plan(names) -> TextTable:
     return table
 
 
+def plan_large(rules: int) -> None:
+    """Per-structure model vs sealed shared-state bytes at ``rules``."""
+    from repro.core.architecture import MultiTableLookupArchitecture
+    from repro.core.builder import build_lookup_table
+    from repro.filters.synthetic import large_rule_set
+    from repro.memory.report import shared_state_report
+    from repro.runtime import PipelineSpec
+    from repro.runtime.rulestate import SharedRuleState
+
+    rule_set = large_rule_set(rules)
+    architecture = MultiTableLookupArchitecture(
+        [build_lookup_table(rule_set)]
+    )
+    report = architecture_memory_report(architecture, MemoryModel.SPARSE)
+    print(report.to_table().to_markdown())
+    print()
+    state = SharedRuleState.seal(
+        architecture, PipelineSpec.snapshot(architecture)
+    )
+    try:
+        print(shared_state_report(state.layout).to_table().to_markdown())
+        print()
+        print(
+            f"{rules:,} rules: model {report.total_mbits:.1f} Mbit; "
+            "sealed /dev/shm snapshot "
+            f"{shared_state_report(state.layout).total_nbytes / 1e6:.1f} MB "
+            "shared by all workers (per-worker incremental cost is the "
+            "pages its traffic touches, not the table)."
+        )
+    finally:
+        state.close()
+
+
 def main() -> None:
+    if "--rules" in sys.argv:
+        plan_large(int(sys.argv[sys.argv.index("--rules") + 1]))
+        return
     if "--all" in sys.argv:
         names = FILTER_NAMES
     else:

@@ -10,18 +10,30 @@ behind a microflow cache, and the full two-tier microflow+megaflow
 stack — and prints packets/sec for each.  A final section fans large
 batches across a 4-worker :class:`ShardedBatchPipeline`.
 
+``--rules N`` swaps the 2k demo set for a synthetic BGP-shaped table of
+N rules (see :func:`repro.filters.synthetic.large_rule_set`) and runs
+the sharded section twice — workers rebuilding private replicas vs
+workers attaching to one sealed shared snapshot (``shared_rules=True``,
+:mod:`repro.runtime.rulestate`) — printing worker spin-up time for
+both.  docs/architecture.md describes the runtime layer stack this
+example walks; docs/memory-model.md covers what sharing the sealed
+state saves.
+
 Run with::
 
     PYTHONPATH=src python examples/throughput_runtime.py
+    PYTHONPATH=src python examples/throughput_runtime.py --rules 100000
+    PYTHONPATH=src python examples/throughput_runtime.py --packets 4000
 """
 
 import os
+import sys
 import time
 
 from repro.core.architecture import MultiTableLookupArchitecture
 from repro.core.builder import build_lookup_table
 from repro.filters.paper_data import RoutingFilterStats
-from repro.filters.synthetic import generate_routing_set
+from repro.filters.synthetic import generate_routing_set, large_rule_set
 from repro.runtime import (
     SCENARIOS,
     BatchPipeline,
@@ -33,6 +45,12 @@ from repro.util.tables import TextTable
 
 PACKETS = 20_000
 FLOWS = 128
+
+
+def _flag(name: str, default: int) -> int:
+    if name in sys.argv:
+        return int(sys.argv[sys.argv.index(name) + 1])
+    return default
 
 
 def replay(rule_set, workload, cache_capacity, batch_size, megaflow_capacity=None):
@@ -48,12 +66,7 @@ def replay(rule_set, workload, cache_capacity, batch_size, megaflow_capacity=Non
     return stats, stats.packets / elapsed
 
 
-def main() -> None:
-    rules = widen_rule_set(
-        generate_routing_set(RoutingFilterStats("demo", 2000, 12, 40, 90), seed=7)
-    )
-    print(f"rule set: {len(rules.rules)} routing rules, schema {rules.field_names}")
-
+def scenario_table(rules, packets: int) -> None:
     table = TextTable(
         headers=[
             "scenario",
@@ -64,10 +77,10 @@ def main() -> None:
             "uflow hit",
             "mflow hit",
         ],
-        title=f"Throughput over {PACKETS} packets ({FLOWS} flows)",
+        title=f"Throughput over {packets} packets ({FLOWS} flows)",
     )
     for name, builder in SCENARIOS.items():
-        workload = builder(rules, packet_count=PACKETS, flow_count=FLOWS)
+        workload = builder(rules, packet_count=packets, flow_count=FLOWS)
         _, scalar_pps = replay(rules, workload, cache_capacity=None, batch_size=1)
         _, batch_pps = replay(rules, workload, cache_capacity=None, batch_size=256)
         cached_stats, cached_pps = replay(
@@ -93,19 +106,51 @@ def main() -> None:
         )
     print(table.to_markdown())
 
-    workload = SCENARIOS["zipf"](rules, packet_count=PACKETS, flow_count=FLOWS)
+
+def sharded_section(rules, packets: int, shared_rules: bool) -> None:
+    workload = SCENARIOS["zipf"](rules, packet_count=packets, flow_count=FLOWS)
+    mode = "shared sealed state" if shared_rules else "private replicas"
     with ShardedBatchPipeline(
         MultiTableLookupArchitecture([build_lookup_table(rules)]),
         workers=4,
         cache_capacity=None,
+        shared_rules=shared_rules,
     ) as sharded:
+        trace = workload.events[0][1]
+        start = time.perf_counter()
+        sharded.process_batch(trace[:64])  # triggers the fleet spawn
+        spinup = time.perf_counter() - start
         start = time.perf_counter()
         stats = run_workload(sharded, workload, batch_size=2048)
         sharded_pps = stats.packets / (time.perf_counter() - start)
     print(
-        f"\nsharded (4 workers, {os.cpu_count()} cpu(s), batch 2048, no "
-        f"caches): {sharded_pps:,.0f} pkts/s"
+        f"sharded, {mode} (4 workers, {os.cpu_count()} cpu(s), batch "
+        f"2048, no caches): spin-up {spinup:.3f}s, {sharded_pps:,.0f} pkts/s"
     )
+
+
+def main() -> None:
+    packets = _flag("--packets", PACKETS)
+    large = _flag("--rules", 0)
+    if large:
+        rules = large_rule_set(large)
+        print(
+            f"rule set: {len(rules.rules):,} synthetic BGP-shaped rules, "
+            f"schema {rules.field_names}"
+        )
+        # At this scale the per-packet scalar sweep would dominate the
+        # demo; go straight to the sharded spin-up comparison the
+        # shared state exists for.
+        sharded_section(rules, packets, shared_rules=False)
+        sharded_section(rules, packets, shared_rules=True)
+        return
+    rules = widen_rule_set(
+        generate_routing_set(RoutingFilterStats("demo", 2000, 12, 40, 90), seed=7)
+    )
+    print(f"rule set: {len(rules.rules)} routing rules, schema {rules.field_names}")
+    scenario_table(rules, packets)
+    print()
+    sharded_section(rules, packets, shared_rules=False)
 
 
 if __name__ == "__main__":

@@ -15,6 +15,7 @@ conventional open-addressing dimensioning).
 from __future__ import annotations
 
 import math
+from collections.abc import Iterator
 
 from repro.algorithms.base import NO_LABEL, FieldSearchAlgorithm, StructureSize
 from repro.util.bits import bits_needed, mask_of
@@ -60,6 +61,10 @@ class ExactMatchLut(FieldSearchAlgorithm):
 
     def __len__(self) -> int:
         return len(self._slots)
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        """Iterate stored ``(value, label)`` pairs (sealing support)."""
+        yield from self._slots.items()
 
     @property
     def label_bits(self) -> int:

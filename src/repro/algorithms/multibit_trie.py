@@ -249,6 +249,17 @@ class MultibitTrie(FieldSearchAlgorithm):
     def level_count(self) -> int:
         return len(self.strides)
 
+    def level_records(self, level: int) -> Iterator[tuple[int, bool]]:
+        """Iterate one level's stored ``(path, has_child)`` pairs.
+
+        The walk-shape projection of the sparse level maps: exactly what
+        :meth:`consulted_bits` probes, and therefore all the shared
+        read-only runtime state needs to replicate the trie walk
+        (:mod:`repro.runtime.rulestate`).
+        """
+        for path, record in self._levels[level].items():
+            yield path, record.has_child
+
     def stored_nodes(self) -> int:
         """Total sparse records — the paper's "number of stored nodes"."""
         return sum(len(level) for level in self._levels)

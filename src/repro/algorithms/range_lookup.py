@@ -79,6 +79,20 @@ class RangeLookup(FieldSearchAlgorithm):
     def __len__(self) -> int:
         return len(self._ranges)
 
+    def elementary_intervals(
+        self,
+    ) -> tuple[list[int], list[tuple[int, ...]]]:
+        """The built interval table: ``(bounds, labels-per-interval)``.
+
+        ``bounds[i]`` starts interval *i*; ``labels[i]`` lists every
+        covering range's label narrowest-first — the exact arrays the
+        shared read-only runtime state serialises
+        (:mod:`repro.runtime.rulestate`).
+        """
+        self._ensure_built()
+        assert self._bounds is not None and self._interval_labels is not None
+        return list(self._bounds), list(self._interval_labels)
+
     def size(self, label_bits: int | None = None) -> StructureSize:
         """Memory: one boundary + label list slot per elementary interval."""
         self._ensure_built()

@@ -19,6 +19,7 @@ incremental-update capability the paper's update evaluation relies on.
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 from repro.algorithms.base import NO_LABEL
@@ -192,6 +193,29 @@ class IndexCalculator:
     def aggregation_sizes(self) -> list[int]:
         """Entry counts of each aggregation stage (1..depth partitions)."""
         return [len(counter) for counter in self._prefix_counts]
+
+    def prefix_tuples(self, stage: int) -> tuple[LabelTuple, ...]:
+        """Stored truncated tuples of aggregation stage ``stage`` (0-based,
+        tuples of length ``stage + 1``) — the pruning domain the shared
+        read-only state serialises (:mod:`repro.runtime.rulestate`)."""
+        return tuple(self._prefix_counts[stage])
+
+    def best_refs(self) -> Iterator[tuple[LabelTuple, tuple[int, int, int, int]]]:
+        """Per label tuple, the visible (best-ranked) rule's
+        ``(priority, specificity, sequence, action_index)``.
+
+        Shadowed duplicates stay internal: only the best of each tuple is
+        addressable at lookup time, so a sealed snapshot needs nothing
+        else (:mod:`repro.runtime.rulestate`).
+        """
+        for labels, refs in self._entries.items():
+            best = max(refs, key=lambda ref: ref.rank)
+            yield labels, (
+                best.priority,
+                best.specificity,
+                best.sequence,
+                best.action_index,
+            )
 
     def key_bits(self, label_bits: tuple[int, ...] | None = None) -> int:
         """Width of a full label tuple key.

@@ -377,6 +377,123 @@ def generate_acl_set(config: SyntheticAclConfig | None = None) -> RuleSet:
     return rule_set
 
 
+#: Prefix-length mix for the large builders: production-BGP-shaped
+#: (dominated by /24 with a long-prefix tail and a few short aggregates).
+_LARGE_LENGTH_WEIGHTS: dict[int, float] = {
+    8: 0.005,
+    12: 0.01,
+    16: 0.035,
+    18: 0.04,
+    19: 0.06,
+    20: 0.09,
+    21: 0.10,
+    22: 0.14,
+    23: 0.13,
+    24: 0.33,
+    26: 0.02,
+    28: 0.02,
+    30: 0.01,
+    32: 0.01,
+}
+
+#: Ingress-port pool for the large builders.
+_LARGE_PORTS = 16
+
+
+def generate_large_routing_set(rules: int, seed: int = 0x105) -> RuleSet:
+    """Synthesise a routing-style rule set at 10^5..10^6 scale.
+
+    Unlike :func:`generate_routing_set`, this builder is *not* calibrated
+    to a Table IV row — the paper's routers top out at ~4.5k rules, and
+    the point here is the other end of the curve: exercising the memory
+    model and the shared read-only runtime state
+    (:mod:`repro.runtime.rulestate`) at the scale the related IP-lookup
+    work (CRAM, TupleChain) operates at.  Shape choices keep generation
+    itself O(rules):
+
+    - every rule matches an exact ingress port (from a 16-port pool) plus
+      a distinct IPv4 destination prefix, priority = prefix length —
+      the same schema as the calibrated routing sets, so every scenario
+      builder and example runs unchanged;
+    - prefix lengths follow a production-BGP-shaped distribution
+      (/24-heavy with a long tail), drawn vectorised and de-duplicated by
+      the combined ``(value, length)`` key;
+    - one priority-0 table-miss rule (empty match) terminates every
+      lookup, so misses exercise the miss path rather than the
+      architecture-level default.
+
+    No range-match fields on purpose: the elementary-interval structure
+    rebuilds in O(ranges^2) and would dominate build time long before
+    10^5 rules.
+    """
+    if rules < 2:
+        raise ValueError(f"need at least 2 rules, got {rules}")
+    rng = np.random.default_rng(seed)
+    lengths = np.array(sorted(_LARGE_LENGTH_WEIGHTS), dtype=np.int64)
+    weights = np.array(
+        [_LARGE_LENGTH_WEIGHTS[int(length)] for length in lengths],
+        dtype=np.float64,
+    )
+    weights /= weights.sum()
+
+    needed = rules - 1  # one row reserved for the table-miss rule
+    chosen_values = np.empty(0, dtype=np.int64)
+    chosen_lengths = np.empty(0, dtype=np.int64)
+    while chosen_values.size < needed:
+        draw = needed - chosen_values.size
+        batch = max(1024, int(draw * 1.2))
+        drawn_lengths = rng.choice(lengths, size=batch, p=weights)
+        raw = rng.integers(0, 1 << 32, size=batch, dtype=np.int64)
+        # Canonicalise to the prefix (host bits cleared), then key the
+        # pair as value*64+length so np.unique dedups (value, length).
+        shift = (32 - drawn_lengths).astype(np.int64)
+        values = (raw >> shift) << shift
+        keys = np.unique(values * 64 + drawn_lengths)
+        if chosen_values.size:
+            keys = np.setdiff1d(
+                keys, chosen_values * 64 + chosen_lengths, assume_unique=True
+            )
+        rng.shuffle(keys)
+        keys = keys[:draw]
+        chosen_values = np.concatenate([chosen_values, keys // 64])
+        chosen_lengths = np.concatenate([chosen_lengths, keys % 64])
+
+    order = rng.permutation(needed)
+    chosen_values = chosen_values[order]
+    chosen_lengths = chosen_lengths[order]
+    ports = rng.integers(0, _LARGE_PORTS, size=needed)
+    action_ports = rng.integers(0, _EGRESS_PORTS, size=needed)
+
+    rule_set = RuleSet(
+        name=f"large-{rules}",
+        application=Application.ROUTING,
+        field_names=("in_port", "ipv4_dst"),
+    )
+    rule_set.add(Rule(fields={}, priority=0, action_port=0))  # table miss
+    for row in range(needed):
+        rule_set.add(
+            Rule(
+                fields={
+                    "in_port": ExactMatch(value=int(ports[row]), bits=32),
+                    "ipv4_dst": PrefixMatch(
+                        value=int(chosen_values[row]),
+                        length=int(chosen_lengths[row]),
+                        bits=32,
+                    ),
+                },
+                priority=int(chosen_lengths[row]),
+                action_port=int(action_ports[row]),
+            )
+        )
+    return rule_set
+
+
+@functools.lru_cache(maxsize=None)
+def large_rule_set(rules: int) -> RuleSet:
+    """The default-seed large routing-style set (cached per size)."""
+    return generate_large_routing_set(rules)
+
+
 @functools.lru_cache(maxsize=None)
 def mac_set(name: str) -> RuleSet:
     """The calibrated MAC-learning set for one router (cached)."""

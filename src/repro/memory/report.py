@@ -251,3 +251,83 @@ def architecture_memory_report(
             for table in architecture.lookup_tables
         ]
     )
+
+
+@dataclass(frozen=True)
+class SharedSegmentCost:
+    """One structure kind's share of a sealed shared-rule block."""
+
+    table_id: int
+    kind: str  # "trie" | "lut" | "range" | "index" | "actions" | "entries"
+    arrays: int
+    nbytes: int
+
+
+#: Path component -> structure kind for sealed segment keys, which look
+#: like ``t0/ipv4_dst:p1/trie/len24/values`` or ``t0/index/final``.
+_SEGMENT_KINDS = ("trie", "lut", "range", "index", "actions", "entries")
+
+
+@dataclass
+class SharedStateMemoryReport:
+    """Byte inventory of one sealed generation of shared rule state.
+
+    Built from a :class:`~repro.runtime.rulestate.SharedRuleLayout`'s
+    segment table alone — no attach needed — and grouped by the same
+    structure kinds as :class:`TableMemoryReport`, so the paper's
+    bit-cost model (what the hardware would spend) sits next to what
+    the runtime actually mapped into ``/dev/shm``.  The ``entries``
+    kind is the pickled flow-entry blob: pure software-runtime state
+    (rehydration for stats and thaw) with no hardware counterpart.
+    See docs/memory-model.md for how to read the two side by side.
+    """
+
+    costs: list[SharedSegmentCost]
+
+    @property
+    def total_nbytes(self) -> int:
+        return sum(cost.nbytes for cost in self.costs)
+
+    def to_table(self) -> TextTable:
+        text = TextTable(
+            headers=["table", "kind", "arrays", "memory"],
+            title="Sealed shared-state segments",
+        )
+        for cost in self.costs:
+            text.add_row(
+                [
+                    cost.table_id,
+                    cost.kind,
+                    cost.arrays,
+                    format_bits(cost.nbytes * 8),
+                ]
+            )
+        text.add_row(["-", "TOTAL", "-", format_bits(self.total_nbytes * 8)])
+        return text
+
+
+def shared_state_report(layout) -> SharedStateMemoryReport:
+    """Group a sealed layout's segments into per-table structure costs.
+
+    ``layout`` is duck-typed (anything with a ``segments`` tuple of
+    :class:`~repro.runtime.transport.Segment`), so this module stays
+    import-independent of the runtime layer.
+    """
+    import numpy as np
+
+    totals: dict[tuple[int, str], list[int]] = {}
+    for segment in layout.segments:
+        parts = segment.key.split("/")
+        table_id = int(parts[0].lstrip("t"))
+        kind = next((p for p in parts[1:] if p in _SEGMENT_KINDS), parts[1])
+        bucket = totals.setdefault((table_id, kind), [0, 0])
+        bucket[0] += 1
+        bucket[1] += segment.count * np.dtype(segment.dtype).itemsize
+    return SharedStateMemoryReport(
+        costs=[
+            SharedSegmentCost(
+                table_id=table_id, kind=kind, arrays=arrays, nbytes=nbytes
+            )
+            for (table_id, kind), (arrays, nbytes) in sorted(totals.items())
+        ]
+    )

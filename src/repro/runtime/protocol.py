@@ -34,6 +34,9 @@ Mutation-log entries ride inside requests as :data:`Mutation` tuples —
 ``("add", table_id, entry)`` / ``("remove", table_id, match, priority)``
 / ``("expire", table_id, match, priority)`` — the exact shapes
 :class:`~repro.runtime.shard.ShardedPipeline`'s log records.
+
+``docs/architecture.md`` ("Sharded shm transport") situates this wire
+protocol in the runtime layer stack.
 """
 
 from __future__ import annotations

@@ -141,6 +141,11 @@ from repro.runtime.protocol import (
     ShmReply,
     ShmRequest,
 )
+from repro.runtime.rulestate import (
+    SharedRuleLayout,
+    SharedRuleState,
+    attach_shared_tables,
+)
 from repro.runtime.supervise import (
     PoisonBatchError,
     SupervisionConfig,
@@ -215,12 +220,20 @@ class TableSpec:
 
 @dataclass(frozen=True)
 class PipelineSpec:
-    """Picklable snapshot of a whole pipeline, for worker replicas."""
+    """Picklable snapshot of a whole pipeline, for worker replicas.
+
+    With ``shared`` set (a :class:`~repro.runtime.rulestate.SharedRuleLayout`
+    minted by ``SharedRuleState.seal``), the lookup tables' entry tuples
+    are stripped — the entries live in the sealed shared-memory block —
+    and :meth:`build` *attaches* frozen replicas instead of replaying
+    O(rules) adds per worker.
+    """
 
     tables: tuple[TableSpec, ...]
     config: ArchitectureConfig
     miss_policy: str
     architecture: bool
+    shared: SharedRuleLayout | None = None
 
     @classmethod
     def snapshot(cls, pipeline: OpenFlowPipeline) -> PipelineSpec:
@@ -232,7 +245,10 @@ class PipelineSpec:
         )
 
     def build(self) -> OpenFlowPipeline:
-        tables = [spec.build(self.config) for spec in self.tables]
+        if self.shared is not None:
+            tables = attach_shared_tables(self)
+        else:
+            tables = [spec.build(self.config) for spec in self.tables]
         if self.architecture:
             return MultiTableLookupArchitecture(tables, config=self.config)
         return OpenFlowPipeline(
@@ -667,6 +683,7 @@ class ShardedBatchPipeline:
         depth: int = 2,
         supervision: SupervisionConfig | None = None,
         fault_plan: FaultPlan | None = None,
+        shared_rules: bool = False,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -689,6 +706,14 @@ class ShardedBatchPipeline:
             pipeline, self._log, self._mutation_lock
         )
         self._spec = PipelineSpec.snapshot(pipeline)
+        #: Shared read-only rule state (see runtime/rulestate.py): the
+        #: static lookup structures are sealed into one shared-memory
+        #: block and workers attach instead of rebuilding O(rules)
+        #: replicas.  Sealed eagerly at the end of construction so the
+        #: first spawn is already O(1)-per-worker; re-sealed at log fold
+        #: points.
+        self._shared_rules = shared_rules
+        self._rule_state: SharedRuleState | None = None
         self._cache_capacity = cache_capacity
         self._megaflow_capacity = megaflow_capacity
         self._shard_fields = tuple(shard_fields) if shard_fields else None
@@ -743,6 +768,8 @@ class ShardedBatchPipeline:
         #: Parent-owned lifecycle: the sweep runs over the authoritative
         #: tables only; workers learn of expiries via the mutation log.
         self.lifecycle = LifecycleSweeper()
+        if shared_rules:
+            self._seal_rules()
 
     # -- lifecycle -----------------------------------------------------
 
@@ -767,12 +794,42 @@ class ShardedBatchPipeline:
         child_conn.close()
         return parent_conn, proc
 
+    def _seal_rules(self) -> None:
+        """(Re)seal the shared rule snapshot before spawning a fleet.
+
+        Only legal with no live workers and nothing in flight: folding
+        the mutation log into a fresh spec is then equivalent to every
+        worker having replayed it, so cursors rewind to zero and the
+        sealed block *is* the log-position-zero state the next fleet
+        attaches to.  A still-current seal (no mutations since) is kept.
+        """
+        assert not self._procs and not self._inflight
+        with self._mutation_lock:
+            if self._rule_state is not None and not self._log:
+                return
+            if self._rule_state is not None:
+                self._rule_state.close()
+                self._rule_state = None
+            base = PipelineSpec.snapshot(self._authoritative)
+            self._log.clear()
+            self._cursors = [0] * self.workers
+            self._inline_runner = None
+            self._inline_index = None
+            self._inline_cursor = 0
+            self._rule_state = SharedRuleState.seal(self._authoritative, base)
+            self._spec = self._rule_state.spec
+
     def _ensure_started(self) -> None:
         if self._procs:
             return
         # One resource tracker shared with the forked workers keeps
         # shared-memory accounting warning-free (see transport module).
         ensure_resource_tracker()
+        if self._shared_rules:
+            # Covers respawn-after-close(): close() released the sealed
+            # block, so the stale spec must be re-sealed (folding any
+            # mutations logged in between) before workers can attach.
+            self._seal_rules()
         if self._mp_ctx is None:
             method = (
                 "fork" if "fork" in mp.get_all_start_methods() else "spawn"
@@ -856,6 +913,12 @@ class ShardedBatchPipeline:
         self._inline_runner = None
         self._inline_index = None
         self._inline_cursor = 0
+        # Release the sealed rule block (zero /dev/shm residue after
+        # close).  The spec goes stale with it; the next _ensure_started
+        # re-seals from the authoritative tables before spawning.
+        if self._rule_state is not None:
+            self._rule_state.close()
+            self._rule_state = None
         # Recovery path for a stream that was created but abandoned
         # before its first iteration (the generator's finally never ran).
         self._streaming = False
@@ -1676,6 +1739,20 @@ class ShardedBatchPipeline:
             if len(self._log) != log_len:
                 return  # a mutator slipped in; prune on a later batch
             self._spec = PipelineSpec.snapshot(self._authoritative)
+            if self._shared_rules:
+                # Re-seal at the fold point so future spawns (recovery
+                # respawns included) attach instead of replaying the
+                # authoritative state.  Long-lived workers never attach
+                # to the new block — tables they already thawed stay
+                # private, still-frozen ones keep valid mappings of the
+                # old (now unlinked) generation.
+                old_state = self._rule_state
+                self._rule_state = SharedRuleState.seal(
+                    self._authoritative, self._spec
+                )
+                self._spec = self._rule_state.spec
+                if old_state is not None:
+                    old_state.close()
             self._log.clear()
             self._cursors = [0] * self.workers
             # The fresh spec *is* the table state at the old log's end,

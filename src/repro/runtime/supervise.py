@@ -34,6 +34,11 @@ classifies the dead shard's traffic in-process on the parent's own
 replica, ``"redistribute"`` reassigns it to surviving workers, and
 ``"raise"`` propagates a :class:`WorkerCrashError`.  Either degraded
 mode preserves bitwise-identical results by the same replay invariant.
+
+``docs/architecture.md`` ("Supervision") situates this layer in the
+runtime stack; with shared sealed rule state
+(:mod:`repro.runtime.rulestate`) respawn is O(1) in rules, so the
+recovery path stays cheap at 10^5+ rule tables.
 """
 
 from __future__ import annotations

@@ -163,11 +163,16 @@ class TestCrashRecovery:
     """SIGKILL faults: detection via the process sentinel, respawn,
     deterministic replay, crash-safe shm cleanup."""
 
+    @pytest.mark.parametrize("shared_rules", [False, True])
     @pytest.mark.parametrize("seed", [3, 11, 29])
-    def test_seeded_chaos_differential(self, small_routing_set, seed):
+    def test_seeded_chaos_differential(
+        self, small_routing_set, seed, shared_rules
+    ):
         """The acceptance run: a seeded plan SIGKILLs workers at random
         steps mid-churn; results, stats, per-entry counters and
-        /dev/shm must match the single-process run exactly."""
+        /dev/shm must match the single-process run exactly — with and
+        without the shared sealed rule state (respawned workers attach
+        to the block instead of rebuilding, then replay the log)."""
         workload = SCENARIOS["churn"](
             small_routing_set, packet_count=200, flow_count=12
         )
@@ -190,6 +195,7 @@ class TestCrashRecovery:
             megaflow_capacity=128,
             depth=3,
             fault_plan=plan,
+            shared_rules=shared_rules,
         ) as sharded:
             got = run_workload(
                 sharded, workload, batch_size=25, keep_results=True

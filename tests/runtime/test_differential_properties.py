@@ -1,7 +1,7 @@
 """Differential property harness over every runner path.
 
 Random rule sets, mutation sequences and traffic traces (hypothesis
-strategies, deterministic per example) are replayed through all nine
+strategies, deterministic per example) are replayed through all ten
 classification paths —
 
 1. behavioural scan (``FlowTable`` pipeline, scalar),
@@ -12,11 +12,14 @@ classification paths —
 6. sharded shared-memory, pipelined (``ShardedBatchPipeline``,
    transport="shm", depth=3 — bursts stream through the
    double-buffered dispatch/collect loop),
-7. columnar microflow-cached batch (``PacketBatch`` input, vectorized
+7. sharded with shared sealed rule state (``shared_rules=True`` —
+   workers attach read-only :mod:`repro.runtime.rulestate` snapshots
+   instead of rebuilding replicas, mutations replay from the log),
+8. columnar microflow-cached batch (``PacketBatch`` input, vectorized
    key hashing),
-8. columnar two-tier megaflow batch (vectorized masked-key probes),
-9. columnar sharded shared-memory pipelined (decode-free workers
-   classifying straight off the request block's columns) —
+9. columnar two-tier megaflow batch (vectorized masked-key probes),
+10. columnar sharded shared-memory pipelined (decode-free workers
+    classifying straight off the request block's columns) —
 
 and every path must produce identical :class:`PipelineResult`\\ s per
 packet **and** identical post-run per-entry flow-stats counters —
@@ -367,6 +370,18 @@ RUNNERS = {
             megaflow_capacity=32,
             transport="shm",
             depth=3,
+        ),
+    ),
+    "sharded-shared-rules": (
+        _lookup_tables,
+        lambda pipeline: ShardedBatchPipeline(
+            pipeline,
+            workers=2,
+            cache_capacity=16,
+            megaflow_capacity=32,
+            transport="shm",
+            depth=3,
+            shared_rules=True,
         ),
     ),
     "columnar-cached": (

@@ -1,0 +1,296 @@
+"""Shared read-only rule state (:mod:`repro.runtime.rulestate`):
+seal/attach equivalence, attach-after-seal immutability, crash-safety of
+the /dev/shm lifecycle, and bitwise-identical re-seals under churn."""
+
+import gc
+import os
+import pickle
+import signal
+from multiprocessing import get_context
+from pathlib import Path
+
+import pytest
+
+from repro.core.architecture import MultiTableLookupArchitecture
+from repro.core.builder import build_lookup_table
+from repro.openflow.actions import OutputAction
+from repro.openflow.flow import FlowEntry
+from repro.openflow.instructions import WriteActions
+from repro.openflow.match import Match
+from repro.runtime import (
+    SCENARIOS,
+    BatchPipeline,
+    PipelineSpec,
+    ShardedBatchPipeline,
+    run_workload,
+)
+from repro.runtime.rulestate import FrozenLookupTable, SharedRuleState
+
+from tests.runtime.test_megaflow import assert_same_result
+from tests.runtime.test_shard import _shm_segments, make_arch
+
+needs_dev_shm = pytest.mark.skipif(
+    not Path("/dev/shm").is_dir(), reason="no /dev/shm on this platform"
+)
+
+
+def seal(rule_set):
+    """An authoritative pipeline plus its sealed state and spec."""
+    arch = make_arch(rule_set)
+    spec = PipelineSpec.snapshot(arch)
+    state = SharedRuleState.seal(arch, spec)
+    return arch, state
+
+
+def probes(rule_set, count=200):
+    workload = SCENARIOS["zipf"](rule_set, packet_count=count, flow_count=10)
+    return workload.events[0][1]
+
+
+class TestSealAttach:
+    def test_replica_classifies_identically(self, small_routing_set):
+        arch, state = seal(small_routing_set)
+        try:
+            replica = state.spec.build()
+            table = replica.tables[0]
+            assert isinstance(table, FrozenLookupTable)
+            assert len(table) == len(arch.tables[0])
+            for fields in probes(small_routing_set):
+                assert_same_result(
+                    replica.process(dict(fields)), arch.process(dict(fields))
+                )
+        finally:
+            state.close()
+
+    def test_spec_round_trips_without_entries(self, small_routing_set):
+        """The shared spec pickles O(1) in rules: lookup-table entry
+        tuples are stripped (the blob lives in the block), and a
+        pickle round trip — the worker bootstrap path — still builds a
+        working replica."""
+        arch, state = seal(small_routing_set)
+        try:
+            for table_spec in state.spec.tables:
+                if table_spec.kind == "lookup":
+                    assert table_spec.entries == ()
+            replica = pickle.loads(pickle.dumps(state.spec)).build()
+            fields = dict(probes(small_routing_set, count=1)[0])
+            assert_same_result(replica.process(fields), arch.process(fields))
+        finally:
+            state.close()
+
+    def test_entries_snapshot_preserves_install_order(
+        self, small_routing_set
+    ):
+        """Sealed positions are the authoritative iteration order — the
+        contract the parent's pinned flow-stats snapshots rely on."""
+        arch, state = seal(small_routing_set)
+        try:
+            replica = state.spec.build()
+            table, frozen = arch.tables[0], replica.tables[0]
+            assert [e.match for e in frozen.entries_snapshot()] == [
+                e.match for e in table.entries_snapshot()
+            ]
+            for position, entry in enumerate(frozen.entries_snapshot()):
+                assert frozen.entry_position(entry) == position
+        finally:
+            state.close()
+
+
+class TestImmutability:
+    def test_frozen_arrays_reject_writes(self, small_routing_set):
+        _, state = seal(small_routing_set)
+        try:
+            table = state.spec.build().tables[0]
+            for owner, name in (
+                (table.actions, "_positions"),
+                (table.index, "_final"),
+                (table.index, "_priority"),
+            ):
+                array = getattr(owner, name)
+                with pytest.raises(ValueError, match="read-only"):
+                    array[0] = 1
+            # Don't let raw views (or their owners) outlive the table's
+            # attachment handles: frame locals tear down in unspecified
+            # order, and an exported view makes SharedMemory.__del__
+            # noisy.
+            del array, owner
+        finally:
+            state.close()
+
+    def test_mutation_thaws_without_touching_siblings(
+        self, small_routing_set
+    ):
+        """add() on one attached replica thaws that replica only: the
+        sibling keeps its frozen mapping and still matches the
+        authoritative table bit for bit."""
+        arch, state = seal(small_routing_set)
+        try:
+            thawed = state.spec.build()
+            sibling = state.spec.build()
+            entry = FlowEntry.build(
+                match=Match.exact(in_port=3),
+                priority=999,
+                instructions=[WriteActions([OutputAction(42)])],
+            )
+            before = len(sibling.tables[0])
+            thawed.tables[0].add(entry)
+            assert not thawed.tables[0]._frozen
+            assert sibling.tables[0]._frozen
+            assert len(thawed.tables[0]) == before + 1
+            assert len(sibling.tables[0]) == before
+            for fields in probes(small_routing_set, count=50):
+                assert_same_result(
+                    sibling.process(dict(fields)), arch.process(dict(fields))
+                )
+            # The thawed replica diverged exactly by the new entry.
+            hit = thawed.process({"in_port": 3})
+            assert 42 in hit.output_ports
+        finally:
+            state.close()
+
+
+def _attach_then_die(spec) -> None:
+    """Child target: attach to the sealed block, classify one packet,
+    then die without any cleanup (``SIGKILL`` skips finalizers) — the
+    stand-in for a worker crashing while mapped."""
+    replica = spec.build()
+    replica.process({"in_port": 1, "ipv4_dst": 0x0A000001})
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+@needs_dev_shm
+class TestShmLifecycle:
+    def test_seal_close_leaves_no_segments(self, small_routing_set):
+        before = _shm_segments()
+        _, state = seal(small_routing_set)
+        replica = state.spec.build()
+        replica.process({"in_port": 1, "ipv4_dst": 1})
+        del replica
+        gc.collect()
+        state.close()
+        leaked = _shm_segments() - before
+        assert not leaked, f"segments left in /dev/shm: {sorted(leaked)}"
+
+    def test_crashed_attacher_leaves_no_segments(self, small_routing_set):
+        """A SIGKILLed attacher unlinks nothing itself; the owner's
+        close() (or finalizer) must still leave /dev/shm clean — the
+        PR-7 crash-recovery path depends on exactly this."""
+        before = _shm_segments()
+        _, state = seal(small_routing_set)
+        child = get_context("fork").Process(
+            target=_attach_then_die, args=(state.spec,)
+        )
+        child.start()
+        child.join(timeout=30)
+        assert child.exitcode == -signal.SIGKILL
+        state.close()
+        leaked = _shm_segments() - before
+        assert not leaked, f"segments left in /dev/shm: {sorted(leaked)}"
+
+    def test_abandoned_state_unlinks_via_finalizer(self, small_routing_set):
+        before = _shm_segments()
+        _, state = seal(small_routing_set)
+        del state
+        gc.collect()
+        leaked = _shm_segments() - before
+        assert not leaked, f"segments left in /dev/shm: {sorted(leaked)}"
+
+
+class TestResealUnderChurn:
+    def entry(self, port: int, priority: int) -> FlowEntry:
+        return FlowEntry.build(
+            match=Match.exact(in_port=port),
+            priority=priority,
+            instructions=[WriteActions([OutputAction(100 + port)])],
+        )
+
+    def test_reseal_after_log_fold_is_bitwise_identical(
+        self, small_routing_set
+    ):
+        """The shared-rules twin of the mutation-log prune test: once
+        every worker catches up, the fold point re-seals a fresh block
+        (new name, old one unlinked) and classification stays identical
+        to the single-process runner throughout."""
+        probe = [
+            {"in_port": p, "ipv4_dst": d} for p in range(4) for d in (1, 2, 3)
+        ]
+        single = BatchPipeline(make_arch(small_routing_set))
+
+        def churn(runner):
+            entry = self.entry(7, priority=999)
+            for _ in range(550):
+                runner.pipeline.table(0).add(entry)
+                runner.pipeline.table(0).remove(entry.match, entry.priority)
+
+        with ShardedBatchPipeline(
+            make_arch(small_routing_set), workers=2, shared_rules=True
+        ) as sharded:
+            first_block = sharded._rule_state.layout.block_name
+            churn(sharded)
+            churn(single)
+            assert len(sharded._log) == 1100
+            got = sharded.process_batch(probe)
+            expected = single.process_batch(probe)
+            for a, b in zip(got, expected):
+                assert_same_result(a, b)
+            got = sharded.process_batch(probe)  # prune + re-seal point
+            expected = single.process_batch(probe)
+            assert len(sharded._log) == 0
+            assert sharded._rule_state.layout.block_name != first_block
+            for a, b in zip(got, expected):
+                assert_same_result(a, b)
+            # Close-and-reuse re-seals from the folded snapshot.
+            sharded.close()
+            got = sharded.process_batch(probe)
+            expected = single.process_batch(probe)
+            for a, b in zip(got, expected):
+                assert_same_result(a, b)
+
+    @needs_dev_shm
+    def test_reseal_churn_leaves_no_segments(self, small_routing_set):
+        before = _shm_segments()
+        with ShardedBatchPipeline(
+            make_arch(small_routing_set), workers=2, shared_rules=True
+        ) as sharded:
+            workload = SCENARIOS["churn"](
+                small_routing_set, packet_count=120, flow_count=8
+            )
+            run_workload(sharded, workload, batch_size=20)
+        leaked = _shm_segments() - before
+        assert not leaked, f"segments left in /dev/shm: {sorted(leaked)}"
+
+
+class TestSharedScenarioDifferential:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_shared_rules_match_single_process(
+        self, small_routing_set, name
+    ):
+        """Every scenario in the catalog, classified by shared-state
+        workers, must equal the single-process runner bit for bit —
+        flow stats included."""
+        workload = SCENARIOS[name](
+            small_routing_set, packet_count=200, flow_count=12
+        )
+        single = BatchPipeline(
+            make_arch(small_routing_set),
+            cache_capacity=128,
+            megaflow_capacity=256,
+        )
+        expected = run_workload(
+            single, workload, batch_size=50, keep_results=True
+        )
+        with ShardedBatchPipeline(
+            make_arch(small_routing_set),
+            workers=2,
+            cache_capacity=128,
+            megaflow_capacity=256,
+            shared_rules=True,
+        ) as sharded:
+            got = run_workload(
+                sharded, workload, batch_size=50, keep_results=True
+            )
+            assert sharded.flow_packets == single.flow_packets
+            assert sharded.flow_bytes == single.flow_bytes
+        assert len(got.results) == len(expected.results)
+        for a, b in zip(got.results, expected.results):
+            assert_same_result(a, b)

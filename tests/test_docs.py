@@ -1,0 +1,86 @@
+"""Documentation gate: the markdown docs must not rot.
+
+Checks, over ``README.md``, ``CONTRIBUTING.md``, ``ROADMAP.md`` and
+everything under ``docs/``:
+
+- every relative link resolves to a file in the repo, and a ``#anchor``
+  on a markdown target resolves to a real heading (GitHub slug rules);
+- every repo path named in a fenced code block exists (the quickstart
+  commands reference ``examples/``/``benchmarks/`` scripts by path);
+- the documentation triad is wired together: the README links both
+  docs pages, and CONTRIBUTING links the architecture page.
+
+The CI ``docs`` job runs this file and then executes the README
+quickstart example commands on smoke-sized inputs.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted(
+    [
+        REPO / "README.md",
+        REPO / "CONTRIBUTING.md",
+        REPO / "ROADMAP.md",
+        *(REPO / "docs").glob("*.md"),
+    ]
+)
+
+# Inline markdown links: [text](target).  Bare URLs and reference-style
+# links are not used in this repo's docs.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_FENCE = re.compile(r"```[a-z]*\n(.*?)```", re.DOTALL)
+_CODE_PATH = re.compile(r"(?:src|tests|benchmarks|examples|docs)/[\w./-]+\.\w+")
+
+
+def _slug(heading: str) -> str:
+    """GitHub's heading → anchor slug transform (close enough for us)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\s-]", "", text)
+    return re.sub(r"\s+", "-", text.strip())
+
+
+def _anchors(path: Path) -> set[str]:
+    return {_slug(match) for match in _HEADING.findall(path.read_text())}
+
+
+def _strip_fences(text: str) -> str:
+    """Drop fenced code blocks so shell snippets aren't parsed as links."""
+    return _FENCE.sub("", text)
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_relative_links_resolve(doc: Path) -> None:
+    for target in _LINK.findall(_strip_fences(doc.read_text())):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        resolved = (doc.parent / path_part).resolve() if path_part else doc
+        assert resolved.exists(), f"{doc.name}: broken link {target!r}"
+        if anchor and resolved.suffix == ".md":
+            assert _slug(anchor) in _anchors(resolved), (
+                f"{doc.name}: link {target!r} names a heading "
+                f"{anchor!r} that {resolved.name} does not have"
+            )
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_code_block_paths_exist(doc: Path) -> None:
+    for block in _FENCE.findall(doc.read_text()):
+        for path in _CODE_PATH.findall(block):
+            assert (REPO / path).exists(), (
+                f"{doc.name}: code block references missing file {path!r}"
+            )
+
+
+def test_doc_triad_cross_linked() -> None:
+    readme = (REPO / "README.md").read_text()
+    assert "docs/architecture.md" in readme
+    assert "docs/memory-model.md" in readme
+    contributing = (REPO / "CONTRIBUTING.md").read_text()
+    assert "docs/architecture.md" in contributing
