@@ -70,8 +70,12 @@ from repro.runtime import (
     BatchPipeline,
     MicroflowCache,
     ShardedBatchPipeline,
+    StreamConfig,
+    bursty_arrivals,
     churn_workload,
     columnar_workload,
+    poisson_arrivals,
+    run_stream,
     run_workload,
     timeout_churn_workload,
     uniform_wide_workload,
@@ -113,6 +117,12 @@ def bench_record(smoke, trace_len):
         #: still apply).
         "speedup_cpus": {},
         "counters": {},
+        #: Open-loop streaming SLO section: tail-latency percentiles in
+        #: *virtual ticks* plus the shed ledger of a fixed-size overload
+        #: schedule (identical in smoke and full runs, so the gate can
+        #: band p99 across records), with a same-seed rerun's shed count
+        #: for the absolute determinism check.
+        "streaming": {},
     }
     yield record
     path = (
@@ -132,6 +142,7 @@ def bench_record(smoke, trace_len):
             "speedups",
             "speedup_cpus",
             "counters",
+            "streaming",
         ):
             merged = dict(previous.get(section) or {})
             merged.update(record[section])
@@ -1068,3 +1079,111 @@ def test_shared_state_large_rules(
                 f"shared worker RSS delta {rss['shared']:,} KiB did not "
                 f"beat eager {rss['eager']:,} KiB at {rules:,} rules"
             )
+
+
+#: The streaming SLO schedule is FIXED-SIZE — deliberately *not* scaled
+#: by ``bench_scale``.  Its latencies are measured in virtual ticks, so
+#: the run costs little wall clock even in full mode, and keeping the
+#: schedule identical across smoke and full runs is what lets
+#: ``check_regression`` band the p99 across records (it refuses to diff
+#: records whose ``arrival_count`` differs).  Shed counts and
+#: percentiles depend only on arrival timing, never on rule content, so
+#: the smoke-sized rule set does not perturb them.
+SLO_ARRIVALS = 2000
+SLO_SEED = 11
+SLO_CONFIG = StreamConfig(
+    capacity=64,
+    batch_size=16,
+    form_deadline=8,
+    window=2,
+    service_rate=0.5,
+    degrade_after=2,
+)
+
+
+def test_streaming_overload_slo(routing_bbra, trace_len, smoke, bench_record):
+    """The ``streaming`` mode: an open-loop bursty overload stream
+    through bounded admission, recording tail-latency percentiles (in
+    virtual ticks) and the shed ledger.  The same seed is run twice and
+    both shed counts land in the record — the regression gate's
+    absolute determinism check (same seed => identical shed count)
+    rides on that pair.  A second, ``bench_scale``-sized underloaded
+    stream prices the streaming layer itself in wall-clock pkts/sec."""
+    schedule = bursty_arrivals(
+        routing_bbra,
+        packet_count=SLO_ARRIVALS,
+        mean_burst=24.0,
+        burst_gap=16.0,
+        seed=SLO_SEED,
+    )
+
+    def one_run():
+        runner = BatchPipeline(
+            MultiTableLookupArchitecture([build_lookup_table(routing_bbra)]),
+            cache_capacity=4096,
+            megaflow_capacity=8192,
+        )
+        return run_stream(runner, schedule, SLO_CONFIG)
+
+    report = one_run()
+    rerun = one_run()
+    report.assert_conserved()
+    assert report.shed_packets > 0, "the SLO schedule must overload"
+    assert report.peak_occupancy <= SLO_CONFIG.capacity
+    assert rerun.shed == report.shed, "same-seed rerun shed a different set"
+    assert rerun.latencies == report.latencies
+
+    bench_record["streaming"] = {
+        "schedule": schedule.name,
+        "arrival_count": report.admitted_packets,
+        "offered_load": round(schedule.offered_load, 4),
+        "service_rate": SLO_CONFIG.service_rate,
+        "capacity": SLO_CONFIG.capacity,
+        "shed_packets": report.shed_packets,
+        "shed_packets_rerun": rerun.shed_packets,
+        "shed_rate": round(report.shed_rate, 4),
+        "shed_by_reason": report.shed_by_reason,
+        "p50_ticks": report.p50,
+        "p99_ticks": report.p99,
+        "p999_ticks": report.p999,
+        "max_level": report.max_level,
+        "peak_occupancy": report.peak_occupancy,
+        "stalls": report.stalls,
+    }
+
+    # Wall-clock cost of the streaming layer: an underloaded open-loop
+    # poisson stream (nothing shed, no degradation) sized by
+    # bench_scale like every other wall-clock mode.
+    open_loop = poisson_arrivals(
+        routing_bbra, packet_count=trace_len, mean_gap=1.0, seed=7
+    )
+    runner = BatchPipeline(
+        MultiTableLookupArchitecture([build_lookup_table(routing_bbra)]),
+        cache_capacity=4096,
+        megaflow_capacity=8192,
+    )
+    start = time.perf_counter()
+    open_report = run_stream(
+        runner,
+        open_loop,
+        StreamConfig(capacity=4096, batch_size=BATCH_SIZE, window=4),
+    )
+    elapsed = time.perf_counter() - start
+    open_report.assert_conserved()
+    assert open_report.shed_packets == 0, (
+        "capacity exceeds offered load, nothing may be shed"
+    )
+    _record_rates(
+        bench_record,
+        "streaming_open_loop",
+        trace_len,
+        elapsed,
+        open_loop.byte_count,
+    )
+    print(
+        f"\nstreaming SLO: p50/p99/p999 = {report.p50}/{report.p99}/"
+        f"{report.p999} ticks, shed {report.shed_packets}/"
+        f"{report.admitted_packets} ({report.shed_rate:.1%}), ladder "
+        f"level {report.max_level}; open-loop underload "
+        f"{trace_len / elapsed:,.0f} pkts/s"
+    )

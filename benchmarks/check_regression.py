@@ -98,6 +98,15 @@ CPU_SENSITIVE_KEYS = frozenset(
 )
 
 
+#: Fraction of the baseline p99 the current streaming p99 may *grow*
+#: to before the gate fails: ``current_p99 <= P99_TOLERANCE *
+#: baseline_p99``.  Latencies are in virtual ticks, so the band is not
+#: absorbing CI-runner noise (there is none — same seed, same schedule,
+#: same ticks); it absorbs deliberate retunes of batch formation that
+#: shift the tail a little without being regressions.
+P99_TOLERANCE = 1.5
+
+
 @dataclass(frozen=True)
 class Check:
     """Outcome of one speedup-key comparison."""
@@ -134,6 +143,91 @@ def load_record(path: Path) -> tuple[dict[str, float], dict[str, int]]:
         key: int(stamps.get(key, default_cpus) or 0) for key in speedups
     }
     return {key: float(value) for key, value in speedups.items()}, cpus
+
+
+def load_streaming(path: Path) -> dict[str, object]:
+    """The record's ``streaming`` SLO section, or ``{}`` when absent.
+
+    Absent is normal, not an error: records predating the streaming
+    bench (or runs that deselected it) simply skip the streaming gate —
+    same catch-up contract as speedup keys only one record carries.
+    """
+    record = json.loads(path.read_text())
+    section = record.get("streaming")
+    return section if isinstance(section, dict) else {}
+
+
+def run_streaming_checks(
+    baseline: dict[str, object],
+    current: dict[str, object],
+    p99_tolerance: float = P99_TOLERANCE,
+) -> tuple[list[str], list[str]]:
+    """Gate the streaming section: shed determinism plus the p99 band.
+
+    Returns ``(failures, notes)``.  Two independent checks:
+
+    * **Determinism (hard, current record only).**  The bench runs the
+      same seeded overload schedule twice and records both shed counts;
+      any daylight between them means load shedding picked up a
+      nondeterministic input (wall-clock, unseeded hashing, host
+      scheduling) and replay-based recovery can no longer promise
+      bitwise-identical reruns.  No tolerance.
+    * **Tail latency (banded, vs baseline).**  ``p99_ticks`` may grow
+      to at most ``p99_tolerance`` times the committed baseline.  Only
+      comparable when both records measured the same schedule —
+      ``arrival_count`` is the guard; a resized schedule skips the band
+      (and the next full run rebaselines it).
+    """
+    failures: list[str] = []
+    notes: list[str] = []
+    if not current:
+        notes.append(
+            "skip streaming: current record has no streaming section"
+        )
+        return failures, notes
+
+    shed = current.get("shed_packets")
+    rerun = current.get("shed_packets_rerun")
+    if shed != rerun:
+        failures.append(
+            f"streaming shed ledger is not deterministic: first run "
+            f"shed {shed} packets, rerun shed {rerun} — same seed must "
+            "shed identically"
+        )
+
+    if not baseline:
+        notes.append(
+            "skip streaming p99 band: baseline record has no streaming "
+            "section"
+        )
+        return failures, notes
+    if baseline.get("arrival_count") != current.get("arrival_count"):
+        notes.append(
+            f"skip streaming p99 band: schedule resized "
+            f"(baseline arrival_count {baseline.get('arrival_count')}, "
+            f"current {current.get('arrival_count')})"
+        )
+        return failures, notes
+
+    base_p99 = baseline.get("p99_ticks")
+    cur_p99 = current.get("p99_ticks")
+    if not isinstance(base_p99, (int, float)) or not isinstance(
+        cur_p99, (int, float)
+    ):
+        notes.append("skip streaming p99 band: p99_ticks missing")
+        return failures, notes
+    ceiling = p99_tolerance * float(base_p99)
+    if float(cur_p99) > ceiling:
+        failures.append(
+            f"streaming p99 regressed: {cur_p99} ticks vs baseline "
+            f"{base_p99} (ceiling {ceiling:.1f})"
+        )
+    else:
+        notes.append(
+            f"ok   streaming p99: {cur_p99} ticks vs baseline "
+            f"{base_p99} (ceiling {ceiling:.1f})"
+        )
+    return failures, notes
 
 
 def run_checks(
@@ -266,6 +360,16 @@ def main(argv: list[str] | None = None) -> int:
             f"baseline {check.baseline:.2f}x (floor {check.floor:.2f}x)"
         )
         failed |= not check.ok
+
+    stream_failures, stream_notes = run_streaming_checks(
+        load_streaming(args.baseline), load_streaming(args.current)
+    )
+    for note in stream_notes:
+        print(note)
+    for failure in stream_failures:
+        print(f"FAIL {failure}")
+        failed = True
+
     if failed:
         print(
             "\nperf regression: a speedup ratio fell out of its tolerance "

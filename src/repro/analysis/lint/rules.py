@@ -16,7 +16,12 @@ compiling clean until the right property test happens to cover it:
   process-sentinel wait set);
 - ``wall-clock-ban`` — simulation code never reads the wall clock
   (``time.time()`` / ``time.monotonic()`` / ``datetime.now()``); flow
-  lifecycle runs on the deterministic :class:`~repro.runtime.lifecycle.VirtualClock`.
+  lifecycle runs on the deterministic :class:`~repro.runtime.lifecycle.VirtualClock`;
+- ``bounded-queue`` — every queue declares its capacity: a ``deque``
+  carries ``maxlen=`` or a ``len()`` bound check in scope, and lists
+  are never used as FIFOs without one (an unbounded admission queue is
+  exactly the overload failure mode the streaming layer exists to
+  prevent).
 
 Rules are deliberately *syntactic*: they key on the project's naming
 contracts (``SharedMemory(create=True)``, the hot-tier method names,
@@ -700,3 +705,147 @@ class WallClockBanRule(Rule):
             "datetime",
             "date",
         )
+
+
+#: List methods that turn a plain list into a FIFO: popping or
+#: inserting at the head.  Stack use (``append``/``pop()``) is fine —
+#: stacks drain before they grow in this codebase's recursion helpers.
+_LIST_QUEUE_OPS = frozenset({"pop", "insert"})
+
+
+@register
+class BoundedQueueRule(Rule):
+    """Every queue in the runtime declares its capacity."""
+
+    name = "bounded-queue"
+    description = (
+        "deque(...) must carry maxlen= or sit behind a len() capacity "
+        "check in scope, and lists must not be used as FIFOs "
+        "(.pop(0)/.insert(0, ...)) without one — an unbounded queue "
+        "turns overload into unbounded memory growth and unbounded "
+        "latency instead of deterministic shedding"
+    )
+    hint = (
+        "pass maxlen= at construction, or guard every append with a "
+        "len(<queue>) comparison against the capacity (class-wide for "
+        "self attributes, within the function for locals); see "
+        "repro.runtime.streaming.AdmissionQueue for the idiom"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        targets = self._assignment_targets(ctx.tree)
+        for node, funcs, classes in _walk_scoped(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _callee_name(node) == "deque":
+                if self._has_maxlen(node):
+                    continue
+                target = targets.get(id(node))
+                if target is not None and self._len_bounded(
+                    target, funcs, classes
+                ):
+                    continue
+                yield ctx.finding(
+                    self,
+                    node,
+                    "deque() without maxlen= and with no len() capacity "
+                    "check in scope — queues must declare their bound",
+                )
+            elif isinstance(node.func, ast.Attribute) and (
+                self._is_head_op(node)
+            ):
+                if self._len_bounded(node.func.value, funcs, classes):
+                    continue
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"list used as a FIFO via .{node.func.attr}(0, ...) "
+                    f"with no len() capacity check in scope — use a "
+                    f"bounded deque or guard the producer side",
+                )
+
+    @staticmethod
+    def _has_maxlen(call: ast.Call) -> bool:
+        if any(keyword.arg == "maxlen" for keyword in call.keywords):
+            return True
+        return len(call.args) >= 2  # deque(iterable, maxlen)
+
+    @staticmethod
+    def _is_head_op(call: ast.Call) -> bool:
+        func = call.func
+        assert isinstance(func, ast.Attribute)
+        if func.attr not in _LIST_QUEUE_OPS or not call.args:
+            return False
+        head = call.args[0]
+        return isinstance(head, ast.Constant) and head.value == 0
+
+    @staticmethod
+    def _assignment_targets(tree: ast.Module) -> dict[int, ast.expr]:
+        """Map each call node id inside an assignment's value to the
+        (single) assignment target, so ``self._q = deque()`` and
+        ``self._pending = [deque() for ...]`` both resolve to the
+        attribute whose bound we then look for."""
+        targets: dict[int, ast.expr] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            else:
+                continue
+            for sub in ast.walk(value):
+                if isinstance(sub, ast.Call):
+                    targets[id(sub)] = target
+        return targets
+
+    @staticmethod
+    def _target_key(target: ast.expr) -> tuple[str, str] | None:
+        """A scope-searchable identity: ``("attr", name)`` for
+        ``self.<name>`` (and any subscript of it), ``("name", id)``
+        for locals."""
+        while isinstance(target, ast.Subscript):
+            target = target.value
+        if isinstance(target, ast.Attribute):
+            return ("attr", target.attr)
+        if isinstance(target, ast.Name):
+            return ("name", target.id)
+        return None
+
+    @classmethod
+    def _len_bounded(
+        cls,
+        target: ast.expr,
+        funcs: tuple[ast.AST, ...],
+        classes: tuple[ast.ClassDef, ...],
+    ) -> bool:
+        """True when a ``len(<target>)`` comparison exists in the
+        target's scope: the enclosing class for attributes (the bound
+        may guard appends in a different method than the constructor),
+        the enclosing function for locals."""
+        key = cls._target_key(target)
+        if key is None:
+            return False
+        scope: ast.AST | None
+        if key[0] == "attr":
+            scope = classes[-1] if classes else None
+        else:
+            scope = funcs[-1] if funcs else None
+        if scope is None:
+            return False
+        return any(
+            cls._bounds(node, key)
+            for node in ast.walk(scope)
+            if isinstance(node, ast.Compare)
+        )
+
+    @classmethod
+    def _bounds(cls, compare: ast.Compare, key: tuple[str, str]) -> bool:
+        for side in [compare.left, *compare.comparators]:
+            if (
+                isinstance(side, ast.Call)
+                and _callee_name(side) == "len"
+                and len(side.args) == 1
+                and cls._target_key(side.args[0]) == key
+            ):
+                return True
+        return False

@@ -25,6 +25,9 @@ from repro.runtime import (
     BatchPipeline,
     SCENARIOS,
     ShardedBatchPipeline,
+    StreamConfig,
+    bursty_arrivals,
+    run_stream,
     run_workload,
     widen_rule_set,
 )
@@ -177,6 +180,66 @@ def run() -> ExperimentResult:
         f"{'match' if agree else 'DIVERGE FROM'} the single-process run "
         f"({sharded_stats.flow_packets} vs {single_stats.flow_packets} pkts, "
         f"{sharded_stats.flow_bytes} vs {single_stats.flow_bytes} bytes)"
+    )
+
+    # Open-loop streaming: the same bursty arrivals replayed twice,
+    # once against a declared service rate the bursts overwhelm and
+    # once with headroom.  Overload must shed (deterministically — the
+    # recorded counters are replayable by seed); with capacity above
+    # the offered load, shedding anything would be a bug, so shed==0 is
+    # asserted, not just reported.
+    schedule = bursty_arrivals(
+        rule_set,
+        packet_count=_PACKETS // 2,
+        mean_burst=24.0,
+        burst_gap=16.0,
+        seed=11,
+    )
+    overloaded = run_stream(
+        BatchPipeline(
+            MultiTableLookupArchitecture([build_lookup_table(rule_set)]),
+            cache_capacity=4096,
+            megaflow_capacity=4096,
+        ),
+        schedule,
+        StreamConfig(capacity=64, batch_size=16, window=2, service_rate=0.5),
+    )
+    relaxed = run_stream(
+        BatchPipeline(
+            MultiTableLookupArchitecture([build_lookup_table(rule_set)]),
+            cache_capacity=4096,
+            megaflow_capacity=4096,
+        ),
+        schedule,
+        StreamConfig(capacity=4096, batch_size=256, window=4),
+    )
+    assert relaxed.shed_packets == 0, (
+        "unlimited service rate with capacity above the offered load "
+        f"must not shed, yet {relaxed.shed_packets} packets were dropped"
+    )
+    result.headline["stream_offered_load_pkts_per_tick"] = round(
+        schedule.offered_load, 4
+    )
+    result.headline["stream_overload_shed_packets"] = overloaded.shed_packets
+    result.headline["stream_overload_shed_rate"] = round(
+        overloaded.shed_rate, 4
+    )
+    result.headline["stream_overload_p50_ticks"] = overloaded.p50
+    result.headline["stream_overload_p99_ticks"] = overloaded.p99
+    result.headline["stream_overload_p999_ticks"] = overloaded.p999
+    result.headline["stream_overload_max_degrade_level"] = overloaded.max_level
+    result.headline["stream_relaxed_shed_packets"] = relaxed.shed_packets
+    result.headline["stream_relaxed_p99_ticks"] = relaxed.p99
+    shed_reasons = ", ".join(
+        f"{reason}={count}"
+        for reason, count in sorted(overloaded.shed_by_reason.items())
+    )
+    result.notes.append(
+        "open-loop streaming (bursty, "
+        f"{schedule.offered_load:.2f} pkts/tick offered): at service rate "
+        f"0.5/tick the runtime shed {overloaded.shed_packets} packets "
+        f"({shed_reasons}) with p99 {overloaded.p99} ticks; with headroom "
+        f"it shed 0 (asserted) at p99 {relaxed.p99} ticks"
     )
 
     # Memory context: the post-churn breakdown, free-list HWM included.

@@ -177,6 +177,27 @@ the parent alone decides expiry and logs each one as an
 ``ExpireMutation`` — workers never consult a clock, and replay recovery
 applies expiries like any other logged removal.
 
+**Open-loop streaming front-end.**  Every layer above is closed-loop —
+callers feed batches as fast as the pipeline drains them.
+:mod:`repro.runtime.streaming` adds the open-loop story: seeded
+Poisson/bursty/diurnal :class:`~repro.runtime.streaming.ArrivalSchedule`
+arrival processes on the virtual clock (replayable bit-for-bit, no wall
+time), a hard-capacity
+:class:`~repro.runtime.streaming.AdmissionQueue` with tail-drop and
+deadline-drop shed policies (every queue in the runtime is
+capacity-bounded — the ``bounded-queue`` lint rule enforces it),
+size-or-deadline batch formation feeding the pipelined shard transport
+behind a bounded in-flight window (backpressure instead of queueing),
+and a graduated degradation ladder under sustained overload: shrink the
+formation deadline, bypass megaflow capture (``megaflow_bypass`` —
+observationally invisible), then shed at admission.
+:func:`~repro.runtime.streaming.run_stream` self-checks the
+conservation law ``admitted == completed + shed`` (packets and bytes)
+and reports per-packet enqueue→completion latencies in virtual ticks
+with p50/p99/p999 summaries plus the deterministic shed ledger — the
+same report, bit-for-bit, on single-process, sharded and columnar
+paths, with or without worker crashes.
+
 **Scenario catalog.**  :mod:`repro.runtime.scenarios` builds replayable
 :class:`~repro.runtime.batch.Workload` objects from a rule set —
 ``uniform``, ``uniform-wide`` (per-packet noise in an unconstrained
@@ -224,6 +245,18 @@ from repro.runtime.scenarios import (
     zipf_weights,
     zipf_workload,
 )
+from repro.runtime.streaming import (
+    ARRIVALS,
+    AdmissionQueue,
+    ArrivalSchedule,
+    ShedRecord,
+    StreamConfig,
+    StreamReport,
+    bursty_arrivals,
+    diurnal_arrivals,
+    poisson_arrivals,
+    run_stream,
+)
 from repro.runtime.faults import FaultPlan, FaultSpec
 from repro.runtime.shard import (
     PipelineSpec,
@@ -244,6 +277,9 @@ from repro.runtime.transport import (
 )
 
 __all__ = [
+    "ARRIVALS",
+    "AdmissionQueue",
+    "ArrivalSchedule",
     "BatchPipeline",
     "BatchStats",
     "ColumnarOutcomes",
@@ -264,6 +300,9 @@ __all__ = [
     "PoisonBatchError",
     "SCENARIOS",
     "ShardedBatchPipeline",
+    "ShedRecord",
+    "StreamConfig",
+    "StreamReport",
     "SupervisionConfig",
     "SupervisionStats",
     "TableSpec",
@@ -272,9 +311,13 @@ __all__ = [
     "WorkerSupervisor",
     "Workload",
     "WorkloadStats",
+    "bursty_arrivals",
     "bursty_workload",
     "churn_workload",
     "columnar_workload",
+    "diurnal_arrivals",
+    "poisson_arrivals",
+    "run_stream",
     "run_workload",
     "timeout_churn_workload",
     "uniform_wide_workload",

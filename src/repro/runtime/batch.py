@@ -132,6 +132,13 @@ class BatchPipeline:
             if megaflow_capacity
             else None
         )
+        #: When True, batches skip the megaflow tier entirely — no
+        #: probe, no recorder capture, no install (rung 2 of the
+        #: streaming degradation ladder sets this under sustained
+        #: overload).  Observationally invisible: the megaflow replays
+        #: traversals it has already seen, so bypassing it changes
+        #: per-packet results never, only cache stats and cost.
+        self.megaflow_bypass = False
         self.packets = 0
         self.batches = 0
         self.matched = 0
@@ -187,9 +194,10 @@ class BatchPipeline:
         results: list[PipelineResult] = [None] * len(batch)  # type: ignore[list-item]
 
         # Tier 1: megaflow probe — a hit replays the whole traversal.
-        if self.megaflow is not None:
+        megaflow = None if self.megaflow_bypass else self.megaflow
+        if megaflow is not None:
             missed: list[int] = []
-            for i, replayed in enumerate(self.megaflow.lookup_batch(batch)):
+            for i, replayed in enumerate(megaflow.lookup_batch(batch)):
                 if replayed is None:
                     missed.append(i)
                 else:
@@ -204,9 +212,9 @@ class BatchPipeline:
             results[i] = PipelineResult(final_fields=dict(batch[i]))
 
         self._run_waves(results, missed, recorders)
-        if self.megaflow is not None and recorders is not None:
+        if megaflow is not None and recorders is not None:
             for i in missed:
-                self.megaflow.install(batch[i], recorders[i], results[i])
+                megaflow.install(batch[i], recorders[i], results[i])
         for result in results:
             # frame_len is never rewritten, so final_fields carries the
             # same length every stats.record() saw mid-pipeline.
@@ -244,9 +252,10 @@ class BatchPipeline:
         self.packets += len(batch)
         self.batches += 1
         frame = batch.frame_lengths()
-        if self.megaflow is not None:
+        megaflow = None if self.megaflow_bypass else self.megaflow
+        if megaflow is not None:
             entries: list[MegaflowEntry | None]
-            entries, buckets = self.megaflow.probe_credit(batch)
+            entries, buckets = megaflow.probe_credit(batch)
             # Hit counters aggregated per entry — one pass over the few
             # distinct aggregates instead of every packet.
             for entry, count, byte_count in buckets:
@@ -277,9 +286,9 @@ class BatchPipeline:
                 recorders,
                 columnar_first=batch if recorders is None else None,
             )
-            if self.megaflow is not None and recorders is not None:
+            if megaflow is not None and recorders is not None:
                 for i in missed:
-                    self.megaflow.install(
+                    megaflow.install(
                         batch.fields_at(i), recorders[i], wave_results[i]
                     )
             frame_list = frame.tolist()

@@ -91,12 +91,17 @@ Mutation = AddMutation | RemoveMutation | ExpireMutation
 
 
 class BatchRequest(NamedTuple):
-    """Pickle-transport work item: log suffix + this worker's packets."""
+    """Pickle-transport work item: log suffix + this worker's packets.
+
+    ``bypass`` asks the worker to skip its megaflow tier for this batch
+    (the streaming ladder's rung 2); it rides in the request template,
+    so a replayed batch degrades exactly as the original did."""
 
     kind: Literal["batch"]
     seq: int
     mutations: tuple[Mutation, ...]
     packets: list[dict[str, int]]
+    bypass: bool
 
 
 class ShmRequest(NamedTuple):
@@ -113,6 +118,7 @@ class ShmRequest(NamedTuple):
     layout: PacketBlockLayout
     members_key: str
     columnar: bool
+    bypass: bool
 
 
 class CloseRequest(NamedTuple):

@@ -64,7 +64,7 @@ DEFAULT_FLOWS = 128
 DEFAULT_FRAME_DIST = "fixed"
 
 
-def _stamp_frame_lengths(
+def stamp_frame_lengths(
     trace: list[dict[str, int]],
     frame_len: str | int | None,
     seed: int,
@@ -161,11 +161,18 @@ def zipf_weights(n: int, s: float = 1.2) -> np.ndarray:
     return 1.0 / ranks**s
 
 
-def _flow_pool(
+def flow_pool(
     rule_set: RuleSet,
     flow_count: int,
     seed: int,
 ) -> tuple[PacketGenerator, list[dict[str, int]]]:
+    """Seeded flow pool over the rule set's first ``flow_count`` rules.
+
+    Shared by every scenario builder here and by the open-loop arrival
+    builders in :mod:`repro.runtime.streaming`, so a closed-loop
+    workload and an arrival schedule built from the same (rule set,
+    flow_count, seed) draw from byte-identical flows.
+    """
     generator = PacketGenerator(TraceConfig(seed=seed))
     matches = [rule.to_match() for rule in rule_set.rules[:flow_count]]
     flows = generator.flow_pool(matches, fill_fields=rule_set.field_names)
@@ -182,8 +189,8 @@ def uniform_workload(
     advance: int | None = None,
 ) -> Workload:
     """Uniform i.i.d. traffic over the flow pool."""
-    generator, flows = _flow_pool(rule_set, flow_count, seed)
-    trace = _stamp_frame_lengths(
+    generator, flows = flow_pool(rule_set, flow_count, seed)
+    trace = stamp_frame_lengths(
         generator.sample_trace(flows, packet_count), frame_len, seed
     )
     workload = Workload(
@@ -205,8 +212,8 @@ def zipf_workload(
     advance: int | None = None,
 ) -> Workload:
     """Zipf-skewed traffic: a few heavy flows dominate the trace."""
-    generator, flows = _flow_pool(rule_set, flow_count, seed)
-    trace = _stamp_frame_lengths(
+    generator, flows = flow_pool(rule_set, flow_count, seed)
+    trace = stamp_frame_lengths(
         generator.sample_trace(flows, packet_count, zipf_weights(len(flows), s)),
         frame_len,
         seed,
@@ -261,7 +268,7 @@ def uniform_wide_workload(
     noise never reaches a cache key and the scenario degenerates to
     plain ``uniform``).
     """
-    generator, flows = _flow_pool(rule_set, flow_count, seed)
+    generator, flows = flow_pool(rule_set, flow_count, seed)
     trace = generator.sample_trace(flows, packet_count)
     rng = np.random.default_rng(seed ^ 0x51DE)
     bits = min(REGISTRY[noise_field].bits, 30)
@@ -270,7 +277,7 @@ def uniform_wide_workload(
         dict(fields, **{noise_field: int(value)})
         for fields, value in zip(trace, noise)
     ]
-    trace = _stamp_frame_lengths(trace, frame_len, seed)
+    trace = stamp_frame_lengths(trace, frame_len, seed)
     workload = Workload(
         name="uniform-wide",
         description=(
@@ -293,8 +300,8 @@ def bursty_workload(
     advance: int | None = None,
 ) -> Workload:
     """Packet-train traffic: geometric per-flow bursts."""
-    generator, flows = _flow_pool(rule_set, flow_count, seed)
-    trace = _stamp_frame_lengths(
+    generator, flows = flow_pool(rule_set, flow_count, seed)
+    trace = stamp_frame_lengths(
         generator.bursty_trace(flows, packet_count, mean_burst=mean_burst),
         frame_len,
         seed,
@@ -345,8 +352,8 @@ def churn_workload(
     reinstall puts the *same* object back, so conservation laws over
     entry counters stay exact.
     """
-    generator, flows = _flow_pool(rule_set, flow_count, seed)
-    trace = _stamp_frame_lengths(
+    generator, flows = flow_pool(rule_set, flow_count, seed)
+    trace = stamp_frame_lengths(
         generator.sample_trace(flows, packet_count, zipf_weights(len(flows))),
         frame_len,
         seed,
@@ -425,7 +432,7 @@ def timeout_churn_workload(
     """
     if elephant_count < 1 or mice_per_round < 1:
         raise ValueError("need at least one elephant and one mouse per round")
-    generator, flows = _flow_pool(rule_set, flow_count, seed)
+    generator, flows = flow_pool(rule_set, flow_count, seed)
     if len(flows) <= elephant_count:
         raise ValueError(
             f"flow pool ({len(flows)}) must exceed elephant_count "
@@ -463,7 +470,7 @@ def timeout_churn_workload(
                 round_flows, count, zipf_weights(len(round_flows))
             )
             events.append(
-                ("packets", _stamp_frame_lengths(trace, frame_len, seed))
+                ("packets", stamp_frame_lengths(trace, frame_len, seed))
             )
             sent += count
         if advance is not None:

@@ -389,11 +389,13 @@ def _serve_pickle(
     faults: FaultPlan,
     worker_id: int,
 ) -> PickleReply:
-    _, seq, mutations, packets = message
+    _, seq, mutations, packets, bypass = message
     faults.fire(worker_id, seq, "after-receive")
     _apply_mutations(runner.pipeline, mutations)
     faults.fire(worker_id, seq, "mid-classify")
+    runner.megaflow_bypass = bypass
     results = runner.process_batch(packets)
+    runner.megaflow_bypass = False
     delta = FlowStatsDelta.from_results(results, index)
     faults.fire(worker_id, seq, "after-stats")
     reply = PickleReply(
@@ -423,10 +425,11 @@ def _serve_shm(
     # can unmap the segments.
     _, seq, slot, mutations, block_name, segments, layout, members_key, (
         columnar
-    ) = message
+    ), bypass = message
     faults.fire(worker_id, seq, "after-receive")
     _apply_mutations(runner.pipeline, mutations)
     faults.fire(worker_id, seq, "mid-classify")
+    runner.megaflow_bypass = bypass
     reader = BlockReader(request_blocks.buf(block_name), segments)
     writer = BlockWriter()
     if columnar:
@@ -444,6 +447,7 @@ def _serve_shm(
         result_layout, vocabulary, delta = encode_results(
             writer, results, index, codec, inputs=packets
         )
+    runner.megaflow_bypass = False
     faults.fire(worker_id, seq, "after-stats")
     # Announce-before-create: the parent's crash registry must know the
     # segment name before the segment can exist, so a death at any
@@ -602,6 +606,9 @@ class _InFlight:
     pinned: Mapping[int, tuple]
     log_len: int
     sends: dict[int, BatchRequest | ShmRequest] = field(default_factory=dict)
+    #: Megaflow-bypass flag the batch was submitted with; the degraded
+    #: inline path reads it here (live workers read it off the wire).
+    bypass: bool = False
 
 
 class _WorkerDied(Exception):
@@ -1158,7 +1165,12 @@ class ShardedBatchPipeline:
         finally:
             self._streaming = False
 
-    def submit_batch(self, batch: Sequence[Mapping[str, int]]) -> int:
+    def submit_batch(
+        self,
+        batch: Sequence[Mapping[str, int]],
+        *,
+        megaflow_bypass: bool = False,
+    ) -> int:
         """Dispatch one non-empty batch without waiting for its results;
         returns its ``seq`` (collect with :meth:`collect_batch` — FIFO
         by default, or by ``seq`` in any order — or :meth:`collect_any`).
@@ -1203,7 +1215,7 @@ class ShardedBatchPipeline:
                 "collect_batch() first"
             )
         seq = self._seq
-        self._submit(batch)
+        self._submit(batch, bypass=megaflow_bypass)
         return seq
 
     def collect_batch(self, seq: int | None = None) -> list[PipelineResult]:
@@ -1299,9 +1311,19 @@ class ShardedBatchPipeline:
 
     # -- dispatch/collect internals ------------------------------------
 
-    def _submit(self, batch: Sequence[Mapping[str, int]]) -> bool:
-        """Encode, dispatch and register one batch; False when empty."""
+    def _submit(
+        self, batch: Sequence[Mapping[str, int]], bypass: bool = False
+    ) -> bool:
+        """Encode, dispatch and register one batch; False when empty.
+
+        ``bypass`` rides in every worker's request template (and the
+        in-flight record for degraded shards), so replays after a crash
+        skip — or keep — the megaflow tier exactly as the original
+        submission asked."""
         assert len(self._inflight) < self.depth
+        # _order mirrors _inflight one-to-one, so the same depth bound
+        # caps it (the bounded-queue invariant for this deque).
+        assert len(self._order) < self.depth
         assert all(
             seq % self.depth != self._seq % self.depth
             for seq in self._inflight
@@ -1327,9 +1349,9 @@ class ShardedBatchPipeline:
         seq = self._seq
         groups = self._shard_groups(batch)
         if self.transport == "shm":
-            sends = self._encode_shm(seq, batch, groups)
+            sends = self._encode_shm(seq, batch, groups, bypass)
         else:
-            sends = self._encode_pickle(seq, batch, groups)
+            sends = self._encode_pickle(seq, batch, groups, bypass)
         # Registered before dispatch: a send that trips over a corpse
         # recovers mid-submit, and recovery reads the in-flight record.
         self._inflight[seq] = _InFlight(
@@ -1339,6 +1361,7 @@ class ShardedBatchPipeline:
             pinned=pinned,
             log_len=log_len,
             sends=sends,
+            bypass=bypass,
         )
         self._order.append(seq)
         self._seq += 1
@@ -1354,11 +1377,12 @@ class ShardedBatchPipeline:
         seq: int,
         batch: Sequence[Mapping[str, int]] | PacketBatch,
         groups: Mapping[int, list[int]],
+        bypass: bool = False,
     ) -> dict[int, BatchRequest | ShmRequest]:
         """Request templates (empty mutation suffix) per live worker."""
         return {
             worker: BatchRequest(
-                "batch", seq, (), [batch[i] for i in members]
+                "batch", seq, (), [batch[i] for i in members], bypass
             )
             for worker, members in groups.items()
             if worker not in self._supervisor.disabled
@@ -1369,6 +1393,7 @@ class ShardedBatchPipeline:
         seq: int,
         batch: Sequence[Mapping[str, int]] | PacketBatch,
         groups: Mapping[int, list[int]],
+        bypass: bool = False,
     ) -> dict[int, BatchRequest | ShmRequest]:
         """Encode the batch once into its ring slot; request templates
         (empty mutation suffix) per live worker."""
@@ -1405,6 +1430,7 @@ class ShardedBatchPipeline:
                 layout,
                 f"members/{worker}",
                 columnar,
+                bypass,
             )
             for worker in live
         }
@@ -1430,6 +1456,9 @@ class ShardedBatchPipeline:
         queued — possibly onto the in-process fallback."""
         while worker not in self._supervisor.disabled:
             if self._dispatch(seq, worker):
+                # A worker owes at most one reply per in-flight batch,
+                # so its pending deque is depth-bounded too.
+                assert len(self._worker_pending[worker]) < self.depth
                 self._worker_pending[worker].append(seq)
                 return
             self._handle_failure(worker, "crash")
@@ -1669,7 +1698,9 @@ class ShardedBatchPipeline:
         _apply_mutations(runner.pipeline, suffix)
         self._inline_cursor = inflight.log_len
         packets = [inflight.batch[i] for i in members]
+        runner.megaflow_bypass = inflight.bypass
         results = runner.process_batch(packets)
+        runner.megaflow_bypass = False
         assert self._inline_index is not None
         delta = FlowStatsDelta.from_results(results, self._inline_index)
         self._reply_buffer[(seq, worker)] = InlineReply(

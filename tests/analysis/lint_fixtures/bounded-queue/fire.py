@@ -1,0 +1,24 @@
+# repro-lint fixture: should FIRE bounded-queue.
+# An unbounded admission queue turns overload into unbounded memory
+# growth and unbounded queueing delay: nothing is ever shed, latency
+# climbs without limit, and the process eventually OOMs — the exact
+# failure mode the streaming layer's AdmissionQueue exists to prevent.
+from collections import deque
+
+
+class UnboundedAdmission:
+    def __init__(self):
+        self.backlog = deque()  # no maxlen=, no len() bound anywhere
+
+    def offer(self, item):
+        self.backlog.append(item)  # grows forever under overload
+
+
+def fifo_via_list(items):
+    queue = []
+    for item in items:
+        queue.insert(0, item)  # head-insert: list used as a FIFO
+    drained = []
+    while queue:
+        drained.append(queue.pop(0))  # head-pop, still unbounded
+    return drained

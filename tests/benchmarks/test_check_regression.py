@@ -17,9 +17,24 @@ sys.path.insert(0, str(BENCHMARKS))
 import check_regression  # noqa: E402  (path set up above)
 
 
-def write_record(path: Path, speedups: dict) -> Path:
-    path.write_text(json.dumps({"benchmark": "throughput", "speedups": speedups}))
+def write_record(path: Path, speedups: dict, streaming: dict | None = None) -> Path:
+    record: dict = {"benchmark": "throughput", "speedups": speedups}
+    if streaming is not None:
+        record["streaming"] = streaming
+    path.write_text(json.dumps(record))
     return path
+
+
+def streaming_section(**overrides) -> dict:
+    section = {
+        "schedule": "bursty",
+        "arrival_count": 2000,
+        "shed_packets": 820,
+        "shed_packets_rerun": 820,
+        "p99_ticks": 40,
+    }
+    section.update(overrides)
+    return section
 
 
 BASELINE = {
@@ -151,6 +166,90 @@ class TestCli:
         )
         checks = check_regression.run_checks(baseline, baseline)
         assert checks and all(check.ok for check in checks)
+
+
+class TestStreamingGate:
+    def test_identical_sections_pass(self):
+        section = streaming_section()
+        failures, notes = check_regression.run_streaming_checks(
+            section, section
+        )
+        assert failures == []
+        assert any(note.startswith("ok   streaming p99") for note in notes)
+
+    def test_shed_determinism_is_hard(self):
+        """A rerun that sheds even one packet differently fails with no
+        tolerance — same seed must shed identically."""
+        failures, _ = check_regression.run_streaming_checks(
+            streaming_section(),
+            streaming_section(shed_packets=820, shed_packets_rerun=821),
+        )
+        assert len(failures) == 1
+        assert "not deterministic" in failures[0]
+
+    def test_p99_band(self):
+        ok_failures, _ = check_regression.run_streaming_checks(
+            streaming_section(p99_ticks=40),
+            streaming_section(p99_ticks=55),  # within 1.5x of 40
+        )
+        assert ok_failures == []
+        bad_failures, _ = check_regression.run_streaming_checks(
+            streaming_section(p99_ticks=40),
+            streaming_section(p99_ticks=70),
+        )
+        assert len(bad_failures) == 1
+        assert "p99 regressed" in bad_failures[0]
+
+    def test_resized_schedule_skips_the_band(self):
+        """Virtual-tick percentiles are only comparable on the same
+        schedule; a resize skips the band but keeps the determinism
+        check."""
+        failures, notes = check_regression.run_streaming_checks(
+            streaming_section(arrival_count=2000),
+            streaming_section(
+                arrival_count=4000, p99_ticks=900, shed_packets_rerun=821
+            ),
+        )
+        assert len(failures) == 1  # determinism still gated
+        assert any("schedule resized" in note for note in notes)
+
+    def test_missing_sections_skip(self):
+        failures, notes = check_regression.run_streaming_checks({}, {})
+        assert failures == []
+        assert any("no streaming section" in note for note in notes)
+        failures, notes = check_regression.run_streaming_checks(
+            {}, streaming_section()
+        )
+        assert failures == []
+        assert any("baseline record has no streaming" in n for n in notes)
+
+    def test_cli_fails_on_streaming_regression(self, tmp_path, capsys):
+        """End-to-end: healthy speedups but a nondeterministic shed
+        ledger must still exit 1."""
+        baseline = write_record(
+            tmp_path / "base.json", BASELINE, streaming_section()
+        )
+        current = write_record(
+            tmp_path / "cur.json",
+            {"cached_batch_vs_decomposition": 8.0},
+            streaming_section(shed_packets_rerun=800),
+        )
+        assert check_regression.main(
+            ["--baseline", str(baseline), "--current", str(current)]
+        ) == 1
+        assert "not deterministic" in capsys.readouterr().out
+
+    def test_cli_passes_without_streaming_sections(self, tmp_path, capsys):
+        """Records predating the streaming bench still gate cleanly."""
+        baseline = write_record(tmp_path / "base.json", BASELINE)
+        current = write_record(
+            tmp_path / "cur.json",
+            {"cached_batch_vs_decomposition": 8.0},
+        )
+        assert check_regression.main(
+            ["--baseline", str(baseline), "--current", str(current)]
+        ) == 0
+        assert "skip streaming" in capsys.readouterr().out
 
 
 class TestCpuStamps:

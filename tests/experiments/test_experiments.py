@@ -123,6 +123,15 @@ class TestThroughput:
         # other scenarios (no advance events) must report none.
         assert result.headline["timeout_churn_expired_entries"] > 0
         assert result.headline["timeout_churn_sweep_entry_lanes"] > 0
+        # Open-loop streaming: the declared service rate is overloaded
+        # (so packets shed and the tail is measured) while the relaxed
+        # run — capacity above offered load — sheds nothing.
+        assert result.headline["stream_overload_shed_packets"] > 0
+        assert result.headline["stream_overload_p99_ticks"] > 0
+        assert result.headline["stream_relaxed_shed_packets"] == 0
+        assert (
+            result.headline["stream_offered_load_pkts_per_tick"] > 0.5
+        )  # the declared service rate the bursts overwhelm
 
 
 class TestRunnerCli:

@@ -29,8 +29,11 @@ from repro.runtime import (
     FaultSpec,
     PoisonBatchError,
     ShardedBatchPipeline,
+    StreamConfig,
     SupervisionConfig,
     WorkerCrashError,
+    bursty_arrivals,
+    run_stream,
     run_workload,
 )
 from repro.runtime.faults import HANG_SECONDS, STEPS
@@ -516,3 +519,98 @@ class TestOrphanedWorkers:
             if middle.is_alive():  # pragma: no cover - cleanup
                 middle.kill()
                 middle.join(timeout=5)
+
+
+@needs_dev_shm
+class TestOverloadChaos:
+    """Worker crashes during an open-loop *overload* stream: the
+    supervisor's respawn + deterministic replay must leave the stream
+    report — shed ledger, latency stamps, results, ladder transitions —
+    bitwise identical to a fault-free twin, while the admission queue's
+    hard capacity holds throughout.
+
+    CI greps the tier-1 junit for this class by name (like the chaos
+    differential) so the overload coverage cannot silently rot out of
+    the pipeline.
+    """
+
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_crash_during_stream_is_invisible(
+        self, small_routing_set, seed
+    ):
+        from tests.runtime.test_streaming import (
+            OVERLOAD,
+            overload_schedule,
+            report_fingerprint,
+        )
+
+        schedule = overload_schedule(small_routing_set, packet_count=700)
+        clean_arch = make_arch(small_routing_set)
+        clean_entries = list(clean_arch.tables[0])
+        with ShardedBatchPipeline(
+            clean_arch, workers=2, depth=4
+        ) as runner:
+            clean = run_stream(runner, schedule, OVERLOAD)
+        clean.assert_conserved()
+        assert clean.shed_packets > 0, "twin run must actually overload"
+        plan = FaultPlan.seeded(
+            seed, workers=2, seqs=range(clean.batches), faults=2
+        )
+        chaos_arch = make_arch(small_routing_set)
+        chaos_entries = list(chaos_arch.tables[0])
+        with ShardedBatchPipeline(
+            chaos_arch, workers=2, depth=4, fault_plan=plan
+        ) as runner:
+            chaotic = run_stream(runner, schedule, OVERLOAD)
+            snapshot = runner.supervision_snapshot()
+        chaotic.assert_conserved()
+        assert snapshot["crashes"] >= 1, "seeded fault never fired"
+        assert snapshot["restarts"] == snapshot["crashes"]
+        assert snapshot["replayed_batches"] >= 1
+        assert snapshot["wedges"] == 0
+        assert chaotic.peak_occupancy <= OVERLOAD.capacity
+        assert chaotic.shed == clean.shed, (
+            "recovery changed the shed ledger"
+        )
+        assert report_fingerprint(chaotic) == report_fingerprint(clean)
+        assert _entry_counts(chaos_entries) == _entry_counts(clean_entries)
+
+    def test_stream_queue_bounded_under_hang_escalation(
+        self, small_routing_set
+    ):
+        """A hung worker escalates to SIGKILL + replay mid-stream; the
+        stream report still matches the fault-free twin and the queue
+        never exceeds capacity."""
+        schedule = bursty_arrivals(
+            small_routing_set, packet_count=300, mean_burst=24.0,
+            burst_gap=16.0, seed=11,
+        )
+        cfg = StreamConfig(
+            capacity=64, batch_size=16, form_deadline=8, window=2,
+            service_rate=0.5, degrade_after=2,
+        )
+        with ShardedBatchPipeline(
+            make_arch(small_routing_set), workers=2, depth=4
+        ) as runner:
+            clean = run_stream(runner, schedule, cfg)
+        # Bursts are single-flow, so a whole batch can hash to one
+        # worker; arm the hang on both so seq 2 wedges whoever got it.
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(0, 2, "mid-classify", "hang"),
+                FaultSpec(1, 2, "mid-classify", "hang"),
+            )
+        )
+        with ShardedBatchPipeline(
+            make_arch(small_routing_set),
+            workers=2,
+            depth=4,
+            fault_plan=plan,
+            supervision=SupervisionConfig(deadline=1.0),
+        ) as runner:
+            chaotic = run_stream(runner, schedule, cfg)
+            snapshot = runner.supervision_snapshot()
+        assert snapshot["wedges"] >= 1, "hang never escalated"
+        assert chaotic.peak_occupancy <= cfg.capacity
+        assert chaotic.shed == clean.shed
+        assert chaotic.latencies == clean.latencies

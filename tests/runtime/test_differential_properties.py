@@ -53,7 +53,10 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.architecture import MultiTableLookupArchitecture
+from repro.core.builder import build_lookup_table
 from repro.core.lookup_table import OpenFlowLookupTable
+from repro.filters.paper_data import RoutingFilterStats
+from repro.filters.synthetic import generate_routing_set
 from repro.openflow.actions import OutputAction, SetFieldAction
 from repro.openflow.flow import FlowEntry
 from repro.openflow.instructions import (
@@ -68,11 +71,15 @@ from repro.packet.batch import PacketBatch
 from repro.packet.generator import PacketGenerator, TraceConfig
 from repro.packet.headers import FRAME_LEN_FIELD
 from repro.runtime import (
+    ARRIVALS,
     BatchPipeline,
     FaultPlan,
     LifecycleSweeper,
     ShardedBatchPipeline,
+    StreamConfig,
+    run_stream,
 )
+from repro.runtime.streaming import SHED_REASONS
 
 #: Match schema: one exact, two prefix, one range, one exact field — all
 #: three engine kinds of the decomposition participate in every example.
@@ -512,3 +519,95 @@ def test_all_paths_equivalent(example):
     finally:
         for replayer in replayers.values():
             replayer.close()
+
+
+# ----------------------------------------------------------------------
+# Open-loop streaming: conservation and determinism as properties
+# ----------------------------------------------------------------------
+
+#: One modest rule set shared by every streaming example (the law under
+#: test quantifies over arrival processes and configs, not rules — the
+#: rule-set dimension is covered by the path-equivalence suite above).
+_STREAM_RULES = generate_routing_set(
+    RoutingFilterStats("streamprop", 200, 10, 30, 70), seed=5
+)
+
+_stream_example = st.fixed_dictionaries(
+    {
+        "process": st.sampled_from(sorted(ARRIVALS)),
+        "seed": st.integers(min_value=0, max_value=2**16),
+        "packet_count": st.integers(min_value=20, max_value=120),
+        "capacity": st.integers(min_value=4, max_value=96),
+        "batch_size": st.integers(min_value=1, max_value=24),
+        "window": st.integers(min_value=1, max_value=4),
+        "form_deadline": st.integers(min_value=1, max_value=12),
+        "service_rate": st.one_of(
+            st.none(), st.floats(min_value=0.1, max_value=4.0)
+        ),
+        "deadline": st.one_of(
+            st.none(), st.integers(min_value=1, max_value=48)
+        ),
+        "columnar": st.booleans(),
+        "degrade_after": st.integers(min_value=1, max_value=4),
+    }
+)
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(example=_stream_example)
+def test_stream_conservation_and_determinism(example):
+    """For every arrival process, queue capacity and service rate the
+    strategies draw: admitted == completed + shed (packets AND bytes),
+    occupancy never exceeds the hard capacity, every shed record names
+    a known reason, and an identically-configured rerun reproduces the
+    shed ledger, latency stamps and ladder transitions exactly."""
+    schedule = ARRIVALS[example["process"]](
+        _STREAM_RULES,
+        packet_count=example["packet_count"],
+        seed=example["seed"],
+    )
+    config = StreamConfig(
+        capacity=example["capacity"],
+        batch_size=example["batch_size"],
+        form_deadline=example["form_deadline"],
+        window=example["window"],
+        policy="tail" if example["deadline"] is None else "deadline",
+        deadline=example["deadline"],
+        columnar=example["columnar"],
+        service_rate=example["service_rate"],
+        degrade_after=example["degrade_after"],
+    )
+
+    def one_run():
+        runner = BatchPipeline(
+            _make_stream_arch(), cache_capacity=16, megaflow_capacity=32
+        )
+        return run_stream(runner, schedule, config)
+
+    report = one_run()
+    report.assert_conserved()
+    assert report.admitted_packets == schedule.packet_count
+    assert report.admitted_bytes == schedule.byte_count
+    assert report.peak_occupancy <= config.capacity
+    assert all(record.reason in SHED_REASONS for record in report.shed)
+    # Completed + shed indices partition the arrival index space.
+    completed = {i for i, _ in report.latencies}
+    dropped = {record.index for record in report.shed}
+    assert not completed & dropped
+    assert completed | dropped == set(range(schedule.packet_count))
+    again = one_run()
+    assert again.shed == report.shed
+    assert again.latencies == report.latencies
+    assert again.transitions == report.transitions
+    assert again.batches == report.batches
+    assert again.stalls == report.stalls
+
+
+def _make_stream_arch():
+    return MultiTableLookupArchitecture(
+        [build_lookup_table(_STREAM_RULES)]
+    )

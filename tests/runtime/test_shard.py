@@ -815,4 +815,4 @@ class TestColumnarSharded:
             sharded.process_batch(trace)
             sharded.process_batch(PacketBatch.from_dicts(trace))
         shm_messages = [m for m in sent if m[0] == "shm"]
-        assert [m[-1] for m in shm_messages] == [False, True]
+        assert [m.columnar for m in shm_messages] == [False, True]
